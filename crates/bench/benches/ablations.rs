@@ -1,0 +1,100 @@
+//! Criterion benches of the internal building blocks whose costs decide
+//! whether paper-scale Monte-Carlo runs are feasible: the local entry
+//! store's O(1) sampling (vs a naive scan), the hash-family evaluation,
+//! and the simulated network's broadcast path.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use pls_core::{HashFamily, IndexedSet};
+use pls_net::{DetRng, Endpoint, MsgClass, ServerId, SimNet};
+use std::hint::black_box;
+
+fn bench_indexed_set_sampling(c: &mut Criterion) {
+    let mut group = c.benchmark_group("entry_store_sample_t20");
+    for size in [100usize, 1000, 10_000] {
+        let set: IndexedSet<u64> = (0..size as u64).collect();
+        let entries: Vec<u64> = (0..size as u64).collect();
+
+        group.bench_with_input(BenchmarkId::new("indexed_set", size), &set, |b, set| {
+            let mut rng = DetRng::seed_from(1);
+            b.iter(|| black_box(set.sample(20, &mut rng)))
+        });
+
+        // Naive alternative: clone + shuffle + truncate.
+        group.bench_with_input(BenchmarkId::new("naive_shuffle", size), &entries, |b, entries| {
+            let mut rng = DetRng::seed_from(1);
+            b.iter(|| {
+                let mut copy = entries.clone();
+                rng.shuffle(&mut copy);
+                copy.truncate(20);
+                black_box(copy)
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_indexed_set_churn(c: &mut Criterion) {
+    c.bench_function("entry_store_insert_remove", |b| {
+        let mut set: IndexedSet<u64> = (0..1000u64).collect();
+        let mut next = 1000u64;
+        let mut victim = 0u64;
+        b.iter(|| {
+            set.insert(black_box(next));
+            set.remove(black_box(&victim));
+            next += 1;
+            victim += 1;
+        })
+    });
+}
+
+fn bench_hash_family(c: &mut Criterion) {
+    let mut group = c.benchmark_group("hash_family_assign");
+    for y in [1usize, 2, 4, 8] {
+        let family = HashFamily::new(y, 10, 42);
+        group.bench_with_input(BenchmarkId::from_parameter(y), &family, |b, f| {
+            let mut v = 0u64;
+            b.iter(|| {
+                v += 1;
+                black_box(f.assign(&v))
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_simnet_broadcast(c: &mut Criterion) {
+    let mut group = c.benchmark_group("simnet_broadcast_and_drain");
+    for n in [10usize, 100] {
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, &n| {
+            let mut net: SimNet<u64> = SimNet::new(n);
+            b.iter(|| {
+                net.broadcast(Endpoint::client(0), black_box(7), MsgClass::Update).unwrap();
+                let mut sink = 0u64;
+                net.deliver_all(|_, env| sink += env.msg);
+                black_box(sink)
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_simnet_p2p(c: &mut Criterion) {
+    c.bench_function("simnet_p2p_send_pop", |b| {
+        let mut net: SimNet<u64> = SimNet::new(10);
+        b.iter(|| {
+            net.send(Endpoint::client(0), ServerId::new(3), black_box(1), MsgClass::Update)
+                .unwrap();
+            black_box(net.pop_next())
+        })
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_indexed_set_sampling,
+    bench_indexed_set_churn,
+    bench_hash_family,
+    bench_simnet_broadcast,
+    bench_simnet_p2p
+);
+criterion_main!(benches);

@@ -1,0 +1,70 @@
+//! Micro-benchmarks of the evaluation metrics: the greedy
+//! fault-tolerance adversary (Appendix A) and the Monte-Carlo unfairness
+//! estimator dominate experiment runtime, so their costs matter.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use pls_core::{Cluster, StrategySpec};
+use pls_metrics::{fault_tolerance, lookup_cost, unfairness};
+use std::hint::black_box;
+
+fn placed(spec: StrategySpec, seed: u64) -> Cluster<u64> {
+    let mut cluster = Cluster::new(10, spec, seed).expect("valid spec");
+    cluster.place((0..100u64).collect()).expect("place");
+    cluster
+}
+
+fn bench_greedy_tolerance(c: &mut Criterion) {
+    let mut group = c.benchmark_group("greedy_fault_tolerance");
+    for (name, spec) in [
+        ("random_server", StrategySpec::random_server(20)),
+        ("hash", StrategySpec::hash(2)),
+        ("round_robin", StrategySpec::round_robin(2)),
+    ] {
+        let placement = placed(spec, 7).placement();
+        group.bench_with_input(BenchmarkId::from_parameter(name), &placement, |b, p| {
+            b.iter(|| black_box(fault_tolerance::greedy_tolerance(black_box(p), 30)))
+        });
+    }
+    group.finish();
+}
+
+fn bench_unfairness_estimation(c: &mut Criterion) {
+    let universe: Vec<u64> = (0..100).collect();
+    let mut group = c.benchmark_group("unfairness_1000_lookups");
+    group.sample_size(10);
+    for (name, spec) in [
+        ("random_server", StrategySpec::random_server(20)),
+        ("hash", StrategySpec::hash(2)),
+    ] {
+        group.bench_function(BenchmarkId::from_parameter(name), |b| {
+            let mut cluster = placed(spec, 8);
+            b.iter(|| {
+                black_box(unfairness::measure_instance(&mut cluster, &universe, 35, 1000))
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_lookup_cost_measurement(c: &mut Criterion) {
+    let mut group = c.benchmark_group("lookup_cost_1000_lookups");
+    group.sample_size(10);
+    for (name, spec) in [
+        ("round_robin", StrategySpec::round_robin(2)),
+        ("random_server", StrategySpec::random_server(20)),
+    ] {
+        group.bench_function(BenchmarkId::from_parameter(name), |b| {
+            let mut cluster = placed(spec, 9);
+            b.iter(|| black_box(lookup_cost::measure(&mut cluster, 35, 1000)))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_greedy_tolerance,
+    bench_unfairness_estimation,
+    bench_lookup_cost_measurement
+);
+criterion_main!(benches);

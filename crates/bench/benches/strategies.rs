@@ -1,0 +1,84 @@
+//! Micro-benchmarks of the strategy protocols themselves: placement,
+//! update, and lookup throughput per strategy, at the paper's running
+//! system shape (h = 100 entries on n = 10 servers, 200-entry budget).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use pls_core::{Cluster, StrategySpec};
+use std::hint::black_box;
+
+fn specs() -> Vec<StrategySpec> {
+    vec![
+        StrategySpec::full_replication(),
+        StrategySpec::fixed(20),
+        StrategySpec::random_server(20),
+        StrategySpec::round_robin(2),
+        StrategySpec::hash(2),
+    ]
+}
+
+fn bench_place(c: &mut Criterion) {
+    let mut group = c.benchmark_group("place_100_entries");
+    for spec in specs() {
+        group.bench_with_input(BenchmarkId::from_parameter(spec), &spec, |b, &spec| {
+            b.iter(|| {
+                let mut cluster = Cluster::new(10, spec, 1).expect("valid spec");
+                cluster.place(black_box((0..100u64).collect())).expect("place");
+                black_box(cluster.placement().storage_used())
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_update_churn(c: &mut Criterion) {
+    // One add + one delete against a steady-state placement; mirrors the
+    // §6 update workload's inner loop.
+    let mut group = c.benchmark_group("add_delete_pair");
+    for spec in specs() {
+        group.bench_with_input(BenchmarkId::from_parameter(spec), &spec, |b, &spec| {
+            let mut cluster = Cluster::new(10, spec, 2).expect("valid spec");
+            cluster.place((0..100u64).collect()).expect("place");
+            let mut next = 100u64;
+            let mut victim = 0u64;
+            b.iter(|| {
+                cluster.add(black_box(next)).expect("add");
+                cluster.delete(black_box(&victim)).expect("delete");
+                next += 1;
+                victim += 1;
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_lookup(c: &mut Criterion) {
+    // partial_lookup(35): multi-server merging for the partial
+    // strategies, single probe for full replication.
+    let mut group = c.benchmark_group("partial_lookup_t35");
+    for spec in specs() {
+        if matches!(spec, StrategySpec::Fixed { x } if x < 35) {
+            continue; // undefined for t > x
+        }
+        group.bench_with_input(BenchmarkId::from_parameter(spec), &spec, |b, &spec| {
+            let mut cluster = Cluster::new(10, spec, 3).expect("valid spec");
+            cluster.place((0..100u64).collect()).expect("place");
+            b.iter(|| black_box(cluster.partial_lookup(black_box(35)).expect("lookup")))
+        });
+    }
+    group.finish();
+}
+
+fn bench_lookup_small_t(c: &mut Criterion) {
+    let mut group = c.benchmark_group("partial_lookup_t5");
+    for spec in specs() {
+        group.bench_with_input(BenchmarkId::from_parameter(spec), &spec, |b, &spec| {
+            let mut cluster = Cluster::new(10, spec, 4).expect("valid spec");
+            cluster.place((0..100u64).collect()).expect("place");
+            b.iter(|| black_box(cluster.partial_lookup(black_box(5)).expect("lookup")))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_place, bench_update_churn, bench_lookup, bench_lookup_small_t);
+criterion_main!(benches);

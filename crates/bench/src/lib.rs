@@ -1,0 +1,7 @@
+//! Support library for the `repro` experiment harness: output formatting
+//! and CSV writing shared by the binary and the benches.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod output;

@@ -1,0 +1,149 @@
+//! Table rendering and CSV emission for experiment rows.
+
+use std::fmt::Write as _;
+use std::fs;
+use std::io;
+use std::path::Path;
+
+/// A rendered experiment: a title, column headers, and stringified rows.
+/// One `Table` turns into both a console table and a CSV file.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Table {
+    /// Human-readable heading (printed above the console table).
+    pub title: String,
+    /// Column names.
+    pub columns: Vec<String>,
+    /// Row cells, stringified.
+    pub rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Creates a table with the given title and columns.
+    pub fn new(title: impl Into<String>, columns: &[&str]) -> Self {
+        Table {
+            title: title.into(),
+            columns: columns.iter().map(|c| c.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends one row.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the cell count does not match the column count.
+    pub fn row(&mut self, cells: Vec<String>) {
+        assert_eq!(cells.len(), self.columns.len(), "row width mismatch");
+        self.rows.push(cells);
+    }
+
+    /// Renders an aligned console table.
+    pub fn render(&self) -> String {
+        let mut widths: Vec<usize> = self.columns.iter().map(String::len).collect();
+        for row in &self.rows {
+            for (w, cell) in widths.iter_mut().zip(row) {
+                *w = (*w).max(cell.len());
+            }
+        }
+        let mut out = String::new();
+        let _ = writeln!(out, "# {}", self.title);
+        let header: Vec<String> = self
+            .columns
+            .iter()
+            .zip(&widths)
+            .map(|(c, w)| format!("{c:>w$}"))
+            .collect();
+        let _ = writeln!(out, "{}", header.join("  "));
+        let _ = writeln!(out, "{}", "-".repeat(header.join("  ").len()));
+        for row in &self.rows {
+            let cells: Vec<String> =
+                row.iter().zip(&widths).map(|(c, w)| format!("{c:>w$}")).collect();
+            let _ = writeln!(out, "{}", cells.join("  "));
+        }
+        out
+    }
+
+    /// Renders CSV (header + rows).
+    pub fn to_csv(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(out, "{}", self.columns.join(","));
+        for row in &self.rows {
+            let _ = writeln!(out, "{}", row.join(","));
+        }
+        out
+    }
+
+    /// Writes the CSV next to the other results.
+    ///
+    /// # Errors
+    ///
+    /// Propagates filesystem errors.
+    pub fn write_csv(&self, dir: &Path, name: &str) -> io::Result<std::path::PathBuf> {
+        fs::create_dir_all(dir)?;
+        let path = dir.join(format!("{name}.csv"));
+        fs::write(&path, self.to_csv())?;
+        Ok(path)
+    }
+}
+
+/// Formats a float with sensible precision for the tables.
+pub fn fnum(v: f64) -> String {
+    if v == 0.0 {
+        "0".to_string()
+    } else if v.abs() >= 1000.0 {
+        format!("{v:.0}")
+    } else if v.abs() >= 10.0 {
+        format!("{v:.2}")
+    } else {
+        format!("{v:.4}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn render_aligns_columns() {
+        let mut t = Table::new("demo", &["a", "long_column"]);
+        t.row(vec!["1".into(), "2".into()]);
+        t.row(vec!["100".into(), "20000".into()]);
+        let rendered = t.render();
+        assert!(rendered.contains("# demo"));
+        assert!(rendered.contains("long_column"));
+        let lines: Vec<&str> = rendered.lines().collect();
+        // Header, separator, two rows, plus the title line.
+        assert_eq!(lines.len(), 5);
+    }
+
+    #[test]
+    fn csv_output() {
+        let mut t = Table::new("demo", &["x", "y"]);
+        t.row(vec!["1".into(), "2.5".into()]);
+        assert_eq!(t.to_csv(), "x,y\n1,2.5\n");
+    }
+
+    #[test]
+    #[should_panic(expected = "row width mismatch")]
+    fn row_width_checked() {
+        let mut t = Table::new("demo", &["x", "y"]);
+        t.row(vec!["1".into()]);
+    }
+
+    #[test]
+    fn write_csv_creates_file() {
+        let dir = std::env::temp_dir().join("pls-bench-test");
+        let mut t = Table::new("demo", &["x"]);
+        t.row(vec!["7".into()]);
+        let path = t.write_csv(&dir, "demo").unwrap();
+        assert_eq!(std::fs::read_to_string(path).unwrap(), "x\n7\n");
+    }
+
+    #[test]
+    fn fnum_precision_tiers() {
+        assert_eq!(fnum(0.0), "0");
+        assert_eq!(fnum(0.1234567), "0.1235");
+        assert_eq!(fnum(12.345), "12.35");
+        assert_eq!(fnum(123456.7), "123457");
+    }
+}

@@ -1,0 +1,146 @@
+//! `pls-client` — command-line client for a partial lookup cluster.
+//!
+//! ```text
+//! pls-client --servers A,B,... --strategy SPEC [--seed S] COMMAND
+//!
+//! commands:
+//!   place  KEY ENTRY[,ENTRY...] [STRATEGY]   batch-specify a key's entries,
+//!                                            optionally under a per-key strategy
+//!   add    KEY ENTRY              add one entry
+//!   delete KEY ENTRY              delete one entry
+//!   lookup KEY T                  partial lookup: at least T entries
+//!   status                        per-server key/entry counts
+//! ```
+
+use std::net::SocketAddr;
+use std::process::ExitCode;
+
+use pls_cluster::{parse_spec, Client, ClientConfig};
+
+struct Options {
+    cfg: ClientConfig,
+    command: Vec<String>,
+}
+
+fn parse_args() -> Result<Options, String> {
+    let mut servers: Option<Vec<SocketAddr>> = None;
+    let mut spec = None;
+    let mut seed = 1u64;
+    let mut command = Vec::new();
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        let mut value = |name: &str| args.next().ok_or(format!("{name} needs a value"));
+        match arg.as_str() {
+            "--servers" => {
+                let raw = value("--servers")?;
+                let parsed: Result<Vec<SocketAddr>, _> =
+                    raw.split(',').map(|s| s.trim().parse()).collect();
+                servers = Some(parsed.map_err(|e| format!("--servers: {e}"))?);
+            }
+            "--strategy" => spec = Some(parse_spec(&value("--strategy")?)?),
+            "--seed" => seed = value("--seed")?.parse().map_err(|e| format!("--seed: {e}"))?,
+            "--help" | "-h" => {
+                return Err(
+                    "usage: pls-client --servers A,B,... --strategy SPEC COMMAND ...".to_string()
+                )
+            }
+            other => {
+                command.push(other.to_string());
+                command.extend(args.by_ref());
+            }
+        }
+    }
+    let servers = servers.ok_or("--servers is required")?;
+    let spec = spec.ok_or("--strategy is required")?;
+    if command.is_empty() {
+        return Err("missing command (place/add/delete/lookup/status)".to_string());
+    }
+    Ok(Options { cfg: ClientConfig::new(servers, spec, seed), command })
+}
+
+async fn run(opts: Options) -> Result<(), String> {
+    let n = opts.cfg.servers.len();
+    let mut client = Client::connect(opts.cfg);
+    let cmd: Vec<&str> = opts.command.iter().map(String::as_str).collect();
+    match cmd.as_slice() {
+        ["place", key, entries] => {
+            let entries: Vec<Vec<u8>> =
+                entries.split(',').map(|e| e.trim().as_bytes().to_vec()).collect();
+            let count = entries.len();
+            client.place(key.as_bytes(), entries).await.map_err(|e| e.to_string())?;
+            println!("placed {count} entries under `{key}`");
+        }
+        ["place", key, entries, strategy] => {
+            let spec = parse_spec(strategy)?;
+            let entries: Vec<Vec<u8>> =
+                entries.split(',').map(|e| e.trim().as_bytes().to_vec()).collect();
+            let count = entries.len();
+            client
+                .place_with_strategy(key.as_bytes(), entries, spec)
+                .await
+                .map_err(|e| e.to_string())?;
+            println!("placed {count} entries under `{key}` with {spec}");
+        }
+        ["add", key, entry] => {
+            client.add(key.as_bytes(), entry.as_bytes().to_vec()).await.map_err(|e| e.to_string())?;
+            println!("added `{entry}` to `{key}`");
+        }
+        ["delete", key, entry] => {
+            client
+                .delete(key.as_bytes(), entry.as_bytes().to_vec())
+                .await
+                .map_err(|e| e.to_string())?;
+            println!("deleted `{entry}` from `{key}`");
+        }
+        ["lookup", key, t] => {
+            let t: usize = t.parse().map_err(|e| format!("T: {e}"))?;
+            let entries =
+                client.partial_lookup(key.as_bytes(), t).await.map_err(|e| e.to_string())?;
+            println!(
+                "{} entr{} for `{key}`{}:",
+                entries.len(),
+                if entries.len() == 1 { "y" } else { "ies" },
+                if entries.len() < t { " (TARGET NOT MET)" } else { "" }
+            );
+            for e in entries {
+                println!("  {}", String::from_utf8_lossy(&e));
+            }
+        }
+        ["status"] => {
+            for i in 0..n {
+                match client.status_of(i).await {
+                    Ok((keys, entries)) => {
+                        println!("server {i}: {keys} keys, {entries} entries")
+                    }
+                    Err(err) => println!("server {i}: unreachable ({err})"),
+                }
+            }
+        }
+        other => return Err(format!("unknown command {other:?}")),
+    }
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    let opts = match parse_args() {
+        Ok(o) => o,
+        Err(msg) => {
+            eprintln!("{msg}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let runtime = match tokio::runtime::Builder::new_current_thread().enable_all().build() {
+        Ok(rt) => rt,
+        Err(err) => {
+            eprintln!("failed to start runtime: {err}");
+            return ExitCode::FAILURE;
+        }
+    };
+    match runtime.block_on(run(opts)) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(msg) => {
+            eprintln!("{msg}");
+            ExitCode::FAILURE
+        }
+    }
+}

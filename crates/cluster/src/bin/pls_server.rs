@@ -1,0 +1,99 @@
+//! `pls-server` — one lookup server of a partial lookup cluster.
+//!
+//! ```text
+//! pls-server --index N --peers HOST:PORT,HOST:PORT,... --strategy SPEC [--seed S]
+//!
+//!   --index     this server's position in the peer list (0-based;
+//!               index 0 is the Round-Robin coordinator)
+//!   --peers     every server's address, comma-separated, in id order
+//!   --strategy  full | fixed:X | random:X | round:Y | hash:Y
+//!   --seed      cluster-wide seed (must match on every server; default 0)
+//! ```
+//!
+//! Example 3-server cluster on one machine:
+//!
+//! ```sh
+//! pls-server --index 0 --peers 127.0.0.1:7401,127.0.0.1:7402,127.0.0.1:7403 --strategy round:2 &
+//! pls-server --index 1 --peers 127.0.0.1:7401,127.0.0.1:7402,127.0.0.1:7403 --strategy round:2 &
+//! pls-server --index 2 --peers 127.0.0.1:7401,127.0.0.1:7402,127.0.0.1:7403 --strategy round:2 &
+//! ```
+
+use std::net::SocketAddr;
+use std::process::ExitCode;
+
+use pls_cluster::{parse_spec, Server, ServerConfig};
+
+fn parse_args() -> Result<ServerConfig, String> {
+    let mut index: Option<usize> = None;
+    let mut peers: Option<Vec<SocketAddr>> = None;
+    let mut spec = None;
+    let mut seed = 0u64;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        let mut value = |name: &str| args.next().ok_or(format!("{name} needs a value"));
+        match arg.as_str() {
+            "--index" => {
+                index = Some(value("--index")?.parse().map_err(|e| format!("--index: {e}"))?);
+            }
+            "--peers" => {
+                let raw = value("--peers")?;
+                let parsed: Result<Vec<SocketAddr>, _> =
+                    raw.split(',').map(|s| s.trim().parse()).collect();
+                peers = Some(parsed.map_err(|e| format!("--peers: {e}"))?);
+            }
+            "--strategy" => spec = Some(parse_spec(&value("--strategy")?)?),
+            "--seed" => {
+                seed = value("--seed")?.parse().map_err(|e| format!("--seed: {e}"))?;
+            }
+            "--help" | "-h" => {
+                return Err("usage: pls-server --index N --peers A,B,... --strategy SPEC [--seed S]"
+                    .to_string())
+            }
+            other => return Err(format!("unknown argument `{other}` (try --help)")),
+        }
+    }
+    let index = index.ok_or("--index is required")?;
+    let peers = peers.ok_or("--peers is required")?;
+    let spec = spec.ok_or("--strategy is required")?;
+    if index >= peers.len() {
+        return Err(format!("--index {index} out of range for {} peers", peers.len()));
+    }
+    Ok(ServerConfig::new(index, peers, spec, seed))
+}
+
+fn main() -> ExitCode {
+    let cfg = match parse_args() {
+        Ok(cfg) => cfg,
+        Err(msg) => {
+            eprintln!("{msg}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let runtime = match tokio::runtime::Builder::new_multi_thread().enable_all().build() {
+        Ok(rt) => rt,
+        Err(err) => {
+            eprintln!("failed to start runtime: {err}");
+            return ExitCode::FAILURE;
+        }
+    };
+    runtime.block_on(async move {
+        let me = cfg.me;
+        let spec = cfg.spec;
+        match Server::bind(cfg).await {
+            Ok((server, addr)) => {
+                eprintln!("pls-server[{me}] serving {spec} on {addr}");
+                tokio::select! {
+                    _ = server.run() => ExitCode::SUCCESS,
+                    _ = tokio::signal::ctrl_c() => {
+                        eprintln!("pls-server[{me}] shutting down");
+                        ExitCode::SUCCESS
+                    }
+                }
+            }
+            Err(err) => {
+                eprintln!("pls-server[{me}] failed to start: {err}");
+                ExitCode::FAILURE
+            }
+        }
+    })
+}

@@ -1,0 +1,397 @@
+//! The client library: the §3 lookup procedures over real sockets.
+
+use std::net::SocketAddr;
+
+use pls_core::{DetRng, ServiceError, StrategySpec};
+use pls_net::ServerId;
+
+use crate::error::ClusterError;
+use crate::proto::{Entry, Request, Response};
+use crate::rpc::PeerClient;
+
+/// Client-side configuration: where the servers are and which strategy
+/// they run (the client procedures are strategy-specific).
+#[derive(Debug, Clone)]
+pub struct ClientConfig {
+    /// Every server's address, indexed by server id.
+    pub servers: Vec<SocketAddr>,
+    /// The cluster's placement strategy.
+    pub spec: StrategySpec,
+    /// Seed for the client's probe-order randomness.
+    pub seed: u64,
+}
+
+impl ClientConfig {
+    /// Convenience constructor.
+    pub fn new(servers: Vec<SocketAddr>, spec: StrategySpec, seed: u64) -> Self {
+        ClientConfig { servers, spec, seed }
+    }
+}
+
+/// A partial-lookup client.
+///
+/// Connections are lazy and cached per server; a dead server is skipped
+/// during lookups ("keep on selecting another random server until an
+/// operational server is found", §3.1) and reported for updates.
+#[derive(Debug)]
+pub struct Client {
+    spec: StrategySpec,
+    key_specs: std::collections::HashMap<Vec<u8>, StrategySpec>,
+    peers: std::sync::Arc<Vec<PeerClient>>,
+    rng: DetRng,
+}
+
+impl Client {
+    /// Creates a client; no connections are opened until first use.
+    pub fn connect(cfg: ClientConfig) -> Self {
+        Client {
+            spec: cfg.spec,
+            key_specs: std::collections::HashMap::new(),
+            peers: std::sync::Arc::new(cfg.servers.into_iter().map(PeerClient::new).collect()),
+            rng: DetRng::seed_from(cfg.seed),
+        }
+    }
+
+    fn n(&self) -> usize {
+        self.peers.len()
+    }
+
+    /// The strategy in effect for a key: its recorded per-key override,
+    /// or the cluster default.
+    pub fn spec_of(&self, key: &[u8]) -> StrategySpec {
+        self.key_specs.get(key).copied().unwrap_or(self.spec)
+    }
+
+    /// Sends an update to its coordinator: server 0 for Round-Robin-y
+    /// keys, any reachable server otherwise (tried in random order).
+    async fn update(&mut self, key: &[u8], req: Request) -> Result<(), ClusterError> {
+        if matches!(self.spec_of(key), StrategySpec::RoundRobin { .. }) {
+            self.peers[0].call(&req).await?;
+            return Ok(());
+        }
+        let order = self.rng.shuffled_servers(self.n());
+        let mut last_err = ClusterError::NoServerAvailable;
+        for s in order {
+            match self.peers[s.index()].call(&req).await {
+                Ok(_) => return Ok(()),
+                Err(err @ ClusterError::Io(_)) => last_err = err, // try the next server
+                Err(other) => return Err(other),
+            }
+        }
+        Err(last_err)
+    }
+
+    /// `place`: batch-specify a key's entries (§2), under the cluster's
+    /// default strategy.
+    ///
+    /// # Errors
+    ///
+    /// [`ClusterError::NoServerAvailable`] when every server is
+    /// unreachable; remote/protocol errors otherwise.
+    pub async fn place(&mut self, key: &[u8], entries: Vec<Entry>) -> Result<(), ClusterError> {
+        self.update(key, Request::Place { key: key.to_vec(), entries, spec: None }).await
+    }
+
+    /// `place` with a per-key strategy override (§2: "different
+    /// strategies can be used to manage different types of keys"). The
+    /// override is recorded client-side so this client's lookups and
+    /// update routing use the right procedure for the key.
+    ///
+    /// # Errors
+    ///
+    /// [`ClusterError::Config`] for an invalid spec;
+    /// [`ClusterError::Remote`] if the cluster already manages the key
+    /// under a different strategy; connectivity errors as
+    /// [`Client::place`].
+    pub async fn place_with_strategy(
+        &mut self,
+        key: &[u8],
+        entries: Vec<Entry>,
+        spec: StrategySpec,
+    ) -> Result<(), ClusterError> {
+        spec.validate(self.n())?;
+        self.key_specs.insert(key.to_vec(), spec);
+        self.update(key, Request::Place { key: key.to_vec(), entries, spec: Some(spec) }).await
+    }
+
+    /// `add(v)` (§5).
+    ///
+    /// # Errors
+    ///
+    /// As [`Client::place`]; for Round-Robin-y an unreachable server 0 is
+    /// an error (the coordinator bottleneck of §5.4).
+    pub async fn add(&mut self, key: &[u8], entry: Entry) -> Result<(), ClusterError> {
+        self.update(key, Request::Add { key: key.to_vec(), entry }).await
+    }
+
+    /// `delete(v)` (§5).
+    ///
+    /// # Errors
+    ///
+    /// As [`Client::add`].
+    pub async fn delete(&mut self, key: &[u8], entry: Entry) -> Result<(), ClusterError> {
+        self.update(key, Request::Delete { key: key.to_vec(), entry }).await
+    }
+
+    /// One probe against one server. `Err` means unreachable.
+    async fn probe(&self, s: ServerId, key: &[u8], t: usize) -> Result<Vec<Entry>, ClusterError> {
+        let req = Request::Probe { key: key.to_vec(), t: t as u32 };
+        match self.peers[s.index()].call(&req).await? {
+            Response::Entries(entries) => Ok(entries),
+            other => Err(ClusterError::Remote(format!("unexpected probe response {other:?}"))),
+        }
+    }
+
+    /// `partial_lookup(k, t)`: at least `t` distinct entries when the
+    /// surviving placement allows it, using the strategy's §3 client
+    /// procedure. Over-delivery from merged probes is trimmed to exactly
+    /// `t` (the §4.5 fairness model).
+    ///
+    /// # Errors
+    ///
+    /// [`ClusterError::Service`] with [`ServiceError::ZeroTarget`] if
+    /// `t == 0`; [`ClusterError::NoServerAvailable`] when no server could
+    /// be reached at all. Fewer than `t` results (from a degraded
+    /// placement) is **not** an error — callers check the length.
+    pub async fn partial_lookup(
+        &mut self,
+        key: &[u8],
+        t: usize,
+    ) -> Result<Vec<Entry>, ClusterError> {
+        if t == 0 {
+            return Err(ClusterError::Service(ServiceError::ZeroTarget));
+        }
+        match self.spec_of(key) {
+            StrategySpec::FullReplication | StrategySpec::Fixed { .. } => {
+                self.lookup_single(key, t).await
+            }
+            StrategySpec::RandomServer { .. } | StrategySpec::Hash { .. } => {
+                let order = self.rng.shuffled_servers(self.n());
+                self.lookup_merge(key, t, order).await
+            }
+            StrategySpec::RoundRobin { y } => self.lookup_stride(key, t, y).await,
+        }
+    }
+
+    async fn lookup_single(&mut self, key: &[u8], t: usize) -> Result<Vec<Entry>, ClusterError> {
+        let order = self.rng.shuffled_servers(self.n());
+        for s in order {
+            match self.probe(s, key, t).await {
+                Ok(entries) => return Ok(entries),
+                Err(ClusterError::Io(_)) => continue, // failed server: pick another
+                Err(other) => return Err(other),
+            }
+        }
+        Err(ClusterError::NoServerAvailable)
+    }
+
+    async fn lookup_merge(
+        &mut self,
+        key: &[u8],
+        t: usize,
+        order: Vec<ServerId>,
+    ) -> Result<Vec<Entry>, ClusterError> {
+        let mut acc: Vec<Entry> = Vec::new();
+        let mut reached_any = false;
+        for s in order {
+            let answer = match self.probe(s, key, t).await {
+                Ok(a) => a,
+                Err(ClusterError::Io(_)) => continue,
+                Err(other) => return Err(other),
+            };
+            reached_any = true;
+            for v in answer {
+                if !acc.contains(&v) {
+                    acc.push(v);
+                }
+            }
+            if acc.len() >= t {
+                break;
+            }
+        }
+        if !reached_any {
+            return Err(ClusterError::NoServerAvailable);
+        }
+        Ok(self.trim(acc, t))
+    }
+
+    async fn lookup_stride(
+        &mut self,
+        key: &[u8],
+        t: usize,
+        y: usize,
+    ) -> Result<Vec<Entry>, ClusterError> {
+        let n = self.n();
+        let start = self.rng.random_server(n);
+        let mut visited = vec![false; n];
+        let mut acc: Vec<Entry> = Vec::new();
+        let mut reached_any = false;
+
+        // Phase 1: deterministic stride walk; abandoned on the first
+        // unreachable server (§3.4's "choose random servers instead").
+        let mut cur = start;
+        while !visited[cur.index()] && acc.len() < t {
+            visited[cur.index()] = true;
+            match self.probe(cur, key, t).await {
+                Ok(answer) => {
+                    reached_any = true;
+                    for v in answer {
+                        if !acc.contains(&v) {
+                            acc.push(v);
+                        }
+                    }
+                }
+                Err(ClusterError::Io(_)) => break,
+                Err(other) => return Err(other),
+            }
+            cur = cur.wrapping_add(y, n);
+        }
+
+        // Phase 2: random probing of whatever the walk did not reach.
+        if acc.len() < t {
+            let mut rest: Vec<ServerId> =
+                (0..n as u32).map(ServerId::new).filter(|s| !visited[s.index()]).collect();
+            self.rng.shuffle(&mut rest);
+            for s in rest {
+                match self.probe(s, key, t).await {
+                    Ok(answer) => {
+                        reached_any = true;
+                        for v in answer {
+                            if !acc.contains(&v) {
+                                acc.push(v);
+                            }
+                        }
+                    }
+                    Err(ClusterError::Io(_)) => continue,
+                    Err(other) => return Err(other),
+                }
+                if acc.len() >= t {
+                    break;
+                }
+            }
+        }
+
+        if !reached_any {
+            return Err(ClusterError::NoServerAvailable);
+        }
+        Ok(self.trim(acc, t))
+    }
+
+    fn trim(&mut self, acc: Vec<Entry>, t: usize) -> Vec<Entry> {
+        if acc.len() > t {
+            self.rng.subset(&acc, t)
+        } else {
+            acc
+        }
+    }
+
+    /// Like [`Client::partial_lookup`], but probes up to `fanout` servers
+    /// **concurrently** per wave instead of one at a time — trading some
+    /// extra server load (later probes in a wave may be unnecessary) for
+    /// lower lookup latency, useful for the merging strategies
+    /// (RandomServer-x, Hash-y) whose sequential probing pays one round
+    /// trip per contacted server.
+    ///
+    /// Probes servers in a uniformly random order regardless of the
+    /// key's strategy (wave probing has no use for the stride walk's
+    /// sequencing). Unreachable servers are skipped; over-delivery is
+    /// trimmed to exactly `t`.
+    ///
+    /// # Errors
+    ///
+    /// As [`Client::partial_lookup`]; additionally
+    /// [`ClusterError::Service`] with [`ServiceError::ZeroTarget`] when
+    /// `fanout == 0`.
+    pub async fn partial_lookup_parallel(
+        &mut self,
+        key: &[u8],
+        t: usize,
+        fanout: usize,
+    ) -> Result<Vec<Entry>, ClusterError> {
+        if t == 0 || fanout == 0 {
+            return Err(ClusterError::Service(ServiceError::ZeroTarget));
+        }
+        let order = self.rng.shuffled_servers(self.n());
+        let mut acc: Vec<Entry> = Vec::new();
+        let mut reached_any = false;
+        for wave in order.chunks(fanout) {
+            let mut tasks = tokio::task::JoinSet::new();
+            for &s in wave {
+                let peers = std::sync::Arc::clone(&self.peers);
+                let req = Request::Probe { key: key.to_vec(), t: t as u32 };
+                tasks.spawn(async move { peers[s.index()].call(&req).await });
+            }
+            while let Some(joined) = tasks.join_next().await {
+                match joined.expect("probe task never panics") {
+                    Ok(Response::Entries(entries)) => {
+                        reached_any = true;
+                        for v in entries {
+                            if !acc.contains(&v) {
+                                acc.push(v);
+                            }
+                        }
+                    }
+                    Ok(other) => {
+                        return Err(ClusterError::Remote(format!(
+                            "unexpected probe response {other:?}"
+                        )))
+                    }
+                    Err(ClusterError::Io(_)) => continue,
+                    Err(other) => return Err(other),
+                }
+            }
+            if acc.len() >= t {
+                break;
+            }
+        }
+        if !reached_any {
+            return Err(ClusterError::NoServerAvailable);
+        }
+        Ok(self.trim(acc, t))
+    }
+
+    /// Queries the cluster for a key's strategy and records it locally,
+    /// so this client's lookups use the right procedure even for keys
+    /// placed by other clients. Returns the discovered strategy, or
+    /// `None` when no reachable server knows the key.
+    ///
+    /// # Errors
+    ///
+    /// [`ClusterError::NoServerAvailable`] when every server is
+    /// unreachable.
+    pub async fn refresh_spec(
+        &mut self,
+        key: &[u8],
+    ) -> Result<Option<StrategySpec>, ClusterError> {
+        let order = self.rng.shuffled_servers(self.n());
+        let mut reached_any = false;
+        for s in order {
+            match self.peers[s.index()].call(&Request::SpecOf { key: key.to_vec() }).await {
+                Ok(Response::SpecOf(Some(spec))) => {
+                    self.key_specs.insert(key.to_vec(), spec);
+                    return Ok(Some(spec));
+                }
+                Ok(_) => reached_any = true, // server up but key unknown there
+                Err(ClusterError::Io(_)) => continue,
+                Err(other) => return Err(other),
+            }
+        }
+        if reached_any {
+            Ok(None)
+        } else {
+            Err(ClusterError::NoServerAvailable)
+        }
+    }
+
+    /// Diagnostic: `(keys, entries)` stored at one server.
+    ///
+    /// # Errors
+    ///
+    /// I/O errors when the server is unreachable.
+    pub async fn status_of(&self, server: usize) -> Result<(u64, u64), ClusterError> {
+        match self.peers[server].call(&Request::Status).await? {
+            Response::Status { keys, entries } => Ok((keys, entries)),
+            other => Err(ClusterError::Remote(format!("unexpected status response {other:?}"))),
+        }
+    }
+}

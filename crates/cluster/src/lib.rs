@@ -1,0 +1,109 @@
+//! Networked deployment of the partial lookup service.
+//!
+//! The paper envisions an online directory (Napster-style song lookup,
+//! DNS-style name resolution). This crate turns the protocol engines of
+//! `pls-core` into exactly that: `n` TCP servers plus a client library,
+//! managing **many keys**, each under its own placement strategy.
+//!
+//! * Every server runs one [`pls_core::engine::NodeEngine`] per key — the
+//!   same state machine the simulator executes, so the deployed protocol
+//!   is the validated one.
+//! * The wire format is a hand-rolled length-prefixed binary encoding
+//!   ([`wire`], [`proto`]); no serialization framework needed.
+//! * Server-to-server traffic (store/remove/migrate fan-out) is carried
+//!   as [`proto::Request::Internal`] RPCs with acknowledged, in-order
+//!   delivery per sender — the ordering the engines rely on.
+//! * The client ([`Client`]) implements the §3 lookup procedures over
+//!   sockets: single-probe for full replication and Fixed-x, shuffled
+//!   probing with merging for RandomServer-x and Hash-y, the stride walk
+//!   for Round-Robin-y; failed servers are skipped exactly as in the
+//!   paper.
+//!
+//! # Example
+//!
+//! ```no_run
+//! use pls_cluster::{Client, ClientConfig, Server, ServerConfig};
+//! use pls_core::StrategySpec;
+//!
+//! # async fn demo() -> Result<(), Box<dyn std::error::Error>> {
+//! // Normally each server runs in its own process (see the pls-server
+//! // binary); here, in one process for brevity.
+//! let addrs: Vec<std::net::SocketAddr> =
+//!     (0..3).map(|i| format!("127.0.0.1:{}", 7400 + i).parse().unwrap()).collect();
+//! for i in 0..3 {
+//!     let cfg = ServerConfig::new(i, addrs.clone(), StrategySpec::hash(2), 42);
+//!     let (server, _addr) = Server::bind(cfg).await?;
+//!     tokio::spawn(server.run());
+//! }
+//! let mut client = Client::connect(ClientConfig::new(addrs, StrategySpec::hash(2), 1));
+//! client.place(b"song/stairway", vec![b"peer1:6699".to_vec(), b"peer2:6699".to_vec()]).await?;
+//! let hits = client.partial_lookup(b"song/stairway", 1).await?;
+//! assert!(!hits.is_empty());
+//! # Ok(()) }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod client;
+mod error;
+pub mod proto;
+mod rpc;
+mod server;
+pub mod wire;
+
+pub use client::{Client, ClientConfig};
+pub use error::ClusterError;
+pub use server::{Server, ServerConfig};
+
+/// Parses a strategy spec from its CLI form: `full`, `fixed:20`,
+/// `random:20`, `round:2`, or `hash:2`.
+///
+/// # Errors
+///
+/// Returns a human-readable message for unknown names or missing/invalid
+/// parameters.
+pub fn parse_spec(s: &str) -> Result<pls_core::StrategySpec, String> {
+    use pls_core::StrategySpec;
+    let (name, param) = match s.split_once(':') {
+        Some((name, param)) => (name, Some(param)),
+        None => (s, None),
+    };
+    let parse_param = || -> Result<usize, String> {
+        let raw = param.ok_or_else(|| format!("strategy `{name}` needs a parameter, e.g. `{name}:20`"))?;
+        raw.parse::<usize>().map_err(|_| format!("invalid parameter `{raw}` for strategy `{name}`"))
+    };
+    match name {
+        "full" | "full-replication" => Ok(StrategySpec::full_replication()),
+        "fixed" => Ok(StrategySpec::fixed(parse_param()?)),
+        "random" | "random-server" => Ok(StrategySpec::random_server(parse_param()?)),
+        "round" | "round-robin" => Ok(StrategySpec::round_robin(parse_param()?)),
+        "hash" => Ok(StrategySpec::hash(parse_param()?)),
+        other => Err(format!(
+            "unknown strategy `{other}` (expected full, fixed:X, random:X, round:Y, hash:Y)"
+        )),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pls_core::StrategySpec;
+
+    #[test]
+    fn parse_spec_accepts_all_forms() {
+        assert_eq!(parse_spec("full"), Ok(StrategySpec::full_replication()));
+        assert_eq!(parse_spec("fixed:20"), Ok(StrategySpec::fixed(20)));
+        assert_eq!(parse_spec("random:20"), Ok(StrategySpec::random_server(20)));
+        assert_eq!(parse_spec("random-server:5"), Ok(StrategySpec::random_server(5)));
+        assert_eq!(parse_spec("round:2"), Ok(StrategySpec::round_robin(2)));
+        assert_eq!(parse_spec("hash:3"), Ok(StrategySpec::hash(3)));
+    }
+
+    #[test]
+    fn parse_spec_rejects_garbage() {
+        assert!(parse_spec("chord").is_err());
+        assert!(parse_spec("fixed").is_err());
+        assert!(parse_spec("fixed:abc").is_err());
+    }
+}

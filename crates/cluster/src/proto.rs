@@ -1,0 +1,600 @@
+//! The application protocol: requests, responses, and the encoding of
+//! `pls-core`'s strategy [`Message`]s.
+//!
+//! Every request/response is one frame (see [`crate::wire`]). The first
+//! payload byte is the opcode.
+
+use bytes::Bytes;
+use pls_core::{Message, StrategySpec};
+use pls_net::ServerId;
+
+use crate::error::ClusterError;
+use crate::wire::{Reader, Writer};
+
+/// A live-cluster entry: an opaque byte string (peer address, URL, …).
+pub type Entry = Vec<u8>;
+
+/// A request frame.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Request {
+    /// Client: batch-specify the entries of a key.
+    Place {
+        /// The key.
+        key: Vec<u8>,
+        /// Its full entry set.
+        entries: Vec<Entry>,
+        /// Strategy override for this key (§2: "different strategies can
+        /// be used to manage different types of keys"); `None` uses the
+        /// cluster's default. Must be consistent across re-places of the
+        /// same key.
+        spec: Option<StrategySpec>,
+    },
+    /// Client: add one entry to a key.
+    Add {
+        /// The key.
+        key: Vec<u8>,
+        /// The new entry.
+        entry: Entry,
+    },
+    /// Client: delete one entry from a key.
+    Delete {
+        /// The key.
+        key: Vec<u8>,
+        /// The entry to remove.
+        entry: Entry,
+    },
+    /// Client: lookup probe — "return up to `t` random entries you store
+    /// for this key" (§3's per-server lookup behaviour).
+    Probe {
+        /// The key.
+        key: Vec<u8>,
+        /// The target answer size.
+        t: u32,
+    },
+    /// Server→server: a strategy-protocol message for a key, forwarded on
+    /// behalf of server `from`.
+    Internal {
+        /// Originating server (engines need it for migrate replies).
+        from: u32,
+        /// The key whose engine should process the message.
+        key: Vec<u8>,
+        /// The key's strategy when it differs from the cluster default,
+        /// so the receiver creates the engine under the right strategy
+        /// even if it never saw the client's `Place`.
+        spec: Option<StrategySpec>,
+        /// The engine message.
+        msg: Message<Entry>,
+    },
+    /// Diagnostics: key and entry counts.
+    Status,
+    /// Recovery: list every key this server manages.
+    Keys,
+    /// Recovery: a full snapshot of one key's local state (entries,
+    /// round-robin positions, coordinator counters).
+    Snapshot {
+        /// The key.
+        key: Vec<u8>,
+    },
+    /// Which strategy manages this key (lets a client that did not place
+    /// the key pick the right lookup procedure).
+    SpecOf {
+        /// The key.
+        key: Vec<u8>,
+    },
+}
+
+/// A response frame.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Response {
+    /// The request was applied.
+    Ok,
+    /// Probe answer.
+    Entries(Vec<Entry>),
+    /// Status answer: `(keys, total entries stored)`.
+    Status {
+        /// Number of keys this server manages.
+        keys: u64,
+        /// Total entries stored across keys.
+        entries: u64,
+    },
+    /// The request failed server-side.
+    Error(String),
+    /// Recovery: the keys this server manages.
+    Keys(Vec<Vec<u8>>),
+    /// Recovery: one key's local state.
+    Snapshot {
+        /// The locally stored entries.
+        entries: Vec<Entry>,
+        /// Round-robin `(position, entry)` pairs (empty for other
+        /// strategies).
+        positions: Vec<(u64, Entry)>,
+        /// Round-robin coordinator counters, if this server holds them.
+        counters: Option<(u64, u64)>,
+        /// The strategy this key is managed under at the donor (`None`
+        /// for unknown keys).
+        spec: Option<StrategySpec>,
+    },
+    /// The strategy managing a key (`None` when the key is unknown to
+    /// this server).
+    SpecOf(Option<StrategySpec>),
+}
+
+// ---- opcodes ----
+const REQ_PLACE: u8 = 0x01;
+const REQ_ADD: u8 = 0x02;
+const REQ_DELETE: u8 = 0x03;
+const REQ_PROBE: u8 = 0x04;
+const REQ_INTERNAL: u8 = 0x05;
+const REQ_STATUS: u8 = 0x06;
+const REQ_KEYS: u8 = 0x07;
+const REQ_SNAPSHOT: u8 = 0x08;
+const REQ_SPEC_OF: u8 = 0x09;
+
+const RESP_OK: u8 = 0x80;
+const RESP_ENTRIES: u8 = 0x81;
+const RESP_STATUS: u8 = 0x82;
+const RESP_KEYS: u8 = 0x83;
+const RESP_SNAPSHOT: u8 = 0x84;
+const RESP_SPEC_OF: u8 = 0x85;
+const RESP_ERROR: u8 = 0xFF;
+
+// ---- engine message opcodes ----
+const MSG_PLACE_REQ: u8 = 0x10;
+const MSG_ADD_REQ: u8 = 0x11;
+const MSG_DELETE_REQ: u8 = 0x12;
+const MSG_RESET: u8 = 0x13;
+const MSG_STORE_SET: u8 = 0x14;
+const MSG_CHOOSE_SUBSET: u8 = 0x15;
+const MSG_STORE: u8 = 0x16;
+const MSG_REMOVE: u8 = 0x17;
+const MSG_SAMPLED_STORE: u8 = 0x18;
+const MSG_COUNTED_REMOVE: u8 = 0x19;
+const MSG_RR_INIT: u8 = 0x1A;
+const MSG_RR_STORE: u8 = 0x1B;
+const MSG_RR_REMOVE: u8 = 0x1C;
+const MSG_MIGRATE_REQ: u8 = 0x1D;
+const MSG_MIGRATE_REP: u8 = 0x1E;
+const MSG_RR_REMOVE_AT: u8 = 0x1F;
+const MSG_RR_SET_COUNTERS: u8 = 0x20;
+
+// Strategy spec wire tags.
+const SPEC_NONE: u8 = 0;
+const SPEC_FULL: u8 = 1;
+const SPEC_FIXED: u8 = 2;
+const SPEC_RANDOM: u8 = 3;
+const SPEC_ROUND: u8 = 4;
+const SPEC_HASH: u8 = 5;
+
+fn encode_spec(w: &mut Writer, spec: &Option<StrategySpec>) {
+    match spec {
+        None => {
+            w.u8(SPEC_NONE);
+        }
+        Some(StrategySpec::FullReplication) => {
+            w.u8(SPEC_FULL);
+        }
+        Some(StrategySpec::Fixed { x }) => {
+            w.u8(SPEC_FIXED).u32(*x as u32);
+        }
+        Some(StrategySpec::RandomServer { x }) => {
+            w.u8(SPEC_RANDOM).u32(*x as u32);
+        }
+        Some(StrategySpec::RoundRobin { y }) => {
+            w.u8(SPEC_ROUND).u32(*y as u32);
+        }
+        Some(StrategySpec::Hash { y }) => {
+            w.u8(SPEC_HASH).u32(*y as u32);
+        }
+    }
+}
+
+fn decode_spec(r: &mut Reader) -> Result<Option<StrategySpec>, ClusterError> {
+    let tag = r.u8("spec tag")?;
+    Ok(match tag {
+        SPEC_NONE => None,
+        SPEC_FULL => Some(StrategySpec::FullReplication),
+        SPEC_FIXED => Some(StrategySpec::Fixed { x: r.u32("spec x")? as usize }),
+        SPEC_RANDOM => Some(StrategySpec::RandomServer { x: r.u32("spec x")? as usize }),
+        SPEC_ROUND => Some(StrategySpec::RoundRobin { y: r.u32("spec y")? as usize }),
+        SPEC_HASH => Some(StrategySpec::Hash { y: r.u32("spec y")? as usize }),
+        _ => return Err(ClusterError::Decode("spec tag")),
+    })
+}
+
+fn encode_msg(w: &mut Writer, msg: &Message<Entry>) {
+    match msg {
+        Message::PlaceReq { entries } => {
+            w.u8(MSG_PLACE_REQ).bytes_list(entries);
+        }
+        Message::AddReq { v } => {
+            w.u8(MSG_ADD_REQ).bytes(v);
+        }
+        Message::DeleteReq { v } => {
+            w.u8(MSG_DELETE_REQ).bytes(v);
+        }
+        Message::Reset => {
+            w.u8(MSG_RESET);
+        }
+        Message::StoreSet { entries } => {
+            w.u8(MSG_STORE_SET).bytes_list(entries);
+        }
+        Message::ChooseSubset { entries, x } => {
+            w.u8(MSG_CHOOSE_SUBSET).u32(*x as u32).bytes_list(entries);
+        }
+        Message::Store { v } => {
+            w.u8(MSG_STORE).bytes(v);
+        }
+        Message::Remove { v } => {
+            w.u8(MSG_REMOVE).bytes(v);
+        }
+        Message::SampledStore { v, x } => {
+            w.u8(MSG_SAMPLED_STORE).u32(*x as u32).bytes(v);
+        }
+        Message::CountedRemove { v } => {
+            w.u8(MSG_COUNTED_REMOVE).bytes(v);
+        }
+        Message::RrInit { h } => {
+            w.u8(MSG_RR_INIT).u64(*h);
+        }
+        Message::RrStore { v, pos } => {
+            w.u8(MSG_RR_STORE).u64(*pos).bytes(v);
+        }
+        Message::RrRemove { v, head_pos } => {
+            w.u8(MSG_RR_REMOVE).u64(*head_pos).bytes(v);
+        }
+        Message::MigrateReq { v, dest_pos } => {
+            w.u8(MSG_MIGRATE_REQ).u64(*dest_pos).bytes(v);
+        }
+        Message::MigrateRep { v, dest_pos, replacement } => {
+            w.u8(MSG_MIGRATE_REP).u64(*dest_pos).bytes(v);
+            match replacement {
+                Some(u) => {
+                    w.u8(1).bytes(u);
+                }
+                None => {
+                    w.u8(0);
+                }
+            }
+        }
+        Message::RrRemoveAt { pos } => {
+            w.u8(MSG_RR_REMOVE_AT).u64(*pos);
+        }
+        Message::RrSetCounters { head, tail } => {
+            w.u8(MSG_RR_SET_COUNTERS).u64(*head).u64(*tail);
+        }
+    }
+}
+
+fn decode_msg(r: &mut Reader) -> Result<Message<Entry>, ClusterError> {
+    let op = r.u8("msg opcode")?;
+    let msg = match op {
+        MSG_PLACE_REQ => Message::PlaceReq { entries: r.bytes_list("place entries")? },
+        MSG_ADD_REQ => Message::AddReq { v: r.bytes("add entry")? },
+        MSG_DELETE_REQ => Message::DeleteReq { v: r.bytes("delete entry")? },
+        MSG_RESET => Message::Reset,
+        MSG_STORE_SET => Message::StoreSet { entries: r.bytes_list("store set")? },
+        MSG_CHOOSE_SUBSET => {
+            let x = r.u32("choose x")? as usize;
+            Message::ChooseSubset { entries: r.bytes_list("choose entries")?, x }
+        }
+        MSG_STORE => Message::Store { v: r.bytes("store entry")? },
+        MSG_REMOVE => Message::Remove { v: r.bytes("remove entry")? },
+        MSG_SAMPLED_STORE => {
+            let x = r.u32("sampled x")? as usize;
+            Message::SampledStore { v: r.bytes("sampled entry")?, x }
+        }
+        MSG_COUNTED_REMOVE => Message::CountedRemove { v: r.bytes("counted entry")? },
+        MSG_RR_INIT => Message::RrInit { h: r.u64("rr h")? },
+        MSG_RR_STORE => {
+            let pos = r.u64("rr pos")?;
+            Message::RrStore { v: r.bytes("rr entry")?, pos }
+        }
+        MSG_RR_REMOVE => {
+            let head_pos = r.u64("rr head")?;
+            Message::RrRemove { v: r.bytes("rr entry")?, head_pos }
+        }
+        MSG_MIGRATE_REQ => {
+            let dest_pos = r.u64("migrate pos")?;
+            Message::MigrateReq { v: r.bytes("migrate entry")?, dest_pos }
+        }
+        MSG_MIGRATE_REP => {
+            let dest_pos = r.u64("migrate pos")?;
+            let v = r.bytes("migrate entry")?;
+            let replacement = match r.u8("replacement flag")? {
+                0 => None,
+                1 => Some(r.bytes("replacement")?),
+                _ => return Err(ClusterError::Decode("replacement flag")),
+            };
+            Message::MigrateRep { v, dest_pos, replacement }
+        }
+        MSG_RR_REMOVE_AT => Message::RrRemoveAt { pos: r.u64("rr pos")? },
+        MSG_RR_SET_COUNTERS => {
+            Message::RrSetCounters { head: r.u64("rr head")?, tail: r.u64("rr tail")? }
+        }
+        _ => return Err(ClusterError::Decode("msg opcode")),
+    };
+    Ok(msg)
+}
+
+impl Request {
+    /// Encodes the request into a frame payload.
+    pub fn encode(&self) -> Bytes {
+        let mut w = Writer::new();
+        match self {
+            Request::Place { key, entries, spec } => {
+                w.u8(REQ_PLACE).bytes(key).bytes_list(entries);
+                encode_spec(&mut w, spec);
+            }
+            Request::Add { key, entry } => {
+                w.u8(REQ_ADD).bytes(key).bytes(entry);
+            }
+            Request::Delete { key, entry } => {
+                w.u8(REQ_DELETE).bytes(key).bytes(entry);
+            }
+            Request::Probe { key, t } => {
+                w.u8(REQ_PROBE).bytes(key).u32(*t);
+            }
+            Request::Internal { from, key, spec, msg } => {
+                w.u8(REQ_INTERNAL).u32(*from).bytes(key);
+                encode_spec(&mut w, spec);
+                encode_msg(&mut w, msg);
+            }
+            Request::Status => {
+                w.u8(REQ_STATUS);
+            }
+            Request::Keys => {
+                w.u8(REQ_KEYS);
+            }
+            Request::Snapshot { key } => {
+                w.u8(REQ_SNAPSHOT).bytes(key);
+            }
+            Request::SpecOf { key } => {
+                w.u8(REQ_SPEC_OF).bytes(key);
+            }
+        }
+        w.into_payload()
+    }
+
+    /// Decodes a request from a frame payload.
+    ///
+    /// # Errors
+    ///
+    /// [`ClusterError::Decode`] on malformed input.
+    pub fn decode(payload: Bytes) -> Result<Self, ClusterError> {
+        let mut r = Reader::new(payload);
+        let op = r.u8("request opcode")?;
+        let req = match op {
+            REQ_PLACE => {
+                let key = r.bytes("key")?;
+                let entries = r.bytes_list("entries")?;
+                let spec = decode_spec(&mut r)?;
+                Request::Place { key, entries, spec }
+            }
+            REQ_ADD => Request::Add { key: r.bytes("key")?, entry: r.bytes("entry")? },
+            REQ_DELETE => Request::Delete { key: r.bytes("key")?, entry: r.bytes("entry")? },
+            REQ_PROBE => Request::Probe { key: r.bytes("key")?, t: r.u32("t")? },
+            REQ_INTERNAL => {
+                let from = r.u32("from")?;
+                let key = r.bytes("key")?;
+                let spec = decode_spec(&mut r)?;
+                let msg = decode_msg(&mut r)?;
+                Request::Internal { from, key, spec, msg }
+            }
+            REQ_STATUS => Request::Status,
+            REQ_KEYS => Request::Keys,
+            REQ_SNAPSHOT => Request::Snapshot { key: r.bytes("key")? },
+            REQ_SPEC_OF => Request::SpecOf { key: r.bytes("key")? },
+            _ => return Err(ClusterError::Decode("request opcode")),
+        };
+        r.finish("request")?;
+        Ok(req)
+    }
+
+    /// The originating server as an endpoint, for `Internal` requests.
+    pub fn internal_sender(from: u32) -> pls_net::Endpoint {
+        pls_net::Endpoint::Server(ServerId::new(from))
+    }
+}
+
+impl Response {
+    /// Encodes the response into a frame payload.
+    pub fn encode(&self) -> Bytes {
+        let mut w = Writer::new();
+        match self {
+            Response::Ok => {
+                w.u8(RESP_OK);
+            }
+            Response::Entries(entries) => {
+                w.u8(RESP_ENTRIES).bytes_list(entries);
+            }
+            Response::Status { keys, entries } => {
+                w.u8(RESP_STATUS).u64(*keys).u64(*entries);
+            }
+            Response::Error(msg) => {
+                w.u8(RESP_ERROR).bytes(msg.as_bytes());
+            }
+            Response::Keys(keys) => {
+                w.u8(RESP_KEYS).bytes_list(keys);
+            }
+            Response::Snapshot { entries, positions, counters, spec } => {
+                w.u8(RESP_SNAPSHOT).bytes_list(entries);
+                w.u32(positions.len() as u32);
+                for (pos, v) in positions {
+                    w.u64(*pos).bytes(v);
+                }
+                match counters {
+                    Some((head, tail)) => {
+                        w.u8(1).u64(*head).u64(*tail);
+                    }
+                    None => {
+                        w.u8(0);
+                    }
+                }
+                encode_spec(&mut w, spec);
+            }
+            Response::SpecOf(spec) => {
+                w.u8(RESP_SPEC_OF);
+                encode_spec(&mut w, spec);
+            }
+        }
+        w.into_payload()
+    }
+
+    /// Decodes a response from a frame payload.
+    ///
+    /// # Errors
+    ///
+    /// [`ClusterError::Decode`] on malformed input.
+    pub fn decode(payload: Bytes) -> Result<Self, ClusterError> {
+        let mut r = Reader::new(payload);
+        let op = r.u8("response opcode")?;
+        let resp = match op {
+            RESP_OK => Response::Ok,
+            RESP_ENTRIES => Response::Entries(r.bytes_list("entries")?),
+            RESP_STATUS => Response::Status { keys: r.u64("keys")?, entries: r.u64("entries")? },
+            RESP_ERROR => {
+                let raw = r.bytes("error message")?;
+                Response::Error(String::from_utf8_lossy(&raw).into_owned())
+            }
+            RESP_KEYS => Response::Keys(r.bytes_list("keys")?),
+            RESP_SNAPSHOT => {
+                let entries = r.bytes_list("snapshot entries")?;
+                let count = r.u32("position count")? as usize;
+                if count > crate::wire::MAX_FRAME / 8 {
+                    return Err(ClusterError::Decode("position count"));
+                }
+                let mut positions = Vec::with_capacity(count.min(1024));
+                for _ in 0..count {
+                    let pos = r.u64("position")?;
+                    positions.push((pos, r.bytes("position entry")?));
+                }
+                let counters = match r.u8("counter flag")? {
+                    0 => None,
+                    1 => Some((r.u64("head")?, r.u64("tail")?)),
+                    _ => return Err(ClusterError::Decode("counter flag")),
+                };
+                let spec = decode_spec(&mut r)?;
+                Response::Snapshot { entries, positions, counters, spec }
+            }
+            RESP_SPEC_OF => Response::SpecOf(decode_spec(&mut r)?),
+            _ => return Err(ClusterError::Decode("response opcode")),
+        };
+        r.finish("response")?;
+        Ok(resp)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn roundtrip_req(req: Request) {
+        let decoded = Request::decode(req.encode()).unwrap();
+        assert_eq!(decoded, req);
+    }
+
+    fn roundtrip_resp(resp: Response) {
+        let decoded = Response::decode(resp.encode()).unwrap();
+        assert_eq!(decoded, resp);
+    }
+
+    #[test]
+    fn request_roundtrips() {
+        roundtrip_req(Request::Place {
+            key: b"song".to_vec(),
+            entries: vec![b"a".to_vec(), b"bb".to_vec()],
+            spec: None,
+        });
+        for spec in [
+            StrategySpec::full_replication(),
+            StrategySpec::fixed(20),
+            StrategySpec::random_server(7),
+            StrategySpec::round_robin(2),
+            StrategySpec::hash(3),
+        ] {
+            roundtrip_req(Request::Place {
+                key: b"song".to_vec(),
+                entries: vec![],
+                spec: Some(spec),
+            });
+        }
+        roundtrip_req(Request::Add { key: b"k".to_vec(), entry: b"e".to_vec() });
+        roundtrip_req(Request::Delete { key: vec![], entry: vec![0, 1, 255] });
+        roundtrip_req(Request::Probe { key: b"k".to_vec(), t: 42 });
+        roundtrip_req(Request::Status);
+    }
+
+    #[test]
+    fn internal_message_roundtrips() {
+        let msgs: Vec<Message<Entry>> = vec![
+            Message::PlaceReq { entries: vec![b"x".to_vec()] },
+            Message::AddReq { v: b"v".to_vec() },
+            Message::DeleteReq { v: b"v".to_vec() },
+            Message::Reset,
+            Message::StoreSet { entries: vec![] },
+            Message::ChooseSubset { entries: vec![b"a".to_vec()], x: 3 },
+            Message::Store { v: b"v".to_vec() },
+            Message::Remove { v: b"v".to_vec() },
+            Message::SampledStore { v: b"v".to_vec(), x: 20 },
+            Message::CountedRemove { v: b"v".to_vec() },
+            Message::RrInit { h: 100 },
+            Message::RrStore { v: b"v".to_vec(), pos: 7 },
+            Message::RrRemove { v: b"v".to_vec(), head_pos: 3 },
+            Message::MigrateReq { v: b"v".to_vec(), dest_pos: 9 },
+            Message::MigrateRep { v: b"v".to_vec(), dest_pos: 9, replacement: None },
+            Message::MigrateRep {
+                v: b"v".to_vec(),
+                dest_pos: 9,
+                replacement: Some(b"u".to_vec()),
+            },
+            Message::RrRemoveAt { pos: 11 },
+            Message::RrSetCounters { head: 4, tail: 19 },
+        ];
+        for msg in msgs {
+            roundtrip_req(Request::Internal { from: 2, key: b"k".to_vec(), spec: None, msg });
+        }
+        roundtrip_req(Request::Internal {
+            from: 0,
+            key: b"k".to_vec(),
+            spec: Some(StrategySpec::round_robin(2)),
+            msg: Message::Reset,
+        });
+    }
+
+    #[test]
+    fn response_roundtrips() {
+        roundtrip_resp(Response::Ok);
+        roundtrip_resp(Response::Entries(vec![b"x".to_vec(), vec![]]));
+        roundtrip_resp(Response::Status { keys: 3, entries: 999 });
+        roundtrip_resp(Response::Error("kaput".into()));
+    }
+
+    #[test]
+    fn junk_is_rejected_not_panicking() {
+        assert!(Request::decode(Bytes::from_static(&[0x77])).is_err());
+        assert!(Response::decode(Bytes::from_static(&[])).is_err());
+        // Truncated internal message.
+        let mut w = Writer::new();
+        w.u8(REQ_INTERNAL).u32(1).bytes(b"k").u8(SPEC_NONE).u8(MSG_RR_STORE).u64(3);
+        assert!(Request::decode(w.into_payload()).is_err());
+    }
+
+    proptest! {
+        /// Arbitrary byte payloads never panic the decoder.
+        #[test]
+        fn decoder_is_total(data in proptest::collection::vec(any::<u8>(), 0..256)) {
+            let _ = Request::decode(Bytes::from(data.clone()));
+            let _ = Response::decode(Bytes::from(data));
+        }
+
+        /// Arbitrary probe/add requests roundtrip.
+        #[test]
+        fn fuzz_roundtrip(key in proptest::collection::vec(any::<u8>(), 0..32),
+                          entry in proptest::collection::vec(any::<u8>(), 0..32),
+                          t in any::<u32>()) {
+            roundtrip_req(Request::Probe { key: key.clone(), t });
+            roundtrip_req(Request::Add { key, entry });
+        }
+    }
+}

@@ -1,0 +1,221 @@
+//! Pooled per-peer RPC connections.
+//!
+//! Each [`PeerClient`] keeps a small pool of TCP connections to one peer.
+//! A call takes a connection out of the pool (or dials a new one),
+//! performs a single request/response exchange, and returns the
+//! connection. Crucially, **no lock is held while a response is
+//! awaited**: concurrent calls to the same peer simply use different
+//! connections. A single mutually-exclusive connection would deadlock
+//! the round-robin migration protocol, whose RPC graph contains cycles
+//! (coordinator → holder → head server → holder).
+//!
+//! Ordering: messages whose relative order matters (a coordinator's
+//! `Reset` before its `RrStore`s, a head server's `MigrateRep` before its
+//! `RrRemoveAt`) are sent *sequentially from one task*, each awaited
+//! before the next is issued — so they are ordered by causality, not by
+//! connection.
+
+use std::net::SocketAddr;
+use std::sync::Mutex;
+
+use tokio::net::TcpStream;
+
+use crate::error::ClusterError;
+use crate::proto::{Request, Response};
+use crate::wire::{read_frame, write_frame};
+
+/// Connections kept per peer; extras beyond this are closed on return.
+const POOL_SIZE: usize = 4;
+
+/// Performs one request/response exchange on an established stream.
+pub async fn exchange(stream: &mut TcpStream, req: &Request) -> Result<Response, ClusterError> {
+    write_frame(stream, &req.encode()).await?;
+    let payload = read_frame(stream)
+        .await?
+        .ok_or_else(|| ClusterError::Io(std::io::ErrorKind::UnexpectedEof.into()))?;
+    Response::decode(payload)
+}
+
+/// A lazily-connected pool of RPC connections to one peer address.
+#[derive(Debug)]
+pub struct PeerClient {
+    addr: SocketAddr,
+    pool: Mutex<Vec<TcpStream>>,
+}
+
+impl PeerClient {
+    /// Creates a client for `addr`; no connection is made until the
+    /// first call.
+    pub fn new(addr: SocketAddr) -> Self {
+        PeerClient { addr, pool: Mutex::new(Vec::new()) }
+    }
+
+    /// The peer's address.
+    #[allow(dead_code)] // kept for diagnostics
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    fn take(&self) -> Option<TcpStream> {
+        self.pool.lock().expect("pool lock").pop()
+    }
+
+    fn put_back(&self, stream: TcpStream) {
+        let mut pool = self.pool.lock().expect("pool lock");
+        if pool.len() < POOL_SIZE {
+            pool.push(stream);
+        }
+    }
+
+    /// Sends `req` and awaits the response on a pooled or fresh
+    /// connection. A stale pooled connection is retried once with a
+    /// fresh dial.
+    ///
+    /// # Errors
+    ///
+    /// I/O errors (peer unreachable / connection torn mid-exchange);
+    /// decode errors; any [`Response::Error`] is surfaced as
+    /// [`ClusterError::Remote`].
+    pub async fn call(&self, req: &Request) -> Result<Response, ClusterError> {
+        if let Some(mut stream) = self.take() {
+            match exchange(&mut stream, req).await {
+                Ok(resp) => {
+                    self.put_back(stream);
+                    return ok_or_remote(resp);
+                }
+                Err(ClusterError::Io(_)) => { /* stale: fall through to a fresh dial */ }
+                Err(other) => return Err(other),
+            }
+        }
+        let mut stream = TcpStream::connect(self.addr).await?;
+        let resp = exchange(&mut stream, req).await?;
+        self.put_back(stream);
+        ok_or_remote(resp)
+    }
+}
+
+fn ok_or_remote(resp: Response) -> Result<Response, ClusterError> {
+    match resp {
+        Response::Error(msg) => Err(ClusterError::Remote(msg)),
+        other => Ok(other),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tokio::io::{AsyncReadExt, AsyncWriteExt};
+    use tokio::net::TcpListener;
+
+    /// A toy server answering every request with `Ok`.
+    async fn spawn_ok_server() -> SocketAddr {
+        let listener = TcpListener::bind("127.0.0.1:0").await.unwrap();
+        let addr = listener.local_addr().unwrap();
+        tokio::spawn(async move {
+            loop {
+                let (mut sock, _) = match listener.accept().await {
+                    Ok(x) => x,
+                    Err(_) => return,
+                };
+                tokio::spawn(async move {
+                    while let Ok(Some(payload)) = read_frame(&mut sock).await {
+                        let _ = Request::decode(payload);
+                        if write_frame(&mut sock, &Response::Ok.encode()).await.is_err() {
+                            return;
+                        }
+                    }
+                });
+            }
+        });
+        addr
+    }
+
+    #[tokio::test]
+    async fn call_roundtrip_and_reuse() {
+        let addr = spawn_ok_server().await;
+        let client = PeerClient::new(addr);
+        for _ in 0..5 {
+            let resp = client.call(&Request::Status).await.unwrap();
+            assert_eq!(resp, Response::Ok);
+        }
+        // The pool holds the reused connection.
+        assert_eq!(client.pool.lock().unwrap().len(), 1);
+    }
+
+    #[tokio::test]
+    async fn concurrent_calls_use_separate_connections() {
+        let addr = spawn_ok_server().await;
+        let client = std::sync::Arc::new(PeerClient::new(addr));
+        let mut tasks = Vec::new();
+        for _ in 0..8 {
+            let c = std::sync::Arc::clone(&client);
+            tasks.push(tokio::spawn(async move { c.call(&Request::Status).await }));
+        }
+        for t in tasks {
+            assert_eq!(t.await.unwrap().unwrap(), Response::Ok);
+        }
+        // Pool is capped.
+        assert!(client.pool.lock().unwrap().len() <= POOL_SIZE);
+    }
+
+    #[tokio::test]
+    async fn remote_error_is_surfaced() {
+        let listener = TcpListener::bind("127.0.0.1:0").await.unwrap();
+        let addr = listener.local_addr().unwrap();
+        tokio::spawn(async move {
+            let (mut sock, _) = listener.accept().await.unwrap();
+            let _ = read_frame(&mut sock).await;
+            write_frame(&mut sock, &Response::Error("nope".into()).encode()).await.unwrap();
+        });
+        let client = PeerClient::new(addr);
+        let err = client.call(&Request::Status).await.unwrap_err();
+        assert_eq!(err, ClusterError::Remote("nope".into()));
+    }
+
+    #[tokio::test]
+    async fn reconnects_after_peer_drops_connection() {
+        // A server that closes each connection after one exchange.
+        let listener = TcpListener::bind("127.0.0.1:0").await.unwrap();
+        let addr = listener.local_addr().unwrap();
+        tokio::spawn(async move {
+            loop {
+                let (mut sock, _) = match listener.accept().await {
+                    Ok(x) => x,
+                    Err(_) => return,
+                };
+                if read_frame(&mut sock).await.is_ok() {
+                    let _ = write_frame(&mut sock, &Response::Ok.encode()).await;
+                }
+                // Drop the socket: next call must reconnect.
+            }
+        });
+        let client = PeerClient::new(addr);
+        assert_eq!(client.call(&Request::Status).await.unwrap(), Response::Ok);
+        assert_eq!(client.call(&Request::Status).await.unwrap(), Response::Ok);
+    }
+
+    #[tokio::test]
+    async fn unreachable_peer_errors() {
+        // Bind-then-drop to get a (very likely) dead port.
+        let listener = TcpListener::bind("127.0.0.1:0").await.unwrap();
+        let addr = listener.local_addr().unwrap();
+        drop(listener);
+        let client = PeerClient::new(addr);
+        assert!(matches!(client.call(&Request::Status).await, Err(ClusterError::Io(_))));
+    }
+
+    #[tokio::test]
+    async fn garbage_response_is_decode_error() {
+        let listener = TcpListener::bind("127.0.0.1:0").await.unwrap();
+        let addr = listener.local_addr().unwrap();
+        tokio::spawn(async move {
+            let (mut sock, _) = listener.accept().await.unwrap();
+            let mut buf = [0u8; 64];
+            let _ = sock.read(&mut buf).await;
+            // A valid frame with an invalid opcode.
+            sock.write_all(&[0, 0, 0, 1, 0x33]).await.unwrap();
+        });
+        let client = PeerClient::new(addr);
+        assert!(matches!(client.call(&Request::Status).await, Err(ClusterError::Decode(_))));
+    }
+}

@@ -1,0 +1,521 @@
+//! The lookup server: one process, one `NodeEngine` per key.
+
+use std::collections::{HashMap, VecDeque};
+use std::net::SocketAddr;
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+use pls_core::engine::{NodeEngine, Outbound};
+use pls_core::{Message, StrategySpec};
+use pls_net::{Endpoint, ServerId};
+use tokio::net::{TcpListener, TcpStream};
+
+use crate::error::ClusterError;
+use crate::proto::{Entry, Request, Response};
+use crate::rpc::PeerClient;
+use crate::wire::{read_frame, write_frame};
+
+/// Static configuration of one server in the cluster.
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// This server's index in `peers`.
+    pub me: usize,
+    /// Every server's address, indexed by server id. `peers[me]` is the
+    /// address this server binds (port 0 picks an ephemeral port).
+    pub peers: Vec<SocketAddr>,
+    /// The placement strategy every key is managed under.
+    pub spec: StrategySpec,
+    /// Cluster-wide seed; **must be identical on every server** (it
+    /// derives the shared Hash-y function family).
+    pub seed: u64,
+}
+
+impl ServerConfig {
+    /// Convenience constructor.
+    pub fn new(me: usize, peers: Vec<SocketAddr>, spec: StrategySpec, seed: u64) -> Self {
+        ServerConfig { me, peers, spec, seed }
+    }
+}
+
+/// Shared server state.
+struct State {
+    cfg: ServerConfig,
+    engines: Mutex<HashMap<Vec<u8>, NodeEngine<Entry>>>,
+    /// Per-key strategy overrides (§2: different strategies for
+    /// different types of keys). Keys absent here use `cfg.spec`.
+    key_specs: Mutex<HashMap<Vec<u8>, StrategySpec>>,
+    peers: Vec<PeerClient>,
+}
+
+impl State {
+    fn me(&self) -> ServerId {
+        ServerId::new(self.cfg.me as u32)
+    }
+
+    fn n(&self) -> usize {
+        self.cfg.peers.len()
+    }
+
+    /// The strategy in effect for a key.
+    fn spec_of(&self, key: &[u8]) -> StrategySpec {
+        self.key_specs.lock().get(key).copied().unwrap_or(self.cfg.spec)
+    }
+
+    /// Records a per-key strategy override, rejecting conflicts with an
+    /// existing engine or a previously recorded override.
+    fn set_spec(&self, key: &[u8], spec: StrategySpec) -> Result<(), ClusterError> {
+        spec.validate(self.n())?;
+        let current = self.spec_of(key);
+        let engine_exists = self.engines.lock().contains_key(key);
+        if engine_exists && current != spec {
+            return Err(ClusterError::Remote(format!(
+                "key already managed under {current}; cannot switch to {spec}"
+            )));
+        }
+        self.key_specs.lock().insert(key.to_vec(), spec);
+        Ok(())
+    }
+
+    /// Seed for a key's engine: shared across servers so the Hash-y
+    /// family agrees cluster-wide (each engine mixes in `me` itself for
+    /// its private randomness).
+    fn key_seed(&self, key: &[u8]) -> u64 {
+        use std::hash::{Hash, Hasher};
+        let mut hasher = std::collections::hash_map::DefaultHasher::new();
+        key.hash(&mut hasher);
+        self.cfg.seed ^ hasher.finish()
+    }
+
+    /// Runs `f` against the key's engine (creating it on demand), without
+    /// holding the lock across awaits.
+    fn with_engine<R>(
+        &self,
+        key: &[u8],
+        f: impl FnOnce(&mut NodeEngine<Entry>) -> R,
+    ) -> Result<R, ClusterError> {
+        let spec = self.spec_of(key);
+        let mut map = self.engines.lock();
+        if !map.contains_key(key) {
+            let engine = NodeEngine::new(self.me(), self.n(), spec, self.key_seed(key))?;
+            map.insert(key.to_vec(), engine);
+        }
+        Ok(f(map.get_mut(key).expect("just inserted")))
+    }
+
+    /// Read-only access to a key's engine; unknown keys yield `None`
+    /// without materializing an engine (lookup probes and snapshots must
+    /// not fabricate state).
+    fn read_engine<R>(&self, key: &[u8], f: impl FnOnce(&mut NodeEngine<Entry>) -> R) -> Option<R> {
+        self.engines.lock().get_mut(key).map(f)
+    }
+}
+
+/// A running lookup server.
+///
+/// Create with [`Server::bind`], then drive with [`Server::run`]
+/// (typically inside `tokio::spawn`). Aborting the task is a crash —
+/// peers simply fail to reach this server, exactly the failure model of
+/// the paper.
+pub struct Server {
+    listener: TcpListener,
+    state: Arc<State>,
+}
+
+impl Server {
+    /// Binds the configured listen address (resolving port 0 to a real
+    /// ephemeral port) and returns the server plus the bound address.
+    ///
+    /// # Errors
+    ///
+    /// Bind errors; [`ClusterError::Config`] for an invalid strategy or
+    /// out-of-range `me`.
+    pub async fn bind(cfg: ServerConfig) -> Result<(Server, SocketAddr), ClusterError> {
+        if cfg.me >= cfg.peers.len() {
+            return Err(ClusterError::Config(pls_core::ConfigError::InvalidParameter(
+                "server index out of range",
+            )));
+        }
+        let listener = TcpListener::bind(cfg.peers[cfg.me]).await?;
+        Self::with_listener(cfg, listener)
+    }
+
+    /// Builds a server on an already-bound listener. Useful when the full
+    /// peer address list must be known before any server starts (bind all
+    /// listeners on ephemeral ports first, then construct the servers).
+    ///
+    /// # Errors
+    ///
+    /// [`ClusterError::Config`] for an invalid strategy or out-of-range
+    /// `me`; I/O errors from reading the listener's address.
+    pub fn with_listener(
+        cfg: ServerConfig,
+        listener: TcpListener,
+    ) -> Result<(Server, SocketAddr), ClusterError> {
+        if cfg.me >= cfg.peers.len() {
+            return Err(ClusterError::Config(pls_core::ConfigError::InvalidParameter(
+                "server index out of range",
+            )));
+        }
+        cfg.spec.validate(cfg.peers.len())?;
+        let addr = listener.local_addr()?;
+        let mut cfg = cfg;
+        cfg.peers[cfg.me] = addr;
+        let peers = cfg.peers.iter().map(|&a| PeerClient::new(a)).collect();
+        let state = Arc::new(State {
+            cfg,
+            engines: Mutex::new(HashMap::new()),
+            key_specs: Mutex::new(HashMap::new()),
+            peers,
+        });
+        Ok((Server { listener, state }, addr))
+    }
+
+    /// The full peer list with this server's resolved address.
+    pub fn peers(&self) -> &[SocketAddr] {
+        &self.state.cfg.peers
+    }
+
+    /// Cold-start recovery: pulls every key's state from the reachable
+    /// peers and rebuilds this server's share before serving. Returns
+    /// the number of keys recovered.
+    ///
+    /// Mirrors the simulator's `Cluster::recover_and_resync` per
+    /// strategy: copy a donor's store (full replication, Fixed-x),
+    /// redraw a random subset of the surviving coverage
+    /// (RandomServer-x), re-derive the hash assignment (Hash-y), or
+    /// re-fetch this server's round-robin positions and — for the
+    /// coordinator — the `head`/`tail` counters (Round-Robin-y; while
+    /// server 0 is down no round-robin update can run, so surviving
+    /// state is consistent).
+    ///
+    /// # Errors
+    ///
+    /// [`ClusterError::NoServerAvailable`] when no peer responds at all;
+    /// engine configuration errors.
+    pub async fn resync_from_peers(&self) -> Result<usize, ClusterError> {
+        let state = &self.state;
+        let me = state.me();
+        let me_idx = me.index();
+
+        // Discover the key universe from reachable peers.
+        let mut keys: Vec<Vec<u8>> = Vec::new();
+        let mut any_peer = false;
+        for (i, peer) in state.peers.iter().enumerate() {
+            if i == me_idx {
+                continue;
+            }
+            match peer.call(&Request::Keys).await {
+                Ok(Response::Keys(ks)) => {
+                    any_peer = true;
+                    for k in ks {
+                        if !keys.contains(&k) {
+                            keys.push(k);
+                        }
+                    }
+                }
+                Ok(_) | Err(_) => continue,
+            }
+        }
+        if !any_peer {
+            return Err(ClusterError::NoServerAvailable);
+        }
+
+        for key in &keys {
+            // Pull snapshots from every reachable peer.
+            let mut donor_entries: Vec<Vec<Entry>> = Vec::new();
+            let mut positions: std::collections::BTreeMap<u64, Entry> =
+                std::collections::BTreeMap::new();
+            let mut counters: Option<(u64, u64)> = None;
+            let mut key_spec: Option<StrategySpec> = None;
+            for (i, peer) in state.peers.iter().enumerate() {
+                if i == me_idx {
+                    continue;
+                }
+                if let Ok(Response::Snapshot {
+                    entries,
+                    positions: ps,
+                    counters: cs,
+                    spec: donor_spec,
+                }) = peer.call(&Request::Snapshot { key: key.clone() }).await
+                {
+                    donor_entries.push(entries);
+                    for (p, v) in ps {
+                        positions.insert(p, v);
+                    }
+                    counters = counters.or(cs);
+                    key_spec = key_spec.or(donor_spec);
+                }
+            }
+
+            // Adopt the donors' per-key strategy before any engine is
+            // created for this key.
+            let effective_spec = key_spec.unwrap_or(state.cfg.spec);
+            if effective_spec != state.cfg.spec {
+                state.set_spec(key, effective_spec)?;
+            }
+
+            // Rebuild the local engine through its own message protocol.
+            let feed = |m: Message<Entry>| state.with_engine(key, |e| e.handle(Endpoint::Server(me), m));
+            feed(Message::Reset)?;
+            match effective_spec {
+                StrategySpec::FullReplication | StrategySpec::Fixed { .. } => {
+                    if let Some(entries) = donor_entries.first() {
+                        feed(Message::StoreSet { entries: entries.clone() })?;
+                    }
+                }
+                StrategySpec::RandomServer { x } => {
+                    let mut union: Vec<Entry> = Vec::new();
+                    for entries in &donor_entries {
+                        for v in entries {
+                            if !union.contains(v) {
+                                union.push(v.clone());
+                            }
+                        }
+                    }
+                    feed(Message::ChooseSubset { entries: union, x })?;
+                }
+                StrategySpec::Hash { .. } => {
+                    let mut union: Vec<Entry> = Vec::new();
+                    for entries in &donor_entries {
+                        for v in entries {
+                            if !union.contains(v) {
+                                union.push(v.clone());
+                            }
+                        }
+                    }
+                    for v in union {
+                        let mine = state.with_engine(key, |e| e.assigns_to(&v, me))?;
+                        if mine {
+                            feed(Message::Store { v })?;
+                        }
+                    }
+                }
+                StrategySpec::RoundRobin { y } => {
+                    if me_idx == 0 {
+                        let (head, tail) = counters.unwrap_or_else(|| {
+                            match (positions.keys().next(), positions.keys().last()) {
+                                (Some(&lo), Some(&hi)) => (lo, hi + 1),
+                                _ => (0, 0),
+                            }
+                        });
+                        feed(Message::RrSetCounters { head, tail })?;
+                    }
+                    let n = state.n();
+                    for (pos, v) in positions {
+                        let base = ServerId::new((pos % n as u64) as u32);
+                        let holds = (0..y).any(|k| base.wrapping_add(k, n) == me);
+                        if holds {
+                            feed(Message::RrStore { v, pos })?;
+                        }
+                    }
+                }
+            }
+        }
+        Ok(keys.len())
+    }
+
+    /// Accept loop; runs until the task is dropped/aborted. Connection
+    /// handlers are owned by this future, so aborting it aborts them too
+    /// — the whole server dies at once, like a crashed process.
+    pub async fn run(self) {
+        let mut connections = tokio::task::JoinSet::new();
+        loop {
+            let (socket, _) = match self.listener.accept().await {
+                Ok(pair) => pair,
+                Err(err) => {
+                    eprintln!("pls-server[{}]: accept error: {err}", self.state.cfg.me);
+                    continue;
+                }
+            };
+            // Reap finished handlers so the set does not grow unbounded.
+            while connections.try_join_next().is_some() {}
+            let state = Arc::clone(&self.state);
+            connections.spawn(async move {
+                if let Err(err) = serve_connection(state, socket).await {
+                    // Connection teardown is normal; only report protocol
+                    // violations.
+                    if !matches!(err, ClusterError::Io(_)) {
+                        eprintln!("pls-server connection error: {err}");
+                    }
+                }
+            });
+        }
+    }
+}
+
+async fn serve_connection(state: Arc<State>, mut socket: TcpStream) -> Result<(), ClusterError> {
+    while let Some(payload) = read_frame(&mut socket).await? {
+        let response = match Request::decode(payload) {
+            Ok(req) => match handle_request(&state, req).await {
+                Ok(resp) => resp,
+                Err(err) => Response::Error(err.to_string()),
+            },
+            Err(err) => Response::Error(err.to_string()),
+        };
+        write_frame(&mut socket, &response.encode()).await?;
+    }
+    Ok(())
+}
+
+async fn handle_request(state: &Arc<State>, req: Request) -> Result<Response, ClusterError> {
+    match req {
+        Request::Place { key, entries, spec } => {
+            if let Some(spec) = spec {
+                state.set_spec(&key, spec)?;
+            }
+            apply(state, &key, Endpoint::client(0), Message::PlaceReq { entries }).await?;
+            Ok(Response::Ok)
+        }
+        Request::Add { key, entry } => {
+            guard_rr_coordinator(state, &key)?;
+            apply(state, &key, Endpoint::client(0), Message::AddReq { v: entry }).await?;
+            Ok(Response::Ok)
+        }
+        Request::Delete { key, entry } => {
+            guard_rr_coordinator(state, &key)?;
+            apply(state, &key, Endpoint::client(0), Message::DeleteReq { v: entry }).await?;
+            Ok(Response::Ok)
+        }
+        Request::Probe { key, t } => {
+            let entries = state.read_engine(&key, |e| e.sample(t as usize)).unwrap_or_default();
+            Ok(Response::Entries(entries))
+        }
+        Request::Internal { from, key, spec, msg } => {
+            if let Some(spec) = spec {
+                state.set_spec(&key, spec)?;
+            }
+            apply(state, &key, Request::internal_sender(from), msg).await?;
+            Ok(Response::Ok)
+        }
+        Request::Status => {
+            let (keys, entries) = {
+                let map = state.engines.lock();
+                let keys = map.len() as u64;
+                let entries = map.values().map(|e| e.entries().len() as u64).sum();
+                (keys, entries)
+            };
+            Ok(Response::Status { keys, entries })
+        }
+        Request::Keys => {
+            let keys = state.engines.lock().keys().cloned().collect();
+            Ok(Response::Keys(keys))
+        }
+        Request::Snapshot { key } => {
+            let snapshot = state.read_engine(&key, |e| {
+                (
+                    e.entries().to_vec(),
+                    e.rr_positions().map(|(p, v)| (p, v.clone())).collect::<Vec<_>>(),
+                    e.rr_counters(),
+                )
+            });
+            Ok(match snapshot {
+                Some((entries, positions, counters)) => Response::Snapshot {
+                    entries,
+                    positions,
+                    counters,
+                    spec: Some(state.spec_of(&key)),
+                },
+                None => Response::Snapshot {
+                    entries: Vec::new(),
+                    positions: Vec::new(),
+                    counters: None,
+                    spec: None,
+                },
+            })
+        }
+        Request::SpecOf { key } => {
+            let known = state.engines.lock().contains_key(&key);
+            Ok(Response::SpecOf(known.then(|| state.spec_of(&key))))
+        }
+    }
+}
+
+/// Round-Robin-y updates must go to the dedicated coordinator (server 0,
+/// which holds the head/tail counters — §5.4); reject mis-routed ones.
+fn guard_rr_coordinator(state: &Arc<State>, key: &[u8]) -> Result<(), ClusterError> {
+    if matches!(state.spec_of(key), StrategySpec::RoundRobin { .. }) && state.cfg.me != 0 {
+        return Err(ClusterError::Remote(
+            "round-robin updates must be sent to server 0 (the coordinator)".into(),
+        ));
+    }
+    Ok(())
+}
+
+/// Feeds a message to the key's engine and delivers the resulting
+/// outbound messages: local ones are processed in place (breadth-first),
+/// remote ones become acknowledged `Internal` RPCs. Unreachable peers are
+/// skipped — a message to a crashed server is simply lost, matching the
+/// paper's failure model.
+async fn apply(
+    state: &Arc<State>,
+    key: &[u8],
+    from: Endpoint,
+    msg: Message<Entry>,
+) -> Result<(), ClusterError> {
+    let me = state.me();
+    // Propagate a per-key strategy override on every internal message, so
+    // peers that never saw the client's Place still build the right
+    // engine.
+    let effective = state.spec_of(key);
+    let spec_override = (effective != state.cfg.spec).then_some(effective);
+    let first = state.with_engine(key, |e| e.handle(from, msg))?;
+    let mut queue: VecDeque<Outbound<Entry>> = first.into();
+    while let Some(out) = queue.pop_front() {
+        let targets: Vec<(ServerId, Message<Entry>)> = match out {
+            Outbound::To(dest, m) => vec![(dest, m)],
+            Outbound::Broadcast(m) => (0..state.n() as u32)
+                .map(|i| (ServerId::new(i), m.clone()))
+                .collect(),
+        };
+        for (dest, m) in targets {
+            if dest == me {
+                let more = state.with_engine(key, |e| e.handle(Endpoint::Server(me), m))?;
+                queue.extend(more);
+            } else {
+                let req = Request::Internal {
+                    from: me.index() as u32,
+                    key: key.to_vec(),
+                    spec: spec_override,
+                    msg: m,
+                };
+                if let Err(err) = state.peers[dest.index()].call(&req).await {
+                    // Crashed/unreachable peer: drop, like the simulator.
+                    if !matches!(err, ClusterError::Io(_)) {
+                        eprintln!(
+                            "pls-server[{}]: peer {} rejected internal message: {err}",
+                            state.cfg.me,
+                            dest.index()
+                        );
+                    }
+                }
+            }
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn invalid_config_is_rejected_at_bind() {
+        let rt = tokio::runtime::Builder::new_current_thread().enable_all().build().unwrap();
+        rt.block_on(async {
+            let cfg = ServerConfig::new(
+                7,
+                vec!["127.0.0.1:0".parse().unwrap()],
+                StrategySpec::fixed(1),
+                0,
+            );
+            assert!(matches!(Server::bind(cfg).await, Err(ClusterError::Config(_))));
+            let cfg = ServerConfig::new(
+                0,
+                vec!["127.0.0.1:0".parse().unwrap(); 2],
+                StrategySpec::fixed(0),
+                0,
+            );
+            assert!(matches!(Server::bind(cfg).await, Err(ClusterError::Config(_))));
+        });
+    }
+}

@@ -1,0 +1,256 @@
+//! Low-level framing and primitive encoding.
+//!
+//! Frames are `u32` big-endian length followed by that many payload
+//! bytes. Inside a payload, the primitives are:
+//!
+//! * `u8` / `u32` / `u64` — fixed-width big-endian;
+//! * `bytes` — `u32` length + raw bytes;
+//! * `list<T>` — `u32` count + each element.
+//!
+//! A hard frame-size limit guards both sides against garbage lengths.
+
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+use tokio::io::{AsyncReadExt, AsyncWriteExt};
+
+use crate::error::ClusterError;
+
+/// Maximum frame payload accepted or produced (16 MiB).
+pub const MAX_FRAME: usize = 16 * 1024 * 1024;
+
+/// Decoding cursor over a frame payload.
+#[derive(Debug)]
+pub struct Reader {
+    buf: Bytes,
+}
+
+impl Reader {
+    /// Wraps a payload for decoding.
+    pub fn new(buf: Bytes) -> Self {
+        Reader { buf }
+    }
+
+    /// Remaining undecoded bytes.
+    pub fn remaining(&self) -> usize {
+        self.buf.remaining()
+    }
+
+    fn need(&self, n: usize, what: &'static str) -> Result<(), ClusterError> {
+        if self.buf.remaining() < n {
+            Err(ClusterError::Decode(what))
+        } else {
+            Ok(())
+        }
+    }
+
+    /// Reads one byte.
+    pub fn u8(&mut self, what: &'static str) -> Result<u8, ClusterError> {
+        self.need(1, what)?;
+        Ok(self.buf.get_u8())
+    }
+
+    /// Reads a big-endian u32.
+    pub fn u32(&mut self, what: &'static str) -> Result<u32, ClusterError> {
+        self.need(4, what)?;
+        Ok(self.buf.get_u32())
+    }
+
+    /// Reads a big-endian u64.
+    pub fn u64(&mut self, what: &'static str) -> Result<u64, ClusterError> {
+        self.need(8, what)?;
+        Ok(self.buf.get_u64())
+    }
+
+    /// Reads a length-prefixed byte string.
+    pub fn bytes(&mut self, what: &'static str) -> Result<Vec<u8>, ClusterError> {
+        let len = self.u32(what)? as usize;
+        if len > MAX_FRAME {
+            return Err(ClusterError::Decode(what));
+        }
+        self.need(len, what)?;
+        let mut out = vec![0u8; len];
+        self.buf.copy_to_slice(&mut out);
+        Ok(out)
+    }
+
+    /// Reads a list of byte strings.
+    pub fn bytes_list(&mut self, what: &'static str) -> Result<Vec<Vec<u8>>, ClusterError> {
+        let count = self.u32(what)? as usize;
+        if count > MAX_FRAME / 4 {
+            return Err(ClusterError::Decode(what));
+        }
+        let mut out = Vec::with_capacity(count.min(1024));
+        for _ in 0..count {
+            out.push(self.bytes(what)?);
+        }
+        Ok(out)
+    }
+
+    /// Asserts the payload was fully consumed.
+    pub fn finish(self, what: &'static str) -> Result<(), ClusterError> {
+        if self.buf.has_remaining() {
+            Err(ClusterError::Decode(what))
+        } else {
+            Ok(())
+        }
+    }
+}
+
+/// Encoding buffer for a frame payload.
+#[derive(Debug, Default)]
+pub struct Writer {
+    buf: BytesMut,
+}
+
+impl Writer {
+    /// Creates an empty payload buffer.
+    pub fn new() -> Self {
+        Writer { buf: BytesMut::with_capacity(64) }
+    }
+
+    /// Appends one byte.
+    pub fn u8(&mut self, v: u8) -> &mut Self {
+        self.buf.put_u8(v);
+        self
+    }
+
+    /// Appends a big-endian u32.
+    pub fn u32(&mut self, v: u32) -> &mut Self {
+        self.buf.put_u32(v);
+        self
+    }
+
+    /// Appends a big-endian u64.
+    pub fn u64(&mut self, v: u64) -> &mut Self {
+        self.buf.put_u64(v);
+        self
+    }
+
+    /// Appends a length-prefixed byte string.
+    pub fn bytes(&mut self, v: &[u8]) -> &mut Self {
+        self.buf.put_u32(v.len() as u32);
+        self.buf.put_slice(v);
+        self
+    }
+
+    /// Appends a list of byte strings.
+    pub fn bytes_list(&mut self, vs: &[Vec<u8>]) -> &mut Self {
+        self.buf.put_u32(vs.len() as u32);
+        for v in vs {
+            self.bytes(v);
+        }
+        self
+    }
+
+    /// Finalizes the payload.
+    pub fn into_payload(self) -> Bytes {
+        self.buf.freeze()
+    }
+}
+
+/// Writes one frame (length prefix + payload) to a stream.
+///
+/// # Errors
+///
+/// [`ClusterError::FrameTooLarge`] when the payload exceeds
+/// [`MAX_FRAME`]; I/O errors otherwise.
+pub async fn write_frame<W: AsyncWriteExt + Unpin>(
+    stream: &mut W,
+    payload: &[u8],
+) -> Result<(), ClusterError> {
+    if payload.len() > MAX_FRAME {
+        return Err(ClusterError::FrameTooLarge(payload.len()));
+    }
+    stream.write_u32(payload.len() as u32).await?;
+    stream.write_all(payload).await?;
+    stream.flush().await?;
+    Ok(())
+}
+
+/// Reads one frame from a stream. Returns `None` on a clean EOF at a
+/// frame boundary.
+///
+/// # Errors
+///
+/// [`ClusterError::FrameTooLarge`] for oversized length prefixes; I/O
+/// errors otherwise (including EOF mid-frame).
+pub async fn read_frame<R: AsyncReadExt + Unpin>(
+    stream: &mut R,
+) -> Result<Option<Bytes>, ClusterError> {
+    let len = match stream.read_u32().await {
+        Ok(len) => len as usize,
+        Err(e) if e.kind() == std::io::ErrorKind::UnexpectedEof => return Ok(None),
+        Err(e) => return Err(e.into()),
+    };
+    if len > MAX_FRAME {
+        return Err(ClusterError::FrameTooLarge(len));
+    }
+    let mut payload = vec![0u8; len];
+    stream.read_exact(&mut payload).await?;
+    Ok(Some(Bytes::from(payload)))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn primitive_roundtrip() {
+        let mut w = Writer::new();
+        w.u8(7).u32(1234).u64(u64::MAX).bytes(b"hello").bytes_list(&[b"a".to_vec(), b"".to_vec()]);
+        let mut r = Reader::new(w.into_payload());
+        assert_eq!(r.u8("x").unwrap(), 7);
+        assert_eq!(r.u32("x").unwrap(), 1234);
+        assert_eq!(r.u64("x").unwrap(), u64::MAX);
+        assert_eq!(r.bytes("x").unwrap(), b"hello");
+        assert_eq!(r.bytes_list("x").unwrap(), vec![b"a".to_vec(), b"".to_vec()]);
+        r.finish("x").unwrap();
+    }
+
+    #[test]
+    fn truncated_payload_is_a_decode_error() {
+        let mut w = Writer::new();
+        w.u32(10);
+        let mut r = Reader::new(w.into_payload());
+        assert_eq!(r.u64("field").unwrap_err(), ClusterError::Decode("field"));
+    }
+
+    #[test]
+    fn trailing_garbage_detected() {
+        let mut w = Writer::new();
+        w.u8(1).u8(2);
+        let mut r = Reader::new(w.into_payload());
+        r.u8("x").unwrap();
+        assert!(r.finish("x").is_err());
+    }
+
+    #[test]
+    fn bogus_length_rejected() {
+        let mut w = Writer::new();
+        w.u32(u32::MAX); // as a bytes length
+        let mut r = Reader::new(w.into_payload());
+        assert!(r.bytes("field").is_err());
+    }
+
+    #[tokio::test]
+    async fn frame_roundtrip_over_duplex() {
+        let (mut a, mut b) = tokio::io::duplex(1024);
+        write_frame(&mut a, b"abc").await.unwrap();
+        write_frame(&mut a, b"").await.unwrap();
+        let f1 = read_frame(&mut b).await.unwrap().unwrap();
+        assert_eq!(&f1[..], b"abc");
+        let f2 = read_frame(&mut b).await.unwrap().unwrap();
+        assert!(f2.is_empty());
+        drop(a);
+        assert!(read_frame(&mut b).await.unwrap().is_none());
+    }
+
+    #[tokio::test]
+    async fn oversized_frame_rejected_on_write() {
+        let (mut a, _b) = tokio::io::duplex(64);
+        let big = vec![0u8; MAX_FRAME + 1];
+        assert!(matches!(
+            write_frame(&mut a, &big).await,
+            Err(ClusterError::FrameTooLarge(_))
+        ));
+    }
+}

@@ -1,0 +1,478 @@
+//! End-to-end tests of the TCP deployment: real listeners on ephemeral
+//! ports, real server-to-server fan-out, real crashes (aborted tasks).
+
+use std::net::SocketAddr;
+
+use pls_cluster::{Client, ClientConfig, Server, ServerConfig};
+use pls_core::StrategySpec;
+use tokio::task::JoinHandle;
+
+/// Spawns an `n`-server cluster on ephemeral ports; returns the resolved
+/// addresses and the server task handles (abort one to crash a server).
+async fn spawn_cluster(
+    n: usize,
+    spec: StrategySpec,
+    seed: u64,
+) -> (Vec<SocketAddr>, Vec<JoinHandle<()>>) {
+    // Bind all listeners first so every server knows the final address
+    // list, then construct and run the servers on those listeners.
+    let mut listeners = Vec::with_capacity(n);
+    let mut addrs: Vec<SocketAddr> = Vec::with_capacity(n);
+    for _ in 0..n {
+        let listener = tokio::net::TcpListener::bind("127.0.0.1:0").await.expect("bind");
+        addrs.push(listener.local_addr().expect("local addr"));
+        listeners.push(listener);
+    }
+    let mut handles = Vec::with_capacity(n);
+    for (i, listener) in listeners.into_iter().enumerate() {
+        let cfg = ServerConfig::new(i, addrs.clone(), spec, seed);
+        let (server, _) = Server::with_listener(cfg, listener).expect("server");
+        handles.push(tokio::spawn(server.run()));
+    }
+    (addrs, handles)
+}
+
+fn entries(range: std::ops::Range<u32>) -> Vec<Vec<u8>> {
+    range.map(|i| format!("peer{i}:6699").into_bytes()).collect()
+}
+
+#[tokio::test]
+async fn full_replication_roundtrip() {
+    let spec = StrategySpec::full_replication();
+    let (addrs, _handles) = spawn_cluster(3, spec, 1).await;
+    let mut client = Client::connect(ClientConfig::new(addrs, spec, 10));
+    client.place(b"song", entries(0..10)).await.unwrap();
+    let got = client.partial_lookup(b"song", 4).await.unwrap();
+    assert_eq!(got.len(), 4);
+    // Every server has all 10 entries.
+    for i in 0..3 {
+        let (keys, stored) = client.status_of(i).await.unwrap();
+        assert_eq!(keys, 1);
+        assert_eq!(stored, 10);
+    }
+}
+
+#[tokio::test]
+async fn fixed_strategy_selective_updates() {
+    let spec = StrategySpec::fixed(5);
+    let (addrs, _handles) = spawn_cluster(4, spec, 2).await;
+    let mut client = Client::connect(ClientConfig::new(addrs, spec, 11));
+    client.place(b"k", entries(0..20)).await.unwrap();
+    for i in 0..4 {
+        let (_, stored) = client.status_of(i).await.unwrap();
+        assert_eq!(stored, 5, "server {i}");
+    }
+    // Delete one of the stored prefix entries; all servers drop to 4.
+    client.delete(b"k", b"peer0:6699".to_vec()).await.unwrap();
+    for i in 0..4 {
+        let (_, stored) = client.status_of(i).await.unwrap();
+        assert_eq!(stored, 4, "server {i}");
+    }
+    // Add refills everywhere.
+    client.add(b"k", b"newpeer:1".to_vec()).await.unwrap();
+    for i in 0..4 {
+        let (_, stored) = client.status_of(i).await.unwrap();
+        assert_eq!(stored, 5, "server {i}");
+    }
+}
+
+#[tokio::test]
+async fn random_server_lookup_merges() {
+    let spec = StrategySpec::random_server(4);
+    let (addrs, _handles) = spawn_cluster(5, spec, 3).await;
+    let mut client = Client::connect(ClientConfig::new(addrs, spec, 12));
+    client.place(b"k", entries(0..20)).await.unwrap();
+    // x=4 per server; asking for 10 requires merging several probes.
+    let got = client.partial_lookup(b"k", 10).await.unwrap();
+    assert!(got.len() >= 10, "got {}", got.len());
+    // Distinct answers.
+    let mut sorted = got.clone();
+    sorted.sort();
+    sorted.dedup();
+    assert_eq!(sorted.len(), got.len());
+}
+
+#[tokio::test]
+async fn hash_strategy_distributes_and_updates() {
+    let spec = StrategySpec::hash(2);
+    let (addrs, _handles) = spawn_cluster(4, spec, 4).await;
+    let mut client = Client::connect(ClientConfig::new(addrs.clone(), spec, 13));
+    client.place(b"k", entries(0..30)).await.unwrap();
+    let total: u64 = {
+        let mut sum = 0;
+        for i in 0..4 {
+            sum += client.status_of(i).await.unwrap().1;
+        }
+        sum
+    };
+    // 30 entries × up to 2 copies, minus collisions.
+    assert!(total > 30 && total <= 60, "total stored {total}");
+    client.add(b"k", b"extra".to_vec()).await.unwrap();
+    let got = client.partial_lookup(b"k", 25).await.unwrap();
+    assert!(got.len() >= 25);
+    client.delete(b"k", b"extra".to_vec()).await.unwrap();
+}
+
+#[tokio::test]
+async fn round_robin_migration_over_tcp() {
+    let spec = StrategySpec::round_robin(2);
+    let (addrs, _handles) = spawn_cluster(4, spec, 5).await;
+    let mut client = Client::connect(ClientConfig::new(addrs, spec, 14));
+    // The Figure 10 scenario, over real sockets.
+    let es: Vec<Vec<u8>> = (1..=5u32).map(|i| format!("e{i}").into_bytes()).collect();
+    client.place(b"k", es.clone()).await.unwrap();
+    client.delete(b"k", b"e3".to_vec()).await.unwrap();
+    // 4 live entries × 2 copies = 8 stored across servers.
+    let mut total = 0;
+    for i in 0..4 {
+        total += client.status_of(i).await.unwrap().1;
+    }
+    assert_eq!(total, 8);
+    // All four survivors retrievable.
+    let got = client.partial_lookup(b"k", 4).await.unwrap();
+    assert_eq!(got.len(), 4);
+    assert!(!got.contains(&b"e3".to_vec()));
+}
+
+#[tokio::test]
+async fn round_robin_update_rejected_at_non_coordinator() {
+    let spec = StrategySpec::round_robin(2);
+    let (addrs, _handles) = spawn_cluster(3, spec, 6).await;
+    // Talk to server 1 directly with a raw add: must be refused.
+    let peer = pls_cluster::proto::Request::Add { key: b"k".to_vec(), entry: b"e".to_vec() };
+    let client = {
+        use tokio::net::TcpStream;
+        let mut stream = TcpStream::connect(addrs[1]).await.unwrap();
+        pls_cluster::wire::write_frame(&mut stream, &peer.encode()).await.unwrap();
+        let payload = pls_cluster::wire::read_frame(&mut stream).await.unwrap().unwrap();
+        pls_cluster::proto::Response::decode(payload).unwrap()
+    };
+    match client {
+        pls_cluster::proto::Response::Error(msg) => {
+            assert!(msg.contains("coordinator"), "{msg}");
+        }
+        other => panic!("expected error, got {other:?}"),
+    }
+}
+
+#[tokio::test]
+async fn lookup_survives_server_crash() {
+    let spec = StrategySpec::random_server(10);
+    let (addrs, handles) = spawn_cluster(4, spec, 7).await;
+    let mut client = Client::connect(ClientConfig::new(addrs, spec, 15));
+    client.place(b"k", entries(0..20)).await.unwrap();
+    // Crash two servers.
+    handles[0].abort();
+    handles[3].abort();
+    // x=10 per surviving server; t=12 still satisfiable by merging the
+    // two survivors (whp), and the client must skip the dead ones.
+    let got = client.partial_lookup(b"k", 12).await.unwrap();
+    assert!(got.len() >= 12, "got {}", got.len());
+}
+
+#[tokio::test]
+async fn updates_fail_over_to_live_servers() {
+    let spec = StrategySpec::full_replication();
+    let (addrs, handles) = spawn_cluster(3, spec, 8).await;
+    let mut client = Client::connect(ClientConfig::new(addrs, spec, 16));
+    client.place(b"k", entries(0..5)).await.unwrap();
+    handles[1].abort();
+    // The client retries other coordinators transparently.
+    for i in 0..10 {
+        client.add(b"k", format!("late{i}").into_bytes()).await.unwrap();
+    }
+    let (_, stored0) = client.status_of(0).await.unwrap();
+    let (_, stored2) = client.status_of(2).await.unwrap();
+    assert_eq!(stored0, 15);
+    assert_eq!(stored2, 15);
+}
+
+#[tokio::test]
+async fn all_servers_down_is_reported() {
+    let spec = StrategySpec::full_replication();
+    let (addrs, handles) = spawn_cluster(2, spec, 9).await;
+    let mut client = Client::connect(ClientConfig::new(addrs, spec, 17));
+    client.place(b"k", entries(0..3)).await.unwrap();
+    for h in &handles {
+        h.abort();
+    }
+    // Give the listeners a moment to die.
+    tokio::time::sleep(std::time::Duration::from_millis(50)).await;
+    let err = client.partial_lookup(b"k", 1).await.unwrap_err();
+    assert!(matches!(
+        err,
+        pls_cluster::ClusterError::NoServerAvailable | pls_cluster::ClusterError::Io(_)
+    ));
+}
+
+#[tokio::test(flavor = "multi_thread", worker_threads = 4)]
+async fn concurrent_clients_do_not_corrupt_state() {
+    // Eight clients hammer adds on their own keys while others look up;
+    // afterwards every key holds exactly what its client wrote.
+    let spec = StrategySpec::full_replication();
+    let (addrs, _handles) = spawn_cluster(3, spec, 30).await;
+    let mut tasks = Vec::new();
+    for c in 0..8u32 {
+        let addrs = addrs.clone();
+        tasks.push(tokio::spawn(async move {
+            let mut client = Client::connect(ClientConfig::new(addrs, spec, 100 + c as u64));
+            let key = format!("stream{c}").into_bytes();
+            client.place(&key, vec![]).await.unwrap();
+            for i in 0..25u32 {
+                client.add(&key, format!("{c}/{i}").into_bytes()).await.unwrap();
+                if i % 5 == 0 {
+                    // Interleave lookups from the same client.
+                    let _ = client.partial_lookup(&key, 1).await.unwrap();
+                }
+            }
+        }));
+    }
+    for t in tasks {
+        t.await.unwrap();
+    }
+    let mut client = Client::connect(ClientConfig::new(addrs, spec, 999));
+    for c in 0..8u32 {
+        let key = format!("stream{c}").into_bytes();
+        let got = client.partial_lookup(&key, 25).await.unwrap();
+        assert_eq!(got.len(), 25, "key stream{c}");
+        for e in &got {
+            assert!(e.starts_with(format!("{c}/").as_bytes()), "cross-key leak into stream{c}");
+        }
+    }
+}
+
+#[tokio::test(flavor = "multi_thread", worker_threads = 4)]
+async fn concurrent_round_robin_updates_remain_consistent() {
+    // All round-robin updates funnel through server 0; concurrent clients
+    // must still leave every entry on exactly y servers.
+    let spec = StrategySpec::round_robin(2);
+    let (addrs, _handles) = spawn_cluster(4, spec, 31).await;
+    let mut tasks = Vec::new();
+    for c in 0..4u32 {
+        let addrs = addrs.clone();
+        tasks.push(tokio::spawn(async move {
+            let mut client = Client::connect(ClientConfig::new(addrs, spec, 200 + c as u64));
+            for i in 0..20u32 {
+                client.add(b"shared", format!("{c}/{i}").into_bytes()).await.unwrap();
+            }
+        }));
+    }
+    for t in tasks {
+        t.await.unwrap();
+    }
+    let mut client = Client::connect(ClientConfig::new(addrs, spec, 998));
+    // 80 entries, 2 copies each.
+    let mut total = 0;
+    for i in 0..4 {
+        total += client.status_of(i).await.unwrap().1;
+    }
+    assert_eq!(total, 160);
+    let got = client.partial_lookup(b"shared", 80).await.unwrap();
+    assert_eq!(got.len(), 80);
+}
+
+/// Binds a listener on a specific address with SO_REUSEADDR, so a
+/// replacement server can take over a just-crashed server's address.
+async fn rebind(addr: SocketAddr) -> tokio::net::TcpListener {
+    let socket = tokio::net::TcpSocket::new_v4().unwrap();
+    socket.set_reuseaddr(true).unwrap();
+    socket.bind(addr).unwrap();
+    socket.listen(64).unwrap()
+}
+
+#[tokio::test]
+async fn cold_restarted_server_resyncs_full_replication() {
+    let spec = StrategySpec::full_replication();
+    let (addrs, handles) = spawn_cluster(3, spec, 40).await;
+    let mut client = Client::connect(ClientConfig::new(addrs.clone(), spec, 41));
+    client.place(b"k1", entries(0..10)).await.unwrap();
+    client.place(b"k2", entries(50..55)).await.unwrap();
+
+    // Crash server 1 and replace it with a cold instance on the same
+    // address.
+    handles[1].abort();
+    tokio::time::sleep(std::time::Duration::from_millis(30)).await;
+    let listener = rebind(addrs[1]).await;
+    let cfg = ServerConfig::new(1, addrs.clone(), spec, 40);
+    let (replacement, _) = Server::with_listener(cfg, listener).unwrap();
+    let recovered = replacement.resync_from_peers().await.unwrap();
+    assert_eq!(recovered, 2);
+    tokio::spawn(replacement.run());
+
+    // The replacement holds everything again.
+    let (keys, stored) = client.status_of(1).await.unwrap();
+    assert_eq!(keys, 2);
+    assert_eq!(stored, 15);
+}
+
+#[tokio::test]
+async fn cold_restarted_round_robin_server_resyncs_positions() {
+    let spec = StrategySpec::round_robin(2);
+    let (addrs, handles) = spawn_cluster(4, spec, 42).await;
+    let mut client = Client::connect(ClientConfig::new(addrs.clone(), spec, 43));
+    client.place(b"k", entries(0..12)).await.unwrap();
+
+    handles[2].abort();
+    tokio::time::sleep(std::time::Duration::from_millis(30)).await;
+    // Updates continue while server 2 is down (the coordinator is up).
+    client.add(b"k", b"late:1".to_vec()).await.unwrap();
+    client.delete(b"k", b"peer0:6699".to_vec()).await.unwrap();
+
+    let listener = rebind(addrs[2]).await;
+    let cfg = ServerConfig::new(2, addrs.clone(), spec, 42);
+    let (replacement, _) = Server::with_listener(cfg, listener).unwrap();
+    assert_eq!(replacement.resync_from_peers().await.unwrap(), 1);
+    tokio::spawn(replacement.run());
+
+    // 12 live entries × 2 copies = 24 stored across the cluster.
+    let mut total = 0;
+    for i in 0..4 {
+        total += client.status_of(i).await.unwrap().1;
+    }
+    assert_eq!(total, 24);
+    // Full coverage retrievable, including through the replacement.
+    let got = client.partial_lookup(b"k", 12).await.unwrap();
+    assert_eq!(got.len(), 12);
+    assert!(!got.contains(&b"peer0:6699".to_vec()));
+    assert!(got.contains(&b"late:1".to_vec()));
+}
+
+#[tokio::test]
+async fn resync_with_no_peers_reports_unavailable() {
+    let spec = StrategySpec::fixed(3);
+    let (addrs, handles) = spawn_cluster(2, spec, 44).await;
+    for h in &handles {
+        h.abort();
+    }
+    tokio::time::sleep(std::time::Duration::from_millis(30)).await;
+    let listener = rebind(addrs[0]).await;
+    let cfg = ServerConfig::new(0, addrs.clone(), spec, 44);
+    let (replacement, _) = Server::with_listener(cfg, listener).unwrap();
+    assert!(matches!(
+        replacement.resync_from_peers().await,
+        Err(pls_cluster::ClusterError::NoServerAvailable)
+    ));
+}
+
+#[tokio::test(flavor = "multi_thread", worker_threads = 4)]
+async fn parallel_lookup_merges_and_skips_dead_servers() {
+    let spec = StrategySpec::random_server(4);
+    let (addrs, handles) = spawn_cluster(6, spec, 70).await;
+    let mut client = Client::connect(ClientConfig::new(addrs, spec, 71));
+    client.place(b"k", entries(0..20)).await.unwrap();
+    // Full fan-out: all 6 probes fly at once.
+    let got = client.partial_lookup_parallel(b"k", 12, 6).await.unwrap();
+    assert_eq!(got.len(), 12);
+    let mut sorted = got.clone();
+    sorted.sort();
+    sorted.dedup();
+    assert_eq!(sorted.len(), 12, "duplicates in parallel merge");
+    // Kill two servers; waves skip them.
+    handles[0].abort();
+    handles[5].abort();
+    let got = client.partial_lookup_parallel(b"k", 10, 3).await.unwrap();
+    assert!(got.len() >= 10);
+    // Everyone dead → reported.
+    for h in &handles {
+        h.abort();
+    }
+    tokio::time::sleep(std::time::Duration::from_millis(40)).await;
+    assert!(matches!(
+        client.partial_lookup_parallel(b"k", 1, 4).await,
+        Err(pls_cluster::ClusterError::NoServerAvailable | pls_cluster::ClusterError::Io(_))
+    ));
+}
+
+#[tokio::test]
+async fn per_key_strategies_coexist() {
+    // Cluster default is Hash-2; one hot key is placed under Round-2.
+    let default = StrategySpec::hash(2);
+    let (addrs, _handles) = spawn_cluster(4, default, 60).await;
+    let mut client = Client::connect(ClientConfig::new(addrs.clone(), default, 61));
+    client.place(b"cold", entries(0..12)).await.unwrap();
+    client
+        .place_with_strategy(b"hot", entries(100..112), StrategySpec::round_robin(2))
+        .await
+        .unwrap();
+    assert_eq!(client.spec_of(b"hot"), StrategySpec::round_robin(2));
+    assert_eq!(client.spec_of(b"cold"), default);
+
+    // Round-robin placement: exactly 2 copies of each of 12 entries,
+    // spread 6 per server.
+    let mut client2 = Client::connect(ClientConfig::new(addrs, default, 62));
+    client2
+        .place_with_strategy(b"probe-only", vec![], StrategySpec::round_robin(2))
+        .await
+        .unwrap();
+    // A fresh client discovers the per-key strategy from the cluster.
+    let discovered = client2.refresh_spec(b"hot").await.unwrap();
+    assert_eq!(discovered, Some(StrategySpec::round_robin(2)));
+    assert_eq!(client2.spec_of(b"hot"), StrategySpec::round_robin(2));
+    assert_eq!(client2.refresh_spec(b"nonexistent").await.unwrap(), None);
+
+    // Status counts mix both keys; check via lookups instead.
+    let hot = client.partial_lookup(b"hot", 12).await.unwrap();
+    assert_eq!(hot.len(), 12);
+    let cold = client.partial_lookup(b"cold", 10).await.unwrap();
+    assert!(cold.len() >= 10);
+
+    // Round-robin updates on the hot key must go through server 0 — the
+    // client routes there automatically.
+    client.add(b"hot", b"late".to_vec()).await.unwrap();
+    client.delete(b"hot", b"peer100:6699".to_vec()).await.unwrap();
+    let hot = client.partial_lookup(b"hot", 12).await.unwrap();
+    assert_eq!(hot.len(), 12);
+    assert!(hot.contains(&b"late".to_vec()));
+    // The delete propagated to every server (this once silently failed
+    // when non-coordinator servers built the key's engine under the
+    // default strategy).
+    assert!(!hot.contains(&b"peer100:6699".to_vec()));
+    let everything = client.partial_lookup(b"hot", 13).await.unwrap();
+    assert_eq!(everything.len(), 12, "deleted entry still retrievable");
+}
+
+#[tokio::test]
+async fn conflicting_per_key_strategy_is_rejected() {
+    let default = StrategySpec::hash(2);
+    let (addrs, _handles) = spawn_cluster(3, default, 63).await;
+    let mut client = Client::connect(ClientConfig::new(addrs, default, 64));
+    client
+        .place_with_strategy(b"k", entries(0..5), StrategySpec::fixed(3))
+        .await
+        .unwrap();
+    let err = client
+        .place_with_strategy(b"k", entries(0..5), StrategySpec::round_robin(1))
+        .await
+        .unwrap_err();
+    match err {
+        pls_cluster::ClusterError::Remote(msg) => assert!(msg.contains("already managed"), "{msg}"),
+        other => panic!("expected remote error, got {other:?}"),
+    }
+}
+
+#[tokio::test]
+async fn many_keys_are_independent() {
+    let spec = StrategySpec::hash(2);
+    let (addrs, _handles) = spawn_cluster(3, spec, 10).await;
+    let mut client = Client::connect(ClientConfig::new(addrs, spec, 18));
+    for k in 0..20u32 {
+        let key = format!("key{k}").into_bytes();
+        client.place(&key, entries(k * 10..k * 10 + 5)).await.unwrap();
+    }
+    for k in 0..20u32 {
+        let key = format!("key{k}").into_bytes();
+        let got = client.partial_lookup(&key, 3).await.unwrap();
+        assert!(got.len() >= 3, "key{k}");
+        for e in &got {
+            let s = String::from_utf8_lossy(e);
+            let id: u32 = s
+                .trim_start_matches("peer")
+                .split(':')
+                .next()
+                .unwrap()
+                .parse()
+                .unwrap();
+            assert!(id >= k * 10 && id < k * 10 + 5, "key{k} leaked entry {s}");
+        }
+    }
+}

@@ -1,0 +1,406 @@
+//! Strategy selection: the paper's rules of thumb, as code.
+//!
+//! The paper closes with Table 2, an informal star rating of the four
+//! partial-lookup strategies against its metrics, plus scattered empirical
+//! rules ("if the target answer size is a small fraction of the total —
+//! typically less than 1/n — Fixed-x has less update overhead", §6.4; "if
+//! we want no unfairness we are forced to use full replication or
+//! round-robin", §4.5; …). This module encodes both: [`star_table`]
+//! reproduces Table 2 verbatim, and [`recommend`] turns a workload
+//! description ([`Requirements`]) into a concrete
+//! [`StrategySpec`] following the paper's guidance.
+
+use std::fmt;
+
+use crate::{StrategyKind, StrategySpec};
+
+/// The quality/overhead dimensions of Table 2.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Dimension {
+    /// Total storage, when a key has few entries.
+    StorageFewEntries,
+    /// Total storage, when a key has many entries.
+    StorageManyEntries,
+    /// Maximum coverage (§4.3).
+    Coverage,
+    /// Adversarial fault tolerance (§4.4).
+    FaultTolerance,
+    /// Fairness of lookup answers with few updates (§4.5).
+    FairnessFewUpdates,
+    /// Fairness of lookup answers under heavy updates (§6.3).
+    FairnessManyUpdates,
+    /// Client lookup cost (§4.2).
+    LookupCost,
+    /// Update overhead with a small target answer size (§6.4).
+    UpdateOverheadSmallTarget,
+    /// Update overhead with a large target answer size (§6.4).
+    UpdateOverheadLargeTarget,
+}
+
+impl Dimension {
+    /// All dimensions in Table 2's column order.
+    pub const ALL: [Dimension; 9] = [
+        Dimension::StorageFewEntries,
+        Dimension::StorageManyEntries,
+        Dimension::Coverage,
+        Dimension::FaultTolerance,
+        Dimension::FairnessFewUpdates,
+        Dimension::FairnessManyUpdates,
+        Dimension::LookupCost,
+        Dimension::UpdateOverheadSmallTarget,
+        Dimension::UpdateOverheadLargeTarget,
+    ];
+}
+
+impl fmt::Display for Dimension {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let name = match self {
+            Dimension::StorageFewEntries => "storage (few entries)",
+            Dimension::StorageManyEntries => "storage (many entries)",
+            Dimension::Coverage => "coverage",
+            Dimension::FaultTolerance => "fault tolerance",
+            Dimension::FairnessFewUpdates => "fairness (few updates)",
+            Dimension::FairnessManyUpdates => "fairness (many updates)",
+            Dimension::LookupCost => "lookup cost",
+            Dimension::UpdateOverheadSmallTarget => "update overhead (small target)",
+            Dimension::UpdateOverheadLargeTarget => "update overhead (large target)",
+        };
+        f.write_str(name)
+    }
+}
+
+/// A 1–4 star suitability rating ("more stars is better").
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Stars(u8);
+
+impl Stars {
+    /// Creates a rating.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `1 <= stars <= 4`.
+    pub fn new(stars: u8) -> Self {
+        assert!((1..=4).contains(&stars), "ratings are 1..=4 stars");
+        Stars(stars)
+    }
+
+    /// The numeric rating.
+    pub fn count(self) -> u8 {
+        self.0
+    }
+}
+
+impl fmt::Display for Stars {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for _ in 0..self.0 {
+            write!(f, "★")?;
+        }
+        Ok(())
+    }
+}
+
+/// The paper's Table 2 rating for one strategy on one dimension.
+///
+/// Full replication is not in Table 2 (it is the baseline, not a
+/// partial-lookup strategy); asking for it returns `None`.
+pub fn rating(kind: StrategyKind, dim: Dimension) -> Option<Stars> {
+    use Dimension as D;
+    use StrategyKind as K;
+    let stars = match (kind, dim) {
+        (K::Fixed, D::StorageFewEntries) => 4,
+        (K::Fixed, D::StorageManyEntries) => 4,
+        (K::Fixed, D::Coverage) => 1,
+        (K::Fixed, D::FaultTolerance) => 4,
+        (K::Fixed, D::FairnessFewUpdates) => 1,
+        (K::Fixed, D::FairnessManyUpdates) => 1,
+        (K::Fixed, D::LookupCost) => 4,
+        (K::Fixed, D::UpdateOverheadSmallTarget) => 4,
+        (K::Fixed, D::UpdateOverheadLargeTarget) => 2,
+
+        (K::RandomServer, D::StorageFewEntries) => 4,
+        (K::RandomServer, D::StorageManyEntries) => 4,
+        (K::RandomServer, D::Coverage) => 3,
+        (K::RandomServer, D::FaultTolerance) => 3,
+        (K::RandomServer, D::FairnessFewUpdates) => 3,
+        (K::RandomServer, D::FairnessManyUpdates) => 1,
+        (K::RandomServer, D::LookupCost) => 3,
+        (K::RandomServer, D::UpdateOverheadSmallTarget) => 2,
+        (K::RandomServer, D::UpdateOverheadLargeTarget) => 2,
+
+        (K::RoundRobin, D::StorageFewEntries) => 4,
+        (K::RoundRobin, D::StorageManyEntries) => 2,
+        (K::RoundRobin, D::Coverage) => 4,
+        (K::RoundRobin, D::FaultTolerance) => 3,
+        (K::RoundRobin, D::FairnessFewUpdates) => 4,
+        (K::RoundRobin, D::FairnessManyUpdates) => 4,
+        (K::RoundRobin, D::LookupCost) => 4,
+        (K::RoundRobin, D::UpdateOverheadSmallTarget) => 1,
+        (K::RoundRobin, D::UpdateOverheadLargeTarget) => 1,
+
+        (K::Hash, D::StorageFewEntries) => 4,
+        (K::Hash, D::StorageManyEntries) => 2,
+        (K::Hash, D::Coverage) => 4,
+        (K::Hash, D::FaultTolerance) => 2,
+        (K::Hash, D::FairnessFewUpdates) => 3,
+        (K::Hash, D::FairnessManyUpdates) => 3,
+        (K::Hash, D::LookupCost) => 2,
+        (K::Hash, D::UpdateOverheadSmallTarget) => 3,
+        (K::Hash, D::UpdateOverheadLargeTarget) => 4,
+
+        (K::FullReplication, _) => return None,
+    };
+    Some(Stars::new(stars))
+}
+
+/// The four partial-lookup strategies Table 2 rates, in row order.
+pub const TABLE2_ROWS: [StrategyKind; 4] = [
+    StrategyKind::Fixed,
+    StrategyKind::RandomServer,
+    StrategyKind::RoundRobin,
+    StrategyKind::Hash,
+];
+
+/// The full Table 2 as `(strategy, [(dimension, stars); 9])` rows.
+pub fn star_table() -> Vec<(StrategyKind, Vec<(Dimension, Stars)>)> {
+    TABLE2_ROWS
+        .iter()
+        .map(|&kind| {
+            let cells = Dimension::ALL
+                .iter()
+                .map(|&dim| (dim, rating(kind, dim).expect("table rows are rated")))
+                .collect();
+            (kind, cells)
+        })
+        .collect()
+}
+
+/// A workload description for [`recommend`].
+///
+/// Use [`Requirements::new`] with the system shape, then tighten with the
+/// builder-style setters.
+///
+/// # Example
+///
+/// ```
+/// use pls_core::advisor::{recommend, Requirements};
+/// use pls_core::StrategySpec;
+///
+/// // A Napster-style directory: popular key, many entries, few updates,
+/// // fairness matters so no provider is overloaded.
+/// let req = Requirements::new(10, 100, 5).fairness_required(true);
+/// assert_eq!(recommend(&req), StrategySpec::round_robin(1));
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct Requirements {
+    n: usize,
+    h: usize,
+    t: usize,
+    update_heavy: bool,
+    fairness_required: bool,
+    complete_coverage: bool,
+    fixed_server_capacity: Option<usize>,
+    storage_unconstrained: bool,
+}
+
+impl Requirements {
+    /// Describes a system of `n` servers managing roughly `h` entries per
+    /// key, with clients asking for `t` entries per lookup.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any argument is zero.
+    pub fn new(n: usize, h: usize, t: usize) -> Self {
+        assert!(n > 0 && h > 0 && t > 0, "n, h, t must be positive");
+        Requirements {
+            n,
+            h,
+            t,
+            update_heavy: false,
+            fairness_required: false,
+            complete_coverage: false,
+            fixed_server_capacity: None,
+            storage_unconstrained: false,
+        }
+    }
+
+    /// Whether the key sees a high add/delete rate (§6.3's regime).
+    pub fn update_heavy(mut self, yes: bool) -> Self {
+        self.update_heavy = yes;
+        self
+    }
+
+    /// Whether lookup answers must be unbiased across entries (§4.5).
+    pub fn fairness_required(mut self, yes: bool) -> Self {
+        self.fairness_required = yes;
+        self
+    }
+
+    /// Whether some clients may eventually want *every* entry (§4.3).
+    pub fn complete_coverage(mut self, yes: bool) -> Self {
+        self.complete_coverage = yes;
+        self
+    }
+
+    /// Per-server storage is capped at this many entries (e.g. the
+    /// physical-memory scenario of §4.1).
+    pub fn fixed_server_capacity(mut self, entries: usize) -> Self {
+        self.fixed_server_capacity = Some(entries);
+        self
+    }
+
+    /// Storage is plentiful; optimize purely for lookup quality.
+    pub fn storage_unconstrained(mut self, yes: bool) -> Self {
+        self.storage_unconstrained = yes;
+        self
+    }
+}
+
+/// Picks a strategy (with parameter) following the paper's guidance.
+///
+/// Decision sketch, in the paper's own priority order:
+///
+/// 1. Storage unconstrained and fairness required → **full replication**
+///    (fair, lookup cost 1) — the baseline wins when its cost is free.
+/// 2. Update-heavy → Fixed-x or Hash-y (§6.3 rules out RandomServer-x and
+///    Round-y). Between them, §6.4: `t/h < 1/n` → **Fixed-x** with a 20%
+///    cushion, else **Hash-y** with the adaptive `y = ceil(t·n/h)`.
+/// 3. Fairness required → **Round-Robin-y** (zero unfairness; §4.5).
+/// 4. Complete coverage → **Round-Robin-y** (static regime) per §4.3.
+/// 5. Fixed per-server capacity `c` → **RandomServer-c** (constant
+///    per-server storage plus decent coverage/fairness; §4.1), degraded to
+///    **Fixed-c** when `c < t` would force multi-server merges anyway —
+///    at that point coverage is the deciding factor, which RandomServer
+///    still wins, so RandomServer-c stays the pick.
+/// 6. Otherwise → **Round-Robin-y** with `y = ceil(t·n/h)` (best lookup
+///    cost and fairness in the static case).
+pub fn recommend(req: &Requirements) -> StrategySpec {
+    let adaptive_y = |t: usize, n: usize, h: usize| ((t * n).div_ceil(h)).clamp(1, n);
+
+    if req.storage_unconstrained && req.fairness_required && !req.update_heavy {
+        return StrategySpec::full_replication();
+    }
+    if req.update_heavy {
+        // §6.4 rule of thumb: small fraction (t/h < 1/n) favors Fixed-x.
+        if req.t * req.n < req.h {
+            let cushion = (req.t / 5).max(2);
+            return StrategySpec::fixed(req.t + cushion);
+        }
+        return StrategySpec::hash(adaptive_y(req.t, req.n, req.h));
+    }
+    if req.fairness_required || req.complete_coverage {
+        return StrategySpec::round_robin(adaptive_y(req.t, req.n, req.h));
+    }
+    if let Some(cap) = req.fixed_server_capacity {
+        return StrategySpec::random_server(cap);
+    }
+    StrategySpec::round_robin(adaptive_y(req.t, req.n, req.h))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table2_shape() {
+        let table = star_table();
+        assert_eq!(table.len(), 4);
+        for (_, cells) in &table {
+            assert_eq!(cells.len(), 9);
+        }
+    }
+
+    #[test]
+    fn table2_spot_checks_match_paper() {
+        // "no strategy is the best in all situations"
+        let best_everywhere = TABLE2_ROWS.iter().any(|&k| {
+            Dimension::ALL.iter().all(|&d| rating(k, d).unwrap().count() == 4)
+        });
+        assert!(!best_everywhere);
+        // Round-y: zero unfairness in both regimes.
+        assert_eq!(rating(StrategyKind::RoundRobin, Dimension::FairnessManyUpdates).unwrap().count(), 4);
+        // Round-y: update bottleneck.
+        assert_eq!(
+            rating(StrategyKind::RoundRobin, Dimension::UpdateOverheadSmallTarget).unwrap().count(),
+            1
+        );
+        // Fixed-x: coverage is its weak spot.
+        assert_eq!(rating(StrategyKind::Fixed, Dimension::Coverage).unwrap().count(), 1);
+        // Hash-y: best update overhead at large targets.
+        assert_eq!(
+            rating(StrategyKind::Hash, Dimension::UpdateOverheadLargeTarget).unwrap().count(),
+            4
+        );
+        // Full replication is not rated.
+        assert_eq!(rating(StrategyKind::FullReplication, Dimension::Coverage), None);
+    }
+
+    #[test]
+    fn update_heavy_small_fraction_picks_fixed_with_cushion() {
+        // t=15 of h=400 on n=10: t/h = 0.0375 < 1/n = 0.1.
+        let req = Requirements::new(10, 400, 15).update_heavy(true);
+        match recommend(&req) {
+            StrategySpec::Fixed { x } => assert!(x > 15, "cushion applied, got x={x}"),
+            other => panic!("expected Fixed, got {other}"),
+        }
+    }
+
+    #[test]
+    fn update_heavy_large_fraction_picks_hash_adaptive_y() {
+        // t=40 of h=100 on n=10: t/h = 0.4 >= 1/n.
+        let req = Requirements::new(10, 100, 40).update_heavy(true);
+        assert_eq!(recommend(&req), StrategySpec::hash(4));
+    }
+
+    #[test]
+    fn fairness_picks_round_robin() {
+        let req = Requirements::new(10, 100, 35).fairness_required(true);
+        assert_eq!(recommend(&req), StrategySpec::round_robin(4));
+    }
+
+    #[test]
+    fn unconstrained_fair_static_picks_full_replication() {
+        let req =
+            Requirements::new(10, 100, 35).fairness_required(true).storage_unconstrained(true);
+        assert_eq!(recommend(&req), StrategySpec::full_replication());
+    }
+
+    #[test]
+    fn capacity_cap_picks_random_server() {
+        let req = Requirements::new(10, 1000, 10).fixed_server_capacity(64);
+        assert_eq!(recommend(&req), StrategySpec::random_server(64));
+    }
+
+    #[test]
+    fn recommendations_are_always_valid() {
+        for n in [1usize, 2, 5, 10, 50] {
+            for h in [1usize, 10, 100, 1000] {
+                for t in [1usize, 5, 50] {
+                    for update_heavy in [false, true] {
+                        for fair in [false, true] {
+                            let req = Requirements::new(n, h, t)
+                                .update_heavy(update_heavy)
+                                .fairness_required(fair);
+                            let spec = recommend(&req);
+                            assert!(
+                                spec.validate(n).is_ok(),
+                                "invalid recommendation {spec} for n={n} h={h} t={t}"
+                            );
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn stars_display() {
+        assert_eq!(Stars::new(3).to_string(), "★★★");
+        assert_eq!(format!("{}", Stars::new(1)), "★");
+    }
+
+    #[test]
+    #[should_panic(expected = "1..=4")]
+    fn five_stars_rejected() {
+        Stars::new(5);
+    }
+}

@@ -1,0 +1,317 @@
+//! The key-partitioning baseline the paper argues against.
+//!
+//! Traditional DHT-style lookup services (Chord, CAN — paper §8) hash
+//! the **key** to one home server, which stores *all* of the key's
+//! entries: "their approach is based on partitioning the key space
+//! rather than partitioning the entries of a key". That design has the
+//! two weaknesses the paper's introduction leads with:
+//!
+//! * **hot spots** — every lookup for a popular key lands on its home
+//!   server;
+//! * **availability** — if the home server (and its `r−1` successor
+//!   replicas) are down, the key is gone entirely.
+//!
+//! [`KeyPartitioned`] implements that baseline faithfully (home server by
+//! key hash, `r` successor replicas, per-server load accounting) so the
+//! hot-spot experiment can compare it against the partial lookup
+//! [`Directory`](crate::directory::Directory) under identical workloads.
+
+use std::collections::HashMap;
+use std::hash::{Hash, Hasher};
+
+use pls_net::{FailureSet, ServerId};
+
+use crate::directory::Key;
+use crate::{ConfigError, DetRng, Entry, IndexedSet, LookupResult, ServiceError};
+
+/// A Chord/CAN-style key-partitioned lookup service: key → home server
+/// (plus `r − 1` successor replicas), each storing the key's **entire**
+/// entry set.
+#[derive(Debug)]
+pub struct KeyPartitioned<K: Key, V: Entry> {
+    n: usize,
+    replicas: usize,
+    seed: u64,
+    /// stores[server][key] = full entry set.
+    stores: Vec<HashMap<K, IndexedSet<V>>>,
+    failures: FailureSet,
+    rng: DetRng,
+    lookup_load: Vec<u64>,
+    update_load: Vec<u64>,
+}
+
+impl<K: Key, V: Entry> KeyPartitioned<K, V> {
+    /// Creates the baseline on `n` servers with `replicas` copies of each
+    /// key's full entry set (Chord's successor-list replication).
+    ///
+    /// # Errors
+    ///
+    /// [`ConfigError::InvalidParameter`] when `n` or `replicas` is zero;
+    /// [`ConfigError::TooManyCopies`] when `replicas > n`.
+    pub fn new(n: usize, replicas: usize, seed: u64) -> Result<Self, ConfigError> {
+        if n == 0 {
+            return Err(ConfigError::InvalidParameter("server count n must be positive"));
+        }
+        if replicas == 0 {
+            return Err(ConfigError::InvalidParameter("replica count must be positive"));
+        }
+        if replicas > n {
+            return Err(ConfigError::TooManyCopies { y: replicas, n });
+        }
+        Ok(KeyPartitioned {
+            n,
+            replicas,
+            seed,
+            stores: (0..n).map(|_| HashMap::new()).collect(),
+            failures: FailureSet::new(n),
+            rng: DetRng::seed_from(seed ^ 0xBA5E_11E5),
+            lookup_load: vec![0; n],
+            update_load: vec![0; n],
+        })
+    }
+
+    /// Number of servers.
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// The key's home server.
+    pub fn home_of(&self, key: &K) -> ServerId {
+        let mut hasher = std::collections::hash_map::DefaultHasher::new();
+        self.seed.hash(&mut hasher);
+        key.hash(&mut hasher);
+        ServerId::new((hasher.finish() % self.n as u64) as u32)
+    }
+
+    /// The key's replica group: home plus `r − 1` successors.
+    pub fn replica_group(&self, key: &K) -> Vec<ServerId> {
+        let home = self.home_of(key);
+        (0..self.replicas).map(|k| home.wrapping_add(k, self.n)).collect()
+    }
+
+    /// Crashes a server.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `s` is out of range.
+    pub fn fail_server(&mut self, s: ServerId) {
+        self.failures.fail(s);
+    }
+
+    /// Recovers a server (state retained — warm restart).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `s` is out of range.
+    pub fn recover_server(&mut self, s: ServerId) {
+        self.failures.recover(s);
+    }
+
+    /// The failure set.
+    pub fn failures(&self) -> &FailureSet {
+        &self.failures
+    }
+
+    /// Lookup probes served per server (the hot-spot metric).
+    pub fn lookup_load(&self) -> &[u64] {
+        &self.lookup_load
+    }
+
+    /// Update messages processed per server.
+    pub fn update_load(&self) -> &[u64] {
+        &self.update_load
+    }
+
+    /// Resets the load accounting.
+    pub fn reset_load(&mut self) {
+        self.lookup_load.iter_mut().for_each(|c| *c = 0);
+        self.update_load.iter_mut().for_each(|c| *c = 0);
+    }
+
+    fn live_replicas(&self, key: &K) -> Vec<ServerId> {
+        self.replica_group(key).into_iter().filter(|s| !self.failures.is_failed(*s)).collect()
+    }
+
+    /// `place`: store the full entry set on the replica group.
+    ///
+    /// # Errors
+    ///
+    /// [`ServiceError::AllServersFailed`] when the whole replica group is
+    /// down (the key cannot be written anywhere — exactly the
+    /// availability weakness the paper highlights).
+    pub fn place(&mut self, key: K, entries: Vec<V>) -> Result<(), ServiceError> {
+        let live = self.live_replicas(&key);
+        if live.is_empty() {
+            return Err(ServiceError::AllServersFailed);
+        }
+        for s in live {
+            self.update_load[s.index()] += 1;
+            self.stores[s.index()].insert(key.clone(), entries.iter().cloned().collect());
+        }
+        Ok(())
+    }
+
+    /// `add(v)`: point update at the replica group.
+    ///
+    /// # Errors
+    ///
+    /// As [`KeyPartitioned::place`].
+    pub fn add(&mut self, key: &K, v: V) -> Result<(), ServiceError> {
+        let live = self.live_replicas(key);
+        if live.is_empty() {
+            return Err(ServiceError::AllServersFailed);
+        }
+        for s in live {
+            self.update_load[s.index()] += 1;
+            self.stores[s.index()].entry(key.clone()).or_default().insert(v.clone());
+        }
+        Ok(())
+    }
+
+    /// `delete(v)`: point removal at the replica group.
+    ///
+    /// # Errors
+    ///
+    /// As [`KeyPartitioned::place`].
+    pub fn delete(&mut self, key: &K, v: &V) -> Result<(), ServiceError> {
+        let live = self.live_replicas(key);
+        if live.is_empty() {
+            return Err(ServiceError::AllServersFailed);
+        }
+        for s in live {
+            self.update_load[s.index()] += 1;
+            if let Some(set) = self.stores[s.index()].get_mut(key) {
+                set.remove(v);
+            }
+        }
+        Ok(())
+    }
+
+    /// `partial_lookup(k, t)`: one probe to the first live replica (the
+    /// home server when it is up). Since a replica stores *all* entries,
+    /// lookup cost is always 1 — but every lookup for the key lands on
+    /// the same `r` servers.
+    ///
+    /// # Errors
+    ///
+    /// [`ServiceError::ZeroTarget`] for `t == 0`;
+    /// [`ServiceError::AllServersFailed`] when the replica group is down
+    /// — the key is unavailable even though `n − r` servers are healthy.
+    pub fn partial_lookup(&mut self, key: &K, t: usize) -> Result<LookupResult<V>, ServiceError> {
+        if t == 0 {
+            return Err(ServiceError::ZeroTarget);
+        }
+        let live = self.live_replicas(key);
+        if live.is_empty() {
+            return Err(ServiceError::AllServersFailed);
+        }
+        // Clients pick a random live replica (Chord clients balance over
+        // the successor list).
+        let s = live[self.rng.below(live.len())];
+        self.lookup_load[s.index()] += 1;
+        let entries = self.stores[s.index()]
+            .get(key)
+            .map(|set| set.sample(t, &mut self.rng))
+            .unwrap_or_default();
+        Ok(LookupResult::new(entries, vec![s]))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn key_lives_on_its_replica_group() {
+        let mut kp: KeyPartitioned<&str, u64> = KeyPartitioned::new(10, 2, 1).unwrap();
+        kp.place("song", (0..50).collect()).unwrap();
+        let group = kp.replica_group(&"song");
+        assert_eq!(group.len(), 2);
+        for s in 0..10u32 {
+            let holds = kp.stores[s as usize].contains_key("song");
+            assert_eq!(holds, group.contains(&ServerId::new(s)), "server {s}");
+        }
+    }
+
+    #[test]
+    fn lookup_cost_is_always_one() {
+        let mut kp: KeyPartitioned<&str, u64> = KeyPartitioned::new(10, 1, 2).unwrap();
+        kp.place("k", (0..100).collect()).unwrap();
+        for t in [1, 10, 99] {
+            let r = kp.partial_lookup(&"k", t).unwrap();
+            assert_eq!(r.servers_contacted(), 1);
+            assert!(r.is_satisfied(t));
+        }
+    }
+
+    #[test]
+    fn all_lookups_hit_the_replica_group() {
+        let mut kp: KeyPartitioned<&str, u64> = KeyPartitioned::new(10, 2, 3).unwrap();
+        kp.place("hot", (0..10).collect()).unwrap();
+        for _ in 0..200 {
+            kp.partial_lookup(&"hot", 2).unwrap();
+        }
+        let group = kp.replica_group(&"hot");
+        let on_group: u64 = group.iter().map(|s| kp.lookup_load()[s.index()]).sum();
+        assert_eq!(on_group, 200, "a popular key concentrates all load on its replicas");
+    }
+
+    #[test]
+    fn key_dies_with_its_replica_group() {
+        let mut kp: KeyPartitioned<&str, u64> = KeyPartitioned::new(10, 2, 4).unwrap();
+        kp.place("k", (0..10).collect()).unwrap();
+        for s in kp.replica_group(&"k") {
+            kp.fail_server(s);
+        }
+        // 8 of 10 servers are healthy, yet the key is unavailable.
+        assert_eq!(kp.failures().operational_count(), 8);
+        assert_eq!(kp.partial_lookup(&"k", 1).unwrap_err(), ServiceError::AllServersFailed);
+        assert_eq!(kp.add(&"k", 99).unwrap_err(), ServiceError::AllServersFailed);
+    }
+
+    #[test]
+    fn surviving_replica_keeps_serving() {
+        let mut kp: KeyPartitioned<&str, u64> = KeyPartitioned::new(10, 2, 5).unwrap();
+        kp.place("k", (0..10).collect()).unwrap();
+        let group = kp.replica_group(&"k");
+        kp.fail_server(group[0]);
+        let r = kp.partial_lookup(&"k", 5).unwrap();
+        assert_eq!(r.contacted(), &[group[1]]);
+        assert!(r.is_satisfied(5));
+    }
+
+    #[test]
+    fn updates_touch_only_the_group() {
+        let mut kp: KeyPartitioned<&str, u64> = KeyPartitioned::new(10, 3, 6).unwrap();
+        kp.place("k", (0..5).collect()).unwrap();
+        kp.reset_load();
+        kp.add(&"k", 100).unwrap();
+        kp.delete(&"k", &0).unwrap();
+        assert_eq!(kp.update_load().iter().sum::<u64>(), 6); // 2 ops × 3 replicas
+        let group = kp.replica_group(&"k");
+        for (i, &l) in kp.update_load().iter().enumerate() {
+            let expected = if group.contains(&ServerId::new(i as u32)) { 2 } else { 0 };
+            assert_eq!(l, expected, "server {i}");
+        }
+    }
+
+    #[test]
+    fn config_validation() {
+        assert!(KeyPartitioned::<u32, u32>::new(0, 1, 0).is_err());
+        assert!(KeyPartitioned::<u32, u32>::new(5, 0, 0).is_err());
+        assert!(KeyPartitioned::<u32, u32>::new(5, 6, 0).is_err());
+        assert!(KeyPartitioned::<u32, u32>::new(5, 5, 0).is_ok());
+    }
+
+    #[test]
+    fn homes_are_spread_over_servers() {
+        let kp: KeyPartitioned<u64, u64> = KeyPartitioned::new(10, 1, 7).unwrap();
+        let mut counts = [0usize; 10];
+        for key in 0..1000u64 {
+            counts[kp.home_of(&key).index()] += 1;
+        }
+        for (i, &c) in counts.iter().enumerate() {
+            assert!(c > 50 && c < 200, "server {i} homes {c} keys");
+        }
+    }
+}

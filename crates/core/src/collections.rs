@@ -1,0 +1,298 @@
+//! An order-preserving set with O(1) membership, removal, and uniform
+//! random choice — the workhorse behind every server's local entry store.
+//!
+//! Servers must answer "return `t` random entries from your store" on every
+//! lookup and "replace a random entry" on reservoir-sampled adds, so
+//! uniform random selection has to be cheap. [`IndexedSet`] pairs a `Vec`
+//! (for indexing) with a `HashMap` from value to position (for membership),
+//! using swap-remove to keep both O(1).
+
+use std::collections::HashMap;
+use std::hash::Hash;
+
+use pls_net::DetRng;
+
+/// A set over `T` supporting O(1) insert, remove, contains, and uniform
+/// random sampling.
+///
+/// Iteration order is unspecified (removal swaps elements around) but
+/// deterministic for a fixed operation sequence.
+///
+/// # Example
+///
+/// ```
+/// use pls_core::IndexedSet;
+/// let mut s: IndexedSet<u32> = IndexedSet::new();
+/// assert!(s.insert(7));
+/// assert!(!s.insert(7)); // already present
+/// assert!(s.contains(&7));
+/// assert!(s.remove(&7));
+/// assert!(s.is_empty());
+/// ```
+#[derive(Debug, Clone)]
+pub struct IndexedSet<T> {
+    items: Vec<T>,
+    index: HashMap<T, usize>,
+}
+
+// Manual impl: the derive would wrongly require `T: Default`.
+impl<T> Default for IndexedSet<T> {
+    fn default() -> Self {
+        IndexedSet { items: Vec::new(), index: HashMap::new() }
+    }
+}
+
+impl<T: Clone + Eq + Hash> IndexedSet<T> {
+    /// Creates an empty set.
+    pub fn new() -> Self {
+        IndexedSet { items: Vec::new(), index: HashMap::new() }
+    }
+
+    /// Creates an empty set with capacity for `cap` elements.
+    pub fn with_capacity(cap: usize) -> Self {
+        IndexedSet { items: Vec::with_capacity(cap), index: HashMap::with_capacity(cap) }
+    }
+
+    /// Number of elements.
+    pub fn len(&self) -> usize {
+        self.items.len()
+    }
+
+    /// True when the set holds nothing.
+    pub fn is_empty(&self) -> bool {
+        self.items.is_empty()
+    }
+
+    /// Whether `value` is in the set.
+    pub fn contains(&self, value: &T) -> bool {
+        self.index.contains_key(value)
+    }
+
+    /// Inserts `value`; returns `false` if it was already present.
+    pub fn insert(&mut self, value: T) -> bool {
+        if self.index.contains_key(&value) {
+            return false;
+        }
+        self.index.insert(value.clone(), self.items.len());
+        self.items.push(value);
+        true
+    }
+
+    /// Removes `value`; returns `false` if it was absent.
+    pub fn remove(&mut self, value: &T) -> bool {
+        match self.index.remove(value) {
+            None => false,
+            Some(pos) => {
+                self.items.swap_remove(pos);
+                if pos < self.items.len() {
+                    // The former last element moved into `pos`.
+                    let moved = self.items[pos].clone();
+                    self.index.insert(moved, pos);
+                }
+                true
+            }
+        }
+    }
+
+    /// A uniformly random element, or `None` when empty.
+    pub fn choose(&self, rng: &mut DetRng) -> Option<&T> {
+        if self.items.is_empty() {
+            None
+        } else {
+            Some(&self.items[rng.below(self.items.len())])
+        }
+    }
+
+    /// Removes and returns a uniformly random element.
+    pub fn remove_random(&mut self, rng: &mut DetRng) -> Option<T> {
+        let victim = self.choose(rng)?.clone();
+        self.remove(&victim);
+        Some(victim)
+    }
+
+    /// `k` distinct uniformly random elements (all elements when
+    /// `k >= len`). This is the "return t random entries from the stored
+    /// entries" server behaviour of every strategy's lookup.
+    pub fn sample(&self, k: usize, rng: &mut DetRng) -> Vec<T> {
+        rng.subset(&self.items, k)
+    }
+
+    /// Iterates the elements in internal (unspecified) order.
+    pub fn iter(&self) -> std::slice::Iter<'_, T> {
+        self.items.iter()
+    }
+
+    /// View of the elements as a slice, in internal order.
+    pub fn as_slice(&self) -> &[T] {
+        &self.items
+    }
+
+    /// Removes all elements.
+    pub fn clear(&mut self) {
+        self.items.clear();
+        self.index.clear();
+    }
+}
+
+impl<T: Clone + Eq + Hash> FromIterator<T> for IndexedSet<T> {
+    fn from_iter<I: IntoIterator<Item = T>>(iter: I) -> Self {
+        let mut set = IndexedSet::new();
+        for v in iter {
+            set.insert(v);
+        }
+        set
+    }
+}
+
+impl<T: Clone + Eq + Hash> Extend<T> for IndexedSet<T> {
+    fn extend<I: IntoIterator<Item = T>>(&mut self, iter: I) {
+        for v in iter {
+            self.insert(v);
+        }
+    }
+}
+
+impl<'a, T> IntoIterator for &'a IndexedSet<T> {
+    type Item = &'a T;
+    type IntoIter = std::slice::Iter<'a, T>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.items.iter()
+    }
+}
+
+impl<T: Clone + Eq + Hash> PartialEq for IndexedSet<T> {
+    fn eq(&self, other: &Self) -> bool {
+        self.len() == other.len() && self.iter().all(|v| other.contains(v))
+    }
+}
+
+impl<T: Clone + Eq + Hash> Eq for IndexedSet<T> {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn insert_remove_contains_roundtrip() {
+        let mut s = IndexedSet::new();
+        for i in 0..100u32 {
+            assert!(s.insert(i));
+        }
+        assert_eq!(s.len(), 100);
+        for i in (0..100).step_by(2) {
+            assert!(s.remove(&i));
+        }
+        assert_eq!(s.len(), 50);
+        for i in 0..100 {
+            assert_eq!(s.contains(&i), i % 2 == 1, "element {i}");
+        }
+    }
+
+    #[test]
+    fn remove_absent_is_noop() {
+        let mut s: IndexedSet<u32> = IndexedSet::new();
+        s.insert(1);
+        assert!(!s.remove(&2));
+        assert_eq!(s.len(), 1);
+    }
+
+    #[test]
+    fn swap_remove_keeps_index_consistent() {
+        let mut s = IndexedSet::new();
+        s.insert("a");
+        s.insert("b");
+        s.insert("c");
+        // Removing the first element moves "c" into its slot.
+        s.remove(&"a");
+        assert!(s.contains(&"b"));
+        assert!(s.contains(&"c"));
+        assert!(s.remove(&"c"));
+        assert!(s.remove(&"b"));
+        assert!(s.is_empty());
+    }
+
+    #[test]
+    fn sample_returns_distinct_members() {
+        let mut rng = DetRng::seed_from(1);
+        let s: IndexedSet<u32> = (0..30).collect();
+        let picked = s.sample(10, &mut rng);
+        assert_eq!(picked.len(), 10);
+        let mut sorted = picked.clone();
+        sorted.sort_unstable();
+        sorted.dedup();
+        assert_eq!(sorted.len(), 10);
+        for v in picked {
+            assert!(s.contains(&v));
+        }
+    }
+
+    #[test]
+    fn choose_is_roughly_uniform() {
+        let mut rng = DetRng::seed_from(2);
+        let s: IndexedSet<usize> = (0..5).collect();
+        let mut counts = [0usize; 5];
+        let trials = 50_000;
+        for _ in 0..trials {
+            counts[*s.choose(&mut rng).unwrap()] += 1;
+        }
+        for (i, &c) in counts.iter().enumerate() {
+            let p = c as f64 / trials as f64;
+            assert!((p - 0.2).abs() < 0.02, "element {i} frequency {p}");
+        }
+    }
+
+    #[test]
+    fn empty_set_sampling() {
+        let mut rng = DetRng::seed_from(3);
+        let mut s: IndexedSet<u32> = IndexedSet::new();
+        assert_eq!(s.choose(&mut rng), None);
+        assert_eq!(s.remove_random(&mut rng), None);
+        assert!(s.sample(5, &mut rng).is_empty());
+    }
+
+    #[test]
+    fn equality_ignores_order() {
+        let a: IndexedSet<u32> = [1, 2, 3].into_iter().collect();
+        let mut b: IndexedSet<u32> = [3, 1].into_iter().collect();
+        b.insert(2);
+        assert_eq!(a, b);
+        b.remove(&1);
+        assert_ne!(a, b);
+    }
+
+    proptest! {
+        /// The set agrees with a reference `std::collections::HashSet`
+        /// under any interleaving of inserts and removes.
+        #[test]
+        fn matches_reference_set(ops in proptest::collection::vec((any::<bool>(), 0u8..32), 0..200)) {
+            let mut ours: IndexedSet<u8> = IndexedSet::new();
+            let mut reference = std::collections::HashSet::new();
+            for (is_insert, v) in ops {
+                if is_insert {
+                    prop_assert_eq!(ours.insert(v), reference.insert(v));
+                } else {
+                    prop_assert_eq!(ours.remove(&v), reference.remove(&v));
+                }
+                prop_assert_eq!(ours.len(), reference.len());
+            }
+            for v in 0u8..32 {
+                prop_assert_eq!(ours.contains(&v), reference.contains(&v));
+            }
+        }
+
+        /// `sample(k)` always returns `min(k, len)` distinct members.
+        #[test]
+        fn sample_size_invariant(len in 0usize..40, k in 0usize..60, seed in any::<u64>()) {
+            let mut rng = DetRng::seed_from(seed);
+            let s: IndexedSet<usize> = (0..len).collect();
+            let got = s.sample(k, &mut rng);
+            prop_assert_eq!(got.len(), k.min(len));
+            let mut sorted = got.clone();
+            sorted.sort_unstable();
+            sorted.dedup();
+            prop_assert_eq!(sorted.len(), got.len());
+        }
+    }
+}

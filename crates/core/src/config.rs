@@ -1,0 +1,320 @@
+//! Strategy selection and parameter validation.
+
+use std::error::Error;
+use std::fmt;
+
+/// Which of the paper's five strategies a cluster runs, with its parameter.
+///
+/// Construct via the named constructors, which document the parameter, or
+/// compare apples-to-apples at a fixed storage budget with
+/// [`StrategySpec::for_storage_budget`] (the setup of Figures 4 and 7: a
+/// 200-entry budget over 10 servers yields Fixed-20 / RandomServer-20 /
+/// Round-2 / Hash-2).
+///
+/// # Example
+///
+/// ```
+/// use pls_core::{StrategyKind, StrategySpec};
+/// let spec = StrategySpec::for_storage_budget(StrategyKind::RoundRobin, 200, 100, 10)?;
+/// assert_eq!(spec, StrategySpec::round_robin(2));
+/// # Ok::<(), pls_core::ConfigError>(())
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum StrategySpec {
+    /// Every entry on every server (§3.1).
+    FullReplication,
+    /// The same subset of `x` entries on every server (§3.2).
+    Fixed {
+        /// How many entries each server keeps. Must cover the largest
+        /// target answer size, plus a cushion under deletes (§5.2).
+        x: usize,
+    },
+    /// An independent uniformly random `x`-subset per server (§3.3).
+    RandomServer {
+        /// How many entries each server keeps.
+        x: usize,
+    },
+    /// Entry `i` stored on servers `i .. i+y-1 (mod n)` (§3.4).
+    RoundRobin {
+        /// Number of copies of each entry.
+        y: usize,
+    },
+    /// Entry `v` stored on servers `f_1(v) .. f_y(v)` (§3.5).
+    Hash {
+        /// Number of hash functions (maximum copies per entry).
+        y: usize,
+    },
+}
+
+/// Discriminant of [`StrategySpec`], for parameterizing experiments.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum StrategyKind {
+    /// See [`StrategySpec::FullReplication`].
+    FullReplication,
+    /// See [`StrategySpec::Fixed`].
+    Fixed,
+    /// See [`StrategySpec::RandomServer`].
+    RandomServer,
+    /// See [`StrategySpec::RoundRobin`].
+    RoundRobin,
+    /// See [`StrategySpec::Hash`].
+    Hash,
+}
+
+impl StrategyKind {
+    /// All five strategies, in the paper's presentation order.
+    pub const ALL: [StrategyKind; 5] = [
+        StrategyKind::FullReplication,
+        StrategyKind::Fixed,
+        StrategyKind::RandomServer,
+        StrategyKind::RoundRobin,
+        StrategyKind::Hash,
+    ];
+}
+
+impl fmt::Display for StrategyKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let name = match self {
+            StrategyKind::FullReplication => "FullReplication",
+            StrategyKind::Fixed => "Fixed",
+            StrategyKind::RandomServer => "RandomServer",
+            StrategyKind::RoundRobin => "RoundRobin",
+            StrategyKind::Hash => "Hash",
+        };
+        f.write_str(name)
+    }
+}
+
+impl StrategySpec {
+    /// Full replication: every entry everywhere.
+    pub fn full_replication() -> Self {
+        StrategySpec::FullReplication
+    }
+
+    /// Fixed-x: the same `x` entries on each server.
+    pub fn fixed(x: usize) -> Self {
+        StrategySpec::Fixed { x }
+    }
+
+    /// RandomServer-x: an independent random `x`-subset per server.
+    pub fn random_server(x: usize) -> Self {
+        StrategySpec::RandomServer { x }
+    }
+
+    /// Round-Robin-y: `y` copies of each entry on consecutive servers.
+    pub fn round_robin(y: usize) -> Self {
+        StrategySpec::RoundRobin { y }
+    }
+
+    /// Hash-y: up to `y` copies of each entry at hashed servers.
+    pub fn hash(y: usize) -> Self {
+        StrategySpec::Hash { y }
+    }
+
+    /// The strategy family this spec belongs to.
+    pub fn kind(&self) -> StrategyKind {
+        match self {
+            StrategySpec::FullReplication => StrategyKind::FullReplication,
+            StrategySpec::Fixed { .. } => StrategyKind::Fixed,
+            StrategySpec::RandomServer { .. } => StrategyKind::RandomServer,
+            StrategySpec::RoundRobin { .. } => StrategyKind::RoundRobin,
+            StrategySpec::Hash { .. } => StrategyKind::Hash,
+        }
+    }
+
+    /// Derives the strategy parameter from a total storage budget, using
+    /// the Table 1 cost formulas: per-server strategies get `x = budget/n`,
+    /// per-entry strategies get `y = budget/h` (integer division, so actual
+    /// usage never exceeds the budget).
+    ///
+    /// # Errors
+    ///
+    /// [`ConfigError::BudgetTooSmall`] when the derived parameter would be
+    /// zero; [`ConfigError::InvalidParameter`] when `n` or `h` is zero.
+    /// Full replication ignores the budget but requires `n` and `h`
+    /// nonzero for consistency.
+    pub fn for_storage_budget(
+        kind: StrategyKind,
+        budget: usize,
+        h: usize,
+        n: usize,
+    ) -> Result<Self, ConfigError> {
+        if n == 0 {
+            return Err(ConfigError::InvalidParameter("server count n must be positive"));
+        }
+        if h == 0 {
+            return Err(ConfigError::InvalidParameter("entry count h must be positive"));
+        }
+        let spec = match kind {
+            StrategyKind::FullReplication => StrategySpec::FullReplication,
+            StrategyKind::Fixed => StrategySpec::Fixed { x: budget / n },
+            StrategyKind::RandomServer => StrategySpec::RandomServer { x: budget / n },
+            StrategyKind::RoundRobin => StrategySpec::RoundRobin { y: budget / h },
+            StrategyKind::Hash => StrategySpec::Hash { y: budget / h },
+        };
+        match spec.validate(n) {
+            Ok(()) => Ok(spec),
+            Err(ConfigError::InvalidParameter(_)) => {
+                Err(ConfigError::BudgetTooSmall { budget, h, n })
+            }
+            Err(e) => Err(e),
+        }
+    }
+
+    /// Checks the parameter against a cluster of `n` servers.
+    ///
+    /// # Errors
+    ///
+    /// * `x == 0` or `y == 0` — a server keeping nothing can serve nothing.
+    /// * `y > n` for Round-Robin — more copies than servers is meaningless
+    ///   (Hash-y tolerates `y > n` since collisions just collapse copies).
+    pub fn validate(&self, n: usize) -> Result<(), ConfigError> {
+        if n == 0 {
+            return Err(ConfigError::InvalidParameter("server count n must be positive"));
+        }
+        match *self {
+            StrategySpec::FullReplication => Ok(()),
+            StrategySpec::Fixed { x } | StrategySpec::RandomServer { x } => {
+                if x == 0 {
+                    Err(ConfigError::InvalidParameter("parameter x must be positive"))
+                } else {
+                    Ok(())
+                }
+            }
+            StrategySpec::RoundRobin { y } => {
+                if y == 0 {
+                    Err(ConfigError::InvalidParameter("parameter y must be positive"))
+                } else if y > n {
+                    Err(ConfigError::TooManyCopies { y, n })
+                } else {
+                    Ok(())
+                }
+            }
+            StrategySpec::Hash { y } => {
+                if y == 0 {
+                    Err(ConfigError::InvalidParameter("parameter y must be positive"))
+                } else {
+                    Ok(())
+                }
+            }
+        }
+    }
+}
+
+impl fmt::Display for StrategySpec {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match *self {
+            StrategySpec::FullReplication => write!(f, "FullReplication"),
+            StrategySpec::Fixed { x } => write!(f, "Fixed-{x}"),
+            StrategySpec::RandomServer { x } => write!(f, "RandomServer-{x}"),
+            StrategySpec::RoundRobin { y } => write!(f, "Round-{y}"),
+            StrategySpec::Hash { y } => write!(f, "Hash-{y}"),
+        }
+    }
+}
+
+/// Error building or validating a strategy configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ConfigError {
+    /// A parameter was structurally invalid (zero where positive needed).
+    InvalidParameter(&'static str),
+    /// Round-Robin-y with more copies than servers.
+    TooManyCopies {
+        /// Requested copies per entry.
+        y: usize,
+        /// Available servers.
+        n: usize,
+    },
+    /// A storage budget too small to give every server / entry anything.
+    BudgetTooSmall {
+        /// The requested budget, in entries.
+        budget: usize,
+        /// Entry count the budget was divided over.
+        h: usize,
+        /// Server count the budget was divided over.
+        n: usize,
+    },
+}
+
+impl fmt::Display for ConfigError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ConfigError::InvalidParameter(what) => write!(f, "invalid parameter: {what}"),
+            ConfigError::TooManyCopies { y, n } => {
+                write!(f, "round-robin with y={y} copies exceeds n={n} servers")
+            }
+            ConfigError::BudgetTooSmall { budget, h, n } => {
+                write!(f, "storage budget {budget} too small for {h} entries on {n} servers")
+            }
+        }
+    }
+}
+
+impl Error for ConfigError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn figure4_parameterization() {
+        // The paper's fixed-budget comparison: 200 entries of storage for
+        // 100 entries on 10 servers.
+        let fixed = StrategySpec::for_storage_budget(StrategyKind::Fixed, 200, 100, 10).unwrap();
+        let rs =
+            StrategySpec::for_storage_budget(StrategyKind::RandomServer, 200, 100, 10).unwrap();
+        let rr = StrategySpec::for_storage_budget(StrategyKind::RoundRobin, 200, 100, 10).unwrap();
+        let hash = StrategySpec::for_storage_budget(StrategyKind::Hash, 200, 100, 10).unwrap();
+        assert_eq!(fixed, StrategySpec::fixed(20));
+        assert_eq!(rs, StrategySpec::random_server(20));
+        assert_eq!(rr, StrategySpec::round_robin(2));
+        assert_eq!(hash, StrategySpec::hash(2));
+    }
+
+    #[test]
+    fn budget_too_small_is_reported() {
+        let err = StrategySpec::for_storage_budget(StrategyKind::Fixed, 5, 100, 10).unwrap_err();
+        assert_eq!(err, ConfigError::BudgetTooSmall { budget: 5, h: 100, n: 10 });
+        let err =
+            StrategySpec::for_storage_budget(StrategyKind::RoundRobin, 50, 100, 10).unwrap_err();
+        assert_eq!(err, ConfigError::BudgetTooSmall { budget: 50, h: 100, n: 10 });
+    }
+
+    #[test]
+    fn validation_rules() {
+        assert!(StrategySpec::fixed(0).validate(10).is_err());
+        assert!(StrategySpec::random_server(1).validate(10).is_ok());
+        assert!(StrategySpec::round_robin(11).validate(10).is_err());
+        assert_eq!(
+            StrategySpec::round_robin(11).validate(10),
+            Err(ConfigError::TooManyCopies { y: 11, n: 10 })
+        );
+        // Hash-y tolerates y > n (collisions collapse copies).
+        assert!(StrategySpec::hash(20).validate(10).is_ok());
+        assert!(StrategySpec::full_replication().validate(1).is_ok());
+        assert!(StrategySpec::full_replication().validate(0).is_err());
+    }
+
+    #[test]
+    fn display_matches_paper_naming() {
+        assert_eq!(StrategySpec::fixed(20).to_string(), "Fixed-20");
+        assert_eq!(StrategySpec::random_server(20).to_string(), "RandomServer-20");
+        assert_eq!(StrategySpec::round_robin(2).to_string(), "Round-2");
+        assert_eq!(StrategySpec::hash(2).to_string(), "Hash-2");
+        assert_eq!(StrategySpec::full_replication().to_string(), "FullReplication");
+    }
+
+    #[test]
+    fn kind_roundtrip() {
+        for kind in StrategyKind::ALL {
+            let spec = StrategySpec::for_storage_budget(kind, 200, 100, 10).unwrap();
+            assert_eq!(spec.kind(), kind);
+        }
+    }
+
+    #[test]
+    fn errors_display_cleanly() {
+        let err = ConfigError::TooManyCopies { y: 5, n: 3 };
+        assert_eq!(err.to_string(), "round-robin with y=5 copies exceeds n=3 servers");
+    }
+}

@@ -1,0 +1,536 @@
+//! A multi-key partial lookup directory.
+//!
+//! The paper defines the service over many keys but studies one key at a
+//! time, noting that "different strategies can be used to manage
+//! different types of keys" (§2). [`Directory`] is that multi-key
+//! service: `n` servers, each running one [`NodeEngine`] per key, with a
+//! pluggable per-key strategy assignment — uniform, custom, or driven by
+//! the [`advisor`](crate::advisor).
+//!
+//! Beyond the single-key [`Cluster`](crate::Cluster), the directory
+//! tracks **per-server lookup load**, the quantity behind the paper's
+//! hot-spot argument: partial lookup placements spread a popular key's
+//! traffic over many servers, where key-partitioned services concentrate
+//! it on one.
+
+use std::collections::HashMap;
+use std::hash::{Hash, Hasher};
+
+use pls_net::{Endpoint, ServerId};
+
+use crate::engine::{NodeEngine, Outbound};
+use crate::{
+    ConfigError, DetRng, Entry, FailureSet, IndexedSet, LookupResult, Message, ServiceError,
+    StrategySpec,
+};
+
+/// Key types for the directory: anything hashable and cloneable.
+pub trait Key: Clone + Eq + Hash + std::fmt::Debug {}
+impl<T: Clone + Eq + Hash + std::fmt::Debug> Key for T {}
+
+/// How the directory picks a strategy for each key.
+pub enum StrategyAssignment<K> {
+    /// Every key uses the same strategy.
+    Uniform(StrategySpec),
+    /// A custom function from key to strategy (e.g. hot keys get
+    /// Round-Robin, churny keys get Fixed-x).
+    PerKey(Box<dyn Fn(&K) -> StrategySpec + Send + Sync>),
+}
+
+impl<K> std::fmt::Debug for StrategyAssignment<K> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            StrategyAssignment::Uniform(spec) => write!(f, "Uniform({spec})"),
+            StrategyAssignment::PerKey(_) => write!(f, "PerKey(<fn>)"),
+        }
+    }
+}
+
+impl<K> StrategyAssignment<K> {
+    fn spec_for(&self, key: &K) -> StrategySpec {
+        match self {
+            StrategyAssignment::Uniform(spec) => *spec,
+            StrategyAssignment::PerKey(f) => f(key),
+        }
+    }
+}
+
+/// A multi-key partial lookup service on `n` simulated servers.
+///
+/// # Example
+///
+/// ```
+/// use pls_core::directory::{Directory, StrategyAssignment};
+/// use pls_core::StrategySpec;
+///
+/// let mut dir: Directory<&'static str, u64> = Directory::new(
+///     10,
+///     StrategyAssignment::Uniform(StrategySpec::round_robin(2)),
+///     42,
+/// )?;
+/// dir.place("stairway", (0..50).collect())?;
+/// dir.place("yesterday", (100..140).collect())?;
+/// let hits = dir.partial_lookup(&"stairway", 5)?;
+/// assert!(hits.is_satisfied(5));
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+#[derive(Debug)]
+pub struct Directory<K: Key, V: Entry> {
+    n: usize,
+    assignment: StrategyAssignment<K>,
+    seed: u64,
+    /// engines[key][server].
+    engines: HashMap<K, Vec<NodeEngine<V>>>,
+    failures: FailureSet,
+    rng: DetRng,
+    /// Lookup probes served, per server — the hot-spot metric.
+    lookup_load: Vec<u64>,
+    /// Update messages processed, per server.
+    update_load: Vec<u64>,
+}
+
+impl<K: Key, V: Entry> Directory<K, V> {
+    /// Creates an empty directory on `n` servers.
+    ///
+    /// # Errors
+    ///
+    /// [`ConfigError::InvalidParameter`] when `n` is zero. Per-key
+    /// strategy specs are validated lazily when the key is first used.
+    pub fn new(
+        n: usize,
+        assignment: StrategyAssignment<K>,
+        seed: u64,
+    ) -> Result<Self, ConfigError> {
+        if n == 0 {
+            return Err(ConfigError::InvalidParameter("server count n must be positive"));
+        }
+        Ok(Directory {
+            n,
+            assignment,
+            seed,
+            engines: HashMap::new(),
+            failures: FailureSet::new(n),
+            rng: DetRng::seed_from(seed ^ 0xD12E_C704),
+            lookup_load: vec![0; n],
+            update_load: vec![0; n],
+        })
+    }
+
+    /// Number of servers.
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// Keys currently managed.
+    pub fn key_count(&self) -> usize {
+        self.engines.len()
+    }
+
+    /// The strategy a key is (or would be) managed under.
+    pub fn spec_for(&self, key: &K) -> StrategySpec {
+        self.assignment.spec_for(key)
+    }
+
+    /// The failure set.
+    pub fn failures(&self) -> &FailureSet {
+        &self.failures
+    }
+
+    /// Crashes a server (affects every key).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `s` is out of range.
+    pub fn fail_server(&mut self, s: ServerId) {
+        self.failures.fail(s);
+    }
+
+    /// Recovers a server.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `s` is out of range.
+    pub fn recover_server(&mut self, s: ServerId) {
+        self.failures.recover(s);
+    }
+
+    /// Lookup probes served per server so far (the hot-spot metric).
+    pub fn lookup_load(&self) -> &[u64] {
+        &self.lookup_load
+    }
+
+    /// Update messages processed per server so far.
+    pub fn update_load(&self) -> &[u64] {
+        &self.update_load
+    }
+
+    /// Resets the per-server load accounting.
+    pub fn reset_load(&mut self) {
+        self.lookup_load.iter_mut().for_each(|c| *c = 0);
+        self.update_load.iter_mut().for_each(|c| *c = 0);
+    }
+
+    fn key_seed(&self, key: &K) -> u64 {
+        let mut hasher = std::collections::hash_map::DefaultHasher::new();
+        key.hash(&mut hasher);
+        self.seed ^ hasher.finish()
+    }
+
+    fn engines_for(&mut self, key: &K) -> Result<&mut Vec<NodeEngine<V>>, ConfigError> {
+        if !self.engines.contains_key(key) {
+            let spec = self.assignment.spec_for(key);
+            let seed = self.key_seed(key);
+            let engines = (0..self.n)
+                .map(|i| NodeEngine::new(ServerId::new(i as u32), self.n, spec, seed))
+                .collect::<Result<Vec<_>, _>>()?;
+            self.engines.insert(key.clone(), engines);
+        }
+        Ok(self.engines.get_mut(key).expect("just inserted"))
+    }
+
+    /// Delivers a client message to a coordinator and drains the
+    /// resulting fan-out, charging per-server update load. Messages to
+    /// failed servers are dropped.
+    fn drive(&mut self, key: &K, coordinator: ServerId, msg: Message<V>) -> Result<(), ServiceError> {
+        let n = self.n;
+        let failures = self.failures.clone();
+        let mut load = std::mem::take(&mut self.update_load);
+        {
+            let engines = self.engines_for(key).map_err(|_| ServiceError::AllServersFailed)?;
+            // (sender, destination, message) work queue.
+            let mut queue: Vec<(Endpoint, ServerId, Message<V>)> =
+                vec![(Endpoint::client(0), coordinator, msg)];
+            let mut head = 0;
+            while head < queue.len() {
+                let (from, dest, m) = queue[head].clone();
+                head += 1;
+                if failures.is_failed(dest) {
+                    continue;
+                }
+                load[dest.index()] += 1;
+                let outs = engines[dest.index()].handle(from, m);
+                for out in outs {
+                    match out {
+                        Outbound::To(d, m2) => queue.push((Endpoint::Server(dest), d, m2)),
+                        Outbound::Broadcast(m2) => {
+                            for i in 0..n {
+                                queue.push((
+                                    Endpoint::Server(dest),
+                                    ServerId::new(i as u32),
+                                    m2.clone(),
+                                ));
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        self.update_load = load;
+        Ok(())
+    }
+
+    fn update_coordinator(&mut self, key: &K) -> Result<ServerId, ServiceError> {
+        if self.failures.operational_count() == 0 {
+            return Err(ServiceError::AllServersFailed);
+        }
+        match self.assignment.spec_for(key) {
+            StrategySpec::RoundRobin { .. } => {
+                let coord = ServerId::new(0);
+                if self.failures.is_failed(coord) {
+                    Err(ServiceError::CoordinatorUnavailable)
+                } else {
+                    Ok(coord)
+                }
+            }
+            _ => Ok(self
+                .rng
+                .random_operational_server(&self.failures)
+                .expect("operational server available")),
+        }
+    }
+
+    /// `place` for one key (§2).
+    ///
+    /// # Errors
+    ///
+    /// [`ServiceError::AllServersFailed`] when no coordinator is up.
+    pub fn place(&mut self, key: K, entries: Vec<V>) -> Result<(), ServiceError> {
+        let coordinator = self.update_coordinator(&key)?;
+        self.drive(&key, coordinator, Message::PlaceReq { entries })
+    }
+
+    /// `add` for one key (§5).
+    ///
+    /// # Errors
+    ///
+    /// As [`Directory::place`], plus
+    /// [`ServiceError::CoordinatorUnavailable`] for Round-Robin keys.
+    pub fn add(&mut self, key: &K, v: V) -> Result<(), ServiceError> {
+        let coordinator = self.update_coordinator(key)?;
+        self.drive(key, coordinator, Message::AddReq { v })
+    }
+
+    /// `delete` for one key (§5).
+    ///
+    /// # Errors
+    ///
+    /// As [`Directory::add`].
+    pub fn delete(&mut self, key: &K, v: &V) -> Result<(), ServiceError> {
+        let coordinator = self.update_coordinator(key)?;
+        self.drive(key, coordinator, Message::DeleteReq { v: v.clone() })
+    }
+
+    fn probe(&mut self, key: &K, s: ServerId, t: usize) -> Vec<V> {
+        self.lookup_load[s.index()] += 1;
+        let engines = self.engines.get_mut(key).expect("probed keys exist");
+        engines[s.index()].sample(t)
+    }
+
+    /// `partial_lookup(k, t)`: the strategy-specific client procedure of
+    /// the key's strategy (see [`Cluster::partial_lookup`] for the
+    /// semantics, including the trim to exactly `t`).
+    ///
+    /// [`Cluster::partial_lookup`]: crate::Cluster::partial_lookup
+    ///
+    /// # Errors
+    ///
+    /// [`ServiceError::ZeroTarget`] for `t == 0`;
+    /// [`ServiceError::AllServersFailed`] when nothing is up. An unknown
+    /// key returns an empty, unsatisfied result (the paper's `lookup`
+    /// returns the empty set for unknown keys).
+    pub fn partial_lookup(&mut self, key: &K, t: usize) -> Result<LookupResult<V>, ServiceError> {
+        if t == 0 {
+            return Err(ServiceError::ZeroTarget);
+        }
+        if self.failures.operational_count() == 0 {
+            return Err(ServiceError::AllServersFailed);
+        }
+        if !self.engines.contains_key(key) {
+            return Ok(LookupResult::new(Vec::new(), Vec::new()));
+        }
+        match self.assignment.spec_for(key) {
+            StrategySpec::FullReplication | StrategySpec::Fixed { .. } => {
+                let s = self
+                    .rng
+                    .random_operational_server(&self.failures)
+                    .expect("operational server available");
+                let entries = self.probe(key, s, t);
+                Ok(LookupResult::new(entries, vec![s]))
+            }
+            StrategySpec::RandomServer { .. } | StrategySpec::Hash { .. } => {
+                let order = self.rng.shuffled_servers(self.n);
+                let mut acc: IndexedSet<V> = IndexedSet::new();
+                let mut contacted = Vec::new();
+                for s in order {
+                    if self.failures.is_failed(s) {
+                        continue;
+                    }
+                    let answer = self.probe(key, s, t);
+                    contacted.push(s);
+                    acc.extend(answer);
+                    if acc.len() >= t {
+                        break;
+                    }
+                }
+                let entries = self.trim(acc, t);
+                Ok(LookupResult::new(entries, contacted))
+            }
+            StrategySpec::RoundRobin { y } => {
+                let n = self.n;
+                let start = self
+                    .rng
+                    .random_operational_server(&self.failures)
+                    .expect("operational server available");
+                let mut visited = vec![false; n];
+                let mut acc: IndexedSet<V> = IndexedSet::new();
+                let mut contacted = Vec::new();
+                let mut cur = start;
+                while !visited[cur.index()] && acc.len() < t {
+                    visited[cur.index()] = true;
+                    if self.failures.is_failed(cur) {
+                        break;
+                    }
+                    let answer = self.probe(key, cur, t);
+                    contacted.push(cur);
+                    acc.extend(answer);
+                    cur = cur.wrapping_add(y, n);
+                }
+                if acc.len() < t {
+                    let mut rest: Vec<ServerId> = (0..n as u32)
+                        .map(ServerId::new)
+                        .filter(|s| !visited[s.index()] && !self.failures.is_failed(*s))
+                        .collect();
+                    self.rng.shuffle(&mut rest);
+                    for s in rest {
+                        let answer = self.probe(key, s, t);
+                        contacted.push(s);
+                        acc.extend(answer);
+                        if acc.len() >= t {
+                            break;
+                        }
+                    }
+                }
+                let entries = self.trim(acc, t);
+                Ok(LookupResult::new(entries, contacted))
+            }
+        }
+    }
+
+    fn trim(&mut self, acc: IndexedSet<V>, t: usize) -> Vec<V> {
+        if acc.len() > t {
+            acc.sample(t, &mut self.rng)
+        } else {
+            acc.as_slice().to_vec()
+        }
+    }
+
+    /// The entries a server stores for one key (empty for unknown keys).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `s` is out of range.
+    pub fn server_entries(&self, key: &K, s: ServerId) -> &[V] {
+        assert!(s.index() < self.n, "server out of range");
+        self.engines.get(key).map(|e| e[s.index()].entries()).unwrap_or(&[])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn uniform(spec: StrategySpec) -> StrategyAssignment<&'static str> {
+        StrategyAssignment::Uniform(spec)
+    }
+
+    #[test]
+    fn keys_are_independent() {
+        let mut dir: Directory<&str, u64> =
+            Directory::new(5, uniform(StrategySpec::hash(2)), 1).unwrap();
+        dir.place("a", (0..20).collect()).unwrap();
+        dir.place("b", (100..120).collect()).unwrap();
+        let a = dir.partial_lookup(&"a", 10).unwrap();
+        assert!(a.entries().iter().all(|v| *v < 20));
+        let b = dir.partial_lookup(&"b", 10).unwrap();
+        assert!(b.entries().iter().all(|v| *v >= 100));
+        assert_eq!(dir.key_count(), 2);
+    }
+
+    #[test]
+    fn unknown_key_returns_empty() {
+        let mut dir: Directory<&str, u64> =
+            Directory::new(3, uniform(StrategySpec::full_replication()), 2).unwrap();
+        let r = dir.partial_lookup(&"ghost", 5).unwrap();
+        assert!(r.entries().is_empty());
+        assert!(!r.is_satisfied(1));
+    }
+
+    #[test]
+    fn per_key_strategies() {
+        let assignment: StrategyAssignment<&str> = StrategyAssignment::PerKey(Box::new(|key| {
+            if key.starts_with("hot/") {
+                StrategySpec::round_robin(2)
+            } else {
+                StrategySpec::fixed(10)
+            }
+        }));
+        let mut dir: Directory<&str, u64> = Directory::new(10, assignment, 3).unwrap();
+        dir.place("hot/song", (0..100).collect()).unwrap();
+        dir.place("cold/song", (0..100).collect()).unwrap();
+        assert_eq!(dir.spec_for(&"hot/song"), StrategySpec::round_robin(2));
+        assert_eq!(dir.spec_for(&"cold/song"), StrategySpec::fixed(10));
+        // Fixed-10 stores the same 10 everywhere; Round-2 spreads.
+        let cold = dir.server_entries(&"cold/song", ServerId::new(0));
+        assert_eq!(cold.len(), 10);
+        let hot = dir.server_entries(&"hot/song", ServerId::new(0));
+        assert_eq!(hot.len(), 20);
+    }
+
+    #[test]
+    fn updates_and_lookups_roundtrip() {
+        let mut dir: Directory<&str, u64> =
+            Directory::new(6, uniform(StrategySpec::round_robin(2)), 4).unwrap();
+        dir.place("k", (0..30).collect()).unwrap();
+        dir.add(&"k", 500).unwrap();
+        dir.delete(&"k", &0).unwrap();
+        for _ in 0..30 {
+            let r = dir.partial_lookup(&"k", 30).unwrap();
+            assert!(r.is_satisfied(30));
+            assert!(!r.entries().contains(&0));
+        }
+    }
+
+    #[test]
+    fn lookup_load_is_tracked_per_server() {
+        let mut dir: Directory<&str, u64> =
+            Directory::new(4, uniform(StrategySpec::round_robin(1)), 5).unwrap();
+        dir.place("k", (0..40).collect()).unwrap();
+        for _ in 0..100 {
+            dir.partial_lookup(&"k", 5).unwrap();
+        }
+        let total: u64 = dir.lookup_load().iter().sum();
+        assert_eq!(total, 100); // 10 entries per server >= t: one probe each
+        // Random starts spread the load.
+        for (i, &l) in dir.lookup_load().iter().enumerate() {
+            assert!(l > 5, "server {i} load {l}");
+        }
+        dir.reset_load();
+        assert!(dir.lookup_load().iter().all(|&l| l == 0));
+    }
+
+    #[test]
+    fn update_load_counts_processed_messages() {
+        let mut dir: Directory<&str, u64> =
+            Directory::new(5, uniform(StrategySpec::full_replication()), 6).unwrap();
+        dir.place("k", (0..10).collect()).unwrap();
+        dir.reset_load();
+        dir.add(&"k", 99).unwrap();
+        // 1 client request + 5 broadcast copies.
+        assert_eq!(dir.update_load().iter().sum::<u64>(), 6);
+    }
+
+    #[test]
+    fn round_robin_keys_route_through_the_coordinator() {
+        let mut dir: Directory<&str, u64> =
+            Directory::new(4, uniform(StrategySpec::round_robin(2)), 8).unwrap();
+        dir.place("k", (0..8).collect()).unwrap();
+        dir.fail_server(ServerId::new(0));
+        assert_eq!(dir.add(&"k", 99).unwrap_err(), ServiceError::CoordinatorUnavailable);
+        dir.recover_server(ServerId::new(0));
+        dir.add(&"k", 99).unwrap();
+    }
+
+    #[test]
+    fn zero_servers_rejected() {
+        let err = Directory::<u8, u64>::new(0, StrategyAssignment::Uniform(
+            StrategySpec::full_replication(),
+        ), 9)
+        .unwrap_err();
+        assert!(matches!(err, crate::ConfigError::InvalidParameter(_)));
+    }
+
+    #[test]
+    fn zero_target_lookup_rejected() {
+        let mut dir: Directory<&str, u64> =
+            Directory::new(3, uniform(StrategySpec::full_replication()), 10).unwrap();
+        dir.place("k", (0..5).collect()).unwrap();
+        assert_eq!(dir.partial_lookup(&"k", 0).unwrap_err(), ServiceError::ZeroTarget);
+    }
+
+    #[test]
+    fn failures_apply_across_keys() {
+        let mut dir: Directory<&str, u64> =
+            Directory::new(3, uniform(StrategySpec::full_replication()), 7).unwrap();
+        dir.place("a", (0..5).collect()).unwrap();
+        dir.place("b", (5..10).collect()).unwrap();
+        dir.fail_server(ServerId::new(0));
+        dir.fail_server(ServerId::new(1));
+        for key in ["a", "b"] {
+            let r = dir.partial_lookup(&key, 3).unwrap();
+            assert_eq!(r.contacted(), &[ServerId::new(2)]);
+            assert!(r.is_satisfied(3));
+        }
+        dir.fail_server(ServerId::new(2));
+        assert_eq!(dir.partial_lookup(&"a", 1).unwrap_err(), ServiceError::AllServersFailed);
+    }
+}

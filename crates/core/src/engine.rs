@@ -1,0 +1,688 @@
+//! The sans-IO protocol engine of one server.
+//!
+//! [`NodeEngine`] contains *all* strategy-specific server behaviour —
+//! placement, selective broadcast, reservoir sampling, the Fig. 11
+//! round-robin migration — as a pure state machine: feed it an inbound
+//! [`Message`], get back the outbound messages it wants delivered. The
+//! simulated [`Cluster`](crate::Cluster) runs `n` engines over
+//! `pls-net`'s mailboxes; the live TCP deployment (`pls-cluster`) runs
+//! one engine per process over sockets. Both execute identical logic.
+
+use pls_net::{Endpoint, ServerId};
+
+use crate::node::{MigrationState, RrCoord, ServerNode};
+use crate::{ConfigError, DetRng, Entry, HashFamily, Message, StrategySpec};
+
+/// Where an outbound message should go.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Outbound<V> {
+    /// Point-to-point to one server.
+    To(ServerId, Message<V>),
+    /// To every server (including the sender).
+    Broadcast(Message<V>),
+}
+
+/// One server's protocol engine: local entry store plus the strategy
+/// state machine.
+///
+/// # Example
+///
+/// ```
+/// use pls_core::engine::{NodeEngine, Outbound};
+/// use pls_core::{Message, StrategySpec};
+/// use pls_net::Endpoint;
+///
+/// // Server 0 of a 4-server Fixed-2 cluster receives a client place.
+/// let mut engine: NodeEngine<u64> =
+///     NodeEngine::new(0.into(), 4, StrategySpec::fixed(2), 7)?;
+/// let out = engine.handle(Endpoint::client(0), Message::PlaceReq { entries: vec![1, 2, 3] });
+/// // It broadcasts the first x = 2 entries to everyone.
+/// assert_eq!(out, vec![Outbound::Broadcast(Message::StoreSet { entries: vec![1, 2] })]);
+/// # Ok::<(), pls_core::ConfigError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct NodeEngine<V: Entry> {
+    me: ServerId,
+    n: usize,
+    spec: StrategySpec,
+    hash_family: Option<HashFamily>,
+    node: ServerNode<V>,
+    rng: DetRng,
+    /// How many servers mirror the round-robin coordinator counters
+    /// (paper footnote 1: "the centralized head and tail scheme can be
+    /// generalized to one where several servers store copies to improve
+    /// reliability"). Servers `0..rr_mirrors` hold the counters; a
+    /// coordinator mirror propagates every counter change to its peers.
+    rr_mirrors: usize,
+}
+
+impl<V: Entry> NodeEngine<V> {
+    /// Creates the engine for server `me` of an `n`-server cluster.
+    ///
+    /// `cluster_seed` must be **identical on every server**: it derives
+    /// the shared Hash-y function family. Each engine's private RNG is
+    /// derived from the seed and `me`, so servers still randomize
+    /// independently (as RandomServer-x requires).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ConfigError`] if the spec is invalid for `n` servers or
+    /// `me` is out of range.
+    pub fn new(
+        me: ServerId,
+        n: usize,
+        spec: StrategySpec,
+        cluster_seed: u64,
+    ) -> Result<Self, ConfigError> {
+        spec.validate(n)?;
+        if me.index() >= n {
+            return Err(ConfigError::InvalidParameter("server id out of range"));
+        }
+        let hash_family = match spec {
+            StrategySpec::Hash { y } => Some(HashFamily::new(y, n, cluster_seed)),
+            _ => None,
+        };
+        let mut node = ServerNode::new();
+        if matches!(spec, StrategySpec::RoundRobin { .. }) && me.index() == 0 {
+            node.rr_coord = Some(RrCoord::default());
+        }
+        // Each server gets its own stream; mixing `me` keeps streams
+        // distinct even though the cluster seed is shared.
+        let rng = DetRng::seed_from(cluster_seed ^ (0x9e37_79b9_7f4a_7c15u64.wrapping_mul(me.index() as u64 + 1)));
+        Ok(NodeEngine { me, n, spec, hash_family, node, rng, rr_mirrors: 1 })
+    }
+
+    /// Configures coordinator-counter mirroring for Round-Robin-y:
+    /// servers `0..mirrors` all hold the `head`/`tail` counters, and
+    /// whichever of them coordinates an update propagates the new values
+    /// to the others — removing the single point of failure the paper
+    /// flags in §5.4 (footnote 1 sketches exactly this generalization).
+    ///
+    /// Call with the same value on every engine, before any updates. A
+    /// no-op for other strategies.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `1 <= mirrors <= n`.
+    pub fn set_rr_mirrors(&mut self, mirrors: usize) {
+        assert!(mirrors >= 1 && mirrors <= self.n, "mirrors must be in 1..=n");
+        if !matches!(self.spec, StrategySpec::RoundRobin { .. }) {
+            return;
+        }
+        self.rr_mirrors = mirrors;
+        if self.me.index() < mirrors {
+            if self.node.rr_coord.is_none() {
+                self.node.rr_coord = Some(RrCoord::default());
+            }
+        } else {
+            self.node.rr_coord = None;
+        }
+    }
+
+    /// The configured coordinator mirror count.
+    pub fn rr_mirrors(&self) -> usize {
+        self.rr_mirrors
+    }
+
+    /// Outbounds that propagate this mirror's counters to its peers.
+    fn rr_sync_counters(&self) -> Vec<Outbound<V>> {
+        let Some((head, tail)) = self.rr_counters() else { return Vec::new() };
+        (0..self.rr_mirrors)
+            .filter(|&i| i != self.me.index())
+            .map(|i| Outbound::To(ServerId::new(i as u32), Message::RrSetCounters { head, tail }))
+            .collect()
+    }
+
+    /// This server's id.
+    pub fn me(&self) -> ServerId {
+        self.me
+    }
+
+    /// Cluster size.
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// The strategy this engine runs.
+    pub fn spec(&self) -> StrategySpec {
+        self.spec
+    }
+
+    /// The locally stored entries (unspecified order).
+    pub fn entries(&self) -> &[V] {
+        self.node.store.as_slice()
+    }
+
+    /// Answers a lookup probe: `t` random local entries, or everything
+    /// when fewer are stored (§3's server-side lookup behaviour).
+    pub fn sample(&mut self, t: usize) -> Vec<V> {
+        self.node.store.sample(t, &mut self.rng)
+    }
+
+    /// Round-robin coordinator counters `(head, tail)`, if this engine
+    /// holds them.
+    pub fn rr_counters(&self) -> Option<(u64, u64)> {
+        self.node.rr_coord.as_ref().map(|c| (c.head, c.tail))
+    }
+
+    /// Round-robin position map (position → entry) of the local copies.
+    /// Empty for non-round-robin strategies. Exposed for diagnostics and
+    /// invariant checking.
+    pub fn rr_positions(&self) -> impl Iterator<Item = (u64, &V)> + '_ {
+        self.node.rr_slots.iter().map(|(p, v)| (*p, v))
+    }
+
+    /// Whether Hash-y's shared function family assigns entry `v` to
+    /// server `s`. Always `false` for other strategies. Used by recovery
+    /// to re-derive a rebuilt server's share of the coverage.
+    pub fn assigns_to(&self, v: &V, s: ServerId) -> bool {
+        self.hash_family.as_ref().is_some_and(|f| f.assign(v).contains(&s))
+    }
+
+    /// Processes one inbound message, returning the outbound messages
+    /// this server wants delivered (in order).
+    pub fn handle(&mut self, from: Endpoint, msg: Message<V>) -> Vec<Outbound<V>> {
+        match msg {
+            Message::PlaceReq { entries } => self.on_place_req(entries),
+            Message::AddReq { v } => self.on_add_req(v),
+            Message::DeleteReq { v } => self.on_delete_req(v),
+            Message::Reset => {
+                let keep_coord = self.node.rr_coord.is_some();
+                self.node = ServerNode::new();
+                if keep_coord {
+                    self.node.rr_coord = Some(RrCoord::default());
+                }
+                Vec::new()
+            }
+            Message::StoreSet { entries } => {
+                self.node.store.clear();
+                self.node.store.extend(entries);
+                Vec::new()
+            }
+            Message::ChooseSubset { entries, x } => {
+                let subset = self.rng.subset(&entries, x);
+                self.node.store.clear();
+                self.node.store.extend(subset);
+                self.node.local_h = entries.len() as u64;
+                Vec::new()
+            }
+            Message::Store { v } => {
+                self.node.store.insert(v);
+                Vec::new()
+            }
+            Message::Remove { v } => {
+                self.node.store.remove(&v);
+                Vec::new()
+            }
+            Message::SampledStore { v, x } => {
+                self.on_sampled_store(v, x);
+                Vec::new()
+            }
+            Message::CountedRemove { v } => {
+                self.node.local_h = self.node.local_h.saturating_sub(1);
+                self.node.store.remove(&v);
+                Vec::new()
+            }
+            Message::RrInit { h } => {
+                self.node.rr_coord = Some(RrCoord { head: 0, tail: h });
+                Vec::new()
+            }
+            Message::RrSetCounters { head, tail } => {
+                self.node.rr_coord = Some(RrCoord { head, tail });
+                Vec::new()
+            }
+            Message::RrStore { v, pos } => {
+                self.node.rr_insert(pos, v);
+                Vec::new()
+            }
+            Message::RrRemove { v, head_pos } => self.on_rr_remove(v, head_pos),
+            Message::MigrateReq { v, dest_pos } => self.on_migrate_req(from, v, dest_pos),
+            Message::MigrateRep { v: _, dest_pos, replacement } => {
+                if let Some(u) = replacement {
+                    self.node.rr_insert(dest_pos, u);
+                }
+                Vec::new()
+            }
+            Message::RrRemoveAt { pos } => {
+                self.node.rr_remove_at(pos);
+                Vec::new()
+            }
+        }
+    }
+
+    fn on_place_req(&mut self, entries: Vec<V>) -> Vec<Outbound<V>> {
+        match self.spec {
+            StrategySpec::FullReplication => {
+                vec![Outbound::Broadcast(Message::StoreSet { entries })]
+            }
+            StrategySpec::Fixed { x } => {
+                let kept = entries[..x.min(entries.len())].to_vec();
+                vec![Outbound::Broadcast(Message::StoreSet { entries: kept })]
+            }
+            StrategySpec::RandomServer { x } => {
+                vec![Outbound::Broadcast(Message::ChooseSubset { entries, x })]
+            }
+            StrategySpec::RoundRobin { y } => {
+                let n = self.n;
+                let mut out = Vec::with_capacity(entries.len() * y + 2);
+                out.push(Outbound::Broadcast(Message::Reset));
+                for mirror in 0..self.rr_mirrors {
+                    out.push(Outbound::To(
+                        ServerId::new(mirror as u32),
+                        Message::RrInit { h: entries.len() as u64 },
+                    ));
+                }
+                for (i, v) in entries.into_iter().enumerate() {
+                    for k in 0..y {
+                        let dest = ServerId::new((i % n) as u32).wrapping_add(k, n);
+                        out.push(Outbound::To(dest, Message::RrStore { v: v.clone(), pos: i as u64 }));
+                    }
+                }
+                out
+            }
+            StrategySpec::Hash { .. } => {
+                let family = self.hash_family.as_ref().expect("hash strategy has a family");
+                let mut out = Vec::with_capacity(entries.len() * 2 + 1);
+                out.push(Outbound::Broadcast(Message::Reset));
+                for v in entries {
+                    for dest in family.assign(&v) {
+                        out.push(Outbound::To(dest, Message::Store { v: v.clone() }));
+                    }
+                }
+                out
+            }
+        }
+    }
+
+    fn on_add_req(&mut self, v: V) -> Vec<Outbound<V>> {
+        match self.spec {
+            StrategySpec::FullReplication => vec![Outbound::Broadcast(Message::Store { v })],
+            StrategySpec::Fixed { x } => {
+                // Selective broadcast (§5.2): only while the shared subset
+                // is below x; all servers are identical, so the local view
+                // decides.
+                if self.node.store.len() < x {
+                    vec![Outbound::Broadcast(Message::Store { v })]
+                } else {
+                    Vec::new()
+                }
+            }
+            StrategySpec::RandomServer { x } => {
+                vec![Outbound::Broadcast(Message::SampledStore { v, x })]
+            }
+            StrategySpec::RoundRobin { y } => {
+                let n = self.n;
+                let coord =
+                    self.node.rr_coord.as_mut().expect("round-robin updates go to the coordinator");
+                let pos = coord.tail;
+                coord.tail += 1;
+                let mut out: Vec<Outbound<V>> = (0..y)
+                    .map(|k| {
+                        let dest = ServerId::new((pos % n as u64) as u32).wrapping_add(k, n);
+                        Outbound::To(dest, Message::RrStore { v: v.clone(), pos })
+                    })
+                    .collect();
+                out.extend(self.rr_sync_counters());
+                out
+            }
+            StrategySpec::Hash { .. } => {
+                let family = self.hash_family.as_ref().expect("hash strategy has a family");
+                family
+                    .assign(&v)
+                    .into_iter()
+                    .map(|dest| Outbound::To(dest, Message::Store { v: v.clone() }))
+                    .collect()
+            }
+        }
+    }
+
+    fn on_delete_req(&mut self, v: V) -> Vec<Outbound<V>> {
+        match self.spec {
+            StrategySpec::FullReplication => vec![Outbound::Broadcast(Message::Remove { v })],
+            StrategySpec::Fixed { .. } => {
+                // Selective broadcast: only if the entry is actually among
+                // the shared stored entries (§5.2).
+                if self.node.store.contains(&v) {
+                    vec![Outbound::Broadcast(Message::Remove { v })]
+                } else {
+                    Vec::new()
+                }
+            }
+            StrategySpec::RandomServer { .. } => {
+                vec![Outbound::Broadcast(Message::CountedRemove { v })]
+            }
+            StrategySpec::RoundRobin { .. } => {
+                let coord =
+                    self.node.rr_coord.as_mut().expect("round-robin updates go to the coordinator");
+                if coord.head == coord.tail {
+                    return Vec::new(); // nothing live to delete
+                }
+                let head_pos = coord.head;
+                coord.head += 1;
+                let mut out = vec![Outbound::Broadcast(Message::RrRemove { v, head_pos })];
+                out.extend(self.rr_sync_counters());
+                out
+            }
+            StrategySpec::Hash { .. } => {
+                let family = self.hash_family.as_ref().expect("hash strategy has a family");
+                family
+                    .assign(&v)
+                    .into_iter()
+                    .map(|dest| Outbound::To(dest, Message::Remove { v: v.clone() }))
+                    .collect()
+            }
+        }
+    }
+
+    /// Reservoir-sampling step (Vitter): after incrementing the local
+    /// entry count `h`, keep the newcomer with probability `x/h`,
+    /// evicting a random incumbent — maintaining a uniformly random
+    /// `x`-subset under adds (§5.3).
+    fn on_sampled_store(&mut self, v: V, x: usize) {
+        self.node.local_h += 1;
+        if self.node.store.len() < x {
+            self.node.store.insert(v);
+        } else {
+            let p = x as f64 / self.node.local_h as f64;
+            if self.rng.coin_flip(p) {
+                self.node.store.remove_random(&mut self.rng);
+                self.node.store.insert(v);
+            }
+        }
+    }
+
+    /// Fig. 11 `remove(v, head)`: drop the local copy of `v`; if this is
+    /// the head server, prepare the replacement context; droppers ask the
+    /// head server to migrate the replacement into the hole.
+    fn on_rr_remove(&mut self, v: V, head_pos: u64) -> Vec<Outbound<V>> {
+        let y = match self.spec {
+            StrategySpec::RoundRobin { y } => y,
+            _ => return Vec::new(), // not a round-robin server: ignore
+        };
+        let head_server = ServerId::new((head_pos % self.n as u64) as u32);
+
+        let mut out = Vec::new();
+        if self.me == head_server {
+            let at_head = self.node.rr_slots.get(&head_pos).cloned();
+            // When the deleted entry *is* the head entry there is no hole
+            // to plug: copies just vanish and head has already advanced.
+            let replacement = at_head.filter(|u| *u != v);
+            self.node.rr_migrations.insert(
+                v.clone(),
+                MigrationState { remaining: y, replacement, old_pos: head_pos },
+            );
+            // Replay migration requests that raced ahead of this
+            // broadcast (possible over unordered transports).
+            if let Some(pending) = self.node.rr_pending_migrations.remove(&v) {
+                for (requester, dest_pos) in pending {
+                    out.extend(self.on_migrate_req(
+                        Endpoint::Server(requester),
+                        v.clone(),
+                        dest_pos,
+                    ));
+                }
+            }
+        }
+
+        if let Some(dest_pos) = self.node.rr_remove_entry(&v) {
+            out.push(Outbound::To(head_server, Message::MigrateReq { v, dest_pos }));
+        }
+        out
+    }
+
+    /// Fig. 11 `migrate(v)` at the head server: hand out the replacement,
+    /// and once all `y` holders have migrated, retire the replacement's
+    /// old copies.
+    fn on_migrate_req(&mut self, from: Endpoint, v: V, dest_pos: u64) -> Vec<Outbound<V>> {
+        let y = match self.spec {
+            StrategySpec::RoundRobin { y } => y,
+            _ => return Vec::new(),
+        };
+        let requester = from.as_server().expect("migrations come from servers");
+
+        let Some(state) = self.node.rr_migrations.get_mut(&v) else {
+            // No context yet: either this request raced ahead of our own
+            // copy of the RrRemove broadcast (buffer and replay), or it is
+            // truly stale. The buffer is bounded; stale leftovers are
+            // overwritten by the next migration of the same entry.
+            let pending = self.node.rr_pending_migrations.entry(v).or_default();
+            if pending.len() < self.n {
+                pending.push((requester, dest_pos));
+            }
+            return Vec::new();
+        };
+        state.remaining = state.remaining.saturating_sub(1);
+        let done = state.remaining == 0;
+        let replacement = state.replacement.clone();
+        let old_pos = state.old_pos;
+
+        let mut out = vec![Outbound::To(
+            requester,
+            Message::MigrateRep { v: v.clone(), dest_pos, replacement: replacement.clone() },
+        )];
+        if done {
+            self.node.rr_migrations.remove(&v);
+            if replacement.is_some() {
+                // All migrations answered: remove the replacement's old
+                // copies by position, so the new copies survive on
+                // overlapping servers.
+                for k in 0..y {
+                    let dest = ServerId::new((old_pos % self.n as u64) as u32).wrapping_add(k, self.n);
+                    out.push(Outbound::To(dest, Message::RrRemoveAt { pos: old_pos }));
+                }
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn engines_share_hash_family_but_not_rng() {
+        let mut a: NodeEngine<u64> = NodeEngine::new(0.into(), 4, StrategySpec::hash(2), 9).unwrap();
+        let b: NodeEngine<u64> = NodeEngine::new(1.into(), 4, StrategySpec::hash(2), 9).unwrap();
+        // Same family: an add handled at either server targets the same
+        // destinations.
+        let out_a = a.handle(Endpoint::client(0), Message::AddReq { v: 42 });
+        let mut a2: NodeEngine<u64> =
+            NodeEngine::new(1.into(), 4, StrategySpec::hash(2), 9).unwrap();
+        let out_b = a2.handle(Endpoint::client(0), Message::AddReq { v: 42 });
+        assert_eq!(out_a, out_b);
+        drop(b);
+    }
+
+    #[test]
+    fn out_of_range_server_id_rejected() {
+        let err = NodeEngine::<u64>::new(5.into(), 4, StrategySpec::fixed(2), 0).unwrap_err();
+        assert_eq!(err, ConfigError::InvalidParameter("server id out of range"));
+    }
+
+    #[test]
+    fn only_server_zero_gets_coordinator() {
+        let e0: NodeEngine<u64> =
+            NodeEngine::new(0.into(), 3, StrategySpec::round_robin(2), 1).unwrap();
+        let e1: NodeEngine<u64> =
+            NodeEngine::new(1.into(), 3, StrategySpec::round_robin(2), 1).unwrap();
+        assert_eq!(e0.rr_counters(), Some((0, 0)));
+        assert_eq!(e1.rr_counters(), None);
+    }
+
+    #[test]
+    fn reservoir_keeps_a_uniform_subset_under_adds() {
+        // Vitter's guarantee: after placing x entries and streaming in
+        // adds (no deletes), the kept x-subset is uniform over everything
+        // seen. Check per-entry membership frequency across many seeds:
+        // each of the h entries should be kept with probability x/h.
+        let x = 5;
+        let h = 40u64;
+        let trials = 3000;
+        let mut kept_counts = vec![0u32; h as usize];
+        for seed in 0..trials {
+            let mut e: NodeEngine<u64> =
+                NodeEngine::new(0.into(), 1, StrategySpec::random_server(x), seed).unwrap();
+            e.handle(
+                Endpoint::client(0),
+                Message::ChooseSubset { entries: (0..x as u64).collect(), x },
+            );
+            for v in x as u64..h {
+                e.handle(Endpoint::client(0), Message::SampledStore { v, x });
+            }
+            for v in e.entries() {
+                kept_counts[*v as usize] += 1;
+            }
+        }
+        let expected = trials as f64 * x as f64 / h as f64; // 375
+        for (v, &count) in kept_counts.iter().enumerate() {
+            let deviation = (count as f64 - expected).abs() / expected;
+            assert!(
+                deviation < 0.18,
+                "entry {v} kept {count} times vs expected {expected:.0} (deviation {deviation:.2})"
+            );
+        }
+    }
+
+    #[test]
+    fn migrate_request_racing_ahead_of_rr_remove_is_buffered() {
+        // Over TCP, server 2's MigrateReq can reach the head server before
+        // the head server's own copy of the RrRemove broadcast. The head
+        // must buffer it and answer once the context exists.
+        let n = 4;
+        let y = 2;
+        let mut head: NodeEngine<u64> =
+            NodeEngine::new(0.into(), n, StrategySpec::round_robin(y), 3).unwrap();
+        // Entry 10 at head position 0 (servers 0,1); entry 30 at position
+        // 2 (servers 2,3).
+        head.handle(Endpoint::client(0), Message::RrStore { v: 10, pos: 0 });
+        head.handle(Endpoint::client(0), Message::RrInit { h: 4 });
+
+        // The racing request arrives first: no reply yet.
+        let early = head.handle(
+            Endpoint::Server(ServerId::new(2)),
+            Message::MigrateReq { v: 30, dest_pos: 2 },
+        );
+        assert!(early.is_empty());
+
+        // Now the head's own RrRemove lands: the buffered request is
+        // answered with the head entry as replacement.
+        let out = head.handle(
+            Endpoint::Server(ServerId::new(0)),
+            Message::RrRemove { v: 30, head_pos: 0 },
+        );
+        assert!(
+            out.contains(&Outbound::To(
+                ServerId::new(2),
+                Message::MigrateRep { v: 30, dest_pos: 2, replacement: Some(10) },
+            )),
+            "buffered request not replayed: {out:?}"
+        );
+
+        // The second (in-order) request completes the migration and
+        // retires the replacement's old copies.
+        let out = head.handle(
+            Endpoint::Server(ServerId::new(3)),
+            Message::MigrateReq { v: 30, dest_pos: 2 },
+        );
+        assert!(out.contains(&Outbound::To(
+            ServerId::new(3),
+            Message::MigrateRep { v: 30, dest_pos: 2, replacement: Some(10) },
+        )));
+        assert!(out.contains(&Outbound::To(ServerId::new(0), Message::RrRemoveAt { pos: 0 })));
+        assert!(out.contains(&Outbound::To(ServerId::new(1), Message::RrRemoveAt { pos: 0 })));
+    }
+
+    #[test]
+    fn rr_set_counters_overrides_init() {
+        let mut e: NodeEngine<u64> =
+            NodeEngine::new(0.into(), 3, StrategySpec::round_robin(2), 5).unwrap();
+        e.handle(Endpoint::client(0), Message::RrInit { h: 10 });
+        assert_eq!(e.rr_counters(), Some((0, 10)));
+        e.handle(Endpoint::client(0), Message::RrSetCounters { head: 4, tail: 17 });
+        assert_eq!(e.rr_counters(), Some((4, 17)));
+    }
+
+    #[test]
+    fn mirrored_add_emits_counter_sync() {
+        let mut e: NodeEngine<u64> =
+            NodeEngine::new(1.into(), 4, StrategySpec::round_robin(2), 6).unwrap();
+        e.set_rr_mirrors(2);
+        assert_eq!(e.rr_mirrors(), 2);
+        e.handle(Endpoint::client(0), Message::RrSetCounters { head: 0, tail: 5 });
+        let out = e.handle(Endpoint::client(0), Message::AddReq { v: 9 });
+        // Two RrStore destinations plus one counter sync to mirror 0.
+        assert!(out.contains(&Outbound::To(
+            ServerId::new(0),
+            Message::RrSetCounters { head: 0, tail: 6 }
+        )));
+        let stores = out
+            .iter()
+            .filter(|o| matches!(o, Outbound::To(_, Message::RrStore { .. })))
+            .count();
+        assert_eq!(stores, 2);
+    }
+
+    #[test]
+    fn unmirrored_updates_emit_no_counter_sync() {
+        let mut e: NodeEngine<u64> =
+            NodeEngine::new(0.into(), 4, StrategySpec::round_robin(2), 7).unwrap();
+        e.handle(Endpoint::client(0), Message::RrInit { h: 0 });
+        let out = e.handle(Endpoint::client(0), Message::AddReq { v: 1 });
+        assert!(
+            !out.iter().any(|o| matches!(o, Outbound::To(_, Message::RrSetCounters { .. }))),
+            "single-coordinator mode must not sync counters: {out:?}"
+        );
+    }
+
+    #[test]
+    fn set_rr_mirrors_is_noop_for_other_strategies() {
+        let mut e: NodeEngine<u64> =
+            NodeEngine::new(0.into(), 4, StrategySpec::hash(2), 8).unwrap();
+        e.set_rr_mirrors(3);
+        assert_eq!(e.rr_mirrors(), 1);
+        assert_eq!(e.rr_counters(), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "mirrors must be in 1..=n")]
+    fn zero_mirrors_rejected() {
+        let mut e: NodeEngine<u64> =
+            NodeEngine::new(0.into(), 4, StrategySpec::round_robin(2), 9).unwrap();
+        e.set_rr_mirrors(0);
+    }
+
+    #[test]
+    fn assigns_to_matches_actual_placement() {
+        let n = 6;
+        let engines: Vec<NodeEngine<u64>> = (0..n)
+            .map(|i| NodeEngine::new(ServerId::new(i as u32), n, StrategySpec::hash(2), 10))
+            .collect::<Result<_, _>>()
+            .unwrap();
+        for v in 0..50u64 {
+            let assigned: Vec<usize> = (0..n)
+                .filter(|&i| engines[0].assigns_to(&v, ServerId::new(i as u32)))
+                .collect();
+            assert!(!assigned.is_empty() && assigned.len() <= 2, "entry {v}: {assigned:?}");
+            // Every engine agrees on the assignment (shared family).
+            for e in &engines {
+                let theirs: Vec<usize> = (0..n)
+                    .filter(|&i| e.assigns_to(&v, ServerId::new(i as u32)))
+                    .collect();
+                assert_eq!(theirs, assigned, "entry {v}");
+            }
+        }
+    }
+
+    #[test]
+    fn store_and_sample_roundtrip() {
+        let mut e: NodeEngine<u64> =
+            NodeEngine::new(0.into(), 2, StrategySpec::full_replication(), 2).unwrap();
+        assert!(e.handle(Endpoint::client(0), Message::StoreSet { entries: vec![1, 2, 3] }).is_empty());
+        assert_eq!(e.entries().len(), 3);
+        let s = e.sample(2);
+        assert_eq!(s.len(), 2);
+        let s = e.sample(10);
+        assert_eq!(s.len(), 3);
+    }
+}

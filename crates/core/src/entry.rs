@@ -1,0 +1,56 @@
+//! The entry abstraction.
+//!
+//! The paper treats entries as opaque, equal-sized values (IP addresses,
+//! URLs, file locations). Anything cloneable, hashable and comparable can
+//! be an entry; simulations use plain `u64` ids, the live deployment uses
+//! byte strings.
+
+use std::fmt::Debug;
+use std::hash::Hash;
+
+/// Types that can serve as lookup-service entries.
+///
+/// This is a blanket trait: implement nothing — any `Clone + Eq + Hash +
+/// Debug` type qualifies automatically. `Hash` is required because Hash-y
+/// derives server assignments from a hash of the entry, and because servers
+/// index their local stores by entry.
+///
+/// # Example
+///
+/// ```
+/// use pls_core::Entry;
+/// fn assert_entry<V: Entry>() {}
+/// assert_entry::<u64>();
+/// assert_entry::<String>();
+/// assert_entry::<(u32, &'static str)>();
+/// ```
+pub trait Entry: Clone + Eq + Hash + Debug {}
+
+impl<T: Clone + Eq + Hash + Debug> Entry for T {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[derive(Debug, Clone, PartialEq, Eq, Hash)]
+    struct SongLocation {
+        host: String,
+        port: u16,
+    }
+
+    fn requires_entry<V: Entry>(v: V) -> V {
+        v
+    }
+
+    #[test]
+    fn custom_structs_are_entries() {
+        let loc = SongLocation { host: "peer1.example".into(), port: 6699 };
+        assert_eq!(requires_entry(loc.clone()), loc);
+    }
+
+    #[test]
+    fn primitive_entries() {
+        assert_eq!(requires_entry(17u64), 17);
+        assert_eq!(requires_entry("url"), "url");
+    }
+}

@@ -1,0 +1,63 @@
+//! Errors surfaced by the service interface.
+
+use std::error::Error;
+use std::fmt;
+
+/// Error performing a service operation (`place`, `add`, `delete`,
+/// `partial_lookup`).
+///
+/// Note that retrieving *fewer than `t`* entries is **not** an error: the
+/// paper treats it as a lookup *failure metric* (e.g. the cushion
+/// experiment of Fig. 12) and the client still receives whatever was found
+/// — check [`LookupResult::is_satisfied`]. An error is returned only when
+/// the operation could not run at all.
+///
+/// [`LookupResult::is_satisfied`]: crate::LookupResult::is_satisfied
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ServiceError {
+    /// Every server in the cluster has failed; there is nobody to ask.
+    AllServersFailed,
+    /// A lookup with `t == 0` was requested; the target answer size must
+    /// be positive.
+    ZeroTarget,
+    /// A Round-Robin-y update was requested while the dedicated
+    /// coordinator server (server 0, which holds the `head`/`tail`
+    /// counters of Fig. 10) is down — the single-point-of-failure
+    /// drawback the paper calls out in §5.4.
+    CoordinatorUnavailable,
+}
+
+impl fmt::Display for ServiceError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ServiceError::AllServersFailed => write!(f, "all servers have failed"),
+            ServiceError::ZeroTarget => write!(f, "target answer size must be positive"),
+            ServiceError::CoordinatorUnavailable => {
+                write!(f, "round-robin coordinator server is down")
+            }
+        }
+    }
+}
+
+impl Error for ServiceError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_lowercase_and_concise() {
+        assert_eq!(ServiceError::AllServersFailed.to_string(), "all servers have failed");
+        assert_eq!(ServiceError::ZeroTarget.to_string(), "target answer size must be positive");
+        assert_eq!(
+            ServiceError::CoordinatorUnavailable.to_string(),
+            "round-robin coordinator server is down"
+        );
+    }
+
+    #[test]
+    fn is_error_send_sync() {
+        fn assert_good_error<E: Error + Send + Sync + 'static>() {}
+        assert_good_error::<ServiceError>();
+    }
+}

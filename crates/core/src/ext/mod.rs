@@ -1,0 +1,15 @@
+//! The paper's §7 variations, relaxing its two client assumptions.
+//!
+//! The core service assumes a client (a) is happy with *any* `t` entries
+//! and (b) can reach all `n` servers directly. Section 7 sketches what
+//! changes when either assumption is dropped:
+//!
+//! * [`preferences`] — clients rank entries by a cost function and want
+//!   the `t` *best* entries (§7.1).
+//! * [`reachability`] — clients sit in an overlay and can only reach
+//!   servers within `d` hops (§7.2); placement must guarantee every
+//!   client a nearby server, and there is a lookup-cost/update-cost
+//!   trade-off in choosing `d`.
+
+pub mod preferences;
+pub mod reachability;

@@ -1,0 +1,178 @@
+//! Clients with preferences (§7.1): return the `t` *best* entries.
+//!
+//! Formally: client `i` has a cost function `C_i` over entries and wants
+//! an answer `R`, `|R| = t`, such that every returned entry costs no more
+//! than every omitted one. The paper notes this is easy when `C_i` is
+//! known — the subtlety is that a *partial* placement means no single
+//! server can rank globally, so the client must decide how many servers
+//! to consult: more probes → better answers, higher lookup cost.
+//!
+//! Two client procedures are provided:
+//!
+//! * [`preferred_lookup_exhaustive`] — contact every operational server;
+//!   guaranteed globally optimal over the surviving coverage.
+//! * [`preferred_lookup_budgeted`] — stop early under a probe budget once
+//!   `t` entries are in hand; optimal only over what was seen, trading
+//!   answer quality for lookup cost exactly as §7.2's `d` trades update
+//!   cost for lookup cost.
+
+use crate::{Cluster, Entry, LookupResult, ServiceError};
+
+/// A client's preference over entries: lower cost is better.
+///
+/// Implemented for closures, so `|v: &V| …` works directly.
+pub trait CostFunction<V> {
+    /// The cost the client assigns to `v`.
+    fn cost(&self, v: &V) -> f64;
+}
+
+impl<V, F: Fn(&V) -> f64> CostFunction<V> for F {
+    fn cost(&self, v: &V) -> f64 {
+        self(v)
+    }
+}
+
+/// Sorts candidates by cost (ties broken arbitrarily but
+/// deterministically) and keeps the best `t`.
+fn best_t<V: Entry, C: CostFunction<V>>(mut candidates: Vec<V>, t: usize, cost: &C) -> Vec<V> {
+    candidates.sort_by(|a, b| {
+        cost.cost(a).partial_cmp(&cost.cost(b)).unwrap_or(std::cmp::Ordering::Equal)
+    });
+    candidates.truncate(t);
+    candidates
+}
+
+/// The `t` globally best entries over every operational server.
+///
+/// Contacts all operational servers, asking each for *all* its entries
+/// (the only way to guarantee the §7.1 optimality condition), then ranks.
+/// Lookup cost is the number of operational servers.
+///
+/// # Errors
+///
+/// Propagates the cluster's lookup errors ([`ServiceError::ZeroTarget`],
+/// [`ServiceError::AllServersFailed`]).
+pub fn preferred_lookup_exhaustive<V: Entry, C: CostFunction<V>>(
+    cluster: &mut Cluster<V>,
+    t: usize,
+    cost: &C,
+) -> Result<LookupResult<V>, ServiceError> {
+    // Asking for every entry forces the client procedure to keep probing
+    // until the full surviving coverage is merged.
+    let everything = cluster.partial_lookup(usize::MAX >> 1)?;
+    if t == 0 {
+        return Err(ServiceError::ZeroTarget);
+    }
+    let contacted = everything.contacted().to_vec();
+    let ranked = best_t(everything.into_entries(), t, cost);
+    Ok(LookupResult::new(ranked, contacted))
+}
+
+/// The `t` best entries among those seen within a probe budget.
+///
+/// Probes like a normal partial lookup (strategy-specific order) but asks
+/// each server for everything it has, stopping as soon as ≥ `t` candidates
+/// were gathered or `max_probes` servers were contacted. The answer is
+/// optimal *over the candidates seen*, not globally.
+///
+/// # Errors
+///
+/// [`ServiceError::ZeroTarget`] if `t == 0` or `max_probes == 0`;
+/// [`ServiceError::AllServersFailed`] if no server is operational.
+pub fn preferred_lookup_budgeted<V: Entry, C: CostFunction<V>>(
+    cluster: &mut Cluster<V>,
+    t: usize,
+    max_probes: usize,
+    cost: &C,
+) -> Result<LookupResult<V>, ServiceError> {
+    if t == 0 || max_probes == 0 {
+        return Err(ServiceError::ZeroTarget);
+    }
+    // Reuse the strategy's probe order by asking for a huge target, then
+    // trim the trace to the budget. The cluster's own procedure stops when
+    // it has merged every reachable entry.
+    let full = cluster.partial_lookup(usize::MAX >> 1)?;
+    let mut candidates = Vec::new();
+    let mut contacted = Vec::new();
+    for &s in full.contacted().iter().take(max_probes) {
+        contacted.push(s);
+        for v in cluster.server_entries(s) {
+            if !candidates.contains(v) {
+                candidates.push(v.clone());
+            }
+        }
+        if candidates.len() >= t {
+            break;
+        }
+    }
+    Ok(LookupResult::new(best_t(candidates, t, cost), contacted))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::StrategySpec;
+
+    /// Latency-like cost: prefer numerically small entries.
+    fn latency(v: &u64) -> f64 {
+        *v as f64
+    }
+
+    #[test]
+    fn exhaustive_returns_global_best() {
+        let mut c = Cluster::new(10, StrategySpec::round_robin(2), 31).unwrap();
+        c.place((0..100u64).collect()).unwrap();
+        let r = preferred_lookup_exhaustive(&mut c, 5, &latency).unwrap();
+        assert_eq!(r.entries(), &[0, 1, 2, 3, 4]);
+        // Exhaustive means every operational server was consulted.
+        assert_eq!(r.servers_contacted(), 10);
+    }
+
+    #[test]
+    fn exhaustive_respects_failures() {
+        let mut c = Cluster::new(10, StrategySpec::round_robin(1), 32).unwrap();
+        c.place((0..100u64).collect()).unwrap();
+        // Entry 0 lives only on server 0 under Round-1; kill it.
+        c.fail_server(crate::ServerId::new(0));
+        let r = preferred_lookup_exhaustive(&mut c, 3, &latency).unwrap();
+        // The best *surviving* entries exclude those on server 0
+        // (0, 10, 20, ... were placed there).
+        assert!(!r.entries().contains(&0));
+        assert_eq!(r.entries(), &[1, 2, 3]);
+    }
+
+    #[test]
+    fn budgeted_trades_quality_for_cost() {
+        let mut c = Cluster::new(10, StrategySpec::random_server(20), 33).unwrap();
+        c.place((0..100u64).collect()).unwrap();
+        let cheap = preferred_lookup_budgeted(&mut c, 5, 1, &latency).unwrap();
+        assert_eq!(cheap.servers_contacted(), 1);
+        assert_eq!(cheap.entries().len(), 5);
+        let thorough = preferred_lookup_exhaustive(&mut c, 5, &latency).unwrap();
+        let cheap_cost: f64 = cheap.entries().iter().map(latency).sum();
+        let best_cost: f64 = thorough.entries().iter().map(latency).sum();
+        assert!(best_cost <= cheap_cost);
+    }
+
+    #[test]
+    fn closures_capture_client_state() {
+        // A client that prefers entries close to its own id.
+        let my_id = 57u64;
+        let proximity = move |v: &u64| (*v as f64 - my_id as f64).abs();
+        let mut c = Cluster::new(5, StrategySpec::full_replication(), 34).unwrap();
+        c.place((0..100u64).collect()).unwrap();
+        let r = preferred_lookup_exhaustive(&mut c, 3, &proximity).unwrap();
+        let mut got = r.into_entries();
+        got.sort_unstable();
+        assert_eq!(got, vec![56, 57, 58]);
+    }
+
+    #[test]
+    fn zero_target_rejected() {
+        let mut c = Cluster::new(3, StrategySpec::full_replication(), 35).unwrap();
+        c.place((0..10u64).collect()).unwrap();
+        assert!(preferred_lookup_exhaustive(&mut c, 0, &latency).is_err());
+        assert!(preferred_lookup_budgeted(&mut c, 0, 3, &latency).is_err());
+        assert!(preferred_lookup_budgeted(&mut c, 3, 0, &latency).is_err());
+    }
+}

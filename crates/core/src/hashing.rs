@@ -1,0 +1,180 @@
+//! The hash-function family used by Hash-y (§3.5).
+//!
+//! Hash-y assigns entry `v` to servers `f_1(v), f_2(v), …, f_y(v)`. Each
+//! `f_i` must be (a) computable by *any* node from `v` alone — that is the
+//! whole point: updates go straight to the affected servers with no
+//! broadcast — and (b) stable across processes so a restarted client agrees
+//! with the cluster. We therefore avoid `RandomState`-style per-process
+//! seeding and build the family from a fixed base seed: `f_i(v) =
+//! splitmix64(seed_i ⊕ H(v)) mod n`, where `H` is `std`'s SipHash with
+//! fixed keys and `seed_i` is derived from the base seed by splitmix64
+//! iteration.
+
+use std::collections::hash_map::DefaultHasher;
+use std::hash::{Hash, Hasher};
+
+use pls_net::ServerId;
+
+/// splitmix64 finalizer: a fast, well-mixed 64-bit permutation.
+fn splitmix64(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+/// A family of `y` independent hash functions onto `n` servers.
+///
+/// # Example
+///
+/// ```
+/// use pls_core::HashFamily;
+/// let family = HashFamily::new(3, 10, 0xC0FFEE);
+/// let servers = family.assign(&"song.mp3");
+/// assert!(!servers.is_empty() && servers.len() <= 3);
+/// // Deterministic: any node computes the same assignment.
+/// assert_eq!(servers, HashFamily::new(3, 10, 0xC0FFEE).assign(&"song.mp3"));
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HashFamily {
+    seeds: Vec<u64>,
+    n: usize,
+}
+
+impl HashFamily {
+    /// Creates a family of `y` functions mapping onto servers `0..n`,
+    /// derived from `base_seed`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `y` or `n` is zero.
+    pub fn new(y: usize, n: usize, base_seed: u64) -> Self {
+        assert!(y > 0, "need at least one hash function");
+        assert!(n > 0, "need at least one server");
+        let mut seeds = Vec::with_capacity(y);
+        let mut s = splitmix64(base_seed);
+        for _ in 0..y {
+            seeds.push(s);
+            s = splitmix64(s);
+        }
+        HashFamily { seeds, n }
+    }
+
+    /// Number of hash functions (`y`).
+    pub fn y(&self) -> usize {
+        self.seeds.len()
+    }
+
+    /// Number of servers hashed onto (`n`).
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// `f_i(v)` for the `i`-th function (0-based).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= y`.
+    pub fn server_for<V: Hash>(&self, i: usize, v: &V) -> ServerId {
+        let mut hasher = DefaultHasher::new();
+        v.hash(&mut hasher);
+        let hv = hasher.finish();
+        let mixed = splitmix64(self.seeds[i] ^ hv);
+        ServerId::new((mixed % self.n as u64) as u32)
+    }
+
+    /// The *distinct* servers `{f_1(v), …, f_y(v)}`, in function order
+    /// with duplicates removed — the paper stores a colliding entry only
+    /// once.
+    pub fn assign<V: Hash>(&self, v: &V) -> Vec<ServerId> {
+        let mut out: Vec<ServerId> = Vec::with_capacity(self.seeds.len());
+        for i in 0..self.seeds.len() {
+            let s = self.server_for(i, v);
+            if !out.contains(&s) {
+                out.push(s);
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn deterministic_across_instances() {
+        let a = HashFamily::new(4, 7, 99);
+        let b = HashFamily::new(4, 7, 99);
+        for v in 0u64..100 {
+            assert_eq!(a.assign(&v), b.assign(&v));
+        }
+    }
+
+    #[test]
+    fn different_seeds_give_different_assignments() {
+        let a = HashFamily::new(2, 10, 1);
+        let b = HashFamily::new(2, 10, 2);
+        let same = (0u64..200).filter(|v| a.assign(v) == b.assign(v)).count();
+        // With 10 servers and 2 functions, identical assignments for all
+        // 200 entries would be astronomically unlikely.
+        assert!(same < 50, "{same} identical assignments");
+    }
+
+    #[test]
+    fn assignment_size_bounds() {
+        let f = HashFamily::new(3, 10, 5);
+        for v in 0u64..500 {
+            let servers = f.assign(&v);
+            assert!(!servers.is_empty() && servers.len() <= 3);
+            // All in range, all distinct.
+            let mut seen = std::collections::HashSet::new();
+            for s in servers {
+                assert!(s.index() < 10);
+                assert!(seen.insert(s));
+            }
+        }
+    }
+
+    #[test]
+    fn collisions_collapse_when_y_exceeds_n() {
+        let f = HashFamily::new(8, 3, 5);
+        for v in 0u64..100 {
+            assert!(f.assign(&v).len() <= 3);
+        }
+    }
+
+    #[test]
+    fn load_is_roughly_balanced() {
+        // The expected per-server load for Hash-1 over h entries is h/n.
+        let f = HashFamily::new(1, 10, 123);
+        let mut counts = [0usize; 10];
+        let h = 20_000u64;
+        for v in 0..h {
+            counts[f.server_for(0, &v).index()] += 1;
+        }
+        for (i, &c) in counts.iter().enumerate() {
+            let expected = h as f64 / 10.0;
+            assert!(
+                (c as f64 - expected).abs() < expected * 0.1,
+                "server {i} load {c} vs expected {expected}"
+            );
+        }
+    }
+
+    proptest! {
+        /// Strings hash just as well as integers: assignments are stable
+        /// and within bounds for arbitrary entry payloads.
+        #[test]
+        fn arbitrary_entries_assign_in_range(v in ".*", y in 1usize..6, n in 1usize..20) {
+            let f = HashFamily::new(y, n, 42);
+            let servers = f.assign(&v);
+            prop_assert!(!servers.is_empty());
+            prop_assert!(servers.len() <= y.min(n));
+            for s in servers {
+                prop_assert!(s.index() < n);
+            }
+        }
+    }
+}

@@ -1,0 +1,82 @@
+//! The result of a partial lookup.
+
+use pls_net::ServerId;
+
+use crate::Entry;
+
+/// What a `partial_lookup(t)` returned: the merged distinct entries and
+/// which servers the client contacted, in contact order.
+///
+/// Per the service definition (§2), the answer is *any* subset of the
+/// key's entries with size ≥ `t`; merging replies from several servers can
+/// return more than `t`. When the placement cannot satisfy `t` (e.g.
+/// Fixed-x with `x < t`, or after deletes ate the cushion) the result
+/// holds everything that was found and [`LookupResult::is_satisfied`]
+/// reports `false` — the paper's "lookup failure" (§6.2).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LookupResult<V> {
+    entries: Vec<V>,
+    contacted: Vec<ServerId>,
+}
+
+impl<V: Entry> LookupResult<V> {
+    pub(crate) fn new(entries: Vec<V>, contacted: Vec<ServerId>) -> Self {
+        debug_assert!(
+            {
+                let mut dedup = std::collections::HashSet::new();
+                entries.iter().all(|v| dedup.insert(v.clone()))
+            },
+            "lookup answers are distinct"
+        );
+        LookupResult { entries, contacted }
+    }
+
+    /// The distinct entries retrieved, in retrieval order.
+    pub fn entries(&self) -> &[V] {
+        &self.entries
+    }
+
+    /// The servers contacted, in order.
+    pub fn contacted(&self) -> &[ServerId] {
+        &self.contacted
+    }
+
+    /// Number of servers contacted — the paper's *client lookup cost*
+    /// (§4.2) for this single lookup.
+    pub fn servers_contacted(&self) -> usize {
+        self.contacted.len()
+    }
+
+    /// Whether the lookup met its target answer size.
+    pub fn is_satisfied(&self, t: usize) -> bool {
+        self.entries.len() >= t
+    }
+
+    /// Consumes the result, returning the entries.
+    pub fn into_entries(self) -> Vec<V> {
+        self.entries
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accessors_and_satisfaction() {
+        let r = LookupResult::new(vec![1u32, 2, 3], vec![ServerId::new(4)]);
+        assert_eq!(r.entries(), &[1, 2, 3]);
+        assert_eq!(r.servers_contacted(), 1);
+        assert_eq!(r.contacted(), &[ServerId::new(4)]);
+        assert!(r.is_satisfied(3));
+        assert!(!r.is_satisfied(4));
+        assert_eq!(r.into_entries(), vec![1, 2, 3]);
+    }
+
+    #[test]
+    #[cfg(debug_assertions)]
+    #[should_panic(expected = "distinct")]
+    fn duplicate_answers_are_a_bug() {
+        let _ = LookupResult::new(vec![1u32, 1], vec![]);
+    }
+}

@@ -1,0 +1,158 @@
+//! The wire protocol of the five strategies.
+//!
+//! Every `place` / `add` / `delete` is a client request delivered to one
+//! server (the *coordinator* for that operation), which fans out internal
+//! messages. The message set below is the union of all five strategies'
+//! protocols; which subset a cluster uses depends on its
+//! [`StrategySpec`](crate::StrategySpec).
+
+/// Messages exchanged between clients and servers, and among servers.
+///
+/// The round-robin subset implements Figure 11 of the paper: `RrRemove` is
+/// the broadcast `remove(v, head)`, `MigrateReq`/`MigrateRep` are the
+/// `migrate(v)` RPC split into an asynchronous request/response pair, and
+/// `RrRemoveAt` is the final `remove(u)` cleanup of the replacement
+/// entry's old copies (addressed by position so the freshly migrated
+/// copies survive).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Message<V> {
+    // ---- client requests ----
+    /// Batch-specify the entry set (§2 `place`). Sent to a random server.
+    PlaceReq {
+        /// The full entry set `v_1 .. v_h`.
+        entries: Vec<V>,
+    },
+    /// Incremental insert (§2 `add`).
+    AddReq {
+        /// The new entry.
+        v: V,
+    },
+    /// Incremental removal (§2 `delete`).
+    DeleteReq {
+        /// The entry to remove.
+        v: V,
+    },
+
+    // ---- shared internals ----
+    /// Discard all local state for this key (sent ahead of a fresh
+    /// `place` by strategies whose placement messages are per-entry and
+    /// would otherwise merge with leftovers).
+    Reset,
+
+    // ---- replication-family internals ----
+    /// Overwrite the local store with exactly this set (full replication
+    /// and Fixed-x placement broadcasts).
+    StoreSet {
+        /// Entries every receiver must copy.
+        entries: Vec<V>,
+    },
+    /// RandomServer-x placement broadcast: each receiver independently
+    /// keeps a uniformly random `x`-subset.
+    ChooseSubset {
+        /// The full entry set to sample from.
+        entries: Vec<V>,
+        /// Subset size each server keeps.
+        x: usize,
+    },
+    /// Store a single entry locally.
+    Store {
+        /// The entry.
+        v: V,
+    },
+    /// Remove a single entry locally.
+    Remove {
+        /// The entry.
+        v: V,
+    },
+    /// RandomServer-x add broadcast: reservoir-sampling step (Vitter).
+    /// Receiver increments its local entry counter `h` and keeps `v` with
+    /// probability `x/h` (always, when it still has fewer than `x`).
+    SampledStore {
+        /// The new entry.
+        v: V,
+        /// The reservoir size `x`.
+        x: usize,
+    },
+    /// RandomServer-x delete broadcast: receiver decrements its local `h`
+    /// and drops its copy of `v` if it has one.
+    CountedRemove {
+        /// The deleted entry.
+        v: V,
+    },
+
+    // ---- round-robin internals (Fig. 11) ----
+    /// Initialize the coordinator counters after a `place` of `h` entries:
+    /// `head = 0`, `tail = h`.
+    RrInit {
+        /// Number of placed entries.
+        h: u64,
+    },
+    /// Restore the coordinator counters to explicit values (recovery
+    /// resync of server 0).
+    RrSetCounters {
+        /// Position of the oldest live entry.
+        head: u64,
+        /// Position the next added entry will receive.
+        tail: u64,
+    },
+    /// Store `v` at round-robin position `pos`.
+    RrStore {
+        /// The entry.
+        v: V,
+        /// Its global position in the round-robin sequence.
+        pos: u64,
+    },
+    /// The coordinator's `remove(v, head)` broadcast: delete `v`, and ask
+    /// the head server for a replacement to plug the hole.
+    RrRemove {
+        /// The entry being deleted.
+        v: V,
+        /// The head position *before* the coordinator advanced it; the
+        /// entry living there becomes the replacement.
+        head_pos: u64,
+    },
+    /// `migrate(v)`: a server that deleted its copy of `v` (which sat at
+    /// position `dest_pos`) asks the head server for the replacement.
+    MigrateReq {
+        /// The deleted entry.
+        v: V,
+        /// The now-vacant position the replacement will adopt.
+        dest_pos: u64,
+    },
+    /// Reply to [`Message::MigrateReq`]: store `replacement` at
+    /// `dest_pos`. `None` means the deleted entry *was* the head entry, so
+    /// no migration is needed.
+    MigrateRep {
+        /// The entry that was deleted (keys the requester's context).
+        v: V,
+        /// The vacant position.
+        dest_pos: u64,
+        /// The entry to move into the hole, if any.
+        replacement: Option<V>,
+    },
+    /// Remove whatever entry sits at round-robin position `pos` — the
+    /// replacement entry's old copy, after all migrations completed.
+    RrRemoveAt {
+        /// The stale position.
+        pos: u64,
+    },
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn messages_are_cloneable_and_comparable() {
+        let m: Message<u32> = Message::RrRemove { v: 7, head_pos: 3 };
+        assert_eq!(m.clone(), m);
+        let rep: Message<u32> = Message::MigrateRep { v: 7, dest_pos: 5, replacement: None };
+        assert_ne!(rep, m);
+    }
+
+    #[test]
+    fn debug_is_informative() {
+        let m: Message<&str> = Message::Store { v: "peer9" };
+        assert!(format!("{m:?}").contains("peer9"));
+    }
+}

@@ -1,0 +1,173 @@
+//! Per-server state.
+//!
+//! Each of the `n` servers keeps a local entry store plus whatever
+//! strategy-specific bookkeeping its protocol needs: RandomServer-x's
+//! local entry counter, and Round-Robin-y's position slots, the
+//! coordinator counters (on server 0), and in-flight migration contexts.
+
+use std::collections::{BTreeMap, HashMap};
+
+use crate::{Entry, IndexedSet};
+
+/// The round-robin coordinator counters (paper Fig. 10: `head`/`tail`,
+/// kept on one dedicated server).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub(crate) struct RrCoord {
+    /// Position of the oldest live entry.
+    pub head: u64,
+    /// Position the next added entry will receive.
+    pub tail: u64,
+}
+
+/// Context the head server keeps while a Fig. 11 migration is in flight.
+#[derive(Debug, Clone)]
+pub(crate) struct MigrationState<V> {
+    /// `M[v]`: how many `migrate(v)` requests are still expected.
+    pub remaining: usize,
+    /// `R[v]`: the replacement entry, i.e. the entry that sat at the head
+    /// position. `None` when the deleted entry *was* the head entry.
+    pub replacement: Option<V>,
+    /// The replacement's old position, whose copies are removed once all
+    /// migrations complete.
+    pub old_pos: u64,
+}
+
+/// One server's complete state.
+#[derive(Debug, Clone)]
+pub(crate) struct ServerNode<V> {
+    /// The local entry store every lookup samples from. For round-robin
+    /// this is the set of distinct entries across `rr_slots`, maintained
+    /// incrementally via `rr_refs`.
+    pub store: IndexedSet<V>,
+    /// RandomServer-x's local estimate of the system-wide entry count
+    /// (incremented on `SampledStore`, decremented on `CountedRemove`).
+    pub local_h: u64,
+    /// Round-robin: position → entry for every locally held copy.
+    pub rr_slots: BTreeMap<u64, V>,
+    /// Round-robin: how many positions currently map to each entry (an
+    /// entry can transiently occupy two positions mid-migration).
+    pub rr_refs: HashMap<V, usize>,
+    /// Coordinator counters; `Some` only on server 0 under round-robin.
+    pub rr_coord: Option<RrCoord>,
+    /// In-flight migration contexts, keyed by the deleted entry.
+    pub rr_migrations: HashMap<V, MigrationState<V>>,
+    /// Migration requests that arrived before this server's own copy of
+    /// the `RrRemove` broadcast (possible over transports without
+    /// cross-mailbox ordering, e.g. TCP): `(requester, dest_pos)` pairs,
+    /// replayed once the migration context exists.
+    pub rr_pending_migrations: HashMap<V, Vec<(pls_net::ServerId, u64)>>,
+}
+
+impl<V: Entry> ServerNode<V> {
+    pub(crate) fn new() -> Self {
+        ServerNode {
+            store: IndexedSet::new(),
+            local_h: 0,
+            rr_slots: BTreeMap::new(),
+            rr_refs: HashMap::new(),
+            rr_coord: None,
+            rr_migrations: HashMap::new(),
+            rr_pending_migrations: HashMap::new(),
+        }
+    }
+
+    /// Installs an entry at a round-robin position, keeping `store` and
+    /// `rr_refs` consistent. Overwriting an occupied position first
+    /// releases the old occupant.
+    pub(crate) fn rr_insert(&mut self, pos: u64, v: V) {
+        if let Some(old) = self.rr_slots.insert(pos, v.clone()) {
+            self.rr_release(&old);
+        }
+        *self.rr_refs.entry(v.clone()).or_insert(0) += 1;
+        self.store.insert(v);
+    }
+
+    /// Clears a round-robin position; returns the entry that occupied it.
+    pub(crate) fn rr_remove_at(&mut self, pos: u64) -> Option<V> {
+        let old = self.rr_slots.remove(&pos)?;
+        self.rr_release(&old);
+        Some(old)
+    }
+
+    /// Removes the (unique-position) copy of `v`; returns its position.
+    pub(crate) fn rr_remove_entry(&mut self, v: &V) -> Option<u64> {
+        let pos = self
+            .rr_slots
+            .iter()
+            .find_map(|(p, entry)| (entry == v).then_some(*p))?;
+        self.rr_remove_at(pos);
+        Some(pos)
+    }
+
+    fn rr_release(&mut self, v: &V) {
+        let count = self.rr_refs.get_mut(v).expect("ref-counted entry present");
+        *count -= 1;
+        if *count == 0 {
+            self.rr_refs.remove(v);
+            self.store.remove(v);
+        }
+    }
+}
+
+impl<V: Entry> Default for ServerNode<V> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rr_insert_and_remove_maintain_store() {
+        let mut node: ServerNode<u32> = ServerNode::new();
+        node.rr_insert(0, 10);
+        node.rr_insert(1, 11);
+        assert!(node.store.contains(&10));
+        assert!(node.store.contains(&11));
+        assert_eq!(node.rr_remove_at(0), Some(10));
+        assert!(!node.store.contains(&10));
+        assert!(node.store.contains(&11));
+    }
+
+    #[test]
+    fn duplicate_entry_at_two_positions_refcounts() {
+        // Mid-migration an entry can sit at its old and new position.
+        let mut node: ServerNode<u32> = ServerNode::new();
+        node.rr_insert(5, 42);
+        node.rr_insert(9, 42);
+        assert_eq!(node.store.len(), 1);
+        node.rr_remove_at(5);
+        // Still present via position 9.
+        assert!(node.store.contains(&42));
+        node.rr_remove_at(9);
+        assert!(node.store.is_empty());
+    }
+
+    #[test]
+    fn overwriting_a_position_releases_old_occupant() {
+        let mut node: ServerNode<u32> = ServerNode::new();
+        node.rr_insert(3, 1);
+        node.rr_insert(3, 2);
+        assert!(!node.store.contains(&1));
+        assert!(node.store.contains(&2));
+        assert_eq!(node.rr_slots.len(), 1);
+    }
+
+    #[test]
+    fn rr_remove_entry_finds_position() {
+        let mut node: ServerNode<u32> = ServerNode::new();
+        node.rr_insert(7, 70);
+        node.rr_insert(8, 80);
+        assert_eq!(node.rr_remove_entry(&80), Some(8));
+        assert_eq!(node.rr_remove_entry(&80), None);
+        assert_eq!(node.store.len(), 1);
+    }
+
+    #[test]
+    fn removing_vacant_position_is_none() {
+        let mut node: ServerNode<u32> = ServerNode::new();
+        assert_eq!(node.rr_remove_at(99), None);
+    }
+}

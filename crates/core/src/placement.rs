@@ -1,0 +1,222 @@
+//! A snapshot of which entries live on which servers.
+//!
+//! The paper evaluates strategies through their *instances*: concrete
+//! placements of entries onto servers (§4.5). [`Placement`] is that
+//! instance object — the metrics crate computes storage cost, coverage,
+//! fault tolerance, and unfairness over it without knowing which strategy
+//! produced it.
+
+use std::collections::HashMap;
+
+use pls_net::{FailureSet, ServerId};
+
+use crate::Entry;
+
+/// Per-server entry sets for one key: the "instance" of a strategy.
+///
+/// # Example
+///
+/// ```
+/// use pls_core::Placement;
+/// // Placement 2 of the paper's Figure 5: coverage 5 on 3 servers.
+/// let p = Placement::from_rows(vec![
+///     vec![1u32, 2],
+///     vec![2, 3],
+///     vec![4, 5],
+/// ]);
+/// assert_eq!(p.coverage(), 5);
+/// assert_eq!(p.storage_used(), 6);
+/// assert_eq!(p.replica_count(&2), 2);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Placement<V> {
+    rows: Vec<Vec<V>>,
+}
+
+impl<V: Entry> Placement<V> {
+    /// Builds a placement from one row of entries per server.
+    ///
+    /// Duplicate entries within a row are collapsed (a server stores an
+    /// entry at most once).
+    pub fn from_rows(rows: Vec<Vec<V>>) -> Self {
+        let rows = rows
+            .into_iter()
+            .map(|row| {
+                let mut seen = std::collections::HashSet::new();
+                row.into_iter().filter(|v| seen.insert(v.clone())).collect()
+            })
+            .collect();
+        Placement { rows }
+    }
+
+    /// Number of servers.
+    pub fn n(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// The entries stored on server `s`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `s` is out of range.
+    pub fn server_entries(&self, s: ServerId) -> &[V] {
+        &self.rows[s.index()]
+    }
+
+    /// Total entries stored across all servers — the storage cost of
+    /// Table 1, measured rather than predicted.
+    pub fn storage_used(&self) -> usize {
+        self.rows.iter().map(Vec::len).sum()
+    }
+
+    /// How many servers hold `v` (the `f_e` of Appendix A).
+    pub fn replica_count(&self, v: &V) -> usize {
+        self.rows.iter().filter(|row| row.contains(v)).count()
+    }
+
+    /// Map from each stored entry to its replica count.
+    pub fn replica_counts(&self) -> HashMap<V, usize> {
+        let mut counts = HashMap::new();
+        for row in &self.rows {
+            for v in row {
+                *counts.entry(v.clone()).or_insert(0) += 1;
+            }
+        }
+        counts
+    }
+
+    /// The distinct entries stored anywhere, in first-seen order.
+    pub fn distinct_entries(&self) -> Vec<V> {
+        let mut seen = std::collections::HashSet::new();
+        let mut out = Vec::new();
+        for row in &self.rows {
+            for v in row {
+                if seen.insert(v.clone()) {
+                    out.push(v.clone());
+                }
+            }
+        }
+        out
+    }
+
+    /// The **maximum coverage** (§4.3): how many distinct entries a client
+    /// retrieves by contacting every server.
+    pub fn coverage(&self) -> usize {
+        let mut seen = std::collections::HashSet::new();
+        for row in &self.rows {
+            for v in row {
+                seen.insert(v.clone());
+            }
+        }
+        seen.len()
+    }
+
+    /// Coverage counting only operational servers — what survives a given
+    /// failure pattern.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `failures` covers a different number of servers.
+    pub fn coverage_surviving(&self, failures: &FailureSet) -> usize {
+        assert_eq!(failures.len(), self.n(), "failure set size mismatch");
+        let mut seen = std::collections::HashSet::new();
+        for s in failures.operational() {
+            for v in &self.rows[s.index()] {
+                seen.insert(v.clone());
+            }
+        }
+        seen.len()
+    }
+
+    /// Iterates `(server, entries)` pairs.
+    pub fn iter(&self) -> impl Iterator<Item = (ServerId, &[V])> + '_ {
+        self.rows.iter().enumerate().map(|(i, row)| (ServerId::new(i as u32), row.as_slice()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Placement 1 of Figure 5: all servers can answer t=2, coverage 2.
+    fn figure5_placement1() -> Placement<u32> {
+        Placement::from_rows(vec![vec![1, 2], vec![1, 2], vec![1, 2]])
+    }
+
+    /// Placement 2 of Figure 5: coverage 5.
+    fn figure5_placement2() -> Placement<u32> {
+        Placement::from_rows(vec![vec![1, 2], vec![2, 3], vec![4, 5]])
+    }
+
+    #[test]
+    fn figure5_coverages() {
+        assert_eq!(figure5_placement1().coverage(), 2);
+        assert_eq!(figure5_placement2().coverage(), 5);
+    }
+
+    #[test]
+    fn replica_counts_match_rows() {
+        let p = figure5_placement2();
+        assert_eq!(p.replica_count(&2), 2);
+        assert_eq!(p.replica_count(&5), 1);
+        assert_eq!(p.replica_count(&99), 0);
+        let counts = p.replica_counts();
+        assert_eq!(counts[&1], 1);
+        assert_eq!(counts[&2], 2);
+        assert_eq!(counts.len(), 5);
+    }
+
+    #[test]
+    fn duplicates_within_a_row_collapse() {
+        let p = Placement::from_rows(vec![vec![7u32, 7, 7]]);
+        assert_eq!(p.storage_used(), 1);
+        assert_eq!(p.server_entries(ServerId::new(0)), &[7]);
+    }
+
+    #[test]
+    fn coverage_surviving_failures() {
+        let p = figure5_placement2();
+        let mut failures = FailureSet::new(3);
+        failures.fail(ServerId::new(2));
+        // Losing server 2 loses entries 4 and 5.
+        assert_eq!(p.coverage_surviving(&failures), 3);
+        failures.fail(ServerId::new(0));
+        assert_eq!(p.coverage_surviving(&failures), 2);
+        failures.fail(ServerId::new(1));
+        assert_eq!(p.coverage_surviving(&failures), 0);
+    }
+
+    #[test]
+    fn distinct_entries_first_seen_order() {
+        let p = figure5_placement2();
+        assert_eq!(p.distinct_entries(), vec![1, 2, 3, 4, 5]);
+    }
+
+    #[test]
+    fn iter_yields_all_servers() {
+        let p = figure5_placement1();
+        let pairs: Vec<_> = p.iter().collect();
+        assert_eq!(pairs.len(), 3);
+        assert_eq!(pairs[1].0, ServerId::new(1));
+        assert_eq!(pairs[1].1, &[1, 2]);
+    }
+
+    #[test]
+    fn empty_placement_edge_cases() {
+        let p: Placement<u32> = Placement::from_rows(vec![vec![], vec![]]);
+        assert_eq!(p.coverage(), 0);
+        assert_eq!(p.storage_used(), 0);
+        assert!(p.distinct_entries().is_empty());
+        assert!(p.replica_counts().is_empty());
+        let failures = FailureSet::new(2);
+        assert_eq!(p.coverage_surviving(&failures), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "failure set size mismatch")]
+    fn mismatched_failure_set_panics() {
+        let p = figure5_placement1();
+        let failures = FailureSet::new(5);
+        p.coverage_surviving(&failures);
+    }
+}

@@ -1,0 +1,201 @@
+//! Transport-chaos tests: the protocol engines must be correct under
+//! *any* delivery order that preserves per-(sender, destination) FIFO —
+//! which is exactly what TCP connections guarantee, and strictly weaker
+//! than the simulator's per-destination FIFO mailboxes.
+//!
+//! The round-robin migration protocol is the interesting case: a
+//! `MigrateReq` may overtake the head server's own copy of the
+//! `RrRemove` broadcast (the engines buffer and replay it). This harness
+//! drives raw `NodeEngine`s through a chaotic scheduler and checks full
+//! structural consistency after every operation.
+
+use std::collections::{HashMap, HashSet, VecDeque};
+
+use pls_core::engine::{NodeEngine, Outbound};
+use pls_core::{DetRng, Message, ServerId, StrategySpec};
+use pls_net::Endpoint;
+
+/// A chaotic network: one FIFO queue per (sender, destination) channel,
+/// drained in uniformly random channel order.
+struct ChaosNet {
+    channels: HashMap<(Endpoint, ServerId), VecDeque<Message<u64>>>,
+    rng: DetRng,
+}
+
+impl ChaosNet {
+    fn new(seed: u64) -> Self {
+        ChaosNet { channels: HashMap::new(), rng: DetRng::seed_from(seed) }
+    }
+
+    fn send(&mut self, from: Endpoint, to: ServerId, msg: Message<u64>) {
+        self.channels.entry((from, to)).or_default().push_back(msg);
+    }
+
+    fn send_out(&mut self, from: ServerId, n: usize, out: Vec<Outbound<u64>>) {
+        for o in out {
+            match o {
+                Outbound::To(d, m) => self.send(Endpoint::Server(from), d, m),
+                Outbound::Broadcast(m) => {
+                    for i in 0..n {
+                        self.send(Endpoint::Server(from), ServerId::new(i as u32), m.clone());
+                    }
+                }
+            }
+        }
+    }
+
+    /// Delivers everything, one random channel-head message at a time.
+    fn run(&mut self, engines: &mut [NodeEngine<u64>]) {
+        loop {
+            let keys: Vec<(Endpoint, ServerId)> = self
+                .channels
+                .iter()
+                .filter(|(_, q)| !q.is_empty())
+                .map(|(k, _)| *k)
+                .collect();
+            if keys.is_empty() {
+                return;
+            }
+            let &(from, to) = &keys[self.rng.below(keys.len())];
+            let msg = self
+                .channels
+                .get_mut(&(from, to))
+                .and_then(VecDeque::pop_front)
+                .expect("picked nonempty channel");
+            let out = engines[to.index()].handle(from, msg);
+            let n = engines.len();
+            self.send_out(to, n, out);
+        }
+    }
+}
+
+/// Full round-robin structural check (mirrors the one in `pls-core`'s
+/// unit tests, but against raw engines).
+fn assert_rr_consistent(engines: &[NodeEngine<u64>], y: usize, live: &HashSet<u64>) {
+    let n = engines.len();
+    let (head, tail) = engines[0].rr_counters().expect("coordinator");
+    assert_eq!((tail - head) as usize, live.len(), "counter span vs live set");
+    let mut seen = HashSet::new();
+    for pos in head..tail {
+        let base = ServerId::new((pos % n as u64) as u32);
+        let mut value = None;
+        for k in 0..y {
+            let holder = base.wrapping_add(k, n);
+            let v = engines[holder.index()]
+                .rr_positions()
+                .find(|(p, _)| *p == pos)
+                .map(|(_, v)| *v)
+                .unwrap_or_else(|| panic!("position {pos} missing on {holder}"));
+            if let Some(prev) = value {
+                assert_eq!(prev, v, "position {pos} disagrees");
+            }
+            value = Some(v);
+        }
+        seen.insert(value.expect("y >= 1"));
+    }
+    assert_eq!(&seen, live, "live set mismatch");
+    for (i, engine) in engines.iter().enumerate() {
+        for (pos, _) in engine.rr_positions() {
+            assert!(pos >= head && pos < tail, "stray position {pos} on server {i}");
+        }
+    }
+}
+
+fn chaos_round_robin_churn(seed: u64) {
+    let n = 5;
+    let y = 2;
+    let mut engines: Vec<NodeEngine<u64>> = (0..n)
+        .map(|i| NodeEngine::new(ServerId::new(i as u32), n, StrategySpec::round_robin(y), seed))
+        .collect::<Result<_, _>>()
+        .unwrap();
+    let mut net = ChaosNet::new(seed ^ 0xC405);
+    let coordinator = ServerId::new(0);
+
+    // Place 12 entries.
+    net.send(Endpoint::client(0), coordinator, Message::PlaceReq {
+        entries: (0..12).collect(),
+    });
+    net.run(&mut engines);
+    let mut live: HashSet<u64> = (0..12).collect();
+    assert_rr_consistent(&engines, y, &live);
+
+    // Churn: interleave adds and deletes, each fully delivered in chaotic
+    // order before the next (updates are serialized through the
+    // coordinator, as in the paper).
+    let mut rng = DetRng::seed_from(seed ^ 0xFA11);
+    let mut next = 12u64;
+    for step in 0..120 {
+        if rng.coin_flip(0.5) || live.is_empty() {
+            net.send(Endpoint::client(1), coordinator, Message::AddReq { v: next });
+            live.insert(next);
+            next += 1;
+        } else {
+            let victims: Vec<u64> = live.iter().copied().collect();
+            let v = victims[rng.below(victims.len())];
+            net.send(Endpoint::client(1), coordinator, Message::DeleteReq { v });
+            live.remove(&v);
+        }
+        net.run(&mut engines);
+        if step % 10 == 0 {
+            assert_rr_consistent(&engines, y, &live);
+        }
+    }
+    assert_rr_consistent(&engines, y, &live);
+}
+
+#[test]
+fn round_robin_survives_chaotic_delivery() {
+    for seed in 0..30 {
+        chaos_round_robin_churn(seed);
+    }
+}
+
+#[test]
+fn hash_strategy_is_order_insensitive() {
+    // Hash-y's messages are all independent stores/removes; any order
+    // must converge to the assignment.
+    let n = 6;
+    let seed = 99;
+    let mut engines: Vec<NodeEngine<u64>> = (0..n)
+        .map(|i| NodeEngine::new(ServerId::new(i as u32), n, StrategySpec::hash(2), seed))
+        .collect::<Result<_, _>>()
+        .unwrap();
+    let mut net = ChaosNet::new(7);
+    net.send(Endpoint::client(0), ServerId::new(3), Message::PlaceReq {
+        entries: (0..50).collect(),
+    });
+    net.run(&mut engines);
+    for v in 0..50u64 {
+        for (i, engine) in engines.iter().enumerate() {
+            let should = engine.assigns_to(&v, ServerId::new(i as u32));
+            let does = engine.entries().contains(&v);
+            assert_eq!(should, does, "entry {v} on server {i}");
+        }
+    }
+}
+
+#[test]
+fn migrate_reorder_buffering_under_repeated_chaos() {
+    // Hammer precisely the racy delete path: single delete after place,
+    // many different chaotic schedules.
+    for seed in 0..200 {
+        let n = 4;
+        let y = 2;
+        let mut engines: Vec<NodeEngine<u64>> = (0..n)
+            .map(|i| {
+                NodeEngine::new(ServerId::new(i as u32), n, StrategySpec::round_robin(y), 1)
+            })
+            .collect::<Result<_, _>>()
+            .unwrap();
+        let mut net = ChaosNet::new(seed);
+        net.send(Endpoint::client(0), ServerId::new(0), Message::PlaceReq {
+            entries: vec![1, 2, 3, 4, 5],
+        });
+        net.run(&mut engines);
+        // Delete the entry at position 2 — triggers head migration.
+        net.send(Endpoint::client(0), ServerId::new(0), Message::DeleteReq { v: 3 });
+        net.run(&mut engines);
+        let live: HashSet<u64> = [1, 2, 4, 5].into_iter().collect();
+        assert_rr_consistent(&engines, y, &live);
+    }
+}

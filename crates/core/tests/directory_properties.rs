@@ -1,0 +1,134 @@
+//! Model-based property tests for the multi-key [`Directory`]: arbitrary
+//! interleavings of operations across keys with heterogeneous per-key
+//! strategies, checked against one reference model per key.
+//!
+//! [`Directory`]: pls_core::directory::Directory
+
+use std::collections::{HashMap, HashSet};
+
+use pls_core::directory::{Directory, StrategyAssignment};
+use pls_core::StrategySpec;
+use proptest::prelude::*;
+
+#[derive(Debug, Clone)]
+enum Op {
+    Place { key: u8, count: u8 },
+    Add { key: u8 },
+    Delete { key: u8, idx: u8 },
+    Lookup { key: u8, t: u8 },
+}
+
+const KEYS: u8 = 4;
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    let key = 0u8..KEYS;
+    prop_oneof![
+        (key.clone(), 1u8..30).prop_map(|(key, count)| Op::Place { key, count }),
+        key.clone().prop_map(|key| Op::Add { key }),
+        (key.clone(), any::<u8>()).prop_map(|(key, idx)| Op::Delete { key, idx }),
+        (key, any::<u8>()).prop_map(|(key, t)| Op::Lookup { key, t }),
+    ]
+}
+
+/// Hetero assignment: key 0 full replication, 1 fixed, 2 round-robin,
+/// 3 hash.
+fn assignment() -> StrategyAssignment<u8> {
+    StrategyAssignment::PerKey(Box::new(|key: &u8| match key % 4 {
+        0 => StrategySpec::full_replication(),
+        1 => StrategySpec::fixed(8),
+        2 => StrategySpec::round_robin(2),
+        _ => StrategySpec::hash(2),
+    }))
+}
+
+fn run_history(ops: Vec<Op>, seed: u64) {
+    let n = 5;
+    let mut dir: Directory<u8, u64> = Directory::new(n, assignment(), seed).unwrap();
+    let mut live: HashMap<u8, Vec<u64>> = HashMap::new();
+    let mut next = 0u64;
+
+    for op in ops {
+        match op {
+            Op::Place { key, count } => {
+                let entries: Vec<u64> = (0..count as u64).map(|i| next + i).collect();
+                next += count as u64;
+                dir.place(key, entries.clone()).unwrap();
+                live.insert(key, entries);
+            }
+            Op::Add { key } => {
+                let v = next;
+                next += 1;
+                dir.add(&key, v).unwrap();
+                live.entry(key).or_default().push(v);
+            }
+            Op::Delete { key, idx } => {
+                let Some(entries) = live.get_mut(&key) else { continue };
+                if entries.is_empty() {
+                    continue;
+                }
+                let v = entries.swap_remove(idx as usize % entries.len());
+                dir.delete(&key, &v).unwrap();
+            }
+            Op::Lookup { key, t } => {
+                let t = 1 + (t as usize % 20);
+                let result = dir.partial_lookup(&key, t).unwrap();
+                let key_live: HashSet<u64> =
+                    live.get(&key).map(|v| v.iter().copied().collect()).unwrap_or_default();
+                let mut seen = HashSet::new();
+                for v in result.entries() {
+                    assert!(seen.insert(*v), "key {key}: duplicate answer");
+                    assert!(key_live.contains(v), "key {key}: answer {v} not live (cross-key leak?)");
+                }
+                assert!(result.entries().len() <= t);
+                // Complete-coverage strategies satisfy t when possible.
+                let spec = dir.spec_for(&key);
+                let complete = matches!(
+                    spec,
+                    StrategySpec::FullReplication
+                        | StrategySpec::RoundRobin { .. }
+                        | StrategySpec::Hash { .. }
+                );
+                if complete && key_live.len() >= t {
+                    assert!(result.is_satisfied(t), "key {key} ({spec}): unsatisfied t={t}");
+                }
+            }
+        }
+        // Cross-key isolation: every key's stored entries belong to it.
+        for key in 0..KEYS {
+            let key_live: HashSet<u64> =
+                live.get(&key).map(|v| v.iter().copied().collect()).unwrap_or_default();
+            for i in 0..n {
+                for v in dir.server_entries(&key, pls_core::ServerId::new(i as u32)) {
+                    assert!(key_live.contains(v), "key {key}: stale or leaked entry {v}");
+                }
+            }
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 16, ..ProptestConfig::default() })]
+
+    #[test]
+    fn directory_histories_hold_invariants(
+        ops in proptest::collection::vec(op_strategy(), 1..50),
+        seed in any::<u64>(),
+    ) {
+        run_history(ops, seed);
+    }
+}
+
+/// Deterministic regression: a dense interleaving across all keys.
+#[test]
+fn dense_interleaving_smoke() {
+    let ops: Vec<Op> = (0..60)
+        .map(|i| match i % 5 {
+            0 => Op::Place { key: (i % 4) as u8, count: 10 + (i % 7) as u8 },
+            1 => Op::Add { key: ((i + 1) % 4) as u8 },
+            2 => Op::Delete { key: ((i + 2) % 4) as u8, idx: i as u8 },
+            3 => Op::Lookup { key: ((i + 3) % 4) as u8, t: 5 },
+            _ => Op::Lookup { key: (i % 4) as u8, t: 12 },
+        })
+        .collect();
+    run_history(ops, 99);
+}

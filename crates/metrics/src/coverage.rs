@@ -1,0 +1,107 @@
+//! Maximum coverage (§4.3, Figure 6).
+//!
+//! The coverage of a placement is the number of distinct entries a client
+//! can retrieve by contacting *all* servers — an upper bound on any
+//! satisfiable target answer size, and a proxy for resilience to deletes.
+
+use pls_core::{Entry, Placement, StrategyKind};
+
+/// The expected coverage when managing `h` entries on `n` servers under a
+/// total storage budget of `budget` entries (the Figure 6 setup).
+///
+/// * Full replication always covers everything that fits: `min(budget/n, h)`
+///   per server, all servers identical.
+/// * Fixed-x covers exactly its subset: `min(budget/n, h)`.
+/// * RandomServer-x: an entry is missed by one server with probability
+///   `1 − x/h`, so expected coverage is `h·(1 − (1 − x/h)^n)`.
+/// * Round-y and Hash-y store every entry somewhere once the budget
+///   reaches `h` (and, per §4.3, keep a subset of the entries when it
+///   does not): `min(budget, h)`.
+///
+/// # Panics
+///
+/// Panics if `h` or `n` is zero.
+pub fn analytic(kind: StrategyKind, budget: usize, h: usize, n: usize) -> f64 {
+    assert!(h > 0 && n > 0, "h and n must be positive");
+    match kind {
+        StrategyKind::FullReplication | StrategyKind::Fixed => (budget / n).min(h) as f64,
+        StrategyKind::RandomServer => {
+            let x = (budget / n).min(h);
+            let miss = (1.0 - x as f64 / h as f64).powi(n as i32);
+            h as f64 * (1.0 - miss)
+        }
+        StrategyKind::RoundRobin | StrategyKind::Hash => budget.min(h) as f64,
+    }
+}
+
+/// The coverage of an actual placement instance.
+pub fn measured<V: Entry>(placement: &Placement<V>) -> usize {
+    placement.coverage()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pls_core::{Cluster, StrategySpec};
+
+    #[test]
+    fn figure6_anchor_points() {
+        let (h, n) = (100, 10);
+        // Round & Hash line: proportional up to h, then flat.
+        assert_eq!(analytic(StrategyKind::RoundRobin, 50, h, n), 50.0);
+        assert_eq!(analytic(StrategyKind::RoundRobin, 100, h, n), 100.0);
+        assert_eq!(analytic(StrategyKind::RoundRobin, 200, h, n), 100.0);
+        assert_eq!(analytic(StrategyKind::Hash, 150, h, n), 100.0);
+        // Fixed line: budget/n.
+        assert_eq!(analytic(StrategyKind::Fixed, 200, h, n), 20.0);
+        // RandomServer at budget 200 (x=20): 100·(1−0.8¹⁰) ≈ 89.3 — the
+        // "coverage of about 89 entries" quoted in §4.5.
+        let rs = analytic(StrategyKind::RandomServer, 200, h, n);
+        assert!((rs - 89.26).abs() < 0.1, "got {rs}");
+    }
+
+    #[test]
+    fn random_server_coverage_between_fixed_and_complete() {
+        for budget in [50usize, 100, 150, 200] {
+            let fixed = analytic(StrategyKind::Fixed, budget, 100, 10);
+            let rs = analytic(StrategyKind::RandomServer, budget, 100, 10);
+            let full = analytic(StrategyKind::RoundRobin, budget, 100, 10);
+            assert!(fixed <= rs && rs <= full + 1e-9, "budget {budget}: {fixed} {rs} {full}");
+        }
+    }
+
+    #[test]
+    fn measured_fixed_equals_x() {
+        let mut c = Cluster::new(10, StrategySpec::fixed(20), 1).unwrap();
+        c.place((0..100u64).collect()).unwrap();
+        assert_eq!(measured(&c.placement()), 20);
+    }
+
+    #[test]
+    fn measured_round_robin_is_complete() {
+        let mut c = Cluster::new(10, StrategySpec::round_robin(2), 2).unwrap();
+        c.place((0..100u64).collect()).unwrap();
+        assert_eq!(measured(&c.placement()), 100);
+    }
+
+    #[test]
+    fn measured_random_server_matches_expectation() {
+        let mut total = 0usize;
+        let runs = 300;
+        for seed in 0..runs {
+            let mut c = Cluster::new(10, StrategySpec::random_server(20), seed).unwrap();
+            c.place((0..100u64).collect()).unwrap();
+            total += measured(&c.placement());
+        }
+        let mean = total as f64 / runs as f64;
+        let expected = analytic(StrategyKind::RandomServer, 200, 100, 10);
+        assert!((mean - expected).abs() < 1.0, "measured {mean} vs expected {expected}");
+    }
+
+    #[test]
+    fn coverage_bounds_satisfiable_target() {
+        // Figure 5 lesson: placement 1 can never satisfy t=3.
+        let p = pls_core::Placement::from_rows(vec![vec![1u32, 2], vec![1, 2], vec![1, 2]]);
+        assert!(measured(&p) < 3);
+    }
+}

@@ -1,0 +1,223 @@
+//! Adversarial fault tolerance (§4.4, Figure 7, Appendix A).
+//!
+//! The metric: the maximum number of server failures — chosen by an
+//! all-knowing adversary — that a placement tolerates before some
+//! `partial_lookup(t)` must fail (i.e. before the surviving coverage
+//! drops below `t`). Finding the true minimum failing set is equivalent
+//! to SET-COVER, so the paper (and we) use the Appendix A greedy
+//! heuristic: repeatedly fail the server whose entries are most
+//! "endangered", scoring each server by `X_S = Σ_{e ∈ V_S} 1/f_e` where
+//! `f_e` is the number of surviving servers holding `e`.
+
+use std::collections::HashMap;
+
+use pls_core::{Entry, Placement, StrategySpec};
+
+/// The greedy-adversary fault tolerance of a placement for target answer
+/// size `t`: the number of servers the Appendix A adversary can fail
+/// while coverage stays ≥ `t`.
+///
+/// Returns `0` when even the intact placement cannot satisfy `t` (the
+/// service is already "failed" with zero failures), and at most `n − 1`
+/// otherwise is not enforced — with full replication every server but the
+/// last can fail, giving `n − 1`.
+///
+/// # Panics
+///
+/// Panics if `t == 0`.
+pub fn greedy_tolerance<V: Entry>(placement: &Placement<V>, t: usize) -> usize {
+    assert!(t > 0, "target answer size must be positive");
+    let n = placement.n();
+    if placement.coverage() < t {
+        return 0;
+    }
+
+    // f_e over surviving servers; entry rows per server for scoring.
+    let mut replica_count: HashMap<V, usize> = placement.replica_counts();
+    let mut alive = vec![true; n];
+    let mut covered = replica_count.len();
+    let mut failed = 0usize;
+
+    loop {
+        // Score every surviving server.
+        let mut best: Option<(usize, f64)> = None;
+        for (i, alive_flag) in alive.iter().enumerate() {
+            if !alive_flag {
+                continue;
+            }
+            let score: f64 = placement
+                .server_entries(pls_core::ServerId::new(i as u32))
+                .iter()
+                .map(|e| 1.0 / replica_count[e] as f64)
+                .sum();
+            let better = match best {
+                None => true,
+                Some((_, s)) => score > s,
+            };
+            if better {
+                best = Some((i, score));
+            }
+        }
+        let Some((victim, _)) = best else {
+            // Everyone already failed.
+            return failed.saturating_sub(1).min(n.saturating_sub(1));
+        };
+
+        // Fail the victim and update f_e / coverage.
+        alive[victim] = false;
+        failed += 1;
+        for e in placement.server_entries(pls_core::ServerId::new(victim as u32)) {
+            let f = replica_count.get_mut(e).expect("stored entry has a count");
+            *f -= 1;
+            if *f == 0 {
+                covered -= 1;
+            }
+        }
+
+        if covered < t {
+            return failed - 1;
+        }
+        if failed == n {
+            // All servers down yet coverage ≥ t is impossible (coverage is
+            // 0 < t); kept for defensive completeness.
+            return n - 1;
+        }
+    }
+}
+
+/// The closed-form fault tolerance, where the paper derives one.
+///
+/// * Full replication / Fixed-x (with `x ≥ t`): `n − 1`.
+/// * Round-Robin-y: `n − ceil(t·n/h) + y − 1` (§4.4), clamped to
+///   `[0, n − 1]`.
+/// * RandomServer-x and Hash-y: `None` — simulate with
+///   [`greedy_tolerance`].
+///
+/// # Panics
+///
+/// Panics if `h`, `n` or `t` is zero.
+pub fn analytic(spec: StrategySpec, h: usize, n: usize, t: usize) -> Option<usize> {
+    assert!(h > 0 && n > 0 && t > 0, "h, n, t must be positive");
+    match spec {
+        StrategySpec::FullReplication => Some(n - 1),
+        StrategySpec::Fixed { x } => {
+            if t <= x.min(h) {
+                Some(n - 1)
+            } else {
+                Some(0)
+            }
+        }
+        StrategySpec::RoundRobin { y } => {
+            if t > h {
+                return Some(0);
+            }
+            let needed = (t * n).div_ceil(h); // servers that must survive
+            let tol = (n + y).saturating_sub(needed + 1);
+            Some(tol.min(n - 1))
+        }
+        StrategySpec::RandomServer { .. } | StrategySpec::Hash { .. } => None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pls_core::{Cluster, Placement, StrategySpec};
+
+    #[test]
+    fn full_replication_tolerates_n_minus_1() {
+        let mut c = Cluster::new(10, StrategySpec::full_replication(), 1).unwrap();
+        c.place((0..100u64).collect()).unwrap();
+        assert_eq!(greedy_tolerance(&c.placement(), 50), 9);
+        assert_eq!(analytic(StrategySpec::full_replication(), 100, 10, 50), Some(9));
+    }
+
+    #[test]
+    fn fixed_tolerates_n_minus_1_within_x() {
+        let mut c = Cluster::new(10, StrategySpec::fixed(20), 2).unwrap();
+        c.place((0..100u64).collect()).unwrap();
+        assert_eq!(greedy_tolerance(&c.placement(), 15), 9);
+        // Beyond x the service is dead on arrival.
+        assert_eq!(greedy_tolerance(&c.placement(), 25), 0);
+    }
+
+    #[test]
+    fn round_robin_matches_analytic_formula() {
+        // Round-2, h=100, n=10: tolerance = 10 − ceil(t/10) + 1, capped at 9.
+        for t in [10usize, 20, 30, 40, 50] {
+            let mut c = Cluster::new(10, StrategySpec::round_robin(2), t as u64).unwrap();
+            c.place((0..100u64).collect()).unwrap();
+            let greedy = greedy_tolerance(&c.placement(), t);
+            let formula = analytic(StrategySpec::round_robin(2), 100, 10, t).unwrap();
+            // The greedy adversary may do slightly worse than optimal
+            // (it is a heuristic), so it reports ≥ the true tolerance.
+            assert!(
+                greedy >= formula && greedy <= formula + 1,
+                "t={t}: greedy {greedy}, formula {formula}"
+            );
+        }
+    }
+
+    #[test]
+    fn round_robin_tolerance_decreases_with_t() {
+        let mut c = Cluster::new(10, StrategySpec::round_robin(2), 7).unwrap();
+        c.place((0..100u64).collect()).unwrap();
+        let p = c.placement();
+        let tols: Vec<usize> = [10, 20, 30, 40, 50].iter().map(|&t| greedy_tolerance(&p, t)).collect();
+        for w in tols.windows(2) {
+            assert!(w[1] <= w[0], "tolerance should not increase with t: {tols:?}");
+        }
+    }
+
+    #[test]
+    fn unsatisfiable_target_means_zero_tolerance() {
+        let p = Placement::from_rows(vec![vec![1u32, 2], vec![1, 2]]);
+        assert_eq!(greedy_tolerance(&p, 3), 0);
+    }
+
+    #[test]
+    fn single_server_tolerates_nothing() {
+        let p = Placement::from_rows(vec![vec![1u32, 2, 3]]);
+        assert_eq!(greedy_tolerance(&p, 2), 0);
+    }
+
+    #[test]
+    fn greedy_prefers_the_load_bearing_server() {
+        // Server 0 uniquely holds entries 3 and 4; the adversary should
+        // kill it first, dropping coverage from 5 to 3.
+        let p = Placement::from_rows(vec![
+            vec![1u32, 3, 4],
+            vec![1, 2],
+            vec![2, 5],
+            vec![5, 1],
+        ]);
+        // t=4: failing server 0 leaves coverage 3 < 4 → tolerance 0.
+        assert_eq!(greedy_tolerance(&p, 4), 0);
+        // t=2: adversary can do real damage but two servers' worth of
+        // coverage survives a while.
+        let tol = greedy_tolerance(&p, 2);
+        assert!((1..=3).contains(&tol), "tolerance {tol}");
+    }
+
+    #[test]
+    fn random_server_tolerance_exceeds_round_robin() {
+        // §4.4: RandomServer-x has higher fault tolerance than Round-y
+        // thanks to overlapping random subsets.
+        let runs = 60;
+        let t = 30;
+        let mut rs_total = 0usize;
+        let mut rr_total = 0usize;
+        for seed in 0..runs {
+            let mut rs = Cluster::new(10, StrategySpec::random_server(20), seed).unwrap();
+            rs.place((0..100u64).collect()).unwrap();
+            rs_total += greedy_tolerance(&rs.placement(), t);
+            let mut rr = Cluster::new(10, StrategySpec::round_robin(2), seed).unwrap();
+            rr.place((0..100u64).collect()).unwrap();
+            rr_total += greedy_tolerance(&rr.placement(), t);
+        }
+        assert!(
+            rs_total as f64 / runs as f64 >= rr_total as f64 / runs as f64,
+            "RandomServer {rs_total} vs Round {rr_total}"
+        );
+    }
+}

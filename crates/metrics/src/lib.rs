@@ -1,0 +1,37 @@
+//! Evaluation metrics for partial lookup strategies (paper §4).
+//!
+//! The paper proposes five metrics. Two capture operating overhead:
+//!
+//! * [`storage`] — total entries stored across servers (Table 1), both
+//!   the analytic formulas and measurement of a live [`Placement`].
+//! * [`lookup_cost`] — expected number of servers a client contacts per
+//!   lookup (§4.2, Figure 4).
+//!
+//! Three capture answer quality:
+//!
+//! * [`coverage`] — the maximum number of distinct entries retrievable by
+//!   contacting every server (§4.3, Figure 6).
+//! * [`fault_tolerance`] — how many *adversarial* server failures the
+//!   placement withstands before some `partial_lookup(t)` must fail
+//!   (§4.4, Figure 7), computed with the greedy heuristic of Appendix A.
+//! * [`unfairness`] — the coefficient of variation of per-entry retrieval
+//!   probability (§4.5, eq. 1; Figures 9 and 13).
+//!
+//! [`stats`] provides the sample-mean / confidence-interval plumbing the
+//! paper's multi-run methodology relies on (§6.1).
+//!
+//! [`Placement`]: pls_core::Placement
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod coverage;
+pub mod fault_tolerance;
+pub mod load;
+pub mod lookup_cost;
+pub mod stats;
+pub mod storage;
+pub mod unfairness;
+
+pub use load::LoadBalance;
+pub use stats::Summary;

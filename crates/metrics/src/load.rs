@@ -1,0 +1,85 @@
+//! Server load balance.
+//!
+//! The paper motivates partial lookup with load spreading ("if k is very
+//! popular, S2 can be overloaded", Fig. 1) but never defines a load
+//! metric. We use the two standard ones over per-server request counts:
+//! the **coefficient of variation** (0 = perfectly even) and the
+//! **peak-to-mean ratio** (1 = perfectly even; the hot server's
+//! overload factor).
+
+/// Load-balance statistics over per-server request counts.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LoadBalance {
+    mean: f64,
+    cv: f64,
+    max_over_mean: f64,
+}
+
+impl LoadBalance {
+    /// Computes the statistics from per-server counts.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `counts` is empty.
+    pub fn of(counts: &[u64]) -> Self {
+        assert!(!counts.is_empty(), "need at least one server");
+        let n = counts.len() as f64;
+        let mean = counts.iter().sum::<u64>() as f64 / n;
+        let max = counts.iter().copied().max().expect("nonempty") as f64;
+        if mean == 0.0 {
+            return LoadBalance { mean: 0.0, cv: 0.0, max_over_mean: 1.0 };
+        }
+        let var = counts.iter().map(|&c| (c as f64 - mean).powi(2)).sum::<f64>() / n;
+        LoadBalance { mean, cv: var.sqrt() / mean, max_over_mean: max / mean }
+    }
+
+    /// Mean requests per server.
+    pub fn mean(&self) -> f64 {
+        self.mean
+    }
+
+    /// Coefficient of variation of per-server load (0 = perfectly even).
+    pub fn cv(&self) -> f64 {
+        self.cv
+    }
+
+    /// Hottest server's load over the mean (1 = perfectly even).
+    pub fn max_over_mean(&self) -> f64 {
+        self.max_over_mean
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn perfectly_even_load() {
+        let lb = LoadBalance::of(&[100, 100, 100, 100]);
+        assert_eq!(lb.mean(), 100.0);
+        assert_eq!(lb.cv(), 0.0);
+        assert_eq!(lb.max_over_mean(), 1.0);
+    }
+
+    #[test]
+    fn hot_spot_shows_in_both_metrics() {
+        // One server takes 70% of the traffic.
+        let lb = LoadBalance::of(&[70, 10, 10, 10]);
+        assert!((lb.mean() - 25.0).abs() < 1e-12);
+        assert!((lb.max_over_mean() - 2.8).abs() < 1e-12);
+        assert!(lb.cv() > 1.0);
+    }
+
+    #[test]
+    fn zero_load_is_defined() {
+        let lb = LoadBalance::of(&[0, 0, 0]);
+        assert_eq!(lb.cv(), 0.0);
+        assert_eq!(lb.max_over_mean(), 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one server")]
+    fn empty_counts_panic() {
+        LoadBalance::of(&[]);
+    }
+}

@@ -1,0 +1,111 @@
+//! Client lookup cost (§4.2): expected servers contacted per lookup.
+//!
+//! The paper computes this assuming no server failures. Full replication
+//! achieves the ideal cost of 1; Round-y needs `ceil(t·n / (y·h))`
+//! contacts; RandomServer-x and Hash-y have no simple closed form and are
+//! measured by simulation (Figure 4).
+
+use pls_core::{Cluster, Entry, StrategySpec};
+
+use crate::stats::Accumulator;
+
+/// The closed-form expected lookup cost, where one exists.
+///
+/// Returns `None` for RandomServer-x and Hash-y (simulate instead), and
+/// for Fixed-x with `t > x` (the paper calls this case "undefined").
+///
+/// # Panics
+///
+/// Panics if `h`, `n` or `t` is zero.
+pub fn analytic(spec: StrategySpec, h: usize, n: usize, t: usize) -> Option<f64> {
+    assert!(h > 0 && n > 0 && t > 0, "h, n, t must be positive");
+    match spec {
+        StrategySpec::FullReplication => Some(1.0),
+        StrategySpec::Fixed { x } => (t <= x.min(h)).then_some(1.0),
+        StrategySpec::RoundRobin { y } => {
+            // Each server stores y·h/n entries; consecutive stride
+            // contacts are disjoint: ceil(t·n / (y·h)), capped at n.
+            let per_server = (y * h) as f64 / n as f64;
+            Some((t as f64 / per_server).ceil().min(n as f64))
+        }
+        StrategySpec::RandomServer { .. } | StrategySpec::Hash { .. } => None,
+    }
+}
+
+/// Measures the average number of servers contacted over `lookups`
+/// partial lookups of size `t` against the cluster's *current* placement
+/// (one instance).
+///
+/// # Panics
+///
+/// Panics if `lookups == 0` or a lookup itself errors (the §4.2 metric is
+/// defined with all servers operational).
+pub fn measure<V: Entry>(cluster: &mut Cluster<V>, t: usize, lookups: usize) -> f64 {
+    assert!(lookups > 0, "need at least one lookup");
+    let mut acc = Accumulator::new();
+    for _ in 0..lookups {
+        let r = cluster.partial_lookup(t).expect("lookup cost assumes operational servers");
+        acc.push(r.servers_contacted() as f64);
+    }
+    acc.mean()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pls_core::Cluster;
+
+    #[test]
+    fn analytic_known_cases() {
+        assert_eq!(analytic(StrategySpec::full_replication(), 100, 10, 35), Some(1.0));
+        assert_eq!(analytic(StrategySpec::fixed(20), 100, 10, 15), Some(1.0));
+        assert_eq!(analytic(StrategySpec::fixed(20), 100, 10, 25), None);
+        // Round-2, h=100, n=10: 20/server → ceil(t/20).
+        assert_eq!(analytic(StrategySpec::round_robin(2), 100, 10, 20), Some(1.0));
+        assert_eq!(analytic(StrategySpec::round_robin(2), 100, 10, 21), Some(2.0));
+        assert_eq!(analytic(StrategySpec::round_robin(2), 100, 10, 50), Some(3.0));
+        assert_eq!(analytic(StrategySpec::random_server(20), 100, 10, 35), None);
+    }
+
+    #[test]
+    fn analytic_caps_at_n() {
+        // t close to h with one copy per entry: can't contact more than n.
+        assert_eq!(analytic(StrategySpec::round_robin(1), 100, 10, 100), Some(10.0));
+    }
+
+    #[test]
+    fn measured_round_robin_matches_analytic() {
+        let mut c = Cluster::new(10, StrategySpec::round_robin(2), 3).unwrap();
+        c.place((0..100u64).collect()).unwrap();
+        for t in [10, 20, 25, 40, 45] {
+            let want = analytic(StrategySpec::round_robin(2), 100, 10, t).unwrap();
+            let got = measure(&mut c, t, 200);
+            assert!((got - want).abs() < 1e-9, "t={t}: measured {got}, analytic {want}");
+        }
+    }
+
+    #[test]
+    fn measured_random_server_exceeds_round_robin_at_multiples() {
+        // §4.2: RandomServer-20 costs more than Round-2, especially when t
+        // is a multiple of 20.
+        let mut rs = Cluster::new(10, StrategySpec::random_server(20), 4).unwrap();
+        rs.place((0..100u64).collect()).unwrap();
+        let rs_cost = measure(&mut rs, 40, 500);
+        let rr_cost = analytic(StrategySpec::round_robin(2), 100, 10, 40).unwrap();
+        assert!(rs_cost > rr_cost, "RandomServer {rs_cost} vs Round {rr_cost}");
+    }
+
+    #[test]
+    fn measured_hash_cost_exceeds_one_even_for_small_t() {
+        // §4.2: Hash-2 averages ≈1.12 contacts at t=15 because some
+        // servers hold fewer than 15 entries.
+        let mut acc = Accumulator::new();
+        for seed in 0..50 {
+            let mut c = Cluster::new(10, StrategySpec::hash(2), seed).unwrap();
+            c.place((0..100u64).collect()).unwrap();
+            acc.push(measure(&mut c, 15, 200));
+        }
+        let mean = acc.mean();
+        assert!(mean > 1.0 && mean < 1.5, "Hash-2 lookup cost at t=15: {mean}");
+    }
+}

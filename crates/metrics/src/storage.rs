@@ -1,0 +1,102 @@
+//! Storage cost (§4.1, Table 1).
+//!
+//! | Strategy           | Storage cost                     |
+//! |--------------------|----------------------------------|
+//! | Full replication   | `h · n`                          |
+//! | Fixed-x / RandomServer-x | `x · n`                    |
+//! | Round-y            | `h · y`                          |
+//! | Hash-y             | `h · n · (1 − (1 − 1/n)^y)`      |
+//!
+//! Hash-y's cost is an *expectation*: collisions between hash functions
+//! can produce fewer than `y` copies of an entry. Measure an actual
+//! instance with [`measured`].
+
+use pls_core::{Entry, Placement, StrategySpec};
+
+/// The Table 1 analytic storage cost (in entries) for managing `h`
+/// entries on `n` servers.
+///
+/// Fixed-x caps at `min(x, h) · n`, since a server cannot store entries
+/// that do not exist.
+///
+/// # Panics
+///
+/// Panics if `n == 0`.
+pub fn analytic(spec: StrategySpec, h: usize, n: usize) -> f64 {
+    assert!(n > 0, "need at least one server");
+    match spec {
+        StrategySpec::FullReplication => (h * n) as f64,
+        StrategySpec::Fixed { x } | StrategySpec::RandomServer { x } => (x.min(h) * n) as f64,
+        StrategySpec::RoundRobin { y } => (h * y) as f64,
+        StrategySpec::Hash { y } => {
+            let keep = 1.0 - (1.0 - 1.0 / n as f64).powi(y as i32);
+            h as f64 * n as f64 * keep
+        }
+    }
+}
+
+/// The storage an actual placement instance uses.
+pub fn measured<V: Entry>(placement: &Placement<V>) -> usize {
+    placement.storage_used()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pls_core::{Cluster, StrategySpec};
+
+    #[test]
+    fn table1_formulas() {
+        let (h, n) = (100, 10);
+        assert_eq!(analytic(StrategySpec::full_replication(), h, n), 1000.0);
+        assert_eq!(analytic(StrategySpec::fixed(20), h, n), 200.0);
+        assert_eq!(analytic(StrategySpec::random_server(20), h, n), 200.0);
+        assert_eq!(analytic(StrategySpec::round_robin(2), h, n), 200.0);
+        // Hash-2: 100·10·(1−0.9²) = 190.
+        assert!((analytic(StrategySpec::hash(2), h, n) - 190.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn fixed_caps_at_h() {
+        assert_eq!(analytic(StrategySpec::fixed(500), 100, 10), 1000.0);
+    }
+
+    #[test]
+    fn measured_matches_analytic_for_deterministic_strategies() {
+        for (spec, expected) in [
+            (StrategySpec::full_replication(), 1000.0),
+            (StrategySpec::fixed(20), 200.0),
+            (StrategySpec::random_server(20), 200.0),
+            (StrategySpec::round_robin(2), 200.0),
+        ] {
+            let mut c = Cluster::new(10, spec, 1).unwrap();
+            c.place((0..100u64).collect()).unwrap();
+            assert_eq!(measured(&c.placement()) as f64, expected, "{spec}");
+        }
+    }
+
+    #[test]
+    fn measured_hash_storage_matches_expectation() {
+        // Average over instances approaches h·n·(1−(1−1/n)^y) = 190.
+        let mut total = 0usize;
+        let runs = 200;
+        for seed in 0..runs {
+            let mut c = Cluster::new(10, StrategySpec::hash(2), seed).unwrap();
+            c.place((0..100u64).collect()).unwrap();
+            total += measured(&c.placement());
+        }
+        let mean = total as f64 / runs as f64;
+        assert!((mean - 190.0).abs() < 3.0, "mean Hash-2 storage {mean}");
+    }
+
+    #[test]
+    fn growth_direction_matches_section_4_1() {
+        // Fixed/RandomServer grow with n, not h; Round/Hash grow with h.
+        let base = analytic(StrategySpec::fixed(20), 100, 10);
+        assert_eq!(analytic(StrategySpec::fixed(20), 1000, 10), base);
+        assert!(analytic(StrategySpec::fixed(20), 100, 20) > base);
+        let base = analytic(StrategySpec::round_robin(2), 100, 10);
+        assert!(analytic(StrategySpec::round_robin(2), 1000, 10) > base);
+        assert_eq!(analytic(StrategySpec::round_robin(2), 100, 20), base);
+    }
+}

@@ -1,0 +1,34 @@
+//! Error types for the simulated network.
+
+use std::error::Error;
+use std::fmt;
+
+use crate::ServerId;
+
+/// Error returned when a message cannot be injected into the network.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SendError {
+    /// The destination server index is outside `0..n`.
+    UnknownServer(ServerId),
+}
+
+impl fmt::Display for SendError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SendError::UnknownServer(s) => write!(f, "unknown destination server {s}"),
+        }
+    }
+}
+
+impl Error for SendError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_names_the_server() {
+        let err = SendError::UnknownServer(ServerId::new(42));
+        assert_eq!(err.to_string(), "unknown destination server S42");
+    }
+}

@@ -1,0 +1,159 @@
+//! Tracking which servers are crashed.
+//!
+//! The paper's fault-tolerance metric (§4.4) takes an adversarial view: an
+//! all-knowing adversary fails servers one at a time. [`FailureSet`] is the
+//! shared ground truth of which servers are down; both the adversary (in
+//! `pls-metrics`) and the client lookup procedures consult it.
+
+use crate::ServerId;
+
+/// The set of currently-failed servers among `n`.
+///
+/// # Example
+///
+/// ```
+/// use pls_net::{FailureSet, ServerId};
+/// let mut f = FailureSet::new(4);
+/// f.fail(ServerId::new(2));
+/// assert!(f.is_failed(ServerId::new(2)));
+/// assert_eq!(f.operational_count(), 3);
+/// f.recover(ServerId::new(2));
+/// assert_eq!(f.failed_count(), 0);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FailureSet {
+    down: Vec<bool>,
+    failed_count: usize,
+}
+
+impl FailureSet {
+    /// Creates a failure set for `n` servers, all operational.
+    pub fn new(n: usize) -> Self {
+        FailureSet { down: vec![false; n], failed_count: 0 }
+    }
+
+    /// Number of servers in the cluster (failed or not).
+    pub fn len(&self) -> usize {
+        self.down.len()
+    }
+
+    /// True when the cluster has no servers at all.
+    pub fn is_empty(&self) -> bool {
+        self.down.is_empty()
+    }
+
+    /// Marks a server failed. Idempotent.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the server index is out of range.
+    pub fn fail(&mut self, s: ServerId) {
+        let slot = &mut self.down[s.index()];
+        if !*slot {
+            *slot = true;
+            self.failed_count += 1;
+        }
+    }
+
+    /// Marks a server operational again. Idempotent.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the server index is out of range.
+    pub fn recover(&mut self, s: ServerId) {
+        let slot = &mut self.down[s.index()];
+        if *slot {
+            *slot = false;
+            self.failed_count -= 1;
+        }
+    }
+
+    /// Whether the given server is currently failed.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the server index is out of range.
+    pub fn is_failed(&self, s: ServerId) -> bool {
+        self.down[s.index()]
+    }
+
+    /// Number of failed servers.
+    pub fn failed_count(&self) -> usize {
+        self.failed_count
+    }
+
+    /// Number of operational servers.
+    pub fn operational_count(&self) -> usize {
+        self.down.len() - self.failed_count
+    }
+
+    /// Iterator over the operational server ids, in index order.
+    pub fn operational(&self) -> impl Iterator<Item = ServerId> + '_ {
+        self.down
+            .iter()
+            .enumerate()
+            .filter(|(_, down)| !**down)
+            .map(|(i, _)| ServerId::new(i as u32))
+    }
+
+    /// Iterator over the failed server ids, in index order.
+    pub fn failed(&self) -> impl Iterator<Item = ServerId> + '_ {
+        self.down
+            .iter()
+            .enumerate()
+            .filter(|(_, down)| **down)
+            .map(|(i, _)| ServerId::new(i as u32))
+    }
+
+    /// Recovers every server.
+    pub fn recover_all(&mut self) {
+        self.down.iter_mut().for_each(|d| *d = false);
+        self.failed_count = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fail_and_recover_are_idempotent() {
+        let mut f = FailureSet::new(3);
+        let s = ServerId::new(1);
+        f.fail(s);
+        f.fail(s);
+        assert_eq!(f.failed_count(), 1);
+        f.recover(s);
+        f.recover(s);
+        assert_eq!(f.failed_count(), 0);
+    }
+
+    #[test]
+    fn operational_iterates_in_order() {
+        let mut f = FailureSet::new(4);
+        f.fail(ServerId::new(0));
+        f.fail(ServerId::new(2));
+        let up: Vec<_> = f.operational().map(|s| s.index()).collect();
+        assert_eq!(up, vec![1, 3]);
+        let down: Vec<_> = f.failed().map(|s| s.index()).collect();
+        assert_eq!(down, vec![0, 2]);
+    }
+
+    #[test]
+    fn recover_all_resets() {
+        let mut f = FailureSet::new(5);
+        for i in 0..5 {
+            f.fail(ServerId::new(i));
+        }
+        assert_eq!(f.operational_count(), 0);
+        f.recover_all();
+        assert_eq!(f.operational_count(), 5);
+    }
+
+    #[test]
+    #[should_panic]
+    fn out_of_range_panics() {
+        let f = FailureSet::new(2);
+        f.is_failed(ServerId::new(2));
+    }
+}

@@ -1,0 +1,132 @@
+//! Typed addresses for the participants of the lookup service.
+
+use std::fmt;
+
+/// Identifier of one of the `n` lookup servers.
+///
+/// Servers are numbered `0..n`. The paper's Round-Robin-y strategy relies on
+/// modular arithmetic over server indices, so [`ServerId`] exposes
+/// [`ServerId::wrapping_add`] for `(s + k) mod n` stepping.
+///
+/// # Example
+///
+/// ```
+/// use pls_net::ServerId;
+/// let s = ServerId::new(8);
+/// assert_eq!(s.wrapping_add(3, 10), ServerId::new(1));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct ServerId(u32);
+
+impl ServerId {
+    /// Creates a server id from its index.
+    pub fn new(index: u32) -> Self {
+        ServerId(index)
+    }
+
+    /// The raw index of this server.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    /// `(self + k) mod n`: the server `k` positions after this one in the
+    /// ring of `n` servers.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` is zero.
+    pub fn wrapping_add(self, k: usize, n: usize) -> ServerId {
+        assert!(n > 0, "ring size must be positive");
+        ServerId(((self.0 as usize + k) % n) as u32)
+    }
+}
+
+impl fmt::Display for ServerId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "S{}", self.0)
+    }
+}
+
+impl From<u32> for ServerId {
+    fn from(index: u32) -> Self {
+        ServerId(index)
+    }
+}
+
+/// The origin of a message: either a server or an external client.
+///
+/// Clients are outside the server set; a message *from* a client *to* a
+/// server is what the paper charges as the "process the client request"
+/// cost of 1 (§6.4).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Endpoint {
+    /// One of the lookup servers.
+    Server(ServerId),
+    /// An external client, identified by an arbitrary number.
+    Client(u64),
+}
+
+impl Endpoint {
+    /// Convenience constructor for a client endpoint.
+    pub fn client(id: u64) -> Self {
+        Endpoint::Client(id)
+    }
+
+    /// Returns the server id if this endpoint is a server.
+    pub fn as_server(self) -> Option<ServerId> {
+        match self {
+            Endpoint::Server(s) => Some(s),
+            Endpoint::Client(_) => None,
+        }
+    }
+}
+
+impl fmt::Display for Endpoint {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Endpoint::Server(s) => write!(f, "{s}"),
+            Endpoint::Client(c) => write!(f, "C{c}"),
+        }
+    }
+}
+
+impl From<ServerId> for Endpoint {
+    fn from(s: ServerId) -> Self {
+        Endpoint::Server(s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn server_id_ring_arithmetic() {
+        let s = ServerId::new(0);
+        assert_eq!(s.wrapping_add(0, 5), ServerId::new(0));
+        assert_eq!(s.wrapping_add(4, 5), ServerId::new(4));
+        assert_eq!(s.wrapping_add(5, 5), ServerId::new(0));
+        assert_eq!(s.wrapping_add(12, 5), ServerId::new(2));
+    }
+
+    #[test]
+    #[should_panic(expected = "ring size must be positive")]
+    fn server_id_zero_ring_panics() {
+        ServerId::new(0).wrapping_add(1, 0);
+    }
+
+    #[test]
+    fn endpoint_conversions() {
+        let s = ServerId::new(3);
+        let e: Endpoint = s.into();
+        assert_eq!(e.as_server(), Some(s));
+        assert_eq!(Endpoint::client(7).as_server(), None);
+    }
+
+    #[test]
+    fn display_is_compact() {
+        assert_eq!(ServerId::new(2).to_string(), "S2");
+        assert_eq!(Endpoint::client(9).to_string(), "C9");
+        assert_eq!(Endpoint::Server(ServerId::new(1)).to_string(), "S1");
+    }
+}

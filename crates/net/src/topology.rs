@@ -1,0 +1,207 @@
+//! Hop-count topologies for the limited-reachability variation (paper §7.2).
+//!
+//! In overlay networks like Gnutella a client can only reach servers within
+//! a bounded number of hops. [`Topology`] is an undirected graph over the
+//! `n` servers plus client attachment points; it answers "which servers are
+//! within `d` hops of node `u`?" via precomputable BFS distances.
+
+use std::collections::VecDeque;
+
+use crate::ServerId;
+
+/// An undirected overlay graph over `n` nodes (nodes double as servers).
+///
+/// # Example
+///
+/// ```
+/// use pls_net::Topology;
+/// // A path 0 - 1 - 2 - 3.
+/// let mut g = Topology::new(4);
+/// g.connect(0, 1);
+/// g.connect(1, 2);
+/// g.connect(2, 3);
+/// assert_eq!(g.distance(0, 3), Some(3));
+/// let within: Vec<usize> = g.within_hops(1, 1).map(|s| s.index()).collect();
+/// assert_eq!(within, vec![0, 1, 2]);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Topology {
+    adj: Vec<Vec<usize>>,
+}
+
+impl Topology {
+    /// Creates an edgeless topology over `n` nodes.
+    pub fn new(n: usize) -> Self {
+        Topology { adj: vec![Vec::new(); n] }
+    }
+
+    /// A ring topology `0 - 1 - ... - (n-1) - 0`, the classic structured
+    /// overlay used in the paper's examples.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n < 3` (a ring needs at least three nodes).
+    pub fn ring(n: usize) -> Self {
+        assert!(n >= 3, "a ring needs at least 3 nodes");
+        let mut g = Topology::new(n);
+        for i in 0..n {
+            g.connect(i, (i + 1) % n);
+        }
+        g
+    }
+
+    /// A random graph where each node gets `degree` random neighbours,
+    /// approximating an unstructured Gnutella-style overlay. Uses the
+    /// provided RNG for determinism. Self-loops and duplicate edges are
+    /// skipped, so actual degrees may be slightly lower.
+    pub fn random(n: usize, degree: usize, rng: &mut crate::DetRng) -> Self {
+        let mut g = Topology::new(n);
+        if n < 2 {
+            return g;
+        }
+        for u in 0..n {
+            for _ in 0..degree {
+                let v = rng.below(n);
+                if v != u {
+                    g.connect(u, v);
+                }
+            }
+        }
+        g
+    }
+
+    /// Number of nodes.
+    pub fn len(&self) -> usize {
+        self.adj.len()
+    }
+
+    /// True when the topology has no nodes.
+    pub fn is_empty(&self) -> bool {
+        self.adj.is_empty()
+    }
+
+    /// Adds an undirected edge `u - v`. Duplicate edges are ignored.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either endpoint is out of range or `u == v`.
+    pub fn connect(&mut self, u: usize, v: usize) {
+        assert!(u < self.adj.len() && v < self.adj.len(), "node out of range");
+        assert_ne!(u, v, "self-loops are not allowed");
+        if !self.adj[u].contains(&v) {
+            self.adj[u].push(v);
+            self.adj[v].push(u);
+        }
+    }
+
+    /// Neighbours of `u`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `u` is out of range.
+    pub fn neighbours(&self, u: usize) -> &[usize] {
+        &self.adj[u]
+    }
+
+    /// BFS distances from `u` to every node (`None` = unreachable).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `u` is out of range.
+    pub fn distances_from(&self, u: usize) -> Vec<Option<usize>> {
+        assert!(u < self.adj.len(), "node out of range");
+        let mut dist = vec![None; self.adj.len()];
+        dist[u] = Some(0);
+        let mut queue = VecDeque::from([u]);
+        while let Some(cur) = queue.pop_front() {
+            let d = dist[cur].expect("visited nodes have distances");
+            for &next in &self.adj[cur] {
+                if dist[next].is_none() {
+                    dist[next] = Some(d + 1);
+                    queue.push_back(next);
+                }
+            }
+        }
+        dist
+    }
+
+    /// Hop distance between two nodes, if connected.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either node is out of range.
+    pub fn distance(&self, u: usize, v: usize) -> Option<usize> {
+        assert!(v < self.adj.len(), "node out of range");
+        self.distances_from(u)[v]
+    }
+
+    /// Servers within `d` hops of node `u` (including `u` itself), in
+    /// index order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `u` is out of range.
+    pub fn within_hops(&self, u: usize, d: usize) -> impl Iterator<Item = ServerId> + '_ {
+        self.distances_from(u)
+            .into_iter()
+            .enumerate()
+            .filter(move |(_, dist)| matches!(dist, Some(x) if *x <= d))
+            .map(|(i, _)| ServerId::new(i as u32))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::DetRng;
+
+    #[test]
+    fn ring_distances() {
+        let g = Topology::ring(6);
+        assert_eq!(g.distance(0, 3), Some(3));
+        assert_eq!(g.distance(0, 5), Some(1));
+        assert_eq!(g.distance(2, 2), Some(0));
+    }
+
+    #[test]
+    fn disconnected_nodes_are_unreachable() {
+        let mut g = Topology::new(4);
+        g.connect(0, 1);
+        assert_eq!(g.distance(0, 3), None);
+        assert_eq!(g.distance(2, 3), None);
+    }
+
+    #[test]
+    fn within_hops_includes_self() {
+        let g = Topology::ring(5);
+        let reach: Vec<usize> = g.within_hops(0, 0).map(|s| s.index()).collect();
+        assert_eq!(reach, vec![0]);
+        let reach1: Vec<usize> = g.within_hops(0, 1).map(|s| s.index()).collect();
+        assert_eq!(reach1, vec![0, 1, 4]);
+    }
+
+    #[test]
+    fn duplicate_edges_ignored() {
+        let mut g = Topology::new(3);
+        g.connect(0, 1);
+        g.connect(0, 1);
+        g.connect(1, 0);
+        assert_eq!(g.neighbours(0), &[1]);
+        assert_eq!(g.neighbours(1), &[0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "self-loops")]
+    fn self_loop_panics() {
+        Topology::new(2).connect(1, 1);
+    }
+
+    #[test]
+    fn random_topology_has_no_self_loops() {
+        let mut rng = DetRng::seed_from(11);
+        let g = Topology::random(20, 3, &mut rng);
+        for u in 0..20 {
+            assert!(!g.neighbours(u).contains(&u));
+        }
+    }
+}

@@ -1,0 +1,218 @@
+//! Availability under *random* failures (extension).
+//!
+//! Figure 7 measures worst-case (adversarial) fault tolerance. The
+//! complementary practical question — what fraction of lookups fail when
+//! `f` random servers are down? — matters for provisioning and is not in
+//! the paper. This experiment sweeps `f` for the four budget-matched
+//! partial strategies plus full replication, at the Figure 4 system
+//! shape.
+//!
+//! Measured shape (and an instructive inversion of Figure 7): full
+//! replication and Fixed-x never fail while any server survives
+//! (`t ≤ x`); among the spread strategies, **Round-y** degrades least —
+//! two random survivors usually hold *disjoint* 20-entry slices — while
+//! **RandomServer-x**, whose overlapping subsets win the *adversarial*
+//! game of Figure 7, is the worst under random failures at large `t`:
+//! the union of a few random `x`-subsets falls well short of `k·x`
+//! distinct entries. Overlap helps against a worst-case adversary and
+//! hurts when you need the surviving union to be large.
+
+use pls_core::{Cluster, StrategyKind, StrategySpec};
+use pls_metrics::stats::Accumulator;
+use pls_metrics::Summary;
+
+use super::placed_with_budget;
+use crate::DetRng;
+
+/// Parameters for the availability sweep.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Params {
+    /// Number of servers.
+    pub n: usize,
+    /// Number of entries.
+    pub h: usize,
+    /// Total storage budget for the partial strategies.
+    pub budget: usize,
+    /// Target answer size.
+    pub t: usize,
+    /// Failure counts to sweep.
+    pub failures: Vec<usize>,
+    /// Placement instances (with fresh random failure sets) per point.
+    pub runs: usize,
+    /// Lookups per instance.
+    pub lookups: usize,
+    /// Base RNG seed.
+    pub seed: u64,
+}
+
+impl Params {
+    /// The Figure 4 system shape with t = 40 (large enough that losing
+    /// coverage actually hurts). Fixed-x runs with `x = t + 10` (its
+    /// lookups are undefined for `t > x`), i.e. more storage than the
+    /// budget-matched strategies — its column shows the
+    /// identical-servers availability ceiling, not a storage-fair
+    /// comparison.
+    pub fn quick() -> Self {
+        Params {
+            n: 10,
+            h: 100,
+            budget: 200,
+            t: 40,
+            failures: (0..=8).collect(),
+            runs: 30,
+            lookups: 300,
+            seed: 0x0A7A_11AB,
+        }
+    }
+
+    /// Larger Monte-Carlo budget.
+    pub fn paper() -> Self {
+        Params { runs: 1000, lookups: 2000, ..Self::quick() }
+    }
+}
+
+impl Default for Params {
+    fn default() -> Self {
+        Self::quick()
+    }
+}
+
+/// One data point: lookup failure fraction per strategy at `failures`
+/// random servers down.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Row {
+    /// Number of failed servers.
+    pub failures: usize,
+    /// Full replication.
+    pub full_replication: Summary,
+    /// Fixed-x (budget/n).
+    pub fixed: Summary,
+    /// RandomServer-x (budget/n).
+    pub random_server: Summary,
+    /// Round-Robin-y (budget/h).
+    pub round_robin: Summary,
+    /// Hash-y (budget/h).
+    pub hash: Summary,
+}
+
+fn failure_fraction(
+    kind: StrategyKind,
+    params: &Params,
+    failed: usize,
+    seed: u64,
+) -> f64 {
+    let mut cluster = if kind == StrategyKind::Fixed {
+        // Fixed-x needs x >= t to be defined at all; give it the cushioned
+        // x = t + 10 (extra storage — see Params docs).
+        let mut c = Cluster::new(params.n, StrategySpec::fixed(params.t + 10), seed)
+            .expect("valid spec");
+        c.place((0..params.h as u64).collect()).expect("no failures yet");
+        c
+    } else {
+        placed_with_budget(kind, params.budget, params.h, params.n, seed)
+            .expect("budget large enough")
+    };
+    let mut rng = DetRng::seed_from(seed ^ 0xFA11);
+    let mut down = 0usize;
+    while down < failed {
+        let s = rng.random_server(params.n);
+        if !cluster.failures().is_failed(s) {
+            cluster.fail_server(s);
+            down += 1;
+        }
+    }
+    let mut unsatisfied = 0usize;
+    for _ in 0..params.lookups {
+        match cluster.partial_lookup(params.t) {
+            Ok(r) if r.is_satisfied(params.t) => {}
+            _ => unsatisfied += 1,
+        }
+    }
+    unsatisfied as f64 / params.lookups as f64
+}
+
+/// Runs the sweep.
+pub fn run(params: &Params) -> Vec<Row> {
+    let kinds = [
+        StrategyKind::FullReplication,
+        StrategyKind::Fixed,
+        StrategyKind::RandomServer,
+        StrategyKind::RoundRobin,
+        StrategyKind::Hash,
+    ];
+    params
+        .failures
+        .iter()
+        .map(|&failed| {
+            let mut summaries = Vec::with_capacity(5);
+            for (ki, &kind) in kinds.iter().enumerate() {
+                let mut acc = Accumulator::new();
+                for run in 0..params.runs {
+                    let seed = params
+                        .seed
+                        .wrapping_add((failed as u64) << 32)
+                        .wrapping_add((ki as u64) << 24)
+                        .wrapping_add(run as u64);
+                    acc.push(failure_fraction(kind, params, failed, seed));
+                }
+                summaries.push(acc.summary());
+            }
+            Row {
+                failures: failed,
+                full_replication: summaries[0],
+                fixed: summaries[1],
+                random_server: summaries[2],
+                round_robin: summaries[3],
+                hash: summaries[4],
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny() -> Params {
+        Params { failures: vec![0, 4, 8], runs: 10, lookups: 120, ..Params::quick() }
+    }
+
+    #[test]
+    fn identical_server_strategies_never_fail_while_one_survives() {
+        for row in run(&tiny()) {
+            assert_eq!(row.full_replication.mean(), 0.0, "f={}", row.failures);
+            assert_eq!(row.fixed.mean(), 0.0, "f={}", row.failures);
+        }
+    }
+
+    #[test]
+    fn no_failures_no_lookup_failures() {
+        let rows = run(&tiny());
+        let r0 = rows.iter().find(|r| r.failures == 0).unwrap();
+        assert_eq!(r0.round_robin.mean(), 0.0);
+        assert_eq!(r0.random_server.mean(), 0.0);
+        assert_eq!(r0.hash.mean(), 0.0);
+    }
+
+    #[test]
+    fn degradation_grows_with_failures() {
+        let rows = run(&tiny());
+        let at = |f: usize| rows.iter().find(|r| r.failures == f).unwrap();
+        assert!(at(4).round_robin.mean() <= at(8).round_robin.mean() + 1e-9);
+        assert!(at(4).hash.mean() <= at(8).hash.mean() + 1e-9);
+        // With 8 of 10 servers down, two survivors hold at most 40
+        // distinct entries, and only Round-2's disjoint slices reach
+        // exactly 40 (unless the survivors are ring-adjacent, p = 2/9).
+        let f8 = at(8);
+        assert!(f8.random_server.mean() > 0.9, "rs: {}", f8.random_server.mean());
+        assert!(f8.hash.mean() > 0.3, "hash: {}", f8.hash.mean());
+        assert!(
+            f8.round_robin.mean() > 0.02 && f8.round_robin.mean() < 0.5,
+            "round: {}",
+            f8.round_robin.mean()
+        );
+        // The inversion of Figure 7: under random failures the
+        // overlap-free Round-y beats RandomServer-x.
+        assert!(f8.round_robin.mean() < f8.random_server.mean());
+    }
+}

@@ -1,0 +1,225 @@
+//! Figure 12: Fixed-x lookup failure rate vs cushion size.
+//!
+//! Fixed-x cannot refill after deletes, so supporting a target answer
+//! size `t` requires `x = t + b` for a cushion `b` (§5.2). The paper runs
+//! the steady-state workload (h = 100, λ = 10, t = 15) with 20000 updates
+//! per run and measures the *percentage of execution time* during which a
+//! lookup for `t` entries would fail, for `b = 0..7`, under both lifetime
+//! laws.
+//!
+//! Expected shape (§6.2): >10% failure time at `b = 0`, decaying
+//! exponentially as `b` grows, with the heavy-tailed Zipf-like curve
+//! tapering off at the end.
+
+use pls_core::{Cluster, ServerId, StrategySpec};
+use pls_metrics::stats::Accumulator;
+use pls_metrics::Summary;
+
+use crate::workload::{LifetimeKind, WorkloadConfig};
+use crate::Simulation;
+
+/// Parameters for the Figure 12 sweep.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Params {
+    /// Number of servers (paper: 10).
+    pub n: usize,
+    /// Steady-state entry count (paper: 100).
+    pub h: usize,
+    /// Mean add inter-arrival time (paper: λ = 10; the implied mean
+    /// lifetime is `arrival_mean · h`).
+    pub arrival_mean: f64,
+    /// Target answer size (paper: 15).
+    pub t: usize,
+    /// Cushion sizes to sweep (paper: 0..=7).
+    pub cushions: Vec<usize>,
+    /// Updates per run (paper: 20000).
+    pub updates: usize,
+    /// Runs per data point (paper: 5000).
+    pub runs: usize,
+    /// Fraction of each run's events treated as warm-up and excluded
+    /// from the time accounting.
+    pub warmup_fraction: f64,
+    /// Base RNG seed.
+    pub seed: u64,
+}
+
+impl Params {
+    /// Seconds-scale Monte-Carlo budget with the paper's system shape.
+    pub fn quick() -> Self {
+        Params {
+            n: 10,
+            h: 100,
+            arrival_mean: 10.0,
+            t: 15,
+            cushions: (0..=7).collect(),
+            updates: 6000,
+            runs: 12,
+            warmup_fraction: 0.2,
+            seed: 0x0F16_0012,
+        }
+    }
+
+    /// The paper's 5000 × 20000 scale.
+    pub fn paper() -> Self {
+        Params { updates: 20_000, runs: 5000, ..Self::quick() }
+    }
+}
+
+impl Default for Params {
+    fn default() -> Self {
+        Self::quick()
+    }
+}
+
+/// One data point of Figure 12: time-fraction of lookup failure per
+/// lifetime law (as a fraction in `[0, 1]`, not a percentage).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Row {
+    /// Cushion size `b` (so `x = t + b`).
+    pub cushion: usize,
+    /// Failure time-fraction under exponential lifetimes.
+    pub exponential: Summary,
+    /// Failure time-fraction under Zipf-like lifetimes.
+    pub zipf: Summary,
+}
+
+/// Fraction of (post-warm-up) time during which server stores hold fewer
+/// than `t` entries — i.e. a `partial_lookup(t)` would fail. All Fixed-x
+/// servers are identical, so server 0 is representative.
+fn failure_fraction(params: &Params, cushion: usize, kind: LifetimeKind, seed: u64) -> f64 {
+    let x = params.t + cushion;
+    let cluster =
+        Cluster::new(params.n, StrategySpec::fixed(x), seed).expect("valid Fixed-x spec");
+    let workload = WorkloadConfig {
+        arrival_mean: params.arrival_mean,
+        steady_h: params.h,
+        lifetime: kind,
+        updates: params.updates,
+        seed: seed ^ 0x5eed,
+    }
+    .generate();
+    let mut sim = Simulation::new(cluster, workload).expect("no failures during replay");
+
+    let warmup = (params.updates as f64 * params.warmup_fraction) as usize;
+    let probe = ServerId::new(0);
+    let mut failed_time = 0.0f64;
+    let mut total_time = 0.0f64;
+    let mut applied = 0usize;
+    while let Some(event) = sim.step().expect("no failures during replay") {
+        applied += 1;
+        let Some(next_time) = sim.peek_time() else { break };
+        let duration = next_time - event.time;
+        if applied >= warmup {
+            total_time += duration;
+            if sim.cluster().server_entries(probe).len() < params.t {
+                failed_time += duration;
+            }
+        }
+    }
+    if total_time == 0.0 {
+        0.0
+    } else {
+        failed_time / total_time
+    }
+}
+
+/// Runs the sweep.
+pub fn run(params: &Params) -> Vec<Row> {
+    params
+        .cushions
+        .iter()
+        .map(|&cushion| {
+            let measure = |kind: LifetimeKind, salt: u64| {
+                let mut acc = Accumulator::new();
+                for run in 0..params.runs {
+                    let seed = params
+                        .seed
+                        .wrapping_add((cushion as u64) << 32)
+                        .wrapping_add(salt << 24)
+                        .wrapping_add(run as u64);
+                    acc.push(failure_fraction(params, cushion, kind, seed));
+                }
+                acc.summary()
+            };
+            Row {
+                cushion,
+                exponential: measure(LifetimeKind::Exponential, 1),
+                zipf: measure(LifetimeKind::ZipfLike, 2),
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny() -> Params {
+        Params { cushions: vec![0, 2, 4], updates: 3000, runs: 4, ..Params::quick() }
+    }
+
+    #[test]
+    fn zero_cushion_fails_often() {
+        let rows = run(&tiny());
+        let b0 = rows.iter().find(|r| r.cushion == 0).unwrap();
+        // §6.2: "For 0 cushion, we get over 10 percent failures."
+        assert!(b0.exponential.mean() > 0.05, "exp: {}", b0.exponential.mean());
+        assert!(b0.zipf.mean() > 0.05, "zipf: {}", b0.zipf.mean());
+    }
+
+    #[test]
+    fn doubled_lifetime_needs_a_smaller_cushion() {
+        // §6.2: "as the expected life time of an entry increases, the
+        // cushion size decreases proportionally. [...] If the average
+        // life time doubles to 2000 time units, a cushion size 2 is
+        // sufficient for the same target answer size 15." With the
+        // arrival rate fixed (λ = 10), doubling the mean lifetime doubles
+        // the steady-state entry count to 200, halving the chance that a
+        // delete hits one of the x stored entries. (Note a *joint*
+        // rescaling of lifetime and arrival rate would be a pure change
+        // of time units and leave the dimensionless failure fraction
+        // untouched.)
+        let base = Params { cushions: vec![1, 2, 3], updates: 3000, runs: 6, ..Params::quick() };
+        let doubled = Params { h: 200, ..base.clone() };
+        let short = run(&base);
+        let long = run(&doubled);
+        let at = |rows: &[Row], b: usize| {
+            rows.iter().find(|r| r.cushion == b).unwrap().exponential.mean()
+        };
+        for b in [1usize, 2, 3] {
+            assert!(
+                at(&long, b) <= at(&short, b) + 1e-4,
+                "b={b}: long-lifetime {} vs short-lifetime {}",
+                at(&long, b),
+                at(&short, b)
+            );
+        }
+        assert!(
+            at(&long, 2) <= at(&short, 2) * 0.8 + 1e-4,
+            "doubling the lifetime should substantially cut the b=2 failure rate: {} vs {}",
+            at(&long, 2),
+            at(&short, 2)
+        );
+        // The paper's specific claim: long-lifetime b=2 performs at least
+        // as well as short-lifetime b=3.
+        assert!(at(&long, 2) <= at(&short, 3) * 2.0 + 1e-4);
+    }
+
+    #[test]
+    fn failure_rate_decays_with_cushion() {
+        let rows = run(&tiny());
+        let at = |b: usize| rows.iter().find(|r| r.cushion == b).unwrap();
+        assert!(
+            at(4).exponential.mean() < at(0).exponential.mean() / 4.0,
+            "exp decay: b0={} b4={}",
+            at(0).exponential.mean(),
+            at(4).exponential.mean()
+        );
+        assert!(
+            at(4).zipf.mean() < at(0).zipf.mean(),
+            "zipf decay: b0={} b4={}",
+            at(0).zipf.mean(),
+            at(4).zipf.mean()
+        );
+    }
+}

@@ -1,0 +1,160 @@
+//! Figure 13: RandomServer-x unfairness deterioration under updates.
+//!
+//! 10 servers, x = 20, steady state h = 100. The cushion-style delete
+//! handling of §5.3 biases placements toward newer entries: deleted
+//! entries' slots are refilled by reservoir-sampled newcomers, so
+//! long-lived entries become under-represented. The paper replays 0..4000
+//! updates and measures the instance unfairness at checkpoints.
+//!
+//! Expected shape (§6.3): unfairness rises rapidly from its static value
+//! and stabilizes well below Fixed-x's constant 2.0 ("only a factor of 2
+//! better than Fixed-x, as opposed to an order of magnitude better in
+//! the static case").
+
+use pls_core::{Cluster, StrategySpec};
+use pls_metrics::stats::Accumulator;
+use pls_metrics::{unfairness, Summary};
+
+use crate::workload::{LifetimeKind, WorkloadConfig};
+use crate::Simulation;
+
+/// Parameters for the Figure 13 sweep.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Params {
+    /// Number of servers (paper: 10).
+    pub n: usize,
+    /// Per-server subset size (paper: 20).
+    pub x: usize,
+    /// Steady-state entry count (paper: 100).
+    pub h: usize,
+    /// Target answer size for the unfairness lookups (paper's Figure 9
+    /// companion value: 35).
+    pub t: usize,
+    /// Update counts at which to checkpoint (paper: 0..=4000).
+    pub checkpoints: Vec<usize>,
+    /// Lookups per unfairness estimate (paper: 10000).
+    pub lookups: usize,
+    /// Runs per data point.
+    pub runs: usize,
+    /// Base RNG seed.
+    pub seed: u64,
+}
+
+impl Params {
+    /// Seconds-scale Monte-Carlo budget with the paper's system shape.
+    pub fn quick() -> Self {
+        Params {
+            n: 10,
+            x: 20,
+            h: 100,
+            t: 35,
+            checkpoints: (0..=4000).step_by(500).collect(),
+            lookups: 1200,
+            runs: 8,
+            seed: 0x0F16_0013,
+        }
+    }
+
+    /// The paper's scale.
+    pub fn paper() -> Self {
+        Params { lookups: 10_000, runs: 500, ..Self::quick() }
+    }
+}
+
+impl Default for Params {
+    fn default() -> Self {
+        Self::quick()
+    }
+}
+
+/// One data point of Figure 13.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Row {
+    /// Number of updates replayed before measuring.
+    pub updates: usize,
+    /// Instance unfairness of RandomServer-x at this point.
+    pub unfairness: Summary,
+}
+
+/// Runs the sweep. Checkpoints must be given in increasing order (each
+/// run replays the trace once, measuring as it passes each checkpoint).
+///
+/// # Panics
+///
+/// Panics if `checkpoints` is not strictly increasing.
+pub fn run(params: &Params) -> Vec<Row> {
+    assert!(
+        params.checkpoints.windows(2).all(|w| w[0] < w[1]),
+        "checkpoints must be strictly increasing"
+    );
+    let max_updates = params.checkpoints.last().copied().unwrap_or(0);
+    let mut accs: Vec<Accumulator> = params.checkpoints.iter().map(|_| Accumulator::new()).collect();
+
+    for run in 0..params.runs {
+        let seed = params.seed.wrapping_add(run as u64);
+        let cluster = Cluster::new(params.n, StrategySpec::random_server(params.x), seed)
+            .expect("valid RandomServer-x spec");
+        let workload = WorkloadConfig {
+            arrival_mean: 10.0,
+            steady_h: params.h,
+            lifetime: LifetimeKind::Exponential,
+            updates: max_updates,
+            seed: seed ^ 0x5eed,
+        }
+        .generate();
+        let mut sim = Simulation::new(cluster, workload).expect("no failures during replay");
+        let mut applied = 0usize;
+        for (i, &checkpoint) in params.checkpoints.iter().enumerate() {
+            let need = checkpoint - applied;
+            applied += sim.run(need).expect("no failures during replay");
+            let universe = sim.live().to_vec();
+            let u = unfairness::measure_instance(
+                sim.cluster_mut(),
+                &universe,
+                params.t,
+                params.lookups,
+            );
+            accs[i].push(u);
+        }
+    }
+
+    params
+        .checkpoints
+        .iter()
+        .zip(accs)
+        .map(|(&updates, acc)| Row { updates, unfairness: acc.summary() })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny() -> Params {
+        Params { checkpoints: vec![0, 1000, 2500], lookups: 700, runs: 4, ..Params::quick() }
+    }
+
+    #[test]
+    fn unfairness_deteriorates_then_stays_below_fixed() {
+        let rows = run(&tiny());
+        let start = rows.first().unwrap().unfairness.mean();
+        let end = rows.last().unwrap().unfairness.mean();
+        assert!(end > start, "should deteriorate: {start} -> {end}");
+        // §6.3: stabilizes around a factor-2 gap to Fixed-x's 2.0.
+        let fixed = pls_metrics::unfairness::analytic_fixed(20, 100, 15);
+        assert!(end < fixed, "end {end} should stay below Fixed-x {fixed}");
+    }
+
+    #[test]
+    fn deterioration_is_front_loaded() {
+        // "deteriorates rapidly and then stabilizes": the first half of
+        // the rise exceeds the second half.
+        let rows = run(&tiny());
+        let (a, b, c) = (
+            rows[0].unfairness.mean(),
+            rows[1].unfairness.mean(),
+            rows[2].unfairness.mean(),
+        );
+        assert!(b - a > c - b, "rise {a} -> {b} -> {c} not front-loaded");
+    }
+}

@@ -1,0 +1,197 @@
+//! Figure 14: total update overhead, Fixed-x vs Hash-y.
+//!
+//! Target answer size 40, 10 servers, steady-state entry count `h` swept
+//! 100..400 (so the ratio `t/h` sweeps 0.4..0.1). Fixed-x runs with
+//! `x = 50` (cushion 10); Hash-y uses the adaptive `y = ceil(t·n/h)` so
+//! its lookup cost stays ≈ 1 across the sweep (the paper's choice: y = 4
+//! for h ∈ [100,133), 3 for [133,200), 2 for [200,400), 1 at 400).
+//! Overhead is the §6.4 cost model: messages received and processed by
+//! servers over the update trace (broadcast = n, point-to-point = 1).
+//!
+//! Expected shape: Fixed-x's cost `(1 + (x/h)·n)·U` falls like `1/h`;
+//! Hash-y's cost `(1 + y)·U` is a step function with breaks at 133, 200
+//! and 400; the curves cross near where `(x/h)·n = y`.
+
+use pls_core::{Cluster, StrategySpec};
+use pls_metrics::stats::Accumulator;
+use pls_metrics::Summary;
+
+use crate::workload::{LifetimeKind, WorkloadConfig};
+use crate::Simulation;
+
+/// Parameters for the Figure 14 sweep.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Params {
+    /// Number of servers (paper: 10).
+    pub n: usize,
+    /// Target answer size (paper: 40).
+    pub t: usize,
+    /// Fixed-x parameter (paper: 50, a cushion of 10 over `t`).
+    pub fixed_x: usize,
+    /// Steady-state entry counts to sweep (paper: 100..=400).
+    pub entry_counts: Vec<usize>,
+    /// Updates per run (paper: 10000).
+    pub updates: usize,
+    /// Runs per data point (paper: 5000).
+    pub runs: usize,
+    /// Base RNG seed.
+    pub seed: u64,
+}
+
+impl Params {
+    /// Seconds-scale Monte-Carlo budget with the paper's system shape.
+    pub fn quick() -> Self {
+        Params {
+            n: 10,
+            t: 40,
+            fixed_x: 50,
+            entry_counts: vec![100, 120, 133, 150, 175, 200, 250, 300, 350, 400],
+            updates: 4000,
+            runs: 6,
+            seed: 0x0F16_0014,
+        }
+    }
+
+    /// The paper's 5000 × 10000 scale.
+    pub fn paper() -> Self {
+        Params { updates: 10_000, runs: 5000, ..Self::quick() }
+    }
+}
+
+impl Default for Params {
+    fn default() -> Self {
+        Self::quick()
+    }
+}
+
+/// The paper's adaptive choice of `y` for Hash-y: the smallest `y` that
+/// keeps the expected per-server entry count at or above the target
+/// answer size, `ceil(t·n/h)`.
+pub fn adaptive_hash_y(t: usize, n: usize, h: usize) -> usize {
+    (t * n).div_ceil(h).max(1)
+}
+
+/// One data point of Figure 14.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Row {
+    /// Steady-state entry count `h`.
+    pub h: usize,
+    /// The adaptive `y` Hash used at this `h`.
+    pub hash_y: usize,
+    /// Update messages processed by servers under Fixed-x.
+    pub fixed_messages: Summary,
+    /// Update messages processed by servers under Hash-y.
+    pub hash_messages: Summary,
+}
+
+/// Replays one workload against one strategy and reports the update
+/// messages processed after the initial placement.
+fn update_overhead(spec: StrategySpec, n: usize, h: usize, updates: usize, seed: u64) -> u64 {
+    let cluster = Cluster::new(n, spec, seed).expect("valid spec");
+    let workload = WorkloadConfig {
+        arrival_mean: 10.0,
+        steady_h: h,
+        lifetime: LifetimeKind::Exponential,
+        updates,
+        seed: seed ^ 0x5eed,
+    }
+    .generate();
+    let mut sim = Simulation::new(cluster, workload).expect("no failures during replay");
+    sim.cluster_mut().reset_counter(); // exclude the initial place
+    sim.run_all().expect("no failures during replay");
+    sim.cluster().counter().update_messages()
+}
+
+/// Runs the sweep.
+pub fn run(params: &Params) -> Vec<Row> {
+    params
+        .entry_counts
+        .iter()
+        .map(|&h| {
+            let y = adaptive_hash_y(params.t, params.n, h);
+            let mut fixed_acc = Accumulator::new();
+            let mut hash_acc = Accumulator::new();
+            for run in 0..params.runs {
+                let seed = params.seed.wrapping_add((h as u64) << 20).wrapping_add(run as u64);
+                fixed_acc.push(update_overhead(
+                    StrategySpec::fixed(params.fixed_x),
+                    params.n,
+                    h,
+                    params.updates,
+                    seed,
+                ) as f64);
+                hash_acc.push(update_overhead(
+                    StrategySpec::hash(y),
+                    params.n,
+                    h,
+                    params.updates,
+                    seed,
+                ) as f64);
+            }
+            Row { h, hash_y: y, fixed_messages: fixed_acc.summary(), hash_messages: hash_acc.summary() }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn adaptive_y_matches_paper_breakpoints() {
+        // §6.4: y=1 at h=400, y=2 for 200 ≤ h < 400, y=3 for 133 ≤ h <
+        // 200, y=4 for 100 ≤ h < 133.
+        assert_eq!(adaptive_hash_y(40, 10, 400), 1);
+        assert_eq!(adaptive_hash_y(40, 10, 399), 2);
+        assert_eq!(adaptive_hash_y(40, 10, 200), 2);
+        assert_eq!(adaptive_hash_y(40, 10, 199), 3);
+        assert_eq!(adaptive_hash_y(40, 10, 134), 3);
+        assert_eq!(adaptive_hash_y(40, 10, 133), 4);
+        assert_eq!(adaptive_hash_y(40, 10, 100), 4);
+    }
+
+    fn tiny() -> Params {
+        Params { entry_counts: vec![100, 300, 400], updates: 1500, runs: 3, ..Params::quick() }
+    }
+
+    #[test]
+    fn fixed_cost_tracks_model() {
+        // Per update: 1 + (x/h)·n in expectation.
+        let rows = run(&tiny());
+        for row in &rows {
+            let per_update = row.fixed_messages.mean() / 1500.0;
+            let model = 1.0 + (50.0 / row.h as f64) * 10.0;
+            assert!(
+                (per_update - model).abs() < model * 0.25,
+                "h={}: per-update {per_update} vs model {model}",
+                row.h
+            );
+        }
+    }
+
+    #[test]
+    fn hash_cost_tracks_model() {
+        // Per update: ≈ 1 + y (slightly less, thanks to collisions).
+        let rows = run(&tiny());
+        for row in &rows {
+            let per_update = row.hash_messages.mean() / 1500.0;
+            let model = 1.0 + row.hash_y as f64;
+            assert!(
+                per_update <= model + 0.05 && per_update > model * 0.7,
+                "h={}: per-update {per_update} vs model {model}",
+                row.h
+            );
+        }
+    }
+
+    #[test]
+    fn fixed_wins_in_the_middle_hash_at_the_ends() {
+        // §6.4 crossovers: at h=100 Hash-4 beats Fixed-50; at h=300
+        // Fixed-50 beats Hash-2; at h=400 Hash-1 wins again.
+        let rows = run(&tiny());
+        let at = |h: usize| rows.iter().find(|r| r.h == h).unwrap();
+        assert!(at(100).hash_messages.mean() < at(100).fixed_messages.mean());
+        assert!(at(300).fixed_messages.mean() < at(300).hash_messages.mean());
+        assert!(at(400).hash_messages.mean() < at(400).fixed_messages.mean());
+    }
+}

@@ -1,0 +1,172 @@
+//! Figure 4: client lookup cost vs target answer size, at a fixed total
+//! storage budget.
+//!
+//! The paper manages 100 entries on 10 servers with 200 entries of total
+//! storage — i.e. Round-2, RandomServer-20 and Hash-2 (Fixed-20 is
+//! omitted: it cannot answer `t > 20` at all) — and plots the average
+//! number of servers contacted as `t` sweeps 10..50.
+//!
+//! Expected shape (§4.2): Round-2 is a step curve rising by 1 every 20;
+//! RandomServer-20 sits above it, worst at multiples of 20; Hash-2 is
+//! above 1 even for small `t` but can beat the others just past each
+//! step.
+
+use pls_core::StrategyKind;
+use pls_metrics::stats::Accumulator;
+use pls_metrics::{lookup_cost, Summary};
+
+use super::placed_with_budget;
+
+/// Parameters for the Figure 4 sweep.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Params {
+    /// Number of servers (paper: 10).
+    pub n: usize,
+    /// Number of entries (paper: 100).
+    pub h: usize,
+    /// Total storage budget in entries (paper: 200).
+    pub budget: usize,
+    /// Target answer sizes to sweep (paper: 10..=50).
+    pub targets: Vec<usize>,
+    /// Placement instances per data point (paper: 5000).
+    pub runs: usize,
+    /// Lookups per instance (paper: 5000).
+    pub lookups_per_run: usize,
+    /// Base RNG seed.
+    pub seed: u64,
+}
+
+impl Params {
+    /// Seconds-scale Monte-Carlo budget with the paper's system shape.
+    pub fn quick() -> Self {
+        Params {
+            n: 10,
+            h: 100,
+            budget: 200,
+            targets: (10..=50).step_by(5).collect(),
+            runs: 60,
+            lookups_per_run: 300,
+            seed: 0x0F16_0004,
+        }
+    }
+
+    /// The paper's full Monte-Carlo budget (5000 × 5000; minutes of
+    /// runtime).
+    pub fn paper() -> Self {
+        Params {
+            targets: (10..=50).collect(),
+            runs: 5000,
+            lookups_per_run: 5000,
+            ..Self::quick()
+        }
+    }
+}
+
+impl Default for Params {
+    fn default() -> Self {
+        Self::quick()
+    }
+}
+
+/// One data point of Figure 4.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Row {
+    /// Target answer size `t`.
+    pub t: usize,
+    /// Average servers contacted by Round-Robin (Round-2 at paper scale).
+    pub round_robin: Summary,
+    /// Average servers contacted by RandomServer-x.
+    pub random_server: Summary,
+    /// Average servers contacted by Hash-y.
+    pub hash: Summary,
+}
+
+/// Runs the sweep.
+///
+/// # Panics
+///
+/// Panics if the budget is too small for any of the three strategies, or
+/// `runs`/`lookups_per_run` is zero.
+pub fn run(params: &Params) -> Vec<Row> {
+    assert!(params.runs > 0 && params.lookups_per_run > 0, "Monte-Carlo budget must be positive");
+    let strategies =
+        [StrategyKind::RoundRobin, StrategyKind::RandomServer, StrategyKind::Hash];
+    params
+        .targets
+        .iter()
+        .map(|&t| {
+            let mut sums = [const { Vec::new() }; 3];
+            for (si, &kind) in strategies.iter().enumerate() {
+                let mut acc = Accumulator::new();
+                for run in 0..params.runs {
+                    let seed = params
+                        .seed
+                        .wrapping_add((t as u64) << 32)
+                        .wrapping_add((si as u64) << 24)
+                        .wrapping_add(run as u64);
+                    let mut cluster =
+                        placed_with_budget(kind, params.budget, params.h, params.n, seed)
+                            .expect("budget large enough for all three strategies");
+                    acc.push(lookup_cost::measure(&mut cluster, t, params.lookups_per_run));
+                }
+                sums[si] = vec![acc.summary()];
+            }
+            Row {
+                t,
+                round_robin: sums[0][0],
+                random_server: sums[1][0],
+                hash: sums[2][0],
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny() -> Params {
+        Params { runs: 12, lookups_per_run: 80, targets: vec![15, 20, 25, 40], ..Params::quick() }
+    }
+
+    #[test]
+    fn round_robin_step_curve() {
+        let rows = run(&tiny());
+        let at = |t: usize| rows.iter().find(|r| r.t == t).unwrap();
+        // ceil(t/20): 1 at t=15 and 20, 2 at 25 and 40.
+        assert!((at(15).round_robin.mean() - 1.0).abs() < 1e-9);
+        assert!((at(20).round_robin.mean() - 1.0).abs() < 1e-9);
+        assert!((at(25).round_robin.mean() - 2.0).abs() < 1e-9);
+        assert!((at(40).round_robin.mean() - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn random_server_at_least_round_robin() {
+        for row in run(&tiny()) {
+            assert!(
+                row.random_server.mean() >= row.round_robin.mean() - 1e-9,
+                "t={}: RandomServer {} below Round {}",
+                row.t,
+                row.random_server.mean(),
+                row.round_robin.mean()
+            );
+        }
+    }
+
+    #[test]
+    fn hash_exceeds_one_at_small_t() {
+        let rows = run(&tiny());
+        let r15 = rows.iter().find(|r| r.t == 15).unwrap();
+        // §4.2 reports ≈1.124 at t=15.
+        assert!(r15.hash.mean() > 1.02 && r15.hash.mean() < 1.4, "got {}", r15.hash.mean());
+    }
+
+    #[test]
+    fn hash_can_beat_others_past_the_step() {
+        // At t=25 Round needs 2 servers while Hash sometimes succeeds
+        // with 1, giving a mean below 2.
+        let rows = run(&tiny());
+        let r25 = rows.iter().find(|r| r.t == 25).unwrap();
+        assert!(r25.hash.mean() < 2.0, "got {}", r25.hash.mean());
+    }
+}

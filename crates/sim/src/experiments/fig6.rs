@@ -1,0 +1,163 @@
+//! Figure 6: maximum coverage vs total storage budget.
+//!
+//! 100 entries on 10 servers, budget swept 10..200. Expected shape
+//! (§4.3): Round-y and Hash-y cover `min(budget, h)` (one shared line);
+//! Fixed-x covers `budget/n`; RandomServer-x follows the inverted
+//! exponential `h·(1 − (1 − x/h)^n)` between the two.
+
+use pls_core::StrategyKind;
+use pls_metrics::stats::Accumulator;
+use pls_metrics::{coverage, Summary};
+
+use super::placed_with_budget;
+
+/// Parameters for the Figure 6 sweep.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Params {
+    /// Number of servers (paper: 10).
+    pub n: usize,
+    /// Number of entries (paper: 100).
+    pub h: usize,
+    /// Storage budgets to sweep (paper: 10..=200).
+    pub budgets: Vec<usize>,
+    /// Placement instances per data point (randomized strategies only).
+    pub runs: usize,
+    /// Base RNG seed.
+    pub seed: u64,
+}
+
+impl Params {
+    /// Seconds-scale Monte-Carlo budget with the paper's system shape.
+    pub fn quick() -> Self {
+        Params {
+            n: 10,
+            h: 100,
+            budgets: (10..=200).step_by(10).collect(),
+            runs: 100,
+            seed: 0x0F16_0006,
+        }
+    }
+
+    /// The paper's 5000-run scale.
+    pub fn paper() -> Self {
+        Params { runs: 5000, ..Self::quick() }
+    }
+}
+
+impl Default for Params {
+    fn default() -> Self {
+        Self::quick()
+    }
+}
+
+/// One data point of Figure 6. Measured coverage per strategy family
+/// (`None` when the budget is too small for the strategy to exist), plus
+/// the RandomServer analytic expectation for reference.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Row {
+    /// Total storage budget in entries.
+    pub budget: usize,
+    /// Fixed-x coverage (deterministic).
+    pub fixed: Option<f64>,
+    /// RandomServer-x coverage (Monte-Carlo mean).
+    pub random_server: Option<Summary>,
+    /// RandomServer-x analytic expectation `h·(1 − (1 − x/h)^n)`.
+    pub random_server_analytic: Option<f64>,
+    /// Round-y / Hash-y shared coverage line `min(budget, h)` (measured
+    /// on Round-y, which is deterministic).
+    pub round_hash: Option<f64>,
+}
+
+/// Runs the sweep.
+pub fn run(params: &Params) -> Vec<Row> {
+    params
+        .budgets
+        .iter()
+        .map(|&budget| {
+            let fixed = placed_with_budget(StrategyKind::Fixed, budget, params.h, params.n, 1)
+                .map(|c| coverage::measured(&c.placement()) as f64);
+            let round_hash =
+                placed_with_budget(StrategyKind::RoundRobin, budget, params.h, params.n, 1)
+                    .map(|c| coverage::measured(&c.placement()) as f64);
+            let x = budget / params.n;
+            let (random_server, random_server_analytic) = if x == 0 {
+                (None, None)
+            } else {
+                let mut acc = Accumulator::new();
+                for run in 0..params.runs {
+                    let seed = params.seed.wrapping_add((budget as u64) << 20).wrapping_add(run as u64);
+                    let c = placed_with_budget(
+                        StrategyKind::RandomServer,
+                        budget,
+                        params.h,
+                        params.n,
+                        seed,
+                    )
+                    .expect("x > 0");
+                    acc.push(coverage::measured(&c.placement()) as f64);
+                }
+                (
+                    Some(acc.summary()),
+                    Some(coverage::analytic(StrategyKind::RandomServer, budget, params.h, params.n)),
+                )
+            };
+            Row { budget, fixed, random_server, random_server_analytic, round_hash }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny() -> Params {
+        Params { budgets: vec![10, 50, 100, 150, 200], runs: 40, ..Params::quick() }
+    }
+
+    #[test]
+    fn round_hash_line_is_min_budget_h() {
+        for row in run(&tiny()) {
+            assert_eq!(row.round_hash, Some(row.budget.min(100) as f64), "budget {}", row.budget);
+        }
+    }
+
+    #[test]
+    fn fixed_line_is_budget_over_n() {
+        for row in run(&tiny()) {
+            assert_eq!(row.fixed, Some((row.budget / 10) as f64), "budget {}", row.budget);
+        }
+    }
+
+    #[test]
+    fn random_server_between_fixed_and_complete() {
+        for row in run(&tiny()) {
+            let (Some(fixed), Some(rs), Some(rh)) =
+                (row.fixed, row.random_server, row.round_hash)
+            else {
+                continue;
+            };
+            assert!(
+                rs.mean() >= fixed - 1.0 && rs.mean() <= rh + 1.0,
+                "budget {}: fixed {fixed}, rs {}, round/hash {rh}",
+                row.budget,
+                rs.mean()
+            );
+        }
+    }
+
+    #[test]
+    fn random_server_tracks_analytic_curve() {
+        for row in run(&tiny()) {
+            let (Some(rs), Some(analytic)) = (row.random_server, row.random_server_analytic)
+            else {
+                continue;
+            };
+            assert!(
+                (rs.mean() - analytic).abs() < 3.0,
+                "budget {}: measured {} vs analytic {analytic}",
+                row.budget,
+                rs.mean()
+            );
+        }
+    }
+}

@@ -1,0 +1,153 @@
+//! Figure 7: adversarial fault tolerance vs target answer size.
+//!
+//! 100 entries on 10 servers, 200 entries of storage (Round-2 /
+//! RandomServer-20 / Hash-2), `t` swept 10..50; tolerance computed with
+//! the Appendix A greedy adversary, averaged over instances.
+//!
+//! Expected shape (§4.4): Round-2 loses one tolerable failure per +10 of
+//! `t`; RandomServer-20 sits above it (overlapping random subsets);
+//! Hash-2 declines in an S-shape and is the worst except at very large
+//! `t`.
+
+use pls_core::StrategyKind;
+use pls_metrics::fault_tolerance::greedy_tolerance;
+use pls_metrics::stats::Accumulator;
+use pls_metrics::Summary;
+
+use super::placed_with_budget;
+
+/// Parameters for the Figure 7 sweep.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Params {
+    /// Number of servers (paper: 10).
+    pub n: usize,
+    /// Number of entries (paper: 100).
+    pub h: usize,
+    /// Total storage budget in entries (paper: 200).
+    pub budget: usize,
+    /// Target answer sizes to sweep (paper: 10..=50).
+    pub targets: Vec<usize>,
+    /// Placement instances per data point (paper: 5000).
+    pub runs: usize,
+    /// Base RNG seed.
+    pub seed: u64,
+}
+
+impl Params {
+    /// Seconds-scale Monte-Carlo budget with the paper's system shape.
+    pub fn quick() -> Self {
+        Params {
+            n: 10,
+            h: 100,
+            budget: 200,
+            targets: (10..=50).step_by(5).collect(),
+            runs: 120,
+            seed: 0x0F16_0007,
+        }
+    }
+
+    /// The paper's 5000-run scale.
+    pub fn paper() -> Self {
+        Params { targets: (10..=50).collect(), runs: 5000, ..Self::quick() }
+    }
+}
+
+impl Default for Params {
+    fn default() -> Self {
+        Self::quick()
+    }
+}
+
+/// One data point of Figure 7.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Row {
+    /// Target answer size `t`.
+    pub t: usize,
+    /// Greedy-adversary tolerance of Round-Robin.
+    pub round_robin: Summary,
+    /// Greedy-adversary tolerance of RandomServer-x.
+    pub random_server: Summary,
+    /// Greedy-adversary tolerance of Hash-y.
+    pub hash: Summary,
+}
+
+/// Runs the sweep.
+pub fn run(params: &Params) -> Vec<Row> {
+    let strategies = [StrategyKind::RoundRobin, StrategyKind::RandomServer, StrategyKind::Hash];
+    params
+        .targets
+        .iter()
+        .map(|&t| {
+            let mut summaries = Vec::with_capacity(3);
+            for (si, &kind) in strategies.iter().enumerate() {
+                let mut acc = Accumulator::new();
+                for run in 0..params.runs {
+                    let seed = params
+                        .seed
+                        .wrapping_add((t as u64) << 32)
+                        .wrapping_add((si as u64) << 24)
+                        .wrapping_add(run as u64);
+                    let cluster =
+                        placed_with_budget(kind, params.budget, params.h, params.n, seed)
+                            .expect("budget large enough");
+                    acc.push(greedy_tolerance(&cluster.placement(), t) as f64);
+                }
+                summaries.push(acc.summary());
+            }
+            Row { t, round_robin: summaries[0], random_server: summaries[1], hash: summaries[2] }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny() -> Params {
+        Params { runs: 25, targets: vec![10, 20, 30, 40, 50], ..Params::quick() }
+    }
+
+    #[test]
+    fn round_robin_loses_one_per_ten() {
+        let rows = run(&tiny());
+        let at = |t: usize| rows.iter().find(|r| r.t == t).unwrap().round_robin.mean();
+        // Round-2 is deterministic: tolerance = min(n−1, n − t/10 + 1).
+        assert_eq!(at(10), 9.0);
+        assert_eq!(at(20), 9.0);
+        assert_eq!(at(30), 8.0);
+        assert_eq!(at(40), 7.0);
+        assert_eq!(at(50), 6.0);
+    }
+
+    #[test]
+    fn random_server_at_least_round_robin() {
+        for row in run(&tiny()) {
+            assert!(
+                row.random_server.mean() >= row.round_robin.mean() - 0.3,
+                "t={}: rs {} vs rr {}",
+                row.t,
+                row.random_server.mean(),
+                row.round_robin.mean()
+            );
+        }
+    }
+
+    #[test]
+    fn tolerance_declines_with_t() {
+        let rows = run(&tiny());
+        for pair in rows.windows(2) {
+            assert!(pair[1].round_robin.mean() <= pair[0].round_robin.mean() + 1e-9);
+            assert!(pair[1].hash.mean() <= pair[0].hash.mean() + 0.3);
+        }
+    }
+
+    #[test]
+    fn hash_is_weakest_at_moderate_t() {
+        // §4.4: "Hash-y should be avoided unless the target answer size is
+        // very large."
+        let rows = run(&tiny());
+        let r30 = rows.iter().find(|r| r.t == 30).unwrap();
+        assert!(r30.hash.mean() <= r30.random_server.mean());
+        assert!(r30.hash.mean() <= r30.round_robin.mean() + 0.5);
+    }
+}

@@ -1,0 +1,225 @@
+//! The hot-spot experiment: partial lookup vs the key-partitioning
+//! baseline (extension; quantifies the paper's §1/§9 claims).
+//!
+//! The paper's introduction argues that hashing-based (key-partitioned)
+//! lookup services suffer from popular keys — all traffic for a hot key
+//! lands on its home server — and from that server's failures, while
+//! partial lookup placements spread both. §9 repeats the claim
+//! ("insensitive to the popular key or hot-spot problems which plague
+//! traditional hashing-based lookup services") but never measures it.
+//! This experiment does:
+//!
+//! * a directory of `m` keys whose lookup popularity follows a discrete
+//!   Zipf law (a few hot songs, a long tail);
+//! * identical lookup streams against a partial-lookup
+//!   [`Directory`] and the [`KeyPartitioned`] baseline;
+//! * reported: per-server lookup-load imbalance (max/mean and
+//!   coefficient of variation) and the fraction of lookups lost when `f`
+//!   random servers fail.
+
+use pls_core::baseline::KeyPartitioned;
+use pls_core::directory::{Directory, StrategyAssignment};
+use pls_core::{DetRng, ServerId, StrategySpec};
+
+use crate::distributions::DiscreteZipf;
+
+/// Parameters for the hot-spot comparison.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Params {
+    /// Number of servers.
+    pub n: usize,
+    /// Number of keys.
+    pub keys: usize,
+    /// Entries per key.
+    pub h: usize,
+    /// Zipf popularity exponent for key selection.
+    pub zipf_s: f64,
+    /// Target answer size per lookup.
+    pub t: usize,
+    /// Lookups per system.
+    pub lookups: usize,
+    /// Servers failed for the availability phase.
+    pub failures: usize,
+    /// Base RNG seed.
+    pub seed: u64,
+}
+
+impl Params {
+    /// A file-sharing-shaped default: 10 servers, 100 keys, Zipf 1.0.
+    pub fn quick() -> Self {
+        Params {
+            n: 10,
+            keys: 100,
+            h: 20,
+            zipf_s: 1.0,
+            t: 3,
+            lookups: 20_000,
+            failures: 2,
+            seed: 0x407_5907,
+        }
+    }
+
+    /// More keys and lookups for tighter estimates.
+    pub fn paper() -> Self {
+        Params { keys: 1000, lookups: 200_000, ..Self::quick() }
+    }
+}
+
+impl Default for Params {
+    fn default() -> Self {
+        Self::quick()
+    }
+}
+
+/// Results for one system under the workload.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Row {
+    /// System label ("Round-2 partial", "KeyPartitioned r=1", …).
+    pub system: String,
+    /// Hottest server's lookup load divided by the mean.
+    pub max_over_mean: f64,
+    /// Coefficient of variation of per-server lookup load.
+    pub load_cv: f64,
+    /// Fraction of lookups that failed (returned < t) with
+    /// `params.failures` random servers down.
+    pub unavailability: f64,
+}
+
+fn load_stats(load: &[u64]) -> (f64, f64) {
+    let lb = pls_metrics::LoadBalance::of(load);
+    (lb.max_over_mean(), lb.cv())
+}
+
+fn key_stream(params: &Params, seed: u64) -> Vec<usize> {
+    let zipf = DiscreteZipf::new(params.keys, params.zipf_s);
+    let mut rng = DetRng::seed_from(seed);
+    (0..params.lookups).map(|_| zipf.sample(&mut rng)).collect()
+}
+
+fn entries_for(key: usize, h: usize) -> Vec<u64> {
+    ((key * h) as u64..(key * h + h) as u64).collect()
+}
+
+fn run_partial(params: &Params, spec: StrategySpec, label: &str) -> Row {
+    let mut dir: Directory<usize, u64> =
+        Directory::new(params.n, StrategyAssignment::Uniform(spec), params.seed).unwrap();
+    for key in 0..params.keys {
+        dir.place(key, entries_for(key, params.h)).expect("no failures yet");
+    }
+    dir.reset_load();
+
+    // Phase 1: load distribution, all servers up.
+    for &key in &key_stream(params, params.seed ^ 1) {
+        let r = dir.partial_lookup(&key, params.t).expect("servers up");
+        debug_assert!(r.is_satisfied(params.t));
+    }
+    let (max_over_mean, load_cv) = load_stats(dir.lookup_load());
+
+    // Phase 2: availability with `failures` random servers down.
+    let mut rng = DetRng::seed_from(params.seed ^ 2);
+    let mut down = Vec::new();
+    while down.len() < params.failures {
+        let s = rng.random_server(params.n);
+        if !down.contains(&s) {
+            dir.fail_server(s);
+            down.push(s);
+        }
+    }
+    let mut failed = 0usize;
+    let stream = key_stream(params, params.seed ^ 3);
+    for &key in &stream {
+        match dir.partial_lookup(&key, params.t) {
+            Ok(r) if r.is_satisfied(params.t) => {}
+            _ => failed += 1,
+        }
+    }
+    Row {
+        system: label.to_string(),
+        max_over_mean,
+        load_cv,
+        unavailability: failed as f64 / stream.len() as f64,
+    }
+}
+
+fn run_baseline(params: &Params, replicas: usize) -> Row {
+    let mut kp: KeyPartitioned<usize, u64> =
+        KeyPartitioned::new(params.n, replicas, params.seed).unwrap();
+    for key in 0..params.keys {
+        kp.place(key, entries_for(key, params.h)).expect("no failures yet");
+    }
+    kp.reset_load();
+
+    for &key in &key_stream(params, params.seed ^ 1) {
+        let r = kp.partial_lookup(&key, params.t).expect("servers up");
+        debug_assert!(r.is_satisfied(params.t));
+    }
+    let (max_over_mean, load_cv) = load_stats(kp.lookup_load());
+
+    let mut rng = DetRng::seed_from(params.seed ^ 2);
+    let mut down: Vec<ServerId> = Vec::new();
+    while down.len() < params.failures {
+        let s = rng.random_server(params.n);
+        if !down.contains(&s) {
+            kp.fail_server(s);
+            down.push(s);
+        }
+    }
+    let mut failed = 0usize;
+    let stream = key_stream(params, params.seed ^ 3);
+    for &key in &stream {
+        match kp.partial_lookup(&key, params.t) {
+            Ok(r) if r.is_satisfied(params.t) => {}
+            _ => failed += 1,
+        }
+    }
+    Row {
+        system: format!("KeyPartitioned r={replicas}"),
+        max_over_mean,
+        load_cv,
+        unavailability: failed as f64 / stream.len() as f64,
+    }
+}
+
+/// Runs the comparison: two partial-lookup configurations against the
+/// baseline at one and two replicas.
+pub fn run(params: &Params) -> Vec<Row> {
+    vec![
+        run_partial(params, StrategySpec::round_robin(2), "Partial Round-2"),
+        run_partial(params, StrategySpec::hash(2), "Partial Hash-2"),
+        run_baseline(params, 1),
+        run_baseline(params, 2),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny() -> Params {
+        Params { lookups: 4000, keys: 50, ..Params::quick() }
+    }
+
+    #[test]
+    fn partial_lookup_spreads_load_better_than_key_partitioning() {
+        let rows = run(&tiny());
+        let partial_cv = rows[0].load_cv.max(rows[1].load_cv);
+        let baseline_cv = rows[2].load_cv.min(rows[3].load_cv);
+        assert!(
+            partial_cv * 2.0 < baseline_cv,
+            "partial CV {partial_cv} vs baseline CV {baseline_cv}"
+        );
+        assert!(rows[2].max_over_mean > 1.5, "hot server should stick out");
+    }
+
+    #[test]
+    fn partial_lookup_survives_failures_better() {
+        let rows = run(&tiny());
+        // Round-2 and Hash-2 keep (nearly) every lookup alive with 2 of
+        // 10 servers down; KeyPartitioned r=1 loses every lookup whose
+        // home is down (≈ 20% of keys weighted by popularity).
+        assert!(rows[0].unavailability < 0.01, "Round-2: {}", rows[0].unavailability);
+        assert!(rows[2].unavailability > 0.05, "KP r=1: {}", rows[2].unavailability);
+        // Replication helps the baseline but cannot fix the hot spot.
+        assert!(rows[3].unavailability < rows[2].unavailability);
+    }
+}

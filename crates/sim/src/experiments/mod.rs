@@ -1,0 +1,121 @@
+//! The paper's experiments, parameterized and reproducible.
+//!
+//! One module per table/figure of the evaluation. Each exposes a
+//! `*Params` struct with two constructors — `quick()` (default; small
+//! Monte-Carlo budgets, seconds of runtime) and `paper()` (the paper's
+//! 5000-run / 10000-lookup scale) — and a `run()` entry point returning
+//! typed rows. The `repro` binary in `pls-bench` formats these rows as
+//! the published tables/series; integration tests assert their *shape*
+//! against the paper's claims.
+//!
+//! | Module    | Paper artifact | What it shows |
+//! |-----------|----------------|---------------|
+//! | [`table1`] | Table 1 | storage cost formulas vs measurement |
+//! | [`fig4`]  | Figure 4 | lookup cost vs target answer size at fixed storage |
+//! | [`fig6`]  | Figure 6 | coverage vs total storage |
+//! | [`fig7`]  | Figure 7 | adversarial fault tolerance vs target answer size |
+//! | [`fig9`]  | Figure 9 | unfairness vs total storage |
+//! | [`fig12`] | Figure 12 | Fixed-x lookup failure rate vs cushion size |
+//! | [`fig13`] | Figure 13 | RandomServer-x unfairness deterioration under updates |
+//! | [`fig14`] | Figure 14 | update overhead: Fixed-x vs Hash-y crossovers |
+//! | [`table2`] | Table 2 | qualitative star summary (from `pls_core::advisor`) |
+
+pub mod ablations;
+pub mod availability;
+pub mod fig12;
+pub mod fig13;
+pub mod fig14;
+pub mod fig4;
+pub mod fig6;
+pub mod fig7;
+pub mod fig9;
+pub mod hotspot;
+pub mod ratio;
+pub mod reachability;
+pub mod table1;
+pub mod table2;
+
+use pls_core::{Cluster, StrategyKind, StrategySpec};
+
+/// Builds a cluster for `kind` under a total storage budget and places
+/// `h` entries on it (the comparison setup of Figures 4, 6, 7 and 9).
+///
+/// Follows §4.3 for budget-constrained placement: per-server strategies
+/// get `x = budget/n`; per-entry strategies get `y = budget/h` copies, or
+/// — when the budget cannot even hold every entry once — a single copy of
+/// only the first `budget` entries.
+///
+/// Returns `None` when the budget is too small to give the strategy a
+/// positive parameter.
+pub(crate) fn placed_with_budget(
+    kind: StrategyKind,
+    budget: usize,
+    h: usize,
+    n: usize,
+    seed: u64,
+) -> Option<Cluster<u64>> {
+    let (spec, entries) = match kind {
+        StrategyKind::FullReplication => {
+            (StrategySpec::full_replication(), (0..h as u64).collect::<Vec<_>>())
+        }
+        StrategyKind::Fixed | StrategyKind::RandomServer => {
+            let x = budget / n;
+            if x == 0 {
+                return None;
+            }
+            let spec = if kind == StrategyKind::Fixed {
+                StrategySpec::fixed(x)
+            } else {
+                StrategySpec::random_server(x)
+            };
+            (spec, (0..h as u64).collect())
+        }
+        StrategyKind::RoundRobin | StrategyKind::Hash => {
+            if budget == 0 {
+                return None;
+            }
+            let (y, kept) = if budget < h { (1, budget) } else { (budget / h, h) };
+            let spec = if kind == StrategyKind::RoundRobin {
+                if y > n {
+                    return None;
+                }
+                StrategySpec::round_robin(y)
+            } else {
+                StrategySpec::hash(y)
+            };
+            (spec, (0..kept as u64).collect())
+        }
+    };
+    let mut cluster = Cluster::new(n, spec, seed).ok()?;
+    cluster.place(entries).expect("no failures during placement");
+    Some(cluster)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn budgeted_placement_matches_figure4_setup() {
+        let c = placed_with_budget(StrategyKind::RandomServer, 200, 100, 10, 1).unwrap();
+        assert_eq!(c.spec(), StrategySpec::random_server(20));
+        assert_eq!(c.placement().storage_used(), 200);
+        let c = placed_with_budget(StrategyKind::RoundRobin, 200, 100, 10, 1).unwrap();
+        assert_eq!(c.spec(), StrategySpec::round_robin(2));
+    }
+
+    #[test]
+    fn small_budget_places_entry_subset_for_round_and_hash() {
+        let c = placed_with_budget(StrategyKind::RoundRobin, 60, 100, 10, 2).unwrap();
+        assert_eq!(c.spec(), StrategySpec::round_robin(1));
+        assert_eq!(c.placement().coverage(), 60);
+        let c = placed_with_budget(StrategyKind::Hash, 60, 100, 10, 2).unwrap();
+        assert_eq!(c.placement().coverage(), 60);
+    }
+
+    #[test]
+    fn hopeless_budget_returns_none() {
+        assert!(placed_with_budget(StrategyKind::Fixed, 5, 100, 10, 3).is_none());
+        assert!(placed_with_budget(StrategyKind::RoundRobin, 0, 100, 10, 3).is_none());
+    }
+}

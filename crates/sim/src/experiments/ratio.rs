@@ -1,0 +1,181 @@
+//! Lookup:update ratio experiment (extension; §6.4's closing remark).
+//!
+//! The paper ends its Fixed-x vs Hash-y comparison with: "Since Hash-y
+//! has higher lookup cost, the ratio between lookups and updates will
+//! also be a factor in choosing Fixed-x or Hash-y" — but never plots it.
+//! This experiment does: at a fixed system shape, it sweeps the fraction
+//! of operations that are lookups and reports the **total** messages
+//! processed (updates *and* lookup probes) per strategy, exposing the
+//! crossover the remark predicts.
+//!
+//! At h = 100, t = 40, n = 10: Fixed-50 answers every lookup with one
+//! probe but pays `1 + (x/h)·n = 6` per update; Hash-4 pays `1 + y = 5`
+//! per update but ~1–2 probes per lookup. Update-heavy mixes favour
+//! Hash-y; lookup-heavy mixes favour Fixed-x.
+
+use pls_core::{Cluster, StrategySpec};
+use pls_metrics::stats::Accumulator;
+use pls_metrics::Summary;
+
+use super::fig14::adaptive_hash_y;
+use crate::workload::{LifetimeKind, WorkloadConfig};
+use crate::{DetRng, Simulation};
+
+/// Parameters for the ratio sweep.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Params {
+    /// Number of servers.
+    pub n: usize,
+    /// Steady-state entry count.
+    pub h: usize,
+    /// Target answer size.
+    pub t: usize,
+    /// Fixed-x parameter (t plus a cushion).
+    pub fixed_x: usize,
+    /// Lookup fractions to sweep (0 = all updates, 1 = all lookups).
+    pub lookup_fractions: Vec<f64>,
+    /// Total operations per run.
+    pub operations: usize,
+    /// Runs per data point.
+    pub runs: usize,
+    /// Base RNG seed.
+    pub seed: u64,
+}
+
+impl Params {
+    /// The Figure 14 system shape at h = 100.
+    pub fn quick() -> Self {
+        Params {
+            n: 10,
+            h: 100,
+            t: 40,
+            fixed_x: 50,
+            lookup_fractions: vec![0.0, 0.2, 0.4, 0.6, 0.8, 0.95],
+            operations: 4000,
+            runs: 5,
+            seed: 0x04A7_0010,
+        }
+    }
+
+    /// Larger Monte-Carlo budget.
+    pub fn paper() -> Self {
+        Params { operations: 20_000, runs: 100, ..Self::quick() }
+    }
+}
+
+impl Default for Params {
+    fn default() -> Self {
+        Self::quick()
+    }
+}
+
+/// One data point of the ratio sweep.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Row {
+    /// Fraction of operations that are lookups.
+    pub lookup_fraction: f64,
+    /// Total messages (updates + lookup probes) under Fixed-x.
+    pub fixed_total: Summary,
+    /// Total messages under adaptive Hash-y.
+    pub hash_total: Summary,
+}
+
+fn total_messages(
+    spec: StrategySpec,
+    params: &Params,
+    lookup_fraction: f64,
+    seed: u64,
+) -> f64 {
+    let cluster = Cluster::new(params.n, spec, seed).expect("valid spec");
+    // Generate enough updates; lookups are interleaved probabilistically.
+    let updates = ((params.operations as f64) * (1.0 - lookup_fraction)).ceil() as usize;
+    let workload = WorkloadConfig {
+        arrival_mean: 10.0,
+        steady_h: params.h,
+        lifetime: LifetimeKind::Exponential,
+        updates: updates.max(1),
+        seed: seed ^ 0x5eed,
+    }
+    .generate();
+    let mut sim = Simulation::new(cluster, workload).expect("no failures");
+    sim.cluster_mut().reset_counter();
+    let mut rng = DetRng::seed_from(seed ^ 0x10_0C);
+    let mut ops_done = 0usize;
+    while ops_done < params.operations {
+        if rng.coin_flip(lookup_fraction) || sim.remaining() == 0 {
+            let _ = sim.cluster_mut().partial_lookup(params.t).expect("servers up");
+        } else {
+            sim.step().expect("no failures");
+        }
+        ops_done += 1;
+    }
+    let counter = sim.cluster().counter();
+    (counter.update_messages() + counter.lookup_messages()) as f64
+}
+
+/// Runs the sweep.
+pub fn run(params: &Params) -> Vec<Row> {
+    let hash_y = adaptive_hash_y(params.t, params.n, params.h);
+    params
+        .lookup_fractions
+        .iter()
+        .map(|&frac| {
+            let mut fixed = Accumulator::new();
+            let mut hash = Accumulator::new();
+            for run in 0..params.runs {
+                let seed =
+                    params.seed.wrapping_add(((frac * 1000.0) as u64) << 16).wrapping_add(run as u64);
+                fixed.push(total_messages(
+                    StrategySpec::fixed(params.fixed_x),
+                    params,
+                    frac,
+                    seed,
+                ));
+                hash.push(total_messages(StrategySpec::hash(hash_y), params, frac, seed ^ 0xF00D));
+            }
+            Row { lookup_fraction: frac, fixed_total: fixed.summary(), hash_total: hash.summary() }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny() -> Params {
+        Params {
+            lookup_fractions: vec![0.0, 0.9],
+            operations: 1500,
+            runs: 3,
+            ..Params::quick()
+        }
+    }
+
+    #[test]
+    fn update_heavy_favours_hash_lookup_heavy_favours_fixed() {
+        let rows = run(&tiny());
+        let all_updates = &rows[0];
+        assert!(
+            all_updates.hash_total.mean() < all_updates.fixed_total.mean(),
+            "all-update mix: hash {} vs fixed {}",
+            all_updates.hash_total.mean(),
+            all_updates.fixed_total.mean()
+        );
+        let lookup_heavy = &rows[1];
+        assert!(
+            lookup_heavy.fixed_total.mean() < lookup_heavy.hash_total.mean(),
+            "lookup-heavy mix: fixed {} vs hash {}",
+            lookup_heavy.fixed_total.mean(),
+            lookup_heavy.hash_total.mean()
+        );
+    }
+
+    #[test]
+    fn totals_scale_with_operations() {
+        let rows = run(&tiny());
+        for row in rows {
+            assert!(row.fixed_total.mean() >= 1500.0, "at least one message per op");
+            assert!(row.hash_total.mean() >= 1500.0);
+        }
+    }
+}

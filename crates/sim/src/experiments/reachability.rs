@@ -1,0 +1,157 @@
+//! Limited-reachability trade-off (extension; paper §7.2).
+//!
+//! In an overlay where clients reach only servers within `d` hops, the
+//! operator must pick `d`: "small d reduces lookup costs while increases
+//! update costs at the servers" (§7.2 — sketched, never measured). This
+//! experiment quantifies both sides on ring and random overlays:
+//!
+//! * **update fan-out** — the number of hosting servers the greedy
+//!   dominating-set planner needs so every client has a host within `d`
+//!   hops (every update must reach all hosts);
+//! * **lookup radius** — the mean hop distance from a client to its
+//!   nearest host (the per-lookup routing cost).
+
+use pls_core::ext::reachability::HostPlan;
+use pls_net::{DetRng, Topology};
+
+/// Which overlay shape to plan over.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Overlay {
+    /// A ring of `n` nodes (structured overlay).
+    Ring,
+    /// A random graph with the given per-node degree (unstructured,
+    /// Gnutella-like).
+    Random {
+        /// Edges added per node.
+        degree: usize,
+    },
+}
+
+/// Parameters for the reachability sweep.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Params {
+    /// Overlay size.
+    pub nodes: usize,
+    /// Overlay shape.
+    pub overlay: Overlay,
+    /// Hop bounds to sweep.
+    pub radii: Vec<usize>,
+    /// Random-overlay instances to average (ignored for rings).
+    pub runs: usize,
+    /// Base RNG seed.
+    pub seed: u64,
+}
+
+impl Params {
+    /// A 64-node random overlay with degree 3.
+    pub fn quick() -> Self {
+        Params {
+            nodes: 64,
+            overlay: Overlay::Random { degree: 3 },
+            radii: (0..=5).collect(),
+            runs: 10,
+            seed: 0x2EAC_0004,
+        }
+    }
+}
+
+impl Default for Params {
+    fn default() -> Self {
+        Self::quick()
+    }
+}
+
+/// One data point of the sweep.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Row {
+    /// The hop bound `d`.
+    pub d: usize,
+    /// Hosts needed (mean over overlay instances) — the update fan-out.
+    pub hosts: f64,
+    /// Mean hop distance from a client to its nearest host — the lookup
+    /// cost side.
+    pub mean_lookup_hops: f64,
+}
+
+fn measure(topo: &Topology, d: usize) -> (usize, f64) {
+    let plan = HostPlan::greedy(topo, d);
+    let total_hops: usize = (0..topo.len())
+        .map(|u| {
+            let host = plan.nearest_host(topo, u).expect("plan covers all nodes");
+            topo.distance(u, host).expect("host reachable")
+        })
+        .sum();
+    (plan.host_count(), total_hops as f64 / topo.len() as f64)
+}
+
+/// Runs the sweep.
+pub fn run(params: &Params) -> Vec<Row> {
+    let mut rng = DetRng::seed_from(params.seed);
+    let topologies: Vec<Topology> = match params.overlay {
+        Overlay::Ring => vec![Topology::ring(params.nodes)],
+        Overlay::Random { degree } => (0..params.runs)
+            .map(|_| {
+                // Ensure connectivity by overlaying a ring under the
+                // random edges (standard overlay bootstrap).
+                let mut t = Topology::ring(params.nodes);
+                let extra = Topology::random(params.nodes, degree, &mut rng);
+                for u in 0..params.nodes {
+                    for &v in extra.neighbours(u) {
+                        if u < v {
+                            t.connect(u, v);
+                        }
+                    }
+                }
+                t
+            })
+            .collect(),
+    };
+    params
+        .radii
+        .iter()
+        .map(|&d| {
+            let mut hosts_sum = 0.0;
+            let mut hops_sum = 0.0;
+            for topo in &topologies {
+                let (hosts, hops) = measure(topo, d);
+                hosts_sum += hosts as f64;
+                hops_sum += hops;
+            }
+            let k = topologies.len() as f64;
+            Row { d, hosts: hosts_sum / k, mean_lookup_hops: hops_sum / k }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn trade_off_moves_in_opposite_directions() {
+        let rows = run(&Params::quick());
+        for pair in rows.windows(2) {
+            assert!(pair[1].hosts <= pair[0].hosts, "hosts should fall with d: {rows:?}");
+            assert!(
+                pair[1].mean_lookup_hops >= pair[0].mean_lookup_hops - 1e-9,
+                "lookup hops should rise with d: {rows:?}"
+            );
+        }
+        // Extremes: d=0 hosts everything with zero-hop lookups.
+        assert_eq!(rows[0].hosts, 64.0);
+        assert_eq!(rows[0].mean_lookup_hops, 0.0);
+        // A generous radius needs far fewer hosts.
+        assert!(rows.last().unwrap().hosts < 16.0);
+    }
+
+    #[test]
+    fn ring_overlay_is_deterministic() {
+        let params = Params { overlay: Overlay::Ring, nodes: 30, ..Params::quick() };
+        let a = run(&params);
+        let b = run(&params);
+        assert_eq!(a, b);
+        // Ring with radius d: each host covers 2d+1 nodes.
+        let r1 = a.iter().find(|r| r.d == 1).unwrap();
+        assert!(r1.hosts >= 10.0 && r1.hosts <= 12.0, "got {}", r1.hosts);
+    }
+}

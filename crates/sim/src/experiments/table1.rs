@@ -1,0 +1,102 @@
+//! Table 1: storage cost of each strategy — analytic formulas checked
+//! against measured placements.
+
+use pls_core::{Cluster, StrategySpec};
+use pls_metrics::stats::Accumulator;
+use pls_metrics::{storage, Summary};
+
+/// Parameters for the Table 1 check.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Params {
+    /// Number of servers (the running example: 10).
+    pub n: usize,
+    /// Number of entries (the running example: 100).
+    pub h: usize,
+    /// Fixed-x / RandomServer-x parameter.
+    pub x: usize,
+    /// Round-y / Hash-y parameter.
+    pub y: usize,
+    /// Instances to average for the randomized strategies.
+    pub runs: usize,
+    /// Base RNG seed.
+    pub seed: u64,
+}
+
+impl Params {
+    /// The running example of the paper: h = 100, n = 10, x = 20, y = 2.
+    pub fn quick() -> Self {
+        Params { n: 10, h: 100, x: 20, y: 2, runs: 200, seed: 0x0F16_0001 }
+    }
+
+    /// Larger Monte-Carlo budget for tighter Hash-y estimates.
+    pub fn paper() -> Self {
+        Params { runs: 5000, ..Self::quick() }
+    }
+}
+
+impl Default for Params {
+    fn default() -> Self {
+        Self::quick()
+    }
+}
+
+/// One row of Table 1.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Row {
+    /// The strategy.
+    pub spec: StrategySpec,
+    /// The closed-form cost from Table 1.
+    pub analytic: f64,
+    /// Measured storage across instances.
+    pub measured: Summary,
+}
+
+/// Runs the check for all five strategies.
+pub fn run(params: &Params) -> Vec<Row> {
+    let specs = [
+        StrategySpec::full_replication(),
+        StrategySpec::fixed(params.x),
+        StrategySpec::random_server(params.x),
+        StrategySpec::round_robin(params.y),
+        StrategySpec::hash(params.y),
+    ];
+    specs
+        .into_iter()
+        .map(|spec| {
+            let mut acc = Accumulator::new();
+            for run in 0..params.runs {
+                let mut cluster =
+                    Cluster::new(params.n, spec, params.seed.wrapping_add(run as u64))
+                        .expect("valid spec");
+                cluster.place((0..params.h as u64).collect()).expect("no failures");
+                acc.push(storage::measured(&cluster.placement()) as f64);
+            }
+            Row { spec, analytic: storage::analytic(spec, params.h, params.n), measured: acc.summary() }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn measured_matches_analytic_within_tolerance() {
+        let rows = run(&Params { runs: 120, ..Params::quick() });
+        assert_eq!(rows.len(), 5);
+        for row in &rows {
+            let rel = (row.measured.mean() - row.analytic).abs() / row.analytic;
+            assert!(rel < 0.02, "{}: measured {} vs analytic {}", row.spec, row.measured.mean(), row.analytic);
+        }
+    }
+
+    #[test]
+    fn deterministic_strategies_have_zero_variance() {
+        let rows = run(&Params { runs: 30, ..Params::quick() });
+        for row in rows.iter().filter(|r| {
+            !matches!(r.spec, StrategySpec::Hash { .. } | StrategySpec::RandomServer { .. })
+        }) {
+            assert_eq!(row.measured.stddev(), 0.0, "{}", row.spec);
+        }
+    }
+}

@@ -1,0 +1,43 @@
+//! Table 2: the qualitative star summary, re-exported from
+//! [`pls_core::advisor`] so the `repro` harness can print every paper
+//! artifact through one interface.
+
+pub use pls_core::advisor::{rating, star_table, Dimension, Stars, TABLE2_ROWS};
+
+use pls_core::StrategyKind;
+
+/// One formatted row of Table 2: the strategy and its nine star ratings
+/// in column order.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Row {
+    /// The strategy this row rates.
+    pub strategy: StrategyKind,
+    /// Star counts in [`Dimension::ALL`] order.
+    pub stars: Vec<u8>,
+}
+
+/// Produces Table 2 rows.
+pub fn run() -> Vec<Row> {
+    star_table()
+        .into_iter()
+        .map(|(strategy, cells)| Row {
+            strategy,
+            stars: cells.into_iter().map(|(_, s)| s.count()).collect(),
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn four_rows_nine_columns() {
+        let rows = run();
+        assert_eq!(rows.len(), 4);
+        for row in &rows {
+            assert_eq!(row.stars.len(), 9);
+            assert!(row.stars.iter().all(|&s| (1..=4).contains(&s)));
+        }
+    }
+}

@@ -1,0 +1,36 @@
+//! Discrete-time event-driven simulation of partial lookup services
+//! under dynamic updates (paper §6), plus the experiment drivers that
+//! regenerate every table and figure of the paper.
+//!
+//! The methodology follows §6.1:
+//!
+//! * add events arrive as a Poisson process (mean inter-arrival λ = 10
+//!   time units in the paper's runs);
+//! * each added entry draws a lifetime from either an exponential or a
+//!   Zipf-like distribution, scheduling its delete event;
+//! * distributions are scaled so the steady-state entry count is a chosen
+//!   `h` (Little's law: `E[lifetime] = λ · h`);
+//! * every reported data point averages many independent runs, with 95%
+//!   confidence intervals tracked by `pls_metrics::stats`.
+//!
+//! [`workload`] generates reproducible event traces, [`Simulation`]
+//! replays them against a [`Cluster`], and [`experiments`] packages the
+//! paper's exact parameterizations (Figures 4–14, Tables 1–2) behind
+//! typed row-producing functions.
+//!
+//! [`Cluster`]: pls_core::Cluster
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod distributions;
+pub mod experiments;
+mod simulation;
+pub mod workload;
+
+pub use distributions::{DiscreteZipf, Exponential, Lifetime, LifetimeLaw, ZipfLike};
+pub use simulation::Simulation;
+pub use workload::{LifetimeKind, Op, UpdateEvent, Workload, WorkloadConfig};
+
+// Re-export the deterministic RNG: every experiment seed flows through it.
+pub use pls_net::DetRng;

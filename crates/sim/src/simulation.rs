@@ -1,0 +1,198 @@
+//! Replaying a workload against a cluster.
+
+use pls_core::{Cluster, ServiceError};
+
+use crate::workload::{Op, UpdateEvent, Workload};
+
+/// Replays a [`Workload`] against a [`Cluster`], tracking simulation time
+/// and the live entry set (the key's current universe, needed by the
+/// unfairness metric and by lookup-failure accounting).
+#[derive(Debug, Clone)]
+pub struct Simulation {
+    cluster: Cluster<u64>,
+    events: Vec<UpdateEvent>,
+    next: usize,
+    now: f64,
+    live: Vec<u64>,
+}
+
+impl Simulation {
+    /// Places the workload's initial population on the cluster and
+    /// prepares to replay its events.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the cluster's `place` error (e.g. all servers failed).
+    pub fn new(mut cluster: Cluster<u64>, workload: Workload) -> Result<Self, ServiceError> {
+        cluster.place(workload.initial.clone())?;
+        Ok(Simulation {
+            cluster,
+            events: workload.events,
+            next: 0,
+            now: 0.0,
+            live: workload.initial,
+        })
+    }
+
+    /// Current simulation time (time of the last applied event).
+    pub fn now(&self) -> f64 {
+        self.now
+    }
+
+    /// The cluster under simulation.
+    pub fn cluster(&self) -> &Cluster<u64> {
+        &self.cluster
+    }
+
+    /// Mutable access (e.g. to run lookups or inject failures mid-trace).
+    pub fn cluster_mut(&mut self) -> &mut Cluster<u64> {
+        &mut self.cluster
+    }
+
+    /// The entries currently alive in the system, in insertion order.
+    pub fn live(&self) -> &[u64] {
+        &self.live
+    }
+
+    /// Number of events not yet applied.
+    pub fn remaining(&self) -> usize {
+        self.events.len() - self.next
+    }
+
+    /// Time of the next event, if any — lets callers do time-weighted
+    /// accounting between events.
+    pub fn peek_time(&self) -> Option<f64> {
+        self.events.get(self.next).map(|e| e.time)
+    }
+
+    /// Applies the next event; returns it, or `None` when the trace is
+    /// exhausted.
+    ///
+    /// # Errors
+    ///
+    /// Propagates cluster update errors.
+    pub fn step(&mut self) -> Result<Option<UpdateEvent>, ServiceError> {
+        let Some(&event) = self.events.get(self.next) else {
+            return Ok(None);
+        };
+        self.next += 1;
+        self.now = event.time;
+        match event.op {
+            Op::Add(v) => {
+                self.cluster.add(v)?;
+                self.live.push(v);
+            }
+            Op::Delete(v) => {
+                self.cluster.delete(&v)?;
+                if let Some(i) = self.live.iter().position(|&x| x == v) {
+                    self.live.swap_remove(i);
+                }
+            }
+        }
+        Ok(Some(event))
+    }
+
+    /// Applies `k` events (or as many as remain); returns how many ran.
+    ///
+    /// # Errors
+    ///
+    /// Propagates cluster update errors.
+    pub fn run(&mut self, k: usize) -> Result<usize, ServiceError> {
+        let mut applied = 0;
+        while applied < k {
+            if self.step()?.is_none() {
+                break;
+            }
+            applied += 1;
+        }
+        Ok(applied)
+    }
+
+    /// Applies every remaining event.
+    ///
+    /// # Errors
+    ///
+    /// Propagates cluster update errors.
+    pub fn run_all(&mut self) -> Result<usize, ServiceError> {
+        self.run(usize::MAX)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::workload::{LifetimeKind, WorkloadConfig};
+    use pls_core::StrategySpec;
+
+    fn workload(seed: u64, updates: usize) -> Workload {
+        WorkloadConfig {
+            updates,
+            seed,
+            lifetime: LifetimeKind::Exponential,
+            ..WorkloadConfig::default()
+        }
+        .generate()
+    }
+
+    #[test]
+    fn live_set_tracks_events() {
+        let cluster = Cluster::new(10, StrategySpec::full_replication(), 1).unwrap();
+        let mut sim = Simulation::new(cluster, workload(1, 500)).unwrap();
+        assert_eq!(sim.live().len(), 100);
+        sim.run_all().unwrap();
+        // Under full replication every live entry is on every server.
+        let placement = sim.cluster().placement();
+        assert_eq!(placement.coverage(), sim.live().len());
+        for &v in sim.live() {
+            assert_eq!(placement.replica_count(&v), 10, "entry {v}");
+        }
+    }
+
+    #[test]
+    fn round_robin_stays_consistent_under_replay() {
+        let cluster = Cluster::new(10, StrategySpec::round_robin(2), 2).unwrap();
+        let mut sim = Simulation::new(cluster, workload(2, 1000)).unwrap();
+        sim.run_all().unwrap();
+        let placement = sim.cluster().placement();
+        assert_eq!(placement.coverage(), sim.live().len());
+        for &v in sim.live() {
+            assert_eq!(placement.replica_count(&v), 2, "entry {v}");
+        }
+        let (head, tail) = sim.cluster().rr_counters().unwrap();
+        assert_eq!((tail - head) as usize, sim.live().len());
+    }
+
+    #[test]
+    fn step_reports_events_in_order() {
+        let cluster = Cluster::new(5, StrategySpec::full_replication(), 3).unwrap();
+        let mut sim = Simulation::new(cluster, workload(3, 50)).unwrap();
+        let mut last = 0.0;
+        while let Some(e) = sim.step().unwrap() {
+            assert!(e.time >= last);
+            last = e.time;
+            assert_eq!(sim.now(), e.time);
+        }
+        assert_eq!(sim.remaining(), 0);
+    }
+
+    #[test]
+    fn run_in_chunks() {
+        let cluster = Cluster::new(5, StrategySpec::fixed(20), 4).unwrap();
+        let mut sim = Simulation::new(cluster, workload(4, 100)).unwrap();
+        assert_eq!(sim.run(30).unwrap(), 30);
+        assert_eq!(sim.remaining(), 70);
+        assert_eq!(sim.run_all().unwrap(), 70);
+        assert_eq!(sim.run(5).unwrap(), 0);
+    }
+
+    #[test]
+    fn lookups_can_interleave_with_replay() {
+        let cluster = Cluster::new(10, StrategySpec::random_server(20), 5).unwrap();
+        let mut sim = Simulation::new(cluster, workload(5, 400)).unwrap();
+        for _ in 0..40 {
+            sim.run(10).unwrap();
+            let r = sim.cluster_mut().partial_lookup(10).unwrap();
+            assert!(r.is_satisfied(10));
+        }
+    }
+}

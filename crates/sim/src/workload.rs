@@ -1,0 +1,280 @@
+//! Steady-state update-trace generation (§6.1).
+//!
+//! "We create update events with timestamps in advance and replay these
+//! events in the simulation. [...] we generate the add events separately
+//! from the delete events such that the expected number of entries
+//! maintained by the servers is constant over time."
+//!
+//! A [`WorkloadConfig`] pins the arrival process (Poisson, mean
+//! inter-arrival λ), the steady-state entry count `h` (which scales the
+//! lifetime law's mean to `λ·h`), the lifetime law, and a seed.
+//! [`WorkloadConfig::generate`] produces the initial population plus a
+//! time-ordered event list.
+
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+use pls_net::DetRng;
+
+use crate::distributions::LifetimeLaw;
+
+/// One update operation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Op {
+    /// Insert this entry.
+    Add(u64),
+    /// Remove this entry.
+    Delete(u64),
+}
+
+/// A timestamped update.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct UpdateEvent {
+    /// Simulation time of the event.
+    pub time: f64,
+    /// The operation.
+    pub op: Op,
+}
+
+/// Which lifetime law the workload uses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LifetimeKind {
+    /// Exponential lifetimes (not tail-heavy).
+    Exponential,
+    /// Zipf-like lifetimes (tail-heavy).
+    ZipfLike,
+}
+
+/// Parameters of a synthetic update trace.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct WorkloadConfig {
+    /// Mean inter-arrival time of add events (the paper's λ = 10).
+    pub arrival_mean: f64,
+    /// Target steady-state entry count `h`; lifetimes are scaled to mean
+    /// `arrival_mean · h`.
+    pub steady_h: usize,
+    /// Lifetime law.
+    pub lifetime: LifetimeKind,
+    /// How many update events (adds + deletes combined) to emit.
+    pub updates: usize,
+    /// RNG seed; same seed, same trace.
+    pub seed: u64,
+}
+
+impl Default for WorkloadConfig {
+    /// The paper's default regime: λ = 10, `h` = 100, exponential
+    /// lifetimes, 10000 updates.
+    fn default() -> Self {
+        WorkloadConfig {
+            arrival_mean: 10.0,
+            steady_h: 100,
+            lifetime: LifetimeKind::Exponential,
+            updates: 10_000,
+            seed: 0,
+        }
+    }
+}
+
+/// An initial population plus a time-ordered update trace.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Workload {
+    /// Entries alive at time 0 (place these before replay).
+    pub initial: Vec<u64>,
+    /// The update events, non-decreasing in time.
+    pub events: Vec<UpdateEvent>,
+}
+
+/// Max-heap adapter ordering pending deletes by *earliest* time.
+#[derive(Debug, PartialEq)]
+struct PendingDelete {
+    time: f64,
+    entry: u64,
+}
+
+impl Eq for PendingDelete {}
+
+impl Ord for PendingDelete {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Reverse: BinaryHeap pops the max, we want the earliest time.
+        other
+            .time
+            .partial_cmp(&self.time)
+            .unwrap_or(Ordering::Equal)
+            .then_with(|| other.entry.cmp(&self.entry))
+    }
+}
+
+impl PartialOrd for PendingDelete {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl WorkloadConfig {
+    /// The mean entry lifetime this configuration implies
+    /// (`arrival_mean · steady_h`, per Little's law).
+    pub fn lifetime_mean(&self) -> f64 {
+        self.arrival_mean * self.steady_h as f64
+    }
+
+    /// Generates the trace.
+    ///
+    /// The initial population holds `steady_h` entries whose residual
+    /// lifetimes are drawn from the lifetime law itself — an
+    /// approximation of the stationary state (exact for the memoryless
+    /// exponential; slightly short-lived for the Zipf-like law, whose
+    /// stationary residual law is longer-tailed). Callers that need exact
+    /// stationarity should discard a warm-up prefix of events.
+    ///
+    /// Entry ids are unique across the whole trace: `0..steady_h` for the
+    /// initial population, then increasing.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `arrival_mean <= 0` or `steady_h == 0`.
+    pub fn generate(&self) -> Workload {
+        assert!(self.arrival_mean > 0.0, "arrival mean must be positive");
+        assert!(self.steady_h > 0, "steady-state h must be positive");
+        let law = match self.lifetime {
+            LifetimeKind::Exponential => {
+                LifetimeLaw::Exponential { mean: self.lifetime_mean() }.build()
+            }
+            LifetimeKind::ZipfLike => LifetimeLaw::ZipfLike { mean: self.lifetime_mean() }.build(),
+        };
+        let mut rng = DetRng::seed_from(self.seed);
+
+        let mut pending: BinaryHeap<PendingDelete> = BinaryHeap::new();
+        let initial: Vec<u64> = (0..self.steady_h as u64).collect();
+        for &entry in &initial {
+            pending.push(PendingDelete { time: law.sample(&mut rng), entry });
+        }
+
+        let mut events = Vec::with_capacity(self.updates);
+        let mut next_id = self.steady_h as u64;
+        let mut now = 0.0f64;
+        while events.len() < self.updates {
+            let next_add_at = now + rng.exponential(self.arrival_mean);
+            // Emit all deletes scheduled before the next add.
+            while events.len() < self.updates {
+                match pending.peek() {
+                    Some(d) if d.time <= next_add_at => {
+                        let d = pending.pop().expect("peeked");
+                        events.push(UpdateEvent { time: d.time, op: Op::Delete(d.entry) });
+                    }
+                    _ => break,
+                }
+            }
+            if events.len() >= self.updates {
+                break;
+            }
+            let entry = next_id;
+            next_id += 1;
+            events.push(UpdateEvent { time: next_add_at, op: Op::Add(entry) });
+            pending.push(PendingDelete { time: next_add_at + law.sample(&mut rng), entry });
+            now = next_add_at;
+        }
+        Workload { initial, events }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+
+    fn cfg(seed: u64) -> WorkloadConfig {
+        WorkloadConfig { updates: 2000, seed, ..WorkloadConfig::default() }
+    }
+
+    #[test]
+    fn events_are_time_ordered() {
+        let w = cfg(1).generate();
+        assert_eq!(w.events.len(), 2000);
+        for pair in w.events.windows(2) {
+            assert!(pair[0].time <= pair[1].time);
+        }
+    }
+
+    #[test]
+    fn deletes_only_target_live_entries() {
+        let w = cfg(2).generate();
+        let mut live: HashSet<u64> = w.initial.iter().copied().collect();
+        for e in &w.events {
+            match e.op {
+                Op::Add(v) => assert!(live.insert(v), "duplicate add of {v}"),
+                Op::Delete(v) => assert!(live.remove(&v), "delete of dead entry {v}"),
+            }
+        }
+    }
+
+    #[test]
+    fn steady_state_hovers_around_h() {
+        let mut config = cfg(3);
+        config.updates = 20_000;
+        let w = config.generate();
+        let mut live = w.initial.len() as i64;
+        let mut sum = 0i64;
+        let mut samples = 0i64;
+        for (i, e) in w.events.iter().enumerate() {
+            match e.op {
+                Op::Add(_) => live += 1,
+                Op::Delete(_) => live -= 1,
+            }
+            // Skip a warm-up prefix.
+            if i >= 4000 {
+                sum += live;
+                samples += 1;
+            }
+        }
+        let avg = sum as f64 / samples as f64;
+        assert!((avg - 100.0).abs() < 15.0, "average live count {avg}");
+    }
+
+    #[test]
+    fn zipf_workload_also_steady() {
+        let config = WorkloadConfig {
+            lifetime: LifetimeKind::ZipfLike,
+            updates: 20_000,
+            seed: 4,
+            ..WorkloadConfig::default()
+        };
+        let w = config.generate();
+        let mut live = w.initial.len() as i64;
+        let mut min = live;
+        let mut sum = 0i64;
+        let mut samples = 0i64;
+        for (i, e) in w.events.iter().enumerate() {
+            match e.op {
+                Op::Add(_) => live += 1,
+                Op::Delete(_) => live -= 1,
+            }
+            min = min.min(live);
+            if i >= 4000 {
+                sum += live;
+                samples += 1;
+            }
+        }
+        let avg = sum as f64 / samples as f64;
+        assert!(min > 0, "system drained");
+        assert!((avg - 100.0).abs() < 40.0, "average live count {avg}");
+    }
+
+    #[test]
+    fn same_seed_same_trace() {
+        assert_eq!(cfg(9).generate(), cfg(9).generate());
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        assert_ne!(cfg(1).generate(), cfg(2).generate());
+    }
+
+    #[test]
+    fn adds_and_deletes_are_roughly_balanced() {
+        let w = cfg(5).generate();
+        let adds = w.events.iter().filter(|e| matches!(e.op, Op::Add(_))).count();
+        let dels = w.events.len() - adds;
+        let ratio = adds as f64 / dels.max(1) as f64;
+        assert!(ratio > 0.7 && ratio < 1.4, "adds/deletes ratio {ratio}");
+    }
+}

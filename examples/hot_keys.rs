@@ -1,0 +1,104 @@
+//! Hot keys: a multi-key directory under Zipf popularity, partial lookup
+//! vs the Chord-style key-partitioned baseline.
+//!
+//! Demonstrates the paper's headline claims (§1, §9) with the
+//! [`Directory`] / [`KeyPartitioned`] pair: per-server load spreading and
+//! availability under failures, plus per-key strategy assignment driven
+//! by the advisor.
+//!
+//! ```sh
+//! cargo run --example hot_keys
+//! ```
+//!
+//! [`Directory`]: partial_lookup::core::directory::Directory
+//! [`KeyPartitioned`]: partial_lookup::core::baseline::KeyPartitioned
+
+use partial_lookup::core::baseline::KeyPartitioned;
+use partial_lookup::core::directory::{Directory, StrategyAssignment};
+use partial_lookup::metrics::LoadBalance;
+use partial_lookup::sim::DiscreteZipf;
+use partial_lookup::{DetRng, ServerId, StrategySpec};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let n = 10;
+    let keys = 200usize;
+    let entries_per_key = 25;
+    let lookups = 30_000;
+    let t = 3;
+
+    println!(
+        "{keys} keys on {n} servers, Zipf(1.0) popularity, {lookups} lookups of t={t}\n"
+    );
+
+    // Partial-lookup directory: hot keys (low ranks) get Round-Robin for
+    // perfect spreading; the long tail gets cheap Hash-2.
+    let assignment: StrategyAssignment<usize> = StrategyAssignment::PerKey(Box::new(|key| {
+        if *key < 20 {
+            StrategySpec::round_robin(2)
+        } else {
+            StrategySpec::hash(2)
+        }
+    }));
+    let mut directory: Directory<usize, u64> = Directory::new(n, assignment, 1)?;
+    let mut baseline: KeyPartitioned<usize, u64> = KeyPartitioned::new(n, 1, 1)?;
+
+    for key in 0..keys {
+        let entries: Vec<u64> =
+            ((key * entries_per_key) as u64..((key + 1) * entries_per_key) as u64).collect();
+        directory.place(key, entries.clone())?;
+        baseline.place(key, entries)?;
+    }
+    directory.reset_load();
+    baseline.reset_load();
+
+    // The same popularity-weighted lookup stream against both systems.
+    let zipf = DiscreteZipf::new(keys, 1.0);
+    let mut rng = DetRng::seed_from(7);
+    let stream: Vec<usize> = (0..lookups).map(|_| zipf.sample(&mut rng)).collect();
+    for &key in &stream {
+        directory.partial_lookup(&key, t)?;
+        baseline.partial_lookup(&key, t)?;
+    }
+
+    let dir_load = LoadBalance::of(directory.lookup_load());
+    let base_load = LoadBalance::of(baseline.lookup_load());
+    println!("per-server lookup load (hot-spot metric):");
+    println!(
+        "  partial directory:   max/mean {:.2}, CV {:.3}",
+        dir_load.max_over_mean(),
+        dir_load.cv()
+    );
+    println!(
+        "  key-partitioned DHT: max/mean {:.2}, CV {:.3}   <- the hot keys' home servers",
+        base_load.max_over_mean(),
+        base_load.cv()
+    );
+
+    // Fail two servers; replay the stream.
+    for s in [2u32, 7] {
+        directory.fail_server(ServerId::new(s));
+        baseline.fail_server(ServerId::new(s));
+    }
+    let mut dir_failed = 0usize;
+    let mut base_failed = 0usize;
+    for &key in &stream {
+        match directory.partial_lookup(&key, t) {
+            Ok(r) if r.is_satisfied(t) => {}
+            _ => dir_failed += 1,
+        }
+        match baseline.partial_lookup(&key, t) {
+            Ok(r) if r.is_satisfied(t) => {}
+            _ => base_failed += 1,
+        }
+    }
+    println!("\nwith servers 2 and 7 down:");
+    println!(
+        "  partial directory:   {:.2}% of lookups failed",
+        dir_failed as f64 * 100.0 / stream.len() as f64
+    );
+    println!(
+        "  key-partitioned DHT: {:.2}% of lookups failed (keys homed on dead servers)",
+        base_failed as f64 * 100.0 / stream.len() as f64
+    );
+    Ok(())
+}

@@ -1,0 +1,58 @@
+//! Quickstart: place entries under each strategy and watch how partial
+//! lookups behave.
+//!
+//! ```sh
+//! cargo run --example quickstart
+//! ```
+
+use partial_lookup::{Cluster, StrategySpec};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let n = 10; // servers
+    let h = 100; // entries for our key
+    let t = 30; // how many entries a client wants per lookup
+
+    println!("partial lookup quickstart: {h} entries on {n} servers, clients want t={t}\n");
+    println!(
+        "{:<18} {:>12} {:>10} {:>16}",
+        "strategy", "storage", "coverage", "servers/lookup"
+    );
+
+    for spec in [
+        StrategySpec::full_replication(),
+        StrategySpec::fixed(40), // t plus a cushion
+        StrategySpec::random_server(20),
+        StrategySpec::round_robin(2),
+        StrategySpec::hash(2),
+    ] {
+        let mut cluster = Cluster::new(n, spec, 42)?;
+        cluster.place((0..h as u64).collect())?;
+
+        let placement = cluster.placement();
+        let storage = placement.storage_used();
+        let coverage = placement.coverage();
+
+        // Average lookup cost over a few hundred lookups.
+        let lookups = 500;
+        let mut contacted = 0usize;
+        for _ in 0..lookups {
+            let result = cluster.partial_lookup(t)?;
+            assert!(result.is_satisfied(t), "{spec} failed a lookup");
+            contacted += result.servers_contacted();
+        }
+        println!(
+            "{:<18} {:>12} {:>10} {:>16.2}",
+            spec.to_string(),
+            storage,
+            coverage,
+            contacted as f64 / lookups as f64
+        );
+    }
+
+    println!(
+        "\nFull replication stores {}x more than Round-2 for the same lookups;",
+        (h * n) / (h * 2)
+    );
+    println!("partial lookup strategies trade a little lookup cost for that storage.");
+    Ok(())
+}

@@ -1,0 +1,56 @@
+//! The paper's Table 2 and rules of thumb, as an interactive-style
+//! advisor: describe your workload, get a concrete strategy with its
+//! parameter.
+//!
+//! ```sh
+//! cargo run --example strategy_advisor
+//! ```
+
+use partial_lookup::core::advisor::{recommend, star_table, Dimension, Requirements};
+
+fn main() {
+    // Print Table 2 (the qualitative summary).
+    println!("Table 2 — strategy suitability (more stars = better):\n");
+    print!("{:<16}", "strategy");
+    for dim in Dimension::ALL {
+        print!(" | {dim}");
+    }
+    println!();
+    for (kind, cells) in star_table() {
+        print!("{:<16}", kind.to_string());
+        for (dim, stars) in cells {
+            let width = dim.to_string().len();
+            print!(" | {:<width$}", stars.to_string());
+        }
+        println!();
+    }
+
+    // Now run some workloads through the advisor.
+    println!("\nAdvisor scenarios:\n");
+    let scenarios: Vec<(&str, Requirements)> = vec![
+        (
+            "music sharing: popular song, fairness matters, mostly static",
+            Requirements::new(10, 200, 3).fairness_required(true),
+        ),
+        (
+            "yellow pages: heavy churn, users want a page of 15 listings",
+            Requirements::new(10, 400, 15).update_heavy(true),
+        ),
+        (
+            "feed mirror: heavy churn, users want most of the entries",
+            Requirements::new(10, 100, 40).update_heavy(true),
+        ),
+        (
+            "embedded directory: per-server RAM capped at 64 records",
+            Requirements::new(10, 5000, 10).fixed_server_capacity(64),
+        ),
+        (
+            "archival index: storage is cheap, answers must be unbiased",
+            Requirements::new(10, 100, 20).fairness_required(true).storage_unconstrained(true),
+        ),
+    ];
+    for (description, req) in scenarios {
+        let spec = recommend(&req);
+        println!("  {description}\n    -> {spec}\n");
+    }
+}
