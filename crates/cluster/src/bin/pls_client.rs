@@ -1,7 +1,7 @@
 //! `pls-client` — command-line client for a partial lookup cluster.
 //!
 //! ```text
-//! pls-client --servers A,B,... --strategy SPEC [--seed S] COMMAND
+//! pls-client --servers A,B,... --strategy SPEC [--seed S] [--log LEVEL] COMMAND
 //!
 //! commands:
 //!   place  KEY ENTRY[,ENTRY...] [STRATEGY]   batch-specify a key's entries,
@@ -10,12 +10,16 @@
 //!   delete KEY ENTRY              delete one entry
 //!   lookup KEY T                  partial lookup: at least T entries
 //!   status                        per-server key/entry counts
+//!   stats [--reset]               cluster-wide metrics, Prometheus text
+//!                                 format (alias: metrics); --reset drains
+//!                                 each server's counters as they are read
 //! ```
 
 use std::net::SocketAddr;
 use std::process::ExitCode;
 
 use pls_cluster::{parse_spec, Client, ClientConfig};
+use pls_telemetry::trace;
 
 struct Options {
     cfg: ClientConfig,
@@ -39,9 +43,11 @@ fn parse_args() -> Result<Options, String> {
             }
             "--strategy" => spec = Some(parse_spec(&value("--strategy")?)?),
             "--seed" => seed = value("--seed")?.parse().map_err(|e| format!("--seed: {e}"))?,
+            "--log" => trace::init_from_str(&value("--log")?)?,
             "--help" | "-h" => {
                 return Err(
-                    "usage: pls-client --servers A,B,... --strategy SPEC COMMAND ...".to_string()
+                    "usage: pls-client --servers A,B,... --strategy SPEC [--log LEVEL] COMMAND ..."
+                        .to_string(),
                 )
             }
             other => {
@@ -53,7 +59,7 @@ fn parse_args() -> Result<Options, String> {
     let servers = servers.ok_or("--servers is required")?;
     let spec = spec.ok_or("--strategy is required")?;
     if command.is_empty() {
-        return Err("missing command (place/add/delete/lookup/status)".to_string());
+        return Err("missing command (place/add/delete/lookup/status/stats)".to_string());
     }
     Ok(Options { cfg: ClientConfig::new(servers, spec, seed), command })
 }
@@ -112,9 +118,17 @@ async fn run(opts: Options) -> Result<(), String> {
                     Ok((keys, entries)) => {
                         println!("server {i}: {keys} keys, {entries} entries")
                     }
-                    Err(err) => println!("server {i}: unreachable ({err})"),
+                    Err(err) => {
+                        pls_telemetry::warn!("server_unreachable", server = i, err = err);
+                        println!("server {i}: unreachable")
+                    }
                 }
             }
+        }
+        ["stats"] | ["metrics"] | ["stats", "--reset"] | ["metrics", "--reset"] => {
+            let reset = matches!(cmd.last(), Some(&"--reset"));
+            let merged = client.cluster_metrics(reset).await.map_err(|e| e.to_string())?;
+            print!("{}", merged.to_prometheus());
         }
         other => return Err(format!("unknown command {other:?}")),
     }
@@ -122,24 +136,27 @@ async fn run(opts: Options) -> Result<(), String> {
 }
 
 fn main() -> ExitCode {
+    // Errors are reported as structured events; keep them visible by
+    // default (--log off silences everything).
+    trace::init(Some(pls_telemetry::Level::Info));
     let opts = match parse_args() {
         Ok(o) => o,
         Err(msg) => {
-            eprintln!("{msg}");
+            pls_telemetry::error!(msg);
             return ExitCode::FAILURE;
         }
     };
     let runtime = match tokio::runtime::Builder::new_current_thread().enable_all().build() {
         Ok(rt) => rt,
         Err(err) => {
-            eprintln!("failed to start runtime: {err}");
+            pls_telemetry::error!("runtime_start_failed", err = err);
             return ExitCode::FAILURE;
         }
     };
     match runtime.block_on(run(opts)) {
         Ok(()) => ExitCode::SUCCESS,
         Err(msg) => {
-            eprintln!("{msg}");
+            pls_telemetry::error!(msg);
             ExitCode::FAILURE
         }
     }

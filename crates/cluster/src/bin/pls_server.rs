@@ -1,13 +1,15 @@
 //! `pls-server` — one lookup server of a partial lookup cluster.
 //!
 //! ```text
-//! pls-server --index N --peers HOST:PORT,HOST:PORT,... --strategy SPEC [--seed S]
+//! pls-server --index N --peers HOST:PORT,HOST:PORT,... --strategy SPEC [--seed S] [--log LEVEL]
 //!
 //!   --index     this server's position in the peer list (0-based;
 //!               index 0 is the Round-Robin coordinator)
 //!   --peers     every server's address, comma-separated, in id order
 //!   --strategy  full | fixed:X | random:X | round:Y | hash:Y
 //!   --seed      cluster-wide seed (must match on every server; default 0)
+//!   --log       error|warn|info|debug|trace|off (default info); structured
+//!               key=value events on stderr
 //! ```
 //!
 //! Example 3-server cluster on one machine:
@@ -22,6 +24,7 @@ use std::net::SocketAddr;
 use std::process::ExitCode;
 
 use pls_cluster::{parse_spec, Server, ServerConfig};
+use pls_telemetry::trace;
 
 fn parse_args() -> Result<ServerConfig, String> {
     let mut index: Option<usize> = None;
@@ -45,9 +48,12 @@ fn parse_args() -> Result<ServerConfig, String> {
             "--seed" => {
                 seed = value("--seed")?.parse().map_err(|e| format!("--seed: {e}"))?;
             }
+            "--log" => trace::init_from_str(&value("--log")?)?,
             "--help" | "-h" => {
-                return Err("usage: pls-server --index N --peers A,B,... --strategy SPEC [--seed S]"
-                    .to_string())
+                return Err(
+                    "usage: pls-server --index N --peers A,B,... --strategy SPEC [--seed S] [--log LEVEL]"
+                        .to_string(),
+                )
             }
             other => return Err(format!("unknown argument `{other}` (try --help)")),
         }
@@ -62,17 +68,20 @@ fn parse_args() -> Result<ServerConfig, String> {
 }
 
 fn main() -> ExitCode {
+    // Default level until (and unless) --log overrides it, so argument
+    // errors and the startup line are visible out of the box.
+    trace::init(Some(pls_telemetry::Level::Info));
     let cfg = match parse_args() {
         Ok(cfg) => cfg,
         Err(msg) => {
-            eprintln!("{msg}");
+            pls_telemetry::error!(msg);
             return ExitCode::FAILURE;
         }
     };
     let runtime = match tokio::runtime::Builder::new_multi_thread().enable_all().build() {
         Ok(rt) => rt,
         Err(err) => {
-            eprintln!("failed to start runtime: {err}");
+            pls_telemetry::error!("runtime_start_failed", err = err);
             return ExitCode::FAILURE;
         }
     };
@@ -81,17 +90,17 @@ fn main() -> ExitCode {
         let spec = cfg.spec;
         match Server::bind(cfg).await {
             Ok((server, addr)) => {
-                eprintln!("pls-server[{me}] serving {spec} on {addr}");
+                pls_telemetry::info!("serving", server = me, strategy = spec, addr = addr);
                 tokio::select! {
                     _ = server.run() => ExitCode::SUCCESS,
                     _ = tokio::signal::ctrl_c() => {
-                        eprintln!("pls-server[{me}] shutting down");
+                        pls_telemetry::info!("shutting_down", server = me);
                         ExitCode::SUCCESS
                     }
                 }
             }
             Err(err) => {
-                eprintln!("pls-server[{me}] failed to start: {err}");
+                pls_telemetry::error!("start_failed", server = me, err = err);
                 ExitCode::FAILURE
             }
         }

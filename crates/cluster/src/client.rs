@@ -4,8 +4,11 @@ use std::net::SocketAddr;
 
 use pls_core::{DetRng, ServiceError, StrategySpec};
 use pls_net::ServerId;
+use pls_telemetry::trace::Span;
+use pls_telemetry::{Level, MetricsSnapshot};
 
 use crate::error::ClusterError;
+use crate::metrics::ClientMetrics;
 use crate::proto::{Entry, Request, Response};
 use crate::rpc::PeerClient;
 
@@ -39,6 +42,9 @@ pub struct Client {
     key_specs: std::collections::HashMap<Vec<u8>, StrategySpec>,
     peers: std::sync::Arc<Vec<PeerClient>>,
     rng: DetRng,
+    /// Lock-free runtime counters; most importantly the probes-per-lookup
+    /// histogram (the live-measured §4.2 client lookup cost).
+    metrics: ClientMetrics,
 }
 
 impl Client {
@@ -49,6 +55,7 @@ impl Client {
             key_specs: std::collections::HashMap::new(),
             peers: std::sync::Arc::new(cfg.servers.into_iter().map(PeerClient::new).collect()),
             rng: DetRng::seed_from(cfg.seed),
+            metrics: ClientMetrics::new(),
         }
     }
 
@@ -65,8 +72,13 @@ impl Client {
     /// Sends an update to its coordinator: server 0 for Round-Robin-y
     /// keys, any reachable server otherwise (tried in random order).
     async fn update(&mut self, key: &[u8], req: Request) -> Result<(), ClusterError> {
+        self.metrics.updates.inc();
         if matches!(self.spec_of(key), StrategySpec::RoundRobin { .. }) {
-            self.peers[0].call(&req).await?;
+            if let Err(err) = self.peers[0].call(&req).await {
+                self.metrics.update_failures.inc();
+                pls_telemetry::debug!("update_failed", coordinator = 0, err = err);
+                return Err(err);
+            }
             return Ok(());
         }
         let order = self.rng.shuffled_servers(self.n());
@@ -74,10 +86,19 @@ impl Client {
         for s in order {
             match self.peers[s.index()].call(&req).await {
                 Ok(_) => return Ok(()),
-                Err(err @ ClusterError::Io(_)) => last_err = err, // try the next server
-                Err(other) => return Err(other),
+                Err(err @ ClusterError::Io(_)) => {
+                    // Failed server: retry on the next one.
+                    self.metrics.update_retries.inc();
+                    pls_telemetry::debug!("update_retry", server = s.index(), err = err);
+                    last_err = err;
+                }
+                Err(other) => {
+                    self.metrics.update_failures.inc();
+                    return Err(other);
+                }
             }
         }
+        self.metrics.update_failures.inc();
         Err(last_err)
     }
 
@@ -136,9 +157,26 @@ impl Client {
     /// One probe against one server. `Err` means unreachable.
     async fn probe(&self, s: ServerId, key: &[u8], t: usize) -> Result<Vec<Entry>, ClusterError> {
         let req = Request::Probe { key: key.to_vec(), t: t as u32 };
-        match self.peers[s.index()].call(&req).await? {
-            Response::Entries(entries) => Ok(entries),
-            other => Err(ClusterError::Remote(format!("unexpected probe response {other:?}"))),
+        match self.peers[s.index()].call(&req).await {
+            Ok(Response::Entries(entries)) => {
+                self.metrics.probes.inc();
+                pls_telemetry::event!(
+                    Level::Trace,
+                    "probe_answered",
+                    server = s.index(),
+                    returned = entries.len()
+                );
+                Ok(entries)
+            }
+            Ok(other) => {
+                self.metrics.probe_failures.inc();
+                Err(ClusterError::Remote(format!("unexpected probe response {other:?}")))
+            }
+            Err(err) => {
+                self.metrics.probe_failures.inc();
+                pls_telemetry::debug!("probe_failed", server = s.index(), err = err);
+                Err(err)
+            }
         }
     }
 
@@ -161,7 +199,10 @@ impl Client {
         if t == 0 {
             return Err(ClusterError::Service(ServiceError::ZeroTarget));
         }
-        match self.spec_of(key) {
+        self.metrics.lookups.inc();
+        let span = Span::enter(Level::Debug, module_path!(), "partial_lookup");
+        let probes_before = self.metrics.probes.get();
+        let result = match self.spec_of(key) {
             StrategySpec::FullReplication | StrategySpec::Fixed { .. } => {
                 self.lookup_single(key, t).await
             }
@@ -170,7 +211,13 @@ impl Client {
                 self.lookup_merge(key, t, order).await
             }
             StrategySpec::RoundRobin { y } => self.lookup_stride(key, t, y).await,
+        };
+        if result.is_ok() {
+            // Servers contacted for this lookup: the client lookup cost.
+            self.metrics.probes_per_lookup.observe(self.metrics.probes.get() - probes_before);
+            self.metrics.lookup_latency_us.observe(span.elapsed_us());
         }
+        result
     }
 
     async fn lookup_single(&mut self, key: &[u8], t: usize) -> Result<Vec<Entry>, ClusterError> {
@@ -311,6 +358,9 @@ impl Client {
         if t == 0 || fanout == 0 {
             return Err(ClusterError::Service(ServiceError::ZeroTarget));
         }
+        self.metrics.lookups.inc();
+        let span = Span::enter(Level::Debug, module_path!(), "partial_lookup_parallel");
+        let probes_before = self.metrics.probes.get();
         let order = self.rng.shuffled_servers(self.n());
         let mut acc: Vec<Entry> = Vec::new();
         let mut reached_any = false;
@@ -324,6 +374,7 @@ impl Client {
             while let Some(joined) = tasks.join_next().await {
                 match joined.expect("probe task never panics") {
                     Ok(Response::Entries(entries)) => {
+                        self.metrics.probes.inc();
                         reached_any = true;
                         for v in entries {
                             if !acc.contains(&v) {
@@ -332,12 +383,19 @@ impl Client {
                         }
                     }
                     Ok(other) => {
+                        self.metrics.probe_failures.inc();
                         return Err(ClusterError::Remote(format!(
                             "unexpected probe response {other:?}"
-                        )))
+                        )));
                     }
-                    Err(ClusterError::Io(_)) => continue,
-                    Err(other) => return Err(other),
+                    Err(ClusterError::Io(_)) => {
+                        self.metrics.probe_failures.inc();
+                        continue;
+                    }
+                    Err(other) => {
+                        self.metrics.probe_failures.inc();
+                        return Err(other);
+                    }
                 }
             }
             if acc.len() >= t {
@@ -347,6 +405,8 @@ impl Client {
         if !reached_any {
             return Err(ClusterError::NoServerAvailable);
         }
+        self.metrics.probes_per_lookup.observe(self.metrics.probes.get() - probes_before);
+        self.metrics.lookup_latency_us.observe(span.elapsed_us());
         Ok(self.trim(acc, t))
     }
 
@@ -393,5 +453,79 @@ impl Client {
             Response::Status { keys, entries } => Ok((keys, entries)),
             other => Err(ClusterError::Remote(format!("unexpected status response {other:?}"))),
         }
+    }
+
+    /// This client's own runtime metrics (probe/lookup counters and the
+    /// probes-per-lookup histogram).
+    pub fn metrics(&self) -> &ClientMetrics {
+        &self.metrics
+    }
+
+    /// Named snapshot of the client-side metrics, including connection
+    /// pool statistics aggregated over every per-server pool.
+    pub fn metrics_snapshot(&self) -> MetricsSnapshot {
+        let mut s = self.metrics.collect();
+        let (mut dials, mut dial_failures, mut reuses, mut discarded, mut evicted) =
+            (0u64, 0u64, 0u64, 0u64, 0u64);
+        for peer in self.peers.iter() {
+            let st = peer.stats();
+            dials += st.dials.get();
+            dial_failures += st.dial_failures.get();
+            reuses += st.reuses.get();
+            discarded += st.discarded.get();
+            evicted += st.evicted.get();
+        }
+        s.push_counter("pls_client_pool_dials_total", dials);
+        s.push_counter("pls_client_pool_dial_failures_total", dial_failures);
+        s.push_counter("pls_client_pool_reuses_total", reuses);
+        s.push_counter("pls_client_pool_discarded_total", discarded);
+        s.push_counter("pls_client_pool_evicted_total", evicted);
+        s
+    }
+
+    /// One server's metrics via the [`Request::Metrics`] RPC. With
+    /// `reset`, the server atomically drains its counters and histograms
+    /// as they are read (delta scraping).
+    ///
+    /// # Errors
+    ///
+    /// I/O errors when the server is unreachable; protocol errors on an
+    /// unexpected response.
+    pub async fn metrics_of(
+        &self,
+        server: usize,
+        reset: bool,
+    ) -> Result<MetricsSnapshot, ClusterError> {
+        match self.peers[server].call(&Request::Metrics { reset }).await? {
+            Response::Metrics(snap) => Ok(snap),
+            other => Err(ClusterError::Remote(format!("unexpected metrics response {other:?}"))),
+        }
+    }
+
+    /// Cluster-wide metrics: every reachable server's snapshot, merged
+    /// (same-named counters summed, same-named histograms merged).
+    /// Unreachable servers are skipped.
+    ///
+    /// # Errors
+    ///
+    /// [`ClusterError::NoServerAvailable`] when no server responds at
+    /// all; protocol errors from a malformed response.
+    pub async fn cluster_metrics(&self, reset: bool) -> Result<MetricsSnapshot, ClusterError> {
+        let mut merged = MetricsSnapshot::new();
+        let mut reached = 0usize;
+        for server in 0..self.n() {
+            match self.metrics_of(server, reset).await {
+                Ok(snap) => {
+                    reached += 1;
+                    merged.merge(&snap);
+                }
+                Err(ClusterError::Io(_)) => continue,
+                Err(other) => return Err(other),
+            }
+        }
+        if reached == 0 {
+            return Err(ClusterError::NoServerAvailable);
+        }
+        Ok(merged)
     }
 }

@@ -18,6 +18,13 @@
 //!   probing with merging for RandomServer-x and Hash-y, the stride walk
 //!   for Round-Robin-y; failed servers are skipped exactly as in the
 //!   paper.
+//! * Every server and client is instrumented with lock-free metrics
+//!   ([`metrics`], built on [`pls_telemetry`]): per-request-variant
+//!   counters, per-strategy probe counts, wire byte totals, and the
+//!   probes-per-lookup histogram that measures the paper's §4.2 client
+//!   lookup cost on the live deployment. Scrape one server with
+//!   [`proto::Request::Metrics`] or the whole cluster with
+//!   [`Client::cluster_metrics`] / `pls-client stats`.
 //!
 //! # Example
 //!
@@ -47,6 +54,7 @@
 
 mod client;
 mod error;
+pub mod metrics;
 pub mod proto;
 mod rpc;
 mod server;
@@ -54,7 +62,13 @@ pub mod wire;
 
 pub use client::{Client, ClientConfig};
 pub use error::ClusterError;
+pub use metrics::{ClientMetrics, ReqOp, ServerMetrics};
+pub use rpc::PoolStats;
 pub use server::{Server, ServerConfig};
+
+// Re-exported so downstream users of the cluster get the snapshot and
+// tracing types without naming the telemetry crate themselves.
+pub use pls_telemetry as telemetry;
 
 /// Parses a strategy spec from its CLI form: `full`, `fixed:20`,
 /// `random:20`, `round:2`, or `hash:2`.

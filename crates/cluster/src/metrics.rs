@@ -1,0 +1,295 @@
+//! Runtime metrics of the networked deployment.
+//!
+//! Two metric sets, both lock-free (atomics only, no mutex on any
+//! request path):
+//!
+//! * [`ServerMetrics`] — per-server counters and latency histograms,
+//!   exposed over the wire via [`Request::Metrics`] and scraped with
+//!   `pls-client stats`.
+//! * [`ClientMetrics`] — client-library counters, most importantly the
+//!   probes-per-lookup histogram: the paper's *client lookup cost*
+//!   (§4.2) measured on the live deployment instead of in simulation.
+//!
+//! Metric names follow Prometheus conventions; see the "Observability"
+//! section of the repository README for the full catalogue.
+//!
+//! [`Request::Metrics`]: crate::proto::Request::Metrics
+
+use pls_core::StrategySpec;
+use pls_telemetry::{Counter, Histogram, MetricsSnapshot};
+
+/// Strategy labels, indexed by [`strategy_index`].
+pub const STRATEGY_LABELS: [&str; 5] = ["full", "fixed", "random", "round", "hash"];
+
+/// Maps a strategy to its label index in [`STRATEGY_LABELS`].
+pub fn strategy_index(spec: StrategySpec) -> usize {
+    match spec {
+        StrategySpec::FullReplication => 0,
+        StrategySpec::Fixed { .. } => 1,
+        StrategySpec::RandomServer { .. } => 2,
+        StrategySpec::RoundRobin { .. } => 3,
+        StrategySpec::Hash { .. } => 4,
+    }
+}
+
+/// Request-variant labels for per-operation counters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[repr(usize)]
+pub enum ReqOp {
+    /// `Request::Place`.
+    Place = 0,
+    /// `Request::Add`.
+    Add,
+    /// `Request::Delete`.
+    Delete,
+    /// `Request::Probe`.
+    Probe,
+    /// `Request::Internal`.
+    Internal,
+    /// `Request::Status`.
+    Status,
+    /// `Request::Keys`.
+    Keys,
+    /// `Request::Snapshot`.
+    Snapshot,
+    /// `Request::SpecOf`.
+    SpecOf,
+    /// `Request::Metrics`.
+    Metrics,
+}
+
+impl ReqOp {
+    /// Every variant, in counter-index order.
+    pub const ALL: [ReqOp; 10] = [
+        ReqOp::Place,
+        ReqOp::Add,
+        ReqOp::Delete,
+        ReqOp::Probe,
+        ReqOp::Internal,
+        ReqOp::Status,
+        ReqOp::Keys,
+        ReqOp::Snapshot,
+        ReqOp::SpecOf,
+        ReqOp::Metrics,
+    ];
+
+    /// The `op` label value.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            ReqOp::Place => "place",
+            ReqOp::Add => "add",
+            ReqOp::Delete => "delete",
+            ReqOp::Probe => "probe",
+            ReqOp::Internal => "internal",
+            ReqOp::Status => "status",
+            ReqOp::Keys => "keys",
+            ReqOp::Snapshot => "snapshot",
+            ReqOp::SpecOf => "spec_of",
+            ReqOp::Metrics => "metrics",
+        }
+    }
+}
+
+fn val(c: &Counter, reset: bool) -> u64 {
+    if reset {
+        c.take()
+    } else {
+        c.get()
+    }
+}
+
+/// One server's runtime counters and histograms.
+#[derive(Debug, Default)]
+pub struct ServerMetrics {
+    /// Per-variant request counts, indexed by [`ReqOp`].
+    pub requests: [Counter; 10],
+    /// Requests whose handler returned an error.
+    pub request_errors: Counter,
+    /// Frames that failed to decode into a request.
+    pub decode_errors: Counter,
+    /// Connections accepted.
+    pub connections_accepted: Counter,
+    /// `accept(2)` failures.
+    pub accept_errors: Counter,
+    /// Connections torn down by a protocol violation.
+    pub connection_errors: Counter,
+    /// Frame bytes read (payload + length prefix).
+    pub bytes_read: Counter,
+    /// Frame bytes written (payload + length prefix).
+    pub bytes_written: Counter,
+    /// Probe requests served, by the probed key's strategy
+    /// (indexed by [`strategy_index`]).
+    pub probes: [Counter; 5],
+    /// Entries returned across all probe answers.
+    pub probe_entries_returned: Counter,
+    /// Key engines materialized.
+    pub engines_created: Counter,
+    /// Server-to-server `Internal` messages sent.
+    pub internal_sent: Counter,
+    /// `Internal` sends dropped (peer unreachable) or rejected.
+    pub internal_send_failures: Counter,
+    /// End-to-end request handling latency, microseconds.
+    pub request_latency_us: Histogram,
+    /// Probe handling latency (engine sampling only), microseconds.
+    pub probe_latency_us: Histogram,
+}
+
+impl ServerMetrics {
+    /// Fresh, all-zero metrics.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Builds a named snapshot. `keys`/`entries` are point-in-time
+    /// gauges supplied by the caller (they live in the engine map, not
+    /// here). With `reset`, every counter and histogram is atomically
+    /// drained as it is read — the snapshot/reset semantics used by
+    /// delta-scraping.
+    pub fn collect(&self, keys: u64, entries: u64, reset: bool) -> MetricsSnapshot {
+        let mut s = MetricsSnapshot::new();
+        for op in ReqOp::ALL {
+            s.push_counter(
+                format!("pls_requests_total{{op=\"{}\"}}", op.as_str()),
+                val(&self.requests[op as usize], reset),
+            );
+        }
+        s.push_counter("pls_request_errors_total", val(&self.request_errors, reset));
+        s.push_counter("pls_decode_errors_total", val(&self.decode_errors, reset));
+        s.push_counter(
+            "pls_connections_accepted_total",
+            val(&self.connections_accepted, reset),
+        );
+        s.push_counter("pls_accept_errors_total", val(&self.accept_errors, reset));
+        s.push_counter("pls_connection_errors_total", val(&self.connection_errors, reset));
+        s.push_counter("pls_bytes_read_total", val(&self.bytes_read, reset));
+        s.push_counter("pls_bytes_written_total", val(&self.bytes_written, reset));
+        for (i, label) in STRATEGY_LABELS.iter().enumerate() {
+            s.push_counter(
+                format!("pls_probes_total{{strategy=\"{label}\"}}"),
+                val(&self.probes[i], reset),
+            );
+        }
+        s.push_counter(
+            "pls_probe_entries_returned_total",
+            val(&self.probe_entries_returned, reset),
+        );
+        s.push_counter("pls_engines_created_total", val(&self.engines_created, reset));
+        s.push_counter("pls_internal_sent_total", val(&self.internal_sent, reset));
+        s.push_counter(
+            "pls_internal_send_failures_total",
+            val(&self.internal_send_failures, reset),
+        );
+        s.push_counter("pls_keys", keys);
+        s.push_counter("pls_entries", entries);
+        s.push_histogram(
+            "pls_request_latency_us",
+            if reset { self.request_latency_us.take() } else { self.request_latency_us.snapshot() },
+        );
+        s.push_histogram(
+            "pls_probe_latency_us",
+            if reset { self.probe_latency_us.take() } else { self.probe_latency_us.snapshot() },
+        );
+        s
+    }
+}
+
+/// Client-library runtime counters and histograms.
+#[derive(Debug, Default)]
+pub struct ClientMetrics {
+    /// Partial lookups started (sequential and parallel).
+    pub lookups: Counter,
+    /// Probe RPCs that reached a server and answered.
+    pub probes: Counter,
+    /// Probe attempts skipped because the server was unreachable.
+    pub probe_failures: Counter,
+    /// Update operations (place/add/delete) issued.
+    pub updates: Counter,
+    /// Update attempts retried on another server after an I/O failure.
+    pub update_retries: Counter,
+    /// Updates that failed on every server.
+    pub update_failures: Counter,
+    /// Servers contacted per completed lookup — the live-measured §4.2
+    /// client lookup cost.
+    pub probes_per_lookup: Histogram,
+    /// Wall-clock latency per completed lookup, microseconds.
+    pub lookup_latency_us: Histogram,
+}
+
+impl ClientMetrics {
+    /// Fresh, all-zero metrics.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Builds a named snapshot of the client-side metrics.
+    pub fn collect(&self) -> MetricsSnapshot {
+        let mut s = MetricsSnapshot::new();
+        s.push_counter("pls_client_lookups_total", self.lookups.get());
+        s.push_counter("pls_client_probes_total", self.probes.get());
+        s.push_counter("pls_client_probe_failures_total", self.probe_failures.get());
+        s.push_counter("pls_client_updates_total", self.updates.get());
+        s.push_counter("pls_client_update_retries_total", self.update_retries.get());
+        s.push_counter("pls_client_update_failures_total", self.update_failures.get());
+        s.push_histogram("pls_client_probes_per_lookup", self.probes_per_lookup.snapshot());
+        s.push_histogram("pls_client_lookup_latency_us", self.lookup_latency_us.snapshot());
+        s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn strategy_indices_cover_all_specs() {
+        assert_eq!(strategy_index(StrategySpec::full_replication()), 0);
+        assert_eq!(strategy_index(StrategySpec::fixed(3)), 1);
+        assert_eq!(strategy_index(StrategySpec::random_server(3)), 2);
+        assert_eq!(strategy_index(StrategySpec::round_robin(2)), 3);
+        assert_eq!(strategy_index(StrategySpec::hash(2)), 4);
+    }
+
+    #[test]
+    fn server_collect_names_and_values() {
+        let m = ServerMetrics::new();
+        m.requests[ReqOp::Probe as usize].inc();
+        m.requests[ReqOp::Probe as usize].inc();
+        m.probes[strategy_index(StrategySpec::random_server(4))].add(2);
+        m.bytes_read.add(100);
+        m.request_latency_us.observe(250);
+        let s = m.collect(3, 40, false);
+        assert_eq!(s.counter("pls_requests_total{op=\"probe\"}"), Some(2));
+        assert_eq!(s.counter("pls_requests_total{op=\"place\"}"), Some(0));
+        assert_eq!(s.counter("pls_probes_total{strategy=\"random\"}"), Some(2));
+        assert_eq!(s.counter("pls_bytes_read_total"), Some(100));
+        assert_eq!(s.counter("pls_keys"), Some(3));
+        assert_eq!(s.counter("pls_entries"), Some(40));
+        assert_eq!(s.histogram("pls_request_latency_us").unwrap().count, 1);
+    }
+
+    #[test]
+    fn server_collect_with_reset_drains() {
+        let m = ServerMetrics::new();
+        m.requests[ReqOp::Add as usize].add(5);
+        m.probe_latency_us.observe(9);
+        let first = m.collect(0, 0, true);
+        assert_eq!(first.counter("pls_requests_total{op=\"add\"}"), Some(5));
+        assert_eq!(first.histogram("pls_probe_latency_us").unwrap().count, 1);
+        let second = m.collect(0, 0, false);
+        assert_eq!(second.counter("pls_requests_total{op=\"add\"}"), Some(0));
+        assert!(second.histogram("pls_probe_latency_us").unwrap().is_empty());
+    }
+
+    #[test]
+    fn client_collect_includes_lookup_cost_histogram() {
+        let m = ClientMetrics::new();
+        m.lookups.inc();
+        m.probes.add(3);
+        m.probes_per_lookup.observe(3);
+        let s = m.collect();
+        assert_eq!(s.counter("pls_client_lookups_total"), Some(1));
+        let h = s.histogram("pls_client_probes_per_lookup").unwrap();
+        assert_eq!(h.count, 1);
+        assert_eq!(h.sum, 3);
+    }
+}

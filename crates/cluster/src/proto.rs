@@ -7,8 +7,10 @@
 use bytes::Bytes;
 use pls_core::{Message, StrategySpec};
 use pls_net::ServerId;
+use pls_telemetry::{HistogramSnapshot, MetricsSnapshot, BUCKETS};
 
 use crate::error::ClusterError;
+use crate::metrics::ReqOp;
 use crate::wire::{Reader, Writer};
 
 /// A live-cluster entry: an opaque byte string (peer address, URL, …).
@@ -81,6 +83,12 @@ pub enum Request {
         /// The key.
         key: Vec<u8>,
     },
+    /// Observability: this server's runtime metrics snapshot.
+    Metrics {
+        /// Atomically drain every counter and histogram as it is read
+        /// (delta scraping); `false` leaves them accumulating.
+        reset: bool,
+    },
 }
 
 /// A response frame.
@@ -117,6 +125,9 @@ pub enum Response {
     /// The strategy managing a key (`None` when the key is unknown to
     /// this server).
     SpecOf(Option<StrategySpec>),
+    /// Observability: the server's metrics snapshot (see
+    /// [`crate::metrics::ServerMetrics`]).
+    Metrics(MetricsSnapshot),
 }
 
 // ---- opcodes ----
@@ -129,6 +140,7 @@ const REQ_STATUS: u8 = 0x06;
 const REQ_KEYS: u8 = 0x07;
 const REQ_SNAPSHOT: u8 = 0x08;
 const REQ_SPEC_OF: u8 = 0x09;
+const REQ_METRICS: u8 = 0x0A;
 
 const RESP_OK: u8 = 0x80;
 const RESP_ENTRIES: u8 = 0x81;
@@ -136,6 +148,7 @@ const RESP_STATUS: u8 = 0x82;
 const RESP_KEYS: u8 = 0x83;
 const RESP_SNAPSHOT: u8 = 0x84;
 const RESP_SPEC_OF: u8 = 0x85;
+const RESP_METRICS: u8 = 0x86;
 const RESP_ERROR: u8 = 0xFF;
 
 // ---- engine message opcodes ----
@@ -351,6 +364,9 @@ impl Request {
             Request::SpecOf { key } => {
                 w.u8(REQ_SPEC_OF).bytes(key);
             }
+            Request::Metrics { reset } => {
+                w.u8(REQ_METRICS).u8(u8::from(*reset));
+            }
         }
         w.into_payload()
     }
@@ -384,6 +400,11 @@ impl Request {
             REQ_KEYS => Request::Keys,
             REQ_SNAPSHOT => Request::Snapshot { key: r.bytes("key")? },
             REQ_SPEC_OF => Request::SpecOf { key: r.bytes("key")? },
+            REQ_METRICS => match r.u8("reset flag")? {
+                0 => Request::Metrics { reset: false },
+                1 => Request::Metrics { reset: true },
+                _ => return Err(ClusterError::Decode("reset flag")),
+            },
             _ => return Err(ClusterError::Decode("request opcode")),
         };
         r.finish("request")?;
@@ -393,6 +414,22 @@ impl Request {
     /// The originating server as an endpoint, for `Internal` requests.
     pub fn internal_sender(from: u32) -> pls_net::Endpoint {
         pls_net::Endpoint::Server(ServerId::new(from))
+    }
+
+    /// The request's operation label, for per-variant counters.
+    pub fn op(&self) -> ReqOp {
+        match self {
+            Request::Place { .. } => ReqOp::Place,
+            Request::Add { .. } => ReqOp::Add,
+            Request::Delete { .. } => ReqOp::Delete,
+            Request::Probe { .. } => ReqOp::Probe,
+            Request::Internal { .. } => ReqOp::Internal,
+            Request::Status => ReqOp::Status,
+            Request::Keys => ReqOp::Keys,
+            Request::Snapshot { .. } => ReqOp::Snapshot,
+            Request::SpecOf { .. } => ReqOp::SpecOf,
+            Request::Metrics { .. } => ReqOp::Metrics,
+        }
     }
 }
 
@@ -436,6 +473,21 @@ impl Response {
                 w.u8(RESP_SPEC_OF);
                 encode_spec(&mut w, spec);
             }
+            Response::Metrics(snap) => {
+                w.u8(RESP_METRICS);
+                w.u32(snap.counters.len() as u32);
+                for (name, value) in &snap.counters {
+                    w.bytes(name.as_bytes()).u64(*value);
+                }
+                w.u32(snap.histograms.len() as u32);
+                for (name, h) in &snap.histograms {
+                    w.bytes(name.as_bytes()).u64(h.count).u64(h.sum);
+                    w.u32(BUCKETS as u32);
+                    for b in &h.buckets {
+                        w.u64(*b);
+                    }
+                }
+            }
         }
         w.into_payload()
     }
@@ -477,6 +529,42 @@ impl Response {
                 Response::Snapshot { entries, positions, counters, spec }
             }
             RESP_SPEC_OF => Response::SpecOf(decode_spec(&mut r)?),
+            RESP_METRICS => {
+                let n_counters = r.u32("counter count")? as usize;
+                if n_counters > crate::wire::MAX_FRAME / 12 {
+                    return Err(ClusterError::Decode("counter count"));
+                }
+                let mut snap = MetricsSnapshot::new();
+                for _ in 0..n_counters {
+                    let name = r.bytes("counter name")?;
+                    let value = r.u64("counter value")?;
+                    snap.push_counter(String::from_utf8_lossy(&name).into_owned(), value);
+                }
+                let n_hists = r.u32("histogram count")? as usize;
+                if n_hists > 4096 {
+                    return Err(ClusterError::Decode("histogram count"));
+                }
+                for _ in 0..n_hists {
+                    let name = r.bytes("histogram name")?;
+                    let count = r.u64("histogram obs count")?;
+                    let sum = r.u64("histogram sum")?;
+                    let n_buckets = r.u32("bucket count")? as usize;
+                    if n_buckets > 1024 {
+                        return Err(ClusterError::Decode("bucket count"));
+                    }
+                    // Fold any extra buckets from a newer peer into the
+                    // overflow bucket; missing trailing buckets are zero.
+                    let mut buckets = [0u64; BUCKETS];
+                    for i in 0..n_buckets {
+                        buckets[i.min(BUCKETS - 1)] += r.u64("bucket")?;
+                    }
+                    snap.push_histogram(
+                        String::from_utf8_lossy(&name).into_owned(),
+                        HistogramSnapshot { count, sum, buckets },
+                    );
+                }
+                Response::Metrics(snap)
+            }
             _ => return Err(ClusterError::Decode("response opcode")),
         };
         r.finish("response")?;
@@ -523,6 +611,8 @@ mod tests {
         roundtrip_req(Request::Delete { key: vec![], entry: vec![0, 1, 255] });
         roundtrip_req(Request::Probe { key: b"k".to_vec(), t: 42 });
         roundtrip_req(Request::Status);
+        roundtrip_req(Request::Metrics { reset: false });
+        roundtrip_req(Request::Metrics { reset: true });
     }
 
     #[test]
@@ -568,6 +658,30 @@ mod tests {
         roundtrip_resp(Response::Entries(vec![b"x".to_vec(), vec![]]));
         roundtrip_resp(Response::Status { keys: 3, entries: 999 });
         roundtrip_resp(Response::Error("kaput".into()));
+    }
+
+    #[test]
+    fn metrics_response_roundtrips() {
+        roundtrip_resp(Response::Metrics(MetricsSnapshot::new()));
+        let hist = {
+            let h = pls_telemetry::Histogram::new();
+            h.observe(1);
+            h.observe(3);
+            h.observe(1 << 20);
+            h.snapshot()
+        };
+        let mut snap = MetricsSnapshot::new();
+        snap.push_counter("pls_requests_total{op=\"probe\"}", 42);
+        snap.push_counter("pls_keys", 3);
+        snap.push_histogram("pls_client_probes_per_lookup", hist);
+        roundtrip_resp(Response::Metrics(snap));
+    }
+
+    #[test]
+    fn metrics_reset_flag_is_validated() {
+        let mut w = Writer::new();
+        w.u8(REQ_METRICS).u8(7);
+        assert!(Request::decode(w.into_payload()).is_err());
     }
 
     #[test]

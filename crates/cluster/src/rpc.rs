@@ -18,6 +18,7 @@
 use std::net::SocketAddr;
 use std::sync::Mutex;
 
+use pls_telemetry::Counter;
 use tokio::net::TcpStream;
 
 use crate::error::ClusterError;
@@ -26,6 +27,24 @@ use crate::wire::{read_frame, write_frame};
 
 /// Connections kept per peer; extras beyond this are closed on return.
 const POOL_SIZE: usize = 4;
+
+/// Pool accounting for one [`PeerClient`]: how connections are
+/// obtained (fresh dial vs. pool reuse) and how they leave the pool
+/// (discarded after an error, evicted over capacity). All counters are
+/// relaxed atomics — no lock beyond the pool's own.
+#[derive(Debug, Default)]
+pub struct PoolStats {
+    /// Fresh TCP dials attempted.
+    pub dials: Counter,
+    /// Dials that failed to connect.
+    pub dial_failures: Counter,
+    /// Calls served by a pooled connection.
+    pub reuses: Counter,
+    /// Connections dropped after an exchange error (never re-pooled).
+    pub discarded: Counter,
+    /// Healthy connections closed because the pool was full.
+    pub evicted: Counter,
+}
 
 /// Performs one request/response exchange on an established stream.
 pub async fn exchange(stream: &mut TcpStream, req: &Request) -> Result<Response, ClusterError> {
@@ -41,13 +60,14 @@ pub async fn exchange(stream: &mut TcpStream, req: &Request) -> Result<Response,
 pub struct PeerClient {
     addr: SocketAddr,
     pool: Mutex<Vec<TcpStream>>,
+    stats: PoolStats,
 }
 
 impl PeerClient {
     /// Creates a client for `addr`; no connection is made until the
     /// first call.
     pub fn new(addr: SocketAddr) -> Self {
-        PeerClient { addr, pool: Mutex::new(Vec::new()) }
+        PeerClient { addr, pool: Mutex::new(Vec::new()), stats: PoolStats::default() }
     }
 
     /// The peer's address.
@@ -56,20 +76,37 @@ impl PeerClient {
         self.addr
     }
 
+    /// This client's pool accounting.
+    pub fn stats(&self) -> &PoolStats {
+        &self.stats
+    }
+
+    /// Connections currently idle in the pool.
+    pub fn pooled(&self) -> usize {
+        self.pool.lock().expect("pool lock").len()
+    }
+
     fn take(&self) -> Option<TcpStream> {
         self.pool.lock().expect("pool lock").pop()
     }
 
+    /// Returns a connection to the pool. Only ever called after a fully
+    /// successful request/response exchange: a connection that saw any
+    /// error is poisoned (its stream may be desynchronized mid-frame)
+    /// and must be dropped, never re-pooled.
     fn put_back(&self, stream: TcpStream) {
         let mut pool = self.pool.lock().expect("pool lock");
         if pool.len() < POOL_SIZE {
             pool.push(stream);
+        } else {
+            self.stats.evicted.inc();
         }
     }
 
     /// Sends `req` and awaits the response on a pooled or fresh
     /// connection. A stale pooled connection is retried once with a
-    /// fresh dial.
+    /// fresh dial; a connection that errors in any way is discarded,
+    /// never returned to the pool.
     ///
     /// # Errors
     ///
@@ -78,19 +115,44 @@ impl PeerClient {
     /// [`ClusterError::Remote`].
     pub async fn call(&self, req: &Request) -> Result<Response, ClusterError> {
         if let Some(mut stream) = self.take() {
+            self.stats.reuses.inc();
             match exchange(&mut stream, req).await {
                 Ok(resp) => {
                     self.put_back(stream);
                     return ok_or_remote(resp);
                 }
-                Err(ClusterError::Io(_)) => { /* stale: fall through to a fresh dial */ }
-                Err(other) => return Err(other),
+                Err(ClusterError::Io(_)) => {
+                    // Stale pooled connection: drop it and retry once on
+                    // a fresh dial.
+                    self.stats.discarded.inc();
+                }
+                Err(other) => {
+                    // Protocol violation mid-exchange: the stream may be
+                    // desynchronized — poison it (drop, don't re-pool).
+                    self.stats.discarded.inc();
+                    return Err(other);
+                }
             }
         }
-        let mut stream = TcpStream::connect(self.addr).await?;
-        let resp = exchange(&mut stream, req).await?;
-        self.put_back(stream);
-        ok_or_remote(resp)
+        self.stats.dials.inc();
+        pls_telemetry::event!(pls_telemetry::Level::Trace, "peer_dial", addr = self.addr);
+        let mut stream = match TcpStream::connect(self.addr).await {
+            Ok(s) => s,
+            Err(e) => {
+                self.stats.dial_failures.inc();
+                return Err(e.into());
+            }
+        };
+        match exchange(&mut stream, req).await {
+            Ok(resp) => {
+                self.put_back(stream);
+                ok_or_remote(resp)
+            }
+            Err(err) => {
+                self.stats.discarded.inc();
+                Err(err)
+            }
+        }
     }
 }
 
@@ -139,7 +201,12 @@ mod tests {
             assert_eq!(resp, Response::Ok);
         }
         // The pool holds the reused connection.
-        assert_eq!(client.pool.lock().unwrap().len(), 1);
+        assert_eq!(client.pooled(), 1);
+        // One dial, four pool reuses, nothing discarded.
+        assert_eq!(client.stats().dials.get(), 1);
+        assert_eq!(client.stats().reuses.get(), 4);
+        assert_eq!(client.stats().discarded.get(), 0);
+        assert_eq!(client.stats().dial_failures.get(), 0);
     }
 
     #[tokio::test]
@@ -217,5 +284,75 @@ mod tests {
         });
         let client = PeerClient::new(addr);
         assert!(matches!(client.call(&Request::Status).await, Err(ClusterError::Decode(_))));
+        // The desynchronized connection is poisoned: dropped, not
+        // returned to the pool.
+        assert_eq!(client.pooled(), 0);
+        assert_eq!(client.stats().discarded.get(), 1);
+    }
+
+    #[tokio::test]
+    async fn stale_pooled_connection_is_discarded_and_redialed() {
+        // A server that closes each connection after one exchange: the
+        // second call finds a dead pooled connection, discards it, and
+        // succeeds on a fresh dial.
+        let listener = TcpListener::bind("127.0.0.1:0").await.unwrap();
+        let addr = listener.local_addr().unwrap();
+        tokio::spawn(async move {
+            loop {
+                let (mut sock, _) = match listener.accept().await {
+                    Ok(x) => x,
+                    Err(_) => return,
+                };
+                if read_frame(&mut sock).await.is_ok() {
+                    let _ = write_frame(&mut sock, &Response::Ok.encode()).await;
+                }
+            }
+        });
+        let client = PeerClient::new(addr);
+        assert_eq!(client.call(&Request::Status).await.unwrap(), Response::Ok);
+        assert_eq!(client.call(&Request::Status).await.unwrap(), Response::Ok);
+        assert_eq!(client.stats().dials.get(), 2);
+        assert_eq!(client.stats().reuses.get(), 1);
+        assert_eq!(client.stats().discarded.get(), 1);
+    }
+
+    #[tokio::test]
+    async fn failed_dial_is_counted() {
+        let listener = TcpListener::bind("127.0.0.1:0").await.unwrap();
+        let addr = listener.local_addr().unwrap();
+        drop(listener);
+        let client = PeerClient::new(addr);
+        assert!(client.call(&Request::Status).await.is_err());
+        assert_eq!(client.stats().dials.get(), 1);
+        assert_eq!(client.stats().dial_failures.get(), 1);
+        assert_eq!(client.pooled(), 0);
+    }
+
+    #[tokio::test]
+    async fn pool_eviction_over_capacity_is_counted() {
+        let addr = spawn_ok_server().await;
+        let client = std::sync::Arc::new(PeerClient::new(addr));
+        // Far more concurrent calls than POOL_SIZE: every call dials (the
+        // pool starts empty and all calls are in flight together), and
+        // only POOL_SIZE connections fit back.
+        let mut tasks = Vec::new();
+        let barrier = std::sync::Arc::new(tokio::sync::Barrier::new(POOL_SIZE * 3));
+        for _ in 0..POOL_SIZE * 3 {
+            let c = std::sync::Arc::clone(&client);
+            let b = std::sync::Arc::clone(&barrier);
+            tasks.push(tokio::spawn(async move {
+                b.wait().await;
+                c.call(&Request::Status).await
+            }));
+        }
+        for t in tasks {
+            assert_eq!(t.await.unwrap().unwrap(), Response::Ok);
+        }
+        assert!(client.pooled() <= POOL_SIZE);
+        let s = client.stats();
+        assert_eq!(s.dials.get() + s.reuses.get(), (POOL_SIZE * 3) as u64);
+        // Every healthy connection either sits in the pool or was
+        // evicted over capacity.
+        assert_eq!(s.dials.get(), client.pooled() as u64 + s.evicted.get());
     }
 }

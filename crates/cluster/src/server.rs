@@ -8,9 +8,12 @@ use parking_lot::Mutex;
 use pls_core::engine::{NodeEngine, Outbound};
 use pls_core::{Message, StrategySpec};
 use pls_net::{Endpoint, ServerId};
+use pls_telemetry::trace::Span;
+use pls_telemetry::Level;
 use tokio::net::{TcpListener, TcpStream};
 
 use crate::error::ClusterError;
+use crate::metrics::{strategy_index, ServerMetrics};
 use crate::proto::{Entry, Request, Response};
 use crate::rpc::PeerClient;
 use crate::wire::{read_frame, write_frame};
@@ -45,6 +48,9 @@ struct State {
     /// different types of keys). Keys absent here use `cfg.spec`.
     key_specs: Mutex<HashMap<Vec<u8>, StrategySpec>>,
     peers: Vec<PeerClient>,
+    /// Runtime counters/histograms; atomics only, shared by every
+    /// connection handler without further locking.
+    metrics: ServerMetrics,
 }
 
 impl State {
@@ -98,6 +104,7 @@ impl State {
         if !map.contains_key(key) {
             let engine = NodeEngine::new(self.me(), self.n(), spec, self.key_seed(key))?;
             map.insert(key.to_vec(), engine);
+            self.metrics.engines_created.inc();
         }
         Ok(f(map.get_mut(key).expect("just inserted")))
     }
@@ -166,6 +173,7 @@ impl Server {
             engines: Mutex::new(HashMap::new()),
             key_specs: Mutex::new(HashMap::new()),
             peers,
+            metrics: ServerMetrics::new(),
         });
         Ok((Server { listener, state }, addr))
     }
@@ -196,6 +204,7 @@ impl Server {
         let state = &self.state;
         let me = state.me();
         let me_idx = me.index();
+        let span = Span::enter(Level::Info, module_path!(), "resync_from_peers");
 
         // Discover the key universe from reachable peers.
         let mut keys: Vec<Vec<u8>> = Vec::new();
@@ -311,6 +320,12 @@ impl Server {
                 }
             }
         }
+        pls_telemetry::info!(
+            "resync_complete",
+            server = me_idx,
+            keys = keys.len(),
+            elapsed_us = span.elapsed_us()
+        );
         Ok(keys.len())
     }
 
@@ -320,22 +335,30 @@ impl Server {
     pub async fn run(self) {
         let mut connections = tokio::task::JoinSet::new();
         loop {
-            let (socket, _) = match self.listener.accept().await {
+            let (socket, peer_addr) = match self.listener.accept().await {
                 Ok(pair) => pair,
                 Err(err) => {
-                    eprintln!("pls-server[{}]: accept error: {err}", self.state.cfg.me);
+                    self.state.metrics.accept_errors.inc();
+                    pls_telemetry::warn!("accept_error", server = self.state.cfg.me, err = err);
                     continue;
                 }
             };
+            self.state.metrics.connections_accepted.inc();
+            pls_telemetry::event!(Level::Trace, "connection_accepted", peer = peer_addr);
             // Reap finished handlers so the set does not grow unbounded.
             while connections.try_join_next().is_some() {}
             let state = Arc::clone(&self.state);
             connections.spawn(async move {
-                if let Err(err) = serve_connection(state, socket).await {
+                if let Err(err) = serve_connection(Arc::clone(&state), socket).await {
                     // Connection teardown is normal; only report protocol
                     // violations.
                     if !matches!(err, ClusterError::Io(_)) {
-                        eprintln!("pls-server connection error: {err}");
+                        state.metrics.connection_errors.inc();
+                        pls_telemetry::warn!(
+                            "connection_error",
+                            server = state.cfg.me,
+                            err = err
+                        );
                     }
                 }
             });
@@ -345,14 +368,38 @@ impl Server {
 
 async fn serve_connection(state: Arc<State>, mut socket: TcpStream) -> Result<(), ClusterError> {
     while let Some(payload) = read_frame(&mut socket).await? {
+        // +4 accounts for the length prefix of the frame itself.
+        state.metrics.bytes_read.add(payload.len() as u64 + 4);
         let response = match Request::decode(payload) {
-            Ok(req) => match handle_request(&state, req).await {
-                Ok(resp) => resp,
-                Err(err) => Response::Error(err.to_string()),
-            },
-            Err(err) => Response::Error(err.to_string()),
+            Ok(req) => {
+                let op = req.op();
+                state.metrics.requests[op as usize].inc();
+                let span = Span::enter(Level::Debug, module_path!(), op.as_str());
+                let resp = match handle_request(&state, req).await {
+                    Ok(resp) => resp,
+                    Err(err) => {
+                        state.metrics.request_errors.inc();
+                        pls_telemetry::debug!(
+                            "request_error",
+                            server = state.cfg.me,
+                            op = op.as_str(),
+                            err = err
+                        );
+                        Response::Error(err.to_string())
+                    }
+                };
+                state.metrics.request_latency_us.observe(span.elapsed_us());
+                resp
+            }
+            Err(err) => {
+                state.metrics.decode_errors.inc();
+                pls_telemetry::warn!("decode_error", server = state.cfg.me, err = err);
+                Response::Error(err.to_string())
+            }
         };
-        write_frame(&mut socket, &response.encode()).await?;
+        let frame = response.encode();
+        state.metrics.bytes_written.add(frame.len() as u64 + 4);
+        write_frame(&mut socket, &frame).await?;
     }
     Ok(())
 }
@@ -377,7 +424,11 @@ async fn handle_request(state: &Arc<State>, req: Request) -> Result<Response, Cl
             Ok(Response::Ok)
         }
         Request::Probe { key, t } => {
+            let span = Span::enter(Level::Trace, module_path!(), "probe_sample");
             let entries = state.read_engine(&key, |e| e.sample(t as usize)).unwrap_or_default();
+            state.metrics.probes[strategy_index(state.spec_of(&key))].inc();
+            state.metrics.probe_entries_returned.add(entries.len() as u64);
+            state.metrics.probe_latency_us.observe(span.elapsed_us());
             Ok(Response::Entries(entries))
         }
         Request::Internal { from, key, spec, msg } => {
@@ -426,6 +477,15 @@ async fn handle_request(state: &Arc<State>, req: Request) -> Result<Response, Cl
         Request::SpecOf { key } => {
             let known = state.engines.lock().contains_key(&key);
             Ok(Response::SpecOf(known.then(|| state.spec_of(&key))))
+        }
+        Request::Metrics { reset } => {
+            let (keys, entries) = {
+                let map = state.engines.lock();
+                let keys = map.len() as u64;
+                let entries = map.values().map(|e| e.entries().len() as u64).sum();
+                (keys, entries)
+            };
+            Ok(Response::Metrics(state.metrics.collect(keys, entries, reset)))
         }
     }
 }
@@ -478,13 +538,23 @@ async fn apply(
                     spec: spec_override,
                     msg: m,
                 };
+                state.metrics.internal_sent.inc();
                 if let Err(err) = state.peers[dest.index()].call(&req).await {
-                    // Crashed/unreachable peer: drop, like the simulator.
-                    if !matches!(err, ClusterError::Io(_)) {
-                        eprintln!(
-                            "pls-server[{}]: peer {} rejected internal message: {err}",
-                            state.cfg.me,
-                            dest.index()
+                    state.metrics.internal_send_failures.inc();
+                    if matches!(err, ClusterError::Io(_)) {
+                        // Crashed/unreachable peer: drop, like the simulator.
+                        pls_telemetry::debug!(
+                            "internal_send_dropped",
+                            server = state.cfg.me,
+                            peer = dest.index(),
+                            err = err
+                        );
+                    } else {
+                        pls_telemetry::warn!(
+                            "internal_rejected",
+                            server = state.cfg.me,
+                            peer = dest.index(),
+                            err = err
                         );
                     }
                 }

@@ -451,6 +451,151 @@ async fn conflicting_per_key_strategy_is_rejected() {
 }
 
 #[tokio::test]
+async fn metrics_rpc_reports_per_variant_counts() {
+    let spec = StrategySpec::full_replication();
+    let (addrs, _handles) = spawn_cluster(3, spec, 80).await;
+    let mut client = Client::connect(ClientConfig::new(addrs, spec, 81));
+    client.place(b"k", entries(0..10)).await.unwrap();
+    client.add(b"k", b"extra1".to_vec()).await.unwrap();
+    client.add(b"k", b"extra2".to_vec()).await.unwrap();
+    for _ in 0..5 {
+        let got = client.partial_lookup(b"k", 3).await.unwrap();
+        assert_eq!(got.len(), 3);
+    }
+
+    // Cluster-wide view: the client's requests, summed over servers.
+    let merged = client.cluster_metrics(false).await.unwrap();
+    assert_eq!(merged.counter("pls_requests_total{op=\"place\"}"), Some(1));
+    assert_eq!(merged.counter("pls_requests_total{op=\"add\"}"), Some(2));
+    // Full replication: one probe per lookup.
+    assert_eq!(merged.counter("pls_requests_total{op=\"probe\"}"), Some(5));
+    // Place/add fan out as Internal messages to the other two servers.
+    assert_eq!(merged.counter("pls_requests_total{op=\"internal\"}"), Some(6));
+    assert_eq!(merged.counter("pls_probes_total{strategy=\"full\"}"), Some(5));
+    // Every server materialized one engine for the key.
+    assert_eq!(merged.counter("pls_engines_created_total"), Some(3));
+    assert_eq!(merged.counter("pls_keys"), Some(3));
+    assert!(merged.counter("pls_bytes_read_total").unwrap() > 0);
+    assert!(merged.counter("pls_bytes_written_total").unwrap() > 0);
+    let lat = merged.histogram("pls_request_latency_us").unwrap();
+    assert!(lat.count >= 8, "request latency count {}", lat.count);
+
+    // Client side: the probes-per-lookup histogram covers every lookup,
+    // and the client's probe count matches what the servers saw.
+    let snap = client.metrics_snapshot();
+    let per_lookup = snap.histogram("pls_client_probes_per_lookup").unwrap();
+    assert_eq!(per_lookup.count, 5);
+    assert_eq!(per_lookup.mean(), 1.0);
+    assert_eq!(
+        snap.counter("pls_client_probes_total"),
+        merged.counter("pls_requests_total{op=\"probe\"}")
+    );
+}
+
+#[tokio::test]
+async fn metrics_reset_drains_counters_between_scrapes() {
+    let spec = StrategySpec::fixed(4);
+    let (addrs, _handles) = spawn_cluster(2, spec, 82).await;
+    let mut client = Client::connect(ClientConfig::new(addrs, spec, 83));
+    client.place(b"k", entries(0..6)).await.unwrap();
+    client.partial_lookup(b"k", 2).await.unwrap();
+
+    let first = client.cluster_metrics(true).await.unwrap();
+    assert_eq!(first.counter("pls_requests_total{op=\"place\"}"), Some(1));
+    // The scrape drained every counter; only the scrape itself remains.
+    let second = client.cluster_metrics(false).await.unwrap();
+    assert_eq!(second.counter("pls_requests_total{op=\"place\"}"), Some(0));
+    assert_eq!(second.counter("pls_requests_total{op=\"probe\"}"), Some(0));
+    assert_eq!(second.counter("pls_requests_total{op=\"metrics\"}"), Some(2));
+    // Gauges are point-in-time, not drained.
+    assert_eq!(second.counter("pls_keys"), Some(2));
+}
+
+#[tokio::test]
+async fn round_robin_probe_count_matches_analytic_lookup_cost() {
+    // Round-Robin-2, n=4, h=12: each server holds 6 entries and
+    // consecutive stride contacts are disjoint, so the §4.2 analytic
+    // cost ceil(t·n/(y·h)) is exact — the live client must match it.
+    let spec = StrategySpec::round_robin(2);
+    let (addrs, _handles) = spawn_cluster(4, spec, 84).await;
+    let mut client = Client::connect(ClientConfig::new(addrs, spec, 85));
+    client.place(b"k", entries(0..12)).await.unwrap();
+
+    let lookups = 20usize;
+    for (t, want) in [(6usize, 1.0f64), (12, 2.0)] {
+        let before = client.metrics().probes_per_lookup.snapshot();
+        for _ in 0..lookups {
+            let got = client.partial_lookup(b"k", t).await.unwrap();
+            assert_eq!(got.len(), t);
+        }
+        let mut after = client.metrics().probes_per_lookup.snapshot();
+        // Delta over this batch of lookups.
+        after.count -= before.count;
+        after.sum -= before.sum;
+        let analytic =
+            pls_metrics::lookup_cost::analytic(spec, 12, 4, t).expect("round-robin is closed-form");
+        assert_eq!(analytic, want);
+        assert_eq!(after.count, lookups as u64);
+        assert!(
+            (after.mean() - analytic).abs() < 1e-9,
+            "t={t}: live mean {} vs analytic {analytic}",
+            after.mean()
+        );
+    }
+}
+
+#[tokio::test]
+async fn random_server_probe_count_matches_simulated_expectation() {
+    // RandomServer-x has no closed form (analytic() returns None), so the
+    // oracle is pls-metrics' simulation-measured cost on an identically
+    // shaped pls-core cluster: n=5, x=10, h=20, t=12. (x ≥ t would make a
+    // single probe sufficient; x=10 < t=12 forces merging, while any
+    // placement still covers ≥ 12 distinct entries with overwhelming
+    // probability.)
+    let spec = StrategySpec::random_server(10);
+    assert_eq!(pls_metrics::lookup_cost::analytic(spec, 20, 5, 12), None);
+    let expected = {
+        let mut acc = 0.0;
+        let seeds = 8u64;
+        for seed in 0..seeds {
+            let mut sim = pls_core::Cluster::new(5, spec, 90 + seed).unwrap();
+            sim.place((0..20u64).collect()).unwrap();
+            acc += pls_metrics::lookup_cost::measure(&mut sim, 12, 200);
+        }
+        acc / seeds as f64
+    };
+
+    let (addrs, _handles) = spawn_cluster(5, spec, 86).await;
+    let mut client = Client::connect(ClientConfig::new(addrs, spec, 87));
+    client.place(b"k", entries(0..20)).await.unwrap();
+    let lookups = 200usize;
+    for _ in 0..lookups {
+        let got = client.partial_lookup(b"k", 12).await.unwrap();
+        assert!(got.len() >= 12);
+    }
+
+    let live = client.metrics().probes_per_lookup.snapshot();
+    assert_eq!(live.count, lookups as u64);
+    let measured = live.mean();
+    // Both are means of the same random process; allow a generous margin.
+    assert!(
+        (measured - expected).abs() / expected < 0.25,
+        "live probes/lookup {measured} vs simulated {expected}"
+    );
+
+    // And the servers' own probe counters corroborate the client's view.
+    let merged = client.cluster_metrics(false).await.unwrap();
+    assert_eq!(
+        merged.counter("pls_requests_total{op=\"probe\"}"),
+        Some(client.metrics().probes.get())
+    );
+    assert_eq!(
+        merged.counter_sum("pls_probes_total"),
+        client.metrics().probes.get()
+    );
+}
+
+#[tokio::test]
 async fn many_keys_are_independent() {
     let spec = StrategySpec::hash(2);
     let (addrs, _handles) = spawn_cluster(3, spec, 10).await;

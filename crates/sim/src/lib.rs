@@ -26,6 +26,7 @@
 pub mod distributions;
 pub mod experiments;
 mod simulation;
+pub mod telemetry;
 pub mod workload;
 
 pub use distributions::{DiscreteZipf, Exponential, Lifetime, LifetimeLaw, ZipfLike};

@@ -1,0 +1,103 @@
+//! Bridge between the simulator and the telemetry subsystem.
+//!
+//! The live deployment measures the §4.2 client lookup cost as a
+//! probes-per-lookup histogram (`pls_client_probes_per_lookup`, see
+//! `pls-cluster`). This module produces the *same shape of data* from the
+//! simulator, so runtime-measured and simulation-measured costs can be
+//! compared directly — and both cross-checked against the closed-form
+//! model in [`pls_metrics::lookup_cost`].
+
+use pls_core::{Cluster, Entry, StrategySpec};
+use pls_telemetry::{Histogram, HistogramSnapshot};
+
+/// Runs `lookups` partial lookups of size `t` against the cluster's
+/// current placement and records each lookup's servers-contacted count
+/// in a log₂ histogram — the simulator-side twin of the live client's
+/// `pls_client_probes_per_lookup` metric. The snapshot's
+/// [`mean`](HistogramSnapshot::mean) equals
+/// [`pls_metrics::lookup_cost::measure`] on the same instance (the sum
+/// of contact counts is tracked exactly; only the bucket boundaries are
+/// coarse).
+///
+/// # Panics
+///
+/// Panics if `lookups == 0` or a lookup errors (the §4.2 metric assumes
+/// all servers operational).
+pub fn measure_lookup_cost<V: Entry>(
+    cluster: &mut Cluster<V>,
+    t: usize,
+    lookups: usize,
+) -> HistogramSnapshot {
+    assert!(lookups > 0, "need at least one lookup");
+    let hist = Histogram::new();
+    for _ in 0..lookups {
+        let r = cluster.partial_lookup(t).expect("lookup cost assumes operational servers");
+        hist.observe(r.servers_contacted() as u64);
+    }
+    hist.snapshot()
+}
+
+/// Relative error of a measured probes-per-lookup histogram against the
+/// §4.2 closed-form cost: `|measured.mean() − analytic| / analytic`.
+/// `None` when no closed form exists for the strategy (RandomServer-x,
+/// Hash-y, or Fixed-x with `t > x`) — measure a reference instance
+/// instead.
+pub fn check_against_analytic(
+    spec: StrategySpec,
+    h: usize,
+    n: usize,
+    t: usize,
+    measured: &HistogramSnapshot,
+) -> Option<f64> {
+    let analytic = pls_metrics::lookup_cost::analytic(spec, h, n, t)?;
+    Some((measured.mean() - analytic).abs() / analytic)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn histogram_mean_matches_scalar_measure() {
+        let mut a = Cluster::new(10, StrategySpec::round_robin(2), 3).unwrap();
+        a.place((0..100u64).collect()).unwrap();
+        let mut b = a.clone();
+        let hist = measure_lookup_cost(&mut a, 25, 100);
+        assert_eq!(hist.count, 100);
+        let scalar = pls_metrics::lookup_cost::measure(&mut b, 25, 100);
+        assert!((hist.mean() - scalar).abs() < 1e-9, "{} vs {scalar}", hist.mean());
+    }
+
+    #[test]
+    fn round_robin_measured_cost_has_zero_analytic_error() {
+        let mut c = Cluster::new(10, StrategySpec::round_robin(2), 4).unwrap();
+        c.place((0..100u64).collect()).unwrap();
+        for t in [10, 20, 21, 40] {
+            let hist = measure_lookup_cost(&mut c, t, 50);
+            let err = check_against_analytic(StrategySpec::round_robin(2), 100, 10, t, &hist)
+                .expect("round-robin has a closed form");
+            assert!(err < 1e-9, "t={t}: relative error {err}");
+        }
+    }
+
+    #[test]
+    fn full_replication_costs_exactly_one_probe() {
+        let mut c = Cluster::new(5, StrategySpec::full_replication(), 5).unwrap();
+        c.place((0..30u64).collect()).unwrap();
+        let hist = measure_lookup_cost(&mut c, 10, 40);
+        // Every lookup contacted exactly one server: all observations in
+        // bucket 0, mean 1.
+        assert_eq!(hist.count, 40);
+        assert_eq!(hist.sum, 40);
+        assert_eq!(hist.buckets[0], 40);
+    }
+
+    #[test]
+    fn no_closed_form_yields_none() {
+        let mut c = Cluster::new(10, StrategySpec::random_server(20), 6).unwrap();
+        c.place((0..100u64).collect()).unwrap();
+        let hist = measure_lookup_cost(&mut c, 30, 20);
+        assert!(check_against_analytic(StrategySpec::random_server(20), 100, 10, 30, &hist)
+            .is_none());
+    }
+}

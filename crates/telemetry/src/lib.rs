@@ -1,0 +1,36 @@
+//! Runtime telemetry for the partial lookup service.
+//!
+//! The paper's headline numbers — probes per lookup (§4.2), per-server
+//! load (§4.5) — are *measurements*. This crate gives the deployed
+//! system the machinery to take those measurements at runtime, with the
+//! discipline a hot path demands:
+//!
+//! * [`Counter`] — a relaxed atomic `u64`; `inc`/`add` are single
+//!   `fetch_add` instructions, no locks anywhere.
+//! * [`Histogram`] — a fixed set of log₂ buckets backed entirely by
+//!   atomics. `observe` is two `fetch_add`s plus one for the bucket.
+//!   Snapshots ([`HistogramSnapshot`]) are plain data: they merge across
+//!   servers and serialize over the wire.
+//! * [`MetricsSnapshot`] — a named bag of counter values and histogram
+//!   snapshots; merging snapshots from every server of a cluster yields
+//!   cluster-wide totals, and [`MetricsSnapshot::to_prometheus`] renders
+//!   the standard text exposition format for scraping.
+//! * [`trace`] — a structured logging facade (levels, key/value fields,
+//!   timing spans) with the shape of the `tracing` crate but zero
+//!   dependencies, so binaries and tests can enable it unconditionally.
+//!
+//! Everything here is `std`-only and lock-free on the recording path;
+//! the only allocations happen at snapshot/exposition time.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod counter;
+pub mod histogram;
+pub mod snapshot;
+pub mod trace;
+
+pub use counter::Counter;
+pub use histogram::{Histogram, HistogramSnapshot, BUCKETS};
+pub use snapshot::MetricsSnapshot;
+pub use trace::{Level, Span};

@@ -1,0 +1,203 @@
+//! Named metric snapshots and Prometheus-style text exposition.
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+use crate::histogram::{Histogram, HistogramSnapshot, BUCKETS};
+
+/// A point-in-time bag of named metrics: counter totals and histogram
+/// snapshots.
+///
+/// Counter names follow Prometheus conventions — `snake_case`, a
+/// `_total` suffix for monotonic counters, optional `{label="value"}`
+/// suffixes (e.g. `pls_requests_total{op="probe"}`). The *same* names
+/// from different servers merge by summation ([`merge`]), which is how
+/// the `pls_client stats` command builds a cluster-wide view.
+///
+/// [`merge`]: MetricsSnapshot::merge
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct MetricsSnapshot {
+    /// `(name, total)` pairs, in insertion order.
+    pub counters: Vec<(String, u64)>,
+    /// `(name, snapshot)` pairs, in insertion order.
+    pub histograms: Vec<(String, HistogramSnapshot)>,
+}
+
+impl MetricsSnapshot {
+    /// An empty snapshot.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Appends a counter sample (or adds to it, if the name exists).
+    pub fn push_counter(&mut self, name: impl Into<String>, value: u64) {
+        let name = name.into();
+        match self.counters.iter_mut().find(|(n, _)| *n == name) {
+            Some((_, v)) => *v += value,
+            None => self.counters.push((name, value)),
+        }
+    }
+
+    /// Appends a histogram sample (or merges into it, if the name
+    /// exists).
+    pub fn push_histogram(&mut self, name: impl Into<String>, snap: HistogramSnapshot) {
+        let name = name.into();
+        match self.histograms.iter_mut().find(|(n, _)| *n == name) {
+            Some((_, h)) => h.merge(&snap),
+            None => self.histograms.push((name, snap)),
+        }
+    }
+
+    /// Looks up a counter total by exact name.
+    pub fn counter(&self, name: &str) -> Option<u64> {
+        self.counters.iter().find(|(n, _)| n == name).map(|(_, v)| *v)
+    }
+
+    /// Looks up a histogram by exact name.
+    pub fn histogram(&self, name: &str) -> Option<&HistogramSnapshot> {
+        self.histograms.iter().find(|(n, _)| n == name).map(|(_, h)| h)
+    }
+
+    /// Sums all counters whose name starts with `prefix` (e.g. every
+    /// `pls_requests_total{...}` label variant).
+    pub fn counter_sum(&self, prefix: &str) -> u64 {
+        self.counters.iter().filter(|(n, _)| n.starts_with(prefix)).map(|(_, v)| *v).sum()
+    }
+
+    /// Accumulates another snapshot into this one: counters with equal
+    /// names are summed, histograms with equal names are merged, new
+    /// names are appended.
+    pub fn merge(&mut self, other: &MetricsSnapshot) {
+        for (name, value) in &other.counters {
+            self.push_counter(name.clone(), *value);
+        }
+        for (name, snap) in &other.histograms {
+            self.push_histogram(name.clone(), snap.clone());
+        }
+    }
+
+    /// Renders the snapshot in the Prometheus text exposition format
+    /// (families sorted by name; histograms as cumulative `_bucket`
+    /// series plus `_sum` and `_count`).
+    pub fn to_prometheus(&self) -> String {
+        let mut out = String::new();
+
+        // Group counter samples by family (the name up to any '{').
+        let mut families: BTreeMap<&str, Vec<(&str, u64)>> = BTreeMap::new();
+        for (name, value) in &self.counters {
+            let family = name.split('{').next().unwrap_or(name);
+            families.entry(family).or_default().push((name, *value));
+        }
+        for (family, samples) in families {
+            let kind = if family.ends_with("_total") { "counter" } else { "gauge" };
+            let _ = writeln!(out, "# TYPE {family} {kind}");
+            let mut samples = samples;
+            samples.sort_by(|a, b| a.0.cmp(b.0));
+            for (name, value) in samples {
+                let _ = writeln!(out, "{name} {value}");
+            }
+        }
+
+        let mut hists: Vec<(&str, &HistogramSnapshot)> =
+            self.histograms.iter().map(|(n, h)| (n.as_str(), h)).collect();
+        hists.sort_by(|a, b| a.0.cmp(b.0));
+        for (name, snap) in hists {
+            let _ = writeln!(out, "# TYPE {name} histogram");
+            let mut cumulative = 0u64;
+            for (i, b) in snap.buckets.iter().enumerate() {
+                cumulative += b;
+                // Skip interior empty buckets to keep the output small,
+                // but always emit the +Inf bound.
+                if *b == 0 && i != BUCKETS - 1 {
+                    continue;
+                }
+                let le = Histogram::bucket_upper_bound(i);
+                if le.is_infinite() {
+                    let _ = writeln!(out, "{name}_bucket{{le=\"+Inf\"}} {cumulative}");
+                } else {
+                    let _ = writeln!(out, "{name}_bucket{{le=\"{le}\"}} {cumulative}");
+                }
+            }
+            let _ = writeln!(out, "{name}_sum {}", snap.sum);
+            let _ = writeln!(out, "{name}_count {}", snap.count);
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn hist(values: &[u64]) -> HistogramSnapshot {
+        let h = Histogram::new();
+        for &v in values {
+            h.observe(v);
+        }
+        h.snapshot()
+    }
+
+    #[test]
+    fn push_and_lookup() {
+        let mut s = MetricsSnapshot::new();
+        s.push_counter("a_total", 2);
+        s.push_counter("a_total", 3);
+        s.push_counter("b", 1);
+        assert_eq!(s.counter("a_total"), Some(5));
+        assert_eq!(s.counter("missing"), None);
+        s.push_histogram("h", hist(&[1, 2]));
+        assert_eq!(s.histogram("h").unwrap().count, 2);
+    }
+
+    #[test]
+    fn counter_sum_over_label_variants() {
+        let mut s = MetricsSnapshot::new();
+        s.push_counter("req_total{op=\"a\"}", 2);
+        s.push_counter("req_total{op=\"b\"}", 3);
+        s.push_counter("other_total", 100);
+        assert_eq!(s.counter_sum("req_total"), 5);
+    }
+
+    #[test]
+    fn merge_sums_counters_and_merges_histograms() {
+        let mut a = MetricsSnapshot::new();
+        a.push_counter("c_total", 1);
+        a.push_histogram("h", hist(&[4]));
+        let mut b = MetricsSnapshot::new();
+        b.push_counter("c_total", 2);
+        b.push_counter("only_b_total", 9);
+        b.push_histogram("h", hist(&[8, 8]));
+        a.merge(&b);
+        assert_eq!(a.counter("c_total"), Some(3));
+        assert_eq!(a.counter("only_b_total"), Some(9));
+        let h = a.histogram("h").unwrap();
+        assert_eq!(h.count, 3);
+        assert_eq!(h.sum, 20);
+    }
+
+    #[test]
+    fn prometheus_exposition_shape() {
+        let mut s = MetricsSnapshot::new();
+        s.push_counter("pls_requests_total{op=\"probe\"}", 7);
+        s.push_counter("pls_requests_total{op=\"add\"}", 2);
+        s.push_counter("pls_keys", 3);
+        s.push_histogram("pls_probes_per_lookup", hist(&[1, 2, 2, 5]));
+        let text = s.to_prometheus();
+
+        assert!(text.contains("# TYPE pls_requests_total counter"), "{text}");
+        assert!(text.contains("# TYPE pls_keys gauge"), "{text}");
+        assert!(text.contains("pls_requests_total{op=\"probe\"} 7"), "{text}");
+        assert!(text.contains("pls_requests_total{op=\"add\"} 2"), "{text}");
+        // The TYPE line for a family appears exactly once.
+        assert_eq!(text.matches("# TYPE pls_requests_total").count(), 1, "{text}");
+
+        assert!(text.contains("# TYPE pls_probes_per_lookup histogram"), "{text}");
+        // Cumulative buckets: one obs <=1, three <=3, four <=7; +Inf = 4.
+        assert!(text.contains("pls_probes_per_lookup_bucket{le=\"1\"} 1"), "{text}");
+        assert!(text.contains("pls_probes_per_lookup_bucket{le=\"3\"} 3"), "{text}");
+        assert!(text.contains("pls_probes_per_lookup_bucket{le=\"7\"} 4"), "{text}");
+        assert!(text.contains("pls_probes_per_lookup_bucket{le=\"+Inf\"} 4"), "{text}");
+        assert!(text.contains("pls_probes_per_lookup_sum 10"), "{text}");
+        assert!(text.contains("pls_probes_per_lookup_count 4"), "{text}");
+    }
+}

@@ -21,6 +21,11 @@
 //!   experiment driver per table/figure.
 //! * [`cluster`] — a real TCP deployment of the same protocol engines,
 //!   with a client library.
+//! * [`telemetry`] — lock-free runtime metrics (atomic counters, log₂
+//!   histograms, Prometheus-style exposition) and a zero-dependency
+//!   structured tracing facade; the cluster uses it to measure the §4.2
+//!   lookup cost on live traffic (see the README's Observability
+//!   section).
 //!
 //! # Quickstart
 //!
@@ -50,6 +55,7 @@ pub use pls_core as core;
 pub use pls_metrics as metrics;
 pub use pls_net as net;
 pub use pls_sim as sim;
+pub use pls_telemetry as telemetry;
 
 // The types almost every user touches, at the crate root.
 pub use pls_core::{
