@@ -10,16 +10,22 @@
 //!   delete KEY ENTRY              delete one entry
 //!   lookup KEY T                  partial lookup: at least T entries
 //!   status                        per-server key/entry counts
-//!   stats [--reset]               cluster-wide metrics, Prometheus text
-//!                                 format (alias: metrics); --reset drains
-//!                                 each server's counters as they are read
+//!   stats [--reset] [--raw]       cluster-wide metrics (alias: metrics):
+//!                                 a human-readable summary with latency
+//!                                 quantiles, live quality gauges, and the
+//!                                 hottest keys; --raw prints the merged
+//!                                 Prometheus text exposition instead;
+//!                                 --reset drains each server's counters
+//!                                 as they are read
 //! ```
 
 use std::net::SocketAddr;
 use std::process::ExitCode;
 
 use pls_cluster::{parse_spec, Client, ClientConfig};
+use pls_telemetry::snapshot::parse_labels;
 use pls_telemetry::trace;
+use pls_telemetry::MetricsSnapshot;
 
 struct Options {
     cfg: ClientConfig,
@@ -125,14 +131,90 @@ async fn run(opts: Options) -> Result<(), String> {
                 }
             }
         }
-        ["stats"] | ["metrics"] | ["stats", "--reset"] | ["metrics", "--reset"] => {
-            let reset = matches!(cmd.last(), Some(&"--reset"));
+        [name, flags @ ..] if *name == "stats" || *name == "metrics" => {
+            let mut reset = false;
+            let mut raw = false;
+            for flag in flags {
+                match *flag {
+                    "--reset" => reset = true,
+                    "--raw" => raw = true,
+                    other => return Err(format!("unknown {name} flag `{other}` (try --raw)")),
+                }
+            }
             let merged = client.cluster_metrics(reset).await.map_err(|e| e.to_string())?;
-            print!("{}", merged.to_prometheus());
+            if raw {
+                print!("{}", merged.to_prometheus());
+            } else {
+                print_stats_table(&merged);
+            }
         }
         other => return Err(format!("unknown command {other:?}")),
     }
     Ok(())
+}
+
+/// Renders the merged cluster metrics as a human-readable summary: raw
+/// totals, latency quantiles from the histogram snapshots, the
+/// recomputed cluster-level live quality gauges, and the hottest keys.
+fn print_stats_table(merged: &MetricsSnapshot) {
+    println!("cluster totals");
+    println!("  keys                 {:>10}", merged.counter("pls_keys").unwrap_or(0));
+    println!("  entries              {:>10}", merged.counter("pls_entries").unwrap_or(0));
+    println!("  requests served      {:>10}", merged.counter_sum("pls_requests_total"));
+    println!("  probes served        {:>10}", merged.counter_sum("pls_probes_total"));
+    println!(
+        "  request errors       {:>10}",
+        merged.counter("pls_request_errors_total").unwrap_or(0)
+    );
+
+    println!("live quality (cluster-level, recomputed from per-entry hits)");
+    match merged.gauge("pls_live_unfairness") {
+        Some(u) => println!("  unfairness (CoV)     {u:>10.4}"),
+        None => println!("  unfairness (CoV)     {:>10}", "n/a"),
+    }
+    match merged.gauge("pls_live_coverage") {
+        Some(c) => println!("  coverage             {c:>10.4}"),
+        None => println!("  coverage             {:>10}", "n/a"),
+    }
+
+    println!("latency (us)           {:>8} {:>8} {:>8} {:>8}", "p50", "p90", "p99", "mean");
+    for (label, name) in
+        [("request", "pls_request_latency_us"), ("probe", "pls_probe_latency_us")]
+    {
+        if let Some(h) = merged.histogram(name) {
+            if !h.is_empty() {
+                println!(
+                    "  {label:<21}{:>8.0} {:>8.0} {:>8.0} {:>8.0}",
+                    h.quantile(0.50),
+                    h.quantile(0.90),
+                    h.quantile(0.99),
+                    h.mean()
+                );
+            }
+        }
+    }
+
+    // Hottest keys across the cluster: every server's sketch exports
+    // `pls_hot_key_probes{key=..}` series, summed by the merge.
+    let mut hot: Vec<(String, u64)> = merged
+        .counters
+        .iter()
+        .filter_map(|(name, value)| {
+            let (family, labels) = parse_labels(name)?;
+            if family != "pls_hot_key_probes" {
+                return None;
+            }
+            let (_, key) = labels.into_iter().find(|(k, _)| k == "key")?;
+            Some((key, *value))
+        })
+        .collect();
+    hot.sort_by(|a, b| b.1.cmp(&a.1).then_with(|| a.0.cmp(&b.0)));
+    if !hot.is_empty() {
+        println!("hottest keys               probes");
+        for (key, count) in hot.iter().take(10) {
+            println!("  {key:<24} {count:>8}");
+        }
+    }
 }
 
 fn main() -> ExitCode {

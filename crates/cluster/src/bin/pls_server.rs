@@ -1,15 +1,21 @@
 //! `pls-server` — one lookup server of a partial lookup cluster.
 //!
 //! ```text
-//! pls-server --index N --peers HOST:PORT,HOST:PORT,... --strategy SPEC [--seed S] [--log LEVEL]
+//! pls-server --index N --peers HOST:PORT,HOST:PORT,... --strategy SPEC
+//!            [--seed S] [--log LEVEL] [--metrics-addr HOST:PORT] [--slow-ms MS]
 //!
-//!   --index     this server's position in the peer list (0-based;
-//!               index 0 is the Round-Robin coordinator)
-//!   --peers     every server's address, comma-separated, in id order
-//!   --strategy  full | fixed:X | random:X | round:Y | hash:Y
-//!   --seed      cluster-wide seed (must match on every server; default 0)
-//!   --log       error|warn|info|debug|trace|off (default info); structured
-//!               key=value events on stderr
+//!   --index         this server's position in the peer list (0-based;
+//!                   index 0 is the Round-Robin coordinator)
+//!   --peers         every server's address, comma-separated, in id order
+//!   --strategy      full | fixed:X | random:X | round:Y | hash:Y
+//!   --seed          cluster-wide seed (must match on every server; default 0)
+//!   --log           error|warn|info|debug|trace|off (default info); structured
+//!                   key=value events on stderr
+//!   --metrics-addr  serve `GET /metrics` (Prometheus text, including the
+//!                   live unfairness/coverage gauges and hottest keys)
+//!                   on this address
+//!   --slow-ms       warn-log any request handled slower than MS
+//!                   milliseconds, with its request id
 //! ```
 //!
 //! Example 3-server cluster on one machine:
@@ -26,11 +32,13 @@ use std::process::ExitCode;
 use pls_cluster::{parse_spec, Server, ServerConfig};
 use pls_telemetry::trace;
 
-fn parse_args() -> Result<ServerConfig, String> {
+fn parse_args() -> Result<(ServerConfig, Option<SocketAddr>), String> {
     let mut index: Option<usize> = None;
     let mut peers: Option<Vec<SocketAddr>> = None;
     let mut spec = None;
     let mut seed = 0u64;
+    let mut metrics_addr: Option<SocketAddr> = None;
+    let mut slow_ms: Option<u64> = None;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         let mut value = |name: &str| args.next().ok_or(format!("{name} needs a value"));
@@ -48,10 +56,19 @@ fn parse_args() -> Result<ServerConfig, String> {
             "--seed" => {
                 seed = value("--seed")?.parse().map_err(|e| format!("--seed: {e}"))?;
             }
+            "--metrics-addr" => {
+                metrics_addr = Some(
+                    value("--metrics-addr")?.parse().map_err(|e| format!("--metrics-addr: {e}"))?,
+                );
+            }
+            "--slow-ms" => {
+                slow_ms = Some(value("--slow-ms")?.parse().map_err(|e| format!("--slow-ms: {e}"))?);
+            }
             "--log" => trace::init_from_str(&value("--log")?)?,
             "--help" | "-h" => {
                 return Err(
-                    "usage: pls-server --index N --peers A,B,... --strategy SPEC [--seed S] [--log LEVEL]"
+                    "usage: pls-server --index N --peers A,B,... --strategy SPEC [--seed S] \
+                     [--log LEVEL] [--metrics-addr HOST:PORT] [--slow-ms MS]"
                         .to_string(),
                 )
             }
@@ -64,15 +81,19 @@ fn parse_args() -> Result<ServerConfig, String> {
     if index >= peers.len() {
         return Err(format!("--index {index} out of range for {} peers", peers.len()));
     }
-    Ok(ServerConfig::new(index, peers, spec, seed))
+    let mut cfg = ServerConfig::new(index, peers, spec, seed);
+    if let Some(ms) = slow_ms {
+        cfg = cfg.with_slow_ms(ms);
+    }
+    Ok((cfg, metrics_addr))
 }
 
 fn main() -> ExitCode {
     // Default level until (and unless) --log overrides it, so argument
     // errors and the startup line are visible out of the box.
     trace::init(Some(pls_telemetry::Level::Info));
-    let cfg = match parse_args() {
-        Ok(cfg) => cfg,
+    let (cfg, metrics_addr) = match parse_args() {
+        Ok(parsed) => parsed,
         Err(msg) => {
             pls_telemetry::error!(msg);
             return ExitCode::FAILURE;
@@ -91,6 +112,22 @@ fn main() -> ExitCode {
         match Server::bind(cfg).await {
             Ok((server, addr)) => {
                 pls_telemetry::info!("serving", server = me, strategy = spec, addr = addr);
+                if let Some(maddr) = metrics_addr {
+                    match tokio::net::TcpListener::bind(maddr).await {
+                        Ok(listener) => {
+                            let bound = listener.local_addr().unwrap_or(maddr);
+                            pls_telemetry::info!("metrics_serving", server = me, addr = bound);
+                            tokio::spawn(pls_cluster::http::serve(
+                                listener,
+                                server.metrics_renderer(),
+                            ));
+                        }
+                        Err(err) => {
+                            pls_telemetry::error!("metrics_bind_failed", addr = maddr, err = err);
+                            return ExitCode::FAILURE;
+                        }
+                    }
+                }
                 tokio::select! {
                     _ = server.run() => ExitCode::SUCCESS,
                     _ = tokio::signal::ctrl_c() => {

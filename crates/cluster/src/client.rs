@@ -1,6 +1,7 @@
 //! The client library: the §3 lookup procedures over real sockets.
 
 use std::net::SocketAddr;
+use std::sync::atomic::{AtomicU64, Ordering};
 
 use pls_core::{DetRng, ServiceError, StrategySpec};
 use pls_net::ServerId;
@@ -10,7 +11,7 @@ use pls_telemetry::{Level, MetricsSnapshot};
 use crate::error::ClusterError;
 use crate::metrics::ClientMetrics;
 use crate::proto::{Entry, Request, Response};
-use crate::rpc::PeerClient;
+use crate::rpc::{splitmix64, PeerClient};
 
 /// Client-side configuration: where the servers are and which strategy
 /// they run (the client procedures are strategy-specific).
@@ -45,22 +46,49 @@ pub struct Client {
     /// Lock-free runtime counters; most importantly the probes-per-lookup
     /// histogram (the live-measured §4.2 client lookup cost).
     metrics: ClientMetrics,
+    /// Request-id generator: each client *operation* (one lookup, one
+    /// update, one scrape) draws a fresh id, stamps it on every frame it
+    /// sends — probes, retries, the internal fan-out the servers run on
+    /// its behalf — and on every tracing event, so one operation can be
+    /// followed across the whole cluster.
+    ids: AtomicU64,
+    /// The id most recently drawn, for callers correlating their own
+    /// logs with the cluster's.
+    last_id: AtomicU64,
 }
 
 impl Client {
     /// Creates a client; no connections are opened until first use.
     pub fn connect(cfg: ClientConfig) -> Self {
+        let first_id = splitmix64(cfg.seed);
         Client {
             spec: cfg.spec,
             key_specs: std::collections::HashMap::new(),
             peers: std::sync::Arc::new(cfg.servers.into_iter().map(PeerClient::new).collect()),
             rng: DetRng::seed_from(cfg.seed),
             metrics: ClientMetrics::new(),
+            ids: AtomicU64::new(first_id),
+            last_id: AtomicU64::new(first_id),
         }
     }
 
     fn n(&self) -> usize {
         self.peers.len()
+    }
+
+    /// Draws the id for one client operation and records it as the most
+    /// recent one.
+    fn fresh_id(&self) -> u64 {
+        let id = self.ids.fetch_add(0x9E37_79B9_7F4A_7C15, Ordering::Relaxed);
+        self.last_id.store(id, Ordering::Relaxed);
+        id
+    }
+
+    /// The request id stamped on this client's most recent operation —
+    /// the value to grep for (`req=<id>`) in server logs when tracing a
+    /// lookup or update end to end.
+    pub fn last_request_id(&self) -> u64 {
+        self.last_id.load(Ordering::Relaxed)
     }
 
     /// The strategy in effect for a key: its recorded per-key override,
@@ -73,10 +101,11 @@ impl Client {
     /// keys, any reachable server otherwise (tried in random order).
     async fn update(&mut self, key: &[u8], req: Request) -> Result<(), ClusterError> {
         self.metrics.updates.inc();
+        let id = self.fresh_id();
         if matches!(self.spec_of(key), StrategySpec::RoundRobin { .. }) {
-            if let Err(err) = self.peers[0].call(&req).await {
+            if let Err(err) = self.peers[0].call(id, &req).await {
                 self.metrics.update_failures.inc();
-                pls_telemetry::debug!("update_failed", coordinator = 0, err = err);
+                pls_telemetry::debug!("update_failed", req = id, coordinator = 0, err = err);
                 return Err(err);
             }
             return Ok(());
@@ -84,12 +113,12 @@ impl Client {
         let order = self.rng.shuffled_servers(self.n());
         let mut last_err = ClusterError::NoServerAvailable;
         for s in order {
-            match self.peers[s.index()].call(&req).await {
+            match self.peers[s.index()].call(id, &req).await {
                 Ok(_) => return Ok(()),
                 Err(err @ ClusterError::Io(_)) => {
                     // Failed server: retry on the next one.
                     self.metrics.update_retries.inc();
-                    pls_telemetry::debug!("update_retry", server = s.index(), err = err);
+                    pls_telemetry::debug!("update_retry", req = id, server = s.index(), err = err);
                     last_err = err;
                 }
                 Err(other) => {
@@ -154,15 +183,23 @@ impl Client {
         self.update(key, Request::Delete { key: key.to_vec(), entry }).await
     }
 
-    /// One probe against one server. `Err` means unreachable.
-    async fn probe(&self, s: ServerId, key: &[u8], t: usize) -> Result<Vec<Entry>, ClusterError> {
+    /// One probe against one server, stamped with the surrounding
+    /// operation's request id. `Err` means unreachable.
+    async fn probe(
+        &self,
+        id: u64,
+        s: ServerId,
+        key: &[u8],
+        t: usize,
+    ) -> Result<Vec<Entry>, ClusterError> {
         let req = Request::Probe { key: key.to_vec(), t: t as u32 };
-        match self.peers[s.index()].call(&req).await {
+        match self.peers[s.index()].call(id, &req).await {
             Ok(Response::Entries(entries)) => {
                 self.metrics.probes.inc();
                 pls_telemetry::event!(
                     Level::Trace,
                     "probe_answered",
+                    req = id,
                     server = s.index(),
                     returned = entries.len()
                 );
@@ -174,7 +211,7 @@ impl Client {
             }
             Err(err) => {
                 self.metrics.probe_failures.inc();
-                pls_telemetry::debug!("probe_failed", server = s.index(), err = err);
+                pls_telemetry::debug!("probe_failed", req = id, server = s.index(), err = err);
                 Err(err)
             }
         }
@@ -200,17 +237,18 @@ impl Client {
             return Err(ClusterError::Service(ServiceError::ZeroTarget));
         }
         self.metrics.lookups.inc();
-        let span = Span::enter(Level::Debug, module_path!(), "partial_lookup");
+        let id = self.fresh_id();
+        let span = Span::enter_with_id(Level::Debug, module_path!(), "partial_lookup", id);
         let probes_before = self.metrics.probes.get();
         let result = match self.spec_of(key) {
             StrategySpec::FullReplication | StrategySpec::Fixed { .. } => {
-                self.lookup_single(key, t).await
+                self.lookup_single(id, key, t).await
             }
             StrategySpec::RandomServer { .. } | StrategySpec::Hash { .. } => {
                 let order = self.rng.shuffled_servers(self.n());
-                self.lookup_merge(key, t, order).await
+                self.lookup_merge(id, key, t, order).await
             }
-            StrategySpec::RoundRobin { y } => self.lookup_stride(key, t, y).await,
+            StrategySpec::RoundRobin { y } => self.lookup_stride(id, key, t, y).await,
         };
         if result.is_ok() {
             // Servers contacted for this lookup: the client lookup cost.
@@ -220,10 +258,15 @@ impl Client {
         result
     }
 
-    async fn lookup_single(&mut self, key: &[u8], t: usize) -> Result<Vec<Entry>, ClusterError> {
+    async fn lookup_single(
+        &mut self,
+        id: u64,
+        key: &[u8],
+        t: usize,
+    ) -> Result<Vec<Entry>, ClusterError> {
         let order = self.rng.shuffled_servers(self.n());
         for s in order {
-            match self.probe(s, key, t).await {
+            match self.probe(id, s, key, t).await {
                 Ok(entries) => return Ok(entries),
                 Err(ClusterError::Io(_)) => continue, // failed server: pick another
                 Err(other) => return Err(other),
@@ -234,6 +277,7 @@ impl Client {
 
     async fn lookup_merge(
         &mut self,
+        id: u64,
         key: &[u8],
         t: usize,
         order: Vec<ServerId>,
@@ -241,7 +285,7 @@ impl Client {
         let mut acc: Vec<Entry> = Vec::new();
         let mut reached_any = false;
         for s in order {
-            let answer = match self.probe(s, key, t).await {
+            let answer = match self.probe(id, s, key, t).await {
                 Ok(a) => a,
                 Err(ClusterError::Io(_)) => continue,
                 Err(other) => return Err(other),
@@ -264,6 +308,7 @@ impl Client {
 
     async fn lookup_stride(
         &mut self,
+        id: u64,
         key: &[u8],
         t: usize,
         y: usize,
@@ -279,7 +324,7 @@ impl Client {
         let mut cur = start;
         while !visited[cur.index()] && acc.len() < t {
             visited[cur.index()] = true;
-            match self.probe(cur, key, t).await {
+            match self.probe(id, cur, key, t).await {
                 Ok(answer) => {
                     reached_any = true;
                     for v in answer {
@@ -300,7 +345,7 @@ impl Client {
                 (0..n as u32).map(ServerId::new).filter(|s| !visited[s.index()]).collect();
             self.rng.shuffle(&mut rest);
             for s in rest {
-                match self.probe(s, key, t).await {
+                match self.probe(id, s, key, t).await {
                     Ok(answer) => {
                         reached_any = true;
                         for v in answer {
@@ -359,7 +404,8 @@ impl Client {
             return Err(ClusterError::Service(ServiceError::ZeroTarget));
         }
         self.metrics.lookups.inc();
-        let span = Span::enter(Level::Debug, module_path!(), "partial_lookup_parallel");
+        let id = self.fresh_id();
+        let span = Span::enter_with_id(Level::Debug, module_path!(), "partial_lookup_parallel", id);
         let probes_before = self.metrics.probes.get();
         let order = self.rng.shuffled_servers(self.n());
         let mut acc: Vec<Entry> = Vec::new();
@@ -369,7 +415,7 @@ impl Client {
             for &s in wave {
                 let peers = std::sync::Arc::clone(&self.peers);
                 let req = Request::Probe { key: key.to_vec(), t: t as u32 };
-                tasks.spawn(async move { peers[s.index()].call(&req).await });
+                tasks.spawn(async move { peers[s.index()].call(id, &req).await });
             }
             while let Some(joined) = tasks.join_next().await {
                 match joined.expect("probe task never panics") {
@@ -423,10 +469,11 @@ impl Client {
         &mut self,
         key: &[u8],
     ) -> Result<Option<StrategySpec>, ClusterError> {
+        let id = self.fresh_id();
         let order = self.rng.shuffled_servers(self.n());
         let mut reached_any = false;
         for s in order {
-            match self.peers[s.index()].call(&Request::SpecOf { key: key.to_vec() }).await {
+            match self.peers[s.index()].call(id, &Request::SpecOf { key: key.to_vec() }).await {
                 Ok(Response::SpecOf(Some(spec))) => {
                     self.key_specs.insert(key.to_vec(), spec);
                     return Ok(Some(spec));
@@ -449,7 +496,7 @@ impl Client {
     ///
     /// I/O errors when the server is unreachable.
     pub async fn status_of(&self, server: usize) -> Result<(u64, u64), ClusterError> {
-        match self.peers[server].call(&Request::Status).await? {
+        match self.peers[server].call(self.fresh_id(), &Request::Status).await? {
             Response::Status { keys, entries } => Ok((keys, entries)),
             other => Err(ClusterError::Remote(format!("unexpected status response {other:?}"))),
         }
@@ -496,7 +543,7 @@ impl Client {
         server: usize,
         reset: bool,
     ) -> Result<MetricsSnapshot, ClusterError> {
-        match self.peers[server].call(&Request::Metrics { reset }).await? {
+        match self.peers[server].call(self.fresh_id(), &Request::Metrics { reset }).await? {
             Response::Metrics(snap) => Ok(snap),
             other => Err(ClusterError::Remote(format!("unexpected metrics response {other:?}"))),
         }
@@ -505,6 +552,12 @@ impl Client {
     /// Cluster-wide metrics: every reachable server's snapshot, merged
     /// (same-named counters summed, same-named histograms merged).
     /// Unreachable servers are skipped.
+    ///
+    /// The `pls_live_unfairness` / `pls_live_coverage` gauges are
+    /// **recomputed** from the merged `pls_entry_hits_total` counters
+    /// ([`live_quality_from_merged`](crate::metrics::live_quality_from_merged)):
+    /// per-server gauge readings only describe each server's own share
+    /// and cannot be combined directly.
     ///
     /// # Errors
     ///
@@ -525,6 +578,10 @@ impl Client {
         }
         if reached == 0 {
             return Err(ClusterError::NoServerAvailable);
+        }
+        if let Some((u, c)) = crate::metrics::live_quality_from_merged(&merged) {
+            merged.push_gauge("pls_live_unfairness", u);
+            merged.push_gauge("pls_live_coverage", c);
         }
         Ok(merged)
     }

@@ -1,0 +1,184 @@
+//! A minimal, dependency-free HTTP/1.1 metrics exporter.
+//!
+//! One job: answer `GET /metrics` with the Prometheus text exposition
+//! so any off-the-shelf scraper (or `curl`) can watch a live server's
+//! quality gauges without speaking the binary wire protocol. This is
+//! deliberately not a web framework — requests are parsed just enough
+//! to route (`GET`/`HEAD` on `/metrics`, 404 elsewhere, 400 for
+//! garbage), every response carries `Content-Length` and
+//! `Connection: close`, and the connection is then dropped.
+
+use std::sync::Arc;
+
+use tokio::io::{AsyncReadExt, AsyncWriteExt};
+use tokio::net::{TcpListener, TcpStream};
+
+/// Most bytes of request head we are willing to buffer before calling
+/// the request malformed.
+const MAX_REQUEST_HEAD: usize = 8 * 1024;
+
+/// Content type of the Prometheus text exposition format.
+const CONTENT_TYPE: &str = "text/plain; version=0.0.4; charset=utf-8";
+
+/// Accept loop: serves `GET /metrics` (and `HEAD`) on `listener`,
+/// rendering a fresh exposition via `render` per request. Runs until
+/// the task is dropped; typically spawned next to [`Server::run`].
+///
+/// [`Server::run`]: crate::server::Server::run
+pub async fn serve(listener: TcpListener, render: Arc<dyn Fn() -> String + Send + Sync>) {
+    loop {
+        let (socket, _) = match listener.accept().await {
+            Ok(pair) => pair,
+            Err(err) => {
+                pls_telemetry::warn!("metrics_accept_error", err = err);
+                continue;
+            }
+        };
+        let render = Arc::clone(&render);
+        tokio::spawn(async move {
+            // Serve-and-close; errors are the client's problem.
+            let _ = serve_one(socket, &*render).await;
+        });
+    }
+}
+
+/// Reads one request head and writes the matching response.
+async fn serve_one(
+    mut socket: TcpStream,
+    render: &(dyn Fn() -> String + Send + Sync),
+) -> std::io::Result<()> {
+    let head = match read_request_head(&mut socket).await? {
+        Some(head) => head,
+        None => return respond(&mut socket, 400, "Bad Request", "bad request\n", false).await,
+    };
+    match parse_request_line(&head) {
+        Some((method, "/metrics")) if method == "GET" || method == "HEAD" => {
+            let body = render();
+            respond(&mut socket, 200, "OK", &body, method == "HEAD").await
+        }
+        Some((_, "/metrics")) => {
+            respond(&mut socket, 405, "Method Not Allowed", "method not allowed\n", false).await
+        }
+        Some(_) => respond(&mut socket, 404, "Not Found", "not found\n", false).await,
+        None => respond(&mut socket, 400, "Bad Request", "bad request\n", false).await,
+    }
+}
+
+/// Buffers up to the end of the request head (`\r\n\r\n`). Returns
+/// `None` when the head never terminates within [`MAX_REQUEST_HEAD`]
+/// bytes (or the peer hangs up first).
+async fn read_request_head(socket: &mut TcpStream) -> std::io::Result<Option<Vec<u8>>> {
+    let mut head = Vec::with_capacity(256);
+    let mut buf = [0u8; 512];
+    loop {
+        let n = socket.read(&mut buf).await?;
+        if n == 0 {
+            return Ok(None);
+        }
+        head.extend_from_slice(&buf[..n]);
+        if head.windows(4).any(|w| w == b"\r\n\r\n") {
+            return Ok(Some(head));
+        }
+        if head.len() > MAX_REQUEST_HEAD {
+            return Ok(None);
+        }
+    }
+}
+
+/// Splits the request line into method and path; `None` if it is not
+/// plausibly HTTP/1.x.
+fn parse_request_line(head: &[u8]) -> Option<(&str, &str)> {
+    let line_end = head.windows(2).position(|w| w == b"\r\n")?;
+    let line = std::str::from_utf8(&head[..line_end]).ok()?;
+    let mut parts = line.split(' ');
+    let method = parts.next()?;
+    let path = parts.next()?;
+    let version = parts.next()?;
+    if parts.next().is_some() || !version.starts_with("HTTP/1.") {
+        return None;
+    }
+    // Scrape query strings are ignored, like real exporters do.
+    let path = path.split('?').next().unwrap_or(path);
+    Some((method, path))
+}
+
+async fn respond(
+    socket: &mut TcpStream,
+    status: u16,
+    reason: &str,
+    body: &str,
+    head_only: bool,
+) -> std::io::Result<()> {
+    let header = format!(
+        "HTTP/1.1 {status} {reason}\r\nContent-Type: {CONTENT_TYPE}\r\n\
+         Content-Length: {}\r\nConnection: close\r\n\r\n",
+        body.len()
+    );
+    socket.write_all(header.as_bytes()).await?;
+    if !head_only {
+        socket.write_all(body.as_bytes()).await?;
+    }
+    socket.flush().await?;
+    socket.shutdown().await
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn request_line_parsing() {
+        assert_eq!(
+            parse_request_line(b"GET /metrics HTTP/1.1\r\nHost: x\r\n\r\n"),
+            Some(("GET", "/metrics"))
+        );
+        assert_eq!(
+            parse_request_line(b"HEAD /metrics?ts=1 HTTP/1.0\r\n\r\n"),
+            Some(("HEAD", "/metrics"))
+        );
+        assert_eq!(parse_request_line(b"GET /metrics\r\n\r\n"), None); // no version
+        assert_eq!(parse_request_line(b"GET /metrics SPDY/3\r\n\r\n"), None);
+        assert_eq!(parse_request_line(b"\xff\xfe oops HTTP/1.1\r\n\r\n"), None);
+        assert_eq!(parse_request_line(b"no crlf"), None);
+    }
+
+    async fn request(addr: std::net::SocketAddr, raw: &str) -> String {
+        let mut sock = TcpStream::connect(addr).await.unwrap();
+        sock.write_all(raw.as_bytes()).await.unwrap();
+        let mut out = String::new();
+        sock.read_to_string(&mut out).await.unwrap();
+        out
+    }
+
+    #[tokio::test]
+    async fn exporter_routes_and_closes() {
+        let listener = TcpListener::bind("127.0.0.1:0").await.unwrap();
+        let addr = listener.local_addr().unwrap();
+        let render: Arc<dyn Fn() -> String + Send + Sync> =
+            Arc::new(|| "# TYPE pls_live_coverage gauge\npls_live_coverage 1\n".to_string());
+        let exporter = tokio::spawn(serve(listener, render));
+
+        let ok = request(addr, "GET /metrics HTTP/1.1\r\nHost: t\r\n\r\n").await;
+        assert!(ok.starts_with("HTTP/1.1 200 OK\r\n"), "{ok}");
+        assert!(ok.contains("Content-Type: text/plain; version=0.0.4"), "{ok}");
+        assert!(ok.contains("Connection: close"), "{ok}");
+        assert!(ok.ends_with("pls_live_coverage 1\n"), "{ok}");
+        let body_len = ok.split("\r\n\r\n").nth(1).unwrap().len();
+        assert!(ok.contains(&format!("Content-Length: {body_len}\r\n")), "{ok}");
+
+        let head = request(addr, "HEAD /metrics HTTP/1.1\r\n\r\n").await;
+        assert!(head.starts_with("HTTP/1.1 200 OK\r\n"), "{head}");
+        assert!(!head.contains("pls_live_coverage"), "{head}");
+
+        let missing = request(addr, "GET /other HTTP/1.1\r\n\r\n").await;
+        assert!(missing.starts_with("HTTP/1.1 404"), "{missing}");
+
+        let wrong_method = request(addr, "POST /metrics HTTP/1.1\r\n\r\n").await;
+        assert!(wrong_method.starts_with("HTTP/1.1 405"), "{wrong_method}");
+
+        let garbage = request(addr, "not http at all\r\n\r\n").await;
+        assert!(garbage.starts_with("HTTP/1.1 400"), "{garbage}");
+
+        exporter.abort();
+    }
+}

@@ -22,9 +22,16 @@
 //!   ([`metrics`], built on [`pls_telemetry`]): per-request-variant
 //!   counters, per-strategy probe counts, wire byte totals, and the
 //!   probes-per-lookup histogram that measures the paper's §4.2 client
-//!   lookup cost on the live deployment. Scrape one server with
-//!   [`proto::Request::Metrics`] or the whole cluster with
-//!   [`Client::cluster_metrics`] / `pls-client stats`.
+//!   lookup cost on the live deployment. On top sit the *live quality*
+//!   series — online unfairness and coverage gauges, per-entry
+//!   retrieval counters, and a Space-Saving hot-key sketch. Scrape one
+//!   server with [`proto::Request::Metrics`], over HTTP via the
+//!   [`http`] exporter (`pls-server --metrics-addr`), or the whole
+//!   cluster with [`Client::cluster_metrics`] / `pls-client stats`.
+//! * Every request frame carries a client-generated **request id**
+//!   ([`wire`]); servers echo it, propagate it through internal
+//!   fan-out, and stamp it (`req=...`) on their tracing events, so one
+//!   lookup can be correlated across every machine it touched.
 //!
 //! # Example
 //!
@@ -54,6 +61,7 @@
 
 mod client;
 mod error;
+pub mod http;
 pub mod metrics;
 pub mod proto;
 mod rpc;

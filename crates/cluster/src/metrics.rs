@@ -1,22 +1,32 @@
 //! Runtime metrics of the networked deployment.
 //!
-//! Two metric sets, both lock-free (atomics only, no mutex on any
-//! request path):
+//! Two metric sets, lock-free or shard-locked on every request path:
 //!
 //! * [`ServerMetrics`] — per-server counters and latency histograms,
-//!   exposed over the wire via [`Request::Metrics`] and scraped with
-//!   `pls-client stats`.
+//!   plus the *live quality* machinery: a Space-Saving hot-key sketch,
+//!   per-`(key, entry)` retrieval counters, and the online unfairness
+//!   (§4.5) / coverage (§4.3) gauges computed from them at collection
+//!   time. Exposed over the wire via [`Request::Metrics`], scraped with
+//!   `pls-client stats`, and served over HTTP by
+//!   [`http::serve`](crate::http::serve).
 //! * [`ClientMetrics`] — client-library counters, most importantly the
 //!   probes-per-lookup histogram: the paper's *client lookup cost*
 //!   (§4.2) measured on the live deployment instead of in simulation.
 //!
 //! Metric names follow Prometheus conventions; see the "Observability"
-//! section of the repository README for the full catalogue.
+//! section of the repository README for the full catalogue. Per-entry
+//! retrieval counts export as `pls_entry_hits_total{key=..,entry=..}`
+//! series, which sum under [`MetricsSnapshot::merge`] — so a client can
+//! recompute *cluster-level* unfairness and coverage from a merged
+//! snapshot with [`live_quality_from_merged`] instead of trusting any
+//! single server's gauge.
 //!
 //! [`Request::Metrics`]: crate::proto::Request::Metrics
 
 use pls_core::StrategySpec;
-use pls_telemetry::{Counter, Histogram, MetricsSnapshot};
+use pls_metrics::unfairness::cov_from_counts;
+use pls_telemetry::snapshot::{labeled, parse_labels};
+use pls_telemetry::{Counter, Gauge, Histogram, KeyedCounterMap, MetricsSnapshot, TopK};
 
 /// Strategy labels, indexed by [`strategy_index`].
 pub const STRATEGY_LABELS: [&str; 5] = ["full", "fixed", "random", "round", "hash"];
@@ -98,8 +108,38 @@ fn val(c: &Counter, reset: bool) -> u64 {
     }
 }
 
+/// Slots in each server's Space-Saving hot-key sketch: any key drawing
+/// more than 1/64th of the probe traffic is guaranteed to be tracked.
+pub const HOT_KEYS_TRACKED: usize = 64;
+
+/// Hottest keys exported per metrics collection.
+pub const HOT_KEYS_EXPORTED: usize = 10;
+
+/// Encodes a `(key, entry)` pair as one composite byte string — a
+/// big-endian `u32` key length, the key, then the entry — the keying
+/// scheme of [`ServerMetrics::entry_hits`].
+pub fn key_entry(key: &[u8], entry: &[u8]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(4 + key.len() + entry.len());
+    out.extend_from_slice(&(key.len() as u32).to_be_bytes());
+    out.extend_from_slice(key);
+    out.extend_from_slice(entry);
+    out
+}
+
+/// Splits a composite key built by [`key_entry`] back into its
+/// `(key, entry)` halves. Returns `None` for malformed input.
+pub fn split_key_entry(composite: &[u8]) -> Option<(&[u8], &[u8])> {
+    let len_bytes: [u8; 4] = composite.get(..4)?.try_into().ok()?;
+    let klen = u32::from_be_bytes(len_bytes) as usize;
+    let rest = composite.get(4..)?;
+    if rest.len() < klen {
+        return None;
+    }
+    Some((&rest[..klen], &rest[klen..]))
+}
+
 /// One server's runtime counters and histograms.
-#[derive(Debug, Default)]
+#[derive(Debug)]
 pub struct ServerMetrics {
     /// Per-variant request counts, indexed by [`ReqOp`].
     pub requests: [Counter; 10],
@@ -132,12 +172,60 @@ pub struct ServerMetrics {
     pub request_latency_us: Histogram,
     /// Probe handling latency (engine sampling only), microseconds.
     pub probe_latency_us: Histogram,
+    /// Approximate hottest probed keys ([`HOT_KEYS_TRACKED`] slots).
+    pub hot_keys: TopK,
+    /// Retrievals per `(key, entry)` pair served by probe answers,
+    /// keyed by [`key_entry`] composites — the raw counts behind the
+    /// live unfairness and coverage gauges.
+    pub entry_hits: KeyedCounterMap,
+    /// Live §4.5 unfairness (mean per-key CoV of entry hit counts),
+    /// refreshed by [`ServerMetrics::collect_live`].
+    pub live_unfairness: Gauge,
+    /// Live §4.3 coverage (distinct entries retrieved at least once /
+    /// entries stored), refreshed by [`ServerMetrics::collect_live`].
+    pub live_coverage: Gauge,
+}
+
+impl Default for ServerMetrics {
+    fn default() -> Self {
+        Self::new()
+    }
 }
 
 impl ServerMetrics {
     /// Fresh, all-zero metrics.
     pub fn new() -> Self {
-        Self::default()
+        ServerMetrics {
+            requests: Default::default(),
+            request_errors: Counter::new(),
+            decode_errors: Counter::new(),
+            connections_accepted: Counter::new(),
+            accept_errors: Counter::new(),
+            connection_errors: Counter::new(),
+            bytes_read: Counter::new(),
+            bytes_written: Counter::new(),
+            probes: Default::default(),
+            probe_entries_returned: Counter::new(),
+            engines_created: Counter::new(),
+            internal_sent: Counter::new(),
+            internal_send_failures: Counter::new(),
+            request_latency_us: Histogram::new(),
+            probe_latency_us: Histogram::new(),
+            hot_keys: TopK::new(HOT_KEYS_TRACKED),
+            entry_hits: KeyedCounterMap::new(),
+            live_unfairness: Gauge::new(),
+            live_coverage: Gauge::new(),
+        }
+    }
+
+    /// Accounts one served probe answer: bumps the hot-key sketch for
+    /// the probed key and the per-`(key, entry)` retrieval counter for
+    /// every entry returned.
+    pub fn record_probe_answer(&self, key: &[u8], entries: &[Vec<u8>]) {
+        self.hot_keys.offer(key);
+        for v in entries {
+            self.entry_hits.inc(&key_entry(key, v));
+        }
     }
 
     /// Builds a named snapshot. `keys`/`entries` are point-in-time
@@ -191,6 +279,118 @@ impl ServerMetrics {
         );
         s
     }
+
+    /// [`ServerMetrics::collect`] plus the live quality series. `stored`
+    /// is the server's current `(key, stored entries)` population (it
+    /// lives in the engine map, not here); entries a probe never
+    /// returned export as explicit zeros, which is exactly what the
+    /// unfairness computation needs.
+    ///
+    /// Beyond the base counters, the snapshot carries:
+    ///
+    /// * `pls_entry_hits_total{key=..,entry=..}` — retrievals per stored
+    ///   `(key, entry)` pair (hits for since-deleted entries are
+    ///   dropped). Summing these across servers recovers cluster totals.
+    /// * `pls_live_unfairness` — mean, over keys with any traffic, of
+    ///   the CoV of that key's per-entry hit counts (the §4.5 eq. (1)
+    ///   unfairness measured on live traffic).
+    /// * `pls_live_coverage` — distinct stored entries retrieved at
+    ///   least once / entries stored (0 when nothing is stored).
+    /// * `pls_hot_key_probes{key=..}` — the sketch's
+    ///   [`HOT_KEYS_EXPORTED`] heaviest keys (counts are Space-Saving
+    ///   overestimates; exposed as a gauge family, since evictions and
+    ///   resets make them non-monotonic).
+    ///
+    /// Key and entry bytes become label values via lossy UTF-8.
+    /// With `reset`, the sketch and the per-entry counters are drained
+    /// along with everything else.
+    pub fn collect_live(&self, stored: &[(Vec<u8>, Vec<Vec<u8>>)], reset: bool) -> MetricsSnapshot {
+        let keys = stored.len() as u64;
+        let entries: u64 = stored.iter().map(|(_, es)| es.len() as u64).sum();
+        let mut s = self.collect(keys, entries, reset);
+
+        let hits = if reset { self.entry_hits.take() } else { self.entry_hits.snapshot() };
+        let hot = if reset { self.hot_keys.take() } else { self.hot_keys.snapshot() };
+
+        let mut observed = 0u64;
+        let mut cov_sum = 0.0;
+        let mut keys_with_traffic = 0usize;
+        for (key, stored_entries) in stored {
+            let counts: Vec<u64> = stored_entries
+                .iter()
+                .map(|v| hits.get(&key_entry(key, v)).unwrap_or(0))
+                .collect();
+            for (v, &c) in stored_entries.iter().zip(&counts) {
+                let key_label = String::from_utf8_lossy(key);
+                let entry_label = String::from_utf8_lossy(v);
+                s.push_counter(
+                    labeled(
+                        "pls_entry_hits_total",
+                        &[("key", &key_label), ("entry", &entry_label)],
+                    ),
+                    c,
+                );
+            }
+            observed += counts.iter().filter(|&&c| c > 0).count() as u64;
+            if counts.iter().any(|&c| c > 0) {
+                cov_sum += cov_from_counts(&counts);
+                keys_with_traffic += 1;
+            }
+        }
+        let unfairness =
+            if keys_with_traffic == 0 { 0.0 } else { cov_sum / keys_with_traffic as f64 };
+        let coverage = if entries == 0 { 0.0 } else { observed as f64 / entries as f64 };
+        self.live_unfairness.set(unfairness);
+        self.live_coverage.set(coverage);
+        s.push_gauge("pls_live_unfairness", unfairness);
+        s.push_gauge("pls_live_coverage", coverage);
+        for e in hot.top(HOT_KEYS_EXPORTED) {
+            let key_label = String::from_utf8_lossy(&e.key);
+            s.push_counter(labeled("pls_hot_key_probes", &[("key", &key_label)]), e.count);
+        }
+        s
+    }
+}
+
+/// Recomputes **cluster-level** live quality from a merged snapshot's
+/// `pls_entry_hits_total` series. Same-named series sum under
+/// [`MetricsSnapshot::merge`], so each pair's count is the cluster-wide
+/// retrieval total and the union of series covers every entry stored
+/// anywhere — per-server gauges cannot be combined (each server only
+/// sees its own share), but the counters can.
+///
+/// Returns `(unfairness, coverage)` — the mean per-key CoV of entry hit
+/// counts and the fraction of known entries retrieved at least once —
+/// or `None` when the snapshot carries no per-entry series.
+pub fn live_quality_from_merged(snap: &MetricsSnapshot) -> Option<(f64, f64)> {
+    let mut per_key: std::collections::BTreeMap<String, Vec<u64>> =
+        std::collections::BTreeMap::new();
+    for (name, value) in &snap.counters {
+        let Some((family, labels)) = parse_labels(name) else { continue };
+        if family != "pls_entry_hits_total" {
+            continue;
+        }
+        let Some((_, key)) = labels.iter().find(|(k, _)| k == "key") else { continue };
+        per_key.entry(key.clone()).or_default().push(*value);
+    }
+    if per_key.is_empty() {
+        return None;
+    }
+    let mut observed = 0u64;
+    let mut total = 0u64;
+    let mut cov_sum = 0.0;
+    let mut keys_with_traffic = 0usize;
+    for counts in per_key.values() {
+        total += counts.len() as u64;
+        observed += counts.iter().filter(|&&c| c > 0).count() as u64;
+        if counts.iter().any(|&c| c > 0) {
+            cov_sum += cov_from_counts(counts);
+            keys_with_traffic += 1;
+        }
+    }
+    let unfairness = if keys_with_traffic == 0 { 0.0 } else { cov_sum / keys_with_traffic as f64 };
+    let coverage = if total == 0 { 0.0 } else { observed as f64 / total as f64 };
+    Some((unfairness, coverage))
 }
 
 /// Client-library runtime counters and histograms.
@@ -278,6 +478,95 @@ mod tests {
         let second = m.collect(0, 0, false);
         assert_eq!(second.counter("pls_requests_total{op=\"add\"}"), Some(0));
         assert!(second.histogram("pls_probe_latency_us").unwrap().is_empty());
+    }
+
+    #[test]
+    fn key_entry_roundtrip_and_malformed_split() {
+        let c = key_entry(b"song", b"server7");
+        assert_eq!(split_key_entry(&c), Some((&b"song"[..], &b"server7"[..])));
+        let c = key_entry(b"", b"");
+        assert_eq!(split_key_entry(&c), Some((&b""[..], &b""[..])));
+        // Ambiguity check: (key, entry) boundaries survive shifty bytes.
+        assert_ne!(key_entry(b"ab", b"c"), key_entry(b"a", b"bc"));
+        assert_eq!(split_key_entry(b""), None);
+        assert_eq!(split_key_entry(&[0, 0, 0, 9, b'x']), None); // truncated
+    }
+
+    #[test]
+    fn collect_live_computes_unfairness_coverage_and_hot_keys() {
+        let m = ServerMetrics::new();
+        // Key "a" stores e1, e2; probes returned e1 three times, e2 once.
+        m.record_probe_answer(b"a", &[b"e1".to_vec()]);
+        m.record_probe_answer(b"a", &[b"e1".to_vec(), b"e2".to_vec()]);
+        m.record_probe_answer(b"a", &[b"e1".to_vec()]);
+        // Key "b" stores e3 but never saw a probe.
+        let stored = vec![
+            (b"a".to_vec(), vec![b"e1".to_vec(), b"e2".to_vec()]),
+            (b"b".to_vec(), vec![b"e3".to_vec()]),
+        ];
+        let s = m.collect_live(&stored, false);
+
+        assert_eq!(s.counter("pls_entry_hits_total{key=\"a\",entry=\"e1\"}"), Some(3));
+        assert_eq!(s.counter("pls_entry_hits_total{key=\"a\",entry=\"e2\"}"), Some(1));
+        assert_eq!(s.counter("pls_entry_hits_total{key=\"b\",entry=\"e3\"}"), Some(0));
+        assert_eq!(s.counter("pls_hot_key_probes{key=\"a\"}"), Some(3));
+        assert_eq!(s.counter("pls_keys"), Some(2));
+        assert_eq!(s.counter("pls_entries"), Some(3));
+
+        // Only key "a" has traffic: counts [3, 1] => mean 2, std 1.
+        let u = s.gauge("pls_live_unfairness").unwrap();
+        assert!((u - 0.5).abs() < 1e-12, "{u}");
+        assert_eq!(m.live_unfairness.get(), u);
+        // 2 of 3 stored entries were ever retrieved.
+        let c = s.gauge("pls_live_coverage").unwrap();
+        assert!((c - 2.0 / 3.0).abs() < 1e-12, "{c}");
+        assert_eq!(m.live_coverage.get(), c);
+    }
+
+    #[test]
+    fn collect_live_with_reset_drains_sketch_and_hits() {
+        let m = ServerMetrics::new();
+        m.record_probe_answer(b"k", &[b"v".to_vec()]);
+        let stored = vec![(b"k".to_vec(), vec![b"v".to_vec()])];
+        let first = m.collect_live(&stored, true);
+        assert_eq!(first.counter("pls_entry_hits_total{key=\"k\",entry=\"v\"}"), Some(1));
+        assert_eq!(first.gauge("pls_live_coverage"), Some(1.0));
+        let second = m.collect_live(&stored, false);
+        assert_eq!(second.counter("pls_entry_hits_total{key=\"k\",entry=\"v\"}"), Some(0));
+        assert_eq!(second.gauge("pls_live_coverage"), Some(0.0));
+        assert_eq!(second.counter("pls_hot_key_probes{key=\"k\"}"), None);
+    }
+
+    #[test]
+    fn collect_live_on_empty_server_is_all_zeros() {
+        let m = ServerMetrics::new();
+        let s = m.collect_live(&[], false);
+        assert_eq!(s.gauge("pls_live_unfairness"), Some(0.0));
+        assert_eq!(s.gauge("pls_live_coverage"), Some(0.0));
+    }
+
+    #[test]
+    fn live_quality_from_merged_recomputes_cluster_level_values() {
+        // Two servers each holding half of one key's 4 entries; merged,
+        // the per-entry totals are [4, 4, 0, 0]: CoV = std/mean = 1,
+        // coverage = 1/2. Neither server's own gauge equals either.
+        let a = ServerMetrics::new();
+        for _ in 0..4 {
+            a.record_probe_answer(b"k", &[b"e1".to_vec()]);
+        }
+        let b = ServerMetrics::new();
+        for _ in 0..4 {
+            b.record_probe_answer(b"k", &[b"e2".to_vec()]);
+        }
+        let stored_a = vec![(b"k".to_vec(), vec![b"e1".to_vec(), b"e3".to_vec()])];
+        let stored_b = vec![(b"k".to_vec(), vec![b"e2".to_vec(), b"e4".to_vec()])];
+        let mut merged = a.collect_live(&stored_a, false);
+        merged.merge(&b.collect_live(&stored_b, false));
+
+        let (u, c) = live_quality_from_merged(&merged).unwrap();
+        assert!((u - 1.0).abs() < 1e-12, "{u}");
+        assert!((c - 0.5).abs() < 1e-12, "{c}");
+        assert_eq!(live_quality_from_merged(&MetricsSnapshot::new()), None);
     }
 
     #[test]

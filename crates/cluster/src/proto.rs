@@ -92,7 +92,8 @@ pub enum Request {
 }
 
 /// A response frame.
-#[derive(Debug, Clone, PartialEq, Eq)]
+// No `Eq`: metrics snapshots carry `f64` gauge readings.
+#[derive(Debug, Clone, PartialEq)]
 pub enum Response {
     /// The request was applied.
     Ok,
@@ -479,6 +480,11 @@ impl Response {
                 for (name, value) in &snap.counters {
                     w.bytes(name.as_bytes()).u64(*value);
                 }
+                // Gauges travel as their IEEE-754 bit patterns.
+                w.u32(snap.gauges.len() as u32);
+                for (name, value) in &snap.gauges {
+                    w.bytes(name.as_bytes()).u64(value.to_bits());
+                }
                 w.u32(snap.histograms.len() as u32);
                 for (name, h) in &snap.histograms {
                     w.bytes(name.as_bytes()).u64(h.count).u64(h.sum);
@@ -539,6 +545,18 @@ impl Response {
                     let name = r.bytes("counter name")?;
                     let value = r.u64("counter value")?;
                     snap.push_counter(String::from_utf8_lossy(&name).into_owned(), value);
+                }
+                let n_gauges = r.u32("gauge count")? as usize;
+                if n_gauges > crate::wire::MAX_FRAME / 12 {
+                    return Err(ClusterError::Decode("gauge count"));
+                }
+                for _ in 0..n_gauges {
+                    let name = r.bytes("gauge name")?;
+                    let bits = r.u64("gauge value")?;
+                    snap.push_gauge(
+                        String::from_utf8_lossy(&name).into_owned(),
+                        f64::from_bits(bits),
+                    );
                 }
                 let n_hists = r.u32("histogram count")? as usize;
                 if n_hists > 4096 {
@@ -673,8 +691,31 @@ mod tests {
         let mut snap = MetricsSnapshot::new();
         snap.push_counter("pls_requests_total{op=\"probe\"}", 42);
         snap.push_counter("pls_keys", 3);
+        snap.push_gauge("pls_live_unfairness", 0.375);
+        snap.push_gauge("pls_live_coverage", 1.0);
         snap.push_histogram("pls_client_probes_per_lookup", hist);
         roundtrip_resp(Response::Metrics(snap));
+    }
+
+    #[test]
+    fn metrics_gauges_roundtrip_exact_bits() {
+        // Gauges travel as raw IEEE-754 bits, so even awkward values
+        // (subnormals, negative zero) survive the wire untouched.
+        let mut snap = MetricsSnapshot::new();
+        snap.push_gauge("g_tiny", f64::MIN_POSITIVE / 2.0);
+        snap.push_gauge("g_negzero", -0.0);
+        snap.push_gauge("g_third", 1.0 / 3.0);
+        let decoded = match Response::decode(Response::Metrics(snap.clone()).encode()).unwrap() {
+            Response::Metrics(s) => s,
+            other => panic!("unexpected response {other:?}"),
+        };
+        for (name, value) in &snap.gauges {
+            assert_eq!(
+                decoded.gauge(name).unwrap().to_bits(),
+                value.to_bits(),
+                "gauge {name} changed on the wire"
+            );
+        }
     }
 
     #[test]

@@ -46,12 +46,33 @@ pub struct PoolStats {
     pub evicted: Counter,
 }
 
-/// Performs one request/response exchange on an established stream.
-pub async fn exchange(stream: &mut TcpStream, req: &Request) -> Result<Response, ClusterError> {
-    write_frame(stream, &req.encode()).await?;
-    let payload = read_frame(stream)
+/// Mixes a seed into a well-spread request-id starting point
+/// (splitmix64 finalizer). Request-id generators start here and step by
+/// the golden-ratio increment, giving each client/server a full-period
+/// sequence of visually distinct ids.
+pub(crate) fn splitmix64(x: u64) -> u64 {
+    let mut z = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Performs one request/response exchange on an established stream,
+/// stamping the outgoing frame with `request_id`. The response frame
+/// must echo the same id — a mismatch means the stream is answering
+/// some other request (desynchronized) and is a protocol error.
+pub async fn exchange(
+    stream: &mut TcpStream,
+    request_id: u64,
+    req: &Request,
+) -> Result<Response, ClusterError> {
+    write_frame(stream, request_id, &req.encode()).await?;
+    let (echoed_id, payload) = read_frame(stream)
         .await?
         .ok_or_else(|| ClusterError::Io(std::io::ErrorKind::UnexpectedEof.into()))?;
+    if echoed_id != request_id {
+        return Err(ClusterError::Decode("response id"));
+    }
     Response::decode(payload)
 }
 
@@ -103,20 +124,21 @@ impl PeerClient {
         }
     }
 
-    /// Sends `req` and awaits the response on a pooled or fresh
-    /// connection. A stale pooled connection is retried once with a
-    /// fresh dial; a connection that errors in any way is discarded,
-    /// never returned to the pool.
+    /// Sends `req` stamped with `request_id` and awaits the response on
+    /// a pooled or fresh connection. A stale pooled connection is
+    /// retried once with a fresh dial; a connection that errors in any
+    /// way is discarded, never returned to the pool.
     ///
     /// # Errors
     ///
     /// I/O errors (peer unreachable / connection torn mid-exchange);
-    /// decode errors; any [`Response::Error`] is surfaced as
+    /// decode errors (including a response whose frame id does not echo
+    /// `request_id`); any [`Response::Error`] is surfaced as
     /// [`ClusterError::Remote`].
-    pub async fn call(&self, req: &Request) -> Result<Response, ClusterError> {
+    pub async fn call(&self, request_id: u64, req: &Request) -> Result<Response, ClusterError> {
         if let Some(mut stream) = self.take() {
             self.stats.reuses.inc();
-            match exchange(&mut stream, req).await {
+            match exchange(&mut stream, request_id, req).await {
                 Ok(resp) => {
                     self.put_back(stream);
                     return ok_or_remote(resp);
@@ -143,7 +165,7 @@ impl PeerClient {
                 return Err(e.into());
             }
         };
-        match exchange(&mut stream, req).await {
+        match exchange(&mut stream, request_id, req).await {
             Ok(resp) => {
                 self.put_back(stream);
                 ok_or_remote(resp)
@@ -169,7 +191,7 @@ mod tests {
     use tokio::io::{AsyncReadExt, AsyncWriteExt};
     use tokio::net::TcpListener;
 
-    /// A toy server answering every request with `Ok`.
+    /// A toy server answering every request with `Ok`, echoing ids.
     async fn spawn_ok_server() -> SocketAddr {
         let listener = TcpListener::bind("127.0.0.1:0").await.unwrap();
         let addr = listener.local_addr().unwrap();
@@ -180,9 +202,9 @@ mod tests {
                     Err(_) => return,
                 };
                 tokio::spawn(async move {
-                    while let Ok(Some(payload)) = read_frame(&mut sock).await {
+                    while let Ok(Some((id, payload))) = read_frame(&mut sock).await {
                         let _ = Request::decode(payload);
-                        if write_frame(&mut sock, &Response::Ok.encode()).await.is_err() {
+                        if write_frame(&mut sock, id, &Response::Ok.encode()).await.is_err() {
                             return;
                         }
                     }
@@ -196,8 +218,8 @@ mod tests {
     async fn call_roundtrip_and_reuse() {
         let addr = spawn_ok_server().await;
         let client = PeerClient::new(addr);
-        for _ in 0..5 {
-            let resp = client.call(&Request::Status).await.unwrap();
+        for id in 0..5 {
+            let resp = client.call(id, &Request::Status).await.unwrap();
             assert_eq!(resp, Response::Ok);
         }
         // The pool holds the reused connection.
@@ -214,9 +236,9 @@ mod tests {
         let addr = spawn_ok_server().await;
         let client = std::sync::Arc::new(PeerClient::new(addr));
         let mut tasks = Vec::new();
-        for _ in 0..8 {
+        for id in 0..8 {
             let c = std::sync::Arc::clone(&client);
-            tasks.push(tokio::spawn(async move { c.call(&Request::Status).await }));
+            tasks.push(tokio::spawn(async move { c.call(id, &Request::Status).await }));
         }
         for t in tasks {
             assert_eq!(t.await.unwrap().unwrap(), Response::Ok);
@@ -231,11 +253,11 @@ mod tests {
         let addr = listener.local_addr().unwrap();
         tokio::spawn(async move {
             let (mut sock, _) = listener.accept().await.unwrap();
-            let _ = read_frame(&mut sock).await;
-            write_frame(&mut sock, &Response::Error("nope".into()).encode()).await.unwrap();
+            let (id, _) = read_frame(&mut sock).await.unwrap().unwrap();
+            write_frame(&mut sock, id, &Response::Error("nope".into()).encode()).await.unwrap();
         });
         let client = PeerClient::new(addr);
-        let err = client.call(&Request::Status).await.unwrap_err();
+        let err = client.call(1, &Request::Status).await.unwrap_err();
         assert_eq!(err, ClusterError::Remote("nope".into()));
     }
 
@@ -250,15 +272,15 @@ mod tests {
                     Ok(x) => x,
                     Err(_) => return,
                 };
-                if read_frame(&mut sock).await.is_ok() {
-                    let _ = write_frame(&mut sock, &Response::Ok.encode()).await;
+                if let Ok(Some((id, _))) = read_frame(&mut sock).await {
+                    let _ = write_frame(&mut sock, id, &Response::Ok.encode()).await;
                 }
                 // Drop the socket: next call must reconnect.
             }
         });
         let client = PeerClient::new(addr);
-        assert_eq!(client.call(&Request::Status).await.unwrap(), Response::Ok);
-        assert_eq!(client.call(&Request::Status).await.unwrap(), Response::Ok);
+        assert_eq!(client.call(1, &Request::Status).await.unwrap(), Response::Ok);
+        assert_eq!(client.call(2, &Request::Status).await.unwrap(), Response::Ok);
     }
 
     #[tokio::test]
@@ -268,7 +290,7 @@ mod tests {
         let addr = listener.local_addr().unwrap();
         drop(listener);
         let client = PeerClient::new(addr);
-        assert!(matches!(client.call(&Request::Status).await, Err(ClusterError::Io(_))));
+        assert!(matches!(client.call(1, &Request::Status).await, Err(ClusterError::Io(_))));
     }
 
     #[tokio::test]
@@ -279,13 +301,30 @@ mod tests {
             let (mut sock, _) = listener.accept().await.unwrap();
             let mut buf = [0u8; 64];
             let _ = sock.read(&mut buf).await;
-            // A valid frame with an invalid opcode.
-            sock.write_all(&[0, 0, 0, 1, 0x33]).await.unwrap();
+            // A valid frame echoing id 7, with an invalid opcode.
+            sock.write_all(&[0, 0, 0, 1, 0, 0, 0, 0, 0, 0, 0, 7, 0x33]).await.unwrap();
         });
         let client = PeerClient::new(addr);
-        assert!(matches!(client.call(&Request::Status).await, Err(ClusterError::Decode(_))));
+        assert!(matches!(client.call(7, &Request::Status).await, Err(ClusterError::Decode(_))));
         // The desynchronized connection is poisoned: dropped, not
         // returned to the pool.
+        assert_eq!(client.pooled(), 0);
+        assert_eq!(client.stats().discarded.get(), 1);
+    }
+
+    #[tokio::test]
+    async fn mismatched_response_id_is_rejected_and_poisons_connection() {
+        let listener = TcpListener::bind("127.0.0.1:0").await.unwrap();
+        let addr = listener.local_addr().unwrap();
+        tokio::spawn(async move {
+            let (mut sock, _) = listener.accept().await.unwrap();
+            let _ = read_frame(&mut sock).await;
+            // Answer with a valid `Ok` frame stamped with the wrong id.
+            write_frame(&mut sock, 999, &Response::Ok.encode()).await.unwrap();
+        });
+        let client = PeerClient::new(addr);
+        let err = client.call(5, &Request::Status).await.unwrap_err();
+        assert_eq!(err, ClusterError::Decode("response id"));
         assert_eq!(client.pooled(), 0);
         assert_eq!(client.stats().discarded.get(), 1);
     }
@@ -303,14 +342,14 @@ mod tests {
                     Ok(x) => x,
                     Err(_) => return,
                 };
-                if read_frame(&mut sock).await.is_ok() {
-                    let _ = write_frame(&mut sock, &Response::Ok.encode()).await;
+                if let Ok(Some((id, _))) = read_frame(&mut sock).await {
+                    let _ = write_frame(&mut sock, id, &Response::Ok.encode()).await;
                 }
             }
         });
         let client = PeerClient::new(addr);
-        assert_eq!(client.call(&Request::Status).await.unwrap(), Response::Ok);
-        assert_eq!(client.call(&Request::Status).await.unwrap(), Response::Ok);
+        assert_eq!(client.call(1, &Request::Status).await.unwrap(), Response::Ok);
+        assert_eq!(client.call(2, &Request::Status).await.unwrap(), Response::Ok);
         assert_eq!(client.stats().dials.get(), 2);
         assert_eq!(client.stats().reuses.get(), 1);
         assert_eq!(client.stats().discarded.get(), 1);
@@ -322,7 +361,7 @@ mod tests {
         let addr = listener.local_addr().unwrap();
         drop(listener);
         let client = PeerClient::new(addr);
-        assert!(client.call(&Request::Status).await.is_err());
+        assert!(client.call(1, &Request::Status).await.is_err());
         assert_eq!(client.stats().dials.get(), 1);
         assert_eq!(client.stats().dial_failures.get(), 1);
         assert_eq!(client.pooled(), 0);
@@ -337,12 +376,12 @@ mod tests {
         // only POOL_SIZE connections fit back.
         let mut tasks = Vec::new();
         let barrier = std::sync::Arc::new(tokio::sync::Barrier::new(POOL_SIZE * 3));
-        for _ in 0..POOL_SIZE * 3 {
+        for id in 0..(POOL_SIZE * 3) as u64 {
             let c = std::sync::Arc::clone(&client);
             let b = std::sync::Arc::clone(&barrier);
             tasks.push(tokio::spawn(async move {
                 b.wait().await;
-                c.call(&Request::Status).await
+                c.call(id, &Request::Status).await
             }));
         }
         for t in tasks {

@@ -2,6 +2,7 @@
 
 use std::collections::{HashMap, VecDeque};
 use std::net::SocketAddr;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
 use parking_lot::Mutex;
@@ -9,14 +10,14 @@ use pls_core::engine::{NodeEngine, Outbound};
 use pls_core::{Message, StrategySpec};
 use pls_net::{Endpoint, ServerId};
 use pls_telemetry::trace::Span;
-use pls_telemetry::Level;
+use pls_telemetry::{Level, MetricsSnapshot};
 use tokio::net::{TcpListener, TcpStream};
 
 use crate::error::ClusterError;
 use crate::metrics::{strategy_index, ServerMetrics};
 use crate::proto::{Entry, Request, Response};
-use crate::rpc::PeerClient;
-use crate::wire::{read_frame, write_frame};
+use crate::rpc::{splitmix64, PeerClient};
+use crate::wire::{read_frame, write_frame, FRAME_OVERHEAD};
 
 /// Static configuration of one server in the cluster.
 #[derive(Debug, Clone)]
@@ -31,12 +32,21 @@ pub struct ServerConfig {
     /// Cluster-wide seed; **must be identical on every server** (it
     /// derives the shared Hash-y function family).
     pub seed: u64,
+    /// Warn-log any request whose handling exceeds this many
+    /// milliseconds (the `--slow-ms` flag); `None` disables the check.
+    pub slow_ms: Option<u64>,
 }
 
 impl ServerConfig {
-    /// Convenience constructor.
+    /// Convenience constructor (slow-request logging disabled).
     pub fn new(me: usize, peers: Vec<SocketAddr>, spec: StrategySpec, seed: u64) -> Self {
-        ServerConfig { me, peers, spec, seed }
+        ServerConfig { me, peers, spec, seed, slow_ms: None }
+    }
+
+    /// Enables slow-request logging above `ms` milliseconds.
+    pub fn with_slow_ms(mut self, ms: u64) -> Self {
+        self.slow_ms = Some(ms);
+        self
     }
 }
 
@@ -51,11 +61,21 @@ struct State {
     /// Runtime counters/histograms; atomics only, shared by every
     /// connection handler without further locking.
     metrics: ServerMetrics,
+    /// Generator for ids of *server-originated* requests (resync pulls).
+    /// Client-originated work keeps the id the client stamped on its
+    /// frame; internal fan-out inherits the triggering request's id.
+    next_id: AtomicU64,
 }
 
 impl State {
     fn me(&self) -> ServerId {
         ServerId::new(self.cfg.me as u32)
+    }
+
+    /// A fresh request id for work this server originates itself.
+    fn next_id(&self) -> u64 {
+        // Weyl sequence: full-period, cheap, and visually distinct ids.
+        self.next_id.fetch_add(0x9E37_79B9_7F4A_7C15, Ordering::Relaxed)
     }
 
     fn n(&self) -> usize {
@@ -168,14 +188,37 @@ impl Server {
         let mut cfg = cfg;
         cfg.peers[cfg.me] = addr;
         let peers = cfg.peers.iter().map(|&a| PeerClient::new(a)).collect();
+        let next_id = AtomicU64::new(splitmix64(cfg.seed ^ cfg.me as u64));
         let state = Arc::new(State {
             cfg,
             engines: Mutex::new(HashMap::new()),
             key_specs: Mutex::new(HashMap::new()),
             peers,
             metrics: ServerMetrics::new(),
+            next_id,
         });
         Ok((Server { listener, state }, addr))
+    }
+
+    /// A snapshot of this server's metrics, including the live quality
+    /// series (`pls_live_unfairness`, `pls_live_coverage`, per-entry hit
+    /// counters, hottest keys). Never resets anything.
+    pub fn metrics_snapshot(&self) -> MetricsSnapshot {
+        let stored = stored_pairs(&self.state);
+        self.state.metrics.collect_live(&stored, false)
+    }
+
+    /// A render closure for [`http::serve`](crate::http::serve): each
+    /// call produces a fresh Prometheus text exposition of this
+    /// server's metrics. Holds only an [`Arc`] on the shared state, so
+    /// the exporter outlives the `Server` handle (scrapes of a dead
+    /// server then show frozen counters until the task is dropped).
+    pub fn metrics_renderer(&self) -> Arc<dyn Fn() -> String + Send + Sync> {
+        let state = Arc::clone(&self.state);
+        Arc::new(move || {
+            let stored = stored_pairs(&state);
+            state.metrics.collect_live(&stored, false).to_prometheus()
+        })
     }
 
     /// The full peer list with this server's resolved address.
@@ -204,7 +247,10 @@ impl Server {
         let state = &self.state;
         let me = state.me();
         let me_idx = me.index();
-        let span = Span::enter(Level::Info, module_path!(), "resync_from_peers");
+        // One server-originated id stamps the whole recovery — every
+        // Keys/Snapshot pull shows up as the same `req` on the donors.
+        let resync_id = state.next_id();
+        let span = Span::enter_with_id(Level::Info, module_path!(), "resync_from_peers", resync_id);
 
         // Discover the key universe from reachable peers.
         let mut keys: Vec<Vec<u8>> = Vec::new();
@@ -213,7 +259,7 @@ impl Server {
             if i == me_idx {
                 continue;
             }
-            match peer.call(&Request::Keys).await {
+            match peer.call(resync_id, &Request::Keys).await {
                 Ok(Response::Keys(ks)) => {
                     any_peer = true;
                     for k in ks {
@@ -245,7 +291,7 @@ impl Server {
                     positions: ps,
                     counters: cs,
                     spec: donor_spec,
-                }) = peer.call(&Request::Snapshot { key: key.clone() }).await
+                }) = peer.call(resync_id, &Request::Snapshot { key: key.clone() }).await
                 {
                     donor_entries.push(entries);
                     for (p, v) in ps {
@@ -322,6 +368,7 @@ impl Server {
         }
         pls_telemetry::info!(
             "resync_complete",
+            req = resync_id,
             server = me_idx,
             keys = keys.len(),
             elapsed_us = span.elapsed_us()
@@ -366,21 +413,27 @@ impl Server {
     }
 }
 
+/// The server's current `(key, stored entries)` population, copied out
+/// under the engine lock — the denominator of the live quality gauges.
+fn stored_pairs(state: &State) -> Vec<(Vec<u8>, Vec<Entry>)> {
+    state.engines.lock().iter().map(|(k, e)| (k.clone(), e.entries().to_vec())).collect()
+}
+
 async fn serve_connection(state: Arc<State>, mut socket: TcpStream) -> Result<(), ClusterError> {
-    while let Some(payload) = read_frame(&mut socket).await? {
-        // +4 accounts for the length prefix of the frame itself.
-        state.metrics.bytes_read.add(payload.len() as u64 + 4);
+    while let Some((req_id, payload)) = read_frame(&mut socket).await? {
+        state.metrics.bytes_read.add(payload.len() as u64 + FRAME_OVERHEAD);
         let response = match Request::decode(payload) {
             Ok(req) => {
                 let op = req.op();
                 state.metrics.requests[op as usize].inc();
-                let span = Span::enter(Level::Debug, module_path!(), op.as_str());
-                let resp = match handle_request(&state, req).await {
+                let span = Span::enter_with_id(Level::Debug, module_path!(), op.as_str(), req_id);
+                let resp = match handle_request(&state, req_id, req).await {
                     Ok(resp) => resp,
                     Err(err) => {
                         state.metrics.request_errors.inc();
                         pls_telemetry::debug!(
                             "request_error",
+                            req = req_id,
                             server = state.cfg.me,
                             op = op.as_str(),
                             err = err
@@ -388,46 +441,72 @@ async fn serve_connection(state: Arc<State>, mut socket: TcpStream) -> Result<()
                         Response::Error(err.to_string())
                     }
                 };
-                state.metrics.request_latency_us.observe(span.elapsed_us());
+                let elapsed_us = span.elapsed_us();
+                state.metrics.request_latency_us.observe(elapsed_us);
+                if let Some(slow_ms) = state.cfg.slow_ms {
+                    if elapsed_us >= slow_ms.saturating_mul(1_000) {
+                        pls_telemetry::warn!(
+                            "slow_request",
+                            req = req_id,
+                            server = state.cfg.me,
+                            op = op.as_str(),
+                            elapsed_us = elapsed_us,
+                            threshold_ms = slow_ms
+                        );
+                    }
+                }
                 resp
             }
             Err(err) => {
                 state.metrics.decode_errors.inc();
-                pls_telemetry::warn!("decode_error", server = state.cfg.me, err = err);
+                pls_telemetry::warn!(
+                    "decode_error",
+                    req = req_id,
+                    server = state.cfg.me,
+                    err = err
+                );
                 Response::Error(err.to_string())
             }
         };
         let frame = response.encode();
-        state.metrics.bytes_written.add(frame.len() as u64 + 4);
-        write_frame(&mut socket, &frame).await?;
+        state.metrics.bytes_written.add(frame.len() as u64 + FRAME_OVERHEAD);
+        // Echo the request's id so the client can pair the response.
+        write_frame(&mut socket, req_id, &frame).await?;
     }
     Ok(())
 }
 
-async fn handle_request(state: &Arc<State>, req: Request) -> Result<Response, ClusterError> {
+async fn handle_request(
+    state: &Arc<State>,
+    req_id: u64,
+    req: Request,
+) -> Result<Response, ClusterError> {
     match req {
         Request::Place { key, entries, spec } => {
             if let Some(spec) = spec {
                 state.set_spec(&key, spec)?;
             }
-            apply(state, &key, Endpoint::client(0), Message::PlaceReq { entries }).await?;
+            apply(state, req_id, &key, Endpoint::client(0), Message::PlaceReq { entries }).await?;
             Ok(Response::Ok)
         }
         Request::Add { key, entry } => {
             guard_rr_coordinator(state, &key)?;
-            apply(state, &key, Endpoint::client(0), Message::AddReq { v: entry }).await?;
+            apply(state, req_id, &key, Endpoint::client(0), Message::AddReq { v: entry }).await?;
             Ok(Response::Ok)
         }
         Request::Delete { key, entry } => {
             guard_rr_coordinator(state, &key)?;
-            apply(state, &key, Endpoint::client(0), Message::DeleteReq { v: entry }).await?;
+            apply(state, req_id, &key, Endpoint::client(0), Message::DeleteReq { v: entry })
+                .await?;
             Ok(Response::Ok)
         }
         Request::Probe { key, t } => {
-            let span = Span::enter(Level::Trace, module_path!(), "probe_sample");
+            let span = Span::enter_with_id(Level::Trace, module_path!(), "probe_sample", req_id);
             let entries = state.read_engine(&key, |e| e.sample(t as usize)).unwrap_or_default();
             state.metrics.probes[strategy_index(state.spec_of(&key))].inc();
             state.metrics.probe_entries_returned.add(entries.len() as u64);
+            // Live quality accounting: who asked, and what they got.
+            state.metrics.record_probe_answer(&key, &entries);
             state.metrics.probe_latency_us.observe(span.elapsed_us());
             Ok(Response::Entries(entries))
         }
@@ -435,7 +514,7 @@ async fn handle_request(state: &Arc<State>, req: Request) -> Result<Response, Cl
             if let Some(spec) = spec {
                 state.set_spec(&key, spec)?;
             }
-            apply(state, &key, Request::internal_sender(from), msg).await?;
+            apply(state, req_id, &key, Request::internal_sender(from), msg).await?;
             Ok(Response::Ok)
         }
         Request::Status => {
@@ -479,13 +558,8 @@ async fn handle_request(state: &Arc<State>, req: Request) -> Result<Response, Cl
             Ok(Response::SpecOf(known.then(|| state.spec_of(&key))))
         }
         Request::Metrics { reset } => {
-            let (keys, entries) = {
-                let map = state.engines.lock();
-                let keys = map.len() as u64;
-                let entries = map.values().map(|e| e.entries().len() as u64).sum();
-                (keys, entries)
-            };
-            Ok(Response::Metrics(state.metrics.collect(keys, entries, reset)))
+            let stored = stored_pairs(state);
+            Ok(Response::Metrics(state.metrics.collect_live(&stored, reset)))
         }
     }
 }
@@ -508,6 +582,7 @@ fn guard_rr_coordinator(state: &Arc<State>, key: &[u8]) -> Result<(), ClusterErr
 /// paper's failure model.
 async fn apply(
     state: &Arc<State>,
+    req_id: u64,
     key: &[u8],
     from: Endpoint,
     msg: Message<Entry>,
@@ -539,12 +614,15 @@ async fn apply(
                     msg: m,
                 };
                 state.metrics.internal_sent.inc();
-                if let Err(err) = state.peers[dest.index()].call(&req).await {
+                // Internal fan-out inherits the triggering request's id,
+                // so one client update correlates across every server.
+                if let Err(err) = state.peers[dest.index()].call(req_id, &req).await {
                     state.metrics.internal_send_failures.inc();
                     if matches!(err, ClusterError::Io(_)) {
                         // Crashed/unreachable peer: drop, like the simulator.
                         pls_telemetry::debug!(
                             "internal_send_dropped",
+                            req = req_id,
                             server = state.cfg.me,
                             peer = dest.index(),
                             err = err
@@ -552,6 +630,7 @@ async fn apply(
                     } else {
                         pls_telemetry::warn!(
                             "internal_rejected",
+                            req = req_id,
                             server = state.cfg.me,
                             peer = dest.index(),
                             err = err

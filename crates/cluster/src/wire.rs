@@ -1,7 +1,12 @@
 //! Low-level framing and primitive encoding.
 //!
-//! Frames are `u32` big-endian length followed by that many payload
-//! bytes. Inside a payload, the primitives are:
+//! Frames are a `u32` big-endian payload length, a `u64` big-endian
+//! **request id**, and then that many payload bytes. The id travels in
+//! the frame header — outside the request/response payloads — so every
+//! hop (client call, internal fan-out, response) carries its
+//! originating request's id without any message-type changes; servers
+//! echo the id of the request they are answering. Inside a payload,
+//! the primitives are:
 //!
 //! * `u8` / `u32` / `u64` — fixed-width big-endian;
 //! * `bytes` — `u32` length + raw bytes;
@@ -147,7 +152,11 @@ impl Writer {
     }
 }
 
-/// Writes one frame (length prefix + payload) to a stream.
+/// Bytes a frame occupies on the wire beyond its payload: the `u32`
+/// length prefix plus the `u64` request id.
+pub const FRAME_OVERHEAD: u64 = 12;
+
+/// Writes one frame (length prefix + request id + payload) to a stream.
 ///
 /// # Errors
 ///
@@ -155,19 +164,21 @@ impl Writer {
 /// [`MAX_FRAME`]; I/O errors otherwise.
 pub async fn write_frame<W: AsyncWriteExt + Unpin>(
     stream: &mut W,
+    request_id: u64,
     payload: &[u8],
 ) -> Result<(), ClusterError> {
     if payload.len() > MAX_FRAME {
         return Err(ClusterError::FrameTooLarge(payload.len()));
     }
     stream.write_u32(payload.len() as u32).await?;
+    stream.write_u64(request_id).await?;
     stream.write_all(payload).await?;
     stream.flush().await?;
     Ok(())
 }
 
-/// Reads one frame from a stream. Returns `None` on a clean EOF at a
-/// frame boundary.
+/// Reads one frame from a stream, returning its request id and payload.
+/// Returns `None` on a clean EOF at a frame boundary.
 ///
 /// # Errors
 ///
@@ -175,7 +186,7 @@ pub async fn write_frame<W: AsyncWriteExt + Unpin>(
 /// errors otherwise (including EOF mid-frame).
 pub async fn read_frame<R: AsyncReadExt + Unpin>(
     stream: &mut R,
-) -> Result<Option<Bytes>, ClusterError> {
+) -> Result<Option<(u64, Bytes)>, ClusterError> {
     let len = match stream.read_u32().await {
         Ok(len) => len as usize,
         Err(e) if e.kind() == std::io::ErrorKind::UnexpectedEof => return Ok(None),
@@ -184,9 +195,10 @@ pub async fn read_frame<R: AsyncReadExt + Unpin>(
     if len > MAX_FRAME {
         return Err(ClusterError::FrameTooLarge(len));
     }
+    let request_id = stream.read_u64().await?;
     let mut payload = vec![0u8; len];
     stream.read_exact(&mut payload).await?;
-    Ok(Some(Bytes::from(payload)))
+    Ok(Some((request_id, Bytes::from(payload))))
 }
 
 #[cfg(test)]
@@ -234,11 +246,13 @@ mod tests {
     #[tokio::test]
     async fn frame_roundtrip_over_duplex() {
         let (mut a, mut b) = tokio::io::duplex(1024);
-        write_frame(&mut a, b"abc").await.unwrap();
-        write_frame(&mut a, b"").await.unwrap();
-        let f1 = read_frame(&mut b).await.unwrap().unwrap();
+        write_frame(&mut a, 42, b"abc").await.unwrap();
+        write_frame(&mut a, u64::MAX, b"").await.unwrap();
+        let (id1, f1) = read_frame(&mut b).await.unwrap().unwrap();
+        assert_eq!(id1, 42);
         assert_eq!(&f1[..], b"abc");
-        let f2 = read_frame(&mut b).await.unwrap().unwrap();
+        let (id2, f2) = read_frame(&mut b).await.unwrap().unwrap();
+        assert_eq!(id2, u64::MAX);
         assert!(f2.is_empty());
         drop(a);
         assert!(read_frame(&mut b).await.unwrap().is_none());
@@ -249,8 +263,18 @@ mod tests {
         let (mut a, _b) = tokio::io::duplex(64);
         let big = vec![0u8; MAX_FRAME + 1];
         assert!(matches!(
-            write_frame(&mut a, &big).await,
+            write_frame(&mut a, 1, &big).await,
             Err(ClusterError::FrameTooLarge(_))
         ));
+    }
+
+    #[tokio::test]
+    async fn eof_inside_frame_header_is_an_error() {
+        // Length says 3 bytes follow the id, but the writer dies after
+        // the length prefix: the reader must not report a clean EOF.
+        let (mut a, mut b) = tokio::io::duplex(64);
+        a.write_u32(3).await.unwrap();
+        drop(a);
+        assert!(read_frame(&mut b).await.is_err());
     }
 }

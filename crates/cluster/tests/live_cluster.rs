@@ -143,8 +143,9 @@ async fn round_robin_update_rejected_at_non_coordinator() {
     let client = {
         use tokio::net::TcpStream;
         let mut stream = TcpStream::connect(addrs[1]).await.unwrap();
-        pls_cluster::wire::write_frame(&mut stream, &peer.encode()).await.unwrap();
-        let payload = pls_cluster::wire::read_frame(&mut stream).await.unwrap().unwrap();
+        pls_cluster::wire::write_frame(&mut stream, 0xfeed, &peer.encode()).await.unwrap();
+        let (id, payload) = pls_cluster::wire::read_frame(&mut stream).await.unwrap().unwrap();
+        assert_eq!(id, 0xfeed, "server must echo the request id");
         pls_cluster::proto::Response::decode(payload).unwrap()
     };
     match client {
@@ -593,6 +594,212 @@ async fn random_server_probe_count_matches_simulated_expectation() {
         merged.counter_sum("pls_probes_total"),
         client.metrics().probes.get()
     );
+}
+
+#[tokio::test]
+async fn http_metrics_endpoint_serves_live_quality_series() {
+    use tokio::io::{AsyncReadExt, AsyncWriteExt};
+
+    // Single-server cluster so every probe deterministically lands on
+    // the server whose exporter we scrape.
+    let spec = StrategySpec::full_replication();
+    let listener = tokio::net::TcpListener::bind("127.0.0.1:0").await.unwrap();
+    let addr = listener.local_addr().unwrap();
+    let cfg = ServerConfig::new(0, vec![addr], spec, 90);
+    let (server, _) = Server::with_listener(cfg, listener).unwrap();
+    let renderer = server.metrics_renderer();
+    tokio::spawn(server.run());
+
+    let mlistener = tokio::net::TcpListener::bind("127.0.0.1:0").await.unwrap();
+    let maddr = mlistener.local_addr().unwrap();
+    tokio::spawn(pls_cluster::http::serve(mlistener, renderer));
+
+    let mut client = Client::connect(ClientConfig::new(vec![addr], spec, 91));
+    client.place(b"song", entries(0..4)).await.unwrap();
+    for _ in 0..6 {
+        let got = client.partial_lookup(b"song", 2).await.unwrap();
+        assert_eq!(got.len(), 2);
+    }
+
+    // Scrape like curl would: one GET, read to EOF.
+    let mut sock = tokio::net::TcpStream::connect(maddr).await.unwrap();
+    sock.write_all(b"GET /metrics HTTP/1.1\r\nHost: test\r\n\r\n").await.unwrap();
+    let mut response = String::new();
+    sock.read_to_string(&mut response).await.unwrap();
+
+    assert!(response.starts_with("HTTP/1.1 200 OK\r\n"), "{response}");
+    assert!(response.contains("text/plain; version=0.0.4"), "{response}");
+    let body = response.split("\r\n\r\n").nth(1).expect("response has a body");
+    // The live quality gauges, the per-entry counters behind them, the
+    // hot-key sketch, and the point-in-time stored-size gauges are all
+    // in the exposition.
+    assert!(body.contains("pls_live_unfairness"), "{body}");
+    assert!(body.contains("pls_live_coverage"), "{body}");
+    assert!(body.contains("pls_hot_key_probes{key=\"song\"} 6"), "{body}");
+    assert!(body.contains("pls_entry_hits_total{key=\"song\",entry=\"peer0:6699\"}"), "{body}");
+    assert!(body.contains("pls_keys 1"), "{body}");
+    assert!(body.contains("pls_entries 4"), "{body}");
+    assert!(body.contains("pls_requests_total{op=\"probe\"} 6"), "{body}");
+}
+
+#[tokio::test]
+async fn live_unfairness_matches_analytic_for_fixed_x() {
+    use pls_telemetry::snapshot::labeled;
+
+    // Fixed-5 over h=15, t=3: the closed-form §4.5 unfairness is
+    // sqrt(h/t²·(h/x−1)) ≈ 1.414. Reconstruct per-entry retrieval
+    // probabilities from the cluster's merged live counters (entries the
+    // servers never stored have no series — probability 0) and check
+    // eq. (1) lands on the analytic value.
+    let spec = StrategySpec::fixed(5);
+    let (addrs, _handles) = spawn_cluster(3, spec, 92).await;
+    let mut client = Client::connect(ClientConfig::new(addrs, spec, 93));
+    let universe = entries(0..15);
+    client.place(b"k", universe.clone()).await.unwrap();
+
+    let lookups = 600usize;
+    for _ in 0..lookups {
+        let got = client.partial_lookup(b"k", 3).await.unwrap();
+        assert_eq!(got.len(), 3);
+    }
+
+    let merged = client.cluster_metrics(false).await.unwrap();
+    let counts: Vec<u64> = universe
+        .iter()
+        .map(|v| {
+            let entry = String::from_utf8_lossy(v);
+            let name = labeled("pls_entry_hits_total", &[("key", "k"), ("entry", &entry)]);
+            merged.counter(&name).unwrap_or(0)
+        })
+        .collect();
+    // Every lookup returned exactly t entries, all accounted for.
+    assert_eq!(counts.iter().sum::<u64>(), (lookups * 3) as u64);
+    // Only the 5 stored (prefix) entries ever got traffic.
+    assert!(counts[5..].iter().all(|&c| c == 0), "{counts:?}");
+
+    let probs: Vec<f64> = counts.iter().map(|&c| c as f64 / lookups as f64).collect();
+    let live = pls_metrics::unfairness::from_probabilities(&probs, 3);
+    let analytic = pls_metrics::unfairness::analytic_fixed(5, 15, 3);
+    assert!(
+        (live - analytic).abs() < 0.12,
+        "live unfairness {live} vs analytic {analytic}"
+    );
+}
+
+#[tokio::test]
+async fn round_robin_uniform_traffic_is_live_fair_with_full_coverage() {
+    // The acceptance cross-check: Round-Robin-2 placement (n=4, h=12)
+    // under uniform lookups is the paper's perfectly fair strategy —
+    // every entry sits on 2 of 4 servers and a t=6 lookup returns one
+    // random server's whole shard, so p_j = 1/2 for every entry. The
+    // cluster's live gauge must read ≈ 0 with full coverage, and must
+    // agree exactly with eq. (1) computed from the same counters.
+    let spec = StrategySpec::round_robin(2);
+    let (addrs, _handles) = spawn_cluster(4, spec, 94).await;
+    let mut client = Client::connect(ClientConfig::new(addrs, spec, 95));
+    let universe = entries(0..12);
+    client.place(b"k", universe.clone()).await.unwrap();
+
+    let lookups = 200usize;
+    for _ in 0..lookups {
+        let got = client.partial_lookup(b"k", 6).await.unwrap();
+        assert_eq!(got.len(), 6);
+    }
+
+    let merged = client.cluster_metrics(false).await.unwrap();
+    let unfairness = merged.gauge("pls_live_unfairness").expect("live unfairness gauge");
+    let coverage = merged.gauge("pls_live_coverage").expect("live coverage gauge");
+    assert!(unfairness < 0.15, "round-robin live unfairness {unfairness}");
+    assert_eq!(coverage, 1.0, "round-robin live coverage {coverage}");
+
+    // Each lookup returned exactly t of the h counted entries, so the
+    // live CoV form and eq. (1) are computed over identical data and
+    // must agree to rounding error.
+    let counts: Vec<u64> = universe
+        .iter()
+        .map(|v| {
+            let entry = String::from_utf8_lossy(v);
+            let name = pls_telemetry::snapshot::labeled(
+                "pls_entry_hits_total",
+                &[("key", "k"), ("entry", &entry)],
+            );
+            merged.counter(&name).unwrap_or(0)
+        })
+        .collect();
+    assert_eq!(counts.iter().sum::<u64>(), (lookups * 6) as u64);
+    let probs: Vec<f64> = counts.iter().map(|&c| c as f64 / lookups as f64).collect();
+    let eq1 = pls_metrics::unfairness::from_probabilities(&probs, 6);
+    assert!((unfairness - eq1).abs() < 1e-9, "gauge {unfairness} vs eq. (1) {eq1}");
+}
+
+#[tokio::test]
+async fn request_id_propagates_from_client_through_servers() {
+    use std::sync::{Arc, Mutex};
+
+    // Capture every tracing event emitted while one place and one
+    // lookup run; the sink and level are process-global, so concurrent
+    // tests' events also land here and assertions filter by the exact
+    // 64-bit ids drawn by *this* client.
+    let lines: Arc<Mutex<Vec<String>>> = Arc::new(Mutex::new(Vec::new()));
+    let captured = Arc::clone(&lines);
+    pls_telemetry::trace::set_sink(Some(Box::new(move |line: &str| {
+        captured.lock().unwrap_or_else(std::sync::PoisonError::into_inner).push(line.to_string());
+    })));
+    pls_telemetry::trace::init(Some(pls_telemetry::Level::Trace));
+
+    let spec = StrategySpec::full_replication();
+    let (addrs, _handles) = spawn_cluster(3, spec, 96).await;
+    let mut client = Client::connect(ClientConfig::new(addrs, spec, 97));
+
+    client.place(b"k", entries(0..6)).await.unwrap();
+    let place_id = client.last_request_id();
+    let got = client.partial_lookup(b"k", 2).await.unwrap();
+    assert_eq!(got.len(), 2);
+    let lookup_id = client.last_request_id();
+    assert_ne!(place_id, lookup_id, "each operation draws a fresh id");
+
+    // Server-side spans drop (emitting `done`) right after the response
+    // is written; give those final events a moment to land.
+    tokio::time::sleep(std::time::Duration::from_millis(100)).await;
+    pls_telemetry::trace::init(None);
+    pls_telemetry::trace::set_sink(None);
+    let lines = lines.lock().unwrap_or_else(std::sync::PoisonError::into_inner).clone();
+
+    // Exact-token match: a decimal id must not match as a prefix of a
+    // longer one.
+    let has_id = |l: &str, id: u64| {
+        let token = format!("req={id}");
+        l.split_whitespace().any(|kv| kv == token)
+    };
+
+    // The lookup's id appears on the client span, the server's request
+    // span, the per-probe engine span, and the probe-answered event —
+    // the same id at every hop.
+    let with_lookup_id: Vec<&String> =
+        lines.iter().filter(|l| has_id(l, lookup_id)).collect();
+    for msg in ["msg=partial_lookup start", "msg=probe start", "msg=probe_sample start", "msg=probe_answered"] {
+        assert!(
+            with_lookup_id.iter().any(|l| l.contains(msg)),
+            "no `{msg}` event with req={lookup_id}: {with_lookup_id:?}"
+        );
+    }
+    // A lookup triggers no server-to-server fan-out.
+    assert!(
+        !with_lookup_id.iter().any(|l| l.contains("msg=internal")),
+        "{with_lookup_id:?}"
+    );
+
+    // The place's id follows the coordinator's fan-out: the handling
+    // server stamps it on both Internal messages it relays.
+    let with_place_id: Vec<&String> =
+        lines.iter().filter(|l| has_id(l, place_id)).collect();
+    assert!(
+        with_place_id.iter().any(|l| l.contains("msg=place start")),
+        "{with_place_id:?}"
+    );
+    let internal_starts =
+        with_place_id.iter().filter(|l| l.contains("msg=internal start")).count();
+    assert_eq!(internal_starts, 2, "{with_place_id:?}");
 }
 
 #[tokio::test]

@@ -34,6 +34,35 @@ pub fn from_probabilities(probs: &[f64], t: usize) -> f64 {
     (h / t as f64) * var.sqrt()
 }
 
+/// The coefficient of variation of raw per-entry hit counts:
+/// `std(counts) / mean(counts)` (population standard deviation).
+/// Returns `0.0` for an empty slice or all-zero counts.
+///
+/// This is the **live** form of eq. (1): with `L` observed lookups,
+/// entry `j`'s empirical retrieval probability is `p_j = c_j / L`, and
+/// the common factor `1/L` cancels out of the ratio — so a running
+/// server can report its unfairness from nothing but a counter per
+/// entry, knowing neither `t` nor how many lookups it has seen. The two
+/// forms agree exactly whenever every lookup returns exactly `t` of the
+/// `h` counted entries (then `mean(p) = t/h`, the ideal eq. (1)
+/// normalizes by); when lookups come up short — coverage shortfall —
+/// eq. (1) normalizes by the *ideal* `t/h` while this normalizes by the
+/// smaller observed mean, so the live value reads slightly higher.
+/// Entries that are stored but never returned must be included as
+/// zeros, exactly as [`from_probabilities`] demands.
+pub fn cov_from_counts(counts: &[u64]) -> f64 {
+    if counts.is_empty() {
+        return 0.0;
+    }
+    let n = counts.len() as f64;
+    let mean = counts.iter().map(|&c| c as f64).sum::<f64>() / n;
+    if mean == 0.0 {
+        return 0.0;
+    }
+    let var = counts.iter().map(|&c| (c as f64 - mean).powi(2)).sum::<f64>() / n;
+    var.sqrt() / mean
+}
+
 /// Estimates the unfairness of the cluster's **current instance** by
 /// running `lookups` partial lookups of size `t` and counting how often
 /// each entry of `universe` is returned.
@@ -225,5 +254,38 @@ mod tests {
     #[should_panic(expected = "undefined for t > x")]
     fn analytic_fixed_rejects_oversized_t() {
         analytic_fixed(10, 100, 11);
+    }
+
+    #[test]
+    fn cov_from_counts_edge_cases() {
+        assert_eq!(cov_from_counts(&[]), 0.0);
+        assert_eq!(cov_from_counts(&[0, 0, 0]), 0.0);
+        assert_eq!(cov_from_counts(&[7, 7, 7, 7]), 0.0);
+        // Two entries, one always hit: mean 0.5, std 0.5 → CoV 1.
+        assert!((cov_from_counts(&[10, 0]) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn cov_from_counts_is_scale_invariant() {
+        let a = cov_from_counts(&[3, 1, 2, 6]);
+        let b = cov_from_counts(&[300, 100, 200, 600]);
+        assert!((a - b).abs() < 1e-12);
+    }
+
+    #[test]
+    fn cov_from_counts_matches_eq1_when_lookups_return_exactly_t() {
+        // Fixed-5 over h=15, t=3, 600 lookups: the first 5 entries are
+        // each returned 360 times in expectation, the rest never. Use
+        // the exact expectation so both forms are computed from the same
+        // data: c_j = L·p_j with p = (t/x,…,0,…).
+        let (x, h, t, lookups) = (5usize, 15usize, 3usize, 600u64);
+        let per_hot = lookups * t as u64 / x as u64;
+        let mut counts = vec![per_hot; x];
+        counts.resize(h, 0);
+        let live = cov_from_counts(&counts);
+        let probs: Vec<f64> =
+            counts.iter().map(|&c| c as f64 / lookups as f64).collect();
+        assert!((live - from_probabilities(&probs, t)).abs() < 1e-12);
+        assert!((live - analytic_fixed(x, h, t)).abs() < 1e-12);
     }
 }

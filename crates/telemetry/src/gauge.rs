@@ -1,0 +1,111 @@
+//! Lock-free point-in-time gauges.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// A point-in-time `f64` value (a level, a ratio, a temperature — not a
+/// monotone count).
+///
+/// The value is stored as its IEEE-754 bit pattern in an [`AtomicU64`],
+/// so `set`/`get` are single relaxed atomic operations: readers may see
+/// a slightly stale value, never a torn one. `0u64` is the bit pattern
+/// of `0.0`, so [`Gauge::new`] is `const` and a fresh gauge reads zero.
+#[derive(Debug, Default)]
+pub struct Gauge(AtomicU64);
+
+impl Gauge {
+    /// A gauge at `0.0`.
+    pub const fn new() -> Self {
+        Gauge(AtomicU64::new(0))
+    }
+
+    /// Stores a new value.
+    #[inline]
+    pub fn set(&self, value: f64) {
+        self.0.store(value.to_bits(), Ordering::Relaxed);
+    }
+
+    /// The current value.
+    #[inline]
+    pub fn get(&self) -> f64 {
+        f64::from_bits(self.0.load(Ordering::Relaxed))
+    }
+
+    /// Adds `delta` (compare-and-swap loop; gauges are written rarely,
+    /// off the hot path, so contention is a non-issue).
+    pub fn add(&self, delta: f64) {
+        let mut cur = self.0.load(Ordering::Relaxed);
+        loop {
+            let next = (f64::from_bits(cur) + delta).to_bits();
+            match self.0.compare_exchange_weak(cur, next, Ordering::Relaxed, Ordering::Relaxed) {
+                Ok(_) => return,
+                Err(actual) => cur = actual,
+            }
+        }
+    }
+
+    /// Resets to `0.0`.
+    #[inline]
+    pub fn reset(&self) {
+        self.0.store(0, Ordering::Relaxed);
+    }
+
+    /// Returns the current value and resets to `0.0` in one atomic step.
+    #[inline]
+    pub fn take(&self) -> f64 {
+        f64::from_bits(self.0.swap(0, Ordering::Relaxed))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn new_is_zero_and_set_get_roundtrip() {
+        let g = Gauge::new();
+        assert_eq!(g.get(), 0.0);
+        g.set(2.5);
+        assert_eq!(g.get(), 2.5);
+        g.set(-0.125);
+        assert_eq!(g.get(), -0.125);
+    }
+
+    #[test]
+    fn add_and_reset() {
+        let g = Gauge::new();
+        g.add(1.5);
+        g.add(2.0);
+        assert_eq!(g.get(), 3.5);
+        g.reset();
+        assert_eq!(g.get(), 0.0);
+    }
+
+    #[test]
+    fn take_returns_and_clears() {
+        let g = Gauge::new();
+        g.set(7.25);
+        assert_eq!(g.take(), 7.25);
+        assert_eq!(g.get(), 0.0);
+        assert_eq!(g.take(), 0.0);
+    }
+
+    #[test]
+    fn concurrent_adds_are_not_lost() {
+        let g = Arc::new(Gauge::new());
+        let mut handles = Vec::new();
+        for _ in 0..4 {
+            let g = Arc::clone(&g);
+            handles.push(std::thread::spawn(move || {
+                for _ in 0..1_000 {
+                    g.add(1.0);
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        // 4000 is exactly representable, so the CAS loop must not lose adds.
+        assert_eq!(g.get(), 4_000.0);
+    }
+}

@@ -1,0 +1,209 @@
+//! Shard-locked counters keyed by byte strings.
+//!
+//! [`KeyedCounterMap`] is the dynamic-cardinality sibling of
+//! [`Counter`](crate::Counter): one `u64` per byte-string key, for
+//! populations discovered at runtime (per-entry retrieval counts,
+//! per-key traffic). Recording hashes the key to one of 16 mutex
+//! shards and does a single `HashMap` upsert inside the lock — writers
+//! for different keys almost never contend, and no lock is ever held
+//! across I/O or allocation beyond the upsert itself.
+
+use std::collections::HashMap;
+use std::sync::Mutex;
+
+const SHARDS: usize = 16;
+
+/// A map of independent `u64` counters, one per byte-string key.
+#[derive(Debug)]
+pub struct KeyedCounterMap {
+    shards: Vec<Mutex<HashMap<Vec<u8>, u64>>>,
+}
+
+impl Default for KeyedCounterMap {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// FNV-1a, the classic dependency-free byte-string hash.
+fn shard_of(key: &[u8]) -> usize {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for &b in key {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    (h % SHARDS as u64) as usize
+}
+
+impl KeyedCounterMap {
+    /// An empty map.
+    pub fn new() -> Self {
+        KeyedCounterMap { shards: (0..SHARDS).map(|_| Mutex::new(HashMap::new())).collect() }
+    }
+
+    /// Adds one to `key`'s counter (creating it at zero first).
+    pub fn inc(&self, key: &[u8]) {
+        self.add(key, 1);
+    }
+
+    /// Adds `n` to `key`'s counter (creating it at zero first).
+    pub fn add(&self, key: &[u8], n: u64) {
+        let mut shard = self.shards[shard_of(key)].lock().expect("keyed lock poisoned");
+        match shard.get_mut(key) {
+            Some(v) => *v += n,
+            None => {
+                shard.insert(key.to_vec(), n);
+            }
+        }
+    }
+
+    /// The counter for `key`, or `None` if it was never touched.
+    pub fn get(&self, key: &[u8]) -> Option<u64> {
+        self.shards[shard_of(key)].lock().expect("keyed lock poisoned").get(key).copied()
+    }
+
+    /// The number of distinct keys recorded.
+    pub fn len(&self) -> usize {
+        self.shards.iter().map(|s| s.lock().expect("keyed lock poisoned").len()).sum()
+    }
+
+    /// Whether no key has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// A point-in-time copy of every `(key, count)` pair, sorted by key.
+    pub fn snapshot(&self) -> KeyedSnapshot {
+        let mut entries = Vec::new();
+        for shard in &self.shards {
+            let shard = shard.lock().expect("keyed lock poisoned");
+            entries.extend(shard.iter().map(|(k, v)| (k.clone(), *v)));
+        }
+        entries.sort_by(|a, b| a.0.cmp(&b.0));
+        KeyedSnapshot { entries }
+    }
+
+    /// Returns the current snapshot and clears the map. Each shard is
+    /// drained atomically; a concurrent writer lands either in the
+    /// returned snapshot or in the fresh map, never both or neither.
+    pub fn take(&self) -> KeyedSnapshot {
+        let mut entries = Vec::new();
+        for shard in &self.shards {
+            let mut shard = shard.lock().expect("keyed lock poisoned");
+            entries.extend(shard.drain());
+        }
+        entries.sort_by(|a, b| a.0.cmp(&b.0));
+        KeyedSnapshot { entries }
+    }
+}
+
+/// A point-in-time copy of a [`KeyedCounterMap`]: plain `(key, count)`
+/// data, sorted by key, mergeable across servers.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct KeyedSnapshot {
+    /// `(key, count)` pairs, sorted by key.
+    pub entries: Vec<(Vec<u8>, u64)>,
+}
+
+impl KeyedSnapshot {
+    /// The count for `key`, or `None`.
+    pub fn get(&self, key: &[u8]) -> Option<u64> {
+        self.entries
+            .binary_search_by(|(k, _)| k.as_slice().cmp(key))
+            .ok()
+            .map(|i| self.entries[i].1)
+    }
+
+    /// Accumulates another snapshot: counts for equal keys are summed,
+    /// new keys are inserted in order.
+    pub fn merge(&mut self, other: &KeyedSnapshot) {
+        for (key, count) in &other.entries {
+            match self.entries.binary_search_by(|(k, _)| k.cmp(key)) {
+                Ok(i) => self.entries[i].1 += count,
+                Err(i) => self.entries.insert(i, (key.clone(), *count)),
+            }
+        }
+    }
+
+    /// All counts, in key order — the raw vector that dispersion
+    /// statistics (coefficient of variation, unfairness) consume.
+    pub fn counts(&self) -> Vec<u64> {
+        self.entries.iter().map(|(_, v)| *v).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn add_get_len() {
+        let m = KeyedCounterMap::new();
+        assert!(m.is_empty());
+        m.inc(b"a");
+        m.add(b"a", 4);
+        m.add(b"b", 2);
+        assert_eq!(m.get(b"a"), Some(5));
+        assert_eq!(m.get(b"b"), Some(2));
+        assert_eq!(m.get(b"c"), None);
+        assert_eq!(m.len(), 2);
+    }
+
+    #[test]
+    fn snapshot_is_sorted_and_take_drains() {
+        let m = KeyedCounterMap::new();
+        m.add(b"zz", 1);
+        m.add(b"aa", 2);
+        m.add(b"mm", 3);
+        let snap = m.snapshot();
+        assert_eq!(
+            snap.entries,
+            vec![(b"aa".to_vec(), 2), (b"mm".to_vec(), 3), (b"zz".to_vec(), 1)]
+        );
+        assert_eq!(snap.get(b"mm"), Some(3));
+        assert_eq!(snap.get(b"xx"), None);
+        assert_eq!(snap.counts(), vec![2, 3, 1]);
+
+        let taken = m.take();
+        assert_eq!(taken, snap);
+        assert!(m.is_empty());
+        assert_eq!(m.take(), KeyedSnapshot::default());
+    }
+
+    #[test]
+    fn merge_sums_and_inserts_in_order() {
+        let a = KeyedCounterMap::new();
+        a.add(b"k1", 1);
+        a.add(b"k3", 3);
+        let b = KeyedCounterMap::new();
+        b.add(b"k1", 10);
+        b.add(b"k2", 2);
+        let mut m = a.snapshot();
+        m.merge(&b.snapshot());
+        assert_eq!(
+            m.entries,
+            vec![(b"k1".to_vec(), 11), (b"k2".to_vec(), 2), (b"k3".to_vec(), 3)]
+        );
+    }
+
+    #[test]
+    fn concurrent_mixed_key_adds_are_not_lost() {
+        let m = Arc::new(KeyedCounterMap::new());
+        let mut handles = Vec::new();
+        for t in 0..8u32 {
+            let m = Arc::clone(&m);
+            handles.push(std::thread::spawn(move || {
+                for i in 0..1_000u32 {
+                    m.inc(format!("key{}", (t + i) % 5).as_bytes());
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        let total: u64 = m.snapshot().counts().iter().sum();
+        assert_eq!(total, 8_000);
+        assert_eq!(m.len(), 5);
+    }
+}

@@ -11,26 +11,43 @@
 //!   atomics. `observe` is two `fetch_add`s plus one for the bucket.
 //!   Snapshots ([`HistogramSnapshot`]) are plain data: they merge across
 //!   servers and serialize over the wire.
-//! * [`MetricsSnapshot`] — a named bag of counter values and histogram
-//!   snapshots; merging snapshots from every server of a cluster yields
-//!   cluster-wide totals, and [`MetricsSnapshot::to_prometheus`] renders
-//!   the standard text exposition format for scraping.
+//! * [`Gauge`] — a point-in-time `f64` reading (a ratio, a level)
+//!   stored as bits in an atomic `u64`; `set`/`get` are single relaxed
+//!   operations.
+//! * [`TopK`] — a bounded Space-Saving sketch answering "which keys are
+//!   hottest?" in `O(k)` memory with per-slot error bounds.
+//! * [`KeyedCounterMap`] — one counter per byte-string key for
+//!   populations discovered at runtime (per-entry retrieval counts),
+//!   sharded across 16 mutexes so writers rarely contend.
+//! * [`MetricsSnapshot`] — a named bag of counter values, gauge
+//!   readings, and histogram snapshots; merging snapshots from every
+//!   server of a cluster yields cluster-wide totals, and
+//!   [`MetricsSnapshot::to_prometheus`] renders the standard text
+//!   exposition format for scraping.
 //! * [`trace`] — a structured logging facade (levels, key/value fields,
-//!   timing spans) with the shape of the `tracing` crate but zero
-//!   dependencies, so binaries and tests can enable it unconditionally.
+//!   timing spans with optional request-id correlation) with the shape
+//!   of the `tracing` crate but zero dependencies, so binaries and
+//!   tests can enable it unconditionally.
 //!
-//! Everything here is `std`-only and lock-free on the recording path;
-//! the only allocations happen at snapshot/exposition time.
+//! Everything here is `std`-only and lock-free or shard-locked on the
+//! recording path; the only allocations happen at snapshot/exposition
+//! time (plus first-touch key insertion in the keyed structures).
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod counter;
+pub mod gauge;
 pub mod histogram;
+pub mod keyed;
 pub mod snapshot;
+pub mod topk;
 pub mod trace;
 
 pub use counter::Counter;
+pub use gauge::Gauge;
 pub use histogram::{Histogram, HistogramSnapshot, BUCKETS};
+pub use keyed::{KeyedCounterMap, KeyedSnapshot};
 pub use snapshot::MetricsSnapshot;
+pub use topk::{TopK, TopKEntry, TopKSnapshot};
 pub use trace::{Level, Span};

@@ -5,20 +5,26 @@ use std::fmt::Write as _;
 
 use crate::histogram::{Histogram, HistogramSnapshot, BUCKETS};
 
-/// A point-in-time bag of named metrics: counter totals and histogram
-/// snapshots.
+/// A point-in-time bag of named metrics: counter totals, float gauges,
+/// and histogram snapshots.
 ///
 /// Counter names follow Prometheus conventions — `snake_case`, a
 /// `_total` suffix for monotonic counters, optional `{label="value"}`
 /// suffixes (e.g. `pls_requests_total{op="probe"}`). The *same* names
 /// from different servers merge by summation ([`merge`]), which is how
-/// the `pls_client stats` command builds a cluster-wide view.
+/// the `pls_client stats` command builds a cluster-wide view. Gauges
+/// are point-in-time readings, not totals: pushing or merging a gauge
+/// under an existing name *replaces* the value, and ratio-style gauges
+/// (coverage, unfairness) should be recomputed from merged counters
+/// rather than combined across servers.
 ///
 /// [`merge`]: MetricsSnapshot::merge
-#[derive(Debug, Clone, Default, PartialEq, Eq)]
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct MetricsSnapshot {
     /// `(name, total)` pairs, in insertion order.
     pub counters: Vec<(String, u64)>,
+    /// `(name, value)` gauge pairs, in insertion order.
+    pub gauges: Vec<(String, f64)>,
     /// `(name, snapshot)` pairs, in insertion order.
     pub histograms: Vec<(String, HistogramSnapshot)>,
 }
@@ -38,6 +44,15 @@ impl MetricsSnapshot {
         }
     }
 
+    /// Sets a gauge reading (replacing any prior value under the name).
+    pub fn push_gauge(&mut self, name: impl Into<String>, value: f64) {
+        let name = name.into();
+        match self.gauges.iter_mut().find(|(n, _)| *n == name) {
+            Some((_, v)) => *v = value,
+            None => self.gauges.push((name, value)),
+        }
+    }
+
     /// Appends a histogram sample (or merges into it, if the name
     /// exists).
     pub fn push_histogram(&mut self, name: impl Into<String>, snap: HistogramSnapshot) {
@@ -53,6 +68,11 @@ impl MetricsSnapshot {
         self.counters.iter().find(|(n, _)| n == name).map(|(_, v)| *v)
     }
 
+    /// Looks up a gauge reading by exact name.
+    pub fn gauge(&self, name: &str) -> Option<f64> {
+        self.gauges.iter().find(|(n, _)| n == name).map(|(_, v)| *v)
+    }
+
     /// Looks up a histogram by exact name.
     pub fn histogram(&self, name: &str) -> Option<&HistogramSnapshot> {
         self.histograms.iter().find(|(n, _)| n == name).map(|(_, h)| h)
@@ -65,11 +85,15 @@ impl MetricsSnapshot {
     }
 
     /// Accumulates another snapshot into this one: counters with equal
-    /// names are summed, histograms with equal names are merged, new
-    /// names are appended.
+    /// names are summed, histograms with equal names are merged, gauges
+    /// with equal names are replaced by `other`'s reading (gauges are
+    /// point-in-time values, not totals), new names are appended.
     pub fn merge(&mut self, other: &MetricsSnapshot) {
         for (name, value) in &other.counters {
             self.push_counter(name.clone(), *value);
+        }
+        for (name, value) in &other.gauges {
+            self.push_gauge(name.clone(), *value);
         }
         for (name, snap) in &other.histograms {
             self.push_histogram(name.clone(), snap.clone());
@@ -98,6 +122,20 @@ impl MetricsSnapshot {
             }
         }
 
+        // Float gauges, grouped by family like the counters.
+        let mut gauge_families: BTreeMap<&str, Vec<(&str, f64)>> = BTreeMap::new();
+        for (name, value) in &self.gauges {
+            let family = name.split('{').next().unwrap_or(name);
+            gauge_families.entry(family).or_default().push((name, *value));
+        }
+        for (family, mut samples) in gauge_families {
+            let _ = writeln!(out, "# TYPE {family} gauge");
+            samples.sort_by(|a, b| a.0.cmp(b.0));
+            for (name, value) in samples {
+                let _ = writeln!(out, "{name} {}", format_f64(value));
+            }
+        }
+
         let mut hists: Vec<(&str, &HistogramSnapshot)> =
             self.histograms.iter().map(|(n, h)| (n.as_str(), h)).collect();
         hists.sort_by(|a, b| a.0.cmp(b.0));
@@ -123,6 +161,100 @@ impl MetricsSnapshot {
         }
         out
     }
+}
+
+/// Renders an `f64` sample the way Prometheus expects: `Display` for
+/// finite values, `+Inf`/`-Inf`/`NaN` for the specials.
+fn format_f64(v: f64) -> String {
+    if v.is_nan() {
+        "NaN".to_string()
+    } else if v == f64::INFINITY {
+        "+Inf".to_string()
+    } else if v == f64::NEG_INFINITY {
+        "-Inf".to_string()
+    } else {
+        format!("{v}")
+    }
+}
+
+/// Escapes a label *value* for the Prometheus text format: backslash,
+/// double quote, and newline must be backslash-escaped inside the
+/// `label="..."` quotes.
+pub fn escape_label_value(value: &str) -> String {
+    let mut out = String::with_capacity(value.len());
+    for c in value.chars() {
+        match c {
+            '\\' => out.push_str("\\\\"),
+            '"' => out.push_str("\\\""),
+            '\n' => out.push_str("\\n"),
+            other => out.push(other),
+        }
+    }
+    out
+}
+
+/// Builds a labelled series name, `family{k1="v1",k2="v2"}`, escaping
+/// each label value. With no labels the bare family name is returned.
+pub fn labeled(family: &str, labels: &[(&str, &str)]) -> String {
+    if labels.is_empty() {
+        return family.to_string();
+    }
+    let mut out = String::from(family);
+    out.push('{');
+    for (i, (k, v)) in labels.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(k);
+        out.push_str("=\"");
+        out.push_str(&escape_label_value(v));
+        out.push('"');
+    }
+    out.push('}');
+    out
+}
+
+/// Splits a series name into its family and decoded `(label, value)`
+/// pairs — the inverse of [`labeled`]. Returns `None` if the label
+/// block is malformed (unbalanced quotes, missing `=`).
+pub fn parse_labels(name: &str) -> Option<(&str, Vec<(String, String)>)> {
+    let Some(brace) = name.find('{') else {
+        return Some((name, Vec::new()));
+    };
+    let family = &name[..brace];
+    let body = name[brace + 1..].strip_suffix('}')?;
+    let mut labels = Vec::new();
+    let mut rest = body;
+    while !rest.is_empty() {
+        let eq = rest.find("=\"")?;
+        let key = rest[..eq].to_string();
+        let mut value = String::new();
+        let mut chars = rest[eq + 2..].char_indices();
+        let mut consumed = None;
+        while let Some((i, c)) = chars.next() {
+            match c {
+                '\\' => match chars.next() {
+                    Some((_, 'n')) => value.push('\n'),
+                    Some((_, escaped)) => value.push(escaped),
+                    None => return None,
+                },
+                '"' => {
+                    consumed = Some(eq + 2 + i + 1);
+                    break;
+                }
+                other => value.push(other),
+            }
+        }
+        let end = consumed?;
+        labels.push((key, value));
+        rest = &rest[end..];
+        if let Some(stripped) = rest.strip_prefix(',') {
+            rest = stripped;
+        } else if !rest.is_empty() {
+            return None;
+        }
+    }
+    Some((family, labels))
 }
 
 #[cfg(test)]
@@ -199,5 +331,130 @@ mod tests {
         assert!(text.contains("pls_probes_per_lookup_bucket{le=\"+Inf\"} 4"), "{text}");
         assert!(text.contains("pls_probes_per_lookup_sum 10"), "{text}");
         assert!(text.contains("pls_probes_per_lookup_count 4"), "{text}");
+    }
+
+    #[test]
+    fn gauges_set_replace_and_render() {
+        let mut s = MetricsSnapshot::new();
+        s.push_gauge("pls_live_coverage", 0.5);
+        s.push_gauge("pls_live_coverage", 0.75);
+        s.push_gauge("pls_live_unfairness", 0.0);
+        assert_eq!(s.gauge("pls_live_coverage"), Some(0.75));
+        assert_eq!(s.gauge("missing"), None);
+        let text = s.to_prometheus();
+        assert!(text.contains("# TYPE pls_live_coverage gauge"), "{text}");
+        assert!(text.contains("pls_live_coverage 0.75"), "{text}");
+        assert!(text.contains("pls_live_unfairness 0\n"), "{text}");
+    }
+
+    #[test]
+    fn gauge_merge_replaces_rather_than_sums() {
+        let mut a = MetricsSnapshot::new();
+        a.push_gauge("g", 1.0);
+        let mut b = MetricsSnapshot::new();
+        b.push_gauge("g", 9.0);
+        b.push_gauge("only_b", 2.0);
+        a.merge(&b);
+        assert_eq!(a.gauge("g"), Some(9.0));
+        assert_eq!(a.gauge("only_b"), Some(2.0));
+    }
+
+    #[test]
+    fn gauge_specials_render_prometheus_style() {
+        let mut s = MetricsSnapshot::new();
+        s.push_gauge("g_inf", f64::INFINITY);
+        s.push_gauge("g_ninf", f64::NEG_INFINITY);
+        s.push_gauge("g_nan", f64::NAN);
+        let text = s.to_prometheus();
+        assert!(text.contains("g_inf +Inf"), "{text}");
+        assert!(text.contains("g_ninf -Inf"), "{text}");
+        assert!(text.contains("g_nan NaN"), "{text}");
+    }
+
+    #[test]
+    fn label_value_escaping_roundtrips() {
+        assert_eq!(escape_label_value("plain"), "plain");
+        assert_eq!(escape_label_value("a\"b"), "a\\\"b");
+        assert_eq!(escape_label_value("a\\b"), "a\\\\b");
+        assert_eq!(escape_label_value("a\nb"), "a\\nb");
+
+        let name = labeled("pls_entry_hits_total", &[("key", "so\"ng\\1\n"), ("entry", "e1")]);
+        assert_eq!(name, "pls_entry_hits_total{key=\"so\\\"ng\\\\1\\n\",entry=\"e1\"}");
+        let (family, labels) = parse_labels(&name).unwrap();
+        assert_eq!(family, "pls_entry_hits_total");
+        assert_eq!(
+            labels,
+            vec![
+                ("key".to_string(), "so\"ng\\1\n".to_string()),
+                ("entry".to_string(), "e1".to_string())
+            ]
+        );
+    }
+
+    #[test]
+    fn labeled_without_labels_and_parse_edge_cases() {
+        assert_eq!(labeled("pls_keys", &[]), "pls_keys");
+        assert_eq!(parse_labels("pls_keys"), Some(("pls_keys", Vec::new())));
+        assert_eq!(parse_labels("x{}"), Some(("x", Vec::new())));
+        assert_eq!(parse_labels("x{k=\"v\""), None); // missing closing brace
+        assert_eq!(parse_labels("x{k=\"v}"), None); // unterminated quote
+        assert_eq!(parse_labels("x{kv}"), None); // missing =
+    }
+
+    #[test]
+    fn escaped_label_values_survive_exposition() {
+        let mut s = MetricsSnapshot::new();
+        s.push_counter(labeled("hits_total", &[("key", "a\"b\\c")]), 3);
+        let text = s.to_prometheus();
+        assert!(text.contains("hits_total{key=\"a\\\"b\\\\c\"} 3"), "{text}");
+    }
+
+    #[test]
+    fn counter_families_end_in_total_and_buckets_are_cumulative_to_inf() {
+        // The conformance points scrapers actually depend on: every
+        // `# TYPE ... counter` family name carries the `_total` suffix,
+        // and each histogram's bucket series is non-decreasing and ends
+        // at `+Inf` with the total count.
+        let mut s = MetricsSnapshot::new();
+        s.push_counter("reqs_total{op=\"a\"}", 1);
+        s.push_counter("keys", 5); // unsuffixed => exposed as gauge
+        s.push_histogram("lat_us", hist(&[1, 100, 10_000]));
+        let text = s.to_prometheus();
+
+        for line in text.lines().filter(|l| l.starts_with("# TYPE")) {
+            let mut parts = line.split_whitespace().skip(2);
+            let (family, kind) = (parts.next().unwrap(), parts.next().unwrap());
+            if kind == "counter" {
+                assert!(family.ends_with("_total"), "{line}");
+            }
+        }
+
+        let mut last = 0u64;
+        let mut saw_inf = false;
+        for line in text.lines().filter(|l| l.starts_with("lat_us_bucket")) {
+            let v: u64 = line.rsplit(' ').next().unwrap().parse().unwrap();
+            assert!(v >= last, "buckets must be cumulative: {text}");
+            last = v;
+            saw_inf |= line.contains("le=\"+Inf\"");
+        }
+        assert!(saw_inf, "{text}");
+        assert!(text.contains("lat_us_bucket{le=\"+Inf\"} 3"), "{text}");
+    }
+
+    #[test]
+    fn exposition_order_is_stable_across_insertion_orders() {
+        let mut a = MetricsSnapshot::new();
+        a.push_counter("z_total", 1);
+        a.push_counter("a_total", 2);
+        a.push_gauge("m_gauge", 0.5);
+        a.push_histogram("h", hist(&[3]));
+
+        let mut b = MetricsSnapshot::new();
+        b.push_histogram("h", hist(&[3]));
+        b.push_gauge("m_gauge", 0.5);
+        b.push_counter("a_total", 2);
+        b.push_counter("z_total", 1);
+
+        assert_eq!(a.to_prometheus(), b.to_prometheus());
     }
 }

@@ -1,0 +1,231 @@
+//! Bounded hot-key tracking: the Space-Saving sketch.
+//!
+//! [`TopK`] answers "which keys receive the most traffic?" in `O(k)`
+//! memory regardless of how many distinct keys flow past, using the
+//! Space-Saving algorithm (Metwally, Agrawal & El Abbadi, ICDT 2005):
+//! a fixed set of `k` monitored slots; an unmonitored key evicts the
+//! slot with the smallest count and inherits that count as its error
+//! bound. Every key whose true frequency exceeds `N/k` (of `N` total
+//! offers) is guaranteed to be monitored, and each reported count
+//! overestimates the true one by at most the slot's recorded `err`.
+//!
+//! Recording takes one short mutex-protected map operation; evictions
+//! (an `O(k)` min scan) only happen once the sketch is full *and* a
+//! brand-new key arrives, so steady-state hot-key traffic stays on the
+//! `O(1)` path.
+
+use std::collections::HashMap;
+use std::sync::Mutex;
+
+#[derive(Debug, Clone, Copy)]
+struct Slot {
+    count: u64,
+    err: u64,
+}
+
+/// A bounded Space-Saving sketch over byte-string keys.
+#[derive(Debug)]
+pub struct TopK {
+    capacity: usize,
+    inner: Mutex<HashMap<Vec<u8>, Slot>>,
+}
+
+impl TopK {
+    /// A sketch monitoring at most `capacity` keys (minimum 1).
+    pub fn new(capacity: usize) -> Self {
+        TopK { capacity: capacity.max(1), inner: Mutex::new(HashMap::new()) }
+    }
+
+    /// The maximum number of monitored keys.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// The number of keys currently monitored.
+    pub fn len(&self) -> usize {
+        self.inner.lock().expect("topk lock poisoned").len()
+    }
+
+    /// Whether no key has been offered yet.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Records one occurrence of `key`.
+    pub fn offer(&self, key: &[u8]) {
+        self.offer_n(key, 1);
+    }
+
+    /// Records `n` occurrences of `key`.
+    pub fn offer_n(&self, key: &[u8], n: u64) {
+        if n == 0 {
+            return;
+        }
+        let mut map = self.inner.lock().expect("topk lock poisoned");
+        if let Some(slot) = map.get_mut(key) {
+            slot.count += n;
+            return;
+        }
+        if map.len() < self.capacity {
+            map.insert(key.to_vec(), Slot { count: n, err: 0 });
+            return;
+        }
+        // Evict the slot with the smallest count (ties: any); the new
+        // key inherits the evicted count as its overestimation bound.
+        let victim = map
+            .iter()
+            .min_by(|a, b| a.1.count.cmp(&b.1.count).then_with(|| a.0.cmp(b.0)))
+            .map(|(k, s)| (k.clone(), s.count))
+            .expect("capacity >= 1, map is full");
+        map.remove(&victim.0);
+        map.insert(key.to_vec(), Slot { count: victim.1 + n, err: victim.1 });
+    }
+
+    /// The current monitored keys, heaviest first.
+    pub fn snapshot(&self) -> TopKSnapshot {
+        let map = self.inner.lock().expect("topk lock poisoned");
+        Self::to_snapshot(&map)
+    }
+
+    /// Returns the current snapshot and clears the sketch in one step.
+    pub fn take(&self) -> TopKSnapshot {
+        let mut map = self.inner.lock().expect("topk lock poisoned");
+        let snap = Self::to_snapshot(&map);
+        map.clear();
+        snap
+    }
+
+    fn to_snapshot(map: &HashMap<Vec<u8>, Slot>) -> TopKSnapshot {
+        let mut entries: Vec<TopKEntry> = map
+            .iter()
+            .map(|(k, s)| TopKEntry { key: k.clone(), count: s.count, err: s.err })
+            .collect();
+        sort_entries(&mut entries);
+        TopKSnapshot { entries }
+    }
+}
+
+fn sort_entries(entries: &mut [TopKEntry]) {
+    // Heaviest first; ties broken by key so output is deterministic.
+    entries.sort_by(|a, b| b.count.cmp(&a.count).then_with(|| a.key.cmp(&b.key)));
+}
+
+/// One monitored key: its (over-)estimated count and error bound. The
+/// true frequency lies in `[count - err, count]`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TopKEntry {
+    /// The monitored key.
+    pub key: Vec<u8>,
+    /// Estimated occurrence count (an overestimate).
+    pub count: u64,
+    /// Maximum overestimation inherited from evictions.
+    pub err: u64,
+}
+
+/// A point-in-time copy of a [`TopK`] sketch: plain data, heaviest
+/// first, mergeable across servers.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct TopKSnapshot {
+    /// Monitored keys, sorted by descending `count`.
+    pub entries: Vec<TopKEntry>,
+}
+
+impl TopKSnapshot {
+    /// Accumulates another snapshot: counts and error bounds for equal
+    /// keys are summed (both bounds are additive across disjoint
+    /// streams), new keys are appended, and order is re-established.
+    pub fn merge(&mut self, other: &TopKSnapshot) {
+        for e in &other.entries {
+            match self.entries.iter_mut().find(|m| m.key == e.key) {
+                Some(m) => {
+                    m.count += e.count;
+                    m.err += e.err;
+                }
+                None => self.entries.push(e.clone()),
+            }
+        }
+        sort_entries(&mut self.entries);
+    }
+
+    /// The heaviest `k` entries.
+    pub fn top(&self, k: usize) -> &[TopKEntry] {
+        &self.entries[..k.min(self.entries.len())]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exact_below_capacity() {
+        let t = TopK::new(8);
+        for _ in 0..5 {
+            t.offer(b"a");
+        }
+        t.offer_n(b"b", 3);
+        t.offer(b"c");
+        let snap = t.snapshot();
+        assert_eq!(snap.entries.len(), 3);
+        assert_eq!(snap.entries[0], TopKEntry { key: b"a".to_vec(), count: 5, err: 0 });
+        assert_eq!(snap.entries[1], TopKEntry { key: b"b".to_vec(), count: 3, err: 0 });
+        assert_eq!(snap.entries[2], TopKEntry { key: b"c".to_vec(), count: 1, err: 0 });
+    }
+
+    #[test]
+    fn eviction_inherits_min_count_as_error() {
+        let t = TopK::new(2);
+        t.offer_n(b"a", 10);
+        t.offer_n(b"b", 2);
+        t.offer(b"c"); // evicts b (count 2); c gets count 3, err 2
+        let snap = t.snapshot();
+        assert_eq!(snap.entries.len(), 2);
+        assert_eq!(snap.entries[0].key, b"a".to_vec());
+        assert_eq!(snap.entries[1], TopKEntry { key: b"c".to_vec(), count: 3, err: 2 });
+    }
+
+    #[test]
+    fn heavy_hitters_survive_noise() {
+        // 2 heavy keys + 100 one-shot keys through a 10-slot sketch:
+        // Space-Saving guarantees keys above N/k stay monitored.
+        let t = TopK::new(10);
+        for i in 0..100u32 {
+            t.offer_n(b"hot1", 5);
+            t.offer_n(b"hot2", 3);
+            t.offer(format!("noise{i}").as_bytes());
+        }
+        let snap = t.snapshot();
+        assert_eq!(snap.entries[0].key, b"hot1".to_vec());
+        assert_eq!(snap.entries[1].key, b"hot2".to_vec());
+        // Counts overestimate by at most the recorded error.
+        assert!(snap.entries[0].count >= 500);
+        assert!(snap.entries[0].count - snap.entries[0].err <= 500);
+        assert_eq!(snap.entries.len(), 10);
+    }
+
+    #[test]
+    fn take_clears() {
+        let t = TopK::new(4);
+        t.offer(b"x");
+        let snap = t.take();
+        assert_eq!(snap.entries.len(), 1);
+        assert!(t.is_empty());
+        assert_eq!(t.take(), TopKSnapshot::default());
+    }
+
+    #[test]
+    fn merge_sums_counts_and_errors_and_resorts() {
+        let a = TopK::new(4);
+        a.offer_n(b"k1", 2);
+        a.offer_n(b"k2", 9);
+        let b = TopK::new(4);
+        b.offer_n(b"k1", 10);
+        b.offer_n(b"k3", 1);
+        let mut m = a.snapshot();
+        m.merge(&b.snapshot());
+        assert_eq!(m.entries[0], TopKEntry { key: b"k1".to_vec(), count: 12, err: 0 });
+        assert_eq!(m.entries[1].key, b"k2".to_vec());
+        assert_eq!(m.top(2).len(), 2);
+        assert_eq!(m.top(99).len(), 3);
+    }
+}

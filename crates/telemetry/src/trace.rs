@@ -15,7 +15,8 @@
 //! let _us = span.elapsed_us(); // usable for histograms even when disabled
 //! ```
 
-use std::sync::atomic::{AtomicU8, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU8, Ordering};
+use std::sync::RwLock;
 use std::time::{Instant, SystemTime, UNIX_EPOCH};
 
 /// Event severity, in decreasing order of urgency.
@@ -64,6 +65,23 @@ impl std::str::FromStr for Level {
 
 /// 0 = off; otherwise the numeric value of the maximum enabled level.
 static MAX_LEVEL: AtomicU8 = AtomicU8::new(0);
+
+/// An installed event sink receives each fully rendered line instead of
+/// stderr (tests capture output this way).
+type Sink = Box<dyn Fn(&str) + Send + Sync>;
+
+static SINK: RwLock<Option<Sink>> = RwLock::new(None);
+/// Fast-path flag so [`emit`] only takes the sink lock when one is set.
+static SINK_SET: AtomicBool = AtomicBool::new(false);
+
+/// Redirects all emitted event lines to `sink` (or back to stderr with
+/// `None`). Process-global, like the level: intended for tests and
+/// embedders that collect events rather than print them.
+pub fn set_sink(sink: Option<Sink>) {
+    let mut slot = SINK.write().unwrap_or_else(std::sync::PoisonError::into_inner);
+    SINK_SET.store(sink.is_some(), Ordering::Release);
+    *slot = sink;
+}
 
 /// Sets the global maximum level; `None` disables all output. May be
 /// called again at any time (e.g. to quiesce logging in tests).
@@ -132,32 +150,80 @@ pub fn format_line(level: Level, target: &str, msg: &str, fields: &[(&str, Strin
 pub fn emit(level: Level, target: &str, msg: &str, fields: &[(&str, String)]) {
     use std::io::Write;
     let line = format_line(level, target, msg, fields);
+    if SINK_SET.load(Ordering::Acquire) {
+        let sink = SINK.read().unwrap_or_else(std::sync::PoisonError::into_inner);
+        if let Some(sink) = sink.as_ref() {
+            sink(&line);
+            return;
+        }
+    }
     let stderr = std::io::stderr();
     let mut handle = stderr.lock();
     let _ = writeln!(handle, "{line}");
 }
 
 /// A timing span: captures an [`Instant`] on entry, emits a structured
-/// `<name> done elapsed_us=…` event on drop (when its level is
-/// enabled). [`elapsed_us`] is available regardless of the level, so
-/// the same span feeds latency histograms.
+/// `<name> done elapsed_us=…` event on drop. Whether the span logs is
+/// decided *once*, at entry — a span that announced `start` always
+/// announces `done` (and vice versa), even if the global level changes
+/// while it is open. [`elapsed_us`] is available regardless of the
+/// level, so the same span feeds latency histograms.
+///
+/// A span may carry a request id ([`enter_with_id`]); both its `start`
+/// and `done` events then include a `req=<id>` field, correlating every
+/// hop of one logical request across clients and servers.
 ///
 /// [`elapsed_us`]: Span::elapsed_us
+/// [`enter_with_id`]: Span::enter_with_id
 #[derive(Debug)]
 pub struct Span {
     level: Level,
     target: &'static str,
     name: &'static str,
+    id: Option<u64>,
+    /// Whether the level was enabled at entry; governs both events.
+    armed: bool,
     start: Instant,
 }
 
 impl Span {
     /// Starts a span (and emits a `<name> start` event at `level`).
     pub fn enter(level: Level, target: &'static str, name: &'static str) -> Span {
-        if enabled(level) {
-            emit(level, target, &format!("{} start", name), &[]);
+        Self::start(level, target, name, None)
+    }
+
+    /// Starts a span tagged with a request id: `start`/`done` events
+    /// carry `req=<id>`.
+    pub fn enter_with_id(
+        level: Level,
+        target: &'static str,
+        name: &'static str,
+        id: u64,
+    ) -> Span {
+        Self::start(level, target, name, Some(id))
+    }
+
+    fn start(level: Level, target: &'static str, name: &'static str, id: Option<u64>) -> Span {
+        let armed = enabled(level);
+        let span = Span { level, target, name, id, armed, start: Instant::now() };
+        if armed {
+            span.emit_event("start", &[]);
         }
-        Span { level, target, name, start: Instant::now() }
+        span
+    }
+
+    fn emit_event(&self, what: &str, extra: &[(&'static str, String)]) {
+        let mut fields: Vec<(&str, String)> = Vec::with_capacity(extra.len() + 1);
+        if let Some(id) = self.id {
+            fields.push(("req", id.to_string()));
+        }
+        fields.extend(extra.iter().map(|(k, v)| (*k, v.clone())));
+        emit(self.level, self.target, &format!("{} {}", self.name, what), &fields);
+    }
+
+    /// The request id the span was entered with, if any.
+    pub fn id(&self) -> Option<u64> {
+        self.id
     }
 
     /// Microseconds since the span was entered (saturating).
@@ -168,13 +234,10 @@ impl Span {
 
 impl Drop for Span {
     fn drop(&mut self) {
-        if enabled(self.level) {
-            emit(
-                self.level,
-                self.target,
-                &format!("{} done", self.name),
-                &[("elapsed_us", self.elapsed_us().to_string())],
-            );
+        // Use the entry-time decision, not `enabled()` now: the pair of
+        // start/done events must be all-or-nothing.
+        if self.armed {
+            self.emit_event("done", &[("elapsed_us", self.elapsed_us().to_string())]);
         }
     }
 }
@@ -266,5 +329,71 @@ mod tests {
         crate::warn!("noop", detail = "x y");
         crate::info!("noop");
         crate::debug!("noop", v = 42);
+    }
+
+    use std::sync::{Arc, Mutex};
+
+    /// Serializes the sink-using tests (the sink and max level are
+    /// process-global) and captures every line emitted during `f`.
+    /// Other tests may emit concurrently while the level is raised, so
+    /// assertions must filter by a name unique to the test.
+    fn with_captured_events(level: Level, f: impl FnOnce()) -> Vec<String> {
+        static GLOBAL: Mutex<()> = Mutex::new(());
+        let _guard = GLOBAL.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
+        let lines = Arc::new(Mutex::new(Vec::new()));
+        let captured = Arc::clone(&lines);
+        set_sink(Some(Box::new(move |line: &str| {
+            captured.lock().unwrap_or_else(std::sync::PoisonError::into_inner).push(line.to_string());
+        })));
+        init(Some(level));
+        f();
+        init(None);
+        set_sink(None);
+        let out = lines.lock().unwrap_or_else(std::sync::PoisonError::into_inner).clone();
+        out
+    }
+
+    #[test]
+    fn span_emits_timed_start_and_done_with_request_id() {
+        let lines = with_captured_events(Level::Debug, || {
+            let span =
+                Span::enter_with_id(Level::Debug, "test_target", "uniq_timing_span", 4242);
+            assert_eq!(span.id(), Some(4242));
+            std::thread::sleep(std::time::Duration::from_millis(2));
+        });
+        let ours: Vec<&String> =
+            lines.iter().filter(|l| l.contains("uniq_timing_span")).collect();
+        assert_eq!(ours.len(), 2, "{lines:?}");
+        assert!(ours[0].contains("msg=uniq_timing_span start"), "{}", ours[0]);
+        assert!(ours[0].contains("req=4242"), "{}", ours[0]);
+        assert!(ours[1].contains("msg=uniq_timing_span done"), "{}", ours[1]);
+        assert!(ours[1].contains("req=4242"), "{}", ours[1]);
+        let elapsed: u64 = ours[1]
+            .split_whitespace()
+            .find_map(|kv| kv.strip_prefix("elapsed_us="))
+            .expect("done event carries elapsed_us")
+            .parse()
+            .expect("elapsed_us is numeric");
+        assert!(elapsed >= 2_000, "slept 2ms but recorded {elapsed}us");
+    }
+
+    #[test]
+    fn span_logging_decision_is_made_at_entry() {
+        // Enabled at entry, disabled at exit: done is still emitted.
+        let lines = with_captured_events(Level::Debug, || {
+            let _span = Span::enter(Level::Debug, "test_target", "uniq_armed_span");
+            init(None);
+        });
+        let ours = lines.iter().filter(|l| l.contains("uniq_armed_span")).count();
+        assert_eq!(ours, 2, "{lines:?}");
+
+        // Disabled at entry, enabled at exit: fully silent.
+        let lines = with_captured_events(Level::Error, || {
+            let span = Span::enter(Level::Debug, "test_target", "uniq_silent_span");
+            init(Some(Level::Debug));
+            drop(span);
+        });
+        let ours = lines.iter().filter(|l| l.contains("uniq_silent_span")).count();
+        assert_eq!(ours, 0, "{lines:?}");
     }
 }

@@ -1,5 +1,8 @@
-//! Observability demo: a real 4-server TCP cluster under mixed traffic,
-//! then the aggregated metrics in Prometheus text format.
+//! Observability demo: a real 4-server TCP cluster under mixed traffic
+//! — including a Zipf-skewed hot-key phase — then the aggregated
+//! metrics in Prometheus text format and a live-quality readout (the
+//! online §4.5 unfairness and §4.3 coverage gauges plus the hottest
+//! keys from the servers' Space-Saving sketches).
 //!
 //! ```sh
 //! cargo run --example live_metrics            # warnings only
@@ -7,10 +10,13 @@
 //! ```
 //!
 //! The same exposition is available from a deployed cluster with
-//! `pls-client --servers ... --strategy ... stats`.
+//! `pls-client --servers ... --strategy ... stats` (or over HTTP from
+//! `pls-server --metrics-addr`).
 
 use partial_lookup::cluster::{Client, ClientConfig, Server, ServerConfig};
-use partial_lookup::StrategySpec;
+use partial_lookup::sim::DiscreteZipf;
+use partial_lookup::telemetry::snapshot::parse_labels;
+use partial_lookup::{DetRng, StrategySpec};
 
 #[tokio::main(flavor = "multi_thread")]
 async fn main() -> Result<(), Box<dyn std::error::Error>> {
@@ -59,6 +65,24 @@ async fn main() -> Result<(), Box<dyn std::error::Error>> {
     }
     client.partial_lookup_parallel(b"song/stairway", 10, 4).await?;
 
+    // Zipf-skewed phase: 12 more keys whose lookup traffic follows a
+    // discrete Zipf law (rank 0 hottest) — the workload the hot-key
+    // sketch is built for. The per-entry hit counters behind the live
+    // unfairness gauge see the same skew.
+    let m = 12usize;
+    let zipf = DiscreteZipf::new(m, 1.1);
+    let mut rng = DetRng::seed_from(2003);
+    for i in 0..m {
+        let key = format!("song/top{i}").into_bytes();
+        let peers: Vec<Vec<u8>> = (0..8).map(|p| format!("seed{p}:6699").into_bytes()).collect();
+        client.place(&key, peers).await?;
+    }
+    for _ in 0..200 {
+        let rank = zipf.sample(&mut rng);
+        let key = format!("song/top{rank}").into_bytes();
+        client.partial_lookup(&key, 3).await?;
+    }
+
     // Cluster-wide view: each server's Metrics RPC answer, merged by
     // name (counters summed, histograms merged).
     let cluster = client.cluster_metrics(false).await?;
@@ -76,6 +100,37 @@ async fn main() -> Result<(), Box<dyn std::error::Error>> {
         per_lookup.mean(),
         per_lookup.count
     );
+
+    // Live quality: the gauges are recomputed cluster-wide from the
+    // merged per-entry hit counters, and the hot-key ranking sums every
+    // server's sketch — under the Zipf workload it should surface the
+    // low ranks (song/top0, song/top1, ...) first.
+    println!("# ==== live quality ====");
+    println!(
+        "# unfairness (mean per-key CoV): {:.4}",
+        cluster.gauge("pls_live_unfairness").unwrap_or(f64::NAN)
+    );
+    println!(
+        "# coverage (entries retrieved at least once): {:.4}",
+        cluster.gauge("pls_live_coverage").unwrap_or(f64::NAN)
+    );
+    let mut hot: Vec<(String, u64)> = cluster
+        .counters
+        .iter()
+        .filter_map(|(name, value)| {
+            let (family, labels) = parse_labels(name)?;
+            if family != "pls_hot_key_probes" {
+                return None;
+            }
+            let (_, key) = labels.into_iter().find(|(k, _)| k == "key")?;
+            Some((key, *value))
+        })
+        .collect();
+    hot.sort_by(|a, b| b.1.cmp(&a.1).then_with(|| a.0.cmp(&b.0)));
+    println!("# hottest keys (Space-Saving estimates):");
+    for (key, count) in hot.iter().take(5) {
+        println!("#   {key:<20} {count}");
+    }
 
     for h in handles {
         h.abort();
