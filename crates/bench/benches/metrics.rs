@@ -32,15 +32,12 @@ fn bench_unfairness_estimation(c: &mut Criterion) {
     let universe: Vec<u64> = (0..100).collect();
     let mut group = c.benchmark_group("unfairness_1000_lookups");
     group.sample_size(10);
-    for (name, spec) in [
-        ("random_server", StrategySpec::random_server(20)),
-        ("hash", StrategySpec::hash(2)),
-    ] {
+    for (name, spec) in
+        [("random_server", StrategySpec::random_server(20)), ("hash", StrategySpec::hash(2))]
+    {
         group.bench_function(BenchmarkId::from_parameter(name), |b| {
             let mut cluster = placed(spec, 8);
-            b.iter(|| {
-                black_box(unfairness::measure_instance(&mut cluster, &universe, 35, 1000))
-            })
+            b.iter(|| black_box(unfairness::measure_instance(&mut cluster, &universe, 35, 1000)))
         });
     }
     group.finish();

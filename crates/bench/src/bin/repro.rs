@@ -211,11 +211,7 @@ fn render_fig9(paper: bool) -> Table {
         &["storage", "randomServer", "hash"],
     );
     for row in rows {
-        t.row(vec![
-            row.budget.to_string(),
-            fnum(row.random_server.mean()),
-            fnum(row.hash.mean()),
-        ]);
+        t.row(vec![row.budget.to_string(), fnum(row.random_server.mean()), fnum(row.hash.mean())]);
     }
     t
 }
@@ -322,10 +318,7 @@ fn render_reachability() -> Table {
     let params = reachability::Params::quick();
     let rows = reachability::run(&params);
     let mut t = Table::new(
-        format!(
-            "Reachability trade-off (extension, §7.2): {}-node random overlay",
-            params.nodes
-        ),
+        format!("Reachability trade-off (extension, §7.2): {}-node random overlay", params.nodes),
         &["hop_bound_d", "hosts (update fan-out)", "mean lookup hops"],
     );
     for row in rows {

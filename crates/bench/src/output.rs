@@ -47,12 +47,8 @@ impl Table {
         }
         let mut out = String::new();
         let _ = writeln!(out, "# {}", self.title);
-        let header: Vec<String> = self
-            .columns
-            .iter()
-            .zip(&widths)
-            .map(|(c, w)| format!("{c:>w$}"))
-            .collect();
+        let header: Vec<String> =
+            self.columns.iter().zip(&widths).map(|(c, w)| format!("{c:>w$}")).collect();
         let _ = writeln!(out, "{}", header.join("  "));
         let _ = writeln!(out, "{}", "-".repeat(header.join("  ").len()));
         for row in &self.rows {

@@ -1,0 +1,144 @@
+//! `pls-chaos` — a fault-injecting wire-protocol proxy.
+//!
+//! ```text
+//! pls-chaos --listen HOST:PORT [--upstream HOST:PORT]
+//!           [--mode forward|black-hole|garbage|half-close|error|delay]
+//!           [--prob P] [--delay-ms MS] [--seed S] [--log LEVEL]
+//!
+//!   --listen     address to accept cluster-protocol connections on
+//!   --upstream   real server to forward fault-free requests to; without
+//!                it, fault-free requests are acked with Ok
+//!   --mode       the fault to inject (default forward = no fault)
+//!   --prob       probability a request draws the fault (default 1.0)
+//!   --delay-ms   delay before handling every request (also the `delay`
+//!                mode's knob; default 0)
+//!   --seed       deterministic fault dice (default 0)
+//!   --log        error|warn|info|debug|trace|off (default info)
+//! ```
+//!
+//! Put the proxy's address in place of a server's in peer lists to make
+//! that server misbehave from the callers' point of view. Example: a
+//! black hole standing in for server 2 —
+//!
+//! ```sh
+//! pls-chaos --listen 127.0.0.1:7503 --upstream 127.0.0.1:7403 --mode black-hole
+//! ```
+
+use std::net::SocketAddr;
+use std::process::ExitCode;
+use std::sync::Arc;
+
+use pls_cluster::{ChaosConfig, ChaosPeer};
+use pls_telemetry::trace;
+
+struct Options {
+    listen: SocketAddr,
+    upstream: Option<SocketAddr>,
+    cfg: Arc<ChaosConfig>,
+    mode: String,
+}
+
+fn parse_args() -> Result<Options, String> {
+    let mut listen: Option<SocketAddr> = None;
+    let mut upstream: Option<SocketAddr> = None;
+    let mut mode = "forward".to_string();
+    let mut prob = 1.0f64;
+    let mut delay_ms = 0u64;
+    let mut seed = 0u64;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        let mut value = |name: &str| args.next().ok_or(format!("{name} needs a value"));
+        match arg.as_str() {
+            "--listen" => {
+                listen = Some(value("--listen")?.parse().map_err(|e| format!("--listen: {e}"))?);
+            }
+            "--upstream" => {
+                upstream =
+                    Some(value("--upstream")?.parse().map_err(|e| format!("--upstream: {e}"))?);
+            }
+            "--mode" => mode = value("--mode")?,
+            "--prob" => prob = value("--prob")?.parse().map_err(|e| format!("--prob: {e}"))?,
+            "--delay-ms" => {
+                delay_ms = value("--delay-ms")?.parse().map_err(|e| format!("--delay-ms: {e}"))?;
+            }
+            "--seed" => seed = value("--seed")?.parse().map_err(|e| format!("--seed: {e}"))?,
+            "--log" => trace::init_from_str(&value("--log")?)?,
+            "--help" | "-h" => {
+                return Err("usage: pls-chaos --listen HOST:PORT [--upstream HOST:PORT] \
+                     [--mode forward|black-hole|garbage|half-close|error|delay] [--prob P] \
+                     [--delay-ms MS] [--seed S] [--log LEVEL]"
+                    .to_string())
+            }
+            other => return Err(format!("unknown argument `{other}` (try --help)")),
+        }
+    }
+    let listen = listen.ok_or("--listen is required")?;
+    if !(0.0..=1.0).contains(&prob) {
+        return Err(format!("--prob {prob} out of range (0.0..=1.0)"));
+    }
+    let cfg = Arc::new(ChaosConfig::new(seed));
+    cfg.set_delay_ms(delay_ms);
+    match mode.as_str() {
+        "forward" => {}
+        "black-hole" => cfg.set_black_hole(prob),
+        "garbage" => cfg.set_garbage(prob),
+        "half-close" => cfg.set_half_close(prob),
+        "error" => cfg.set_error(prob),
+        "delay" => {
+            if delay_ms == 0 {
+                return Err("--mode delay needs --delay-ms".to_string());
+            }
+        }
+        other => {
+            return Err(format!(
+                "unknown mode `{other}` (expected forward, black-hole, garbage, half-close, \
+                 error, delay)"
+            ))
+        }
+    }
+    Ok(Options { listen, upstream, cfg, mode })
+}
+
+fn main() -> ExitCode {
+    trace::init(Some(pls_telemetry::Level::Info));
+    let opts = match parse_args() {
+        Ok(o) => o,
+        Err(msg) => {
+            pls_telemetry::error!(msg);
+            return ExitCode::FAILURE;
+        }
+    };
+    let runtime = match tokio::runtime::Builder::new_current_thread().enable_all().build() {
+        Ok(rt) => rt,
+        Err(err) => {
+            pls_telemetry::error!("runtime_start_failed", err = err);
+            return ExitCode::FAILURE;
+        }
+    };
+    runtime.block_on(async move {
+        match ChaosPeer::bind_addr(opts.listen, opts.upstream, opts.cfg).await {
+            Ok((peer, addr)) => {
+                match opts.upstream {
+                    Some(up) => pls_telemetry::info!(
+                        "chaos_serving",
+                        addr = addr,
+                        upstream = up,
+                        mode = opts.mode
+                    ),
+                    None => pls_telemetry::info!("chaos_serving", addr = addr, mode = opts.mode),
+                }
+                tokio::select! {
+                    _ = peer.run() => ExitCode::SUCCESS,
+                    _ = tokio::signal::ctrl_c() => {
+                        pls_telemetry::info!("shutting_down");
+                        ExitCode::SUCCESS
+                    }
+                }
+            }
+            Err(err) => {
+                pls_telemetry::error!("bind_failed", addr = opts.listen, err = err);
+                ExitCode::FAILURE
+            }
+        }
+    })
+}

@@ -1,7 +1,17 @@
 //! `pls-client` — command-line client for a partial lookup cluster.
 //!
 //! ```text
-//! pls-client --servers A,B,... --strategy SPEC [--seed S] [--log LEVEL] COMMAND
+//! pls-client --servers A,B,... --strategy SPEC [--seed S] [--log LEVEL]
+//!            [--rpc-timeout-ms MS] [--op-budget-ms MS] [--hedge-ms MS] COMMAND
+//!
+//! robustness flags:
+//!   --rpc-timeout-ms  deadline for each RPC attempt (default 2000)
+//!   --op-budget-ms    total budget for one command across all its
+//!                     probes and retries (default 10000)
+//!   --hedge-ms        enable hedged probes for the merging strategies:
+//!                     when a probe stays silent past max(MS, observed
+//!                     p99), the next server is tried without cancelling
+//!                     it (off by default)
 //!
 //! commands:
 //!   place  KEY ENTRY[,ENTRY...] [STRATEGY]   batch-specify a key's entries,
@@ -22,7 +32,7 @@
 use std::net::SocketAddr;
 use std::process::ExitCode;
 
-use pls_cluster::{parse_spec, Client, ClientConfig};
+use pls_cluster::{parse_spec, Client, ClientConfig, Timeouts};
 use pls_telemetry::snapshot::parse_labels;
 use pls_telemetry::trace;
 use pls_telemetry::MetricsSnapshot;
@@ -36,6 +46,8 @@ fn parse_args() -> Result<Options, String> {
     let mut servers: Option<Vec<SocketAddr>> = None;
     let mut spec = None;
     let mut seed = 1u64;
+    let mut timeouts = Timeouts::default();
+    let mut hedge_ms: Option<u64> = None;
     let mut command = Vec::new();
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -49,12 +61,26 @@ fn parse_args() -> Result<Options, String> {
             }
             "--strategy" => spec = Some(parse_spec(&value("--strategy")?)?),
             "--seed" => seed = value("--seed")?.parse().map_err(|e| format!("--seed: {e}"))?,
+            "--rpc-timeout-ms" => {
+                let ms = value("--rpc-timeout-ms")?
+                    .parse()
+                    .map_err(|e| format!("--rpc-timeout-ms: {e}"))?;
+                timeouts = timeouts.with_rpc_ms(ms);
+            }
+            "--op-budget-ms" => {
+                let ms =
+                    value("--op-budget-ms")?.parse().map_err(|e| format!("--op-budget-ms: {e}"))?;
+                timeouts = timeouts.with_op_budget_ms(ms);
+            }
+            "--hedge-ms" => {
+                hedge_ms =
+                    Some(value("--hedge-ms")?.parse().map_err(|e| format!("--hedge-ms: {e}"))?);
+            }
             "--log" => trace::init_from_str(&value("--log")?)?,
             "--help" | "-h" => {
-                return Err(
-                    "usage: pls-client --servers A,B,... --strategy SPEC [--log LEVEL] COMMAND ..."
-                        .to_string(),
-                )
+                return Err("usage: pls-client --servers A,B,... --strategy SPEC [--log LEVEL] \
+                     [--rpc-timeout-ms MS] [--op-budget-ms MS] [--hedge-ms MS] COMMAND ..."
+                    .to_string())
             }
             other => {
                 command.push(other.to_string());
@@ -67,7 +93,11 @@ fn parse_args() -> Result<Options, String> {
     if command.is_empty() {
         return Err("missing command (place/add/delete/lookup/status/stats)".to_string());
     }
-    Ok(Options { cfg: ClientConfig::new(servers, spec, seed), command })
+    let mut cfg = ClientConfig::new(servers, spec, seed).with_timeouts(timeouts);
+    if let Some(ms) = hedge_ms {
+        cfg = cfg.with_hedging(std::time::Duration::from_millis(ms));
+    }
+    Ok(Options { cfg, command })
 }
 
 async fn run(opts: Options) -> Result<(), String> {
@@ -94,7 +124,10 @@ async fn run(opts: Options) -> Result<(), String> {
             println!("placed {count} entries under `{key}` with {spec}");
         }
         ["add", key, entry] => {
-            client.add(key.as_bytes(), entry.as_bytes().to_vec()).await.map_err(|e| e.to_string())?;
+            client
+                .add(key.as_bytes(), entry.as_bytes().to_vec())
+                .await
+                .map_err(|e| e.to_string())?;
             println!("added `{entry}` to `{key}`");
         }
         ["delete", key, entry] => {
@@ -167,6 +200,18 @@ fn print_stats_table(merged: &MetricsSnapshot) {
         merged.counter("pls_request_errors_total").unwrap_or(0)
     );
 
+    println!("robustness (client + servers)");
+    println!("  rpc timeouts         {:>10}", merged.counter_sum("pls_rpc_timeouts_total"));
+    println!("  rpc retries          {:>10}", merged.counter_sum("pls_rpc_retries_total"));
+    println!("  breaker opens        {:>10}", merged.counter_sum("pls_breaker_opens_total"));
+    println!("  breaker fast fails   {:>10}", merged.counter_sum("pls_breaker_fast_fails_total"));
+    println!("  hedged probes        {:>10}", merged.counter_sum("pls_client_hedges_total"));
+    println!("  hedge wins           {:>10}", merged.counter_sum("pls_client_hedge_wins_total"));
+    println!(
+        "  op budgets exhausted {:>10}",
+        merged.counter_sum("pls_client_op_budget_exhausted_total")
+    );
+
     println!("live quality (cluster-level, recomputed from per-entry hits)");
     match merged.gauge("pls_live_unfairness") {
         Some(u) => println!("  unfairness (CoV)     {u:>10.4}"),
@@ -178,8 +223,7 @@ fn print_stats_table(merged: &MetricsSnapshot) {
     }
 
     println!("latency (us)           {:>8} {:>8} {:>8} {:>8}", "p50", "p90", "p99", "mean");
-    for (label, name) in
-        [("request", "pls_request_latency_us"), ("probe", "pls_probe_latency_us")]
+    for (label, name) in [("request", "pls_request_latency_us"), ("probe", "pls_probe_latency_us")]
     {
         if let Some(h) = merged.histogram(name) {
             if !h.is_empty() {

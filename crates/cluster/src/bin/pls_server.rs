@@ -3,6 +3,7 @@
 //! ```text
 //! pls-server --index N --peers HOST:PORT,HOST:PORT,... --strategy SPEC
 //!            [--seed S] [--log LEVEL] [--metrics-addr HOST:PORT] [--slow-ms MS]
+//!            [--rpc-timeout-ms MS] [--op-budget-ms MS]
 //!
 //!   --index         this server's position in the peer list (0-based;
 //!                   index 0 is the Round-Robin coordinator)
@@ -16,6 +17,10 @@
 //!                   on this address
 //!   --slow-ms       warn-log any request handled slower than MS
 //!                   milliseconds, with its request id
+//!   --rpc-timeout-ms  deadline for each outbound RPC this server makes
+//!                   (internal fan-out, resync pulls; default 2000)
+//!   --op-budget-ms  total time budget for one update's whole internal
+//!                   fan-out, retries included (default 10000)
 //! ```
 //!
 //! Example 3-server cluster on one machine:
@@ -29,7 +34,7 @@
 use std::net::SocketAddr;
 use std::process::ExitCode;
 
-use pls_cluster::{parse_spec, Server, ServerConfig};
+use pls_cluster::{parse_spec, Server, ServerConfig, Timeouts};
 use pls_telemetry::trace;
 
 fn parse_args() -> Result<(ServerConfig, Option<SocketAddr>), String> {
@@ -39,6 +44,7 @@ fn parse_args() -> Result<(ServerConfig, Option<SocketAddr>), String> {
     let mut seed = 0u64;
     let mut metrics_addr: Option<SocketAddr> = None;
     let mut slow_ms: Option<u64> = None;
+    let mut timeouts = Timeouts::default();
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         let mut value = |name: &str| args.next().ok_or(format!("{name} needs a value"));
@@ -64,11 +70,23 @@ fn parse_args() -> Result<(ServerConfig, Option<SocketAddr>), String> {
             "--slow-ms" => {
                 slow_ms = Some(value("--slow-ms")?.parse().map_err(|e| format!("--slow-ms: {e}"))?);
             }
+            "--rpc-timeout-ms" => {
+                let ms = value("--rpc-timeout-ms")?
+                    .parse()
+                    .map_err(|e| format!("--rpc-timeout-ms: {e}"))?;
+                timeouts = timeouts.with_rpc_ms(ms);
+            }
+            "--op-budget-ms" => {
+                let ms =
+                    value("--op-budget-ms")?.parse().map_err(|e| format!("--op-budget-ms: {e}"))?;
+                timeouts = timeouts.with_op_budget_ms(ms);
+            }
             "--log" => trace::init_from_str(&value("--log")?)?,
             "--help" | "-h" => {
                 return Err(
                     "usage: pls-server --index N --peers A,B,... --strategy SPEC [--seed S] \
-                     [--log LEVEL] [--metrics-addr HOST:PORT] [--slow-ms MS]"
+                     [--log LEVEL] [--metrics-addr HOST:PORT] [--slow-ms MS] \
+                     [--rpc-timeout-ms MS] [--op-budget-ms MS]"
                         .to_string(),
                 )
             }
@@ -81,7 +99,7 @@ fn parse_args() -> Result<(ServerConfig, Option<SocketAddr>), String> {
     if index >= peers.len() {
         return Err(format!("--index {index} out of range for {} peers", peers.len()));
     }
-    let mut cfg = ServerConfig::new(index, peers, spec, seed);
+    let mut cfg = ServerConfig::new(index, peers, spec, seed).with_timeouts(timeouts);
     if let Some(ms) = slow_ms {
         cfg = cfg.with_slow_ms(ms);
     }

@@ -1,0 +1,349 @@
+//! Fault-injecting chaos proxy for exercising the robustness layer.
+//!
+//! A [`ChaosPeer`] speaks the cluster's wire protocol on its listen
+//! socket and misbehaves on purpose: per request it can **black-hole**
+//! (read the request, never answer — the failure the paper's §4.4
+//! "skip failed servers" rule must detect in bounded time), answer with
+//! a **garbage** frame, **half-close** the connection, return an
+//! application **error**, or **delay** before doing anything. Requests
+//! that draw no fault are either forwarded to an optional upstream
+//! server (making the proxy a drop-in stand-in for that server in a
+//! peer list) or answered with [`Response::Ok`].
+//!
+//! All knobs live in a shared [`ChaosConfig`] whose fields are atomics,
+//! so a test can flip a healthy proxy to 100% black-hole mid-run
+//! without restarting anything. Fault draws are deterministic in the
+//! config's seed.
+//!
+//! Used by `tests/chaos.rs` and the `pls-chaos` binary.
+
+use std::net::SocketAddr;
+use std::sync::atomic::{AtomicU32, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+use tokio::io::AsyncWriteExt;
+use tokio::net::{TcpListener, TcpStream};
+
+use crate::error::ClusterError;
+use crate::proto::Response;
+use crate::retry::splitmix64;
+use crate::wire::{read_frame, write_frame};
+
+/// The fault (if any) drawn for one request.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Fault {
+    /// No fault: forward (or ack) normally.
+    Pass,
+    /// Swallow the request and never answer; the connection stays open
+    /// and silent, so only a deadline can unblock the caller.
+    BlackHole,
+    /// Answer with a syntactically framed but semantically garbage
+    /// payload (an invalid opcode), provoking a decode error.
+    Garbage,
+    /// Shut down the write side of the connection; the caller sees EOF
+    /// instead of a response.
+    HalfClose,
+    /// Answer with an application-level [`Response::Error`].
+    Error,
+}
+
+/// Shared, atomically adjustable fault knobs for a [`ChaosPeer`].
+///
+/// Fault probabilities are stored per-mille (0..=1000) and drawn
+/// *cumulatively* in the order black-hole, garbage, half-close, error:
+/// with 300‰ black-hole and 300‰ error, 30% of requests are
+/// black-holed, a disjoint 30% get errors, and the rest pass.
+#[derive(Debug, Default)]
+pub struct ChaosConfig {
+    delay_ms: AtomicU64,
+    black_hole_pm: AtomicU32,
+    garbage_pm: AtomicU32,
+    half_close_pm: AtomicU32,
+    error_pm: AtomicU32,
+    /// Deterministic dice state, advanced per draw.
+    seed: AtomicU64,
+}
+
+impl ChaosConfig {
+    /// A no-fault config whose dice are seeded with `seed`.
+    pub fn new(seed: u64) -> Self {
+        ChaosConfig { seed: AtomicU64::new(seed), ..Self::default() }
+    }
+
+    /// Sets the delay applied before handling every request.
+    pub fn set_delay_ms(&self, ms: u64) {
+        self.delay_ms.store(ms, Ordering::Relaxed);
+    }
+
+    /// Sets the black-hole probability (clamped to `0.0..=1.0`).
+    pub fn set_black_hole(&self, p: f64) {
+        self.black_hole_pm.store(per_mille(p), Ordering::Relaxed);
+    }
+
+    /// Sets the garbage-frame probability (clamped to `0.0..=1.0`).
+    pub fn set_garbage(&self, p: f64) {
+        self.garbage_pm.store(per_mille(p), Ordering::Relaxed);
+    }
+
+    /// Sets the half-close probability (clamped to `0.0..=1.0`).
+    pub fn set_half_close(&self, p: f64) {
+        self.half_close_pm.store(per_mille(p), Ordering::Relaxed);
+    }
+
+    /// Sets the error-response probability (clamped to `0.0..=1.0`).
+    pub fn set_error(&self, p: f64) {
+        self.error_pm.store(per_mille(p), Ordering::Relaxed);
+    }
+
+    /// The delay currently applied before handling each request.
+    pub fn delay(&self) -> Duration {
+        Duration::from_millis(self.delay_ms.load(Ordering::Relaxed))
+    }
+
+    /// Draws the fault for one request, advancing the dice.
+    pub fn roll(&self) -> Fault {
+        // Weyl-increment the state so concurrent draws stay distinct,
+        // then whiten; deterministic given the seed and draw order.
+        let state = self.seed.fetch_add(0x9E37_79B9_7F4A_7C15, Ordering::Relaxed);
+        let dice = (splitmix64(state) % 1000) as u32;
+        let mut threshold = self.black_hole_pm.load(Ordering::Relaxed);
+        if dice < threshold {
+            return Fault::BlackHole;
+        }
+        threshold = threshold.saturating_add(self.garbage_pm.load(Ordering::Relaxed));
+        if dice < threshold {
+            return Fault::Garbage;
+        }
+        threshold = threshold.saturating_add(self.half_close_pm.load(Ordering::Relaxed));
+        if dice < threshold {
+            return Fault::HalfClose;
+        }
+        threshold = threshold.saturating_add(self.error_pm.load(Ordering::Relaxed));
+        if dice < threshold {
+            return Fault::Error;
+        }
+        Fault::Pass
+    }
+}
+
+fn per_mille(p: f64) -> u32 {
+    (p.clamp(0.0, 1.0) * 1000.0).round() as u32
+}
+
+/// A wire-protocol proxy that injects faults per [`ChaosConfig`].
+///
+/// With an upstream it impersonates that server: put the proxy's
+/// address in a peer list where the upstream's would go, and fault-free
+/// requests behave exactly as if the real server answered. Without an
+/// upstream it acks every fault-free request with [`Response::Ok`] —
+/// enough to exercise timeout, retry, and breaker paths that only need
+/// *a* peer, not a correct one.
+pub struct ChaosPeer {
+    listener: TcpListener,
+    upstream: Option<SocketAddr>,
+    cfg: Arc<ChaosConfig>,
+}
+
+impl ChaosPeer {
+    /// Binds `127.0.0.1:0` and returns the proxy plus its address.
+    ///
+    /// # Errors
+    ///
+    /// Socket bind errors.
+    pub async fn bind(
+        upstream: Option<SocketAddr>,
+        cfg: Arc<ChaosConfig>,
+    ) -> std::io::Result<(ChaosPeer, SocketAddr)> {
+        Self::bind_addr("127.0.0.1:0".parse().expect("literal addr"), upstream, cfg).await
+    }
+
+    /// Binds an explicit listen address (port 0 picks an ephemeral one).
+    ///
+    /// # Errors
+    ///
+    /// Socket bind errors.
+    pub async fn bind_addr(
+        listen: SocketAddr,
+        upstream: Option<SocketAddr>,
+        cfg: Arc<ChaosConfig>,
+    ) -> std::io::Result<(ChaosPeer, SocketAddr)> {
+        let listener = TcpListener::bind(listen).await?;
+        let addr = listener.local_addr()?;
+        Ok((ChaosPeer { listener, upstream, cfg }, addr))
+    }
+
+    /// Accept loop; runs until the task is dropped/aborted. Each
+    /// connection is handled concurrently, like the real server.
+    pub async fn run(self) {
+        let mut connections = tokio::task::JoinSet::new();
+        loop {
+            let Ok((socket, _)) = self.listener.accept().await else {
+                continue;
+            };
+            while connections.try_join_next().is_some() {}
+            let upstream = self.upstream;
+            let cfg = Arc::clone(&self.cfg);
+            connections.spawn(async move {
+                // Faulted connections end in torn frames and resets;
+                // that is the point, so errors are not reported.
+                let _ = serve_chaos(socket, upstream, cfg).await;
+            });
+        }
+    }
+}
+
+async fn serve_chaos(
+    mut downstream: TcpStream,
+    upstream: Option<SocketAddr>,
+    cfg: Arc<ChaosConfig>,
+) -> Result<(), ClusterError> {
+    // Lazily dialed on the first forwarded request, redialed after
+    // upstream failures.
+    let mut up: Option<TcpStream> = None;
+    while let Some((req_id, payload)) = read_frame(&mut downstream).await? {
+        let delay = cfg.delay();
+        if !delay.is_zero() {
+            tokio::time::sleep(delay).await;
+        }
+        match cfg.roll() {
+            Fault::Pass => {
+                let reply = match upstream {
+                    Some(addr) => forward(&mut up, addr, req_id, &payload).await,
+                    None => Response::Ok.encode(),
+                };
+                write_frame(&mut downstream, req_id, &reply).await?;
+            }
+            Fault::BlackHole => {
+                // Silence the rest of the connection too: a caller that
+                // timed out on this request abandons the connection, so
+                // answering later frames would never be observed anyway.
+                drain(&mut downstream).await;
+                return Ok(());
+            }
+            Fault::Garbage => {
+                // 0x77 is no opcode; decodes as a malformed frame.
+                write_frame(&mut downstream, req_id, &[0x77]).await?;
+            }
+            Fault::HalfClose => {
+                let _ = downstream.shutdown().await;
+                drain(&mut downstream).await;
+                return Ok(());
+            }
+            Fault::Error => {
+                let reply = Response::Error("chaos: injected error".into()).encode();
+                write_frame(&mut downstream, req_id, &reply).await?;
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Forwards one request frame to the upstream server, returning its
+/// response payload, or an encoded [`Response::Error`] when the
+/// upstream is unreachable or answers garbage.
+async fn forward(
+    up: &mut Option<TcpStream>,
+    addr: SocketAddr,
+    req_id: u64,
+    payload: &[u8],
+) -> bytes::Bytes {
+    let attempt = async {
+        if up.is_none() {
+            *up = Some(TcpStream::connect(addr).await?);
+        }
+        let stream = up.as_mut().expect("just dialed");
+        write_frame(stream, req_id, payload).await?;
+        match read_frame(stream).await? {
+            Some((_, reply)) => Ok(reply),
+            None => Err(ClusterError::Io(std::io::ErrorKind::UnexpectedEof.into())),
+        }
+    }
+    .await;
+    match attempt {
+        Ok(reply) => reply,
+        Err(_) => {
+            // Poison the upstream connection; the next request redials.
+            *up = None;
+            Response::Error("chaos: upstream unreachable".into()).encode()
+        }
+    }
+}
+
+/// Reads and discards frames until the peer gives up on the connection.
+async fn drain(stream: &mut TcpStream) {
+    while let Ok(Some(_)) = read_frame(stream).await {}
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::retry::{BreakerConfig, Timeouts};
+    use crate::rpc::PeerClient;
+
+    #[test]
+    fn per_mille_clamps() {
+        assert_eq!(per_mille(-0.5), 0);
+        assert_eq!(per_mille(0.25), 250);
+        assert_eq!(per_mille(7.0), 1000);
+    }
+
+    #[test]
+    fn roll_is_cumulative_and_deterministic() {
+        let cfg = ChaosConfig::new(42);
+        cfg.set_black_hole(0.3);
+        cfg.set_error(0.3);
+        let draws: Vec<Fault> = (0..3000).map(|_| cfg.roll()).collect();
+        let count = |f: Fault| draws.iter().filter(|&&d| d == f).count();
+        // ~30% each, disjoint; generous bounds keep this deterministic
+        // check loose enough for any seed.
+        assert!((600..1200).contains(&count(Fault::BlackHole)));
+        assert!((600..1200).contains(&count(Fault::Error)));
+        assert_eq!(count(Fault::Garbage), 0);
+        assert_eq!(count(Fault::HalfClose), 0);
+        // Same seed, same sequence.
+        let cfg2 = ChaosConfig::new(42);
+        cfg2.set_black_hole(0.3);
+        cfg2.set_error(0.3);
+        let replay: Vec<Fault> = (0..3000).map(|_| cfg2.roll()).collect();
+        assert_eq!(draws, replay);
+    }
+
+    #[tokio::test]
+    async fn faults_map_to_the_expected_client_errors() {
+        let tight = Timeouts::default().with_connect_ms(500).with_rpc_ms(300);
+        let lenient = BreakerConfig { failure_threshold: u32::MAX, ..BreakerConfig::default() };
+
+        // Error fault → Remote.
+        let cfg = Arc::new(ChaosConfig::new(1));
+        cfg.set_error(1.0);
+        let (peer, addr) = ChaosPeer::bind(None, Arc::clone(&cfg)).await.unwrap();
+        tokio::spawn(peer.run());
+        let client = PeerClient::with_policies(addr, tight, lenient);
+        let err = client.call(7, &crate::proto::Request::Status).await.unwrap_err();
+        assert!(matches!(err, ClusterError::Remote(msg) if msg.contains("chaos")));
+
+        // Garbage fault → Decode.
+        cfg.set_error(0.0);
+        cfg.set_garbage(1.0);
+        let err = client.call(8, &crate::proto::Request::Status).await.unwrap_err();
+        assert!(matches!(err, ClusterError::Decode(_)));
+
+        // Black hole → rpc timeout.
+        cfg.set_garbage(0.0);
+        cfg.set_black_hole(1.0);
+        let err = client.call(9, &crate::proto::Request::Status).await.unwrap_err();
+        assert_eq!(err, ClusterError::Timeout("rpc"));
+
+        // Half close → I/O error (EOF instead of a response).
+        cfg.set_black_hole(0.0);
+        cfg.set_half_close(1.0);
+        let err = client.call(10, &crate::proto::Request::Status).await.unwrap_err();
+        assert!(matches!(err, ClusterError::Io(_)));
+
+        // All faults off, no upstream → Ok ack.
+        cfg.set_half_close(0.0);
+        let resp = client.call(11, &crate::proto::Request::Status).await.unwrap();
+        assert_eq!(resp, Response::Ok);
+    }
+}

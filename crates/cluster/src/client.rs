@@ -2,6 +2,7 @@
 
 use std::net::SocketAddr;
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::{Duration, Instant};
 
 use pls_core::{DetRng, ServiceError, StrategySpec};
 use pls_net::ServerId;
@@ -11,7 +12,8 @@ use pls_telemetry::{Level, MetricsSnapshot};
 use crate::error::ClusterError;
 use crate::metrics::ClientMetrics;
 use crate::proto::{Entry, Request, Response};
-use crate::rpc::{splitmix64, PeerClient};
+use crate::retry::{splitmix64, BreakerConfig, Deadline, RetryPolicy, Timeouts};
+use crate::rpc::{push_peer_robustness, PeerClient};
 
 /// Client-side configuration: where the servers are and which strategy
 /// they run (the client procedures are strategy-specific).
@@ -23,12 +25,68 @@ pub struct ClientConfig {
     pub spec: StrategySpec,
     /// Seed for the client's probe-order randomness.
     pub seed: u64,
+    /// Time bounds: connect/per-RPC deadlines and the total budget each
+    /// operation (one lookup, one update) may spend across all its
+    /// probes and retries (the `--rpc-timeout-ms` / `--op-budget-ms`
+    /// flags).
+    pub timeouts: Timeouts,
+    /// Retry policy for updates. Lookup probes never retry one server —
+    /// they move on to the next, which is both faster and the paper's
+    /// §3.1 rule.
+    pub retry: RetryPolicy,
+    /// Circuit-breaker tuning for each per-server connection pool.
+    pub breaker: BreakerConfig,
+    /// Hedge-delay floor for the merging lookups (RandomServer-x,
+    /// Hash-y): a probe silent this long triggers the next probe
+    /// without cancelling the slow one. Raised to the observed p99
+    /// probe latency once enough samples exist. `None` (the default)
+    /// disables hedging — it trades extra probes for latency, which
+    /// distorts the §4.2 probe-count measurements.
+    pub hedge: Option<Duration>,
 }
 
 impl ClientConfig {
-    /// Convenience constructor.
+    /// Convenience constructor with default time bounds, retries, and
+    /// breaker tuning, hedging disabled.
     pub fn new(servers: Vec<SocketAddr>, spec: StrategySpec, seed: u64) -> Self {
-        ClientConfig { servers, spec, seed }
+        ClientConfig {
+            servers,
+            spec,
+            seed,
+            timeouts: Timeouts::default(),
+            retry: RetryPolicy::default(),
+            breaker: BreakerConfig::default(),
+            hedge: None,
+        }
+    }
+
+    /// Replaces the time bounds.
+    #[must_use]
+    pub fn with_timeouts(mut self, timeouts: Timeouts) -> Self {
+        self.timeouts = timeouts;
+        self
+    }
+
+    /// Replaces the update retry policy.
+    #[must_use]
+    pub fn with_retry(mut self, retry: RetryPolicy) -> Self {
+        self.retry = retry;
+        self
+    }
+
+    /// Replaces the circuit-breaker tuning.
+    #[must_use]
+    pub fn with_breaker(mut self, breaker: BreakerConfig) -> Self {
+        self.breaker = breaker;
+        self
+    }
+
+    /// Enables hedged probes for the merging lookups, with `floor` as
+    /// the minimum hedge delay.
+    #[must_use]
+    pub fn with_hedging(mut self, floor: Duration) -> Self {
+        self.hedge = Some(floor);
+        self
     }
 }
 
@@ -43,6 +101,9 @@ pub struct Client {
     key_specs: std::collections::HashMap<Vec<u8>, StrategySpec>,
     peers: std::sync::Arc<Vec<PeerClient>>,
     rng: DetRng,
+    timeouts: Timeouts,
+    retry: RetryPolicy,
+    hedge: Option<Duration>,
     /// Lock-free runtime counters; most importantly the probes-per-lookup
     /// histogram (the live-measured §4.2 client lookup cost).
     metrics: ClientMetrics,
@@ -61,11 +122,19 @@ impl Client {
     /// Creates a client; no connections are opened until first use.
     pub fn connect(cfg: ClientConfig) -> Self {
         let first_id = splitmix64(cfg.seed);
+        let peers = cfg
+            .servers
+            .into_iter()
+            .map(|a| PeerClient::with_policies(a, cfg.timeouts, cfg.breaker))
+            .collect();
         Client {
             spec: cfg.spec,
             key_specs: std::collections::HashMap::new(),
-            peers: std::sync::Arc::new(cfg.servers.into_iter().map(PeerClient::new).collect()),
+            peers: std::sync::Arc::new(peers),
             rng: DetRng::seed_from(cfg.seed),
+            timeouts: cfg.timeouts,
+            retry: cfg.retry,
+            hedge: cfg.hedge,
             metrics: ClientMetrics::new(),
             ids: AtomicU64::new(first_id),
             last_id: AtomicU64::new(first_id),
@@ -97,25 +166,44 @@ impl Client {
         self.key_specs.get(key).copied().unwrap_or(self.spec)
     }
 
+    /// A shuffled probe order with breaker-suspect servers demoted to
+    /// the tail. The sort is stable, so each health class keeps its
+    /// shuffled order — healthy servers still share load uniformly, and
+    /// sick ones are only tried once everyone else has answered short.
+    fn probe_order(&mut self) -> Vec<ServerId> {
+        let mut order = self.rng.shuffled_servers(self.n());
+        order.sort_by_key(|s| !self.peers[s.index()].healthy());
+        order
+    }
+
     /// Sends an update to its coordinator: server 0 for Round-Robin-y
-    /// keys, any reachable server otherwise (tried in random order).
+    /// keys, any reachable server otherwise (tried in random order,
+    /// sick servers last). Each candidate is retried under the client's
+    /// [`RetryPolicy`]; the whole operation is bounded by the
+    /// per-operation budget.
     async fn update(&mut self, key: &[u8], req: Request) -> Result<(), ClusterError> {
         self.metrics.updates.inc();
         let id = self.fresh_id();
+        let deadline = Deadline::within(self.timeouts.op_budget);
         if matches!(self.spec_of(key), StrategySpec::RoundRobin { .. }) {
-            if let Err(err) = self.peers[0].call(id, &req).await {
+            if let Err(err) = self.peers[0].call_retry(id, &req, &self.retry, deadline).await {
                 self.metrics.update_failures.inc();
                 pls_telemetry::debug!("update_failed", req = id, coordinator = 0, err = err);
                 return Err(err);
             }
             return Ok(());
         }
-        let order = self.rng.shuffled_servers(self.n());
+        let order = self.probe_order();
         let mut last_err = ClusterError::NoServerAvailable;
         for s in order {
-            match self.peers[s.index()].call(id, &req).await {
+            if deadline.expired() {
+                self.metrics.op_budget_exhausted.inc();
+                last_err = ClusterError::Timeout("op-budget");
+                break;
+            }
+            match self.peers[s.index()].call_retry(id, &req, &self.retry, deadline).await {
                 Ok(_) => return Ok(()),
-                Err(err @ ClusterError::Io(_)) => {
+                Err(err) if err.is_unavailable() => {
                     // Failed server: retry on the next one.
                     self.metrics.update_retries.inc();
                     pls_telemetry::debug!("update_retry", req = id, server = s.index(), err = err);
@@ -184,18 +272,24 @@ impl Client {
     }
 
     /// One probe against one server, stamped with the surrounding
-    /// operation's request id. `Err` means unreachable.
+    /// operation's request id and bounded by `limit` (the per-RPC
+    /// deadline, already capped to the operation's remaining budget).
+    /// `Err` means unreachable, silent past the deadline, or
+    /// fast-failed by the server's breaker.
     async fn probe(
         &self,
         id: u64,
         s: ServerId,
         key: &[u8],
         t: usize,
+        limit: Duration,
     ) -> Result<Vec<Entry>, ClusterError> {
         let req = Request::Probe { key: key.to_vec(), t: t as u32 };
-        match self.peers[s.index()].call(id, &req).await {
+        let started = Instant::now();
+        match self.peers[s.index()].call_bounded(id, &req, limit).await {
             Ok(Response::Entries(entries)) => {
                 self.metrics.probes.inc();
+                self.metrics.probe_latency_us.observe(elapsed_us(started));
                 pls_telemetry::event!(
                     Level::Trace,
                     "probe_answered",
@@ -222,12 +316,21 @@ impl Client {
     /// procedure. Over-delivery from merged probes is trimmed to exactly
     /// `t` (the §4.5 fairness model).
     ///
+    /// The whole lookup is bounded by the configured per-operation
+    /// budget; every probe by the per-RPC deadline. A server that is
+    /// down, silent past its deadline, breaker-open, or answering
+    /// garbage is skipped like a crashed one. When the budget runs out
+    /// mid-merge, whatever was gathered is returned (fewer than `t`
+    /// results is already a defined outcome).
+    ///
     /// # Errors
     ///
     /// [`ClusterError::Service`] with [`ServiceError::ZeroTarget`] if
     /// `t == 0`; [`ClusterError::NoServerAvailable`] when no server could
-    /// be reached at all. Fewer than `t` results (from a degraded
-    /// placement) is **not** an error — callers check the length.
+    /// be reached at all; [`ClusterError::Timeout`] when the budget
+    /// expired before any server answered. Fewer than `t` results (from
+    /// a degraded placement) is **not** an error — callers check the
+    /// length.
     pub async fn partial_lookup(
         &mut self,
         key: &[u8],
@@ -240,15 +343,21 @@ impl Client {
         let id = self.fresh_id();
         let span = Span::enter_with_id(Level::Debug, module_path!(), "partial_lookup", id);
         let probes_before = self.metrics.probes.get();
+        let deadline = Deadline::within(self.timeouts.op_budget);
         let result = match self.spec_of(key) {
             StrategySpec::FullReplication | StrategySpec::Fixed { .. } => {
-                self.lookup_single(id, key, t).await
+                self.lookup_single(id, key, t, deadline).await
             }
             StrategySpec::RandomServer { .. } | StrategySpec::Hash { .. } => {
-                let order = self.rng.shuffled_servers(self.n());
-                self.lookup_merge(id, key, t, order).await
+                let order = self.probe_order();
+                match self.hedge_delay() {
+                    Some(hedge) => {
+                        self.lookup_merge_hedged(id, key, t, order, deadline, hedge).await
+                    }
+                    None => self.lookup_merge(id, key, t, order, deadline).await,
+                }
             }
-            StrategySpec::RoundRobin { y } => self.lookup_stride(id, key, t, y).await,
+            StrategySpec::RoundRobin { y } => self.lookup_stride(id, key, t, y, deadline).await,
         };
         if result.is_ok() {
             // Servers contacted for this lookup: the client lookup cost.
@@ -263,12 +372,17 @@ impl Client {
         id: u64,
         key: &[u8],
         t: usize,
+        deadline: Deadline,
     ) -> Result<Vec<Entry>, ClusterError> {
-        let order = self.rng.shuffled_servers(self.n());
+        let order = self.probe_order();
         for s in order {
-            match self.probe(id, s, key, t).await {
+            if deadline.expired() {
+                self.metrics.op_budget_exhausted.inc();
+                return Err(ClusterError::Timeout("op-budget"));
+            }
+            match self.probe(id, s, key, t, deadline.cap(self.timeouts.rpc)).await {
                 Ok(entries) => return Ok(entries),
-                Err(ClusterError::Io(_)) => continue, // failed server: pick another
+                Err(err) if err.is_peer_fault() => continue, // failed server: pick another
                 Err(other) => return Err(other),
             }
         }
@@ -281,13 +395,24 @@ impl Client {
         key: &[u8],
         t: usize,
         order: Vec<ServerId>,
+        deadline: Deadline,
     ) -> Result<Vec<Entry>, ClusterError> {
         let mut acc: Vec<Entry> = Vec::new();
         let mut reached_any = false;
         for s in order {
-            let answer = match self.probe(id, s, key, t).await {
+            if acc.len() >= t {
+                break;
+            }
+            if deadline.expired() {
+                self.metrics.op_budget_exhausted.inc();
+                if reached_any {
+                    break; // partial results beat none
+                }
+                return Err(ClusterError::Timeout("op-budget"));
+            }
+            let answer = match self.probe(id, s, key, t, deadline.cap(self.timeouts.rpc)).await {
                 Ok(a) => a,
-                Err(ClusterError::Io(_)) => continue,
+                Err(err) if err.is_peer_fault() => continue,
                 Err(other) => return Err(other),
             };
             reached_any = true;
@@ -296,11 +421,152 @@ impl Client {
                     acc.push(v);
                 }
             }
-            if acc.len() >= t {
+        }
+        if !reached_any {
+            return Err(ClusterError::NoServerAvailable);
+        }
+        Ok(self.trim(acc, t))
+    }
+
+    /// The hedge delay in effect, `None` when hedging is disabled: the
+    /// configured floor, raised to the observed p99 probe latency once
+    /// enough samples exist, capped at the per-RPC deadline.
+    fn hedge_delay(&self) -> Option<Duration> {
+        let floor = self.hedge?;
+        let seen = self.metrics.probe_latency_us.snapshot();
+        let delay = if seen.count >= 32 {
+            Duration::from_micros(seen.quantile(0.99) as u64).max(floor)
+        } else {
+            floor
+        };
+        Some(delay.min(self.timeouts.rpc))
+    }
+
+    /// The merging lookup with **hedged probes**: like
+    /// [`Client::lookup_merge`], but when the outstanding probe stays
+    /// silent past the hedge delay the next server in the order is
+    /// probed *without cancelling the slow one* — first answer wins,
+    /// and a late answer still merges. Probes launch strictly in
+    /// `order` (only the trigger changes: completion vs. timer), so the
+    /// procedure visits the same servers the sequential merge would.
+    async fn lookup_merge_hedged(
+        &mut self,
+        id: u64,
+        key: &[u8],
+        t: usize,
+        order: Vec<ServerId>,
+        deadline: Deadline,
+        hedge: Duration,
+    ) -> Result<Vec<Entry>, ClusterError> {
+        type ProbeOutcome = (usize, bool, u64, Result<Response, ClusterError>);
+        let mut pending: tokio::task::JoinSet<ProbeOutcome> = tokio::task::JoinSet::new();
+        let spawn_probe = |pending: &mut tokio::task::JoinSet<ProbeOutcome>,
+                           peers: &std::sync::Arc<Vec<PeerClient>>,
+                           s: ServerId,
+                           hedged: bool,
+                           limit: Duration| {
+            let peers = std::sync::Arc::clone(peers);
+            let req = Request::Probe { key: key.to_vec(), t: t as u32 };
+            pending.spawn(async move {
+                let started = Instant::now();
+                let res = peers[s.index()].call_bounded(id, &req, limit).await;
+                (s.index(), hedged, elapsed_us(started), res)
+            });
+        };
+
+        let mut acc: Vec<Entry> = Vec::new();
+        let mut reached_any = false;
+        let mut next = 0usize;
+        let mut last_launch = Instant::now();
+        while acc.len() < t {
+            if pending.is_empty() {
+                if next >= order.len() {
+                    break;
+                }
+                let limit = deadline.cap(self.timeouts.rpc);
+                spawn_probe(&mut pending, &self.peers, order[next], false, limit);
+                next += 1;
+                last_launch = Instant::now();
+            }
+            if deadline.expired() {
+                self.metrics.op_budget_exhausted.inc();
                 break;
+            }
+            let hedge_wait = hedge.saturating_sub(last_launch.elapsed());
+            tokio::select! {
+                joined = pending.join_next() => {
+                    let Some(joined) = joined else { continue };
+                    match joined {
+                        Err(join_err) => {
+                            // A panicked probe task is a failed probe,
+                            // not a client crash.
+                            self.metrics.probe_failures.inc();
+                            pls_telemetry::warn!("probe_task_failed", req = id, err = join_err);
+                        }
+                        Ok((server, hedged, latency_us, Ok(Response::Entries(entries)))) => {
+                            self.metrics.probes.inc();
+                            self.metrics.probe_latency_us.observe(latency_us);
+                            if hedged && !pending.is_empty() {
+                                // The hedge answered while an earlier
+                                // probe was still silent: a win.
+                                self.metrics.hedge_wins.inc();
+                                self.metrics.hedge_win_latency_us.observe(latency_us);
+                            }
+                            pls_telemetry::event!(
+                                Level::Trace,
+                                "probe_answered",
+                                req = id,
+                                server = server,
+                                returned = entries.len()
+                            );
+                            reached_any = true;
+                            for v in entries {
+                                if !acc.contains(&v) {
+                                    acc.push(v);
+                                }
+                            }
+                        }
+                        Ok((server, _, _, Ok(_other))) => {
+                            // Byzantine answer: skip this server.
+                            self.metrics.probe_failures.inc();
+                            pls_telemetry::debug!("probe_unexpected", req = id, server = server);
+                        }
+                        Ok((server, _, _, Err(err))) if err.is_peer_fault() => {
+                            self.metrics.probe_failures.inc();
+                            pls_telemetry::debug!(
+                                "probe_failed",
+                                req = id,
+                                server = server,
+                                err = err
+                            );
+                        }
+                        Ok((_, _, _, Err(err))) => {
+                            self.metrics.probe_failures.inc();
+                            return Err(err);
+                        }
+                    }
+                }
+                _ = tokio::time::sleep(deadline.cap(hedge_wait)), if next < order.len() => {
+                    // The outstanding probe is slow: hedge with the next
+                    // server; first answer wins.
+                    self.metrics.hedges.inc();
+                    pls_telemetry::debug!(
+                        "probe_hedged",
+                        req = id,
+                        server = order[next].index(),
+                        after_ms = hedge.as_millis()
+                    );
+                    let limit = deadline.cap(self.timeouts.rpc);
+                    spawn_probe(&mut pending, &self.peers, order[next], true, limit);
+                    next += 1;
+                    last_launch = Instant::now();
+                }
             }
         }
         if !reached_any {
+            if deadline.expired() {
+                return Err(ClusterError::Timeout("op-budget"));
+            }
             return Err(ClusterError::NoServerAvailable);
         }
         Ok(self.trim(acc, t))
@@ -312,6 +578,7 @@ impl Client {
         key: &[u8],
         t: usize,
         y: usize,
+        deadline: Deadline,
     ) -> Result<Vec<Entry>, ClusterError> {
         let n = self.n();
         let start = self.rng.random_server(n);
@@ -320,11 +587,16 @@ impl Client {
         let mut reached_any = false;
 
         // Phase 1: deterministic stride walk; abandoned on the first
-        // unreachable server (§3.4's "choose random servers instead").
+        // failed server (§3.4's "choose random servers instead" —
+        // applied equally to unreachable, silent, and byzantine peers).
+        // When gcd(y, n) > 1 the walk revisits its start after
+        // n/gcd(y, n) hops, so it can exhaust its cycle with acc still
+        // short of `t`; phase 2 then probes the servers the cycle never
+        // touched.
         let mut cur = start;
-        while !visited[cur.index()] && acc.len() < t {
+        while !visited[cur.index()] && acc.len() < t && !deadline.expired() {
             visited[cur.index()] = true;
-            match self.probe(id, cur, key, t).await {
+            match self.probe(id, cur, key, t, deadline.cap(self.timeouts.rpc)).await {
                 Ok(answer) => {
                     reached_any = true;
                     for v in answer {
@@ -333,19 +605,25 @@ impl Client {
                         }
                     }
                 }
-                Err(ClusterError::Io(_)) => break,
+                Err(err) if err.is_peer_fault() => break,
                 Err(other) => return Err(other),
             }
             cur = cur.wrapping_add(y, n);
         }
 
-        // Phase 2: random probing of whatever the walk did not reach.
+        // Phase 2: random probing of whatever the walk did not reach,
+        // sick servers last.
         if acc.len() < t {
             let mut rest: Vec<ServerId> =
                 (0..n as u32).map(ServerId::new).filter(|s| !visited[s.index()]).collect();
             self.rng.shuffle(&mut rest);
+            rest.sort_by_key(|s| !self.peers[s.index()].healthy());
             for s in rest {
-                match self.probe(id, s, key, t).await {
+                if deadline.expired() {
+                    self.metrics.op_budget_exhausted.inc();
+                    break;
+                }
+                match self.probe(id, s, key, t, deadline.cap(self.timeouts.rpc)).await {
                     Ok(answer) => {
                         reached_any = true;
                         for v in answer {
@@ -354,7 +632,7 @@ impl Client {
                             }
                         }
                     }
-                    Err(ClusterError::Io(_)) => continue,
+                    Err(err) if err.is_peer_fault() => continue,
                     Err(other) => return Err(other),
                 }
                 if acc.len() >= t {
@@ -364,6 +642,9 @@ impl Client {
         }
 
         if !reached_any {
+            if deadline.expired() {
+                return Err(ClusterError::Timeout("op-budget"));
+            }
             return Err(ClusterError::NoServerAvailable);
         }
         Ok(self.trim(acc, t))
@@ -407,18 +688,34 @@ impl Client {
         let id = self.fresh_id();
         let span = Span::enter_with_id(Level::Debug, module_path!(), "partial_lookup_parallel", id);
         let probes_before = self.metrics.probes.get();
-        let order = self.rng.shuffled_servers(self.n());
+        let deadline = Deadline::within(self.timeouts.op_budget);
+        let order = self.probe_order();
         let mut acc: Vec<Entry> = Vec::new();
         let mut reached_any = false;
         for wave in order.chunks(fanout) {
+            if deadline.expired() {
+                self.metrics.op_budget_exhausted.inc();
+                break;
+            }
+            let limit = deadline.cap(self.timeouts.rpc);
             let mut tasks = tokio::task::JoinSet::new();
             for &s in wave {
                 let peers = std::sync::Arc::clone(&self.peers);
                 let req = Request::Probe { key: key.to_vec(), t: t as u32 };
-                tasks.spawn(async move { peers[s.index()].call(id, &req).await });
+                tasks.spawn(async move { peers[s.index()].call_bounded(id, &req, limit).await });
             }
             while let Some(joined) = tasks.join_next().await {
-                match joined.expect("probe task never panics") {
+                let outcome = match joined {
+                    Ok(outcome) => outcome,
+                    Err(join_err) => {
+                        // A panicked probe task is a failed probe, not a
+                        // client crash: count it and skip that server.
+                        self.metrics.probe_failures.inc();
+                        pls_telemetry::warn!("probe_task_failed", req = id, err = join_err);
+                        continue;
+                    }
+                };
+                match outcome {
                     Ok(Response::Entries(entries)) => {
                         self.metrics.probes.inc();
                         reached_any = true;
@@ -428,13 +725,12 @@ impl Client {
                             }
                         }
                     }
-                    Ok(other) => {
+                    Ok(_other) => {
+                        // Byzantine answer: skip this server.
                         self.metrics.probe_failures.inc();
-                        return Err(ClusterError::Remote(format!(
-                            "unexpected probe response {other:?}"
-                        )));
+                        continue;
                     }
-                    Err(ClusterError::Io(_)) => {
+                    Err(err) if err.is_peer_fault() => {
                         self.metrics.probe_failures.inc();
                         continue;
                     }
@@ -449,6 +745,9 @@ impl Client {
             }
         }
         if !reached_any {
+            if deadline.expired() {
+                return Err(ClusterError::Timeout("op-budget"));
+            }
             return Err(ClusterError::NoServerAvailable);
         }
         self.metrics.probes_per_lookup.observe(self.metrics.probes.get() - probes_before);
@@ -465,10 +764,7 @@ impl Client {
     ///
     /// [`ClusterError::NoServerAvailable`] when every server is
     /// unreachable.
-    pub async fn refresh_spec(
-        &mut self,
-        key: &[u8],
-    ) -> Result<Option<StrategySpec>, ClusterError> {
+    pub async fn refresh_spec(&mut self, key: &[u8]) -> Result<Option<StrategySpec>, ClusterError> {
         let id = self.fresh_id();
         let order = self.rng.shuffled_servers(self.n());
         let mut reached_any = false;
@@ -479,7 +775,7 @@ impl Client {
                     return Ok(Some(spec));
                 }
                 Ok(_) => reached_any = true, // server up but key unknown there
-                Err(ClusterError::Io(_)) => continue,
+                Err(err) if err.is_peer_fault() => continue,
                 Err(other) => return Err(other),
             }
         }
@@ -527,6 +823,7 @@ impl Client {
         s.push_counter("pls_client_pool_reuses_total", reuses);
         s.push_counter("pls_client_pool_discarded_total", discarded);
         s.push_counter("pls_client_pool_evicted_total", evicted);
+        push_peer_robustness(&mut s, self.peers.iter());
         s
     }
 
@@ -572,7 +869,7 @@ impl Client {
                     reached += 1;
                     merged.merge(&snap);
                 }
-                Err(ClusterError::Io(_)) => continue,
+                Err(err) if err.is_unavailable() => continue,
                 Err(other) => return Err(other),
             }
         }
@@ -585,4 +882,9 @@ impl Client {
         }
         Ok(merged)
     }
+}
+
+/// Microseconds since `start`, saturating.
+fn elapsed_us(start: Instant) -> u64 {
+    u64::try_from(start.elapsed().as_micros()).unwrap_or(u64::MAX)
 }

@@ -7,8 +7,15 @@
 //! to route (`GET`/`HEAD` on `/metrics`, 404 elsewhere, 400 for
 //! garbage), every response carries `Content-Length` and
 //! `Connection: close`, and the connection is then dropped.
+//!
+//! The exporter is hardened against trickle-feed ("slowloris") abuse:
+//! each connection gets [`ServeOptions::per_conn_timeout`] to complete
+//! its whole request/response exchange, and at most
+//! [`ServeOptions::max_connections`] are served concurrently — excess
+//! connections are shed immediately rather than queued.
 
 use std::sync::Arc;
+use std::time::Duration;
 
 use tokio::io::{AsyncReadExt, AsyncWriteExt};
 use tokio::net::{TcpListener, TcpStream};
@@ -20,24 +27,62 @@ const MAX_REQUEST_HEAD: usize = 8 * 1024;
 /// Content type of the Prometheus text exposition format.
 const CONTENT_TYPE: &str = "text/plain; version=0.0.4; charset=utf-8";
 
+/// Abuse limits for the exporter.
+#[derive(Debug, Clone, Copy)]
+pub struct ServeOptions {
+    /// Budget for one connection's whole exchange — a scraper that
+    /// trickles header bytes (or never finishes reading the body) is
+    /// cut off at this deadline instead of pinning a handler forever.
+    pub per_conn_timeout: Duration,
+    /// Concurrently served connections; further ones are dropped on
+    /// accept until a slot frees up.
+    pub max_connections: usize,
+}
+
+impl Default for ServeOptions {
+    fn default() -> Self {
+        ServeOptions { per_conn_timeout: Duration::from_secs(10), max_connections: 64 }
+    }
+}
+
 /// Accept loop: serves `GET /metrics` (and `HEAD`) on `listener`,
-/// rendering a fresh exposition via `render` per request. Runs until
-/// the task is dropped; typically spawned next to [`Server::run`].
+/// rendering a fresh exposition via `render` per request, with default
+/// [`ServeOptions`]. Runs until the task is dropped; typically spawned
+/// next to [`Server::run`].
 ///
 /// [`Server::run`]: crate::server::Server::run
 pub async fn serve(listener: TcpListener, render: Arc<dyn Fn() -> String + Send + Sync>) {
+    serve_with(listener, render, ServeOptions::default()).await;
+}
+
+/// [`serve`] with explicit abuse limits.
+pub async fn serve_with(
+    listener: TcpListener,
+    render: Arc<dyn Fn() -> String + Send + Sync>,
+    opts: ServeOptions,
+) {
+    let slots = Arc::new(tokio::sync::Semaphore::new(opts.max_connections.max(1)));
     loop {
-        let (socket, _) = match listener.accept().await {
+        let (socket, peer) = match listener.accept().await {
             Ok(pair) => pair,
             Err(err) => {
                 pls_telemetry::warn!("metrics_accept_error", err = err);
                 continue;
             }
         };
+        let Ok(permit) = Arc::clone(&slots).try_acquire_owned() else {
+            // At capacity: shed the connection outright. A scraper will
+            // retry; a flood will not be queued.
+            pls_telemetry::warn!("metrics_connection_shed", peer = peer);
+            continue;
+        };
         let render = Arc::clone(&render);
+        let per_conn = opts.per_conn_timeout;
         tokio::spawn(async move {
-            // Serve-and-close; errors are the client's problem.
-            let _ = serve_one(socket, &*render).await;
+            // Serve-and-close; errors (and deadline kills) are the
+            // client's problem.
+            let _ = tokio::time::timeout(per_conn, serve_one(socket, &*render)).await;
+            drop(permit);
         });
     }
 }
@@ -178,6 +223,65 @@ mod tests {
 
         let garbage = request(addr, "not http at all\r\n\r\n").await;
         assert!(garbage.starts_with("HTTP/1.1 400"), "{garbage}");
+
+        exporter.abort();
+    }
+
+    #[tokio::test]
+    async fn slowloris_connection_is_cut_off_at_the_deadline() {
+        let listener = TcpListener::bind("127.0.0.1:0").await.unwrap();
+        let addr = listener.local_addr().unwrap();
+        let render: Arc<dyn Fn() -> String + Send + Sync> = Arc::new(|| "x\n".to_string());
+        let opts = ServeOptions {
+            per_conn_timeout: Duration::from_millis(100),
+            ..ServeOptions::default()
+        };
+        let exporter = tokio::spawn(serve_with(listener, render, opts));
+
+        // Trickle one header byte, then stall: the server must hang up
+        // at its deadline, not wait for the head to complete.
+        let mut sock = TcpStream::connect(addr).await.unwrap();
+        sock.write_all(b"G").await.unwrap();
+        let mut out = Vec::new();
+        let read = tokio::time::timeout(Duration::from_secs(5), sock.read_to_end(&mut out)).await;
+        // EOF (possibly a reset) well before our own 5s guard: the
+        // stalled connection was killed without an HTTP response.
+        assert!(read.is_ok(), "exporter never closed the stalled connection");
+        assert!(out.is_empty(), "unexpected response to a half-sent request");
+
+        // The exporter still works afterwards.
+        let ok = request(addr, "GET /metrics HTTP/1.1\r\n\r\n").await;
+        assert!(ok.starts_with("HTTP/1.1 200 OK\r\n"), "{ok}");
+
+        exporter.abort();
+    }
+
+    #[tokio::test]
+    async fn excess_connections_are_shed_not_queued() {
+        let listener = TcpListener::bind("127.0.0.1:0").await.unwrap();
+        let addr = listener.local_addr().unwrap();
+        let render: Arc<dyn Fn() -> String + Send + Sync> = Arc::new(|| "x\n".to_string());
+        let opts = ServeOptions { per_conn_timeout: Duration::from_secs(1), max_connections: 1 };
+        let exporter = tokio::spawn(serve_with(listener, render, opts));
+
+        // Occupy the single slot with a connection that sends nothing.
+        let mut holder = TcpStream::connect(addr).await.unwrap();
+        holder.write_all(b"G").await.unwrap();
+        tokio::time::sleep(Duration::from_millis(50)).await;
+
+        // The next connection is dropped without a response.
+        let mut shed = TcpStream::connect(addr).await.unwrap();
+        let _ = shed.write_all(b"GET /metrics HTTP/1.1\r\n\r\n").await;
+        let mut out = Vec::new();
+        let read = tokio::time::timeout(Duration::from_secs(5), shed.read_to_end(&mut out)).await;
+        assert!(read.is_ok(), "shed connection was left hanging");
+        assert!(out.is_empty(), "shed connection unexpectedly got a response: {out:?}");
+
+        // Once the holder's deadline frees the slot, service resumes.
+        drop(holder);
+        tokio::time::sleep(Duration::from_millis(100)).await;
+        let ok = request(addr, "GET /metrics HTTP/1.1\r\n\r\n").await;
+        assert!(ok.starts_with("HTTP/1.1 200 OK\r\n"), "{ok}");
 
         exporter.abort();
     }

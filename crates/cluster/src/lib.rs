@@ -28,6 +28,13 @@
 //!   server with [`proto::Request::Metrics`], over HTTP via the
 //!   [`http`] exporter (`pls-server --metrics-addr`), or the whole
 //!   cluster with [`Client::cluster_metrics`] / `pls-client stats`.
+//! * Every network interaction is **time-bounded** ([`retry`]): dials
+//!   and RPCs carry deadlines, operations carry a total budget, flaky
+//!   peers are retried with jittered backoff, and a per-peer circuit
+//!   breaker demotes servers that keep failing. The merging lookups can
+//!   optionally *hedge* slow probes. A fault-injecting [`chaos`] proxy
+//!   proves all of it under black-holes, delays, garbage frames, and
+//!   half-closes (`tests/chaos.rs`).
 //! * Every request frame carries a client-generated **request id**
 //!   ([`wire`]); servers echo it, propagate it through internal
 //!   fan-out, and stamp it (`req=...`) on their tracing events, so one
@@ -59,18 +66,22 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod chaos;
 mod client;
 mod error;
 pub mod http;
 pub mod metrics;
 pub mod proto;
+pub mod retry;
 mod rpc;
 mod server;
 pub mod wire;
 
+pub use chaos::{ChaosConfig, ChaosPeer};
 pub use client::{Client, ClientConfig};
 pub use error::ClusterError;
 pub use metrics::{ClientMetrics, ReqOp, ServerMetrics};
+pub use retry::{Breaker, BreakerConfig, Deadline, RetryPolicy, Timeouts};
 pub use rpc::PoolStats;
 pub use server::{Server, ServerConfig};
 
@@ -92,7 +103,8 @@ pub fn parse_spec(s: &str) -> Result<pls_core::StrategySpec, String> {
         None => (s, None),
     };
     let parse_param = || -> Result<usize, String> {
-        let raw = param.ok_or_else(|| format!("strategy `{name}` needs a parameter, e.g. `{name}:20`"))?;
+        let raw = param
+            .ok_or_else(|| format!("strategy `{name}` needs a parameter, e.g. `{name}:20`"))?;
         raw.parse::<usize>().map_err(|_| format!("invalid parameter `{raw}` for strategy `{name}`"))
     };
     match name {

@@ -243,10 +243,7 @@ impl ServerMetrics {
         }
         s.push_counter("pls_request_errors_total", val(&self.request_errors, reset));
         s.push_counter("pls_decode_errors_total", val(&self.decode_errors, reset));
-        s.push_counter(
-            "pls_connections_accepted_total",
-            val(&self.connections_accepted, reset),
-        );
+        s.push_counter("pls_connections_accepted_total", val(&self.connections_accepted, reset));
         s.push_counter("pls_accept_errors_total", val(&self.accept_errors, reset));
         s.push_counter("pls_connection_errors_total", val(&self.connection_errors, reset));
         s.push_counter("pls_bytes_read_total", val(&self.bytes_read, reset));
@@ -316,10 +313,8 @@ impl ServerMetrics {
         let mut cov_sum = 0.0;
         let mut keys_with_traffic = 0usize;
         for (key, stored_entries) in stored {
-            let counts: Vec<u64> = stored_entries
-                .iter()
-                .map(|v| hits.get(&key_entry(key, v)).unwrap_or(0))
-                .collect();
+            let counts: Vec<u64> =
+                stored_entries.iter().map(|v| hits.get(&key_entry(key, v)).unwrap_or(0)).collect();
             for (v, &c) in stored_entries.iter().zip(&counts) {
                 let key_label = String::from_utf8_lossy(key);
                 let entry_label = String::from_utf8_lossy(v);
@@ -366,11 +361,15 @@ pub fn live_quality_from_merged(snap: &MetricsSnapshot) -> Option<(f64, f64)> {
     let mut per_key: std::collections::BTreeMap<String, Vec<u64>> =
         std::collections::BTreeMap::new();
     for (name, value) in &snap.counters {
-        let Some((family, labels)) = parse_labels(name) else { continue };
+        let Some((family, labels)) = parse_labels(name) else {
+            continue;
+        };
         if family != "pls_entry_hits_total" {
             continue;
         }
-        let Some((_, key)) = labels.iter().find(|(k, _)| k == "key") else { continue };
+        let Some((_, key)) = labels.iter().find(|(k, _)| k == "key") else {
+            continue;
+        };
         per_key.entry(key.clone()).or_default().push(*value);
     }
     if per_key.is_empty() {
@@ -413,6 +412,20 @@ pub struct ClientMetrics {
     pub probes_per_lookup: Histogram,
     /// Wall-clock latency per completed lookup, microseconds.
     pub lookup_latency_us: Histogram,
+    /// Wall-clock latency per answered probe, microseconds. Its p99
+    /// derives the hedge delay.
+    pub probe_latency_us: Histogram,
+    /// Hedged probes launched (a probe stayed silent past the hedge
+    /// delay, so the next server was tried without cancelling it).
+    pub hedges: Counter,
+    /// Hedged probes that answered while an earlier probe was still
+    /// silent — the hedge paid off.
+    pub hedge_wins: Counter,
+    /// Latency of winning hedged probes, microseconds.
+    pub hedge_win_latency_us: Histogram,
+    /// Operations whose per-operation budget expired before they
+    /// finished (they returned partial results or a timeout).
+    pub op_budget_exhausted: Counter,
 }
 
 impl ClientMetrics {
@@ -432,6 +445,11 @@ impl ClientMetrics {
         s.push_counter("pls_client_update_failures_total", self.update_failures.get());
         s.push_histogram("pls_client_probes_per_lookup", self.probes_per_lookup.snapshot());
         s.push_histogram("pls_client_lookup_latency_us", self.lookup_latency_us.snapshot());
+        s.push_histogram("pls_client_probe_latency_us", self.probe_latency_us.snapshot());
+        s.push_counter("pls_client_hedges_total", self.hedges.get());
+        s.push_counter("pls_client_hedge_wins_total", self.hedge_wins.get());
+        s.push_histogram("pls_client_hedge_win_latency_us", self.hedge_win_latency_us.snapshot());
+        s.push_counter("pls_client_op_budget_exhausted_total", self.op_budget_exhausted.get());
         s
     }
 }

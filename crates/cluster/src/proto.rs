@@ -651,11 +651,7 @@ mod tests {
             Message::RrRemove { v: b"v".to_vec(), head_pos: 3 },
             Message::MigrateReq { v: b"v".to_vec(), dest_pos: 9 },
             Message::MigrateRep { v: b"v".to_vec(), dest_pos: 9, replacement: None },
-            Message::MigrateRep {
-                v: b"v".to_vec(),
-                dest_pos: 9,
-                replacement: Some(b"u".to_vec()),
-            },
+            Message::MigrateRep { v: b"v".to_vec(), dest_pos: 9, replacement: Some(b"u".to_vec()) },
             Message::RrRemoveAt { pos: 11 },
             Message::RrSetCounters { head: 4, tail: 19 },
         ];

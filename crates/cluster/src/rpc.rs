@@ -17,12 +17,14 @@
 
 use std::net::SocketAddr;
 use std::sync::Mutex;
+use std::time::Duration;
 
-use pls_telemetry::Counter;
+use pls_telemetry::{Counter, MetricsSnapshot};
 use tokio::net::TcpStream;
 
 use crate::error::ClusterError;
 use crate::proto::{Request, Response};
+use crate::retry::{Breaker, BreakerConfig, Deadline, RetryPolicy, Timeouts};
 use crate::wire::{read_frame, write_frame};
 
 /// Connections kept per peer; extras beyond this are closed on return.
@@ -44,17 +46,12 @@ pub struct PoolStats {
     pub discarded: Counter,
     /// Healthy connections closed because the pool was full.
     pub evicted: Counter,
-}
-
-/// Mixes a seed into a well-spread request-id starting point
-/// (splitmix64 finalizer). Request-id generators start here and step by
-/// the golden-ratio increment, giving each client/server a full-period
-/// sequence of visually distinct ids.
-pub(crate) fn splitmix64(x: u64) -> u64 {
-    let mut z = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
-    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
-    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
-    z ^ (z >> 31)
+    /// Calls that ran out of time: a dial past the connect timeout or
+    /// an exchange past its per-RPC deadline.
+    pub timeouts: Counter,
+    /// Attempts re-issued by [`PeerClient::call_retry`] after a
+    /// retryable failure.
+    pub retries: Counter,
 }
 
 /// Performs one request/response exchange on an established stream,
@@ -77,18 +74,38 @@ pub async fn exchange(
 }
 
 /// A lazily-connected pool of RPC connections to one peer address.
+///
+/// Every call is **time-bounded** ([`Timeouts`]): dials are capped by
+/// the connect timeout, whole attempts by the per-RPC deadline. A
+/// per-peer circuit [`Breaker`] tracks consecutive failures and
+/// fast-fails calls against a peer that keeps timing out, so a
+/// black-holed server costs one deadline per cooldown instead of one
+/// per call.
 #[derive(Debug)]
 pub struct PeerClient {
     addr: SocketAddr,
     pool: Mutex<Vec<TcpStream>>,
     stats: PoolStats,
+    timeouts: Timeouts,
+    breaker: Breaker,
 }
 
 impl PeerClient {
-    /// Creates a client for `addr`; no connection is made until the
-    /// first call.
+    /// Creates a client for `addr` with default time bounds and breaker
+    /// tuning; no connection is made until the first call.
     pub fn new(addr: SocketAddr) -> Self {
-        PeerClient { addr, pool: Mutex::new(Vec::new()), stats: PoolStats::default() }
+        Self::with_policies(addr, Timeouts::default(), BreakerConfig::default())
+    }
+
+    /// Creates a client with explicit time bounds and breaker tuning.
+    pub fn with_policies(addr: SocketAddr, timeouts: Timeouts, breaker: BreakerConfig) -> Self {
+        PeerClient {
+            addr,
+            pool: Mutex::new(Vec::new()),
+            stats: PoolStats::default(),
+            timeouts,
+            breaker: Breaker::new(breaker),
+        }
     }
 
     /// The peer's address.
@@ -100,6 +117,22 @@ impl PeerClient {
     /// This client's pool accounting.
     pub fn stats(&self) -> &PoolStats {
         &self.stats
+    }
+
+    /// This client's circuit breaker.
+    pub fn breaker(&self) -> &Breaker {
+        &self.breaker
+    }
+
+    /// This client's time bounds.
+    pub fn timeouts(&self) -> &Timeouts {
+        &self.timeouts
+    }
+
+    /// Whether the peer currently looks healthy (no failure streak, no
+    /// open circuit). Probe orders sort unhealthy peers to the tail.
+    pub fn healthy(&self) -> bool {
+        self.breaker.healthy()
     }
 
     /// Connections currently idle in the pool.
@@ -124,18 +157,107 @@ impl PeerClient {
         }
     }
 
-    /// Sends `req` stamped with `request_id` and awaits the response on
-    /// a pooled or fresh connection. A stale pooled connection is
-    /// retried once with a fresh dial; a connection that errors in any
-    /// way is discarded, never returned to the pool.
+    /// Sends `req` stamped with `request_id` and awaits the response,
+    /// bounded by the configured per-RPC deadline and guarded by the
+    /// peer's circuit breaker.
     ///
     /// # Errors
     ///
     /// I/O errors (peer unreachable / connection torn mid-exchange);
-    /// decode errors (including a response whose frame id does not echo
-    /// `request_id`); any [`Response::Error`] is surfaced as
+    /// [`ClusterError::Timeout`] when the dial or the exchange runs out
+    /// of time; [`ClusterError::PeerUnhealthy`] when the breaker is
+    /// open; decode errors (including a response whose frame id does
+    /// not echo `request_id`); any [`Response::Error`] is surfaced as
     /// [`ClusterError::Remote`].
     pub async fn call(&self, request_id: u64, req: &Request) -> Result<Response, ClusterError> {
+        self.call_bounded(request_id, req, self.timeouts.rpc).await
+    }
+
+    /// [`PeerClient::call`] with an explicit attempt deadline — the
+    /// per-RPC deadline already capped to an operation's remaining
+    /// budget by the caller.
+    pub async fn call_bounded(
+        &self,
+        request_id: u64,
+        req: &Request,
+        limit: Duration,
+    ) -> Result<Response, ClusterError> {
+        if limit.is_zero() {
+            // The operation's budget is already spent.
+            return Err(ClusterError::Timeout("op-budget"));
+        }
+        if !self.breaker.admit() {
+            return Err(ClusterError::PeerUnhealthy);
+        }
+        let result = match tokio::time::timeout(limit, self.call_once(request_id, req)).await {
+            Ok(res) => res,
+            Err(_elapsed) => {
+                // The in-flight connection was dropped with the future:
+                // it may still answer later and must never be re-pooled.
+                self.stats.timeouts.inc();
+                pls_telemetry::debug!(
+                    "rpc_timeout",
+                    req = request_id,
+                    addr = self.addr,
+                    limit_ms = limit.as_millis()
+                );
+                Err(ClusterError::Timeout("rpc"))
+            }
+        };
+        match &result {
+            // A well-formed reply — even an application-level error —
+            // proves the peer alive; anything else feeds its breaker.
+            Ok(_) | Err(ClusterError::Remote(_)) => self.breaker.record_success(),
+            Err(_) => self.breaker.record_failure(),
+        }
+        result
+    }
+
+    /// [`PeerClient::call_bounded`] with bounded, jittered retries:
+    /// attempts are re-issued on unavailability errors (I/O, timeout)
+    /// until `policy.max_attempts` or `deadline` runs out, sleeping a
+    /// full-jitter backoff between attempts. A breaker fast-fail is
+    /// *not* retried — the breaker exists to stop exactly that traffic.
+    pub async fn call_retry(
+        &self,
+        request_id: u64,
+        req: &Request,
+        policy: &RetryPolicy,
+        deadline: Deadline,
+    ) -> Result<Response, ClusterError> {
+        let mut attempt = 0u32;
+        loop {
+            attempt += 1;
+            let limit = deadline.cap(self.timeouts.rpc);
+            match self.call_bounded(request_id, req, limit).await {
+                Ok(resp) => return Ok(resp),
+                Err(err)
+                    if err.is_unavailable()
+                        && !matches!(err, ClusterError::PeerUnhealthy)
+                        && attempt < policy.max_attempts
+                        && !deadline.expired() =>
+                {
+                    self.stats.retries.inc();
+                    pls_telemetry::debug!(
+                        "rpc_retry",
+                        req = request_id,
+                        addr = self.addr,
+                        attempt = attempt,
+                        err = err
+                    );
+                    let pause =
+                        deadline.cap(policy.delay(attempt, request_id ^ u64::from(attempt)));
+                    tokio::time::sleep(pause).await;
+                }
+                Err(err) => return Err(err),
+            }
+        }
+    }
+
+    /// One attempt on a pooled or fresh connection. A stale pooled
+    /// connection is retried once with a fresh dial; a connection that
+    /// errors in any way is discarded, never returned to the pool.
+    async fn call_once(&self, request_id: u64, req: &Request) -> Result<Response, ClusterError> {
         if let Some(mut stream) = self.take() {
             self.stats.reuses.inc();
             match exchange(&mut stream, request_id, req).await {
@@ -158,11 +280,17 @@ impl PeerClient {
         }
         self.stats.dials.inc();
         pls_telemetry::event!(pls_telemetry::Level::Trace, "peer_dial", addr = self.addr);
-        let mut stream = match TcpStream::connect(self.addr).await {
-            Ok(s) => s,
-            Err(e) => {
+        let dialed = tokio::time::timeout(self.timeouts.connect, TcpStream::connect(self.addr));
+        let mut stream = match dialed.await {
+            Ok(Ok(s)) => s,
+            Ok(Err(e)) => {
                 self.stats.dial_failures.inc();
                 return Err(e.into());
+            }
+            Err(_elapsed) => {
+                self.stats.dial_failures.inc();
+                self.stats.timeouts.inc();
+                return Err(ClusterError::Timeout("connect"));
             }
         };
         match exchange(&mut stream, request_id, req).await {
@@ -183,6 +311,28 @@ fn ok_or_remote(resp: Response) -> Result<Response, ClusterError> {
         Response::Error(msg) => Err(ClusterError::Remote(msg)),
         other => Ok(other),
     }
+}
+
+/// Appends the robustness totals of a set of peer clients to a metrics
+/// snapshot: RPC timeouts and retries (from [`PoolStats`]) and circuit
+/// breaker opens / fast-fails, summed over every peer. Used by both the
+/// server's metrics collection and the client's snapshot, so
+/// `pls_rpc_timeouts_total` means the same thing everywhere.
+pub(crate) fn push_peer_robustness<'a>(
+    s: &mut MetricsSnapshot,
+    peers: impl IntoIterator<Item = &'a PeerClient>,
+) {
+    let (mut timeouts, mut retries, mut opens, mut fast_fails) = (0u64, 0u64, 0u64, 0u64);
+    for peer in peers {
+        timeouts += peer.stats().timeouts.get();
+        retries += peer.stats().retries.get();
+        opens += peer.breaker().opens.get();
+        fast_fails += peer.breaker().fast_fails.get();
+    }
+    s.push_counter("pls_rpc_timeouts_total", timeouts);
+    s.push_counter("pls_rpc_retries_total", retries);
+    s.push_counter("pls_breaker_opens_total", opens);
+    s.push_counter("pls_breaker_fast_fails_total", fast_fails);
 }
 
 #[cfg(test)]
@@ -393,5 +543,136 @@ mod tests {
         // Every healthy connection either sits in the pool or was
         // evicted over capacity.
         assert_eq!(s.dials.get(), client.pooled() as u64 + s.evicted.get());
+    }
+
+    /// A black hole: accepts TCP, reads forever, never replies.
+    async fn spawn_black_hole() -> SocketAddr {
+        let listener = TcpListener::bind("127.0.0.1:0").await.unwrap();
+        let addr = listener.local_addr().unwrap();
+        tokio::spawn(async move {
+            loop {
+                let (mut sock, _) = match listener.accept().await {
+                    Ok(x) => x,
+                    Err(_) => return,
+                };
+                tokio::spawn(async move {
+                    let mut buf = [0u8; 1024];
+                    while matches!(sock.read(&mut buf).await, Ok(n) if n > 0) {}
+                });
+            }
+        });
+        addr
+    }
+
+    fn tight_timeouts() -> Timeouts {
+        Timeouts::default().with_connect_ms(200).with_rpc_ms(50).with_op_budget_ms(500)
+    }
+
+    #[tokio::test]
+    async fn black_holed_peer_times_out_within_deadline() {
+        let addr = spawn_black_hole().await;
+        let client = PeerClient::with_policies(addr, tight_timeouts(), BreakerConfig::default());
+        let started = std::time::Instant::now();
+        let err = client.call(1, &Request::Status).await.unwrap_err();
+        assert_eq!(err, ClusterError::Timeout("rpc"));
+        assert!(started.elapsed() < Duration::from_secs(2));
+        assert_eq!(client.stats().timeouts.get(), 1);
+        // The half-sent connection was dropped, never pooled.
+        assert_eq!(client.pooled(), 0);
+    }
+
+    #[tokio::test]
+    async fn breaker_fast_fails_after_consecutive_timeouts() {
+        let addr = spawn_black_hole().await;
+        let cfg = BreakerConfig { failure_threshold: 3, cooldown: Duration::from_secs(30) };
+        let client = PeerClient::with_policies(addr, tight_timeouts(), cfg);
+        for id in 0..3 {
+            assert_eq!(
+                client.call(id, &Request::Status).await.unwrap_err(),
+                ClusterError::Timeout("rpc")
+            );
+        }
+        assert_eq!(client.breaker().opens.get(), 1);
+        assert!(!client.healthy());
+        // The fourth call never touches the network.
+        let started = std::time::Instant::now();
+        let err = client.call(99, &Request::Status).await.unwrap_err();
+        assert_eq!(err, ClusterError::PeerUnhealthy);
+        assert!(started.elapsed() < Duration::from_millis(40));
+        assert_eq!(client.stats().timeouts.get(), 3);
+        assert!(client.breaker().fast_fails.get() >= 1);
+    }
+
+    #[tokio::test]
+    async fn call_retry_retries_with_backoff_then_gives_up() {
+        // Unreachable port: every attempt fails fast with ECONNREFUSED.
+        let listener = TcpListener::bind("127.0.0.1:0").await.unwrap();
+        let addr = listener.local_addr().unwrap();
+        drop(listener);
+        let client = PeerClient::with_policies(addr, tight_timeouts(), BreakerConfig::default());
+        let policy = RetryPolicy {
+            max_attempts: 3,
+            backoff_base: Duration::from_millis(1),
+            backoff_cap: Duration::from_millis(2),
+        };
+        let deadline = Deadline::within(Duration::from_secs(5));
+        let err = client.call_retry(7, &Request::Status, &policy, deadline).await.unwrap_err();
+        assert!(matches!(err, ClusterError::Io(_)), "{err}");
+        assert_eq!(client.stats().dials.get(), 3);
+        assert_eq!(client.stats().retries.get(), 2);
+    }
+
+    #[tokio::test]
+    async fn call_retry_succeeds_after_transient_failure() {
+        // First exchange is cut mid-frame; the retry lands on a healthy
+        // accept.
+        let listener = TcpListener::bind("127.0.0.1:0").await.unwrap();
+        let addr = listener.local_addr().unwrap();
+        tokio::spawn(async move {
+            // First connection: drop immediately (client sees EOF).
+            let (sock, _) = listener.accept().await.unwrap();
+            drop(sock);
+            // Second connection: answer properly.
+            let (mut sock, _) = listener.accept().await.unwrap();
+            if let Ok(Some((id, _))) = read_frame(&mut sock).await {
+                let _ = write_frame(&mut sock, id, &Response::Ok.encode()).await;
+            }
+        });
+        let client = PeerClient::with_policies(addr, tight_timeouts(), BreakerConfig::default());
+        let policy = RetryPolicy {
+            max_attempts: 3,
+            backoff_base: Duration::from_millis(1),
+            backoff_cap: Duration::from_millis(2),
+        };
+        let deadline = Deadline::within(Duration::from_secs(5));
+        let resp = client.call_retry(7, &Request::Status, &policy, deadline).await.unwrap();
+        assert_eq!(resp, Response::Ok);
+        assert_eq!(client.stats().retries.get(), 1);
+    }
+
+    #[tokio::test]
+    async fn exhausted_deadline_fails_without_touching_network() {
+        let addr = spawn_black_hole().await;
+        let client = PeerClient::with_policies(addr, tight_timeouts(), BreakerConfig::default());
+        let err = client.call_bounded(1, &Request::Status, Duration::ZERO).await.unwrap_err();
+        assert_eq!(err, ClusterError::Timeout("op-budget"));
+        assert_eq!(client.stats().dials.get(), 0);
+    }
+
+    #[test]
+    fn robustness_totals_are_summed_across_peers() {
+        let a = PeerClient::new("127.0.0.1:1".parse().unwrap());
+        let b = PeerClient::new("127.0.0.1:2".parse().unwrap());
+        a.stats().timeouts.add(2);
+        b.stats().timeouts.add(3);
+        b.stats().retries.inc();
+        a.breaker().opens.inc();
+        b.breaker().fast_fails.add(4);
+        let mut s = MetricsSnapshot::new();
+        push_peer_robustness(&mut s, [&a, &b]);
+        assert_eq!(s.counter("pls_rpc_timeouts_total"), Some(5));
+        assert_eq!(s.counter("pls_rpc_retries_total"), Some(1));
+        assert_eq!(s.counter("pls_breaker_opens_total"), Some(1));
+        assert_eq!(s.counter("pls_breaker_fast_fails_total"), Some(4));
     }
 }

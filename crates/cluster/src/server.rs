@@ -16,7 +16,8 @@ use tokio::net::{TcpListener, TcpStream};
 use crate::error::ClusterError;
 use crate::metrics::{strategy_index, ServerMetrics};
 use crate::proto::{Entry, Request, Response};
-use crate::rpc::{splitmix64, PeerClient};
+use crate::retry::{splitmix64, BreakerConfig, Deadline, RetryPolicy, Timeouts};
+use crate::rpc::{push_peer_robustness, PeerClient};
 use crate::wire::{read_frame, write_frame, FRAME_OVERHEAD};
 
 /// Static configuration of one server in the cluster.
@@ -35,17 +36,45 @@ pub struct ServerConfig {
     /// Warn-log any request whose handling exceeds this many
     /// milliseconds (the `--slow-ms` flag); `None` disables the check.
     pub slow_ms: Option<u64>,
+    /// Time bounds on this server's own outbound RPCs (internal fan-out,
+    /// resync pulls).
+    pub timeouts: Timeouts,
+    /// Retry policy for internal fan-out to flaky peers. A message to a
+    /// *crashed* peer is still dropped (paper failure model); retries
+    /// only paper over transient blips within the operation budget.
+    pub retry: RetryPolicy,
 }
 
 impl ServerConfig {
-    /// Convenience constructor (slow-request logging disabled).
+    /// Convenience constructor (slow-request logging disabled, default
+    /// time bounds).
     pub fn new(me: usize, peers: Vec<SocketAddr>, spec: StrategySpec, seed: u64) -> Self {
-        ServerConfig { me, peers, spec, seed, slow_ms: None }
+        ServerConfig {
+            me,
+            peers,
+            spec,
+            seed,
+            slow_ms: None,
+            timeouts: Timeouts::default(),
+            retry: RetryPolicy { max_attempts: 2, ..RetryPolicy::default() },
+        }
     }
 
     /// Enables slow-request logging above `ms` milliseconds.
     pub fn with_slow_ms(mut self, ms: u64) -> Self {
         self.slow_ms = Some(ms);
+        self
+    }
+
+    /// Overrides the time bounds on outbound RPCs.
+    pub fn with_timeouts(mut self, timeouts: Timeouts) -> Self {
+        self.timeouts = timeouts;
+        self
+    }
+
+    /// Overrides the internal fan-out retry policy.
+    pub fn with_retry(mut self, retry: RetryPolicy) -> Self {
+        self.retry = retry;
         self
     }
 }
@@ -187,7 +216,11 @@ impl Server {
         let addr = listener.local_addr()?;
         let mut cfg = cfg;
         cfg.peers[cfg.me] = addr;
-        let peers = cfg.peers.iter().map(|&a| PeerClient::new(a)).collect();
+        let peers = cfg
+            .peers
+            .iter()
+            .map(|&a| PeerClient::with_policies(a, cfg.timeouts, BreakerConfig::default()))
+            .collect();
         let next_id = AtomicU64::new(splitmix64(cfg.seed ^ cfg.me as u64));
         let state = Arc::new(State {
             cfg,
@@ -204,8 +237,7 @@ impl Server {
     /// series (`pls_live_unfairness`, `pls_live_coverage`, per-entry hit
     /// counters, hottest keys). Never resets anything.
     pub fn metrics_snapshot(&self) -> MetricsSnapshot {
-        let stored = stored_pairs(&self.state);
-        self.state.metrics.collect_live(&stored, false)
+        collect_metrics(&self.state, false)
     }
 
     /// A render closure for [`http::serve`](crate::http::serve): each
@@ -215,10 +247,7 @@ impl Server {
     /// server then show frozen counters until the task is dropped).
     pub fn metrics_renderer(&self) -> Arc<dyn Fn() -> String + Send + Sync> {
         let state = Arc::clone(&self.state);
-        Arc::new(move || {
-            let stored = stored_pairs(&state);
-            state.metrics.collect_live(&stored, false).to_prometheus()
-        })
+        Arc::new(move || collect_metrics(&state, false).to_prometheus())
     }
 
     /// The full peer list with this server's resolved address.
@@ -310,7 +339,8 @@ impl Server {
             }
 
             // Rebuild the local engine through its own message protocol.
-            let feed = |m: Message<Entry>| state.with_engine(key, |e| e.handle(Endpoint::Server(me), m));
+            let feed =
+                |m: Message<Entry>| state.with_engine(key, |e| e.handle(Endpoint::Server(me), m));
             feed(Message::Reset)?;
             match effective_spec {
                 StrategySpec::FullReplication | StrategySpec::Fixed { .. } => {
@@ -401,11 +431,7 @@ impl Server {
                     // violations.
                     if !matches!(err, ClusterError::Io(_)) {
                         state.metrics.connection_errors.inc();
-                        pls_telemetry::warn!(
-                            "connection_error",
-                            server = state.cfg.me,
-                            err = err
-                        );
+                        pls_telemetry::warn!("connection_error", server = state.cfg.me, err = err);
                     }
                 }
             });
@@ -417,6 +443,17 @@ impl Server {
 /// under the engine lock — the denominator of the live quality gauges.
 fn stored_pairs(state: &State) -> Vec<(Vec<u8>, Vec<Entry>)> {
     state.engines.lock().iter().map(|(k, e)| (k.clone(), e.entries().to_vec())).collect()
+}
+
+/// One full metrics snapshot: the server's own series, the live quality
+/// gauges, and the robustness totals of its outbound peer clients
+/// (timeouts, retries, breaker activity against other servers).
+fn collect_metrics(state: &State, reset: bool) -> MetricsSnapshot {
+    let stored = stored_pairs(state);
+    let mut s = state.metrics.collect_live(&stored, reset);
+    let others = state.peers.iter().enumerate().filter(|(i, _)| *i != state.cfg.me).map(|(_, p)| p);
+    push_peer_robustness(&mut s, others);
+    s
 }
 
 async fn serve_connection(state: Arc<State>, mut socket: TcpStream) -> Result<(), ClusterError> {
@@ -557,10 +594,7 @@ async fn handle_request(
             let known = state.engines.lock().contains_key(&key);
             Ok(Response::SpecOf(known.then(|| state.spec_of(&key))))
         }
-        Request::Metrics { reset } => {
-            let stored = stored_pairs(state);
-            Ok(Response::Metrics(state.metrics.collect_live(&stored, reset)))
-        }
+        Request::Metrics { reset } => Ok(Response::Metrics(collect_metrics(state, reset))),
     }
 }
 
@@ -588,6 +622,10 @@ async fn apply(
     msg: Message<Entry>,
 ) -> Result<(), ClusterError> {
     let me = state.me();
+    // One budget spans the whole fan-out: however many peers and retries
+    // this update touches, the triggering request is answered in bounded
+    // time.
+    let deadline = Deadline::within(state.cfg.timeouts.op_budget);
     // Propagate a per-key strategy override on every internal message, so
     // peers that never saw the client's Place still build the right
     // engine.
@@ -598,9 +636,9 @@ async fn apply(
     while let Some(out) = queue.pop_front() {
         let targets: Vec<(ServerId, Message<Entry>)> = match out {
             Outbound::To(dest, m) => vec![(dest, m)],
-            Outbound::Broadcast(m) => (0..state.n() as u32)
-                .map(|i| (ServerId::new(i), m.clone()))
-                .collect(),
+            Outbound::Broadcast(m) => {
+                (0..state.n() as u32).map(|i| (ServerId::new(i), m.clone())).collect()
+            }
         };
         for (dest, m) in targets {
             if dest == me {
@@ -616,10 +654,14 @@ async fn apply(
                 state.metrics.internal_sent.inc();
                 // Internal fan-out inherits the triggering request's id,
                 // so one client update correlates across every server.
-                if let Err(err) = state.peers[dest.index()].call(req_id, &req).await {
+                let call = state.peers[dest.index()]
+                    .call_retry(req_id, &req, &state.cfg.retry, deadline)
+                    .await;
+                if let Err(err) = call {
                     state.metrics.internal_send_failures.inc();
-                    if matches!(err, ClusterError::Io(_)) {
-                        // Crashed/unreachable peer: drop, like the simulator.
+                    if err.is_unavailable() {
+                        // Crashed/unreachable/silent peer: drop, like the
+                        // simulator.
                         pls_telemetry::debug!(
                             "internal_send_dropped",
                             req = req_id,

@@ -262,10 +262,7 @@ mod tests {
     async fn oversized_frame_rejected_on_write() {
         let (mut a, _b) = tokio::io::duplex(64);
         let big = vec![0u8; MAX_FRAME + 1];
-        assert!(matches!(
-            write_frame(&mut a, 1, &big).await,
-            Err(ClusterError::FrameTooLarge(_))
-        ));
+        assert!(matches!(write_frame(&mut a, 1, &big).await, Err(ClusterError::FrameTooLarge(_))));
     }
 
     #[tokio::test]

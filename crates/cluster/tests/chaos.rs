@@ -1,0 +1,326 @@
+//! Fault-injection tests: a [`ChaosPeer`] proxy stands in for one (or
+//! all) of the cluster's servers and misbehaves — black holes, garbage
+//! frames, half-closes, injected errors, delays — while the client and
+//! the surviving servers must keep every operation time-bounded and
+//! every answerable lookup answered.
+
+use std::net::SocketAddr;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use pls_cluster::{
+    BreakerConfig, ChaosConfig, ChaosPeer, Client, ClientConfig, ClusterError, Server,
+    ServerConfig, Timeouts,
+};
+use pls_core::StrategySpec;
+use tokio::task::JoinHandle;
+
+/// Tight time bounds so fault detection (and hence the tests) is fast.
+fn tight() -> Timeouts {
+    Timeouts::default().with_connect_ms(500).with_rpc_ms(300).with_op_budget_ms(3_000)
+}
+
+/// Spawns an `n`-server cluster in which the servers listed in
+/// `chaos_at` are fronted by chaos proxies sharing `chaos`: everyone
+/// (client and peer servers alike) reaches those servers through their
+/// proxy. Returns the public address list (proxies standing in at the
+/// chaos indices), the servers' real addresses, and the task handles.
+async fn spawn_chaos_cluster(
+    n: usize,
+    spec: StrategySpec,
+    seed: u64,
+    chaos_at: &[usize],
+    chaos: &Arc<ChaosConfig>,
+) -> (Vec<SocketAddr>, Vec<SocketAddr>, Vec<JoinHandle<()>>) {
+    let mut listeners = Vec::with_capacity(n);
+    let mut real_addrs: Vec<SocketAddr> = Vec::with_capacity(n);
+    for _ in 0..n {
+        let listener = tokio::net::TcpListener::bind("127.0.0.1:0").await.expect("bind");
+        real_addrs.push(listener.local_addr().expect("local addr"));
+        listeners.push(listener);
+    }
+    let mut handles = Vec::new();
+    let mut public_addrs = real_addrs.clone();
+    for &i in chaos_at {
+        let (proxy, addr) =
+            ChaosPeer::bind(Some(real_addrs[i]), Arc::clone(chaos)).await.expect("proxy bind");
+        public_addrs[i] = addr;
+        handles.push(tokio::spawn(proxy.run()));
+    }
+    for (i, listener) in listeners.into_iter().enumerate() {
+        // `with_listener` rewrites peers[i] to the server's own (real)
+        // bound address, so each server serves on its real socket while
+        // reaching chaos-fronted peers through their proxies.
+        let cfg = ServerConfig::new(i, public_addrs.clone(), spec, seed).with_timeouts(tight());
+        let (server, _) = Server::with_listener(cfg, listener).expect("server");
+        handles.push(tokio::spawn(server.run()));
+    }
+    (public_addrs, real_addrs, handles)
+}
+
+fn entries(range: std::ops::Range<u32>) -> Vec<Vec<u8>> {
+    range.map(|i| format!("peer{i}:6699").into_bytes()).collect()
+}
+
+/// One key's locally stored entries at a server, pulled over the raw
+/// wire protocol (bypassing any proxy).
+async fn stored_at(addr: SocketAddr, key: &[u8]) -> Vec<Vec<u8>> {
+    let mut stream = tokio::net::TcpStream::connect(addr).await.unwrap();
+    let req = pls_cluster::proto::Request::Snapshot { key: key.to_vec() };
+    pls_cluster::wire::write_frame(&mut stream, 0xc0de, &req.encode()).await.unwrap();
+    let (_, payload) = pls_cluster::wire::read_frame(&mut stream).await.unwrap().unwrap();
+    match pls_cluster::proto::Response::decode(payload).unwrap() {
+        pls_cluster::proto::Response::Snapshot { entries, .. } => entries,
+        other => panic!("unexpected snapshot response {other:?}"),
+    }
+}
+
+/// The ISSUE acceptance scenario: one of three servers black-holed;
+/// `partial_lookup` under every strategy must complete within the
+/// operation budget and return `t` entries whenever the surviving
+/// placement still covers them.
+#[tokio::test]
+async fn black_holed_server_lookups_complete_within_budget_for_every_strategy() {
+    let chaos = Arc::new(ChaosConfig::new(7));
+    let default = StrategySpec::full_replication();
+    let (addrs, real_addrs, _handles) = spawn_chaos_cluster(3, default, 200, &[2], &chaos).await;
+
+    let mut client = Client::connect(ClientConfig::new(addrs, default, 201).with_timeouts(tight()));
+
+    // Place five keys, one per strategy, while the proxy forwards
+    // cleanly — every server (including the soon-to-be-silenced one)
+    // gets its full share.
+    client.place(b"k-full", entries(0..6)).await.unwrap();
+    client.place_with_strategy(b"k-fixed", entries(0..6), StrategySpec::fixed(2)).await.unwrap();
+    client
+        .place_with_strategy(b"k-rand", entries(0..6), StrategySpec::random_server(4))
+        .await
+        .unwrap();
+    client.place_with_strategy(b"k-hash", entries(0..6), StrategySpec::hash(2)).await.unwrap();
+    client
+        .place_with_strategy(b"k-round", entries(0..6), StrategySpec::round_robin(2))
+        .await
+        .unwrap();
+
+    // Hash collisions can assign both of an entry's copies to the
+    // doomed server; the achievable target is whatever the survivors
+    // actually hold.
+    let mut hash_union = stored_at(real_addrs[0], b"k-hash").await;
+    for v in stored_at(real_addrs[1], b"k-hash").await {
+        if !hash_union.contains(&v) {
+            hash_union.push(v);
+        }
+    }
+    assert!(!hash_union.is_empty(), "survivors hold no k-hash entries at all");
+
+    // Silence server 2: requests reach the proxy and vanish.
+    chaos.set_black_hole(1.0);
+
+    // Round-Robin-2 on n=3 (gcd 1): the stride covers all servers, and
+    // every entry has a replica off server 2. Fixed-2: both prefix
+    // entries everywhere. RandomServer-4: any single survivor holds 4.
+    let cases: [(&[u8], usize); 5] = [
+        (b"k-full", 6),
+        (b"k-fixed", 2),
+        (b"k-rand", 4),
+        (b"k-hash", hash_union.len()),
+        (b"k-round", 6),
+    ];
+    let budget = tight().op_budget;
+    for (key, t) in cases {
+        for round in 0..3 {
+            let started = Instant::now();
+            let got = client
+                .partial_lookup(key, t)
+                .await
+                .unwrap_or_else(|e| panic!("{} round {round}: {e}", String::from_utf8_lossy(key)));
+            let elapsed = started.elapsed();
+            assert!(
+                elapsed < budget,
+                "{} round {round} took {elapsed:?} (budget {budget:?})",
+                String::from_utf8_lossy(key)
+            );
+            assert_eq!(got.len(), t, "{} round {round}", String::from_utf8_lossy(key));
+        }
+    }
+
+    // The silent server cost us rpc deadlines, and the snapshot says so.
+    let snap = client.metrics_snapshot();
+    assert!(
+        snap.counter("pls_rpc_timeouts_total").unwrap_or(0) > 0,
+        "no rpc timeouts recorded against the black-holed server"
+    );
+}
+
+/// Client-side circuit breaker: consecutive timeouts open it, open
+/// circuits fast-fail without touching the network, and after the
+/// cooldown a half-open trial against a recovered peer closes it.
+#[tokio::test]
+async fn breaker_opens_fast_fails_and_half_opens_after_cooldown() {
+    let chaos = Arc::new(ChaosConfig::new(8));
+    chaos.set_black_hole(1.0);
+    let (proxy, addr) = ChaosPeer::bind(None, Arc::clone(&chaos)).await.unwrap();
+    tokio::spawn(proxy.run());
+
+    let timeouts = Timeouts::default().with_connect_ms(500).with_rpc_ms(100);
+    let breaker = BreakerConfig { failure_threshold: 3, cooldown: Duration::from_millis(300) };
+    let client = Client::connect(
+        ClientConfig::new(vec![addr], StrategySpec::full_replication(), 202)
+            .with_timeouts(timeouts)
+            .with_breaker(breaker),
+    );
+
+    // Three timed-out calls open the circuit...
+    for i in 0..3 {
+        let err = client.status_of(0).await.unwrap_err();
+        assert!(matches!(err, ClusterError::Timeout("rpc")), "call {i}: {err:?}");
+    }
+    // ...after which calls fast-fail without waiting out any deadline.
+    let started = Instant::now();
+    let err = client.status_of(0).await.unwrap_err();
+    assert!(matches!(err, ClusterError::PeerUnhealthy), "{err:?}");
+    assert!(started.elapsed() < Duration::from_millis(50), "fast-fail was not fast");
+
+    let snap = client.metrics_snapshot();
+    assert!(snap.counter("pls_rpc_timeouts_total").unwrap_or(0) >= 3);
+    assert!(snap.counter("pls_breaker_opens_total").unwrap_or(0) >= 1);
+    assert!(snap.counter("pls_breaker_fast_fails_total").unwrap_or(0) >= 1);
+
+    // Heal the peer and wait out the cooldown: the half-open trial gets
+    // through (the bare proxy acks with `Ok`, which `status_of` calls
+    // an unexpected — but *answered* — response)...
+    chaos.set_black_hole(0.0);
+    tokio::time::sleep(Duration::from_millis(350)).await;
+    let err = client.status_of(0).await.unwrap_err();
+    assert!(matches!(err, ClusterError::Remote(_)), "trial call was not admitted: {err:?}");
+    // ...and its success closes the circuit for subsequent calls too.
+    let err = client.status_of(0).await.unwrap_err();
+    assert!(matches!(err, ClusterError::Remote(_)), "circuit did not close: {err:?}");
+}
+
+/// Hedged probes: with one of three servers responding slowly, lookups
+/// that happen to probe it first hedge onto the next server after the
+/// hedge delay and take the fast answer — without cancelling the slow
+/// probe, and without ever failing the lookup.
+#[tokio::test]
+async fn hedged_probes_fire_and_win_against_a_slow_server() {
+    let chaos = Arc::new(ChaosConfig::new(9));
+    let spec = StrategySpec::random_server(4);
+    let (addrs, _real, _handles) = spawn_chaos_cluster(3, spec, 210, &[2], &chaos).await;
+
+    let mut client = Client::connect(
+        ClientConfig::new(addrs, spec, 211)
+            .with_timeouts(tight())
+            .with_hedging(Duration::from_millis(30)),
+    );
+    client.place(b"k", entries(0..6)).await.unwrap();
+
+    // From now on server 2 answers correctly but 200ms late — well past
+    // the 30ms hedge delay, yet inside the 300ms rpc deadline, so a
+    // probe against it hangs (rather than erroring) until someone else
+    // answers.
+    chaos.set_delay_ms(200);
+
+    // Any single server holds x=4 entries, so t=4 is satisfied by the
+    // first answer. Over 25 shuffled lookups the slow server comes
+    // first often; each such lookup must hedge (timer < 200ms delay)
+    // and the hedged fast probe must win while the slow one hangs.
+    for _ in 0..25 {
+        let started = Instant::now();
+        let got = client.partial_lookup(b"k", 4).await.unwrap();
+        assert_eq!(got.len(), 4);
+        assert!(started.elapsed() < Duration::from_secs(2));
+    }
+
+    let m = client.metrics();
+    assert!(m.hedges.get() >= 1, "no hedged probe was ever launched");
+    assert!(m.hedge_wins.get() >= 1, "no hedged probe ever won");
+    let snap = client.metrics_snapshot();
+    assert_eq!(snap.counter("pls_client_hedges_total"), Some(m.hedges.get()));
+    assert!(snap.histogram("pls_client_hedge_win_latency_us").unwrap().count > 0);
+}
+
+/// Garbage frames, injected errors, and half-closes are all *peer
+/// faults*: the lookup skips the misbehaving server and completes from
+/// the healthy ones, every time.
+#[tokio::test]
+async fn byzantine_faults_are_skipped_like_crashes() {
+    let chaos = Arc::new(ChaosConfig::new(10));
+    let spec = StrategySpec::full_replication();
+    let (addrs, _real, _handles) = spawn_chaos_cluster(3, spec, 220, &[1], &chaos).await;
+
+    let mut client = Client::connect(
+        ClientConfig::new(addrs, spec, 221)
+            .with_timeouts(tight())
+            // Keep the breaker out of the picture: this test pins the
+            // skip-and-move-on path, not demotion.
+            .with_breaker(BreakerConfig { failure_threshold: u32::MAX, ..Default::default() }),
+    );
+    client.place(b"k", entries(0..6)).await.unwrap();
+
+    let arm: [(&str, &dyn Fn()); 3] = [
+        ("garbage", &|| chaos.set_garbage(1.0)),
+        ("error", &|| chaos.set_error(1.0)),
+        ("half-close", &|| chaos.set_half_close(1.0)),
+    ];
+    for (name, enable) in arm {
+        chaos.set_garbage(0.0);
+        chaos.set_error(0.0);
+        chaos.set_half_close(0.0);
+        enable();
+        for round in 0..4 {
+            let got = client
+                .partial_lookup(b"k", 6)
+                .await
+                .unwrap_or_else(|e| panic!("{name} round {round}: {e}"));
+            assert_eq!(got.len(), 6, "{name} round {round}");
+        }
+    }
+}
+
+/// Server-side robustness: updates whose internal fan-out hits a
+/// black-holed peer still complete in bounded time (the message is
+/// dropped, as for a crashed peer), the coordinators' rpc timeouts and
+/// breaker trips show up in the cluster-merged metrics, and the data
+/// stays retrievable.
+#[tokio::test]
+async fn black_holed_fan_out_is_bounded_and_counted() {
+    let chaos = Arc::new(ChaosConfig::new(11));
+    chaos.set_black_hole(1.0);
+    let spec = StrategySpec::full_replication();
+    let (addrs, _real, _handles) = spawn_chaos_cluster(3, spec, 230, &[2], &chaos).await;
+
+    let mut client = Client::connect(ClientConfig::new(addrs, spec, 231).with_timeouts(tight()));
+
+    // Every update's fan-out to server 2 dies in the proxy; the
+    // coordinating server must give up on it within its own budget and
+    // still ack the client.
+    let started = Instant::now();
+    client.place(b"k", entries(0..4)).await.unwrap();
+    for i in 0..5u32 {
+        client.add(b"k", format!("late{i}").into_bytes()).await.unwrap();
+    }
+    assert!(
+        started.elapsed() < Duration::from_secs(15),
+        "updates against a black-holed peer took {:?}",
+        started.elapsed()
+    );
+
+    // The survivors replicated everything they coordinated.
+    let got = client.partial_lookup(b"k", 9).await.unwrap();
+    assert_eq!(got.len(), 9);
+
+    // Merged server metrics (the black-holed server is skipped) expose
+    // the cost: rpc deadlines burned on fan-out, and at least one
+    // coordinator's breaker gave up on the silent peer.
+    let merged = client.cluster_metrics(false).await.unwrap();
+    assert!(
+        merged.counter_sum("pls_rpc_timeouts_total") > 0,
+        "server-side fan-out recorded no rpc timeouts"
+    );
+    assert!(
+        merged.counter_sum("pls_breaker_opens_total") >= 1,
+        "no server-side breaker opened against the silent peer"
+    );
+    assert!(merged.counter("pls_internal_send_failures_total").unwrap_or(0) > 0);
+}

@@ -401,10 +401,7 @@ async fn per_key_strategies_coexist() {
     // Round-robin placement: exactly 2 copies of each of 12 entries,
     // spread 6 per server.
     let mut client2 = Client::connect(ClientConfig::new(addrs, default, 62));
-    client2
-        .place_with_strategy(b"probe-only", vec![], StrategySpec::round_robin(2))
-        .await
-        .unwrap();
+    client2.place_with_strategy(b"probe-only", vec![], StrategySpec::round_robin(2)).await.unwrap();
     // A fresh client discovers the per-key strategy from the cluster.
     let discovered = client2.refresh_spec(b"hot").await.unwrap();
     assert_eq!(discovered, Some(StrategySpec::round_robin(2)));
@@ -437,10 +434,7 @@ async fn conflicting_per_key_strategy_is_rejected() {
     let default = StrategySpec::hash(2);
     let (addrs, _handles) = spawn_cluster(3, default, 63).await;
     let mut client = Client::connect(ClientConfig::new(addrs, default, 64));
-    client
-        .place_with_strategy(b"k", entries(0..5), StrategySpec::fixed(3))
-        .await
-        .unwrap();
+    client.place_with_strategy(b"k", entries(0..5), StrategySpec::fixed(3)).await.unwrap();
     let err = client
         .place_with_strategy(b"k", entries(0..5), StrategySpec::round_robin(1))
         .await
@@ -590,10 +584,7 @@ async fn random_server_probe_count_matches_simulated_expectation() {
         merged.counter("pls_requests_total{op=\"probe\"}"),
         Some(client.metrics().probes.get())
     );
-    assert_eq!(
-        merged.counter_sum("pls_probes_total"),
-        client.metrics().probes.get()
-    );
+    assert_eq!(merged.counter_sum("pls_probes_total"), client.metrics().probes.get());
 }
 
 #[tokio::test]
@@ -680,10 +671,7 @@ async fn live_unfairness_matches_analytic_for_fixed_x() {
     let probs: Vec<f64> = counts.iter().map(|&c| c as f64 / lookups as f64).collect();
     let live = pls_metrics::unfairness::from_probabilities(&probs, 3);
     let analytic = pls_metrics::unfairness::analytic_fixed(5, 15, 3);
-    assert!(
-        (live - analytic).abs() < 0.12,
-        "live unfairness {live} vs analytic {analytic}"
-    );
+    assert!((live - analytic).abs() < 0.12, "live unfairness {live} vs analytic {analytic}");
 }
 
 #[tokio::test]
@@ -775,31 +763,62 @@ async fn request_id_propagates_from_client_through_servers() {
     // The lookup's id appears on the client span, the server's request
     // span, the per-probe engine span, and the probe-answered event —
     // the same id at every hop.
-    let with_lookup_id: Vec<&String> =
-        lines.iter().filter(|l| has_id(l, lookup_id)).collect();
-    for msg in ["msg=partial_lookup start", "msg=probe start", "msg=probe_sample start", "msg=probe_answered"] {
+    let with_lookup_id: Vec<&String> = lines.iter().filter(|l| has_id(l, lookup_id)).collect();
+    for msg in [
+        "msg=partial_lookup start",
+        "msg=probe start",
+        "msg=probe_sample start",
+        "msg=probe_answered",
+    ] {
         assert!(
             with_lookup_id.iter().any(|l| l.contains(msg)),
             "no `{msg}` event with req={lookup_id}: {with_lookup_id:?}"
         );
     }
     // A lookup triggers no server-to-server fan-out.
-    assert!(
-        !with_lookup_id.iter().any(|l| l.contains("msg=internal")),
-        "{with_lookup_id:?}"
-    );
+    assert!(!with_lookup_id.iter().any(|l| l.contains("msg=internal")), "{with_lookup_id:?}");
 
     // The place's id follows the coordinator's fan-out: the handling
     // server stamps it on both Internal messages it relays.
-    let with_place_id: Vec<&String> =
-        lines.iter().filter(|l| has_id(l, place_id)).collect();
-    assert!(
-        with_place_id.iter().any(|l| l.contains("msg=place start")),
-        "{with_place_id:?}"
-    );
-    let internal_starts =
-        with_place_id.iter().filter(|l| l.contains("msg=internal start")).count();
+    let with_place_id: Vec<&String> = lines.iter().filter(|l| has_id(l, place_id)).collect();
+    assert!(with_place_id.iter().any(|l| l.contains("msg=place start")), "{with_place_id:?}");
+    let internal_starts = with_place_id.iter().filter(|l| l.contains("msg=internal start")).count();
     assert_eq!(internal_starts, 2, "{with_place_id:?}");
+}
+
+#[tokio::test]
+async fn round_robin_gcd_stride_falls_through_to_random_probing() {
+    // Round-Robin-2 on n=4: gcd(y, n) = 2, so the stride walk s, s+2
+    // revisits its start after n/gcd = 2 hops having covered only half
+    // the ring. With server 2 empty (crashed during placement, replaced
+    // cold without resync), an even start finds just 6 of the 12
+    // entries in phase 1 and must fall through to probing the servers
+    // the stride skipped instead of giving up.
+    let spec = StrategySpec::round_robin(2);
+    let (addrs, handles) = spawn_cluster(4, spec, 120).await;
+    handles[2].abort();
+    tokio::time::sleep(std::time::Duration::from_millis(30)).await;
+
+    let mut client = Client::connect(ClientConfig::new(addrs.clone(), spec, 121));
+    // Fan-out to the dead server is dropped (the paper's failure
+    // model): its round-robin positions survive only on their other
+    // replica.
+    client.place(b"k", entries(0..12)).await.unwrap();
+
+    // Replace server 2 with a cold, empty instance on the same address
+    // — reachable and answering, but holding nothing.
+    let listener = rebind(addrs[2]).await;
+    let cfg = ServerConfig::new(2, addrs.clone(), spec, 120);
+    let (replacement, _) = Server::with_listener(cfg, listener).unwrap();
+    tokio::spawn(replacement.run());
+
+    // Whatever start the stride draws (even starts see only servers
+    // {0, 2} in phase 1), every lookup must still recover all 12
+    // entries via the phase-2 fallthrough.
+    for i in 0..12 {
+        let got = client.partial_lookup(b"k", 12).await.unwrap();
+        assert_eq!(got.len(), 12, "lookup {i}");
+    }
 }
 
 #[tokio::test]
@@ -817,13 +836,7 @@ async fn many_keys_are_independent() {
         assert!(got.len() >= 3, "key{k}");
         for e in &got {
             let s = String::from_utf8_lossy(e);
-            let id: u32 = s
-                .trim_start_matches("peer")
-                .split(':')
-                .next()
-                .unwrap()
-                .parse()
-                .unwrap();
+            let id: u32 = s.trim_start_matches("peer").split(':').next().unwrap().parse().unwrap();
             assert!(id >= k * 10 && id < k * 10 + 5, "key{k} leaked entry {s}");
         }
     }

@@ -153,12 +153,8 @@ pub fn rating(kind: StrategyKind, dim: Dimension) -> Option<Stars> {
 }
 
 /// The four partial-lookup strategies Table 2 rates, in row order.
-pub const TABLE2_ROWS: [StrategyKind; 4] = [
-    StrategyKind::Fixed,
-    StrategyKind::RandomServer,
-    StrategyKind::RoundRobin,
-    StrategyKind::Hash,
-];
+pub const TABLE2_ROWS: [StrategyKind; 4] =
+    [StrategyKind::Fixed, StrategyKind::RandomServer, StrategyKind::RoundRobin, StrategyKind::Hash];
 
 /// The full Table 2 as `(strategy, [(dimension, stars); 9])` rows.
 pub fn star_table() -> Vec<(StrategyKind, Vec<(Dimension, Stars)>)> {
@@ -312,12 +308,15 @@ mod tests {
     #[test]
     fn table2_spot_checks_match_paper() {
         // "no strategy is the best in all situations"
-        let best_everywhere = TABLE2_ROWS.iter().any(|&k| {
-            Dimension::ALL.iter().all(|&d| rating(k, d).unwrap().count() == 4)
-        });
+        let best_everywhere = TABLE2_ROWS
+            .iter()
+            .any(|&k| Dimension::ALL.iter().all(|&d| rating(k, d).unwrap().count() == 4));
         assert!(!best_everywhere);
         // Round-y: zero unfairness in both regimes.
-        assert_eq!(rating(StrategyKind::RoundRobin, Dimension::FairnessManyUpdates).unwrap().count(), 4);
+        assert_eq!(
+            rating(StrategyKind::RoundRobin, Dimension::FairnessManyUpdates).unwrap().count(),
+            4
+        );
         // Round-y: update bottleneck.
         assert_eq!(
             rating(StrategyKind::RoundRobin, Dimension::UpdateOverheadSmallTarget).unwrap().count(),

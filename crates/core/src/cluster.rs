@@ -1093,8 +1093,7 @@ mod tests {
         c.delete(&2).unwrap();
         c.add(77).unwrap();
         c.recover_and_resync(victim).unwrap();
-        let donor: HashSet<u64> =
-            c.server_entries(ServerId::new(0)).iter().copied().collect();
+        let donor: HashSet<u64> = c.server_entries(ServerId::new(0)).iter().copied().collect();
         let got: HashSet<u64> = c.server_entries(victim).iter().copied().collect();
         assert_eq!(got, donor);
         assert!(got.contains(&77) && !got.contains(&2));
@@ -1139,9 +1138,8 @@ mod tests {
         let survivors: HashSet<u64> = before
             .iter()
             .filter(|v| {
-                (0..10).filter(|i| {
-                    c.server_entries(ServerId::new(*i)).contains(v)
-                }).count() >= 1 && after.contains(*v)
+                (0..10).filter(|i| c.server_entries(ServerId::new(*i)).contains(v)).count() >= 1
+                    && after.contains(*v)
             })
             .copied()
             .collect();

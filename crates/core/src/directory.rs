@@ -191,7 +191,12 @@ impl<K: Key, V: Entry> Directory<K, V> {
     /// Delivers a client message to a coordinator and drains the
     /// resulting fan-out, charging per-server update load. Messages to
     /// failed servers are dropped.
-    fn drive(&mut self, key: &K, coordinator: ServerId, msg: Message<V>) -> Result<(), ServiceError> {
+    fn drive(
+        &mut self,
+        key: &K,
+        coordinator: ServerId,
+        msg: Message<V>,
+    ) -> Result<(), ServiceError> {
         let n = self.n;
         let failures = self.failures.clone();
         let mut load = std::mem::take(&mut self.update_load);
@@ -470,7 +475,7 @@ mod tests {
         }
         let total: u64 = dir.lookup_load().iter().sum();
         assert_eq!(total, 100); // 10 entries per server >= t: one probe each
-        // Random starts spread the load.
+                                // Random starts spread the load.
         for (i, &l) in dir.lookup_load().iter().enumerate() {
             assert!(l > 5, "server {i} load {l}");
         }
@@ -502,9 +507,11 @@ mod tests {
 
     #[test]
     fn zero_servers_rejected() {
-        let err = Directory::<u8, u64>::new(0, StrategyAssignment::Uniform(
-            StrategySpec::full_replication(),
-        ), 9)
+        let err = Directory::<u8, u64>::new(
+            0,
+            StrategyAssignment::Uniform(StrategySpec::full_replication()),
+            9,
+        )
         .unwrap_err();
         assert!(matches!(err, crate::ConfigError::InvalidParameter(_)));
     }

@@ -88,7 +88,9 @@ impl<V: Entry> NodeEngine<V> {
         }
         // Each server gets its own stream; mixing `me` keeps streams
         // distinct even though the cluster seed is shared.
-        let rng = DetRng::seed_from(cluster_seed ^ (0x9e37_79b9_7f4a_7c15u64.wrapping_mul(me.index() as u64 + 1)));
+        let rng = DetRng::seed_from(
+            cluster_seed ^ (0x9e37_79b9_7f4a_7c15u64.wrapping_mul(me.index() as u64 + 1)),
+        );
         Ok(NodeEngine { me, n, spec, hash_family, node, rng, rr_mirrors: 1 })
     }
 
@@ -126,7 +128,9 @@ impl<V: Entry> NodeEngine<V> {
 
     /// Outbounds that propagate this mirror's counters to its peers.
     fn rr_sync_counters(&self) -> Vec<Outbound<V>> {
-        let Some((head, tail)) = self.rr_counters() else { return Vec::new() };
+        let Some((head, tail)) = self.rr_counters() else {
+            return Vec::new();
+        };
         (0..self.rr_mirrors)
             .filter(|&i| i != self.me.index())
             .map(|i| Outbound::To(ServerId::new(i as u32), Message::RrSetCounters { head, tail }))
@@ -275,7 +279,10 @@ impl<V: Entry> NodeEngine<V> {
                 for (i, v) in entries.into_iter().enumerate() {
                     for k in 0..y {
                         let dest = ServerId::new((i % n) as u32).wrapping_add(k, n);
-                        out.push(Outbound::To(dest, Message::RrStore { v: v.clone(), pos: i as u64 }));
+                        out.push(Outbound::To(
+                            dest,
+                            Message::RrStore { v: v.clone(), pos: i as u64 },
+                        ));
                     }
                 }
                 out
@@ -407,10 +414,9 @@ impl<V: Entry> NodeEngine<V> {
             // When the deleted entry *is* the head entry there is no hole
             // to plug: copies just vanish and head has already advanced.
             let replacement = at_head.filter(|u| *u != v);
-            self.node.rr_migrations.insert(
-                v.clone(),
-                MigrationState { remaining: y, replacement, old_pos: head_pos },
-            );
+            self.node
+                .rr_migrations
+                .insert(v.clone(), MigrationState { remaining: y, replacement, old_pos: head_pos });
             // Replay migration requests that raced ahead of this
             // broadcast (possible over unordered transports).
             if let Some(pending) = self.node.rr_pending_migrations.remove(&v) {
@@ -467,7 +473,8 @@ impl<V: Entry> NodeEngine<V> {
                 // copies by position, so the new copies survive on
                 // overlapping servers.
                 for k in 0..y {
-                    let dest = ServerId::new((old_pos % self.n as u64) as u32).wrapping_add(k, self.n);
+                    let dest =
+                        ServerId::new((old_pos % self.n as u64) as u32).wrapping_add(k, self.n);
                     out.push(Outbound::To(dest, Message::RrRemoveAt { pos: old_pos }));
                 }
             }
@@ -482,7 +489,8 @@ mod tests {
 
     #[test]
     fn engines_share_hash_family_but_not_rng() {
-        let mut a: NodeEngine<u64> = NodeEngine::new(0.into(), 4, StrategySpec::hash(2), 9).unwrap();
+        let mut a: NodeEngine<u64> =
+            NodeEngine::new(0.into(), 4, StrategySpec::hash(2), 9).unwrap();
         let b: NodeEngine<u64> = NodeEngine::new(1.into(), 4, StrategySpec::hash(2), 9).unwrap();
         // Same family: an add handled at either server targets the same
         // destinations.
@@ -559,18 +567,14 @@ mod tests {
         head.handle(Endpoint::client(0), Message::RrInit { h: 4 });
 
         // The racing request arrives first: no reply yet.
-        let early = head.handle(
-            Endpoint::Server(ServerId::new(2)),
-            Message::MigrateReq { v: 30, dest_pos: 2 },
-        );
+        let early = head
+            .handle(Endpoint::Server(ServerId::new(2)), Message::MigrateReq { v: 30, dest_pos: 2 });
         assert!(early.is_empty());
 
         // Now the head's own RrRemove lands: the buffered request is
         // answered with the head entry as replacement.
-        let out = head.handle(
-            Endpoint::Server(ServerId::new(0)),
-            Message::RrRemove { v: 30, head_pos: 0 },
-        );
+        let out = head
+            .handle(Endpoint::Server(ServerId::new(0)), Message::RrRemove { v: 30, head_pos: 0 });
         assert!(
             out.contains(&Outbound::To(
                 ServerId::new(2),
@@ -581,10 +585,8 @@ mod tests {
 
         // The second (in-order) request completes the migration and
         // retires the replacement's old copies.
-        let out = head.handle(
-            Endpoint::Server(ServerId::new(3)),
-            Message::MigrateReq { v: 30, dest_pos: 2 },
-        );
+        let out = head
+            .handle(Endpoint::Server(ServerId::new(3)), Message::MigrateReq { v: 30, dest_pos: 2 });
         assert!(out.contains(&Outbound::To(
             ServerId::new(3),
             Message::MigrateRep { v: 30, dest_pos: 2, replacement: Some(10) },
@@ -616,10 +618,8 @@ mod tests {
             ServerId::new(0),
             Message::RrSetCounters { head: 0, tail: 6 }
         )));
-        let stores = out
-            .iter()
-            .filter(|o| matches!(o, Outbound::To(_, Message::RrStore { .. })))
-            .count();
+        let stores =
+            out.iter().filter(|o| matches!(o, Outbound::To(_, Message::RrStore { .. }))).count();
         assert_eq!(stores, 2);
     }
 
@@ -660,15 +660,13 @@ mod tests {
             .collect::<Result<_, _>>()
             .unwrap();
         for v in 0..50u64 {
-            let assigned: Vec<usize> = (0..n)
-                .filter(|&i| engines[0].assigns_to(&v, ServerId::new(i as u32)))
-                .collect();
+            let assigned: Vec<usize> =
+                (0..n).filter(|&i| engines[0].assigns_to(&v, ServerId::new(i as u32))).collect();
             assert!(!assigned.is_empty() && assigned.len() <= 2, "entry {v}: {assigned:?}");
             // Every engine agrees on the assignment (shared family).
             for e in &engines {
-                let theirs: Vec<usize> = (0..n)
-                    .filter(|&i| e.assigns_to(&v, ServerId::new(i as u32)))
-                    .collect();
+                let theirs: Vec<usize> =
+                    (0..n).filter(|&i| e.assigns_to(&v, ServerId::new(i as u32))).collect();
                 assert_eq!(theirs, assigned, "entry {v}");
             }
         }
@@ -678,7 +676,9 @@ mod tests {
     fn store_and_sample_roundtrip() {
         let mut e: NodeEngine<u64> =
             NodeEngine::new(0.into(), 2, StrategySpec::full_replication(), 2).unwrap();
-        assert!(e.handle(Endpoint::client(0), Message::StoreSet { entries: vec![1, 2, 3] }).is_empty());
+        assert!(e
+            .handle(Endpoint::client(0), Message::StoreSet { entries: vec![1, 2, 3] })
+            .is_empty());
         assert_eq!(e.entries().len(), 3);
         let s = e.sample(2);
         assert_eq!(s.len(), 2);

@@ -34,9 +34,8 @@ impl HostPlan {
         assert!(!topo.is_empty(), "topology must have nodes");
         let n = topo.len();
         // coverage[u] = set of nodes within d hops of u.
-        let coverage: Vec<Vec<usize>> = (0..n)
-            .map(|u| topo.within_hops(u, d).map(|s| s.index()).collect())
-            .collect();
+        let coverage: Vec<Vec<usize>> =
+            (0..n).map(|u| topo.within_hops(u, d).map(|s| s.index()).collect()).collect();
         let mut covered = vec![false; n];
         let mut remaining = n;
         let mut hosts = Vec::new();

@@ -91,10 +91,7 @@ impl<V: Entry> ServerNode<V> {
 
     /// Removes the (unique-position) copy of `v`; returns its position.
     pub(crate) fn rr_remove_entry(&mut self, v: &V) -> Option<u64> {
-        let pos = self
-            .rr_slots
-            .iter()
-            .find_map(|(p, entry)| (entry == v).then_some(*p))?;
+        let pos = self.rr_slots.iter().find_map(|(p, entry)| (entry == v).then_some(*p))?;
         self.rr_remove_at(pos);
         Some(pos)
     }

@@ -47,12 +47,8 @@ impl ChaosNet {
     /// Delivers everything, one random channel-head message at a time.
     fn run(&mut self, engines: &mut [NodeEngine<u64>]) {
         loop {
-            let keys: Vec<(Endpoint, ServerId)> = self
-                .channels
-                .iter()
-                .filter(|(_, q)| !q.is_empty())
-                .map(|(k, _)| *k)
-                .collect();
+            let keys: Vec<(Endpoint, ServerId)> =
+                self.channels.iter().filter(|(_, q)| !q.is_empty()).map(|(k, _)| *k).collect();
             if keys.is_empty() {
                 return;
             }
@@ -112,9 +108,7 @@ fn chaos_round_robin_churn(seed: u64) {
     let coordinator = ServerId::new(0);
 
     // Place 12 entries.
-    net.send(Endpoint::client(0), coordinator, Message::PlaceReq {
-        entries: (0..12).collect(),
-    });
+    net.send(Endpoint::client(0), coordinator, Message::PlaceReq { entries: (0..12).collect() });
     net.run(&mut engines);
     let mut live: HashSet<u64> = (0..12).collect();
     assert_rr_consistent(&engines, y, &live);
@@ -161,9 +155,11 @@ fn hash_strategy_is_order_insensitive() {
         .collect::<Result<_, _>>()
         .unwrap();
     let mut net = ChaosNet::new(7);
-    net.send(Endpoint::client(0), ServerId::new(3), Message::PlaceReq {
-        entries: (0..50).collect(),
-    });
+    net.send(
+        Endpoint::client(0),
+        ServerId::new(3),
+        Message::PlaceReq { entries: (0..50).collect() },
+    );
     net.run(&mut engines);
     for v in 0..50u64 {
         for (i, engine) in engines.iter().enumerate() {
@@ -182,15 +178,15 @@ fn migrate_reorder_buffering_under_repeated_chaos() {
         let n = 4;
         let y = 2;
         let mut engines: Vec<NodeEngine<u64>> = (0..n)
-            .map(|i| {
-                NodeEngine::new(ServerId::new(i as u32), n, StrategySpec::round_robin(y), 1)
-            })
+            .map(|i| NodeEngine::new(ServerId::new(i as u32), n, StrategySpec::round_robin(y), 1))
             .collect::<Result<_, _>>()
             .unwrap();
         let mut net = ChaosNet::new(seed);
-        net.send(Endpoint::client(0), ServerId::new(0), Message::PlaceReq {
-            entries: vec![1, 2, 3, 4, 5],
-        });
+        net.send(
+            Endpoint::client(0),
+            ServerId::new(0),
+            Message::PlaceReq { entries: vec![1, 2, 3, 4, 5] },
+        );
         net.run(&mut engines);
         // Delete the entry at position 2 — triggers head migration.
         net.send(Endpoint::client(0), ServerId::new(0), Message::DeleteReq { v: 3 });

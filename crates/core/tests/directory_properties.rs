@@ -62,7 +62,9 @@ fn run_history(ops: Vec<Op>, seed: u64) {
                 live.entry(key).or_default().push(v);
             }
             Op::Delete { key, idx } => {
-                let Some(entries) = live.get_mut(&key) else { continue };
+                let Some(entries) = live.get_mut(&key) else {
+                    continue;
+                };
                 if entries.is_empty() {
                     continue;
                 }
@@ -77,7 +79,10 @@ fn run_history(ops: Vec<Op>, seed: u64) {
                 let mut seen = HashSet::new();
                 for v in result.entries() {
                     assert!(seen.insert(*v), "key {key}: duplicate answer");
-                    assert!(key_live.contains(v), "key {key}: answer {v} not live (cross-key leak?)");
+                    assert!(
+                        key_live.contains(v),
+                        "key {key}: answer {v} not live (cross-key leak?)"
+                    );
                 }
                 assert!(result.entries().len() <= t);
                 // Complete-coverage strategies satisfy t when possible.

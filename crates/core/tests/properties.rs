@@ -10,10 +10,10 @@ use proptest::prelude::*;
 /// One step of a generated history.
 #[derive(Debug, Clone)]
 enum Op {
-    Place(u8),    // place this many fresh entries
-    Add,          // add one fresh entry
-    Delete(u8),   // delete the (i mod live)-th live entry
-    Lookup(u8),   // partial_lookup with t = 1 + (raw mod 40)
+    Place(u8),  // place this many fresh entries
+    Add,        // add one fresh entry
+    Delete(u8), // delete the (i mod live)-th live entry
+    Lookup(u8), // partial_lookup with t = 1 + (raw mod 40)
 }
 
 fn op_strategy() -> impl Strategy<Value = Op> {

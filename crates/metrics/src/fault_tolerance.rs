@@ -163,7 +163,8 @@ mod tests {
         let mut c = Cluster::new(10, StrategySpec::round_robin(2), 7).unwrap();
         c.place((0..100u64).collect()).unwrap();
         let p = c.placement();
-        let tols: Vec<usize> = [10, 20, 30, 40, 50].iter().map(|&t| greedy_tolerance(&p, t)).collect();
+        let tols: Vec<usize> =
+            [10, 20, 30, 40, 50].iter().map(|&t| greedy_tolerance(&p, t)).collect();
         for w in tols.windows(2) {
             assert!(w[1] <= w[0], "tolerance should not increase with t: {tols:?}");
         }
@@ -185,12 +186,7 @@ mod tests {
     fn greedy_prefers_the_load_bearing_server() {
         // Server 0 uniquely holds entries 3 and 4; the adversary should
         // kill it first, dropping coverage from 5 to 3.
-        let p = Placement::from_rows(vec![
-            vec![1u32, 3, 4],
-            vec![1, 2],
-            vec![2, 5],
-            vec![5, 1],
-        ]);
+        let p = Placement::from_rows(vec![vec![1u32, 3, 4], vec![1, 2], vec![2, 5], vec![5, 1]]);
         // t=4: failing server 0 leaves coverage 3 < 4 → tolerance 0.
         assert_eq!(greedy_tolerance(&p, 4), 0);
         // t=2: adversary can do real damage but two servers' worth of

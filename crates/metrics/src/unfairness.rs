@@ -205,7 +205,10 @@ mod tests {
         rs.place(universe.clone()).unwrap();
         let u_fixed = analytic_fixed(20, 100, 15);
         let u_single = measure_instance(&mut rs, &universe, 15, 4000);
-        assert!(u_single * 2.0 < u_fixed, "single-probe: RandomServer {u_single} vs Fixed {u_fixed}");
+        assert!(
+            u_single * 2.0 < u_fixed,
+            "single-probe: RandomServer {u_single} vs Fixed {u_fixed}"
+        );
         let u_merge = measure_instance(&mut rs, &universe, 35, 4000);
         assert!(u_merge * 3.0 < u_fixed, "merging: RandomServer {u_merge} vs Fixed {u_fixed}");
     }
@@ -283,8 +286,7 @@ mod tests {
         let mut counts = vec![per_hot; x];
         counts.resize(h, 0);
         let live = cov_from_counts(&counts);
-        let probs: Vec<f64> =
-            counts.iter().map(|&c| c as f64 / lookups as f64).collect();
+        let probs: Vec<f64> = counts.iter().map(|&c| c as f64 / lookups as f64).collect();
         assert!((live - from_probabilities(&probs, t)).abs() < 1e-12);
         assert!((live - analytic_fixed(x, h, t)).abs() < 1e-12);
     }

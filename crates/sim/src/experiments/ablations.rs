@@ -185,8 +185,7 @@ fn measure_hash(
     h: usize,
     seed: u64,
 ) -> (f64 /* msgs */, f64 /* lookup cost */) {
-    let cluster =
-        Cluster::new(params.n, StrategySpec::hash(y), seed).expect("valid Hash-y spec");
+    let cluster = Cluster::new(params.n, StrategySpec::hash(y), seed).expect("valid Hash-y spec");
     let workload = WorkloadConfig {
         arrival_mean: 10.0,
         steady_h: h,
@@ -291,10 +290,8 @@ mod tests {
             ..HashYParams::quick()
         });
         for row in &rows {
-            let cheaper_updates =
-                row.adaptive_msgs.mean() <= row.fixed_msgs.mean() + 1.0;
-            let cheaper_lookups =
-                row.adaptive_lookup.mean() <= row.fixed_lookup.mean() + 0.05;
+            let cheaper_updates = row.adaptive_msgs.mean() <= row.fixed_msgs.mean() + 1.0;
+            let cheaper_lookups = row.adaptive_lookup.mean() <= row.fixed_lookup.mean() + 0.05;
             assert!(
                 cheaper_updates || cheaper_lookups,
                 "h={}: adaptive dominated on both axes (msgs {} vs {}, lookup {} vs {})",

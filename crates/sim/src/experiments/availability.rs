@@ -95,17 +95,12 @@ pub struct Row {
     pub hash: Summary,
 }
 
-fn failure_fraction(
-    kind: StrategyKind,
-    params: &Params,
-    failed: usize,
-    seed: u64,
-) -> f64 {
+fn failure_fraction(kind: StrategyKind, params: &Params, failed: usize, seed: u64) -> f64 {
     let mut cluster = if kind == StrategyKind::Fixed {
         // Fixed-x needs x >= t to be defined at all; give it the cushioned
         // x = t + 10 (extra storage — see Params docs).
-        let mut c = Cluster::new(params.n, StrategySpec::fixed(params.t + 10), seed)
-            .expect("valid spec");
+        let mut c =
+            Cluster::new(params.n, StrategySpec::fixed(params.t + 10), seed).expect("valid spec");
         c.place((0..params.h as u64).collect()).expect("no failures yet");
         c
     } else {

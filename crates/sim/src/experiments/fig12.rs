@@ -88,8 +88,7 @@ pub struct Row {
 /// servers are identical, so server 0 is representative.
 fn failure_fraction(params: &Params, cushion: usize, kind: LifetimeKind, seed: u64) -> f64 {
     let x = params.t + cushion;
-    let cluster =
-        Cluster::new(params.n, StrategySpec::fixed(x), seed).expect("valid Fixed-x spec");
+    let cluster = Cluster::new(params.n, StrategySpec::fixed(x), seed).expect("valid Fixed-x spec");
     let workload = WorkloadConfig {
         arrival_mean: params.arrival_mean,
         steady_h: params.h,
@@ -107,7 +106,9 @@ fn failure_fraction(params: &Params, cushion: usize, kind: LifetimeKind, seed: u
     let mut applied = 0usize;
     while let Some(event) = sim.step().expect("no failures during replay") {
         applied += 1;
-        let Some(next_time) = sim.peek_time() else { break };
+        let Some(next_time) = sim.peek_time() else {
+            break;
+        };
         let duration = next_time - event.time;
         if applied >= warmup {
             total_time += duration;

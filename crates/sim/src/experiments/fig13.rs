@@ -88,7 +88,8 @@ pub fn run(params: &Params) -> Vec<Row> {
         "checkpoints must be strictly increasing"
     );
     let max_updates = params.checkpoints.last().copied().unwrap_or(0);
-    let mut accs: Vec<Accumulator> = params.checkpoints.iter().map(|_| Accumulator::new()).collect();
+    let mut accs: Vec<Accumulator> =
+        params.checkpoints.iter().map(|_| Accumulator::new()).collect();
 
     for run in 0..params.runs {
         let seed = params.seed.wrapping_add(run as u64);
@@ -150,11 +151,8 @@ mod tests {
         // "deteriorates rapidly and then stabilizes": the first half of
         // the rise exceeds the second half.
         let rows = run(&tiny());
-        let (a, b, c) = (
-            rows[0].unfairness.mean(),
-            rows[1].unfairness.mean(),
-            rows[2].unfairness.mean(),
-        );
+        let (a, b, c) =
+            (rows[0].unfairness.mean(), rows[1].unfairness.mean(), rows[2].unfairness.mean());
         assert!(b - a > c - b, "rise {a} -> {b} -> {c} not front-loaded");
     }
 }

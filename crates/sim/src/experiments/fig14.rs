@@ -128,7 +128,12 @@ pub fn run(params: &Params) -> Vec<Row> {
                     seed,
                 ) as f64);
             }
-            Row { h, hash_y: y, fixed_messages: fixed_acc.summary(), hash_messages: hash_acc.summary() }
+            Row {
+                h,
+                hash_y: y,
+                fixed_messages: fixed_acc.summary(),
+                hash_messages: hash_acc.summary(),
+            }
         })
         .collect()
 }

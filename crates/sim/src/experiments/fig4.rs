@@ -53,12 +53,7 @@ impl Params {
     /// The paper's full Monte-Carlo budget (5000 × 5000; minutes of
     /// runtime).
     pub fn paper() -> Self {
-        Params {
-            targets: (10..=50).collect(),
-            runs: 5000,
-            lookups_per_run: 5000,
-            ..Self::quick()
-        }
+        Params { targets: (10..=50).collect(), runs: 5000, lookups_per_run: 5000, ..Self::quick() }
     }
 }
 
@@ -89,8 +84,7 @@ pub struct Row {
 /// `runs`/`lookups_per_run` is zero.
 pub fn run(params: &Params) -> Vec<Row> {
     assert!(params.runs > 0 && params.lookups_per_run > 0, "Monte-Carlo budget must be positive");
-    let strategies =
-        [StrategyKind::RoundRobin, StrategyKind::RandomServer, StrategyKind::Hash];
+    let strategies = [StrategyKind::RoundRobin, StrategyKind::RandomServer, StrategyKind::Hash];
     params
         .targets
         .iter()
@@ -111,12 +105,7 @@ pub fn run(params: &Params) -> Vec<Row> {
                 }
                 sums[si] = vec![acc.summary()];
             }
-            Row {
-                t,
-                round_robin: sums[0][0],
-                random_server: sums[1][0],
-                hash: sums[2][0],
-            }
+            Row { t, round_robin: sums[0][0], random_server: sums[1][0], hash: sums[2][0] }
         })
         .collect()
 }

@@ -85,7 +85,8 @@ pub fn run(params: &Params) -> Vec<Row> {
             } else {
                 let mut acc = Accumulator::new();
                 for run in 0..params.runs {
-                    let seed = params.seed.wrapping_add((budget as u64) << 20).wrapping_add(run as u64);
+                    let seed =
+                        params.seed.wrapping_add((budget as u64) << 20).wrapping_add(run as u64);
                     let c = placed_with_budget(
                         StrategyKind::RandomServer,
                         budget,
@@ -98,7 +99,12 @@ pub fn run(params: &Params) -> Vec<Row> {
                 }
                 (
                     Some(acc.summary()),
-                    Some(coverage::analytic(StrategyKind::RandomServer, budget, params.h, params.n)),
+                    Some(coverage::analytic(
+                        StrategyKind::RandomServer,
+                        budget,
+                        params.h,
+                        params.n,
+                    )),
                 )
             };
             Row { budget, fixed, random_server, random_server_analytic, round_hash }
@@ -131,8 +137,7 @@ mod tests {
     #[test]
     fn random_server_between_fixed_and_complete() {
         for row in run(&tiny()) {
-            let (Some(fixed), Some(rs), Some(rh)) =
-                (row.fixed, row.random_server, row.round_hash)
+            let (Some(fixed), Some(rs), Some(rh)) = (row.fixed, row.random_server, row.round_hash)
             else {
                 continue;
             };
@@ -148,8 +153,7 @@ mod tests {
     #[test]
     fn random_server_tracks_analytic_curve() {
         for row in run(&tiny()) {
-            let (Some(rs), Some(analytic)) = (row.random_server, row.random_server_analytic)
-            else {
+            let (Some(rs), Some(analytic)) = (row.random_server, row.random_server_analytic) else {
                 continue;
             };
             assert!(

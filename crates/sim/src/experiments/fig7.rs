@@ -87,9 +87,8 @@ pub fn run(params: &Params) -> Vec<Row> {
                         .wrapping_add((t as u64) << 32)
                         .wrapping_add((si as u64) << 24)
                         .wrapping_add(run as u64);
-                    let cluster =
-                        placed_with_budget(kind, params.budget, params.h, params.n, seed)
-                            .expect("budget large enough");
+                    let cluster = placed_with_budget(kind, params.budget, params.h, params.n, seed)
+                        .expect("budget large enough");
                     acc.push(greedy_tolerance(&cluster.placement(), t) as f64);
                 }
                 summaries.push(acc.summary());

@@ -95,9 +95,8 @@ pub fn run(params: &Params) -> Vec<Row> {
                         .wrapping_add((budget as u64) << 24)
                         .wrapping_add(salt << 16)
                         .wrapping_add(run as u64);
-                    let mut cluster =
-                        placed_with_budget(kind, budget, params.h, params.n, seed)
-                            .expect("budget >= h >= n in the fig9 sweep");
+                    let mut cluster = placed_with_budget(kind, budget, params.h, params.n, seed)
+                        .expect("budget >= h >= n in the fig9 sweep");
                     acc.push(unfairness::measure_instance(
                         &mut cluster,
                         &universe,

@@ -80,12 +80,7 @@ pub struct Row {
     pub hash_total: Summary,
 }
 
-fn total_messages(
-    spec: StrategySpec,
-    params: &Params,
-    lookup_fraction: f64,
-    seed: u64,
-) -> f64 {
+fn total_messages(spec: StrategySpec, params: &Params, lookup_fraction: f64, seed: u64) -> f64 {
     let cluster = Cluster::new(params.n, spec, seed).expect("valid spec");
     // Generate enough updates; lookups are interleaved probabilistically.
     let updates = ((params.operations as f64) * (1.0 - lookup_fraction)).ceil() as usize;
@@ -123,14 +118,11 @@ pub fn run(params: &Params) -> Vec<Row> {
             let mut fixed = Accumulator::new();
             let mut hash = Accumulator::new();
             for run in 0..params.runs {
-                let seed =
-                    params.seed.wrapping_add(((frac * 1000.0) as u64) << 16).wrapping_add(run as u64);
-                fixed.push(total_messages(
-                    StrategySpec::fixed(params.fixed_x),
-                    params,
-                    frac,
-                    seed,
-                ));
+                let seed = params
+                    .seed
+                    .wrapping_add(((frac * 1000.0) as u64) << 16)
+                    .wrapping_add(run as u64);
+                fixed.push(total_messages(StrategySpec::fixed(params.fixed_x), params, frac, seed));
                 hash.push(total_messages(StrategySpec::hash(hash_y), params, frac, seed ^ 0xF00D));
             }
             Row { lookup_fraction: frac, fixed_total: fixed.summary(), hash_total: hash.summary() }
@@ -143,12 +135,7 @@ mod tests {
     use super::*;
 
     fn tiny() -> Params {
-        Params {
-            lookup_fractions: vec![0.0, 0.9],
-            operations: 1500,
-            runs: 3,
-            ..Params::quick()
-        }
+        Params { lookup_fractions: vec![0.0, 0.9], operations: 1500, runs: 3, ..Params::quick() }
     }
 
     #[test]

@@ -71,7 +71,11 @@ pub fn run(params: &Params) -> Vec<Row> {
                 cluster.place((0..params.h as u64).collect()).expect("no failures");
                 acc.push(storage::measured(&cluster.placement()) as f64);
             }
-            Row { spec, analytic: storage::analytic(spec, params.h, params.n), measured: acc.summary() }
+            Row {
+                spec,
+                analytic: storage::analytic(spec, params.h, params.n),
+                measured: acc.summary(),
+            }
         })
         .collect()
 }
@@ -86,7 +90,13 @@ mod tests {
         assert_eq!(rows.len(), 5);
         for row in &rows {
             let rel = (row.measured.mean() - row.analytic).abs() / row.analytic;
-            assert!(rel < 0.02, "{}: measured {} vs analytic {}", row.spec, row.measured.mean(), row.analytic);
+            assert!(
+                rel < 0.02,
+                "{}: measured {} vs analytic {}",
+                row.spec,
+                row.measured.mean(),
+                row.analytic
+            );
         }
     }
 

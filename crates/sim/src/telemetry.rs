@@ -97,7 +97,8 @@ mod tests {
         let mut c = Cluster::new(10, StrategySpec::random_server(20), 6).unwrap();
         c.place((0..100u64).collect()).unwrap();
         let hist = measure_lookup_cost(&mut c, 30, 20);
-        assert!(check_against_analytic(StrategySpec::random_server(20), 100, 10, 30, &hist)
-            .is_none());
+        assert!(
+            check_against_analytic(StrategySpec::random_server(20), 100, 10, 30, &hist).is_none()
+        );
     }
 }

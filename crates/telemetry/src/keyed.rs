@@ -181,10 +181,7 @@ mod tests {
         b.add(b"k2", 2);
         let mut m = a.snapshot();
         m.merge(&b.snapshot());
-        assert_eq!(
-            m.entries,
-            vec![(b"k1".to_vec(), 11), (b"k2".to_vec(), 2), (b"k3".to_vec(), 3)]
-        );
+        assert_eq!(m.entries, vec![(b"k1".to_vec(), 11), (b"k2".to_vec(), 2), (b"k3".to_vec(), 3)]);
     }
 
     #[test]

@@ -58,7 +58,9 @@ impl std::str::FromStr for Level {
             "info" => Ok(Level::Info),
             "debug" => Ok(Level::Debug),
             "trace" => Ok(Level::Trace),
-            other => Err(format!("unknown log level `{other}` (expected error|warn|info|debug|trace|off)")),
+            other => Err(format!(
+                "unknown log level `{other}` (expected error|warn|info|debug|trace|off)"
+            )),
         }
     }
 }
@@ -194,12 +196,7 @@ impl Span {
 
     /// Starts a span tagged with a request id: `start`/`done` events
     /// carry `req=<id>`.
-    pub fn enter_with_id(
-        level: Level,
-        target: &'static str,
-        name: &'static str,
-        id: u64,
-    ) -> Span {
+    pub fn enter_with_id(level: Level, target: &'static str, name: &'static str, id: u64) -> Span {
         Self::start(level, target, name, Some(id))
     }
 
@@ -343,7 +340,10 @@ mod tests {
         let lines = Arc::new(Mutex::new(Vec::new()));
         let captured = Arc::clone(&lines);
         set_sink(Some(Box::new(move |line: &str| {
-            captured.lock().unwrap_or_else(std::sync::PoisonError::into_inner).push(line.to_string());
+            captured
+                .lock()
+                .unwrap_or_else(std::sync::PoisonError::into_inner)
+                .push(line.to_string());
         })));
         init(Some(level));
         f();
@@ -356,13 +356,11 @@ mod tests {
     #[test]
     fn span_emits_timed_start_and_done_with_request_id() {
         let lines = with_captured_events(Level::Debug, || {
-            let span =
-                Span::enter_with_id(Level::Debug, "test_target", "uniq_timing_span", 4242);
+            let span = Span::enter_with_id(Level::Debug, "test_target", "uniq_timing_span", 4242);
             assert_eq!(span.id(), Some(4242));
             std::thread::sleep(std::time::Duration::from_millis(2));
         });
-        let ours: Vec<&String> =
-            lines.iter().filter(|l| l.contains("uniq_timing_span")).collect();
+        let ours: Vec<&String> = lines.iter().filter(|l| l.contains("uniq_timing_span")).collect();
         assert_eq!(ours.len(), 2, "{lines:?}");
         assert!(ours[0].contains("msg=uniq_timing_span start"), "{}", ours[0]);
         assert!(ours[0].contains("req=4242"), "{}", ours[0]);

@@ -26,9 +26,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let lookups = 30_000;
     let t = 3;
 
-    println!(
-        "{keys} keys on {n} servers, Zipf(1.0) popularity, {lookups} lookups of t={t}\n"
-    );
+    println!("{keys} keys on {n} servers, Zipf(1.0) popularity, {lookups} lookups of t={t}\n");
 
     // Partial-lookup directory: hot keys (low ranks) get Round-Robin for
     // perfect spreading; the long tail gets cheap Hash-2.

@@ -40,7 +40,10 @@ async fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("\nplaced 8 peers under song/stairway");
 
     let hits = client.partial_lookup(b"song/stairway", 3).await?;
-    println!("lookup t=3 -> {:?}", hits.iter().map(|e| String::from_utf8_lossy(e)).collect::<Vec<_>>());
+    println!(
+        "lookup t=3 -> {:?}",
+        hits.iter().map(|e| String::from_utf8_lossy(e)).collect::<Vec<_>>()
+    );
 
     // Live updates.
     client.add(b"song/stairway", b"peer8:6699".to_vec()).await?;

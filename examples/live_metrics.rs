@@ -22,8 +22,7 @@ use partial_lookup::{DetRng, StrategySpec};
 async fn main() -> Result<(), Box<dyn std::error::Error>> {
     // Structured tracing to stderr; the metrics below work even at `off`.
     let level = std::env::args().nth(1).unwrap_or_else(|| "warn".to_string());
-    partial_lookup::telemetry::trace::init_from_str(&level)
-        .map_err(std::io::Error::other)?;
+    partial_lookup::telemetry::trace::init_from_str(&level).map_err(std::io::Error::other)?;
 
     let n = 4;
     let spec = StrategySpec::random_server(6);
@@ -50,9 +49,7 @@ async fn main() -> Result<(), Box<dyn std::error::Error>> {
     let songs: Vec<Vec<u8>> = (0..12).map(|i| format!("peer{i}:6699").into_bytes()).collect();
     client.place(b"song/stairway", songs).await?;
     let urls: Vec<Vec<u8>> = (0..8).map(|i| format!("http://host{i}/").into_bytes()).collect();
-    client
-        .place_with_strategy(b"category/guitar", urls, StrategySpec::round_robin(2))
-        .await?;
+    client.place_with_strategy(b"category/guitar", urls, StrategySpec::round_robin(2)).await?;
     for i in 0..6u32 {
         client.add(b"song/stairway", format!("late{i}:6699").into_bytes()).await?;
         if i % 2 == 0 {

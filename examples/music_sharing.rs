@@ -84,8 +84,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     for i in 0..4 {
         single_copy.fail_server(ServerId::new(i));
     }
-    let survivors_single =
-        single_copy.placement().coverage_surviving(single_copy.failures());
+    let survivors_single = single_copy.placement().coverage_surviving(single_copy.failures());
     println!(
         "peer records still reachable: Round-2 {survivors_rr}/{}, single-copy Hash-1 {survivors_single}/{}",
         swarm.len(),

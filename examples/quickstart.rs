@@ -13,10 +13,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let t = 30; // how many entries a client wants per lookup
 
     println!("partial lookup quickstart: {h} entries on {n} servers, clients want t={t}\n");
-    println!(
-        "{:<18} {:>12} {:>10} {:>16}",
-        "strategy", "storage", "coverage", "servers/lookup"
-    );
+    println!("{:<18} {:>12} {:>10} {:>16}", "strategy", "storage", "coverage", "servers/lookup");
 
     for spec in [
         StrategySpec::full_replication(),

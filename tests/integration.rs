@@ -65,11 +65,8 @@ async fn simulated_and_live_placements_agree() {
         // compare set sizes for randomized placement and exact sets for
         // content-deterministic ones.)
         for (i, &server_addr) in server_addrs.iter().enumerate() {
-            let sim_set: HashSet<Vec<u8>> = sim_cluster
-                .server_entries(ServerId::new(i as u32))
-                .iter()
-                .cloned()
-                .collect();
+            let sim_set: HashSet<Vec<u8>> =
+                sim_cluster.server_entries(ServerId::new(i as u32)).iter().cloned().collect();
             // Probe with a huge t returns everything the server stores.
             let live_raw = {
                 use partial_lookup::cluster::proto::{Request, Response};
