@@ -1,0 +1,481 @@
+//! `loadgen` — load generator for a *live* partial lookup cluster.
+//!
+//! Where `repro` regenerates the paper's numbers in simulation,
+//! `loadgen` measures the deployed system: it drives partial lookups at
+//! a configurable shape against running `pls-server` processes and
+//! writes the measurements as a `BENCH_<name>.json` artifact in the
+//! shared `pls-bench/v1` schema (git revision, run configuration,
+//! throughput, log₂-histogram latency quantiles, probe decomposition,
+//! robustness totals).
+//!
+//! ```text
+//! loadgen --servers A,B,... --strategy SPEC [--t T] [--seed S]
+//!         [--keys N] [--entries-per-key M] [--zipf S]
+//!         [--duration-s D] [--concurrency C]
+//!         [--mode closed|open] [--rate RPS]
+//!         [--out DIR] [--name NAME] [--skip-setup]
+//!         [--rpc-timeout-ms MS] [--op-budget-ms MS] [--hedge-ms MS]
+//!         [--log LEVEL]
+//!
+//!   --servers         every server's address, comma-separated
+//!   --strategy        full | fixed:X | random:X | round:Y | hash:Y
+//!   --t               partial lookup target answer size (default 3)
+//!   --keys            distinct keys to place and query (default 64)
+//!   --entries-per-key entries placed under each key (default 8)
+//!   --zipf            Zipf(s) skew of the key popularity (default 0.9;
+//!                     0 = uniform)
+//!   --duration-s      measured run length in seconds (default 10)
+//!   --concurrency     worker clients issuing lookups (default 4)
+//!   --mode            closed: each worker issues back-to-back lookups;
+//!                     open: workers fire on a fixed schedule at --rate
+//!                     lookups/s total, and latency is measured from the
+//!                     *scheduled* start so queueing delay is charged
+//!                     (no coordinated omission)
+//!   --rate            open-loop arrival rate, lookups/s (default 100)
+//!   --out             artifact directory (default results/)
+//!   --name            artifact name: BENCH_<name>.json (default cluster)
+//!   --skip-setup      do not place keys first (cluster already loaded)
+//! ```
+
+use std::net::SocketAddr;
+use std::path::PathBuf;
+use std::process::ExitCode;
+use std::sync::Arc;
+use std::time::Duration;
+
+use pls_bench::output::BenchReport;
+use pls_cluster::{parse_spec, Client, ClientConfig, Timeouts};
+use pls_telemetry::json::{array, number, string, Object};
+use pls_telemetry::trace;
+use pls_telemetry::{Counter, Histogram, HistogramSnapshot, MetricsSnapshot};
+
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum Mode {
+    Closed,
+    Open,
+}
+
+struct Options {
+    cfg: ClientConfig,
+    t: usize,
+    keys: usize,
+    entries_per_key: usize,
+    zipf_s: f64,
+    duration: Duration,
+    concurrency: usize,
+    mode: Mode,
+    rate: f64,
+    out: PathBuf,
+    name: String,
+    skip_setup: bool,
+    seed: u64,
+}
+
+fn parse_args() -> Result<Options, String> {
+    let mut servers: Option<Vec<SocketAddr>> = None;
+    let mut spec = None;
+    let mut seed = 1u64;
+    let mut t = 3usize;
+    let mut keys = 64usize;
+    let mut entries_per_key = 8usize;
+    let mut zipf_s = 0.9f64;
+    let mut duration_s = 10u64;
+    let mut concurrency = 4usize;
+    let mut mode = Mode::Closed;
+    let mut rate = 100.0f64;
+    let mut out = PathBuf::from("results");
+    let mut name = "cluster".to_string();
+    let mut skip_setup = false;
+    let mut timeouts = Timeouts::default();
+    let mut hedge_ms: Option<u64> = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        let mut value = |flag: &str| args.next().ok_or(format!("{flag} needs a value"));
+        match arg.as_str() {
+            "--servers" => {
+                let raw = value("--servers")?;
+                let parsed: Result<Vec<SocketAddr>, _> =
+                    raw.split(',').map(|s| s.trim().parse()).collect();
+                servers = Some(parsed.map_err(|e| format!("--servers: {e}"))?);
+            }
+            "--strategy" => spec = Some(parse_spec(&value("--strategy")?)?),
+            "--seed" => seed = value("--seed")?.parse().map_err(|e| format!("--seed: {e}"))?,
+            "--t" => t = value("--t")?.parse().map_err(|e| format!("--t: {e}"))?,
+            "--keys" => keys = value("--keys")?.parse().map_err(|e| format!("--keys: {e}"))?,
+            "--entries-per-key" => {
+                entries_per_key = value("--entries-per-key")?
+                    .parse()
+                    .map_err(|e| format!("--entries-per-key: {e}"))?;
+            }
+            "--zipf" => zipf_s = value("--zipf")?.parse().map_err(|e| format!("--zipf: {e}"))?,
+            "--duration-s" => {
+                duration_s =
+                    value("--duration-s")?.parse().map_err(|e| format!("--duration-s: {e}"))?;
+            }
+            "--concurrency" => {
+                concurrency =
+                    value("--concurrency")?.parse().map_err(|e| format!("--concurrency: {e}"))?;
+            }
+            "--mode" => {
+                mode = match value("--mode")?.as_str() {
+                    "closed" => Mode::Closed,
+                    "open" => Mode::Open,
+                    other => return Err(format!("--mode: `{other}` is not closed|open")),
+                };
+            }
+            "--rate" => rate = value("--rate")?.parse().map_err(|e| format!("--rate: {e}"))?,
+            "--out" => out = PathBuf::from(value("--out")?),
+            "--name" => name = value("--name")?,
+            "--skip-setup" => skip_setup = true,
+            "--rpc-timeout-ms" => {
+                let ms = value("--rpc-timeout-ms")?
+                    .parse()
+                    .map_err(|e| format!("--rpc-timeout-ms: {e}"))?;
+                timeouts = timeouts.with_rpc_ms(ms);
+            }
+            "--op-budget-ms" => {
+                let ms =
+                    value("--op-budget-ms")?.parse().map_err(|e| format!("--op-budget-ms: {e}"))?;
+                timeouts = timeouts.with_op_budget_ms(ms);
+            }
+            "--hedge-ms" => {
+                hedge_ms =
+                    Some(value("--hedge-ms")?.parse().map_err(|e| format!("--hedge-ms: {e}"))?);
+            }
+            "--log" => trace::init_from_str(&value("--log")?)?,
+            "--help" | "-h" => {
+                return Err("usage: loadgen --servers A,B,... --strategy SPEC [--t T] \
+                     [--keys N] [--entries-per-key M] [--zipf S] [--duration-s D] \
+                     [--concurrency C] [--mode closed|open] [--rate RPS] [--out DIR] \
+                     [--name NAME] [--skip-setup] [--rpc-timeout-ms MS] [--op-budget-ms MS] \
+                     [--hedge-ms MS] [--log LEVEL]"
+                    .to_string())
+            }
+            other => return Err(format!("unknown argument `{other}` (try --help)")),
+        }
+    }
+    let servers = servers.ok_or("--servers is required")?;
+    let spec = spec.ok_or("--strategy is required")?;
+    if t == 0 || keys == 0 || entries_per_key == 0 || concurrency == 0 {
+        return Err("--t, --keys, --entries-per-key, --concurrency must be positive".to_string());
+    }
+    if mode == Mode::Open && rate <= 0.0 {
+        return Err("--rate must be positive in open mode".to_string());
+    }
+    let mut cfg = ClientConfig::new(servers, spec, seed).with_timeouts(timeouts);
+    if let Some(ms) = hedge_ms {
+        cfg = cfg.with_hedging(Duration::from_millis(ms));
+    }
+    Ok(Options {
+        cfg,
+        t,
+        keys,
+        entries_per_key,
+        zipf_s,
+        duration: Duration::from_secs(duration_s),
+        concurrency,
+        mode,
+        rate,
+        out,
+        name,
+        skip_setup,
+        seed,
+    })
+}
+
+/// SplitMix64: a tiny, seedable generator — the workload must be
+/// reproducible across runs without pulling a rand dependency into the
+/// binary.
+struct Rng(u64);
+
+impl Rng {
+    fn next(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform in `[0, 1)`, 53 bits of precision.
+    fn f64(&mut self) -> f64 {
+        (self.next() >> 11) as f64 / (1u64 << 53) as f64
+    }
+}
+
+/// Zipf(s) sampler over `0..n` by inversion of the precomputed CDF:
+/// key `i` has weight `1/(i+1)^s`, so key 0 is the hottest. `s = 0`
+/// degenerates to uniform.
+struct Zipf {
+    cdf: Vec<f64>,
+}
+
+impl Zipf {
+    fn new(n: usize, s: f64) -> Self {
+        let mut cdf = Vec::with_capacity(n);
+        let mut total = 0.0;
+        for i in 0..n {
+            total += 1.0 / ((i + 1) as f64).powf(s);
+            cdf.push(total);
+        }
+        for c in &mut cdf {
+            *c /= total;
+        }
+        Zipf { cdf }
+    }
+
+    fn sample(&self, rng: &mut Rng) -> usize {
+        let u = rng.f64();
+        self.cdf.partition_point(|&c| c < u).min(self.cdf.len() - 1)
+    }
+}
+
+fn key_name(i: usize) -> Vec<u8> {
+    format!("key-{i:05}").into_bytes()
+}
+
+/// Shared run-wide tallies the workers feed.
+#[derive(Default)]
+struct Tally {
+    /// Completed lookups (reached a decision, even if under target).
+    lookups: Counter,
+    /// Lookups that returned an error.
+    failures: Counter,
+    /// Completed lookups that returned fewer than `t` entries.
+    target_misses: Counter,
+    /// Per-lookup latency; open mode measures from the scheduled start.
+    latency_us: Histogram,
+}
+
+async fn setup(opts: &Options) -> Result<(), String> {
+    let mut client = Client::connect(opts.cfg.clone());
+    for i in 0..opts.keys {
+        let entries: Vec<Vec<u8>> = (0..opts.entries_per_key)
+            .map(|j| format!("entry-{i:05}-{j:03}").into_bytes())
+            .collect();
+        client.place(&key_name(i), entries).await.map_err(|e| format!("placing key {i}: {e}"))?;
+    }
+    Ok(())
+}
+
+async fn worker(
+    opts_cfg: ClientConfig,
+    t: usize,
+    zipf: Arc<Zipf>,
+    tally: Arc<Tally>,
+    deadline: tokio::time::Instant,
+    mut rng: Rng,
+    open_interval: Option<Duration>,
+) -> MetricsSnapshot {
+    let mut client = Client::connect(opts_cfg);
+    let start = tokio::time::Instant::now();
+    let mut tick = 0u32;
+    loop {
+        let scheduled = match open_interval {
+            Some(interval) => {
+                let at = start + interval * tick;
+                tick += 1;
+                tokio::time::sleep_until(at).await;
+                at
+            }
+            None => tokio::time::Instant::now(),
+        };
+        if scheduled >= deadline || tokio::time::Instant::now() >= deadline {
+            break;
+        }
+        let key = key_name(zipf.sample(&mut rng));
+        let result = client.partial_lookup(&key, t).await;
+        let elapsed = scheduled.elapsed();
+        match result {
+            Ok(entries) => {
+                tally.lookups.inc();
+                tally.latency_us.observe(elapsed.as_micros().min(u64::MAX as u128) as u64);
+                if entries.len() < t {
+                    tally.target_misses.inc();
+                }
+            }
+            Err(_) => {
+                tally.failures.inc();
+            }
+        }
+    }
+    client.metrics_snapshot()
+}
+
+fn quantiles_json(h: &HistogramSnapshot) -> String {
+    Object::new()
+        .u64("count", h.count)
+        .f64("mean", h.mean())
+        .f64("p50", h.quantile(0.50))
+        .f64("p90", h.quantile(0.90))
+        .f64("p99", h.quantile(0.99))
+        .f64("p999", h.quantile(0.999))
+        .build()
+}
+
+async fn run(opts: Options) -> Result<(), String> {
+    if !opts.skip_setup {
+        println!(
+            "placing {} keys x {} entries under {} ...",
+            opts.keys, opts.entries_per_key, opts.cfg.spec
+        );
+        setup(&opts).await?;
+    }
+
+    // Server-side probe counters before the run: the artifact
+    // cross-checks the client's probes-per-lookup against the growth
+    // of the servers' own `pls_probes_total`.
+    let observer = Client::connect(opts.cfg.clone());
+    let before = observer.cluster_metrics(false).await.map_err(|e| e.to_string())?;
+    let probes_before = before.counter_sum("pls_probes_total");
+
+    let zipf = Arc::new(Zipf::new(opts.keys, opts.zipf_s));
+    let tally = Arc::new(Tally::default());
+    let deadline = tokio::time::Instant::now() + opts.duration;
+    let open_interval = match opts.mode {
+        Mode::Open => Some(Duration::from_secs_f64(opts.concurrency as f64 / opts.rate)),
+        Mode::Closed => None,
+    };
+    println!(
+        "driving {} worker{} for {:?} ({} loop) ...",
+        opts.concurrency,
+        if opts.concurrency == 1 { "" } else { "s" },
+        opts.duration,
+        if opts.mode == Mode::Open { "open" } else { "closed" },
+    );
+    let started = std::time::Instant::now();
+    let mut handles = Vec::new();
+    for w in 0..opts.concurrency {
+        handles.push(tokio::spawn(worker(
+            opts.cfg.clone(),
+            opts.t,
+            Arc::clone(&zipf),
+            Arc::clone(&tally),
+            deadline,
+            Rng(opts.seed ^ (w as u64).wrapping_mul(0xA24B_AED4_963E_E407)),
+            open_interval,
+        )));
+    }
+    let mut client_metrics = MetricsSnapshot::new();
+    for handle in handles {
+        let snap = handle.await.map_err(|e| format!("worker panicked: {e}"))?;
+        client_metrics.merge(&snap);
+    }
+    let elapsed = started.elapsed();
+
+    let after = observer.cluster_metrics(false).await.map_err(|e| e.to_string())?;
+    let probes_after = after.counter_sum("pls_probes_total");
+    let server_probe_delta = probes_after.saturating_sub(probes_before);
+
+    let lookups = tally.lookups.get();
+    let failures = tally.failures.get();
+    let throughput = lookups as f64 / elapsed.as_secs_f64();
+    let latency = tally.latency_us.snapshot();
+    if lookups == 0 {
+        return Err("no lookup completed — is the cluster reachable?".to_string());
+    }
+
+    let rate_json = if opts.mode == Mode::Open { number(opts.rate) } else { "null".to_string() };
+    let config = Object::new()
+        .u64("servers", opts.cfg.servers.len() as u64)
+        .field("addresses", &array(opts.cfg.servers.iter().map(|a| string(&a.to_string()))))
+        .string("strategy", &opts.cfg.spec.to_string())
+        .u64("t", opts.t as u64)
+        .u64("keys", opts.keys as u64)
+        .u64("entries_per_key", opts.entries_per_key as u64)
+        .f64("zipf_s", opts.zipf_s)
+        .u64("duration_s", opts.duration.as_secs())
+        .u64("concurrency", opts.concurrency as u64)
+        .string("mode", if opts.mode == Mode::Open { "open" } else { "closed" })
+        .field("rate_rps", &rate_json)
+        .u64("seed", opts.seed)
+        .build();
+
+    let empty = HistogramSnapshot::empty();
+    let probes_hist = client_metrics.histogram("pls_client_probes_per_lookup").unwrap_or(&empty);
+    let probes = Object::new()
+        .u64("client_total", client_metrics.counter_sum("pls_client_probes_total"))
+        .f64("per_lookup_mean", probes_hist.mean())
+        .f64("per_lookup_p99", probes_hist.quantile(0.99))
+        .u64("server_delta_total", server_probe_delta)
+        .f64("per_lookup_from_servers", server_probe_delta as f64 / lookups as f64)
+        .build();
+
+    let robustness = Object::new()
+        .u64("rpc_timeouts", client_metrics.counter_sum("pls_rpc_timeouts_total"))
+        .u64("rpc_retries", client_metrics.counter_sum("pls_rpc_retries_total"))
+        .u64("hedges", client_metrics.counter_sum("pls_client_hedges_total"))
+        .u64("hedge_wins", client_metrics.counter_sum("pls_client_hedge_wins_total"))
+        .u64(
+            "op_budget_exhausted",
+            client_metrics.counter_sum("pls_client_op_budget_exhausted_total"),
+        )
+        .u64("probe_failures", client_metrics.counter_sum("pls_client_probe_failures_total"))
+        .build();
+
+    let results = Object::new()
+        .f64("elapsed_s", elapsed.as_secs_f64())
+        .u64("lookups", lookups)
+        .u64("failures", failures)
+        .u64("target_misses", tally.target_misses.get())
+        .f64("throughput_rps", throughput)
+        .field("latency_us", &quantiles_json(&latency))
+        .field(
+            "probe_latency_us",
+            &quantiles_json(
+                client_metrics.histogram("pls_client_probe_latency_us").unwrap_or(&empty),
+            ),
+        )
+        .field(
+            "probe_service_us",
+            &quantiles_json(
+                client_metrics.histogram("pls_client_probe_service_us").unwrap_or(&empty),
+            ),
+        )
+        .field(
+            "probe_net_us",
+            &quantiles_json(client_metrics.histogram("pls_client_probe_net_us").unwrap_or(&empty)),
+        )
+        .field("probes", &probes)
+        .field("robustness", &robustness)
+        .build();
+
+    let report = BenchReport::new(opts.name.clone(), config, results);
+    let path = report.write(&opts.out).map_err(|e| format!("writing artifact: {e}"))?;
+    println!(
+        "{lookups} lookups in {:.2}s ({throughput:.0}/s), {failures} failed; \
+         latency p50 {:.0}us p99 {:.0}us; {:.2} probes/lookup (servers saw {:.2})",
+        elapsed.as_secs_f64(),
+        latency.quantile(0.50),
+        latency.quantile(0.99),
+        probes_hist.mean(),
+        server_probe_delta as f64 / lookups as f64,
+    );
+    println!("-> {}", path.display());
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    trace::init(Some(pls_telemetry::Level::Warn));
+    let opts = match parse_args() {
+        Ok(o) => o,
+        Err(msg) => {
+            eprintln!("{msg}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let runtime = match tokio::runtime::Builder::new_multi_thread().enable_all().build() {
+        Ok(rt) => rt,
+        Err(err) => {
+            eprintln!("runtime start failed: {err}");
+            return ExitCode::FAILURE;
+        }
+    };
+    match runtime.block_on(run(opts)) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(msg) => {
+            eprintln!("{msg}");
+            ExitCode::FAILURE
+        }
+    }
+}

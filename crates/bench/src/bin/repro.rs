@@ -1,11 +1,14 @@
 //! Regenerates every table and figure of *Partial Lookup Services*.
 //!
 //! ```text
-//! repro [--paper] [--out DIR] [ID ...]
+//! repro [--paper] [--out DIR] [--json] [ID ...]
 //!
 //!   ID       table1 fig4 fig6 fig7 fig9 fig12 fig13 fig14 table2, or `all`
 //!   --paper  run at the paper's full Monte-Carlo scale (slow)
 //!   --out    directory for CSV output (default: results/)
+//!   --json   also write every table into one `BENCH_repro.json`
+//!            artifact in DIR (pls-bench/v1 schema, same shape the
+//!            cluster loadgen emits)
 //! ```
 //!
 //! Each experiment prints an aligned console table (the series the paper
@@ -14,15 +17,17 @@
 use std::path::PathBuf;
 use std::process::ExitCode;
 
-use pls_bench::output::{fnum, Table};
+use pls_bench::output::{fnum, BenchReport, Table};
 use pls_sim::experiments::{
     ablations, availability, fig12, fig13, fig14, fig4, fig6, fig7, fig9, hotspot, ratio,
     reachability, table1, table2,
 };
+use pls_telemetry::json;
 
 struct Options {
     paper: bool,
     out: PathBuf,
+    json: bool,
     ids: Vec<String>,
 }
 
@@ -47,6 +52,7 @@ const ALL_IDS: [&str; 15] = [
 fn parse_args() -> Result<Options, String> {
     let mut paper = false;
     let mut out = PathBuf::from("results");
+    let mut json = false;
     let mut ids = Vec::new();
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -55,9 +61,10 @@ fn parse_args() -> Result<Options, String> {
             "--out" => {
                 out = PathBuf::from(args.next().ok_or("--out needs a directory")?);
             }
+            "--json" => json = true,
             "--help" | "-h" => {
                 return Err(format!(
-                    "usage: repro [--paper] [--out DIR] [ID ...]\n  IDs: {} all",
+                    "usage: repro [--paper] [--out DIR] [--json] [ID ...]\n  IDs: {} all",
                     ALL_IDS.join(" ")
                 ));
             }
@@ -70,7 +77,7 @@ fn parse_args() -> Result<Options, String> {
         ids.extend(ALL_IDS.iter().map(|s| s.to_string()));
     }
     ids.dedup();
-    Ok(Options { paper, out, ids })
+    Ok(Options { paper, out, json, ids })
 }
 
 fn main() -> ExitCode {
@@ -85,12 +92,31 @@ fn main() -> ExitCode {
         "partial-lookup reproduction harness — scale: {}\n",
         if opts.paper { "paper (full Monte-Carlo)" } else { "quick" }
     );
+    let mut tables = Vec::new();
     for id in &opts.ids {
         let table = run_one(id, opts.paper);
         println!("{}", table.render());
         match table.write_csv(&opts.out, id) {
             Ok(path) => println!("  -> {}\n", path.display()),
             Err(err) => eprintln!("  (csv write failed: {err})\n"),
+        }
+        tables.push((id.clone(), table));
+    }
+    if opts.json {
+        let config = json::Object::new()
+            .string("scale", if opts.paper { "paper" } else { "quick" })
+            .field("ids", &json::array(tables.iter().map(|(id, _)| json::string(id))))
+            .build();
+        let results = json::array(tables.iter().map(|(id, t)| {
+            json::Object::new().string("id", id).field("table", &t.to_json()).build()
+        }));
+        let report = BenchReport::new("repro", config, results);
+        match report.write(&opts.out) {
+            Ok(path) => println!("  -> {}\n", path.display()),
+            Err(err) => {
+                eprintln!("json artifact write failed: {err}");
+                return ExitCode::FAILURE;
+            }
         }
     }
     ExitCode::SUCCESS

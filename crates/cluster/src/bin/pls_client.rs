@@ -27,6 +27,13 @@
 //!                                 Prometheus text exposition instead;
 //!                                 --reset drains each server's counters
 //!                                 as they are read
+//!   trace REQ [--chrome OUT.json] fetch every span retained for request
+//!                                 REQ (decimal or 0x-hex) from every
+//!                                 server's flight recorder plus this
+//!                                 process, render an ASCII waterfall,
+//!                                 and optionally write Chrome
+//!                                 trace_event JSON for chrome://tracing
+//!                                 or ui.perfetto.dev
 //! ```
 
 use std::net::SocketAddr;
@@ -35,7 +42,7 @@ use std::process::ExitCode;
 use pls_cluster::{parse_spec, Client, ClientConfig, Timeouts};
 use pls_telemetry::snapshot::parse_labels;
 use pls_telemetry::trace;
-use pls_telemetry::MetricsSnapshot;
+use pls_telemetry::{MetricsSnapshot, SpanRecord};
 
 struct Options {
     cfg: ClientConfig,
@@ -91,7 +98,7 @@ fn parse_args() -> Result<Options, String> {
     let servers = servers.ok_or("--servers is required")?;
     let spec = spec.ok_or("--strategy is required")?;
     if command.is_empty() {
-        return Err("missing command (place/add/delete/lookup/status/stats)".to_string());
+        return Err("missing command (place/add/delete/lookup/status/stats/trace)".to_string());
     }
     let mut cfg = ClientConfig::new(servers, spec, seed).with_timeouts(timeouts);
     if let Some(ms) = hedge_ms {
@@ -181,9 +188,103 @@ async fn run(opts: Options) -> Result<(), String> {
                 print_stats_table(&merged);
             }
         }
+        ["trace", rest @ ..] => {
+            let (req_str, chrome) = match rest {
+                [req] => (*req, None),
+                [req, "--chrome", path] => (*req, Some(*path)),
+                _ => return Err("usage: trace REQ_ID [--chrome OUT.json]".to_string()),
+            };
+            let req = parse_req_id(req_str).ok_or(format!("malformed request id `{req_str}`"))?;
+            let spans = client.trace_request(req).await.map_err(|e| e.to_string())?;
+            if spans.is_empty() {
+                println!("no spans retained for request {req:#x} anywhere in the cluster");
+                println!("(recorders are rings: old requests age out unless pinned by --slow-ms)");
+                return Ok(());
+            }
+            print_waterfall(req, &spans);
+            if let Some(path) = chrome {
+                std::fs::write(path, chrome_trace_json(&spans))
+                    .map_err(|e| format!("--chrome {path}: {e}"))?;
+                println!("wrote Chrome trace_event JSON to {path}");
+                println!("(load it in chrome://tracing or https://ui.perfetto.dev)");
+            }
+        }
         other => return Err(format!("unknown command {other:?}")),
     }
     Ok(())
+}
+
+/// Request ids print both ways in logs, so accept decimal or `0x`-hex.
+fn parse_req_id(s: &str) -> Option<u64> {
+    match s.strip_prefix("0x").or_else(|| s.strip_prefix("0X")) {
+        Some(hex) => u64::from_str_radix(hex, 16).ok(),
+        None => s.parse().ok(),
+    }
+}
+
+/// Width of the waterfall bar column, in characters.
+const WATERFALL_WIDTH: usize = 48;
+
+/// Renders one request's spans as an ASCII waterfall: one row per span,
+/// positioned and sized on a shared wall-clock axis. Spans arrive
+/// sorted by start time, so the cascade reads top-to-bottom.
+fn print_waterfall(req: u64, spans: &[SpanRecord]) {
+    let first = spans.iter().map(|s| s.start_us).min().unwrap_or(0);
+    let last = spans.iter().map(|s| s.start_us.saturating_add(s.elapsed_us)).max().unwrap_or(0);
+    let total = last.saturating_sub(first).max(1);
+    println!(
+        "request {req:#x} — {} span{} over {total} us (wall clock, cluster-merged)",
+        spans.len(),
+        if spans.len() == 1 { "" } else { "s" },
+    );
+    for span in spans {
+        let offset = span.start_us.saturating_sub(first);
+        let lead = (offset as u128 * WATERFALL_WIDTH as u128 / total as u128) as usize;
+        let lead = lead.min(WATERFALL_WIDTH.saturating_sub(1));
+        let len = (span.elapsed_us as u128 * WATERFALL_WIDTH as u128 / total as u128) as usize;
+        let len = len.clamp(1, WATERFALL_WIDTH - lead);
+        let bar = format!(
+            "{}{}{}",
+            ".".repeat(lead),
+            "#".repeat(len),
+            ".".repeat(WATERFALL_WIDTH - lead - len)
+        );
+        let fields: Vec<String> = span.fields.iter().map(|(k, v)| format!("{k}={v}")).collect();
+        println!(
+            "  [{bar}] +{offset:>7}us {:>8}us  {:<18} {}",
+            span.elapsed_us,
+            span.name,
+            fields.join(" ")
+        );
+    }
+}
+
+/// Renders spans as Chrome trace_event JSON (`ph: "X"` complete
+/// events). The `tid` lane is the span's `server` field when present,
+/// so each server's work gets its own track in the viewer.
+fn chrome_trace_json(spans: &[SpanRecord]) -> String {
+    use pls_telemetry::json::{array, Object};
+    let events = array(spans.iter().map(|s| {
+        let mut args = Object::new();
+        if let Some(id) = s.req_id {
+            args = args.u64("req_id", id);
+        }
+        for (k, v) in &s.fields {
+            args = args.string(k, v);
+        }
+        let tid = s.field("server").and_then(|v| v.parse::<u64>().ok()).unwrap_or(0);
+        Object::new()
+            .string("name", &s.name)
+            .string("cat", &s.target)
+            .string("ph", "X")
+            .u64("ts", s.start_us)
+            .u64("dur", s.elapsed_us.max(1))
+            .u64("pid", 1)
+            .u64("tid", tid)
+            .field("args", &args.build())
+            .build()
+    }));
+    Object::new().field("traceEvents", &events).string("displayTimeUnit", "ms").build()
 }
 
 /// Renders the merged cluster metrics as a human-readable summary: raw

@@ -12,11 +12,17 @@
 //!   --seed          cluster-wide seed (must match on every server; default 0)
 //!   --log           error|warn|info|debug|trace|off (default info); structured
 //!                   key=value events on stderr
-//!   --metrics-addr  serve `GET /metrics` (Prometheus text, including the
-//!                   live unfairness/coverage gauges and hottest keys)
-//!                   on this address
+//!   --metrics-addr  serve the debug endpoint on this address:
+//!                   `GET /metrics` (Prometheus text, including the live
+//!                   unfairness/coverage gauges and hottest keys),
+//!                   `GET /trace?req=<id>` (cluster-wide JSON span
+//!                   timeline of one request), and `GET /debug/recent`
+//!                   (this server's flight-recorder ring, pinned slow
+//!                   requests, and counters)
 //!   --slow-ms       warn-log any request handled slower than MS
-//!                   milliseconds, with its request id
+//!                   milliseconds, with its request id, and pin its
+//!                   spans in the flight recorder so they survive ring
+//!                   wraparound
 //!   --rpc-timeout-ms  deadline for each outbound RPC this server makes
 //!                   (internal fan-out, resync pulls; default 2000)
 //!   --op-budget-ms  total time budget for one update's whole internal
@@ -124,6 +130,13 @@ fn main() -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
+    // Flight recorder: retain recent spans for `/trace` and
+    // `/debug/recent`; --slow-ms doubles as the pin threshold.
+    let recorder = std::sync::Arc::new(pls_telemetry::Recorder::default());
+    if let Some(ms) = cfg.slow_ms {
+        recorder.set_slow_threshold_us(ms.saturating_mul(1_000));
+    }
+    pls_telemetry::recorder::install(Some(recorder));
     runtime.block_on(async move {
         let me = cfg.me;
         let spec = cfg.spec;
@@ -135,9 +148,9 @@ fn main() -> ExitCode {
                         Ok(listener) => {
                             let bound = listener.local_addr().unwrap_or(maddr);
                             pls_telemetry::info!("metrics_serving", server = me, addr = bound);
-                            tokio::spawn(pls_cluster::http::serve(
+                            tokio::spawn(pls_cluster::http::serve_router(
                                 listener,
-                                server.metrics_renderer(),
+                                std::sync::Arc::new(server.router()),
                             ));
                         }
                         Err(err) => {

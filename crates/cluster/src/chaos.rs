@@ -28,7 +28,7 @@ use tokio::net::{TcpListener, TcpStream};
 use crate::error::ClusterError;
 use crate::proto::Response;
 use crate::retry::splitmix64;
-use crate::wire::{read_frame, write_frame};
+use crate::wire::{read_frame, read_frame_timed, write_frame, write_frame_timed};
 
 /// The fault (if any) drawn for one request.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -208,11 +208,15 @@ async fn serve_chaos(
         }
         match cfg.roll() {
             Fault::Pass => {
-                let reply = match upstream {
+                let (service_us, reply) = match upstream {
                     Some(addr) => forward(&mut up, addr, req_id, &payload).await,
-                    None => Response::Ok.encode(),
+                    None => (0, Response::Ok.encode()),
                 };
-                write_frame(&mut downstream, req_id, &reply).await?;
+                // Relay the upstream's echoed service time untouched:
+                // the proxy adds network misery, not server work, so the
+                // caller's RTT-minus-service decomposition attributes
+                // the injected delay to the network side.
+                write_frame_timed(&mut downstream, req_id, service_us, &reply).await?;
             }
             Fault::BlackHole => {
                 // Silence the rest of the connection too: a caller that
@@ -240,32 +244,33 @@ async fn serve_chaos(
 }
 
 /// Forwards one request frame to the upstream server, returning its
-/// response payload, or an encoded [`Response::Error`] when the
-/// upstream is unreachable or answers garbage.
+/// reply's echoed service time and response payload, or a zero service
+/// time and an encoded [`Response::Error`] when the upstream is
+/// unreachable or answers garbage.
 async fn forward(
     up: &mut Option<TcpStream>,
     addr: SocketAddr,
     req_id: u64,
     payload: &[u8],
-) -> bytes::Bytes {
+) -> (u64, bytes::Bytes) {
     let attempt = async {
         if up.is_none() {
             *up = Some(TcpStream::connect(addr).await?);
         }
         let stream = up.as_mut().expect("just dialed");
         write_frame(stream, req_id, payload).await?;
-        match read_frame(stream).await? {
-            Some((_, reply)) => Ok(reply),
+        match read_frame_timed(stream).await? {
+            Some((_, service_us, reply)) => Ok((service_us, reply)),
             None => Err(ClusterError::Io(std::io::ErrorKind::UnexpectedEof.into())),
         }
     }
     .await;
     match attempt {
-        Ok(reply) => reply,
+        Ok(timed_reply) => timed_reply,
         Err(_) => {
             // Poison the upstream connection; the next request redials.
             *up = None;
-            Response::Error("chaos: upstream unreachable".into()).encode()
+            (0, Response::Error("chaos: upstream unreachable".into()).encode())
         }
     }
 }

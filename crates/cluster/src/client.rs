@@ -7,7 +7,7 @@ use std::time::{Duration, Instant};
 use pls_core::{DetRng, ServiceError, StrategySpec};
 use pls_net::ServerId;
 use pls_telemetry::trace::Span;
-use pls_telemetry::{Level, MetricsSnapshot};
+use pls_telemetry::{Level, MetricsSnapshot, SpanRecord};
 
 use crate::error::ClusterError;
 use crate::metrics::ClientMetrics;
@@ -271,6 +271,32 @@ impl Client {
         self.update(key, Request::Delete { key: key.to_vec(), entry }).await
     }
 
+    /// Books one answered probe into the client's accounting: the RTT
+    /// histogram, its decomposition into the server's echoed service
+    /// time versus time on the wire, and a child span on the
+    /// operation's timeline in the flight recorder (when one is
+    /// installed).
+    fn record_probe_timing(&self, id: u64, server: usize, rtt_us: u64, service_us: u64) {
+        let service_us = service_us.min(rtt_us);
+        let net_us = rtt_us - service_us;
+        self.metrics.probes.inc();
+        self.metrics.probe_latency_us.observe(rtt_us);
+        self.metrics.probe_service_us.observe(service_us);
+        self.metrics.probe_net_us.observe(net_us);
+        pls_telemetry::recorder::record(SpanRecord {
+            req_id: Some(id),
+            name: "probe".to_string(),
+            target: module_path!().to_string(),
+            start_us: pls_telemetry::recorder::unix_us().saturating_sub(rtt_us),
+            elapsed_us: rtt_us,
+            fields: vec![
+                ("server".to_string(), server.to_string()),
+                ("service_us".to_string(), service_us.to_string()),
+                ("net_us".to_string(), net_us.to_string()),
+            ],
+        });
+    }
+
     /// One probe against one server, stamped with the surrounding
     /// operation's request id and bounded by `limit` (the per-RPC
     /// deadline, already capped to the operation's remaining budget).
@@ -286,20 +312,20 @@ impl Client {
     ) -> Result<Vec<Entry>, ClusterError> {
         let req = Request::Probe { key: key.to_vec(), t: t as u32 };
         let started = Instant::now();
-        match self.peers[s.index()].call_bounded(id, &req, limit).await {
-            Ok(Response::Entries(entries)) => {
-                self.metrics.probes.inc();
-                self.metrics.probe_latency_us.observe(elapsed_us(started));
+        match self.peers[s.index()].call_bounded_timed(id, &req, limit).await {
+            Ok((Response::Entries(entries), service_us)) => {
+                self.record_probe_timing(id, s.index(), elapsed_us(started), service_us);
                 pls_telemetry::event!(
                     Level::Trace,
                     "probe_answered",
                     req = id,
                     server = s.index(),
-                    returned = entries.len()
+                    returned = entries.len(),
+                    service_us = service_us
                 );
                 Ok(entries)
             }
-            Ok(other) => {
+            Ok((other, _service_us)) => {
                 self.metrics.probe_failures.inc();
                 Err(ClusterError::Remote(format!("unexpected probe response {other:?}")))
             }
@@ -341,7 +367,9 @@ impl Client {
         }
         self.metrics.lookups.inc();
         let id = self.fresh_id();
-        let span = Span::enter_with_id(Level::Debug, module_path!(), "partial_lookup", id);
+        let mut span = Span::enter_with_id(Level::Debug, module_path!(), "partial_lookup", id);
+        span.field("t", t);
+        span.field("strategy", self.spec_of(key));
         let probes_before = self.metrics.probes.get();
         let deadline = Deadline::within(self.timeouts.op_budget);
         let result = match self.spec_of(key) {
@@ -458,7 +486,7 @@ impl Client {
         deadline: Deadline,
         hedge: Duration,
     ) -> Result<Vec<Entry>, ClusterError> {
-        type ProbeOutcome = (usize, bool, u64, Result<Response, ClusterError>);
+        type ProbeOutcome = (usize, bool, u64, Result<(Response, u64), ClusterError>);
         let mut pending: tokio::task::JoinSet<ProbeOutcome> = tokio::task::JoinSet::new();
         let spawn_probe = |pending: &mut tokio::task::JoinSet<ProbeOutcome>,
                            peers: &std::sync::Arc<Vec<PeerClient>>,
@@ -469,7 +497,7 @@ impl Client {
             let req = Request::Probe { key: key.to_vec(), t: t as u32 };
             pending.spawn(async move {
                 let started = Instant::now();
-                let res = peers[s.index()].call_bounded(id, &req, limit).await;
+                let res = peers[s.index()].call_bounded_timed(id, &req, limit).await;
                 (s.index(), hedged, elapsed_us(started), res)
             });
         };
@@ -503,9 +531,13 @@ impl Client {
                             self.metrics.probe_failures.inc();
                             pls_telemetry::warn!("probe_task_failed", req = id, err = join_err);
                         }
-                        Ok((server, hedged, latency_us, Ok(Response::Entries(entries)))) => {
-                            self.metrics.probes.inc();
-                            self.metrics.probe_latency_us.observe(latency_us);
+                        Ok((
+                            server,
+                            hedged,
+                            latency_us,
+                            Ok((Response::Entries(entries), service_us)),
+                        )) => {
+                            self.record_probe_timing(id, server, latency_us, service_us);
                             if hedged && !pending.is_empty() {
                                 // The hedge answered while an earlier
                                 // probe was still silent: a win.
@@ -517,7 +549,8 @@ impl Client {
                                 "probe_answered",
                                 req = id,
                                 server = server,
-                                returned = entries.len()
+                                returned = entries.len(),
+                                service_us = service_us
                             );
                             reached_any = true;
                             for v in entries {
@@ -686,7 +719,10 @@ impl Client {
         }
         self.metrics.lookups.inc();
         let id = self.fresh_id();
-        let span = Span::enter_with_id(Level::Debug, module_path!(), "partial_lookup_parallel", id);
+        let mut span =
+            Span::enter_with_id(Level::Debug, module_path!(), "partial_lookup_parallel", id);
+        span.field("t", t);
+        span.field("fanout", fanout);
         let probes_before = self.metrics.probes.get();
         let deadline = Deadline::within(self.timeouts.op_budget);
         let order = self.probe_order();
@@ -702,10 +738,14 @@ impl Client {
             for &s in wave {
                 let peers = std::sync::Arc::clone(&self.peers);
                 let req = Request::Probe { key: key.to_vec(), t: t as u32 };
-                tasks.spawn(async move { peers[s.index()].call_bounded(id, &req, limit).await });
+                tasks.spawn(async move {
+                    let started = Instant::now();
+                    let res = peers[s.index()].call_bounded_timed(id, &req, limit).await;
+                    (s.index(), elapsed_us(started), res)
+                });
             }
             while let Some(joined) = tasks.join_next().await {
-                let outcome = match joined {
+                let (server, latency_us, outcome) = match joined {
                     Ok(outcome) => outcome,
                     Err(join_err) => {
                         // A panicked probe task is a failed probe, not a
@@ -716,8 +756,16 @@ impl Client {
                     }
                 };
                 match outcome {
-                    Ok(Response::Entries(entries)) => {
-                        self.metrics.probes.inc();
+                    Ok((Response::Entries(entries), service_us)) => {
+                        self.record_probe_timing(id, server, latency_us, service_us);
+                        pls_telemetry::event!(
+                            Level::Trace,
+                            "probe_answered",
+                            req = id,
+                            server = server,
+                            returned = entries.len(),
+                            service_us = service_us
+                        );
                         reached_any = true;
                         for v in entries {
                             if !acc.contains(&v) {
@@ -732,6 +780,7 @@ impl Client {
                     }
                     Err(err) if err.is_peer_fault() => {
                         self.metrics.probe_failures.inc();
+                        pls_telemetry::debug!("probe_failed", req = id, server = server, err = err);
                         continue;
                     }
                     Err(other) => {
@@ -881,6 +930,49 @@ impl Client {
             merged.push_gauge("pls_live_coverage", c);
         }
         Ok(merged)
+    }
+
+    /// Cluster-wide timeline of one request: every span retained for
+    /// `req` by this process's flight recorder **and** by every
+    /// reachable server's (via [`Request::Trace`] fan-out, mirroring
+    /// [`Client::cluster_metrics`]). Duplicates — e.g. in-process test
+    /// clusters sharing one recorder — are dropped; the result is
+    /// sorted by start time, so it reads as a waterfall. Unreachable
+    /// servers are skipped.
+    ///
+    /// # Errors
+    ///
+    /// [`ClusterError::NoServerAvailable`] when no server responds at
+    /// all; protocol errors from a malformed response.
+    pub async fn trace_request(&self, req: u64) -> Result<Vec<SpanRecord>, ClusterError> {
+        let id = self.fresh_id();
+        let mut spans: Vec<SpanRecord> =
+            pls_telemetry::recorder::installed().map(|r| r.spans_for(req)).unwrap_or_default();
+        let mut reached = 0usize;
+        for server in 0..self.n() {
+            match self.peers[server].call(id, &Request::Trace { req }).await {
+                Ok(Response::Spans(remote)) => {
+                    reached += 1;
+                    for span in remote {
+                        if !spans.contains(&span) {
+                            spans.push(span);
+                        }
+                    }
+                }
+                Ok(other) => {
+                    return Err(ClusterError::Remote(format!(
+                        "unexpected trace response {other:?}"
+                    )))
+                }
+                Err(err) if err.is_unavailable() => continue,
+                Err(other) => return Err(other),
+            }
+        }
+        if reached == 0 {
+            return Err(ClusterError::NoServerAvailable);
+        }
+        spans.sort_by(|a, b| (a.start_us, a.elapsed_us).cmp(&(b.start_us, b.elapsed_us)));
+        Ok(spans)
     }
 }
 

@@ -1,11 +1,15 @@
-//! A minimal, dependency-free HTTP/1.1 metrics exporter.
+//! A minimal, dependency-free HTTP/1.1 debug/metrics endpoint.
 //!
-//! One job: answer `GET /metrics` with the Prometheus text exposition
-//! so any off-the-shelf scraper (or `curl`) can watch a live server's
-//! quality gauges without speaking the binary wire protocol. This is
-//! deliberately not a web framework — requests are parsed just enough
-//! to route (`GET`/`HEAD` on `/metrics`, 404 elsewhere, 400 for
-//! garbage), every response carries `Content-Length` and
+//! Serves a handful of read-only routes — `GET /metrics` (Prometheus
+//! text exposition), `GET /trace?req=<id>` (one request's span
+//! timeline as JSON), `GET /debug/recent` (the flight recorder's ring
+//! and pin list as JSON) — so any scraper or `curl` can inspect a live
+//! server without speaking the binary wire protocol. This is
+//! deliberately not a web framework: a [`Router`] maps exact paths to
+//! handlers (each choosing its own status and content type, with the
+//! raw query string passed through), requests are parsed just enough
+//! to route (`GET`/`HEAD`, 405 on other methods, 404 elsewhere, 400
+//! for garbage), every response carries `Content-Length` and
 //! `Connection: close`, and the connection is then dropped.
 //!
 //! The exporter is hardened against trickle-feed ("slowloris") abuse:
@@ -14,6 +18,8 @@
 //! [`ServeOptions::max_connections`] are served concurrently — excess
 //! connections are shed immediately rather than queued.
 
+use std::future::Future;
+use std::pin::Pin;
 use std::sync::Arc;
 use std::time::Duration;
 
@@ -25,7 +31,10 @@ use tokio::net::{TcpListener, TcpStream};
 const MAX_REQUEST_HEAD: usize = 8 * 1024;
 
 /// Content type of the Prometheus text exposition format.
-const CONTENT_TYPE: &str = "text/plain; version=0.0.4; charset=utf-8";
+pub const CONTENT_TYPE_PROMETHEUS: &str = "text/plain; version=0.0.4; charset=utf-8";
+
+/// Content type of the JSON debug routes.
+pub const CONTENT_TYPE_JSON: &str = "application/json; charset=utf-8";
 
 /// Abuse limits for the exporter.
 #[derive(Debug, Clone, Copy)]
@@ -45,12 +54,91 @@ impl Default for ServeOptions {
     }
 }
 
+/// One route's rendered reply: status, content type, and body.
+#[derive(Debug, Clone)]
+pub struct RouteReply {
+    /// HTTP status code.
+    pub status: u16,
+    /// `Content-Type` header value.
+    pub content_type: &'static str,
+    /// Response body.
+    pub body: String,
+}
+
+impl RouteReply {
+    /// A `200 OK` JSON reply.
+    pub fn json(body: String) -> Self {
+        RouteReply { status: 200, content_type: CONTENT_TYPE_JSON, body }
+    }
+
+    /// A `400 Bad Request` with a plain-text explanation.
+    pub fn bad_request(msg: &str) -> Self {
+        RouteReply { status: 400, content_type: CONTENT_TYPE_PROMETHEUS, body: format!("{msg}\n") }
+    }
+}
+
+/// A boxed route handler future — the return type handler closures
+/// must annotate so `Box::pin(async { ... })` coerces to it.
+pub type BoxedReply = Pin<Box<dyn Future<Output = RouteReply> + Send>>;
+
+/// A route handler: receives the request's raw query string (the part
+/// after `?`, undecoded, `None` when absent) and produces a reply.
+pub type Handler = Arc<dyn Fn(Option<String>) -> BoxedReply + Send + Sync>;
+
+/// An exact-path router for the debug endpoint.
+#[derive(Default)]
+pub struct Router {
+    routes: Vec<(&'static str, Handler)>,
+}
+
+impl Router {
+    /// An empty router (every request 404s).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds a handler for an exact path (queries are passed through,
+    /// not matched on). Later routes never shadow earlier ones.
+    #[must_use]
+    pub fn route(mut self, path: &'static str, handler: Handler) -> Self {
+        if !self.routes.iter().any(|(p, _)| *p == path) {
+            self.routes.push((path, handler));
+        }
+        self
+    }
+
+    /// Adds a synchronous text route with the Prometheus content type —
+    /// the shape of the classic `/metrics` exposition.
+    #[must_use]
+    pub fn route_text(
+        self,
+        path: &'static str,
+        render: Arc<dyn Fn() -> String + Send + Sync>,
+    ) -> Self {
+        self.route(
+            path,
+            Arc::new(move |_query: Option<String>| -> BoxedReply {
+                let body = render();
+                Box::pin(async move {
+                    RouteReply { status: 200, content_type: CONTENT_TYPE_PROMETHEUS, body }
+                })
+            }),
+        )
+    }
+
+    fn find(&self, path: &str) -> Option<&Handler> {
+        self.routes.iter().find(|(p, _)| *p == path).map(|(_, h)| h)
+    }
+}
+
 /// Accept loop: serves `GET /metrics` (and `HEAD`) on `listener`,
 /// rendering a fresh exposition via `render` per request, with default
 /// [`ServeOptions`]. Runs until the task is dropped; typically spawned
-/// next to [`Server::run`].
+/// next to [`Server::run`]. For the multi-route debug endpoint use
+/// [`serve_router`] with [`Server::router`].
 ///
 /// [`Server::run`]: crate::server::Server::run
+/// [`Server::router`]: crate::server::Server::router
 pub async fn serve(listener: TcpListener, render: Arc<dyn Fn() -> String + Send + Sync>) {
     serve_with(listener, render, ServeOptions::default()).await;
 }
@@ -61,6 +149,17 @@ pub async fn serve_with(
     render: Arc<dyn Fn() -> String + Send + Sync>,
     opts: ServeOptions,
 ) {
+    let router = Arc::new(Router::new().route_text("/metrics", render));
+    serve_router_with(listener, router, opts).await;
+}
+
+/// Accept loop over a [`Router`], with default [`ServeOptions`].
+pub async fn serve_router(listener: TcpListener, router: Arc<Router>) {
+    serve_router_with(listener, router, ServeOptions::default()).await;
+}
+
+/// [`serve_router`] with explicit abuse limits.
+pub async fn serve_router_with(listener: TcpListener, router: Arc<Router>, opts: ServeOptions) {
     let slots = Arc::new(tokio::sync::Semaphore::new(opts.max_connections.max(1)));
     loop {
         let (socket, peer) = match listener.accept().await {
@@ -76,36 +175,33 @@ pub async fn serve_with(
             pls_telemetry::warn!("metrics_connection_shed", peer = peer);
             continue;
         };
-        let render = Arc::clone(&render);
+        let router = Arc::clone(&router);
         let per_conn = opts.per_conn_timeout;
         tokio::spawn(async move {
             // Serve-and-close; errors (and deadline kills) are the
             // client's problem.
-            let _ = tokio::time::timeout(per_conn, serve_one(socket, &*render)).await;
+            let _ = tokio::time::timeout(per_conn, serve_one(socket, &router)).await;
             drop(permit);
         });
     }
 }
 
 /// Reads one request head and writes the matching response.
-async fn serve_one(
-    mut socket: TcpStream,
-    render: &(dyn Fn() -> String + Send + Sync),
-) -> std::io::Result<()> {
+async fn serve_one(mut socket: TcpStream, router: &Router) -> std::io::Result<()> {
     let head = match read_request_head(&mut socket).await? {
         Some(head) => head,
-        None => return respond(&mut socket, 400, "Bad Request", "bad request\n", false).await,
+        None => return respond(&mut socket, 400, "bad request\n", false).await,
     };
-    match parse_request_line(&head) {
-        Some((method, "/metrics")) if method == "GET" || method == "HEAD" => {
-            let body = render();
-            respond(&mut socket, 200, "OK", &body, method == "HEAD").await
+    let Some((method, path, query)) = parse_request_line(&head) else {
+        return respond(&mut socket, 400, "bad request\n", false).await;
+    };
+    match router.find(path) {
+        Some(handler) if method == "GET" || method == "HEAD" => {
+            let reply = handler(query.map(str::to_string)).await;
+            respond_reply(&mut socket, &reply, method == "HEAD").await
         }
-        Some((_, "/metrics")) => {
-            respond(&mut socket, 405, "Method Not Allowed", "method not allowed\n", false).await
-        }
-        Some(_) => respond(&mut socket, 404, "Not Found", "not found\n", false).await,
-        None => respond(&mut socket, 400, "Bad Request", "bad request\n", false).await,
+        Some(_) => respond(&mut socket, 405, "method not allowed\n", false).await,
+        None => respond(&mut socket, 404, "not found\n", false).await,
     }
 }
 
@@ -130,38 +226,72 @@ async fn read_request_head(socket: &mut TcpStream) -> std::io::Result<Option<Vec
     }
 }
 
-/// Splits the request line into method and path; `None` if it is not
-/// plausibly HTTP/1.x.
-fn parse_request_line(head: &[u8]) -> Option<(&str, &str)> {
+/// Splits the request line into method, path, and raw query string
+/// (`None` when the target has no `?`); `None` overall if the line is
+/// not plausibly HTTP/1.x.
+fn parse_request_line(head: &[u8]) -> Option<(&str, &str, Option<&str>)> {
     let line_end = head.windows(2).position(|w| w == b"\r\n")?;
     let line = std::str::from_utf8(&head[..line_end]).ok()?;
     let mut parts = line.split(' ');
     let method = parts.next()?;
-    let path = parts.next()?;
+    let target = parts.next()?;
     let version = parts.next()?;
     if parts.next().is_some() || !version.starts_with("HTTP/1.") {
         return None;
     }
-    // Scrape query strings are ignored, like real exporters do.
-    let path = path.split('?').next().unwrap_or(path);
-    Some((method, path))
+    // Route on the path; hand the query through to the handler.
+    match target.split_once('?') {
+        Some((path, query)) => Some((method, path, Some(query))),
+        None => Some((method, target, None)),
+    }
+}
+
+/// Extracts one `key=value` pair from a raw query string (no percent
+/// decoding — the debug routes only take numeric parameters).
+pub fn query_param<'q>(query: &'q str, key: &str) -> Option<&'q str> {
+    query.split('&').find_map(|pair| {
+        let (k, v) = pair.split_once('=')?;
+        (k == key).then_some(v)
+    })
+}
+
+fn reason_for(status: u16) -> &'static str {
+    match status {
+        200 => "OK",
+        400 => "Bad Request",
+        404 => "Not Found",
+        405 => "Method Not Allowed",
+        _ => "Error",
+    }
 }
 
 async fn respond(
     socket: &mut TcpStream,
     status: u16,
-    reason: &str,
     body: &str,
     head_only: bool,
 ) -> std::io::Result<()> {
+    let reply =
+        RouteReply { status, content_type: CONTENT_TYPE_PROMETHEUS, body: body.to_string() };
+    respond_reply(socket, &reply, head_only).await
+}
+
+async fn respond_reply(
+    socket: &mut TcpStream,
+    reply: &RouteReply,
+    head_only: bool,
+) -> std::io::Result<()> {
     let header = format!(
-        "HTTP/1.1 {status} {reason}\r\nContent-Type: {CONTENT_TYPE}\r\n\
+        "HTTP/1.1 {} {}\r\nContent-Type: {}\r\n\
          Content-Length: {}\r\nConnection: close\r\n\r\n",
-        body.len()
+        reply.status,
+        reason_for(reply.status),
+        reply.content_type,
+        reply.body.len()
     );
     socket.write_all(header.as_bytes()).await?;
     if !head_only {
-        socket.write_all(body.as_bytes()).await?;
+        socket.write_all(reply.body.as_bytes()).await?;
     }
     socket.flush().await?;
     socket.shutdown().await
@@ -175,16 +305,30 @@ mod tests {
     fn request_line_parsing() {
         assert_eq!(
             parse_request_line(b"GET /metrics HTTP/1.1\r\nHost: x\r\n\r\n"),
-            Some(("GET", "/metrics"))
+            Some(("GET", "/metrics", None))
         );
+        // Query strings are preserved and handed to the route handler.
         assert_eq!(
             parse_request_line(b"HEAD /metrics?ts=1 HTTP/1.0\r\n\r\n"),
-            Some(("HEAD", "/metrics"))
+            Some(("HEAD", "/metrics", Some("ts=1")))
+        );
+        assert_eq!(
+            parse_request_line(b"GET /trace?req=42&x=y HTTP/1.1\r\n\r\n"),
+            Some(("GET", "/trace", Some("req=42&x=y")))
         );
         assert_eq!(parse_request_line(b"GET /metrics\r\n\r\n"), None); // no version
         assert_eq!(parse_request_line(b"GET /metrics SPDY/3\r\n\r\n"), None);
         assert_eq!(parse_request_line(b"\xff\xfe oops HTTP/1.1\r\n\r\n"), None);
         assert_eq!(parse_request_line(b"no crlf"), None);
+    }
+
+    #[test]
+    fn query_params_are_extracted_verbatim() {
+        assert_eq!(query_param("req=42", "req"), Some("42"));
+        assert_eq!(query_param("a=1&req=0xff&b=2", "req"), Some("0xff"));
+        assert_eq!(query_param("a=1&b=2", "req"), None);
+        assert_eq!(query_param("req", "req"), None); // no '='
+        assert_eq!(query_param("", "req"), None);
     }
 
     async fn request(addr: std::net::SocketAddr, raw: &str) -> String {
@@ -223,6 +367,42 @@ mod tests {
 
         let garbage = request(addr, "not http at all\r\n\r\n").await;
         assert!(garbage.starts_with("HTTP/1.1 400"), "{garbage}");
+
+        exporter.abort();
+    }
+
+    #[tokio::test]
+    async fn router_serves_json_routes_with_query_passthrough() {
+        let listener = TcpListener::bind("127.0.0.1:0").await.unwrap();
+        let addr = listener.local_addr().unwrap();
+        let router = Router::new().route_text("/metrics", Arc::new(|| "m 1\n".to_string())).route(
+            "/trace",
+            Arc::new(|query: Option<String>| -> BoxedReply {
+                Box::pin(async move {
+                    match query.as_deref().and_then(|q| query_param(q, "req")) {
+                        Some(req) => RouteReply::json(format!("{{\"req\":{req}}}")),
+                        None => RouteReply::bad_request("missing req=<id>"),
+                    }
+                })
+            }),
+        );
+        let exporter = tokio::spawn(serve_router(listener, Arc::new(router)));
+
+        let traced = request(addr, "GET /trace?req=42 HTTP/1.1\r\nHost: t\r\n\r\n").await;
+        assert!(traced.starts_with("HTTP/1.1 200 OK\r\n"), "{traced}");
+        assert!(traced.contains("Content-Type: application/json"), "{traced}");
+        assert!(traced.ends_with("{\"req\":42}"), "{traced}");
+
+        let missing = request(addr, "GET /trace HTTP/1.1\r\n\r\n").await;
+        assert!(missing.starts_with("HTTP/1.1 400"), "{missing}");
+
+        // The classic metrics route keeps its exposition content type.
+        let metrics = request(addr, "GET /metrics?ignored=1 HTTP/1.1\r\n\r\n").await;
+        assert!(metrics.starts_with("HTTP/1.1 200 OK\r\n"), "{metrics}");
+        assert!(metrics.contains("Content-Type: text/plain; version=0.0.4"), "{metrics}");
+
+        let unknown = request(addr, "GET /nope HTTP/1.1\r\n\r\n").await;
+        assert!(unknown.starts_with("HTTP/1.1 404"), "{unknown}");
 
         exporter.abort();
     }

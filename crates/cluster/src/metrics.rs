@@ -66,11 +66,13 @@ pub enum ReqOp {
     SpecOf,
     /// `Request::Metrics`.
     Metrics,
+    /// `Request::Trace`.
+    Trace,
 }
 
 impl ReqOp {
     /// Every variant, in counter-index order.
-    pub const ALL: [ReqOp; 10] = [
+    pub const ALL: [ReqOp; 11] = [
         ReqOp::Place,
         ReqOp::Add,
         ReqOp::Delete,
@@ -81,6 +83,7 @@ impl ReqOp {
         ReqOp::Snapshot,
         ReqOp::SpecOf,
         ReqOp::Metrics,
+        ReqOp::Trace,
     ];
 
     /// The `op` label value.
@@ -96,6 +99,7 @@ impl ReqOp {
             ReqOp::Snapshot => "snapshot",
             ReqOp::SpecOf => "spec_of",
             ReqOp::Metrics => "metrics",
+            ReqOp::Trace => "trace",
         }
     }
 }
@@ -142,7 +146,7 @@ pub fn split_key_entry(composite: &[u8]) -> Option<(&[u8], &[u8])> {
 #[derive(Debug)]
 pub struct ServerMetrics {
     /// Per-variant request counts, indexed by [`ReqOp`].
-    pub requests: [Counter; 10],
+    pub requests: [Counter; 11],
     /// Requests whose handler returned an error.
     pub request_errors: Counter,
     /// Frames that failed to decode into a request.
@@ -274,6 +278,23 @@ impl ServerMetrics {
             "pls_probe_latency_us",
             if reset { self.probe_latency_us.take() } else { self.probe_latency_us.snapshot() },
         );
+        s.set_help("pls_requests_total", "Requests handled, by operation.");
+        s.set_help("pls_request_errors_total", "Requests whose handler returned an error.");
+        s.set_help("pls_decode_errors_total", "Frames that failed to decode into a request.");
+        s.set_help("pls_connections_accepted_total", "Client connections accepted.");
+        s.set_help("pls_accept_errors_total", "accept(2) failures.");
+        s.set_help("pls_connection_errors_total", "Connections torn down by protocol violations.");
+        s.set_help("pls_bytes_read_total", "Frame bytes read, including headers.");
+        s.set_help("pls_bytes_written_total", "Frame bytes written, including headers.");
+        s.set_help("pls_probes_total", "Probe requests served, by the key's strategy.");
+        s.set_help("pls_probe_entries_returned_total", "Entries returned across probe answers.");
+        s.set_help("pls_engines_created_total", "Per-key strategy engines materialized.");
+        s.set_help("pls_internal_sent_total", "Server-to-server messages sent.");
+        s.set_help("pls_internal_send_failures_total", "Server-to-server sends that failed.");
+        s.set_help("pls_keys", "Keys this server manages.");
+        s.set_help("pls_entries", "Entries stored across keys.");
+        s.set_help("pls_request_latency_us", "End-to-end request handling latency (us).");
+        s.set_help("pls_probe_latency_us", "Probe handling latency, engine sampling only (us).");
         s
     }
 
@@ -343,6 +364,10 @@ impl ServerMetrics {
             let key_label = String::from_utf8_lossy(&e.key);
             s.push_counter(labeled("pls_hot_key_probes", &[("key", &key_label)]), e.count);
         }
+        s.set_help("pls_entry_hits_total", "Retrievals per stored (key, entry) pair.");
+        s.set_help("pls_live_unfairness", "Mean per-key CoV of entry hit counts (paper 4.5).");
+        s.set_help("pls_live_coverage", "Fraction of stored entries retrieved at least once.");
+        s.set_help("pls_hot_key_probes", "Space-Saving estimate of the hottest probed keys.");
         s
     }
 }
@@ -415,6 +440,13 @@ pub struct ClientMetrics {
     /// Wall-clock latency per answered probe, microseconds. Its p99
     /// derives the hedge delay.
     pub probe_latency_us: Histogram,
+    /// Server-reported handling time per answered probe, microseconds —
+    /// the service-time half of each probe's latency, echoed in the
+    /// reply frame header.
+    pub probe_service_us: Histogram,
+    /// Network share of each answered probe's latency, microseconds:
+    /// wall-clock RTT minus the echoed service time.
+    pub probe_net_us: Histogram,
     /// Hedged probes launched (a probe stayed silent past the hedge
     /// delay, so the next server was tried without cancelling it).
     pub hedges: Counter,
@@ -446,10 +478,17 @@ impl ClientMetrics {
         s.push_histogram("pls_client_probes_per_lookup", self.probes_per_lookup.snapshot());
         s.push_histogram("pls_client_lookup_latency_us", self.lookup_latency_us.snapshot());
         s.push_histogram("pls_client_probe_latency_us", self.probe_latency_us.snapshot());
+        s.push_histogram("pls_client_probe_service_us", self.probe_service_us.snapshot());
+        s.push_histogram("pls_client_probe_net_us", self.probe_net_us.snapshot());
         s.push_counter("pls_client_hedges_total", self.hedges.get());
         s.push_counter("pls_client_hedge_wins_total", self.hedge_wins.get());
         s.push_histogram("pls_client_hedge_win_latency_us", self.hedge_win_latency_us.snapshot());
         s.push_counter("pls_client_op_budget_exhausted_total", self.op_budget_exhausted.get());
+        s.set_help("pls_client_probes_per_lookup", "Servers contacted per lookup (paper 4.2).");
+        s.set_help("pls_client_lookup_latency_us", "Wall-clock latency per lookup (us).");
+        s.set_help("pls_client_probe_latency_us", "Wall-clock latency per answered probe (us).");
+        s.set_help("pls_client_probe_service_us", "Server-echoed handling time per probe (us).");
+        s.set_help("pls_client_probe_net_us", "Network share of probe latency: RTT - service.");
         s
     }
 }

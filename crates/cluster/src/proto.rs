@@ -7,7 +7,7 @@
 use bytes::Bytes;
 use pls_core::{Message, StrategySpec};
 use pls_net::ServerId;
-use pls_telemetry::{HistogramSnapshot, MetricsSnapshot, BUCKETS};
+use pls_telemetry::{HistogramSnapshot, MetricsSnapshot, SpanRecord, BUCKETS};
 
 use crate::error::ClusterError;
 use crate::metrics::ReqOp;
@@ -89,6 +89,12 @@ pub enum Request {
         /// (delta scraping); `false` leaves them accumulating.
         reset: bool,
     },
+    /// Observability: every span this server's flight recorder retains
+    /// for one request id (see [`pls_telemetry::recorder`]).
+    Trace {
+        /// The request id to reconstruct.
+        req: u64,
+    },
 }
 
 /// A response frame.
@@ -129,6 +135,9 @@ pub enum Response {
     /// Observability: the server's metrics snapshot (see
     /// [`crate::metrics::ServerMetrics`]).
     Metrics(MetricsSnapshot),
+    /// Observability: the flight-recorder spans answering a `Trace`
+    /// request, oldest first.
+    Spans(Vec<SpanRecord>),
 }
 
 // ---- opcodes ----
@@ -142,6 +151,7 @@ const REQ_KEYS: u8 = 0x07;
 const REQ_SNAPSHOT: u8 = 0x08;
 const REQ_SPEC_OF: u8 = 0x09;
 const REQ_METRICS: u8 = 0x0A;
+const REQ_TRACE: u8 = 0x0B;
 
 const RESP_OK: u8 = 0x80;
 const RESP_ENTRIES: u8 = 0x81;
@@ -150,7 +160,14 @@ const RESP_KEYS: u8 = 0x83;
 const RESP_SNAPSHOT: u8 = 0x84;
 const RESP_SPEC_OF: u8 = 0x85;
 const RESP_METRICS: u8 = 0x86;
+const RESP_SPANS: u8 = 0x87;
 const RESP_ERROR: u8 = 0xFF;
+
+/// Decode cap on spans per `Spans` response; a recorder holds a few
+/// thousand records, so anything beyond this is garbage.
+const MAX_SPANS: usize = 65_536;
+/// Decode cap on key/value fields per span.
+const MAX_SPAN_FIELDS: usize = 64;
 
 // ---- engine message opcodes ----
 const MSG_PLACE_REQ: u8 = 0x10;
@@ -368,6 +385,9 @@ impl Request {
             Request::Metrics { reset } => {
                 w.u8(REQ_METRICS).u8(u8::from(*reset));
             }
+            Request::Trace { req } => {
+                w.u8(REQ_TRACE).u64(*req);
+            }
         }
         w.into_payload()
     }
@@ -406,6 +426,7 @@ impl Request {
                 1 => Request::Metrics { reset: true },
                 _ => return Err(ClusterError::Decode("reset flag")),
             },
+            REQ_TRACE => Request::Trace { req: r.u64("trace req")? },
             _ => return Err(ClusterError::Decode("request opcode")),
         };
         r.finish("request")?;
@@ -430,6 +451,7 @@ impl Request {
             Request::Snapshot { .. } => ReqOp::Snapshot,
             Request::SpecOf { .. } => ReqOp::SpecOf,
             Request::Metrics { .. } => ReqOp::Metrics,
+            Request::Trace { .. } => ReqOp::Trace,
         }
     }
 }
@@ -491,6 +513,25 @@ impl Response {
                     w.u32(BUCKETS as u32);
                     for b in &h.buckets {
                         w.u64(*b);
+                    }
+                }
+            }
+            Response::Spans(spans) => {
+                w.u8(RESP_SPANS).u32(spans.len() as u32);
+                for s in spans {
+                    match s.req_id {
+                        Some(id) => {
+                            w.u8(1).u64(id);
+                        }
+                        None => {
+                            w.u8(0);
+                        }
+                    }
+                    w.bytes(s.name.as_bytes()).bytes(s.target.as_bytes());
+                    w.u64(s.start_us).u64(s.elapsed_us);
+                    w.u32(s.fields.len() as u32);
+                    for (k, v) in &s.fields {
+                        w.bytes(k.as_bytes()).bytes(v.as_bytes());
                     }
                 }
             }
@@ -583,6 +624,46 @@ impl Response {
                 }
                 Response::Metrics(snap)
             }
+            RESP_SPANS => {
+                let n_spans = r.u32("span count")? as usize;
+                if n_spans > MAX_SPANS {
+                    return Err(ClusterError::Decode("span count"));
+                }
+                let mut spans = Vec::with_capacity(n_spans.min(1024));
+                for _ in 0..n_spans {
+                    let req_id = match r.u8("span req flag")? {
+                        0 => None,
+                        1 => Some(r.u64("span req id")?),
+                        _ => return Err(ClusterError::Decode("span req flag")),
+                    };
+                    let name = r.bytes("span name")?;
+                    let target = r.bytes("span target")?;
+                    let start_us = r.u64("span start")?;
+                    let elapsed_us = r.u64("span elapsed")?;
+                    let n_fields = r.u32("span field count")? as usize;
+                    if n_fields > MAX_SPAN_FIELDS {
+                        return Err(ClusterError::Decode("span field count"));
+                    }
+                    let mut fields = Vec::with_capacity(n_fields);
+                    for _ in 0..n_fields {
+                        let k = r.bytes("span field key")?;
+                        let v = r.bytes("span field value")?;
+                        fields.push((
+                            String::from_utf8_lossy(&k).into_owned(),
+                            String::from_utf8_lossy(&v).into_owned(),
+                        ));
+                    }
+                    spans.push(SpanRecord {
+                        req_id,
+                        name: String::from_utf8_lossy(&name).into_owned(),
+                        target: String::from_utf8_lossy(&target).into_owned(),
+                        start_us,
+                        elapsed_us,
+                        fields,
+                    });
+                }
+                Response::Spans(spans)
+            }
             _ => return Err(ClusterError::Decode("response opcode")),
         };
         r.finish("response")?;
@@ -631,6 +712,42 @@ mod tests {
         roundtrip_req(Request::Status);
         roundtrip_req(Request::Metrics { reset: false });
         roundtrip_req(Request::Metrics { reset: true });
+        roundtrip_req(Request::Trace { req: 0xDEAD_BEEF });
+    }
+
+    #[test]
+    fn spans_response_roundtrips() {
+        roundtrip_resp(Response::Spans(Vec::new()));
+        roundtrip_resp(Response::Spans(vec![
+            SpanRecord {
+                req_id: Some(42),
+                name: "partial_lookup".into(),
+                target: "pls_cluster::client".into(),
+                start_us: 1_700_000_000_000_000,
+                elapsed_us: 1234,
+                fields: vec![("server".into(), "2".into()), ("service_us".into(), "87".into())],
+            },
+            SpanRecord {
+                req_id: None,
+                name: "resync_from_peers".into(),
+                target: "pls_cluster::server".into(),
+                start_us: 0,
+                elapsed_us: u64::MAX,
+                fields: Vec::new(),
+            },
+        ]));
+    }
+
+    #[test]
+    fn spans_decode_caps_are_enforced() {
+        // A span count beyond the cap is rejected outright.
+        let mut w = Writer::new();
+        w.u8(RESP_SPANS).u32(u32::MAX);
+        assert!(Response::decode(w.into_payload()).is_err());
+        // A bogus req-id flag is rejected.
+        let mut w = Writer::new();
+        w.u8(RESP_SPANS).u32(1).u8(9);
+        assert!(Response::decode(w.into_payload()).is_err());
     }
 
     #[test]

@@ -25,7 +25,7 @@ use tokio::net::TcpStream;
 use crate::error::ClusterError;
 use crate::proto::{Request, Response};
 use crate::retry::{Breaker, BreakerConfig, Deadline, RetryPolicy, Timeouts};
-use crate::wire::{read_frame, write_frame};
+use crate::wire::{read_frame_timed, write_frame};
 
 /// Connections kept per peer; extras beyond this are closed on return.
 const POOL_SIZE: usize = 4;
@@ -55,22 +55,34 @@ pub struct PoolStats {
 }
 
 /// Performs one request/response exchange on an established stream,
-/// stamping the outgoing frame with `request_id`. The response frame
+/// stamping the outgoing frame with `request_id`, and returns the
+/// response together with the **service time** the server echoed in
+/// the reply frame (microseconds the server spent handling the
+/// request; zero from servers that don't stamp it). The response frame
 /// must echo the same id — a mismatch means the stream is answering
 /// some other request (desynchronized) and is a protocol error.
-pub async fn exchange(
+pub async fn exchange_timed(
     stream: &mut TcpStream,
     request_id: u64,
     req: &Request,
-) -> Result<Response, ClusterError> {
+) -> Result<(Response, u64), ClusterError> {
     write_frame(stream, request_id, &req.encode()).await?;
-    let (echoed_id, payload) = read_frame(stream)
+    let (echoed_id, service_us, payload) = read_frame_timed(stream)
         .await?
         .ok_or_else(|| ClusterError::Io(std::io::ErrorKind::UnexpectedEof.into()))?;
     if echoed_id != request_id {
         return Err(ClusterError::Decode("response id"));
     }
-    Response::decode(payload)
+    Ok((Response::decode(payload)?, service_us))
+}
+
+/// [`exchange_timed`], discarding the echoed service time.
+pub async fn exchange(
+    stream: &mut TcpStream,
+    request_id: u64,
+    req: &Request,
+) -> Result<Response, ClusterError> {
+    Ok(exchange_timed(stream, request_id, req).await?.0)
 }
 
 /// A lazily-connected pool of RPC connections to one peer address.
@@ -173,6 +185,16 @@ impl PeerClient {
         self.call_bounded(request_id, req, self.timeouts.rpc).await
     }
 
+    /// [`PeerClient::call`], also returning the service time the peer
+    /// echoed in its reply frame (microseconds of server-side work).
+    pub async fn call_timed(
+        &self,
+        request_id: u64,
+        req: &Request,
+    ) -> Result<(Response, u64), ClusterError> {
+        self.call_bounded_timed(request_id, req, self.timeouts.rpc).await
+    }
+
     /// [`PeerClient::call`] with an explicit attempt deadline — the
     /// per-RPC deadline already capped to an operation's remaining
     /// budget by the caller.
@@ -182,6 +204,17 @@ impl PeerClient {
         req: &Request,
         limit: Duration,
     ) -> Result<Response, ClusterError> {
+        Ok(self.call_bounded_timed(request_id, req, limit).await?.0)
+    }
+
+    /// [`PeerClient::call_bounded`], also returning the echoed service
+    /// time from the reply frame.
+    pub async fn call_bounded_timed(
+        &self,
+        request_id: u64,
+        req: &Request,
+        limit: Duration,
+    ) -> Result<(Response, u64), ClusterError> {
         if limit.is_zero() {
             // The operation's budget is already spent.
             return Err(ClusterError::Timeout("op-budget"));
@@ -257,10 +290,14 @@ impl PeerClient {
     /// One attempt on a pooled or fresh connection. A stale pooled
     /// connection is retried once with a fresh dial; a connection that
     /// errors in any way is discarded, never returned to the pool.
-    async fn call_once(&self, request_id: u64, req: &Request) -> Result<Response, ClusterError> {
+    async fn call_once(
+        &self,
+        request_id: u64,
+        req: &Request,
+    ) -> Result<(Response, u64), ClusterError> {
         if let Some(mut stream) = self.take() {
             self.stats.reuses.inc();
-            match exchange(&mut stream, request_id, req).await {
+            match exchange_timed(&mut stream, request_id, req).await {
                 Ok(resp) => {
                     self.put_back(stream);
                     return ok_or_remote(resp);
@@ -279,7 +316,12 @@ impl PeerClient {
             }
         }
         self.stats.dials.inc();
-        pls_telemetry::event!(pls_telemetry::Level::Trace, "peer_dial", addr = self.addr);
+        pls_telemetry::event!(
+            pls_telemetry::Level::Trace,
+            "peer_dial",
+            req = request_id,
+            addr = self.addr
+        );
         let dialed = tokio::time::timeout(self.timeouts.connect, TcpStream::connect(self.addr));
         let mut stream = match dialed.await {
             Ok(Ok(s)) => s,
@@ -293,7 +335,7 @@ impl PeerClient {
                 return Err(ClusterError::Timeout("connect"));
             }
         };
-        match exchange(&mut stream, request_id, req).await {
+        match exchange_timed(&mut stream, request_id, req).await {
             Ok(resp) => {
                 self.put_back(stream);
                 ok_or_remote(resp)
@@ -306,10 +348,10 @@ impl PeerClient {
     }
 }
 
-fn ok_or_remote(resp: Response) -> Result<Response, ClusterError> {
+fn ok_or_remote((resp, service_us): (Response, u64)) -> Result<(Response, u64), ClusterError> {
     match resp {
         Response::Error(msg) => Err(ClusterError::Remote(msg)),
-        other => Ok(other),
+        other => Ok((other, service_us)),
     }
 }
 
@@ -338,6 +380,7 @@ pub(crate) fn push_peer_robustness<'a>(
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::wire::read_frame;
     use tokio::io::{AsyncReadExt, AsyncWriteExt};
     use tokio::net::TcpListener;
 
@@ -395,6 +438,23 @@ mod tests {
         }
         // Pool is capped.
         assert!(client.pool.lock().unwrap().len() <= POOL_SIZE);
+    }
+
+    #[tokio::test]
+    async fn call_timed_surfaces_echoed_service_time() {
+        let listener = TcpListener::bind("127.0.0.1:0").await.unwrap();
+        let addr = listener.local_addr().unwrap();
+        tokio::spawn(async move {
+            let (mut sock, _) = listener.accept().await.unwrap();
+            let (id, _) = read_frame(&mut sock).await.unwrap().unwrap();
+            crate::wire::write_frame_timed(&mut sock, id, 4321, &Response::Ok.encode())
+                .await
+                .unwrap();
+        });
+        let client = PeerClient::new(addr);
+        let (resp, service_us) = client.call_timed(1, &Request::Status).await.unwrap();
+        assert_eq!(resp, Response::Ok);
+        assert_eq!(service_us, 4321);
     }
 
     #[tokio::test]

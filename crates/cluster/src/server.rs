@@ -10,7 +10,7 @@ use pls_core::engine::{NodeEngine, Outbound};
 use pls_core::{Message, StrategySpec};
 use pls_net::{Endpoint, ServerId};
 use pls_telemetry::trace::Span;
-use pls_telemetry::{Level, MetricsSnapshot};
+use pls_telemetry::{Level, MetricsSnapshot, SpanRecord};
 use tokio::net::{TcpListener, TcpStream};
 
 use crate::error::ClusterError;
@@ -18,7 +18,7 @@ use crate::metrics::{strategy_index, ServerMetrics};
 use crate::proto::{Entry, Request, Response};
 use crate::retry::{splitmix64, BreakerConfig, Deadline, RetryPolicy, Timeouts};
 use crate::rpc::{push_peer_robustness, PeerClient};
-use crate::wire::{read_frame, write_frame, FRAME_OVERHEAD};
+use crate::wire::{read_frame, write_frame_timed, FRAME_OVERHEAD};
 
 /// Static configuration of one server in the cluster.
 #[derive(Debug, Clone)]
@@ -250,6 +250,54 @@ impl Server {
         Arc::new(move || collect_metrics(&state, false).to_prometheus())
     }
 
+    /// The debug endpoint's routes, for
+    /// [`http::serve_router`](crate::http::serve_router):
+    ///
+    /// * `GET /metrics` — Prometheus text exposition (as
+    ///   [`Server::metrics_renderer`]);
+    /// * `GET /trace?req=<id>` — JSON span timeline of one request,
+    ///   **cluster-wide**: this process's flight recorder merged with
+    ///   every reachable peer's via [`Request::Trace`] fan-out;
+    /// * `GET /debug/recent` — this process's recorder contents: the
+    ///   ring (most recent last), the pinned slow requests, and the
+    ///   recorder's own counters.
+    ///
+    /// Routes hold only an [`Arc`] on the shared state, so the endpoint
+    /// outlives the `Server` handle.
+    pub fn router(&self) -> crate::http::Router {
+        use crate::http::{BoxedReply, RouteReply, Router};
+        let metrics_state = Arc::clone(&self.state);
+        let trace_state = Arc::clone(&self.state);
+        Router::new()
+            .route_text(
+                "/metrics",
+                Arc::new(move || collect_metrics(&metrics_state, false).to_prometheus()),
+            )
+            .route(
+                "/trace",
+                Arc::new(move |query: Option<String>| -> BoxedReply {
+                    let state = Arc::clone(&trace_state);
+                    Box::pin(async move {
+                        let req = query
+                            .as_deref()
+                            .and_then(|q| crate::http::query_param(q, "req"))
+                            .and_then(parse_req_id);
+                        let Some(req) = req else {
+                            return RouteReply::bad_request("missing or malformed req=<id>");
+                        };
+                        let spans = cluster_spans(&state, req).await;
+                        RouteReply::json(pls_telemetry::recorder::spans_to_json(&spans))
+                    })
+                }),
+            )
+            .route(
+                "/debug/recent",
+                Arc::new(move |_query: Option<String>| -> BoxedReply {
+                    Box::pin(async move { RouteReply::json(recent_json()) })
+                }),
+            )
+    }
+
     /// The full peer list with this server's resolved address.
     pub fn peers(&self) -> &[SocketAddr] {
         &self.state.cfg.peers
@@ -456,14 +504,77 @@ fn collect_metrics(state: &State, reset: bool) -> MetricsSnapshot {
     s
 }
 
+/// Parses a request id from a query parameter: decimal, or hex with a
+/// `0x` prefix (ids print large, so both appear in logs and scripts).
+fn parse_req_id(s: &str) -> Option<u64> {
+    match s.strip_prefix("0x").or_else(|| s.strip_prefix("0X")) {
+        Some(hex) => u64::from_str_radix(hex, 16).ok(),
+        None => s.parse().ok(),
+    }
+}
+
+/// Every span retained for `req` across the cluster: this process's
+/// flight recorder plus every reachable peer's (via [`Request::Trace`]),
+/// deduplicated and sorted by start time. Unreachable peers are
+/// skipped — a partial timeline beats none.
+async fn cluster_spans(state: &Arc<State>, req: u64) -> Vec<SpanRecord> {
+    let mut spans =
+        pls_telemetry::recorder::installed().map(|r| r.spans_for(req)).unwrap_or_default();
+    let id = state.next_id();
+    for (i, peer) in state.peers.iter().enumerate() {
+        if i == state.cfg.me {
+            continue;
+        }
+        if let Ok(Response::Spans(remote)) = peer.call(id, &Request::Trace { req }).await {
+            for s in remote {
+                if !spans.contains(&s) {
+                    spans.push(s);
+                }
+            }
+        }
+    }
+    spans.sort_by(|a, b| (a.start_us, a.elapsed_us).cmp(&(b.start_us, b.elapsed_us)));
+    spans
+}
+
+/// Ring spans served by `/debug/recent`, at most this many (the most
+/// recent ones).
+const RECENT_SPAN_LIMIT: usize = 256;
+
+/// The `/debug/recent` payload: the installed recorder's most recent
+/// ring spans, its pinned slow requests, and its counters. An empty
+/// object shape (zero capacity) when no recorder is installed.
+fn recent_json() -> String {
+    use pls_telemetry::json::{array, Object};
+    use pls_telemetry::recorder::spans_to_json;
+    let Some(recorder) = pls_telemetry::recorder::installed() else {
+        return Object::new().u64("capacity", 0).field("spans", "[]").field("pinned", "[]").build();
+    };
+    let ring = recorder.snapshot();
+    let tail = ring.len().saturating_sub(RECENT_SPAN_LIMIT);
+    let pinned = array(recorder.pinned().iter().map(|p| {
+        Object::new().u64("req_id", p.req_id).field("spans", &spans_to_json(&p.spans)).build()
+    }));
+    Object::new()
+        .u64("capacity", recorder.capacity() as u64)
+        .u64("recorded", recorder.recorded.get())
+        .u64("overwrites", recorder.overwrites.get())
+        .u64("slow_threshold_us", recorder.slow_threshold_us())
+        .field("spans", &spans_to_json(&ring[tail..]))
+        .field("pinned", &pinned)
+        .build()
+}
+
 async fn serve_connection(state: Arc<State>, mut socket: TcpStream) -> Result<(), ClusterError> {
     while let Some((req_id, payload)) = read_frame(&mut socket).await? {
         state.metrics.bytes_read.add(payload.len() as u64 + FRAME_OVERHEAD);
-        let response = match Request::decode(payload) {
+        let (response, service_us) = match Request::decode(payload) {
             Ok(req) => {
                 let op = req.op();
                 state.metrics.requests[op as usize].inc();
-                let span = Span::enter_with_id(Level::Debug, module_path!(), op.as_str(), req_id);
+                let mut span =
+                    Span::enter_with_id(Level::Debug, module_path!(), op.as_str(), req_id);
+                span.field("server", state.cfg.me);
                 let resp = match handle_request(&state, req_id, req).await {
                     Ok(resp) => resp,
                     Err(err) => {
@@ -492,7 +603,7 @@ async fn serve_connection(state: Arc<State>, mut socket: TcpStream) -> Result<()
                         );
                     }
                 }
-                resp
+                (resp, elapsed_us)
             }
             Err(err) => {
                 state.metrics.decode_errors.inc();
@@ -502,13 +613,15 @@ async fn serve_connection(state: Arc<State>, mut socket: TcpStream) -> Result<()
                     server = state.cfg.me,
                     err = err
                 );
-                Response::Error(err.to_string())
+                (Response::Error(err.to_string()), 0)
             }
         };
         let frame = response.encode();
         state.metrics.bytes_written.add(frame.len() as u64 + FRAME_OVERHEAD);
-        // Echo the request's id so the client can pair the response.
-        write_frame(&mut socket, req_id, &frame).await?;
+        // Echo the request's id so the client can pair the response, and
+        // stamp the reply frame with the server-side handling time so
+        // the caller can split RTT into network versus service time.
+        write_frame_timed(&mut socket, req_id, service_us, &frame).await?;
     }
     Ok(())
 }
@@ -538,7 +651,9 @@ async fn handle_request(
             Ok(Response::Ok)
         }
         Request::Probe { key, t } => {
-            let span = Span::enter_with_id(Level::Trace, module_path!(), "probe_sample", req_id);
+            let mut span =
+                Span::enter_with_id(Level::Trace, module_path!(), "probe_sample", req_id);
+            span.field("server", state.cfg.me);
             let entries = state.read_engine(&key, |e| e.sample(t as usize)).unwrap_or_default();
             state.metrics.probes[strategy_index(state.spec_of(&key))].inc();
             state.metrics.probe_entries_returned.add(entries.len() as u64);
@@ -595,6 +710,14 @@ async fn handle_request(
             Ok(Response::SpecOf(known.then(|| state.spec_of(&key))))
         }
         Request::Metrics { reset } => Ok(Response::Metrics(collect_metrics(state, reset))),
+        Request::Trace { req } => {
+            // Everything the flight recorder on this process retains for
+            // the request: ring records plus any pinned slow-request
+            // timeline. Empty when no recorder is installed.
+            let spans =
+                pls_telemetry::recorder::installed().map(|r| r.spans_for(req)).unwrap_or_default();
+            Ok(Response::Spans(spans))
+        }
     }
 }
 
@@ -653,10 +776,17 @@ async fn apply(
                 };
                 state.metrics.internal_sent.inc();
                 // Internal fan-out inherits the triggering request's id,
-                // so one client update correlates across every server.
+                // so one client update correlates across every server —
+                // and each send is a recorded span, so a request's
+                // timeline shows how long every peer delivery took.
+                let mut send_span =
+                    Span::enter_with_id(Level::Trace, module_path!(), "internal_send", req_id);
+                send_span.field("server", state.cfg.me);
+                send_span.field("peer", dest.index());
                 let call = state.peers[dest.index()]
                     .call_retry(req_id, &req, &state.cfg.retry, deadline)
                     .await;
+                drop(send_span);
                 if let Err(err) = call {
                     state.metrics.internal_send_failures.inc();
                     if err.is_unavailable() {

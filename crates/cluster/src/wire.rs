@@ -1,12 +1,16 @@
 //! Low-level framing and primitive encoding.
 //!
 //! Frames are a `u32` big-endian payload length, a `u64` big-endian
-//! **request id**, and then that many payload bytes. The id travels in
-//! the frame header — outside the request/response payloads — so every
-//! hop (client call, internal fan-out, response) carries its
-//! originating request's id without any message-type changes; servers
-//! echo the id of the request they are answering. Inside a payload,
-//! the primitives are:
+//! **request id**, a `u64` big-endian **service time** in microseconds,
+//! and then that many payload bytes. The id travels in the frame header
+//! — outside the request/response payloads — so every hop (client
+//! call, internal fan-out, response) carries its originating request's
+//! id without any message-type changes; servers echo the id of the
+//! request they are answering. The service-time field is zero on
+//! requests; on replies the server stamps how long it spent handling
+//! the request (decode → strategy execution → encode), letting the
+//! caller split each RPC's wall time into network RTT versus server
+//! work. Inside a payload, the primitives are:
 //!
 //! * `u8` / `u32` / `u64` — fixed-width big-endian;
 //! * `bytes` — `u32` length + raw bytes;
@@ -153,10 +157,36 @@ impl Writer {
 }
 
 /// Bytes a frame occupies on the wire beyond its payload: the `u32`
-/// length prefix plus the `u64` request id.
-pub const FRAME_OVERHEAD: u64 = 12;
+/// length prefix, the `u64` request id, and the `u64` service time.
+pub const FRAME_OVERHEAD: u64 = 20;
 
-/// Writes one frame (length prefix + request id + payload) to a stream.
+/// Writes one frame (length prefix + request id + service time +
+/// payload) to a stream. `service_us` is zero on requests; replies
+/// carry the server's handling time in microseconds.
+///
+/// # Errors
+///
+/// [`ClusterError::FrameTooLarge`] when the payload exceeds
+/// [`MAX_FRAME`]; I/O errors otherwise.
+pub async fn write_frame_timed<W: AsyncWriteExt + Unpin>(
+    stream: &mut W,
+    request_id: u64,
+    service_us: u64,
+    payload: &[u8],
+) -> Result<(), ClusterError> {
+    if payload.len() > MAX_FRAME {
+        return Err(ClusterError::FrameTooLarge(payload.len()));
+    }
+    stream.write_u32(payload.len() as u32).await?;
+    stream.write_u64(request_id).await?;
+    stream.write_u64(service_us).await?;
+    stream.write_all(payload).await?;
+    stream.flush().await?;
+    Ok(())
+}
+
+/// [`write_frame_timed`] with a zero service time — the request
+/// direction, and replies that carry no timing.
 ///
 /// # Errors
 ///
@@ -167,26 +197,20 @@ pub async fn write_frame<W: AsyncWriteExt + Unpin>(
     request_id: u64,
     payload: &[u8],
 ) -> Result<(), ClusterError> {
-    if payload.len() > MAX_FRAME {
-        return Err(ClusterError::FrameTooLarge(payload.len()));
-    }
-    stream.write_u32(payload.len() as u32).await?;
-    stream.write_u64(request_id).await?;
-    stream.write_all(payload).await?;
-    stream.flush().await?;
-    Ok(())
+    write_frame_timed(stream, request_id, 0, payload).await
 }
 
-/// Reads one frame from a stream, returning its request id and payload.
-/// Returns `None` on a clean EOF at a frame boundary.
+/// Reads one frame from a stream, returning its request id, service
+/// time, and payload. Returns `None` on a clean EOF at a frame
+/// boundary.
 ///
 /// # Errors
 ///
 /// [`ClusterError::FrameTooLarge`] for oversized length prefixes; I/O
 /// errors otherwise (including EOF mid-frame).
-pub async fn read_frame<R: AsyncReadExt + Unpin>(
+pub async fn read_frame_timed<R: AsyncReadExt + Unpin>(
     stream: &mut R,
-) -> Result<Option<(u64, Bytes)>, ClusterError> {
+) -> Result<Option<(u64, u64, Bytes)>, ClusterError> {
     let len = match stream.read_u32().await {
         Ok(len) => len as usize,
         Err(e) if e.kind() == std::io::ErrorKind::UnexpectedEof => return Ok(None),
@@ -196,9 +220,23 @@ pub async fn read_frame<R: AsyncReadExt + Unpin>(
         return Err(ClusterError::FrameTooLarge(len));
     }
     let request_id = stream.read_u64().await?;
+    let service_us = stream.read_u64().await?;
     let mut payload = vec![0u8; len];
     stream.read_exact(&mut payload).await?;
-    Ok(Some((request_id, Bytes::from(payload))))
+    Ok(Some((request_id, service_us, Bytes::from(payload))))
+}
+
+/// [`read_frame_timed`], discarding the service-time field — for call
+/// sites that only route on the id and payload.
+///
+/// # Errors
+///
+/// [`ClusterError::FrameTooLarge`] for oversized length prefixes; I/O
+/// errors otherwise (including EOF mid-frame).
+pub async fn read_frame<R: AsyncReadExt + Unpin>(
+    stream: &mut R,
+) -> Result<Option<(u64, Bytes)>, ClusterError> {
+    Ok(read_frame_timed(stream).await?.map(|(id, _service_us, payload)| (id, payload)))
 }
 
 #[cfg(test)]
@@ -256,6 +294,19 @@ mod tests {
         assert!(f2.is_empty());
         drop(a);
         assert!(read_frame(&mut b).await.unwrap().is_none());
+    }
+
+    #[tokio::test]
+    async fn service_time_roundtrips_and_defaults_to_zero() {
+        let (mut a, mut b) = tokio::io::duplex(1024);
+        write_frame_timed(&mut a, 7, 1234, b"reply").await.unwrap();
+        write_frame(&mut a, 8, b"req").await.unwrap();
+        let (id, service_us, payload) = read_frame_timed(&mut b).await.unwrap().unwrap();
+        assert_eq!((id, service_us, &payload[..]), (7, 1234, &b"reply"[..]));
+        let (id, service_us, payload) = read_frame_timed(&mut b).await.unwrap().unwrap();
+        assert_eq!((id, service_us, &payload[..]), (8, 0, &b"req"[..]));
+        drop(a);
+        assert!(read_frame_timed(&mut b).await.unwrap().is_none());
     }
 
     #[tokio::test]

@@ -1,0 +1,238 @@
+//! Exposition-compliance lint for `GET /metrics`: the Prometheus text
+//! format is a protocol, and scrapers reject or misparse output that
+//! violates it. This test drives real traffic through a live server,
+//! scrapes the debug endpoint, and checks the body line by line:
+//! every family declares exactly one `# HELP` and one `# TYPE` (in
+//! that order, before its samples), no family is split across blocks,
+//! every sample belongs to a declared family, and the response carries
+//! the standard `text/plain; version=0.0.4` content type.
+
+use std::collections::{HashMap, HashSet};
+use std::net::SocketAddr;
+use std::sync::Arc;
+
+use pls_cluster::{Client, ClientConfig, Server, ServerConfig};
+use pls_core::StrategySpec;
+
+async fn http_get(addr: SocketAddr, target: &str) -> (String, String, String) {
+    use tokio::io::{AsyncReadExt, AsyncWriteExt};
+    let mut stream = tokio::net::TcpStream::connect(addr).await.expect("connect");
+    let req = format!("GET {target} HTTP/1.1\r\nHost: test\r\nConnection: close\r\n\r\n");
+    stream.write_all(req.as_bytes()).await.expect("write");
+    let mut raw = Vec::new();
+    stream.read_to_end(&mut raw).await.expect("read");
+    let text = String::from_utf8(raw).expect("utf8 response");
+    let (head, body) = text.split_once("\r\n\r\n").expect("header/body split");
+    let (status, headers) = head.split_once("\r\n").unwrap_or((head, ""));
+    (status.to_string(), headers.to_string(), body.to_string())
+}
+
+/// The family a sample line belongs to: its name up to any label
+/// block, with histogram `_bucket`/`_sum`/`_count` suffixes folded
+/// back onto the histogram family that declared them.
+fn family_of<'a>(sample_name: &'a str, histograms: &HashSet<&str>) -> &'a str {
+    let base = sample_name.split('{').next().unwrap_or(sample_name);
+    for suffix in ["_bucket", "_sum", "_count"] {
+        if let Some(stripped) = base.strip_suffix(suffix) {
+            if histograms.contains(stripped) {
+                return stripped;
+            }
+        }
+    }
+    base
+}
+
+#[tokio::test]
+async fn metrics_exposition_passes_the_format_lint() {
+    // One real server with real traffic, so counters, gauges, *and*
+    // histograms all have samples in the scrape.
+    let listener = tokio::net::TcpListener::bind("127.0.0.1:0").await.expect("bind");
+    let addr = listener.local_addr().expect("addr");
+    let spec = StrategySpec::full_replication();
+    let cfg = ServerConfig::new(0, vec![addr], spec, 77);
+    let (server, _) = Server::with_listener(cfg, listener).expect("server");
+
+    let http_listener = tokio::net::TcpListener::bind("127.0.0.1:0").await.expect("bind http");
+    let http_addr = http_listener.local_addr().expect("http addr");
+    tokio::spawn(pls_cluster::http::serve_router(http_listener, Arc::new(server.router())));
+    tokio::spawn(server.run());
+
+    let mut client = Client::connect(ClientConfig::new(vec![addr], spec, 78));
+    let entries: Vec<Vec<u8>> = (0..4).map(|i| format!("e{i}").into_bytes()).collect();
+    client.place(b"lint-key", entries).await.expect("place");
+    for _ in 0..5 {
+        let got = client.partial_lookup(b"lint-key", 4).await.expect("lookup");
+        assert_eq!(got.len(), 4);
+    }
+
+    let (status, headers, body) = http_get(http_addr, "/metrics").await;
+    assert!(status.contains("200"), "{status}");
+    let content_type = headers
+        .lines()
+        .find_map(|l| l.split_once(':').filter(|(k, _)| k.eq_ignore_ascii_case("content-type")))
+        .map(|(_, v)| v.trim().to_string())
+        .expect("no content-type header");
+    assert!(
+        content_type.starts_with("text/plain; version=0.0.4"),
+        "non-standard exposition content type: {content_type}"
+    );
+
+    // Walk the body: HELP -> TYPE -> samples per family, no repeats.
+    let mut helps: HashMap<String, usize> = HashMap::new();
+    let mut types: HashMap<String, String> = HashMap::new();
+    let mut histograms: HashSet<&str> = HashSet::new();
+    let mut closed_families: HashSet<String> = HashSet::new();
+    let mut current: Option<String> = None;
+    let mut saw_samples = 0usize;
+    for (ln, line) in body.lines().enumerate() {
+        if line.is_empty() {
+            continue;
+        }
+        if let Some(rest) = line.strip_prefix("# HELP ") {
+            let family = rest.split(' ').next().expect("HELP family").to_string();
+            assert!(rest.len() > family.len() + 1, "line {ln}: HELP for {family} has no text");
+            *helps.entry(family.clone()).or_insert(0) += 1;
+            assert_eq!(helps[&family], 1, "line {ln}: duplicate HELP for {family}");
+            assert!(
+                !closed_families.contains(&family),
+                "line {ln}: family {family} split across blocks"
+            );
+            if let Some(prev) = current.replace(family) {
+                closed_families.insert(prev);
+            }
+        } else if let Some(rest) = line.strip_prefix("# TYPE ") {
+            let mut parts = rest.split(' ');
+            let family = parts.next().expect("TYPE family").to_string();
+            let kind = parts.next().expect("TYPE kind");
+            assert!(
+                ["counter", "gauge", "histogram"].contains(&kind),
+                "line {ln}: unknown type {kind}"
+            );
+            assert_eq!(
+                types.insert(family.clone(), kind.to_string()),
+                None,
+                "line {ln}: duplicate TYPE for {family}"
+            );
+            assert_eq!(
+                current.as_deref(),
+                Some(family.as_str()),
+                "line {ln}: TYPE {family} does not follow its own HELP"
+            );
+            if kind == "histogram" {
+                histograms.insert(rest.split(' ').next().unwrap());
+            }
+        } else if let Some(comment) = line.strip_prefix('#') {
+            panic!("line {ln}: unknown comment `#{comment}`");
+        } else {
+            let name = line.split(|c| c == ' ' || c == '{').next().expect("sample name");
+            let family = family_of(name, &histograms);
+            assert_eq!(
+                current.as_deref(),
+                Some(family),
+                "line {ln}: sample {name} outside its family's block"
+            );
+            assert!(types.contains_key(family), "line {ln}: sample {name} has no TYPE declaration");
+            let value = line.rsplit(' ').next().expect("sample value");
+            assert!(
+                value.parse::<f64>().is_ok() || value == "+Inf" || value == "NaN",
+                "line {ln}: unparseable sample value `{value}`"
+            );
+            saw_samples += 1;
+        }
+    }
+
+    // Every declared family carries both metadata lines, and the
+    // scrape actually contained data.
+    assert!(saw_samples > 0, "scrape had no samples at all");
+    for family in types.keys() {
+        assert!(helps.contains_key(family), "family {family} has TYPE but no HELP");
+    }
+    for family in helps.keys() {
+        assert!(types.contains_key(family), "family {family} has HELP but no TYPE");
+    }
+    // Families the tentpole depends on must be present with samples.
+    for must in ["pls_requests_total", "pls_request_latency_us", "pls_live_coverage"] {
+        assert!(types.contains_key(must), "core family {must} missing from scrape");
+    }
+}
+
+/// Delta-scraping race hammer: `Request::Metrics { reset: true }`
+/// drains counters and histograms while traffic is still landing.
+/// Whatever interleaving the scrapes hit, nothing may be lost or
+/// double-counted — summed over every drained snapshot (plus one final
+/// drain after traffic stops), the probe counter must equal the exact
+/// number of lookups issued, and the request-latency histogram must
+/// have observed exactly as many requests as the request counter saw.
+#[tokio::test]
+async fn resetting_scrapes_conserve_counts_under_load() {
+    const LOOKUPS: u64 = 400;
+
+    let listener = tokio::net::TcpListener::bind("127.0.0.1:0").await.expect("bind");
+    let addr = listener.local_addr().expect("addr");
+    let spec = StrategySpec::full_replication();
+    let cfg = ServerConfig::new(0, vec![addr], spec, 79);
+    let (server, _) = Server::with_listener(cfg, listener).expect("server");
+    tokio::spawn(server.run());
+
+    let mut setup = Client::connect(ClientConfig::new(vec![addr], spec, 80));
+    setup.place(b"hammer-key", vec![b"e0".to_vec(), b"e1".to_vec()]).await.expect("place");
+
+    // Writer: LOOKUPS sequential lookups, one probe request each
+    // (full replication satisfies t from the single server).
+    let mut writer = tokio::spawn(async move {
+        for _ in 0..LOOKUPS {
+            let got = setup.partial_lookup(b"hammer-key", 2).await.expect("lookup");
+            assert_eq!(got.len(), 2);
+        }
+    });
+
+    // Scraper: drain as fast as possible while the writer runs.
+    let scraper = Client::connect(ClientConfig::new(vec![addr], spec, 81));
+    let mut probes_drained = 0u64;
+    let mut requests_drained = 0u64;
+    let mut latency_count_drained = 0u64;
+    let mut drains = 0u64;
+    let mut accumulate = |snap: &pls_telemetry::MetricsSnapshot| {
+        probes_drained += snap.counter_sum("pls_probes_total");
+        requests_drained += snap.counter_sum("pls_requests_total");
+        latency_count_drained +=
+            snap.histogram("pls_request_latency_us").map(|h| h.count).unwrap_or(0);
+        // Live gauges are recomputed per scrape and must stay finite
+        // even when a reset races the traffic feeding them.
+        let coverage = snap.gauge("pls_live_coverage").expect("coverage gauge");
+        assert!(coverage.is_finite(), "coverage went non-finite mid-reset: {coverage}");
+    };
+    loop {
+        let snap = scraper.metrics_of(0, true).await.expect("scrape");
+        accumulate(&snap);
+        drains += 1;
+        tokio::select! {
+            res = &mut writer => {
+                res.expect("writer");
+                break;
+            }
+            _ = tokio::time::sleep(std::time::Duration::from_micros(500)) => {}
+        }
+    }
+    // Everything has landed; one final drain picks up the remainder.
+    let last = scraper.metrics_of(0, true).await.expect("final scrape");
+    accumulate(&last);
+    drains += 1;
+
+    assert!(drains >= 2, "hammer never overlapped a drain with traffic");
+    assert_eq!(
+        probes_drained, LOOKUPS,
+        "probe counter lost or double-counted across {drains} resetting scrapes"
+    );
+    // Every request increments the counter and observes the latency
+    // histogram; racing resets may split them across scrapes but the
+    // totals must agree. The final scrape's own request lands after
+    // its drain, so the two sides may differ by at most that one
+    // in-flight request.
+    let diff = requests_drained.abs_diff(latency_count_drained);
+    assert!(
+        diff <= 1,
+        "counter drained {requests_drained} requests but histogram drained \
+         {latency_count_drained} observations over {drains} scrapes"
+    );
+}

@@ -1,0 +1,152 @@
+//! Minimal JSON emission, shared by every artifact writer.
+//!
+//! The workspace deliberately carries no serde: the JSON this system
+//! emits — span timelines (`/trace`), recent-activity dumps
+//! (`/debug/recent`), benchmark artifacts (`BENCH_*.json`), Chrome
+//! trace files — is all *output*, built from a handful of scalar
+//! shapes. These helpers cover exactly that: correct string escaping
+//! and a tiny object/array builder, nothing else. There is no parser
+//! here on purpose; nothing in the system consumes JSON.
+
+use std::fmt::Write as _;
+
+/// Escapes `s` for inclusion inside a JSON string literal (without the
+/// surrounding quotes): `"`, `\`, and control characters per RFC 8259.
+pub fn escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// A quoted, escaped JSON string literal.
+pub fn string(s: &str) -> String {
+    format!("\"{}\"", escape(s))
+}
+
+/// A JSON number from an `f64`: finite values print with enough digits
+/// to round-trip; non-finite values (which JSON cannot represent)
+/// become `null`.
+pub fn number(v: f64) -> String {
+    if v.is_finite() {
+        // `{:?}` on f64 is the shortest representation that parses back
+        // to the same value, and always contains a `.` or exponent.
+        format!("{v:?}")
+    } else {
+        "null".to_string()
+    }
+}
+
+/// Incremental builder for one JSON object: `field` takes an
+/// already-rendered JSON value, the typed variants render it for you.
+#[derive(Debug, Default)]
+pub struct Object {
+    body: String,
+}
+
+impl Object {
+    /// An empty object.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Appends `"key": value` with `value` already valid JSON.
+    pub fn field(mut self, key: &str, value: &str) -> Self {
+        if !self.body.is_empty() {
+            self.body.push(',');
+        }
+        let _ = write!(self.body, "{}:{}", string(key), value);
+        self
+    }
+
+    /// Appends a string field (escaped and quoted).
+    pub fn string(self, key: &str, value: &str) -> Self {
+        let rendered = string(value);
+        self.field(key, &rendered)
+    }
+
+    /// Appends an integer field.
+    pub fn u64(self, key: &str, value: u64) -> Self {
+        self.field(key, &value.to_string())
+    }
+
+    /// Appends a float field ([`number`] semantics).
+    pub fn f64(self, key: &str, value: f64) -> Self {
+        self.field(key, &number(value))
+    }
+
+    /// Appends a boolean field.
+    pub fn bool(self, key: &str, value: bool) -> Self {
+        self.field(key, if value { "true" } else { "false" })
+    }
+
+    /// Renders the finished object.
+    pub fn build(self) -> String {
+        format!("{{{}}}", self.body)
+    }
+}
+
+/// Renders already-encoded JSON values as an array.
+pub fn array<I: IntoIterator<Item = String>>(items: I) -> String {
+    let mut out = String::from("[");
+    for (i, item) in items.into_iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&item);
+    }
+    out.push(']');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn strings_are_escaped_per_rfc() {
+        assert_eq!(string("plain"), "\"plain\"");
+        assert_eq!(string("a\"b\\c"), "\"a\\\"b\\\\c\"");
+        assert_eq!(string("line\nbreak\ttab"), "\"line\\nbreak\\ttab\"");
+        assert_eq!(string("\u{1}"), "\"\\u0001\"");
+        // Non-ASCII passes through unescaped (JSON is UTF-8).
+        assert_eq!(string("é"), "\"é\"");
+    }
+
+    #[test]
+    fn numbers_roundtrip_and_nonfinite_is_null() {
+        assert_eq!(number(1.5), "1.5");
+        assert_eq!(number(0.0), "0.0");
+        assert_eq!(number(f64::NAN), "null");
+        assert_eq!(number(f64::INFINITY), "null");
+    }
+
+    #[test]
+    fn objects_and_arrays_compose() {
+        let obj = Object::new()
+            .string("name", "probe")
+            .u64("elapsed_us", 42)
+            .f64("ratio", 0.5)
+            .bool("ok", true)
+            .field("nested", &array(vec!["1".to_string(), "\"x\"".to_string()]))
+            .build();
+        assert_eq!(
+            obj,
+            "{\"name\":\"probe\",\"elapsed_us\":42,\"ratio\":0.5,\
+             \"ok\":true,\"nested\":[1,\"x\"]}"
+        );
+        assert_eq!(array(Vec::<String>::new()), "[]");
+        assert_eq!(Object::new().build(), "{}");
+    }
+}

@@ -39,7 +39,9 @@
 pub mod counter;
 pub mod gauge;
 pub mod histogram;
+pub mod json;
 pub mod keyed;
+pub mod recorder;
 pub mod snapshot;
 pub mod topk;
 pub mod trace;
@@ -48,6 +50,7 @@ pub use counter::Counter;
 pub use gauge::Gauge;
 pub use histogram::{Histogram, HistogramSnapshot, BUCKETS};
 pub use keyed::{KeyedCounterMap, KeyedSnapshot};
+pub use recorder::{PinnedRequest, Recorder, SpanRecord};
 pub use snapshot::MetricsSnapshot;
 pub use topk::{TopK, TopKEntry, TopKSnapshot};
 pub use trace::{Level, Span};

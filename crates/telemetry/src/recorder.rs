@@ -1,0 +1,416 @@
+//! Flight recorder: a bounded, in-memory ring of completed spans.
+//!
+//! Aggregate metrics answer "how slow are lookups on average?"; the
+//! recorder answers "*where did this one request spend its time?*". It
+//! keeps the last `capacity` completed [`SpanRecord`]s — one per
+//! [`Span`](crate::trace::Span) drop — in a fixed-size ring indexed by
+//! a single atomic write cursor, so recording costs one `fetch_add`
+//! plus an uncontended per-slot lock and never allocates on the hot
+//! path beyond the record itself.
+//!
+//! Slow requests get special treatment: when a span finishes over the
+//! configured threshold ([`Recorder::set_slow_threshold_us`]) and
+//! carries a request id, every record of that request is copied into a
+//! bounded **pin list** that the ring's wraparound cannot evict — the
+//! interesting outliers survive even under heavy traffic.
+//!
+//! One recorder may be installed process-wide ([`install`]); the
+//! `trace::Span` drop path feeds it regardless of the logging level,
+//! so traces are retained even when nothing is printed.
+
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, RwLock};
+use std::time::{SystemTime, UNIX_EPOCH};
+
+use crate::counter::Counter;
+
+/// Default ring capacity when none is given.
+pub const DEFAULT_CAPACITY: usize = 4096;
+
+/// Maximum number of pinned slow requests retained at once. When full,
+/// the oldest pin is evicted to make room for a newer slow request.
+pub const MAX_PINS: usize = 32;
+
+/// One completed span, as retained by the recorder.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SpanRecord {
+    /// Request id the span was entered with, if any (`req=` on events).
+    pub req_id: Option<u64>,
+    /// Span name (`partial_lookup`, `probe`, ...).
+    pub name: String,
+    /// Module path that opened the span.
+    pub target: String,
+    /// Wall-clock start, microseconds since the Unix epoch.
+    pub start_us: u64,
+    /// Span duration in microseconds.
+    pub elapsed_us: u64,
+    /// Extra key/value fields attached to the span.
+    pub fields: Vec<(String, String)>,
+}
+
+impl SpanRecord {
+    /// Looks up a field value by key.
+    pub fn field(&self, key: &str) -> Option<&str> {
+        self.fields.iter().find(|(k, _)| k == key).map(|(_, v)| v.as_str())
+    }
+
+    /// Renders this record as one JSON object — the element shape of
+    /// the `/trace?req=<id>` and `/debug/recent` payloads.
+    pub fn to_json(&self) -> String {
+        let fields =
+            crate::json::array(self.fields.iter().map(|(k, v)| {
+                crate::json::Object::new().string("key", k).string("value", v).build()
+            }));
+        let mut obj = crate::json::Object::new();
+        obj = match self.req_id {
+            Some(id) => obj.u64("req_id", id),
+            None => obj.field("req_id", "null"),
+        };
+        obj.string("name", &self.name)
+            .string("target", &self.target)
+            .u64("start_us", self.start_us)
+            .u64("elapsed_us", self.elapsed_us)
+            .field("fields", &fields)
+            .build()
+    }
+}
+
+/// Renders a slice of records as a JSON array, oldest-first as given.
+pub fn spans_to_json(spans: &[SpanRecord]) -> String {
+    crate::json::array(spans.iter().map(SpanRecord::to_json))
+}
+
+/// A slow request retained by the pin list: every record seen for one
+/// request id at and since the moment it crossed the slow threshold.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PinnedRequest {
+    /// The request id all pinned spans share.
+    pub req_id: u64,
+    /// The spans of that request, oldest first.
+    pub spans: Vec<SpanRecord>,
+}
+
+/// Fixed-capacity ring buffer of [`SpanRecord`]s with an atomic write
+/// cursor, plus the slow-request pin list.
+///
+/// Writers reserve a slot with one `fetch_add` on the cursor and then
+/// take that slot's own mutex — two writers only contend when the ring
+/// has wrapped all the way around between them, so the recording path
+/// stays effectively lock-free under any realistic load.
+#[derive(Debug)]
+pub struct Recorder {
+    slots: Vec<Mutex<Option<SpanRecord>>>,
+    /// Total records ever written; `cursor % capacity` is the next slot.
+    cursor: AtomicU64,
+    /// Records accepted by [`Recorder::record`].
+    pub recorded: Counter,
+    /// Records evicted by ring wraparound (not counting pinned copies).
+    pub overwrites: Counter,
+    /// Spans at or above this duration (with a request id) are pinned;
+    /// 0 disables pinning.
+    slow_threshold_us: AtomicU64,
+    pins: Mutex<VecDeque<PinnedRequest>>,
+}
+
+impl Default for Recorder {
+    fn default() -> Self {
+        Self::new(DEFAULT_CAPACITY)
+    }
+}
+
+impl Recorder {
+    /// A recorder holding the last `capacity` spans (minimum 1).
+    pub fn new(capacity: usize) -> Self {
+        let capacity = capacity.max(1);
+        Recorder {
+            slots: (0..capacity).map(|_| Mutex::new(None)).collect(),
+            cursor: AtomicU64::new(0),
+            recorded: Counter::default(),
+            overwrites: Counter::default(),
+            slow_threshold_us: AtomicU64::new(0),
+            pins: Mutex::new(VecDeque::new()),
+        }
+    }
+
+    /// The ring capacity.
+    pub fn capacity(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// Sets the slow-request threshold in microseconds (0 disables
+    /// pinning). Typically wired from `--slow-ms`.
+    pub fn set_slow_threshold_us(&self, us: u64) {
+        self.slow_threshold_us.store(us, Ordering::Relaxed);
+    }
+
+    /// The current slow-request threshold in microseconds.
+    pub fn slow_threshold_us(&self) -> u64 {
+        self.slow_threshold_us.load(Ordering::Relaxed)
+    }
+
+    /// Appends one completed span to the ring; pins its request if the
+    /// span crossed the slow threshold.
+    pub fn record(&self, record: SpanRecord) {
+        let seq = self.cursor.fetch_add(1, Ordering::Relaxed);
+        let idx = usize::try_from(seq).unwrap_or(usize::MAX) % self.slots.len();
+        let evicted = {
+            let mut slot =
+                self.slots[idx].lock().unwrap_or_else(std::sync::PoisonError::into_inner);
+            slot.replace(record.clone())
+        };
+        self.recorded.inc();
+        if evicted.is_some() {
+            self.overwrites.inc();
+        }
+        let threshold = self.slow_threshold_us.load(Ordering::Relaxed);
+        if threshold > 0 && record.elapsed_us >= threshold {
+            if let Some(req_id) = record.req_id {
+                self.pin(req_id, record);
+            }
+        }
+    }
+
+    /// Copies `latest` plus every ring record for `req_id` into the pin
+    /// list (appending if the request is already pinned).
+    fn pin(&self, req_id: u64, latest: SpanRecord) {
+        // Gather the request's surviving ring records *before* taking
+        // the pin lock (slot locks and the pin lock never nest).
+        let mut spans: Vec<SpanRecord> =
+            self.snapshot().into_iter().filter(|r| r.req_id == Some(req_id)).collect();
+        if !spans.contains(&latest) {
+            spans.push(latest);
+        }
+        let mut pins = self.pins.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
+        if let Some(pin) = pins.iter_mut().find(|p| p.req_id == req_id) {
+            for s in spans {
+                if !pin.spans.contains(&s) {
+                    pin.spans.push(s);
+                }
+            }
+            return;
+        }
+        if pins.len() >= MAX_PINS {
+            pins.pop_front();
+        }
+        pins.push_back(PinnedRequest { req_id, spans });
+    }
+
+    /// The ring's current contents, oldest first. Concurrent writers
+    /// may land records while the walk is in progress; the result is a
+    /// best-effort consistent view, sorted by wall-clock start.
+    pub fn snapshot(&self) -> Vec<SpanRecord> {
+        let seq = self.cursor.load(Ordering::Relaxed);
+        let cap = self.slots.len() as u64;
+        let first = seq.saturating_sub(cap);
+        let mut out = Vec::new();
+        for offset in 0..cap {
+            let idx = usize::try_from((first + offset) % cap).unwrap_or(0);
+            let slot = self.slots[idx].lock().unwrap_or_else(std::sync::PoisonError::into_inner);
+            if let Some(r) = slot.as_ref() {
+                out.push(r.clone());
+            }
+        }
+        out.sort_by(|a, b| a.start_us.cmp(&b.start_us).then(a.elapsed_us.cmp(&b.elapsed_us)));
+        out
+    }
+
+    /// The pinned slow requests, oldest pin first.
+    pub fn pinned(&self) -> Vec<PinnedRequest> {
+        self.pins
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+            .iter()
+            .cloned()
+            .collect()
+    }
+
+    /// Every retained record for one request id — ring and pin list
+    /// combined, deduplicated, sorted by start time. This is what
+    /// `/trace?req=<id>` serves per node.
+    pub fn spans_for(&self, req_id: u64) -> Vec<SpanRecord> {
+        let mut out: Vec<SpanRecord> =
+            self.snapshot().into_iter().filter(|r| r.req_id == Some(req_id)).collect();
+        let pins = self.pins.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
+        if let Some(pin) = pins.iter().find(|p| p.req_id == req_id) {
+            for s in &pin.spans {
+                if !out.contains(s) {
+                    out.push(s.clone());
+                }
+            }
+        }
+        drop(pins);
+        out.sort_by(|a, b| a.start_us.cmp(&b.start_us).then(a.elapsed_us.cmp(&b.elapsed_us)));
+        out
+    }
+}
+
+/// The process-global recorder slot, mirroring the tracing sink:
+/// installed once by a binary, fed by every `Span` drop.
+static RECORDER: RwLock<Option<Arc<Recorder>>> = RwLock::new(None);
+/// Fast-path flag so span drops skip the lock when nothing is installed.
+static RECORDER_SET: AtomicBool = AtomicBool::new(false);
+
+/// Installs (or, with `None`, removes) the process-global recorder.
+pub fn install(recorder: Option<Arc<Recorder>>) {
+    let mut slot = RECORDER.write().unwrap_or_else(std::sync::PoisonError::into_inner);
+    RECORDER_SET.store(recorder.is_some(), Ordering::Release);
+    *slot = recorder;
+}
+
+/// The currently installed recorder, if any.
+pub fn installed() -> Option<Arc<Recorder>> {
+    if !RECORDER_SET.load(Ordering::Acquire) {
+        return None;
+    }
+    RECORDER.read().unwrap_or_else(std::sync::PoisonError::into_inner).clone()
+}
+
+/// Records one completed span into the installed recorder, if any.
+/// Called from the `Span` drop path; also usable directly for
+/// synthesized records (e.g. client-side per-probe decompositions).
+pub fn record(record: SpanRecord) {
+    if let Some(r) = installed() {
+        r.record(record);
+    }
+}
+
+/// Microseconds since the Unix epoch, saturating.
+pub fn unix_us() -> u64 {
+    SystemTime::now()
+        .duration_since(UNIX_EPOCH)
+        .map(|d| u64::try_from(d.as_micros()).unwrap_or(u64::MAX))
+        .unwrap_or(0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rec(req: u64, name: &str, elapsed: u64) -> SpanRecord {
+        SpanRecord {
+            req_id: Some(req),
+            name: name.to_string(),
+            target: "test".to_string(),
+            start_us: unix_us(),
+            elapsed_us: elapsed,
+            fields: Vec::new(),
+        }
+    }
+
+    #[test]
+    fn ring_retains_last_capacity_records_and_counts_overwrites() {
+        let r = Recorder::new(4);
+        for i in 0..10u64 {
+            r.record(SpanRecord { start_us: i, ..rec(i, "s", 1) });
+        }
+        let snap = r.snapshot();
+        assert_eq!(snap.len(), 4);
+        let ids: Vec<u64> = snap.iter().map(|s| s.req_id.unwrap()).collect();
+        assert_eq!(ids, vec![6, 7, 8, 9]);
+        assert_eq!(r.recorded.get(), 10);
+        assert_eq!(r.overwrites.get(), 6);
+        assert_eq!(r.capacity(), 4);
+    }
+
+    #[test]
+    fn slow_requests_are_pinned_and_survive_wraparound() {
+        let r = Recorder::new(4);
+        r.set_slow_threshold_us(1_000);
+        // A fast span for the victim request, then its slow root.
+        r.record(SpanRecord { start_us: 1, ..rec(77, "probe", 10) });
+        r.record(SpanRecord { start_us: 2, ..rec(77, "lookup", 5_000) });
+        // Flood the ring so both records are overwritten.
+        for i in 0..16u64 {
+            r.record(SpanRecord { start_us: 100 + i, ..rec(i, "noise", 1) });
+        }
+        assert!(r.snapshot().iter().all(|s| s.req_id != Some(77)));
+        let pins = r.pinned();
+        assert_eq!(pins.len(), 1);
+        assert_eq!(pins[0].req_id, 77);
+        let names: Vec<&str> = pins[0].spans.iter().map(|s| s.name.as_str()).collect();
+        assert_eq!(names, vec!["probe", "lookup"]);
+        // spans_for merges pinned records back in.
+        let spans = r.spans_for(77);
+        assert_eq!(spans.len(), 2);
+    }
+
+    #[test]
+    fn fast_spans_are_not_pinned_and_zero_threshold_disables_pinning() {
+        let r = Recorder::new(8);
+        r.set_slow_threshold_us(1_000);
+        r.record(rec(1, "quick", 10));
+        assert!(r.pinned().is_empty());
+        r.set_slow_threshold_us(0);
+        r.record(rec(2, "slow_but_untracked", 1_000_000));
+        assert!(r.pinned().is_empty());
+    }
+
+    #[test]
+    fn pin_list_is_bounded() {
+        let r = Recorder::new(8);
+        r.set_slow_threshold_us(1);
+        for i in 0..(MAX_PINS as u64 + 5) {
+            r.record(SpanRecord { start_us: i, ..rec(i, "slow", 10) });
+        }
+        let pins = r.pinned();
+        assert_eq!(pins.len(), MAX_PINS);
+        // Oldest pins were evicted first.
+        assert_eq!(pins[0].req_id, 5);
+    }
+
+    #[test]
+    fn spans_without_request_id_are_recorded_but_never_pinned() {
+        let r = Recorder::new(8);
+        r.set_slow_threshold_us(1);
+        r.record(SpanRecord { req_id: None, ..rec(0, "anon", 10_000) });
+        assert_eq!(r.snapshot().len(), 1);
+        assert!(r.pinned().is_empty());
+    }
+
+    #[test]
+    fn field_lookup() {
+        let mut s = rec(1, "probe", 5);
+        s.fields.push(("server".to_string(), "2".to_string()));
+        assert_eq!(s.field("server"), Some("2"));
+        assert_eq!(s.field("missing"), None);
+    }
+
+    #[test]
+    fn span_records_render_as_json() {
+        let mut s = rec(7, "probe", 42);
+        s.start_us = 1000;
+        s.fields.push(("server".to_string(), "2".to_string()));
+        assert_eq!(
+            s.to_json(),
+            "{\"req_id\":7,\"name\":\"probe\",\"target\":\"test\",\
+             \"start_us\":1000,\"elapsed_us\":42,\
+             \"fields\":[{\"key\":\"server\",\"value\":\"2\"}]}"
+        );
+        let anon = SpanRecord { req_id: None, fields: Vec::new(), ..s.clone() };
+        assert!(anon.to_json().starts_with("{\"req_id\":null,"));
+        assert_eq!(spans_to_json(&[]), "[]");
+        assert!(spans_to_json(&[s.clone(), anon]).starts_with("[{\"req_id\":7,"));
+    }
+
+    #[test]
+    fn concurrent_recording_conserves_counts() {
+        use std::sync::Arc;
+        let r = Arc::new(Recorder::new(64));
+        let mut handles = Vec::new();
+        for t in 0..4u64 {
+            let r = Arc::clone(&r);
+            handles.push(std::thread::spawn(move || {
+                for i in 0..500u64 {
+                    r.record(rec(t * 1000 + i, "hammer", 1));
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(r.recorded.get(), 2000);
+        assert_eq!(r.snapshot().len(), 64);
+        assert_eq!(r.overwrites.get(), 2000 - 64);
+    }
+}

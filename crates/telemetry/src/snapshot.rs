@@ -27,6 +27,11 @@ pub struct MetricsSnapshot {
     pub gauges: Vec<(String, f64)>,
     /// `(name, snapshot)` pairs, in insertion order.
     pub histograms: Vec<(String, HistogramSnapshot)>,
+    /// `(family, help text)` pairs consulted by
+    /// [`to_prometheus`](MetricsSnapshot::to_prometheus); families
+    /// without an entry get a generated description, so every exported
+    /// family always carries a `# HELP` line.
+    pub helps: Vec<(String, String)>,
 }
 
 impl MetricsSnapshot {
@@ -60,6 +65,30 @@ impl MetricsSnapshot {
         match self.histograms.iter_mut().find(|(n, _)| *n == name) {
             Some((_, h)) => h.merge(&snap),
             None => self.histograms.push((name, snap)),
+        }
+    }
+
+    /// Sets the `# HELP` text for a metric family (the series name up
+    /// to any `{`), replacing any prior text.
+    pub fn set_help(&mut self, family: impl Into<String>, text: impl Into<String>) {
+        let family = family.into();
+        let text = text.into();
+        match self.helps.iter_mut().find(|(f, _)| *f == family) {
+            Some((_, t)) => *t = text,
+            None => self.helps.push((family, text)),
+        }
+    }
+
+    /// The `# HELP` text for `family`: the registered text if any,
+    /// otherwise a description generated from the family's kind.
+    fn help_text(&self, family: &str, kind: &str) -> String {
+        if let Some((_, t)) = self.helps.iter().find(|(f, _)| f == family) {
+            return escape_help(t);
+        }
+        match kind {
+            "counter" => format!("Monotonic total of {family} events."),
+            "histogram" => format!("Distribution of {family} observations (log2 buckets)."),
+            _ => format!("Point-in-time reading of {family}."),
         }
     }
 
@@ -98,6 +127,11 @@ impl MetricsSnapshot {
         for (name, snap) in &other.histograms {
             self.push_histogram(name.clone(), snap.clone());
         }
+        for (family, text) in &other.helps {
+            if !self.helps.iter().any(|(f, _)| f == family) {
+                self.helps.push((family.clone(), text.clone()));
+            }
+        }
     }
 
     /// Renders the snapshot in the Prometheus text exposition format
@@ -114,6 +148,7 @@ impl MetricsSnapshot {
         }
         for (family, samples) in families {
             let kind = if family.ends_with("_total") { "counter" } else { "gauge" };
+            let _ = writeln!(out, "# HELP {family} {}", self.help_text(family, kind));
             let _ = writeln!(out, "# TYPE {family} {kind}");
             let mut samples = samples;
             samples.sort_by(|a, b| a.0.cmp(b.0));
@@ -129,6 +164,7 @@ impl MetricsSnapshot {
             gauge_families.entry(family).or_default().push((name, *value));
         }
         for (family, mut samples) in gauge_families {
+            let _ = writeln!(out, "# HELP {family} {}", self.help_text(family, "gauge"));
             let _ = writeln!(out, "# TYPE {family} gauge");
             samples.sort_by(|a, b| a.0.cmp(b.0));
             for (name, value) in samples {
@@ -140,6 +176,7 @@ impl MetricsSnapshot {
             self.histograms.iter().map(|(n, h)| (n.as_str(), h)).collect();
         hists.sort_by(|a, b| a.0.cmp(b.0));
         for (name, snap) in hists {
+            let _ = writeln!(out, "# HELP {name} {}", self.help_text(name, "histogram"));
             let _ = writeln!(out, "# TYPE {name} histogram");
             let mut cumulative = 0u64;
             for (i, b) in snap.buckets.iter().enumerate() {
@@ -161,6 +198,20 @@ impl MetricsSnapshot {
         }
         out
     }
+}
+
+/// Escapes `# HELP` text for the exposition format: backslash and
+/// newline must be backslash-escaped (quotes are fine in help text).
+fn escape_help(text: &str) -> String {
+    let mut out = String::with_capacity(text.len());
+    for c in text.chars() {
+        match c {
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            other => out.push(other),
+        }
+    }
+    out
 }
 
 /// Renders an `f64` sample the way Prometheus expects: `Display` for
@@ -439,6 +490,43 @@ mod tests {
         }
         assert!(saw_inf, "{text}");
         assert!(text.contains("lat_us_bucket{le=\"+Inf\"} 3"), "{text}");
+    }
+
+    #[test]
+    fn every_family_gets_a_help_line_and_registered_text_wins() {
+        let mut s = MetricsSnapshot::new();
+        s.push_counter("reqs_total{op=\"a\"}", 1);
+        s.push_counter("reqs_total{op=\"b\"}", 2);
+        s.push_gauge("level", 0.5);
+        s.push_histogram("lat_us", hist(&[1, 2]));
+        s.set_help("reqs_total", "Requests handled, by operation.");
+        let text = s.to_prometheus();
+
+        // Registered help text is used verbatim; others are generated.
+        assert!(text.contains("# HELP reqs_total Requests handled, by operation."), "{text}");
+        for family in ["reqs_total", "level", "lat_us"] {
+            assert_eq!(text.matches(&format!("# HELP {family} ")).count(), 1, "{text}");
+            // HELP precedes TYPE for the same family.
+            let help_at = text.find(&format!("# HELP {family} ")).unwrap();
+            let type_at = text.find(&format!("# TYPE {family} ")).unwrap();
+            assert!(help_at < type_at, "{text}");
+        }
+    }
+
+    #[test]
+    fn help_text_is_escaped_and_merge_keeps_existing_help() {
+        let mut a = MetricsSnapshot::new();
+        a.push_counter("c_total", 1);
+        a.set_help("c_total", "line one\nwith \\ backslash");
+        let text = a.to_prometheus();
+        assert!(text.contains("# HELP c_total line one\\nwith \\\\ backslash"), "{text}");
+
+        let mut b = MetricsSnapshot::new();
+        b.set_help("c_total", "other text");
+        b.set_help("d_total", "new family");
+        a.merge(&b);
+        assert!(a.to_prometheus().contains("# HELP c_total line one"), "first help wins");
+        assert_eq!(a.helps.iter().find(|(f, _)| f == "d_total").unwrap().1, "new family");
     }
 
     #[test]

@@ -186,6 +186,9 @@ pub struct Span {
     /// Whether the level was enabled at entry; governs both events.
     armed: bool,
     start: Instant,
+    /// Extra key/value fields attached while the span was open; carried
+    /// on the `done` event and into the flight recorder.
+    fields: Vec<(&'static str, String)>,
 }
 
 impl Span {
@@ -202,11 +205,20 @@ impl Span {
 
     fn start(level: Level, target: &'static str, name: &'static str, id: Option<u64>) -> Span {
         let armed = enabled(level);
-        let span = Span { level, target, name, id, armed, start: Instant::now() };
+        let span =
+            Span { level, target, name, id, armed, start: Instant::now(), fields: Vec::new() };
         if armed {
             span.emit_event("start", &[]);
         }
         span
+    }
+
+    /// Attaches a key/value field to the span. Fields appear on the
+    /// `done` event and in the recorded [`SpanRecord`].
+    ///
+    /// [`SpanRecord`]: crate::recorder::SpanRecord
+    pub fn field(&mut self, key: &'static str, value: impl ToString) {
+        self.fields.push((key, value.to_string()));
     }
 
     fn emit_event(&self, what: &str, extra: &[(&'static str, String)]) {
@@ -231,10 +243,25 @@ impl Span {
 
 impl Drop for Span {
     fn drop(&mut self) {
+        let elapsed_us = self.elapsed_us();
         // Use the entry-time decision, not `enabled()` now: the pair of
         // start/done events must be all-or-nothing.
         if self.armed {
-            self.emit_event("done", &[("elapsed_us", self.elapsed_us().to_string())]);
+            let mut extra: Vec<(&'static str, String)> = self.fields.clone();
+            extra.push(("elapsed_us", elapsed_us.to_string()));
+            self.emit_event("done", &extra);
+        }
+        // The flight recorder is independent of the logging level: a
+        // span is retained even when nothing is printed for it.
+        if let Some(recorder) = crate::recorder::installed() {
+            recorder.record(crate::recorder::SpanRecord {
+                req_id: self.id,
+                name: self.name.to_string(),
+                target: self.target.to_string(),
+                start_us: crate::recorder::unix_us().saturating_sub(elapsed_us),
+                elapsed_us,
+                fields: self.fields.iter().map(|(k, v)| ((*k).to_string(), v.clone())).collect(),
+            });
         }
     }
 }
@@ -373,6 +400,29 @@ mod tests {
             .parse()
             .expect("elapsed_us is numeric");
         assert!(elapsed >= 2_000, "slept 2ms but recorded {elapsed}us");
+    }
+
+    #[test]
+    fn span_drop_feeds_installed_recorder_even_when_logging_is_off() {
+        // No init() call: the level is whatever other tests left, and
+        // recording must not depend on it. Filter by our unique req id
+        // since parallel tests may drop spans concurrently.
+        let recorder = Arc::new(crate::recorder::Recorder::new(64));
+        crate::recorder::install(Some(Arc::clone(&recorder)));
+        {
+            let mut span =
+                Span::enter_with_id(Level::Trace, "test_target", "uniq_recorded_span", 9907);
+            span.field("server", 3);
+            std::thread::sleep(std::time::Duration::from_millis(1));
+        }
+        crate::recorder::install(None);
+        let spans = recorder.spans_for(9907);
+        assert_eq!(spans.len(), 1, "{spans:?}");
+        assert_eq!(spans[0].name, "uniq_recorded_span");
+        assert_eq!(spans[0].target, "test_target");
+        assert_eq!(spans[0].field("server"), Some("3"));
+        assert!(spans[0].elapsed_us >= 1_000);
+        assert!(spans[0].start_us > 0);
     }
 
     #[test]
