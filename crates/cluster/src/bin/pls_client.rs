@@ -313,6 +313,33 @@ fn print_stats_table(merged: &MetricsSnapshot) {
         merged.counter_sum("pls_client_op_budget_exhausted_total")
     );
 
+    // Durability / self-healing: zero everywhere means the cluster runs
+    // memory-only (no --data-dir); replays appear after crash restarts,
+    // repairs after anti-entropy heals a divergent server.
+    println!("durability & self-healing");
+    println!("  wal appends          {:>10}", merged.counter_sum("pls_wal_appends_total"));
+    println!("  wal fsyncs           {:>10}", merged.counter_sum("pls_wal_fsyncs_total"));
+    println!("  wal records replayed {:>10}", merged.counter_sum("pls_wal_replayed_total"));
+    println!("  checkpoints written  {:>10}", merged.counter_sum("pls_wal_checkpoints_total"));
+    println!("  antientropy rounds   {:>10}", merged.counter_sum("pls_antientropy_rounds_total"));
+    println!("  antientropy repairs  {:>10}", merged.counter_sum("pls_antientropy_repairs_total"));
+    let mut ft: Vec<(String, f64)> = merged
+        .gauges
+        .iter()
+        .filter_map(|(name, value)| {
+            let (family, labels) = parse_labels(name)?;
+            if family != "pls_live_fault_tolerance" {
+                return None;
+            }
+            let (_, t) = labels.into_iter().find(|(k, _)| k == "t")?;
+            Some((t, *value))
+        })
+        .collect();
+    ft.sort_by(|a, b| a.0.cmp(&b.0));
+    for (t, tol) in ft {
+        println!("  live fault tol (t={t}) {:>8.0}", tol);
+    }
+
     println!("live quality (cluster-level, recomputed from per-entry hits)");
     match merged.gauge("pls_live_unfairness") {
         Some(u) => println!("  unfairness (CoV)     {u:>10.4}"),

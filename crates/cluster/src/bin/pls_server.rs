@@ -3,7 +3,8 @@
 //! ```text
 //! pls-server --index N --peers HOST:PORT,HOST:PORT,... --strategy SPEC
 //!            [--seed S] [--log LEVEL] [--metrics-addr HOST:PORT] [--slow-ms MS]
-//!            [--rpc-timeout-ms MS] [--op-budget-ms MS]
+//!            [--rpc-timeout-ms MS] [--op-budget-ms MS] [--data-dir DIR]
+//!            [--checkpoint-every N] [--antientropy-ms MS]
 //!
 //!   --index         this server's position in the peer list (0-based;
 //!                   index 0 is the Round-Robin coordinator)
@@ -27,6 +28,18 @@
 //!                   (internal fan-out, resync pulls; default 2000)
 //!   --op-budget-ms  total time budget for one update's whole internal
 //!                   fan-out, retries included (default 10000)
+//!   --data-dir      durable state directory: every accepted update is
+//!                   appended to a write-ahead log and fsynced before
+//!                   the ack, with periodic checkpoint snapshots. On
+//!                   restart the server replays checkpoint + WAL before
+//!                   serving; only if the directory yields nothing does
+//!                   it fall back to pulling state from live peers.
+//!   --checkpoint-every  WAL records between checkpoint snapshots
+//!                   (default 256)
+//!   --antientropy-ms    background anti-entropy interval: compare
+//!                   per-key placement digests with the peers on a
+//!                   jittered ~MS cadence and repair divergent or
+//!                   under-replicated keys (default 5000; 0 disables)
 //! ```
 //!
 //! Example 3-server cluster on one machine:
@@ -50,6 +63,9 @@ fn parse_args() -> Result<(ServerConfig, Option<SocketAddr>), String> {
     let mut seed = 0u64;
     let mut metrics_addr: Option<SocketAddr> = None;
     let mut slow_ms: Option<u64> = None;
+    let mut data_dir: Option<std::path::PathBuf> = None;
+    let mut checkpoint_every: Option<u64> = None;
+    let mut antientropy_ms: u64 = 5_000;
     let mut timeouts = Timeouts::default();
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -87,12 +103,26 @@ fn parse_args() -> Result<(ServerConfig, Option<SocketAddr>), String> {
                     value("--op-budget-ms")?.parse().map_err(|e| format!("--op-budget-ms: {e}"))?;
                 timeouts = timeouts.with_op_budget_ms(ms);
             }
+            "--data-dir" => data_dir = Some(value("--data-dir")?.into()),
+            "--checkpoint-every" => {
+                checkpoint_every = Some(
+                    value("--checkpoint-every")?
+                        .parse()
+                        .map_err(|e| format!("--checkpoint-every: {e}"))?,
+                );
+            }
+            "--antientropy-ms" => {
+                antientropy_ms = value("--antientropy-ms")?
+                    .parse()
+                    .map_err(|e| format!("--antientropy-ms: {e}"))?;
+            }
             "--log" => trace::init_from_str(&value("--log")?)?,
             "--help" | "-h" => {
                 return Err(
                     "usage: pls-server --index N --peers A,B,... --strategy SPEC [--seed S] \
                      [--log LEVEL] [--metrics-addr HOST:PORT] [--slow-ms MS] \
-                     [--rpc-timeout-ms MS] [--op-budget-ms MS]"
+                     [--rpc-timeout-ms MS] [--op-budget-ms MS] [--data-dir DIR] \
+                     [--checkpoint-every N] [--antientropy-ms MS]"
                         .to_string(),
                 )
             }
@@ -108,6 +138,15 @@ fn parse_args() -> Result<(ServerConfig, Option<SocketAddr>), String> {
     let mut cfg = ServerConfig::new(index, peers, spec, seed).with_timeouts(timeouts);
     if let Some(ms) = slow_ms {
         cfg = cfg.with_slow_ms(ms);
+    }
+    if let Some(dir) = data_dir {
+        cfg = cfg.with_data_dir(dir);
+    }
+    if let Some(every) = checkpoint_every {
+        cfg = cfg.with_checkpoint_every(every);
+    }
+    if antientropy_ms > 0 {
+        cfg = cfg.with_anti_entropy(std::time::Duration::from_millis(antientropy_ms));
     }
     Ok((cfg, metrics_addr))
 }
@@ -140,9 +179,31 @@ fn main() -> ExitCode {
     runtime.block_on(async move {
         let me = cfg.me;
         let spec = cfg.spec;
+        let durable = cfg.data_dir.is_some();
         match Server::bind(cfg).await {
             Ok((server, addr)) => {
                 pls_telemetry::info!("serving", server = me, strategy = spec, addr = addr);
+                if durable {
+                    let recovered = server.recovered_keys();
+                    pls_telemetry::info!("durable_state", server = me, recovered_keys = recovered);
+                    if recovered == 0 {
+                        // Empty or fresh data dir: fall back to pulling
+                        // state from live peers, best-effort (the very
+                        // first server of a new cluster has no donors).
+                        match server.resync_from_peers().await {
+                            Ok(keys) => {
+                                pls_telemetry::info!("resync_fallback", server = me, keys = keys);
+                            }
+                            Err(err) => {
+                                pls_telemetry::info!(
+                                    "resync_fallback_skipped",
+                                    server = me,
+                                    err = err
+                                );
+                            }
+                        }
+                    }
+                }
                 if let Some(maddr) = metrics_addr {
                     match tokio::net::TcpListener::bind(maddr).await {
                         Ok(listener) => {

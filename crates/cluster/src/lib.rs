@@ -75,6 +75,7 @@ pub mod proto;
 pub mod retry;
 mod rpc;
 mod server;
+pub mod storage;
 pub mod wire;
 
 pub use chaos::{ChaosConfig, ChaosPeer};

@@ -68,11 +68,13 @@ pub enum ReqOp {
     Metrics,
     /// `Request::Trace`.
     Trace,
+    /// `Request::Digest`.
+    Digest,
 }
 
 impl ReqOp {
     /// Every variant, in counter-index order.
-    pub const ALL: [ReqOp; 11] = [
+    pub const ALL: [ReqOp; 12] = [
         ReqOp::Place,
         ReqOp::Add,
         ReqOp::Delete,
@@ -84,6 +86,7 @@ impl ReqOp {
         ReqOp::SpecOf,
         ReqOp::Metrics,
         ReqOp::Trace,
+        ReqOp::Digest,
     ];
 
     /// The `op` label value.
@@ -100,6 +103,7 @@ impl ReqOp {
             ReqOp::SpecOf => "spec_of",
             ReqOp::Metrics => "metrics",
             ReqOp::Trace => "trace",
+            ReqOp::Digest => "digest",
         }
     }
 }
@@ -146,7 +150,7 @@ pub fn split_key_entry(composite: &[u8]) -> Option<(&[u8], &[u8])> {
 #[derive(Debug)]
 pub struct ServerMetrics {
     /// Per-variant request counts, indexed by [`ReqOp`].
-    pub requests: [Counter; 11],
+    pub requests: [Counter; 12],
     /// Requests whose handler returned an error.
     pub request_errors: Counter,
     /// Frames that failed to decode into a request.
@@ -172,6 +176,11 @@ pub struct ServerMetrics {
     pub internal_sent: Counter,
     /// `Internal` sends dropped (peer unreachable) or rejected.
     pub internal_send_failures: Counter,
+    /// Background anti-entropy rounds started.
+    pub antientropy_rounds: Counter,
+    /// Keys repaired by anti-entropy (divergent, under-replicated, or
+    /// missing locally, rebuilt through the snapshot-pull path).
+    pub antientropy_repairs: Counter,
     /// End-to-end request handling latency, microseconds.
     pub request_latency_us: Histogram,
     /// Probe handling latency (engine sampling only), microseconds.
@@ -213,6 +222,8 @@ impl ServerMetrics {
             engines_created: Counter::new(),
             internal_sent: Counter::new(),
             internal_send_failures: Counter::new(),
+            antientropy_rounds: Counter::new(),
+            antientropy_repairs: Counter::new(),
             request_latency_us: Histogram::new(),
             probe_latency_us: Histogram::new(),
             hot_keys: TopK::new(HOT_KEYS_TRACKED),
@@ -268,6 +279,8 @@ impl ServerMetrics {
             "pls_internal_send_failures_total",
             val(&self.internal_send_failures, reset),
         );
+        s.push_counter("pls_antientropy_rounds_total", val(&self.antientropy_rounds, reset));
+        s.push_counter("pls_antientropy_repairs_total", val(&self.antientropy_repairs, reset));
         s.push_counter("pls_keys", keys);
         s.push_counter("pls_entries", entries);
         s.push_histogram(
@@ -291,6 +304,8 @@ impl ServerMetrics {
         s.set_help("pls_engines_created_total", "Per-key strategy engines materialized.");
         s.set_help("pls_internal_sent_total", "Server-to-server messages sent.");
         s.set_help("pls_internal_send_failures_total", "Server-to-server sends that failed.");
+        s.set_help("pls_antientropy_rounds_total", "Background anti-entropy rounds started.");
+        s.set_help("pls_antientropy_repairs_total", "Keys repaired by anti-entropy.");
         s.set_help("pls_keys", "Keys this server manages.");
         s.set_help("pls_entries", "Entries stored across keys.");
         s.set_help("pls_request_latency_us", "End-to-end request handling latency (us).");

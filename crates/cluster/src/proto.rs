@@ -95,6 +95,14 @@ pub enum Request {
         /// The request id to reconstruct.
         req: u64,
     },
+    /// Anti-entropy: a cheap placement digest of one key — entry count,
+    /// an order-independent entry-set hash, and the round-robin
+    /// position/counter fingerprint. Peers compare digests on a jittered
+    /// interval and repair divergence through the `Snapshot` pull path.
+    Digest {
+        /// The key.
+        key: Vec<u8>,
+    },
 }
 
 /// A response frame.
@@ -138,6 +146,23 @@ pub enum Response {
     /// Observability: the flight-recorder spans answering a `Trace`
     /// request, oldest first.
     Spans(Vec<SpanRecord>),
+    /// Anti-entropy: one key's placement digest (see
+    /// [`Request::Digest`]).
+    Digest {
+        /// Whether this server has an engine for the key at all.
+        known: bool,
+        /// The strategy managing the key here (`None` when unknown).
+        spec: Option<StrategySpec>,
+        /// Locally stored entry count.
+        count: u64,
+        /// Order-independent hash of the stored entry set.
+        entry_hash: u64,
+        /// Order-independent hash of the round-robin `(position, entry)`
+        /// pairs (0 for other strategies).
+        positions_hash: u64,
+        /// Round-robin coordinator counters, if held here.
+        counters: Option<(u64, u64)>,
+    },
 }
 
 // ---- opcodes ----
@@ -152,6 +177,7 @@ const REQ_SNAPSHOT: u8 = 0x08;
 const REQ_SPEC_OF: u8 = 0x09;
 const REQ_METRICS: u8 = 0x0A;
 const REQ_TRACE: u8 = 0x0B;
+const REQ_DIGEST: u8 = 0x0C;
 
 const RESP_OK: u8 = 0x80;
 const RESP_ENTRIES: u8 = 0x81;
@@ -161,6 +187,7 @@ const RESP_SNAPSHOT: u8 = 0x84;
 const RESP_SPEC_OF: u8 = 0x85;
 const RESP_METRICS: u8 = 0x86;
 const RESP_SPANS: u8 = 0x87;
+const RESP_DIGEST: u8 = 0x88;
 const RESP_ERROR: u8 = 0xFF;
 
 /// Decode cap on spans per `Spans` response; a recorder holds a few
@@ -196,7 +223,7 @@ const SPEC_RANDOM: u8 = 3;
 const SPEC_ROUND: u8 = 4;
 const SPEC_HASH: u8 = 5;
 
-fn encode_spec(w: &mut Writer, spec: &Option<StrategySpec>) {
+pub(crate) fn encode_spec(w: &mut Writer, spec: &Option<StrategySpec>) {
     match spec {
         None => {
             w.u8(SPEC_NONE);
@@ -219,7 +246,7 @@ fn encode_spec(w: &mut Writer, spec: &Option<StrategySpec>) {
     }
 }
 
-fn decode_spec(r: &mut Reader) -> Result<Option<StrategySpec>, ClusterError> {
+pub(crate) fn decode_spec(r: &mut Reader) -> Result<Option<StrategySpec>, ClusterError> {
     let tag = r.u8("spec tag")?;
     Ok(match tag {
         SPEC_NONE => None,
@@ -232,7 +259,7 @@ fn decode_spec(r: &mut Reader) -> Result<Option<StrategySpec>, ClusterError> {
     })
 }
 
-fn encode_msg(w: &mut Writer, msg: &Message<Entry>) {
+pub(crate) fn encode_msg(w: &mut Writer, msg: &Message<Entry>) {
     match msg {
         Message::PlaceReq { entries } => {
             w.u8(MSG_PLACE_REQ).bytes_list(entries);
@@ -296,7 +323,7 @@ fn encode_msg(w: &mut Writer, msg: &Message<Entry>) {
     }
 }
 
-fn decode_msg(r: &mut Reader) -> Result<Message<Entry>, ClusterError> {
+pub(crate) fn decode_msg(r: &mut Reader) -> Result<Message<Entry>, ClusterError> {
     let op = r.u8("msg opcode")?;
     let msg = match op {
         MSG_PLACE_REQ => Message::PlaceReq { entries: r.bytes_list("place entries")? },
@@ -388,6 +415,9 @@ impl Request {
             Request::Trace { req } => {
                 w.u8(REQ_TRACE).u64(*req);
             }
+            Request::Digest { key } => {
+                w.u8(REQ_DIGEST).bytes(key);
+            }
         }
         w.into_payload()
     }
@@ -427,6 +457,7 @@ impl Request {
                 _ => return Err(ClusterError::Decode("reset flag")),
             },
             REQ_TRACE => Request::Trace { req: r.u64("trace req")? },
+            REQ_DIGEST => Request::Digest { key: r.bytes("key")? },
             _ => return Err(ClusterError::Decode("request opcode")),
         };
         r.finish("request")?;
@@ -452,6 +483,7 @@ impl Request {
             Request::SpecOf { .. } => ReqOp::SpecOf,
             Request::Metrics { .. } => ReqOp::Metrics,
             Request::Trace { .. } => ReqOp::Trace,
+            Request::Digest { .. } => ReqOp::Digest,
         }
     }
 }
@@ -513,6 +545,19 @@ impl Response {
                     w.u32(BUCKETS as u32);
                     for b in &h.buckets {
                         w.u64(*b);
+                    }
+                }
+            }
+            Response::Digest { known, spec, count, entry_hash, positions_hash, counters } => {
+                w.u8(RESP_DIGEST).u8(u8::from(*known));
+                encode_spec(&mut w, spec);
+                w.u64(*count).u64(*entry_hash).u64(*positions_hash);
+                match counters {
+                    Some((head, tail)) => {
+                        w.u8(1).u64(*head).u64(*tail);
+                    }
+                    None => {
+                        w.u8(0);
                     }
                 }
             }
@@ -624,6 +669,23 @@ impl Response {
                 }
                 Response::Metrics(snap)
             }
+            RESP_DIGEST => {
+                let known = match r.u8("digest known")? {
+                    0 => false,
+                    1 => true,
+                    _ => return Err(ClusterError::Decode("digest known")),
+                };
+                let spec = decode_spec(&mut r)?;
+                let count = r.u64("digest count")?;
+                let entry_hash = r.u64("digest entry hash")?;
+                let positions_hash = r.u64("digest positions hash")?;
+                let counters = match r.u8("digest counter flag")? {
+                    0 => None,
+                    1 => Some((r.u64("digest head")?, r.u64("digest tail")?)),
+                    _ => return Err(ClusterError::Decode("digest counter flag")),
+                };
+                Response::Digest { known, spec, count, entry_hash, positions_hash, counters }
+            }
             RESP_SPANS => {
                 let n_spans = r.u32("span count")? as usize;
                 if n_spans > MAX_SPANS {
@@ -713,6 +775,32 @@ mod tests {
         roundtrip_req(Request::Metrics { reset: false });
         roundtrip_req(Request::Metrics { reset: true });
         roundtrip_req(Request::Trace { req: 0xDEAD_BEEF });
+        roundtrip_req(Request::Digest { key: b"song".to_vec() });
+        roundtrip_req(Request::Digest { key: vec![] });
+    }
+
+    #[test]
+    fn digest_response_roundtrips() {
+        roundtrip_resp(Response::Digest {
+            known: false,
+            spec: None,
+            count: 0,
+            entry_hash: 0,
+            positions_hash: 0,
+            counters: None,
+        });
+        roundtrip_resp(Response::Digest {
+            known: true,
+            spec: Some(StrategySpec::round_robin(2)),
+            count: 17,
+            entry_hash: 0xDEAD_BEEF_DEAD_BEEF,
+            positions_hash: u64::MAX,
+            counters: Some((4, 21)),
+        });
+        // A bogus known flag is rejected.
+        let mut w = Writer::new();
+        w.u8(RESP_DIGEST).u8(9);
+        assert!(Response::decode(w.into_payload()).is_err());
     }
 
     #[test]

@@ -1,13 +1,16 @@
 //! The lookup server: one process, one `NodeEngine` per key.
 
-use std::collections::{HashMap, VecDeque};
+use std::collections::{BTreeMap, HashMap, HashSet, VecDeque};
 use std::net::SocketAddr;
+use std::path::PathBuf;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
+use std::time::Duration;
 
 use parking_lot::Mutex;
 use pls_core::engine::{NodeEngine, Outbound};
-use pls_core::{Message, StrategySpec};
+use pls_core::{Message, Placement, StrategySpec};
+use pls_metrics::fault_tolerance::greedy_tolerance;
 use pls_net::{Endpoint, ServerId};
 use pls_telemetry::trace::Span;
 use pls_telemetry::{Level, MetricsSnapshot, SpanRecord};
@@ -18,6 +21,7 @@ use crate::metrics::{strategy_index, ServerMetrics};
 use crate::proto::{Entry, Request, Response};
 use crate::retry::{splitmix64, BreakerConfig, Deadline, RetryPolicy, Timeouts};
 use crate::rpc::{push_peer_robustness, PeerClient};
+use crate::storage::{self, KeySnapshot, Recovered, Storage, WalRecord};
 use crate::wire::{read_frame, write_frame_timed, FRAME_OVERHEAD};
 
 /// Static configuration of one server in the cluster.
@@ -43,6 +47,16 @@ pub struct ServerConfig {
     /// *crashed* peer is still dropped (paper failure model); retries
     /// only paper over transient blips within the operation budget.
     pub retry: RetryPolicy,
+    /// Durable data directory (write-ahead log + checkpoints). `None`
+    /// keeps the server memory-only, exactly as before.
+    pub data_dir: Option<PathBuf>,
+    /// WAL appends between checkpoint snapshots (ignored without
+    /// `data_dir`).
+    pub checkpoint_every: u64,
+    /// Background anti-entropy repair interval; each round fires after
+    /// a jittered multiple (0.5x–1.5x) of this so servers do not
+    /// synchronize. `None` disables the loop.
+    pub anti_entropy: Option<Duration>,
 }
 
 impl ServerConfig {
@@ -57,6 +71,9 @@ impl ServerConfig {
             slow_ms: None,
             timeouts: Timeouts::default(),
             retry: RetryPolicy { max_attempts: 2, ..RetryPolicy::default() },
+            data_dir: None,
+            checkpoint_every: 256,
+            anti_entropy: None,
         }
     }
 
@@ -77,6 +94,26 @@ impl ServerConfig {
         self.retry = retry;
         self
     }
+
+    /// Enables durability: engine messages are write-ahead logged under
+    /// `dir`, checkpointed periodically, and replayed at startup.
+    pub fn with_data_dir(mut self, dir: impl Into<PathBuf>) -> Self {
+        self.data_dir = Some(dir.into());
+        self
+    }
+
+    /// Overrides how many WAL appends trigger a checkpoint.
+    pub fn with_checkpoint_every(mut self, every: u64) -> Self {
+        self.checkpoint_every = every;
+        self
+    }
+
+    /// Enables the background anti-entropy loop at roughly this
+    /// interval.
+    pub fn with_anti_entropy(mut self, every: Duration) -> Self {
+        self.anti_entropy = Some(every);
+        self
+    }
 }
 
 /// Shared server state.
@@ -94,6 +131,12 @@ struct State {
     /// Client-originated work keeps the id the client stamped on its
     /// frame; internal fan-out inherits the triggering request's id.
     next_id: AtomicU64,
+    /// Durable state (WAL + checkpoints); `None` for memory-only
+    /// servers.
+    storage: Option<Storage>,
+    /// Latest live §4.4 fault tolerance per adversary threshold `t`,
+    /// refreshed by anti-entropy rounds (min across deep-checked keys).
+    live_ft: Mutex<BTreeMap<usize, usize>>,
 }
 
 impl State {
@@ -164,6 +207,30 @@ impl State {
     fn read_engine<R>(&self, key: &[u8], f: impl FnOnce(&mut NodeEngine<Entry>) -> R) -> Option<R> {
         self.engines.lock().get_mut(key).map(f)
     }
+
+    /// Like [`State::with_engine`] for an inbound message, but the
+    /// message is appended to the WAL first (when durability is on),
+    /// under the same engines lock — so the log's record order is
+    /// exactly the engines' apply order, and replay reproduces it.
+    fn with_engine_logged(
+        &self,
+        key: &[u8],
+        from: Endpoint,
+        spec_override: Option<StrategySpec>,
+        msg: Message<Entry>,
+    ) -> Result<Vec<Outbound<Entry>>, ClusterError> {
+        let spec = self.spec_of(key);
+        let mut map = self.engines.lock();
+        if !map.contains_key(key) {
+            let engine = NodeEngine::new(self.me(), self.n(), spec, self.key_seed(key))?;
+            map.insert(key.to_vec(), engine);
+            self.metrics.engines_created.inc();
+        }
+        if let Some(storage) = &self.storage {
+            storage.append(key, from, spec_override, &msg)?;
+        }
+        Ok(map.get_mut(key).expect("just inserted").handle(from, msg))
+    }
 }
 
 /// A running lookup server.
@@ -175,6 +242,8 @@ impl State {
 pub struct Server {
     listener: TcpListener,
     state: Arc<State>,
+    /// Keys rebuilt from disk (checkpoint + WAL replay) at construction.
+    recovered: usize,
 }
 
 impl Server {
@@ -222,6 +291,18 @@ impl Server {
             .map(|&a| PeerClient::with_policies(a, cfg.timeouts, BreakerConfig::default()))
             .collect();
         let next_id = AtomicU64::new(splitmix64(cfg.seed ^ cfg.me as u64));
+        // Open the data dir (if any) before serving: whatever the
+        // checkpoint and WAL hold is replayed into the engines below,
+        // so a restarted server answers from its own disk even when no
+        // live donor exists.
+        let opened = match &cfg.data_dir {
+            Some(dir) => Some(Storage::open(dir)?),
+            None => None,
+        };
+        let (storage_handle, recovered_state) = match opened {
+            Some((s, r)) => (Some(s), Some(r)),
+            None => (None, None),
+        };
         let state = Arc::new(State {
             cfg,
             engines: Mutex::new(HashMap::new()),
@@ -229,8 +310,22 @@ impl Server {
             peers,
             metrics: ServerMetrics::new(),
             next_id,
+            storage: storage_handle,
+            live_ft: Mutex::new(BTreeMap::new()),
         });
-        Ok((Server { listener, state }, addr))
+        let recovered = match recovered_state {
+            Some(rec) => replay_recovered(&state, rec),
+            None => 0,
+        };
+        Ok((Server { listener, state, recovered }, addr))
+    }
+
+    /// Keys rebuilt from the data directory (checkpoint + WAL replay)
+    /// during construction; `0` without a data dir or on a fresh one.
+    /// When this is zero a cold-starting server should still try
+    /// [`Server::resync_from_peers`].
+    pub fn recovered_keys(&self) -> usize {
+        self.recovered
     }
 
     /// A snapshot of this server's metrics, including the live quality
@@ -322,25 +417,31 @@ impl Server {
     /// engine configuration errors.
     pub async fn resync_from_peers(&self) -> Result<usize, ClusterError> {
         let state = &self.state;
-        let me = state.me();
-        let me_idx = me.index();
+        let me_idx = state.cfg.me;
         // One server-originated id stamps the whole recovery — every
         // Keys/Snapshot pull shows up as the same `req` on the donors.
         let resync_id = state.next_id();
         let span = Span::enter_with_id(Level::Info, module_path!(), "resync_from_peers", resync_id);
+        // One operation budget spans the whole resync: a black-holed
+        // donor delays recovery by at most one capped RPC per pull, and
+        // the loop below stops once the budget is gone.
+        let deadline = Deadline::within(state.cfg.timeouts.op_budget);
+        let rpc = state.cfg.timeouts.rpc;
 
-        // Discover the key universe from reachable peers.
+        // Discover the key universe from reachable peers
+        // (order-preserving, set-backed dedup).
         let mut keys: Vec<Vec<u8>> = Vec::new();
+        let mut seen: HashSet<Vec<u8>> = HashSet::new();
         let mut any_peer = false;
         for (i, peer) in state.peers.iter().enumerate() {
             if i == me_idx {
                 continue;
             }
-            match peer.call(resync_id, &Request::Keys).await {
+            match peer.call_bounded(resync_id, &Request::Keys, deadline.cap(rpc)).await {
                 Ok(Response::Keys(ks)) => {
                     any_peer = true;
                     for k in ks {
-                        if !keys.contains(&k) {
+                        if seen.insert(k.clone()) {
                             keys.push(k);
                         }
                     }
@@ -352,11 +453,23 @@ impl Server {
             return Err(ClusterError::NoServerAvailable);
         }
 
+        let mut synced = 0usize;
         for key in &keys {
+            if deadline.expired() {
+                pls_telemetry::warn!(
+                    "resync_budget_exhausted",
+                    req = resync_id,
+                    server = me_idx,
+                    synced = synced,
+                    keys = keys.len()
+                );
+                break;
+            }
             // Pull snapshots from every reachable peer.
             let mut donor_entries: Vec<Vec<Entry>> = Vec::new();
-            let mut positions: std::collections::BTreeMap<u64, Entry> =
-                std::collections::BTreeMap::new();
+            let mut union: Vec<Entry> = Vec::new();
+            let mut in_union: HashSet<Entry> = HashSet::new();
+            let mut positions: BTreeMap<u64, Entry> = BTreeMap::new();
             let mut counters: Option<(u64, u64)> = None;
             let mut key_spec: Option<StrategySpec> = None;
             for (i, peer) in state.peers.iter().enumerate() {
@@ -368,122 +481,101 @@ impl Server {
                     positions: ps,
                     counters: cs,
                     spec: donor_spec,
-                }) = peer.call(resync_id, &Request::Snapshot { key: key.clone() }).await
+                }) = peer
+                    .call_bounded(
+                        resync_id,
+                        &Request::Snapshot { key: key.clone() },
+                        deadline.cap(rpc),
+                    )
+                    .await
                 {
+                    for v in &entries {
+                        if in_union.insert(v.clone()) {
+                            union.push(v.clone());
+                        }
+                    }
                     donor_entries.push(entries);
                     for (p, v) in ps {
                         positions.insert(p, v);
                     }
-                    counters = counters.or(cs);
+                    // Donors can disagree (one kept serving while
+                    // another lagged): merge the round-robin counters
+                    // instead of trusting whichever answered first.
+                    counters = storage::merge_rr_counters(counters, cs);
                     key_spec = key_spec.or(donor_spec);
                 }
             }
 
-            // Adopt the donors' per-key strategy before any engine is
-            // created for this key.
             let effective_spec = key_spec.unwrap_or(state.cfg.spec);
-            if effective_spec != state.cfg.spec {
-                state.set_spec(key, effective_spec)?;
-            }
-
-            // Rebuild the local engine through its own message protocol.
-            let feed =
-                |m: Message<Entry>| state.with_engine(key, |e| e.handle(Endpoint::Server(me), m));
-            feed(Message::Reset)?;
-            match effective_spec {
+            let entries = match effective_spec {
+                // Replicas are identical everywhere; any donor's set is
+                // the set.
                 StrategySpec::FullReplication | StrategySpec::Fixed { .. } => {
-                    if let Some(entries) = donor_entries.first() {
-                        feed(Message::StoreSet { entries: entries.clone() })?;
-                    }
+                    donor_entries.into_iter().next().unwrap_or_default()
                 }
-                StrategySpec::RandomServer { x } => {
-                    let mut union: Vec<Entry> = Vec::new();
-                    for entries in &donor_entries {
-                        for v in entries {
-                            if !union.contains(v) {
-                                union.push(v.clone());
-                            }
-                        }
-                    }
-                    feed(Message::ChooseSubset { entries: union, x })?;
-                }
-                StrategySpec::Hash { .. } => {
-                    let mut union: Vec<Entry> = Vec::new();
-                    for entries in &donor_entries {
-                        for v in entries {
-                            if !union.contains(v) {
-                                union.push(v.clone());
-                            }
-                        }
-                    }
-                    for v in union {
-                        let mine = state.with_engine(key, |e| e.assigns_to(&v, me))?;
-                        if mine {
-                            feed(Message::Store { v })?;
-                        }
-                    }
-                }
-                StrategySpec::RoundRobin { y } => {
-                    if me_idx == 0 {
-                        let (head, tail) = counters.unwrap_or_else(|| {
-                            match (positions.keys().next(), positions.keys().last()) {
-                                (Some(&lo), Some(&hi)) => (lo, hi + 1),
-                                _ => (0, 0),
-                            }
-                        });
-                        feed(Message::RrSetCounters { head, tail })?;
-                    }
-                    let n = state.n();
-                    for (pos, v) in positions {
-                        let base = ServerId::new((pos % n as u64) as u32);
-                        let holds = (0..y).any(|k| base.wrapping_add(k, n) == me);
-                        if holds {
-                            feed(Message::RrStore { v, pos })?;
-                        }
-                    }
-                }
-            }
+                // The share-splitting strategies rebuild from the
+                // surviving coverage.
+                _ => union,
+            };
+            rebuild_engine(state, key, effective_spec, entries, positions, counters)?;
+            synced += 1;
         }
         pls_telemetry::info!(
             "resync_complete",
             req = resync_id,
             server = me_idx,
-            keys = keys.len(),
+            keys = synced,
             elapsed_us = span.elapsed_us()
         );
-        Ok(keys.len())
+        Ok(synced)
     }
 
-    /// Accept loop; runs until the task is dropped/aborted. Connection
-    /// handlers are owned by this future, so aborting it aborts them too
-    /// — the whole server dies at once, like a crashed process.
+    /// Accept loop (plus the background anti-entropy loop when
+    /// configured); runs until the task is dropped/aborted. Connection
+    /// handlers and the repair loop are owned by this future, so
+    /// aborting it aborts them too — the whole server dies at once,
+    /// like a crashed process.
     pub async fn run(self) {
-        let mut connections = tokio::task::JoinSet::new();
-        loop {
-            let (socket, peer_addr) = match self.listener.accept().await {
-                Ok(pair) => pair,
-                Err(err) => {
-                    self.state.metrics.accept_errors.inc();
-                    pls_telemetry::warn!("accept_error", server = self.state.cfg.me, err = err);
-                    continue;
+        let Server { listener, state, .. } = self;
+        match state.cfg.anti_entropy {
+            Some(every) => {
+                tokio::select! {
+                    () = accept_loop(listener, Arc::clone(&state)) => {}
+                    () = anti_entropy_loop(state, every) => {}
                 }
-            };
-            self.state.metrics.connections_accepted.inc();
-            pls_telemetry::event!(Level::Trace, "connection_accepted", peer = peer_addr);
-            // Reap finished handlers so the set does not grow unbounded.
-            while connections.try_join_next().is_some() {}
-            let state = Arc::clone(&self.state);
-            connections.spawn(async move {
-                if let Err(err) = serve_connection(Arc::clone(&state), socket).await {
-                    // Connection teardown is normal; only report protocol
-                    // violations.
-                    if !matches!(err, ClusterError::Io(_)) {
-                        state.metrics.connection_errors.inc();
-                        pls_telemetry::warn!("connection_error", server = state.cfg.me, err = err);
-                    }
-                }
-            });
+            }
+            None => accept_loop(listener, state).await,
         }
+    }
+}
+
+/// Accepts connections forever, spawning one handler task per socket.
+async fn accept_loop(listener: TcpListener, state: Arc<State>) {
+    let mut connections = tokio::task::JoinSet::new();
+    loop {
+        let (socket, peer_addr) = match listener.accept().await {
+            Ok(pair) => pair,
+            Err(err) => {
+                state.metrics.accept_errors.inc();
+                pls_telemetry::warn!("accept_error", server = state.cfg.me, err = err);
+                continue;
+            }
+        };
+        state.metrics.connections_accepted.inc();
+        pls_telemetry::event!(Level::Trace, "connection_accepted", peer = peer_addr);
+        // Reap finished handlers so the set does not grow unbounded.
+        while connections.try_join_next().is_some() {}
+        let state = Arc::clone(&state);
+        connections.spawn(async move {
+            if let Err(err) = serve_connection(Arc::clone(&state), socket).await {
+                // Connection teardown is normal; only report protocol
+                // violations.
+                if !matches!(err, ClusterError::Io(_)) {
+                    state.metrics.connection_errors.inc();
+                    pls_telemetry::warn!("connection_error", server = state.cfg.me, err = err);
+                }
+            }
+        });
     }
 }
 
@@ -501,7 +593,506 @@ fn collect_metrics(state: &State, reset: bool) -> MetricsSnapshot {
     let mut s = state.metrics.collect_live(&stored, reset);
     let others = state.peers.iter().enumerate().filter(|(i, _)| *i != state.cfg.me).map(|(_, p)| p);
     push_peer_robustness(&mut s, others);
+    if let Some(storage) = &state.storage {
+        let take = |c: &pls_telemetry::Counter| if reset { c.take() } else { c.get() };
+        s.push_counter("pls_wal_appends_total", take(&storage.metrics.appends));
+        s.push_counter("pls_wal_fsyncs_total", take(&storage.metrics.fsyncs));
+        s.push_counter("pls_wal_replayed_total", take(&storage.metrics.replayed));
+        s.push_counter("pls_wal_checkpoints_total", take(&storage.metrics.checkpoints));
+        s.set_help("pls_wal_appends_total", "Engine messages appended to the write-ahead log.");
+        s.set_help("pls_wal_fsyncs_total", "WAL fsyncs issued (group commit coalesces appends).");
+        s.set_help("pls_wal_replayed_total", "WAL records replayed into engines at startup.");
+        s.set_help("pls_wal_checkpoints_total", "Checkpoint snapshots written.");
+    }
+    let ft = state.live_ft.lock();
+    for (t, tol) in ft.iter() {
+        s.push_gauge(format!("pls_live_fault_tolerance{{t=\"{t}\"}}"), *tol as f64);
+    }
+    if !ft.is_empty() {
+        s.set_help(
+            "pls_live_fault_tolerance",
+            "Greedy-adversary fault tolerance of the live placement \
+             (min across anti-entropy-checked keys, per coverage threshold t).",
+        );
+    }
     s
+}
+
+/// Rebuilds one key's engine from collected placement state, through
+/// the engine's own message protocol (`Reset` then the strategy's feed)
+/// — the single code path shared by disk recovery, cold-start resync,
+/// and anti-entropy repair.
+///
+/// `entries` is the replica set for full replication / Fixed-x, the
+/// candidate coverage for RandomServer-x and Hash-y, and unused for
+/// Round-Robin-y (`positions`/`counters` drive that rebuild).
+fn rebuild_engine(
+    state: &State,
+    key: &[u8],
+    spec: StrategySpec,
+    entries: Vec<Entry>,
+    positions: BTreeMap<u64, Entry>,
+    counters: Option<(u64, u64)>,
+) -> Result<(), ClusterError> {
+    let me = state.me();
+    // Adopt a per-key strategy override before the engine exists.
+    if spec != state.cfg.spec {
+        state.set_spec(key, spec)?;
+    }
+    let feed = |m: Message<Entry>| state.with_engine(key, |e| e.handle(Endpoint::Server(me), m));
+    feed(Message::Reset)?;
+    match spec {
+        StrategySpec::FullReplication | StrategySpec::Fixed { .. } => {
+            if !entries.is_empty() {
+                feed(Message::StoreSet { entries })?;
+            }
+        }
+        StrategySpec::RandomServer { x } => {
+            feed(Message::ChooseSubset { entries, x })?;
+        }
+        StrategySpec::Hash { .. } => {
+            for v in entries {
+                let mine = state.with_engine(key, |e| e.assigns_to(&v, me))?;
+                if mine {
+                    feed(Message::Store { v })?;
+                }
+            }
+        }
+        StrategySpec::RoundRobin { y } => {
+            if me.index() == 0 {
+                let (head, tail) = counters.unwrap_or_else(|| {
+                    match (positions.keys().next(), positions.keys().last()) {
+                        (Some(&lo), Some(&hi)) => (lo, hi + 1),
+                        _ => (0, 0),
+                    }
+                });
+                feed(Message::RrSetCounters { head, tail })?;
+            }
+            let n = state.n();
+            for (pos, v) in positions {
+                let base = ServerId::new((pos % n as u64) as u32);
+                if (0..y).any(|k| base.wrapping_add(k, n) == me) {
+                    feed(Message::RrStore { v, pos })?;
+                }
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Replays what [`Storage::open`] recovered — checkpoint snapshots
+/// first, then post-checkpoint WAL records — into the engines, then
+/// re-checkpoints so the next crash replays from here. Per-item
+/// failures are logged and skipped: damaged durable state degrades
+/// recovery, it never refuses startup. Returns the number of keys
+/// standing afterwards.
+fn replay_recovered(state: &State, rec: Recovered) -> usize {
+    if rec.is_empty() {
+        return 0;
+    }
+    let me_idx = state.cfg.me;
+    let Recovered { snapshots, records, torn, .. } = rec;
+    for snap in snapshots {
+        let KeySnapshot { key, spec, entries, positions, counters } = snap;
+        let positions: BTreeMap<u64, Entry> = positions.into_iter().collect();
+        if let Err(err) = rebuild_engine(state, &key, spec, entries, positions, counters) {
+            pls_telemetry::warn!("recovery_snapshot_skipped", server = me_idx, err = err);
+        }
+    }
+    let storage = state.storage.as_ref().expect("recovered state implies storage");
+    for record in records {
+        match replay_record(state, record) {
+            Ok(()) => storage.metrics.replayed.inc(),
+            Err(err) => {
+                pls_telemetry::warn!("recovery_record_skipped", server = me_idx, err = err);
+            }
+        }
+    }
+    // The rebuilt state is not in the WAL (rebuilds bypass logging), so
+    // checkpoint it immediately: a second crash replays from this exact
+    // point, which also makes double recovery equal single recovery.
+    if let Err(err) = checkpoint_now(state) {
+        pls_telemetry::warn!("recovery_checkpoint_failed", server = me_idx, err = err);
+    }
+    let keys = state.engines.lock().len();
+    pls_telemetry::info!(
+        "recovered_from_disk",
+        server = me_idx,
+        keys = keys,
+        replayed = storage.metrics.replayed.get(),
+        torn_tail = torn
+    );
+    keys
+}
+
+/// Replays one WAL record: the logged inbound message is fed to the
+/// key's engine and the resulting cascade is delivered *locally only*
+/// (`To(me)` and the broadcast's self-copy). Remote deliveries are
+/// dropped — each peer replays its own log, so re-sending would
+/// double-apply on servers that already persisted the effect.
+fn replay_record(state: &State, record: WalRecord) -> Result<(), ClusterError> {
+    let WalRecord { key, from, spec, msg, .. } = record;
+    if let Some(spec) = spec {
+        state.set_spec(&key, spec)?;
+    }
+    let me = state.me();
+    let first = state.with_engine(&key, |e| e.handle(from, msg))?;
+    let mut queue: VecDeque<Outbound<Entry>> = first.into();
+    while let Some(out) = queue.pop_front() {
+        let m = match out {
+            Outbound::To(dest, m) if dest == me => m,
+            Outbound::To(..) => continue,
+            Outbound::Broadcast(m) => m,
+        };
+        let more = state.with_engine(&key, |e| e.handle(Endpoint::Server(me), m))?;
+        queue.extend(more);
+    }
+    Ok(())
+}
+
+/// Snapshots every engine and writes a checkpoint, under the engines
+/// lock throughout — appends also hold that lock, so the checkpoint
+/// covers exactly the records appended so far and the truncated WAL
+/// loses nothing. A no-op for memory-only servers.
+fn checkpoint_now(state: &State) -> Result<(), ClusterError> {
+    let Some(storage) = &state.storage else {
+        return Ok(());
+    };
+    let map = state.engines.lock();
+    let snaps: Vec<KeySnapshot> = map
+        .iter()
+        .map(|(k, e)| KeySnapshot {
+            key: k.clone(),
+            spec: state.spec_of(k),
+            entries: e.entries().to_vec(),
+            positions: e.rr_positions().map(|(p, v)| (p, v.clone())).collect(),
+            counters: e.rr_counters(),
+        })
+        .collect();
+    storage.checkpoint(&snaps)
+}
+
+/// Keys deep-checked per anti-entropy round: full snapshot pulls that
+/// feed the live fault-tolerance gauge and the Hash/Round-Robin
+/// divergence checks. The window rotates with the round counter, so
+/// every key is eventually deep-checked while each round stays cheap.
+const ANTIENTROPY_DEEP_KEYS: usize = 16;
+
+/// Adversary thresholds the live §4.4 fault-tolerance gauge reports.
+const LIVE_FT_THRESHOLDS: [usize; 3] = [1, 2, 4];
+
+/// The background repair loop: sleep a jittered interval, reconcile
+/// against the peers, repeat forever (the caller owns and aborts it).
+async fn anti_entropy_loop(state: Arc<State>, every: Duration) {
+    let mut tick: u64 = 0;
+    loop {
+        tick = tick.wrapping_add(1);
+        // Deterministic per-server jitter in [0.5, 1.5): servers drift
+        // apart instead of digesting each other in lock-step.
+        let r = splitmix64(
+            state.cfg.seed ^ (state.cfg.me as u64) ^ tick.wrapping_mul(0x9E37_79B9_7F4A_7C15),
+        );
+        let jitter = 0.5 + (r >> 11) as f64 / (1u64 << 53) as f64;
+        tokio::time::sleep(every.mul_f64(jitter)).await;
+        state.metrics.antientropy_rounds.inc();
+        if let Err(err) = anti_entropy_round(&state, tick).await {
+            pls_telemetry::debug!("antientropy_round_error", server = state.cfg.me, err = err);
+        }
+    }
+}
+
+/// One anti-entropy round: build the key universe (ours plus every
+/// reachable peer's), reconcile each key, checkpoint if anything was
+/// repaired, and refresh the live fault-tolerance gauge. The whole
+/// round runs under one operation budget; every peer call is
+/// deadline-capped and breaker-gated, so a sick peer fast-fails
+/// instead of wedging repair.
+async fn anti_entropy_round(state: &Arc<State>, round: u64) -> Result<(), ClusterError> {
+    let me_idx = state.cfg.me;
+    let round_id = state.next_id();
+    let deadline = Deadline::within(state.cfg.timeouts.op_budget);
+    let rpc = state.cfg.timeouts.rpc;
+
+    // Key universe: a wiped server learns what it should hold from its
+    // peers (order-preserving, set-backed dedup, then sorted so the
+    // rotating deep window is stable across rounds).
+    let mut keys: Vec<Vec<u8>> = state.engines.lock().keys().cloned().collect();
+    let mut seen: HashSet<Vec<u8>> = keys.iter().cloned().collect();
+    for (i, peer) in state.peers.iter().enumerate() {
+        if i == me_idx {
+            continue;
+        }
+        if let Ok(Response::Keys(ks)) =
+            peer.call_bounded(round_id, &Request::Keys, deadline.cap(rpc)).await
+        {
+            for k in ks {
+                if seen.insert(k.clone()) {
+                    keys.push(k);
+                }
+            }
+        }
+    }
+    keys.sort();
+    if keys.is_empty() {
+        return Ok(());
+    }
+
+    let start = (round as usize).wrapping_mul(ANTIENTROPY_DEEP_KEYS) % keys.len();
+    let deep: HashSet<usize> =
+        (0..ANTIENTROPY_DEEP_KEYS.min(keys.len())).map(|i| (start + i) % keys.len()).collect();
+
+    let mut ft_min: BTreeMap<usize, usize> = BTreeMap::new();
+    let mut repaired = 0u64;
+    for (ki, key) in keys.iter().enumerate() {
+        if deadline.expired() {
+            pls_telemetry::debug!(
+                "antientropy_budget_exhausted",
+                req = round_id,
+                server = me_idx,
+                checked = ki,
+                keys = keys.len()
+            );
+            break;
+        }
+        if reconcile_key(state, round_id, key, deep.contains(&ki), &deadline, &mut ft_min).await {
+            repaired += 1;
+            state.metrics.antientropy_repairs.inc();
+        }
+    }
+
+    if repaired > 0 {
+        // Repairs bypass the WAL; persist them before the next crash.
+        if let Err(err) = checkpoint_now(state) {
+            pls_telemetry::warn!("antientropy_checkpoint_failed", server = me_idx, err = err);
+        }
+    }
+    if !ft_min.is_empty() {
+        *state.live_ft.lock() = ft_min;
+    }
+    pls_telemetry::debug!(
+        "antientropy_round_done",
+        req = round_id,
+        server = me_idx,
+        keys = keys.len(),
+        repaired = repaired
+    );
+    Ok(())
+}
+
+/// Reconciles one key against the peers: a cheap digest comparison for
+/// every key, a deep check (full snapshot pulls, which also feed the
+/// live fault-tolerance rows) for the rotating window or when the
+/// digests already look wrong, and a [`rebuild_engine`] repair when
+/// this server's share is provably divergent. Returns whether a repair
+/// was applied.
+async fn reconcile_key(
+    state: &Arc<State>,
+    round_id: u64,
+    key: &[u8],
+    deep: bool,
+    deadline: &Deadline,
+    ft_min: &mut BTreeMap<usize, usize>,
+) -> bool {
+    let me = state.me();
+    let me_idx = me.index();
+    let n = state.n();
+    let rpc = state.cfg.timeouts.rpc;
+
+    // Cheap phase: everyone's digest.
+    let local = state.read_engine(key, |e| {
+        (
+            e.entries().len() as u64,
+            storage::entry_set_hash(e.entries()),
+            storage::position_set_hash(e.rr_positions()),
+            e.rr_counters(),
+        )
+    });
+    let mut digests: Vec<(usize, u64, u64, Option<StrategySpec>)> = Vec::new();
+    for (i, peer) in state.peers.iter().enumerate() {
+        if i == me_idx {
+            continue;
+        }
+        if let Ok(Response::Digest { known: true, spec, count, entry_hash, .. }) = peer
+            .call_bounded(round_id, &Request::Digest { key: key.to_vec() }, deadline.cap(rpc))
+            .await
+        {
+            digests.push((i, count, entry_hash, spec));
+        }
+    }
+    if digests.is_empty() {
+        // No reachable peer knows the key: nothing to compare against,
+        // nothing to repair from.
+        return false;
+    }
+
+    // The strategy in effect: ours if the key exists here, otherwise
+    // whatever the donors manage it under.
+    let spec = match local {
+        Some(_) => state.spec_of(key),
+        None => digests.iter().find_map(|(_, _, _, s)| *s).unwrap_or(state.cfg.spec),
+    };
+
+    // Digest-level verdict. For identical-everywhere strategies the
+    // modal (count, entry-hash) digest is the consensus replica set;
+    // ties break toward the larger count then hash, so every server
+    // resolves the same way and repair converges instead of ping-
+    // ponging.
+    let modal = match spec {
+        StrategySpec::FullReplication | StrategySpec::Fixed { .. } => {
+            let mut votes: HashMap<(u64, u64), usize> = HashMap::new();
+            if let Some((count, ehash, _, _)) = local {
+                *votes.entry((count, ehash)).or_insert(0) += 1;
+            }
+            for (_, c, h, _) in &digests {
+                *votes.entry((*c, *h)).or_insert(0) += 1;
+            }
+            votes.into_iter().max_by_key(|((c, h), n)| (*n, *c, *h)).map(|((c, h), _)| (c, h))
+        }
+        _ => None,
+    };
+    let mut suspect = local.is_none();
+    match spec {
+        StrategySpec::FullReplication | StrategySpec::Fixed { .. } => {
+            if let (Some((count, ehash, _, _)), Some(modal)) = (local, modal) {
+                suspect |= (count, ehash) != modal;
+            }
+        }
+        StrategySpec::RandomServer { .. } => {
+            // Subsets legitimately differ; only flag gross
+            // under-replication (less than half the best-filled peer),
+            // not reservoir jitter.
+            if let Some((count, ..)) = local {
+                let max = digests.iter().map(|(_, c, ..)| *c).max().unwrap_or(0);
+                suspect |= count * 2 < max;
+            }
+        }
+        // Shares are disjoint by design: digests across servers are
+        // incomparable, correctness is checked deeply below.
+        StrategySpec::Hash { .. } | StrategySpec::RoundRobin { .. } => {}
+    }
+    if !deep && !suspect {
+        return false;
+    }
+
+    // Deep phase: full snapshots — the live placement rows for the
+    // §4.4 gauge, ground truth for the Hash/Round-Robin checks, and
+    // the donor data a repair rebuilds from.
+    let mut rows: Vec<Vec<Entry>> = vec![Vec::new(); n];
+    rows[me_idx] = state.read_engine(key, |e| e.entries().to_vec()).unwrap_or_default();
+    let mut union: Vec<Entry> = rows[me_idx].clone();
+    let mut in_union: HashSet<Entry> = union.iter().cloned().collect();
+    let mut positions: BTreeMap<u64, Entry> = state
+        .read_engine(key, |e| e.rr_positions().map(|(p, v)| (p, v.clone())).collect())
+        .unwrap_or_default();
+    let mut counters = local.and_then(|(.., cs)| cs);
+    let mut donors = 0usize;
+    for (i, peer) in state.peers.iter().enumerate() {
+        if i == me_idx {
+            continue;
+        }
+        if let Ok(Response::Snapshot { entries, positions: ps, counters: cs, .. }) = peer
+            .call_bounded(round_id, &Request::Snapshot { key: key.to_vec() }, deadline.cap(rpc))
+            .await
+        {
+            donors += 1;
+            for v in &entries {
+                if in_union.insert(v.clone()) {
+                    union.push(v.clone());
+                }
+            }
+            rows[i] = entries;
+            for (p, v) in ps {
+                positions.insert(p, v);
+            }
+            counters = storage::merge_rr_counters(counters, cs);
+        }
+    }
+    if donors == 0 {
+        return false;
+    }
+
+    // Live §4.4 fault tolerance of what the cluster actually holds for
+    // this key right now (an unreachable peer's row is empty — the
+    // pessimistic reading): min across checked keys, per threshold.
+    let placement = Placement::from_rows(rows.clone());
+    for t in LIVE_FT_THRESHOLDS {
+        let tol = greedy_tolerance(&placement, t);
+        ft_min.entry(t).and_modify(|m| *m = (*m).min(tol)).or_insert(tol);
+    }
+
+    // Deep verdicts for the share-splitting strategies.
+    match spec {
+        StrategySpec::Hash { .. } => {
+            let mut expected: Vec<Entry> = Vec::new();
+            for v in &union {
+                let mine = state.with_engine(key, |e| e.assigns_to(v, me)).unwrap_or(false);
+                if mine {
+                    expected.push(v.clone());
+                }
+            }
+            let mine = state.read_engine(key, |e| e.entries().to_vec()).unwrap_or_default();
+            suspect |= expected.len() != mine.len()
+                || storage::entry_set_hash(&expected) != storage::entry_set_hash(&mine);
+        }
+        StrategySpec::RoundRobin { y } => {
+            let expected = positions.iter().filter(|(pos, _)| {
+                let base = ServerId::new((**pos % n as u64) as u32);
+                (0..y).any(|k| base.wrapping_add(k, n) == me)
+            });
+            let expected_hash = storage::position_set_hash(expected.map(|(p, v)| (*p, v)));
+            let mine_hash = local.map(|(_, _, ph, _)| ph).unwrap_or(0);
+            suspect |= expected_hash != mine_hash;
+            if me_idx == 0 {
+                suspect |= counters != local.and_then(|(.., cs)| cs);
+            }
+        }
+        _ => {}
+    }
+    if !suspect {
+        return false;
+    }
+
+    // Repair: rebuild this server's share from the merged donor data,
+    // through the same message path resync uses.
+    let entries_for_rebuild = match spec {
+        StrategySpec::FullReplication | StrategySpec::Fixed { .. } => {
+            // The modal donor's replica set — the union would resurrect
+            // entries a lagging donor failed to delete.
+            digests
+                .iter()
+                .find(|(i, c, h, _)| Some((*c, *h)) == modal && !rows[*i].is_empty())
+                .map(|(i, ..)| rows[*i].clone())
+                .unwrap_or_else(|| {
+                    rows.iter()
+                        .enumerate()
+                        .filter(|(i, _)| *i != me_idx)
+                        .map(|(_, r)| r.clone())
+                        .max_by_key(Vec::len)
+                        .unwrap_or_default()
+                })
+        }
+        _ => union,
+    };
+    match rebuild_engine(state, key, spec, entries_for_rebuild, positions, counters) {
+        Ok(()) => {
+            pls_telemetry::info!(
+                "antientropy_repaired",
+                req = round_id,
+                server = me_idx,
+                key_bytes = key.len()
+            );
+            true
+        }
+        Err(err) => {
+            pls_telemetry::warn!(
+                "antientropy_repair_failed",
+                req = round_id,
+                server = me_idx,
+                err = err
+            );
+            false
+        }
+    }
 }
 
 /// Parses a request id from a query parameter: decimal, or hex with a
@@ -705,6 +1296,36 @@ async fn handle_request(
                 },
             })
         }
+        Request::Digest { key } => {
+            // Cheap placement digest for anti-entropy: set hashes and
+            // counts, no entry payloads on the wire.
+            let digest = state.read_engine(&key, |e| {
+                (
+                    e.entries().len() as u64,
+                    storage::entry_set_hash(e.entries()),
+                    storage::position_set_hash(e.rr_positions()),
+                    e.rr_counters(),
+                )
+            });
+            Ok(match digest {
+                Some((count, entry_hash, positions_hash, counters)) => Response::Digest {
+                    known: true,
+                    spec: Some(state.spec_of(&key)),
+                    count,
+                    entry_hash,
+                    positions_hash,
+                    counters,
+                },
+                None => Response::Digest {
+                    known: false,
+                    spec: None,
+                    count: 0,
+                    entry_hash: 0,
+                    positions_hash: 0,
+                    counters: None,
+                },
+            })
+        }
         Request::SpecOf { key } => {
             let known = state.engines.lock().contains_key(&key);
             Ok(Response::SpecOf(known.then(|| state.spec_of(&key))))
@@ -754,7 +1375,10 @@ async fn apply(
     // engine.
     let effective = state.spec_of(key);
     let spec_override = (effective != state.cfg.spec).then_some(effective);
-    let first = state.with_engine(key, |e| e.handle(from, msg))?;
+    // Append the inbound message to the WAL in the same critical section
+    // that applies it; cascade self-deliveries below stay unlogged
+    // because replay re-derives them from this one record.
+    let first = state.with_engine_logged(key, from, spec_override, msg)?;
     let mut queue: VecDeque<Outbound<Entry>> = first.into();
     while let Some(out) = queue.pop_front() {
         let targets: Vec<(ServerId, Message<Entry>)> = match out {
@@ -809,6 +1433,18 @@ async fn apply(
                         );
                     }
                 }
+            }
+        }
+    }
+    if let Some(storage) = &state.storage {
+        // Group-commit fsync before the ack: if the caller hears Ok, the
+        // record survives a crash. Concurrent appends coalesce into one
+        // fsync. A sync failure fails the request — never ack state the
+        // disk may not hold.
+        storage.sync()?;
+        if storage.should_checkpoint(state.cfg.checkpoint_every) {
+            if let Err(err) = checkpoint_now(state) {
+                pls_telemetry::warn!("checkpoint_failed", server = state.cfg.me, err = err);
             }
         }
     }

@@ -324,3 +324,48 @@ async fn black_holed_fan_out_is_bounded_and_counted() {
     );
     assert!(merged.counter("pls_internal_send_failures_total").unwrap_or(0) > 0);
 }
+
+/// Cold-start resync against a black-holed donor: every Keys/Snapshot
+/// pull is deadline-capped and the whole recovery runs under one
+/// operation budget, so a silent donor *delays* resync by at most a few
+/// capped RPCs — it never hangs it — and the state still comes back
+/// complete from the healthy donors.
+#[tokio::test]
+async fn black_holed_donor_delays_but_never_hangs_resync() {
+    let chaos = Arc::new(ChaosConfig::new(12));
+    let spec = StrategySpec::full_replication();
+    let (addrs, _real, handles) = spawn_chaos_cluster(4, spec, 240, &[1], &chaos).await;
+
+    let mut client =
+        Client::connect(ClientConfig::new(addrs.clone(), spec, 241).with_timeouts(tight()));
+    client.place(b"k1", entries(0..10)).await.unwrap();
+    client.place(b"k2", entries(50..55)).await.unwrap();
+
+    // Silence the donor at index 1, crash server 3, and cold-start a
+    // replacement that must resync through the remaining donors.
+    chaos.set_black_hole(1.0);
+    handles.last().unwrap().abort();
+    // `handles` interleaves proxy and server tasks; the last pushed for
+    // index 3 is the server task. Abort it and take over its address.
+    tokio::time::sleep(Duration::from_millis(30)).await;
+    let socket = tokio::net::TcpSocket::new_v4().unwrap();
+    socket.set_reuseaddr(true).unwrap();
+    socket.bind(addrs[3]).unwrap();
+    let listener = socket.listen(64).unwrap();
+    let cfg = ServerConfig::new(3, addrs.clone(), spec, 240).with_timeouts(tight());
+    let (replacement, _) = Server::with_listener(cfg, listener).unwrap();
+
+    let started = Instant::now();
+    let recovered = replacement.resync_from_peers().await.unwrap();
+    let elapsed = started.elapsed();
+    // The op budget bounds the whole resync; the black-holed donor may
+    // burn one capped RPC per pull but cannot push past the budget.
+    let budget = tight().op_budget + Duration::from_secs(2);
+    assert!(elapsed < budget, "resync took {elapsed:?} against a silent donor");
+    assert_eq!(recovered, 2, "both keys must come back from the healthy donors");
+    tokio::spawn(replacement.run());
+
+    let (keys, stored) = client.status_of(3).await.unwrap();
+    assert_eq!(keys, 2);
+    assert_eq!(stored, 15);
+}
