@@ -132,8 +132,9 @@ struct State {
     /// frame; internal fan-out inherits the triggering request's id.
     next_id: AtomicU64,
     /// Durable state (WAL + checkpoints); `None` for memory-only
-    /// servers.
-    storage: Option<Storage>,
+    /// servers. `Arc` so fsync and checkpoint I/O can run on blocking
+    /// threads (`spawn_blocking`) instead of stalling the async runtime.
+    storage: Option<Arc<Storage>>,
     /// Latest live §4.4 fault tolerance per adversary threshold `t`,
     /// refreshed by anti-entropy rounds (min across deep-checked keys).
     live_ft: Mutex<BTreeMap<usize, usize>>,
@@ -208,17 +209,25 @@ impl State {
         self.engines.lock().get_mut(key).map(f)
     }
 
-    /// Like [`State::with_engine`] for an inbound message, but the
-    /// message is appended to the WAL first (when durability is on),
-    /// under the same engines lock — so the log's record order is
-    /// exactly the engines' apply order, and replay reproduces it.
+    /// Applies an inbound message *and its entire local cascade* to the
+    /// key's engine in one engines-lock critical section, appending the
+    /// message to the WAL first (when durability is on). Returns the
+    /// remote deliveries the cascade produced, for the caller to send
+    /// outside the lock.
+    ///
+    /// Holding the lock across the whole local cascade keeps two
+    /// invariants: the log's record order is exactly the engines' apply
+    /// order (so replay reproduces it), and any checkpoint capture —
+    /// which takes the same lock — sees either none or all of a
+    /// record's local effects, never a half-applied cascade that a
+    /// later WAL truncation would silently drop.
     fn with_engine_logged(
         &self,
         key: &[u8],
         from: Endpoint,
         spec_override: Option<StrategySpec>,
         msg: Message<Entry>,
-    ) -> Result<Vec<Outbound<Entry>>, ClusterError> {
+    ) -> Result<Vec<(ServerId, Message<Entry>)>, ClusterError> {
         let spec = self.spec_of(key);
         let mut map = self.engines.lock();
         if !map.contains_key(key) {
@@ -229,8 +238,46 @@ impl State {
         if let Some(storage) = &self.storage {
             storage.append(key, from, spec_override, &msg)?;
         }
-        Ok(map.get_mut(key).expect("just inserted").handle(from, msg))
+        let engine = map.get_mut(key).expect("just inserted");
+        Ok(deliver_local(engine, self.me(), self.n(), from, msg))
     }
+}
+
+/// Feeds one inbound message to an engine and drains its *local*
+/// cascade in place, breadth-first: `To(me)` deliveries and the
+/// broadcast self-copy are re-fed to the same engine immediately.
+/// Returns the remote deliveries in generation order for the caller to
+/// send (live handling) or drop (WAL replay — each peer replays its own
+/// log, so re-sending would double-apply on servers that already
+/// persisted the effect).
+fn deliver_local(
+    engine: &mut NodeEngine<Entry>,
+    me: ServerId,
+    n: usize,
+    from: Endpoint,
+    msg: Message<Entry>,
+) -> Vec<(ServerId, Message<Entry>)> {
+    let mut remote = Vec::new();
+    let mut queue: VecDeque<Outbound<Entry>> = engine.handle(from, msg).into();
+    while let Some(out) = queue.pop_front() {
+        let local = match out {
+            Outbound::To(dest, m) if dest == me => Some(m),
+            Outbound::To(dest, m) => {
+                remote.push((dest, m));
+                None
+            }
+            Outbound::Broadcast(m) => {
+                remote.extend(
+                    (0..n as u32).map(ServerId::new).filter(|d| *d != me).map(|d| (d, m.clone())),
+                );
+                Some(m)
+            }
+        };
+        if let Some(m) = local {
+            queue.extend(engine.handle(Endpoint::Server(me), m));
+        }
+    }
+    remote
 }
 
 /// A running lookup server.
@@ -300,7 +347,7 @@ impl Server {
             None => None,
         };
         let (storage_handle, recovered_state) = match opened {
-            Some((s, r)) => (Some(s), Some(r)),
+            Some((s, r)) => (Some(Arc::new(s)), Some(r)),
             None => (None, None),
         };
         let state = Arc::new(State {
@@ -618,10 +665,26 @@ fn collect_metrics(state: &State, reset: bool) -> MetricsSnapshot {
     s
 }
 
+/// The per-key placement digest anti-entropy compares: entry count,
+/// order-independent entry/position set hashes, and round-robin
+/// counters. Served by `Request::Digest` and used locally both to
+/// detect divergence and to re-validate that a key did not change
+/// between sampling it and repairing it.
+fn engine_digest(e: &NodeEngine<Entry>) -> (u64, u64, u64, Option<(u64, u64)>) {
+    (
+        e.entries().len() as u64,
+        storage::entry_set_hash(e.entries()),
+        storage::position_set_hash(e.rr_positions()),
+        e.rr_counters(),
+    )
+}
+
 /// Rebuilds one key's engine from collected placement state, through
 /// the engine's own message protocol (`Reset` then the strategy's feed)
 /// — the single code path shared by disk recovery, cold-start resync,
-/// and anti-entropy repair.
+/// and anti-entropy repair. Locks the engines map for the whole
+/// rebuild, so concurrent writes serialize against it instead of
+/// interleaving with a half-fed engine.
 ///
 /// `entries` is the replica set for full replication / Fixed-x, the
 /// candidate coverage for RandomServer-x and Hash-y, and unused for
@@ -634,27 +697,58 @@ fn rebuild_engine(
     positions: BTreeMap<u64, Entry>,
     counters: Option<(u64, u64)>,
 ) -> Result<(), ClusterError> {
+    let mut map = state.engines.lock();
+    rebuild_engine_in(state, &mut map, key, spec, entries, positions, counters)
+}
+
+/// [`rebuild_engine`] against an already-locked engines map, for
+/// callers that must validate-and-rebuild atomically (anti-entropy's
+/// racing-write guard).
+fn rebuild_engine_in(
+    state: &State,
+    map: &mut HashMap<Vec<u8>, NodeEngine<Entry>>,
+    key: &[u8],
+    spec: StrategySpec,
+    entries: Vec<Entry>,
+    positions: BTreeMap<u64, Entry>,
+    counters: Option<(u64, u64)>,
+) -> Result<(), ClusterError> {
     let me = state.me();
     // Adopt a per-key strategy override before the engine exists.
+    // (Inlined `State::set_spec` — it takes the engines lock, which this
+    // caller already holds.)
     if spec != state.cfg.spec {
-        state.set_spec(key, spec)?;
+        spec.validate(state.n())?;
+        let current = state.spec_of(key);
+        if map.contains_key(key) && current != spec {
+            return Err(ClusterError::Remote(format!(
+                "key already managed under {current}; cannot switch to {spec}"
+            )));
+        }
+        state.key_specs.lock().insert(key.to_vec(), spec);
     }
-    let feed = |m: Message<Entry>| state.with_engine(key, |e| e.handle(Endpoint::Server(me), m));
-    feed(Message::Reset)?;
+    if !map.contains_key(key) {
+        let engine = NodeEngine::new(me, state.n(), spec, state.key_seed(key))?;
+        map.insert(key.to_vec(), engine);
+        state.metrics.engines_created.inc();
+    }
+    let engine = map.get_mut(key).expect("just inserted");
+    // Local feed only: rebuilds repair this server's share, they never
+    // fan out, so cascade outbounds are intentionally dropped.
+    engine.handle(Endpoint::Server(me), Message::Reset);
     match spec {
         StrategySpec::FullReplication | StrategySpec::Fixed { .. } => {
             if !entries.is_empty() {
-                feed(Message::StoreSet { entries })?;
+                engine.handle(Endpoint::Server(me), Message::StoreSet { entries });
             }
         }
         StrategySpec::RandomServer { x } => {
-            feed(Message::ChooseSubset { entries, x })?;
+            engine.handle(Endpoint::Server(me), Message::ChooseSubset { entries, x });
         }
         StrategySpec::Hash { .. } => {
             for v in entries {
-                let mine = state.with_engine(key, |e| e.assigns_to(&v, me))?;
-                if mine {
-                    feed(Message::Store { v })?;
+                if engine.assigns_to(&v, me) {
+                    engine.handle(Endpoint::Server(me), Message::Store { v });
                 }
             }
         }
@@ -666,13 +760,13 @@ fn rebuild_engine(
                         _ => (0, 0),
                     }
                 });
-                feed(Message::RrSetCounters { head, tail })?;
+                engine.handle(Endpoint::Server(me), Message::RrSetCounters { head, tail });
             }
             let n = state.n();
             for (pos, v) in positions {
                 let base = ServerId::new((pos % n as u64) as u32);
                 if (0..y).any(|k| base.wrapping_add(k, n) == me) {
-                    feed(Message::RrStore { v, pos })?;
+                    engine.handle(Endpoint::Server(me), Message::RrStore { v, pos });
                 }
             }
         }
@@ -736,28 +830,18 @@ fn replay_record(state: &State, record: WalRecord) -> Result<(), ClusterError> {
         state.set_spec(&key, spec)?;
     }
     let me = state.me();
-    let first = state.with_engine(&key, |e| e.handle(from, msg))?;
-    let mut queue: VecDeque<Outbound<Entry>> = first.into();
-    while let Some(out) = queue.pop_front() {
-        let m = match out {
-            Outbound::To(dest, m) if dest == me => m,
-            Outbound::To(..) => continue,
-            Outbound::Broadcast(m) => m,
-        };
-        let more = state.with_engine(&key, |e| e.handle(Endpoint::Server(me), m))?;
-        queue.extend(more);
-    }
-    Ok(())
+    let n = state.n();
+    state.with_engine(&key, |e| {
+        deliver_local(e, me, n, from, msg);
+    })
 }
 
-/// Snapshots every engine and writes a checkpoint, under the engines
-/// lock throughout — appends also hold that lock, so the checkpoint
-/// covers exactly the records appended so far and the truncated WAL
-/// loses nothing. A no-op for memory-only servers.
-fn checkpoint_now(state: &State) -> Result<(), ClusterError> {
-    let Some(storage) = &state.storage else {
-        return Ok(());
-    };
+/// Captures a checkpoint-consistent view under the engines lock: every
+/// engine's snapshot plus the highest WAL sequence appended so far.
+/// Appends (with their full local cascade) hold the same lock, so the
+/// snapshots contain the effect of exactly the records up to the
+/// returned sequence — the contract [`Storage::checkpoint`] requires.
+fn capture_checkpoint(state: &State, storage: &Storage) -> (Vec<KeySnapshot>, u64) {
     let map = state.engines.lock();
     let snaps: Vec<KeySnapshot> = map
         .iter()
@@ -769,7 +853,34 @@ fn checkpoint_now(state: &State) -> Result<(), ClusterError> {
             counters: e.rr_counters(),
         })
         .collect();
-    storage.checkpoint(&snaps)
+    let last_seq = storage.appended_seq();
+    (snaps, last_seq)
+}
+
+/// Synchronous checkpoint: capture under the engines lock, then write
+/// with the lock released (request processing continues while the
+/// checkpoint file is written and fsynced). A no-op for memory-only
+/// servers. Use [`checkpoint_async`] from async contexts.
+fn checkpoint_now(state: &State) -> Result<(), ClusterError> {
+    let Some(storage) = &state.storage else {
+        return Ok(());
+    };
+    let (snaps, last_seq) = capture_checkpoint(state, storage);
+    storage.checkpoint(last_seq, &snaps)
+}
+
+/// Like [`checkpoint_now`], but the blocking file write + fsync runs on
+/// a blocking thread so the async executor is never stalled by
+/// checkpoint I/O.
+async fn checkpoint_async(state: &Arc<State>) -> Result<(), ClusterError> {
+    let Some(storage) = &state.storage else {
+        return Ok(());
+    };
+    let (snaps, last_seq) = capture_checkpoint(state, storage);
+    let storage = Arc::clone(storage);
+    tokio::task::spawn_blocking(move || storage.checkpoint(last_seq, &snaps))
+        .await
+        .map_err(|e| ClusterError::Remote(format!("checkpoint task died: {e}")))?
 }
 
 /// Keys deep-checked per anti-entropy round: full snapshot pulls that
@@ -862,7 +973,7 @@ async fn anti_entropy_round(state: &Arc<State>, round: u64) -> Result<(), Cluste
 
     if repaired > 0 {
         // Repairs bypass the WAL; persist them before the next crash.
-        if let Err(err) = checkpoint_now(state) {
+        if let Err(err) = checkpoint_async(state).await {
             pls_telemetry::warn!("antientropy_checkpoint_failed", server = me_idx, err = err);
         }
     }
@@ -882,9 +993,12 @@ async fn anti_entropy_round(state: &Arc<State>, round: u64) -> Result<(), Cluste
 /// Reconciles one key against the peers: a cheap digest comparison for
 /// every key, a deep check (full snapshot pulls, which also feed the
 /// live fault-tolerance rows) for the rotating window or when the
-/// digests already look wrong, and a [`rebuild_engine`] repair when
-/// this server's share is provably divergent. Returns whether a repair
-/// was applied.
+/// digests already look wrong, and a [`rebuild_engine_in`] repair when
+/// this server's share is provably divergent. The repair re-validates
+/// the key's digest under the engines lock first and aborts if a write
+/// landed since the deep capture — donor snapshots pulled across
+/// awaits are stale relative to such a write, and rebuilding from them
+/// would wipe acked state. Returns whether a repair was applied.
 async fn reconcile_key(
     state: &Arc<State>,
     round_id: u64,
@@ -899,14 +1013,7 @@ async fn reconcile_key(
     let rpc = state.cfg.timeouts.rpc;
 
     // Cheap phase: everyone's digest.
-    let local = state.read_engine(key, |e| {
-        (
-            e.entries().len() as u64,
-            storage::entry_set_hash(e.entries()),
-            storage::position_set_hash(e.rr_positions()),
-            e.rr_counters(),
-        )
-    });
+    let local = state.read_engine(key, |e| engine_digest(e));
     let mut digests: Vec<(usize, u64, u64, Option<StrategySpec>)> = Vec::new();
     for (i, peer) in state.peers.iter().enumerate() {
         if i == me_idx {
@@ -976,15 +1083,29 @@ async fn reconcile_key(
 
     // Deep phase: full snapshots — the live placement rows for the
     // §4.4 gauge, ground truth for the Hash/Round-Robin checks, and
-    // the donor data a repair rebuilds from.
+    // the donor data a repair rebuilds from. This server's own
+    // contribution is captured in ONE lock acquisition together with
+    // its digest (`guard`); the digest is re-checked under the engines
+    // lock immediately before any repair, so a write acked after this
+    // capture aborts the repair instead of being wiped by a rebuild
+    // from stale data.
+    let local_deep = state.read_engine(key, |e| {
+        (
+            e.entries().to_vec(),
+            e.rr_positions().map(|(p, v)| (p, v.clone())).collect::<BTreeMap<u64, Entry>>(),
+            engine_digest(e),
+        )
+    });
+    let guard = local_deep.as_ref().map(|(.., d)| *d);
     let mut rows: Vec<Vec<Entry>> = vec![Vec::new(); n];
-    rows[me_idx] = state.read_engine(key, |e| e.entries().to_vec()).unwrap_or_default();
+    let mut positions: BTreeMap<u64, Entry> = BTreeMap::new();
+    if let Some((entries, ps, _)) = &local_deep {
+        rows[me_idx] = entries.clone();
+        positions = ps.clone();
+    }
     let mut union: Vec<Entry> = rows[me_idx].clone();
     let mut in_union: HashSet<Entry> = union.iter().cloned().collect();
-    let mut positions: BTreeMap<u64, Entry> = state
-        .read_engine(key, |e| e.rr_positions().map(|(p, v)| (p, v.clone())).collect())
-        .unwrap_or_default();
-    let mut counters = local.and_then(|(.., cs)| cs);
+    let mut counters = guard.and_then(|(.., cs)| cs);
     let mut donors = 0usize;
     for (i, peer) in state.peers.iter().enumerate() {
         if i == me_idx {
@@ -1020,30 +1141,29 @@ async fn reconcile_key(
         ft_min.entry(t).and_modify(|m| *m = (*m).min(tol)).or_insert(tol);
     }
 
-    // Deep verdicts for the share-splitting strategies.
-    match spec {
-        StrategySpec::Hash { .. } => {
-            let mut expected: Vec<Entry> = Vec::new();
-            for v in &union {
-                let mine = state.with_engine(key, |e| e.assigns_to(v, me)).unwrap_or(false);
-                if mine {
-                    expected.push(v.clone());
-                }
-            }
-            let mine = state.read_engine(key, |e| e.entries().to_vec()).unwrap_or_default();
+    // Deep verdicts for the share-splitting strategies, judged against
+    // the consistent local capture (when the key is missing locally,
+    // `suspect` is already set above).
+    match (spec, &local_deep) {
+        (StrategySpec::Hash { .. }, Some((mine, ..))) => {
+            let expected: Vec<Entry> = state
+                .read_engine(key, |e| {
+                    union.iter().filter(|&v| e.assigns_to(v, me)).cloned().collect()
+                })
+                .unwrap_or_default();
             suspect |= expected.len() != mine.len()
-                || storage::entry_set_hash(&expected) != storage::entry_set_hash(&mine);
+                || storage::entry_set_hash(&expected) != storage::entry_set_hash(mine);
         }
-        StrategySpec::RoundRobin { y } => {
+        (StrategySpec::RoundRobin { y }, Some((_, _, digest))) => {
             let expected = positions.iter().filter(|(pos, _)| {
                 let base = ServerId::new((**pos % n as u64) as u32);
                 (0..y).any(|k| base.wrapping_add(k, n) == me)
             });
             let expected_hash = storage::position_set_hash(expected.map(|(p, v)| (*p, v)));
-            let mine_hash = local.map(|(_, _, ph, _)| ph).unwrap_or(0);
+            let (_, _, mine_hash, mine_counters) = *digest;
             suspect |= expected_hash != mine_hash;
             if me_idx == 0 {
-                suspect |= counters != local.and_then(|(.., cs)| cs);
+                suspect |= counters != mine_counters;
             }
         }
         _ => {}
@@ -1054,6 +1174,15 @@ async fn reconcile_key(
 
     // Repair: rebuild this server's share from the merged donor data,
     // through the same message path resync uses.
+    //
+    // Known limitation — no tombstones: the union paths (RandomServer,
+    // Round-Robin positions) merge every donor's surviving state, so a
+    // donor that missed a `Delete` (it was unreachable when the update
+    // fanned out) re-contributes the deleted entry and repair re-stores
+    // it. The modal vote below shields FullReplication/Fixed from this;
+    // for the union strategies the resurrection window lasts until the
+    // lagging donor itself is repaired against the majority. Closing it
+    // needs per-entry versions or delete tombstones (see DESIGN.md §10).
     let entries_for_rebuild = match spec {
         StrategySpec::FullReplication | StrategySpec::Fixed { .. } => {
             // The modal donor's replica set — the union would resurrect
@@ -1073,7 +1202,24 @@ async fn reconcile_key(
         }
         _ => union,
     };
-    match rebuild_engine(state, key, spec, entries_for_rebuild, positions, counters) {
+    // Validate-and-rebuild atomically: every write path (WAL append +
+    // local cascade) holds the engines lock, so if the key's digest
+    // still matches the deep capture, no write landed since — and none
+    // can land until the rebuild below releases the lock. A changed
+    // digest means a write was acked (and fsynced) after our samples;
+    // rebuilding from those now-stale donor snapshots would wipe it, so
+    // the repair is skipped and the next round re-checks from scratch.
+    let mut map = state.engines.lock();
+    if map.get(key).map(engine_digest) != guard {
+        pls_telemetry::debug!(
+            "antientropy_repair_skipped_stale",
+            req = round_id,
+            server = me_idx,
+            key_bytes = key.len()
+        );
+        return false;
+    }
+    match rebuild_engine_in(state, &mut map, key, spec, entries_for_rebuild, positions, counters) {
         Ok(()) => {
             pls_telemetry::info!(
                 "antientropy_repaired",
@@ -1299,14 +1445,7 @@ async fn handle_request(
         Request::Digest { key } => {
             // Cheap placement digest for anti-entropy: set hashes and
             // counts, no entry payloads on the wire.
-            let digest = state.read_engine(&key, |e| {
-                (
-                    e.entries().len() as u64,
-                    storage::entry_set_hash(e.entries()),
-                    storage::position_set_hash(e.rr_positions()),
-                    e.rr_counters(),
-                )
-            });
+            let digest = state.read_engine(&key, |e| engine_digest(e));
             Ok(match digest {
                 Some((count, entry_hash, positions_hash, counters)) => Response::Digest {
                     known: true,
@@ -1375,64 +1514,50 @@ async fn apply(
     // engine.
     let effective = state.spec_of(key);
     let spec_override = (effective != state.cfg.spec).then_some(effective);
-    // Append the inbound message to the WAL in the same critical section
-    // that applies it; cascade self-deliveries below stay unlogged
-    // because replay re-derives them from this one record.
-    let first = state.with_engine_logged(key, from, spec_override, msg)?;
-    let mut queue: VecDeque<Outbound<Entry>> = first.into();
-    while let Some(out) = queue.pop_front() {
-        let targets: Vec<(ServerId, Message<Entry>)> = match out {
-            Outbound::To(dest, m) => vec![(dest, m)],
-            Outbound::Broadcast(m) => {
-                (0..state.n() as u32).map(|i| (ServerId::new(i), m.clone())).collect()
-            }
+    // The WAL append, the inbound message, and its whole local cascade
+    // land in one engines-lock critical section (cascade self-deliveries
+    // stay unlogged: replay re-derives them from the one record). Only
+    // the remote deliveries are carried out here, outside the lock.
+    let remote = state.with_engine_logged(key, from, spec_override, msg)?;
+    for (dest, m) in remote {
+        let req = Request::Internal {
+            from: me.index() as u32,
+            key: key.to_vec(),
+            spec: spec_override,
+            msg: m,
         };
-        for (dest, m) in targets {
-            if dest == me {
-                let more = state.with_engine(key, |e| e.handle(Endpoint::Server(me), m))?;
-                queue.extend(more);
+        state.metrics.internal_sent.inc();
+        // Internal fan-out inherits the triggering request's id,
+        // so one client update correlates across every server —
+        // and each send is a recorded span, so a request's
+        // timeline shows how long every peer delivery took.
+        let mut send_span =
+            Span::enter_with_id(Level::Trace, module_path!(), "internal_send", req_id);
+        send_span.field("server", state.cfg.me);
+        send_span.field("peer", dest.index());
+        let call =
+            state.peers[dest.index()].call_retry(req_id, &req, &state.cfg.retry, deadline).await;
+        drop(send_span);
+        if let Err(err) = call {
+            state.metrics.internal_send_failures.inc();
+            if err.is_unavailable() {
+                // Crashed/unreachable/silent peer: drop, like the
+                // simulator.
+                pls_telemetry::debug!(
+                    "internal_send_dropped",
+                    req = req_id,
+                    server = state.cfg.me,
+                    peer = dest.index(),
+                    err = err
+                );
             } else {
-                let req = Request::Internal {
-                    from: me.index() as u32,
-                    key: key.to_vec(),
-                    spec: spec_override,
-                    msg: m,
-                };
-                state.metrics.internal_sent.inc();
-                // Internal fan-out inherits the triggering request's id,
-                // so one client update correlates across every server —
-                // and each send is a recorded span, so a request's
-                // timeline shows how long every peer delivery took.
-                let mut send_span =
-                    Span::enter_with_id(Level::Trace, module_path!(), "internal_send", req_id);
-                send_span.field("server", state.cfg.me);
-                send_span.field("peer", dest.index());
-                let call = state.peers[dest.index()]
-                    .call_retry(req_id, &req, &state.cfg.retry, deadline)
-                    .await;
-                drop(send_span);
-                if let Err(err) = call {
-                    state.metrics.internal_send_failures.inc();
-                    if err.is_unavailable() {
-                        // Crashed/unreachable/silent peer: drop, like the
-                        // simulator.
-                        pls_telemetry::debug!(
-                            "internal_send_dropped",
-                            req = req_id,
-                            server = state.cfg.me,
-                            peer = dest.index(),
-                            err = err
-                        );
-                    } else {
-                        pls_telemetry::warn!(
-                            "internal_rejected",
-                            req = req_id,
-                            server = state.cfg.me,
-                            peer = dest.index(),
-                            err = err
-                        );
-                    }
-                }
+                pls_telemetry::warn!(
+                    "internal_rejected",
+                    req = req_id,
+                    server = state.cfg.me,
+                    peer = dest.index(),
+                    err = err
+                );
             }
         }
     }
@@ -1440,10 +1565,14 @@ async fn apply(
         // Group-commit fsync before the ack: if the caller hears Ok, the
         // record survives a crash. Concurrent appends coalesce into one
         // fsync. A sync failure fails the request — never ack state the
-        // disk may not hold.
-        storage.sync()?;
+        // disk may not hold. The fsync is a blocking syscall, so it runs
+        // on a blocking thread instead of stalling the executor.
+        let wal = Arc::clone(storage);
+        tokio::task::spawn_blocking(move || wal.sync())
+            .await
+            .map_err(|e| ClusterError::Remote(format!("wal sync task died: {e}")))??;
         if storage.should_checkpoint(state.cfg.checkpoint_every) {
-            if let Err(err) = checkpoint_now(state) {
+            if let Err(err) = checkpoint_async(state).await {
                 pls_telemetry::warn!("checkpoint_failed", server = state.cfg.me, err = err);
             }
         }

@@ -19,6 +19,10 @@
 //! then replays every WAL record with a sequence *above* the
 //! checkpoint's — so a crash between the checkpoint rename and the log
 //! truncation is harmless, and replaying twice equals replaying once.
+//! The same by-sequence rule lets a checkpoint skip truncation
+//! entirely when appends raced its write: the covered prefix lingers
+//! in the log (replay drops it) until a quiescent checkpoint reclaims
+//! it.
 //! A torn tail (partial write, bad CRC, undecodable record) truncates
 //! the log at the first bad byte and keeps everything before it; a
 //! damaged log never refuses to start.
@@ -197,7 +201,7 @@ struct WalInner {
     appended_seq: u64,
     /// Highest sequence known durable.
     synced_seq: u64,
-    /// Appends since the last checkpoint, for the checkpoint trigger.
+    /// Appends not covered by a checkpoint, for the checkpoint trigger.
     since_checkpoint: u64,
 }
 
@@ -205,6 +209,11 @@ struct WalInner {
 pub struct Storage {
     dir: PathBuf,
     wal: Mutex<WalInner>,
+    /// Serializes checkpoint writers and remembers the highest sequence
+    /// a durable checkpoint covers, so a racing older capture is
+    /// dropped instead of regressing the checkpoint file (which would
+    /// orphan records a newer checkpoint already truncated).
+    ckpt_seq: Mutex<u64>,
     /// Durability counters (appends, fsyncs, replays, checkpoints).
     pub metrics: StorageMetrics,
 }
@@ -257,6 +266,7 @@ impl Storage {
                 synced_seq: max_seq,
                 since_checkpoint: records.len() as u64,
             }),
+            ckpt_seq: Mutex::new(checkpoint_seq),
             metrics: StorageMetrics::default(),
         };
         Ok((storage, Recovered { snapshots, records, checkpoint_seq, torn }))
@@ -325,23 +335,44 @@ impl Storage {
         self.wal.lock().since_checkpoint >= every.max(1)
     }
 
-    /// Writes a checkpoint covering every record appended so far, then
-    /// truncates the WAL. Crash-safe ordering: the snapshot is written
-    /// to a scratch file, fsynced, atomically renamed over the old
-    /// checkpoint, and only then is the log truncated — a crash in
-    /// between leaves records the new checkpoint already covers, which
-    /// replay skips by sequence number.
+    /// The highest sequence written to the log so far. Read it under
+    /// the same lock that serializes appends (the server's engines
+    /// lock) to pair it with an engine snapshot that includes exactly
+    /// those records' effects.
+    pub fn appended_seq(&self) -> u64 {
+        self.wal.lock().appended_seq
+    }
+
+    /// Writes a checkpoint covering every record up to `last_seq`, then
+    /// truncates the WAL *if no later record exists*. Crash-safe
+    /// ordering: the snapshot is written to a scratch file, fsynced,
+    /// atomically renamed over the old checkpoint, and only then is the
+    /// log truncated — a crash in between leaves records the new
+    /// checkpoint already covers, which replay skips by sequence
+    /// number.
     ///
-    /// `snaps` must describe engine state that includes every appended
-    /// record's effect (the server snapshots its engines and calls this
-    /// without releasing the engine lock in between).
+    /// `snaps` must describe engine state that includes the effect of
+    /// every record up to `last_seq` and of no record after it (the
+    /// server captures both atomically under its engines lock, then
+    /// calls this with the lock released — checkpoint I/O never stalls
+    /// request processing). Records appended while the checkpoint was
+    /// being written make the truncation unsafe, so it is skipped: the
+    /// covered prefix stays in the log, replay skips it by sequence,
+    /// and the next quiescent checkpoint reclaims the space. Concurrent
+    /// checkpointers are serialized; a capture older than what the
+    /// checkpoint file already covers is dropped.
     ///
     /// # Errors
     ///
     /// I/O errors writing, renaming, or truncating.
-    pub fn checkpoint(&self, snaps: &[KeySnapshot]) -> Result<(), ClusterError> {
-        let mut inner = self.wal.lock();
-        let last_seq = inner.appended_seq;
+    pub fn checkpoint(&self, last_seq: u64, snaps: &[KeySnapshot]) -> Result<(), ClusterError> {
+        let mut ckpt_seq = self.ckpt_seq.lock();
+        if last_seq < *ckpt_seq {
+            // A newer capture already checkpointed past this one;
+            // writing ours would regress `checkpoint.bin` below records
+            // the newer checkpoint may have truncated.
+            return Ok(());
+        }
         let payload = encode_checkpoint(last_seq, snaps);
         let tmp = self.dir.join(CHECKPOINT_TMP);
         {
@@ -356,10 +387,19 @@ impl Storage {
         if let Ok(d) = File::open(&self.dir) {
             let _ = d.sync_all();
         }
-        inner.file.set_len(0)?;
-        inner.file.sync_data()?;
-        inner.synced_seq = inner.appended_seq;
-        inner.since_checkpoint = 0;
+        *ckpt_seq = last_seq;
+        let mut inner = self.wal.lock();
+        if inner.appended_seq == last_seq {
+            inner.file.set_len(0)?;
+            inner.file.sync_data()?;
+            inner.synced_seq = inner.appended_seq;
+            inner.since_checkpoint = 0;
+        } else {
+            // Appends raced the checkpoint write: their records are not
+            // covered, so the log must keep them (and, physically, the
+            // covered prefix too — replay drops it by sequence).
+            inner.since_checkpoint = inner.appended_seq.saturating_sub(last_seq);
+        }
         self.metrics.checkpoints.inc();
         Ok(())
     }
@@ -674,7 +714,7 @@ mod tests {
             positions: Vec::new(),
             counters: None,
         }];
-        storage.checkpoint(&snaps).unwrap();
+        storage.checkpoint(storage.appended_seq(), &snaps).unwrap();
         assert_eq!(fs::metadata(dir.join(WAL_FILE)).unwrap().len(), 0);
         // Records appended after the checkpoint keep their sequence.
         storage.append(b"k", Endpoint::client(0), None, &add(b"late")).unwrap();
@@ -700,7 +740,7 @@ mod tests {
             positions: vec![(0, b"x".to_vec())],
             counters: Some((0, 1)),
         }];
-        storage.checkpoint(&snaps).unwrap();
+        storage.checkpoint(storage.appended_seq(), &snaps).unwrap();
         drop(storage);
         let (_, rec) = Storage::open(&dir).unwrap();
         assert_eq!(rec.snapshots, snaps);
@@ -713,7 +753,7 @@ mod tests {
         let dir = tmpdir("badckpt");
         let (storage, _) = Storage::open(&dir).unwrap();
         storage.append(b"k", Endpoint::client(0), None, &add(b"a")).unwrap();
-        storage.checkpoint(&[]).unwrap();
+        storage.checkpoint(storage.appended_seq(), &[]).unwrap();
         storage.append(b"k", Endpoint::client(0), None, &add(b"b")).unwrap();
         storage.sync().unwrap();
         drop(storage);
@@ -732,6 +772,60 @@ mod tests {
         assert!(rec.snapshots.is_empty());
         assert_eq!(rec.records.len(), 1);
         assert_eq!(rec.records[0].msg, add(b"b"));
+    }
+
+    #[test]
+    fn checkpoint_racing_an_append_keeps_the_uncovered_record() {
+        // A checkpoint captured at seq 2 finishes writing after a third
+        // record was appended: truncating would lose record 3, so the
+        // log must be kept whole and the record must survive reopen.
+        let dir = tmpdir("race");
+        let (storage, _) = Storage::open(&dir).unwrap();
+        storage.append(b"k", Endpoint::client(0), None, &add(b"a")).unwrap();
+        storage.append(b"k", Endpoint::client(0), None, &add(b"b")).unwrap();
+        let captured = storage.appended_seq();
+        storage.append(b"k", Endpoint::client(0), None, &add(b"late")).unwrap();
+        storage.sync().unwrap();
+        storage.checkpoint(captured, &[]).unwrap();
+        assert!(
+            fs::metadata(dir.join(WAL_FILE)).unwrap().len() > 0,
+            "truncation must be skipped when later records exist"
+        );
+        assert!(storage.should_checkpoint(1), "the uncovered record still counts");
+        drop(storage);
+
+        let (_, rec) = Storage::open(&dir).unwrap();
+        assert_eq!(rec.checkpoint_seq, 2);
+        assert_eq!(rec.records.len(), 1, "only the uncovered record replays");
+        assert_eq!(rec.records[0].msg, add(b"late"));
+    }
+
+    #[test]
+    fn stale_checkpoint_capture_cannot_regress_a_newer_one() {
+        let dir = tmpdir("stale");
+        let (storage, _) = Storage::open(&dir).unwrap();
+        storage.append(b"k", Endpoint::client(0), None, &add(b"a")).unwrap();
+        let old_capture = storage.appended_seq();
+        storage.append(b"k", Endpoint::client(0), None, &add(b"b")).unwrap();
+        storage.sync().unwrap();
+        let fresh = vec![KeySnapshot {
+            key: b"k".to_vec(),
+            spec: StrategySpec::full_replication(),
+            entries: vec![b"a".to_vec(), b"b".to_vec()],
+            positions: Vec::new(),
+            counters: None,
+        }];
+        storage.checkpoint(storage.appended_seq(), &fresh).unwrap();
+        // The stale capture arrives late: it must be dropped, not
+        // renamed over the newer checkpoint (whose records the WAL no
+        // longer holds).
+        storage.checkpoint(old_capture, &[]).unwrap();
+        drop(storage);
+
+        let (_, rec) = Storage::open(&dir).unwrap();
+        assert_eq!(rec.checkpoint_seq, 2);
+        assert_eq!(rec.snapshots, fresh);
+        assert!(rec.records.is_empty());
     }
 
     #[test]
