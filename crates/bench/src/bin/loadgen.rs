@@ -1,18 +1,21 @@
 //! `loadgen` — load generator for a *live* partial lookup cluster.
 //!
 //! Where `repro` regenerates the paper's numbers in simulation,
-//! `loadgen` measures the deployed system: it drives partial lookups at
-//! a configurable shape against running `pls-server` processes and
-//! writes the measurements as a `BENCH_<name>.json` artifact in the
-//! shared `pls-bench/v1` schema (git revision, run configuration,
-//! throughput, log₂-histogram latency quantiles, probe decomposition,
-//! robustness totals).
+//! `loadgen` measures the deployed system: it drives partial lookups
+//! (optionally mixed with updates and deletes) at a configurable shape
+//! against running `pls-server` processes and writes the measurements
+//! as a `BENCH_<name>.json` artifact in the shared `pls-bench/v2`
+//! schema (git revision, run configuration, throughput,
+//! log₂-histogram latency quantiles, probe decomposition, robustness
+//! totals, and — for mixed workloads against servers running the
+//! staleness probe — the measured consistency block).
 //!
 //! ```text
 //! loadgen --servers A,B,... --strategy SPEC [--t T] [--seed S]
 //!         [--keys N] [--entries-per-key M] [--zipf S]
 //!         [--duration-s D] [--concurrency C]
 //!         [--mode closed|open] [--rate RPS]
+//!         [--update-pct P] [--delete-pct P]
 //!         [--out DIR] [--name NAME] [--skip-setup]
 //!         [--rpc-timeout-ms MS] [--op-budget-ms MS] [--hedge-ms MS]
 //!         [--log LEVEL]
@@ -32,10 +35,22 @@
 //!                     *scheduled* start so queueing delay is charged
 //!                     (no coordinated omission)
 //!   --rate            open-loop arrival rate, lookups/s (default 100)
+//!   --update-pct      percent of operations that add a fresh entry to
+//!                     the sampled key (default 0 = lookups only)
+//!   --delete-pct      percent of operations that delete an entry this
+//!                     worker added earlier (default 0); a delete with
+//!                     nothing to delete degrades to an update, so the
+//!                     originally placed entries stay available to
+//!                     lookups
 //!   --out             artifact directory (default results/)
 //!   --name            artifact name: BENCH_<name>.json (default cluster)
 //!   --skip-setup      do not place keys first (cluster already loaded)
 //! ```
+//!
+//! With a mixed workload the artifact's `results.staleness` block
+//! captures the cluster's own consistency observatory after the run:
+//! the `pls_live_staleness{strategy,t}` gauges, tombstone totals, and
+//! the `pls_staleness_versions_behind` quantiles.
 
 use std::net::SocketAddr;
 use std::path::PathBuf;
@@ -46,6 +61,7 @@ use std::time::Duration;
 use pls_bench::output::BenchReport;
 use pls_cluster::{parse_spec, Client, ClientConfig, Timeouts};
 use pls_telemetry::json::{array, number, string, Object};
+use pls_telemetry::snapshot::parse_labels;
 use pls_telemetry::trace;
 use pls_telemetry::{Counter, Histogram, HistogramSnapshot, MetricsSnapshot};
 
@@ -65,6 +81,8 @@ struct Options {
     concurrency: usize,
     mode: Mode,
     rate: f64,
+    update_pct: f64,
+    delete_pct: f64,
     out: PathBuf,
     name: String,
     skip_setup: bool,
@@ -83,6 +101,8 @@ fn parse_args() -> Result<Options, String> {
     let mut concurrency = 4usize;
     let mut mode = Mode::Closed;
     let mut rate = 100.0f64;
+    let mut update_pct = 0.0f64;
+    let mut delete_pct = 0.0f64;
     let mut out = PathBuf::from("results");
     let mut name = "cluster".to_string();
     let mut skip_setup = false;
@@ -124,6 +144,14 @@ fn parse_args() -> Result<Options, String> {
                 };
             }
             "--rate" => rate = value("--rate")?.parse().map_err(|e| format!("--rate: {e}"))?,
+            "--update-pct" => {
+                update_pct =
+                    value("--update-pct")?.parse().map_err(|e| format!("--update-pct: {e}"))?;
+            }
+            "--delete-pct" => {
+                delete_pct =
+                    value("--delete-pct")?.parse().map_err(|e| format!("--delete-pct: {e}"))?;
+            }
             "--out" => out = PathBuf::from(value("--out")?),
             "--name" => name = value("--name")?,
             "--skip-setup" => skip_setup = true,
@@ -146,7 +174,8 @@ fn parse_args() -> Result<Options, String> {
             "--help" | "-h" => {
                 return Err("usage: loadgen --servers A,B,... --strategy SPEC [--t T] \
                      [--keys N] [--entries-per-key M] [--zipf S] [--duration-s D] \
-                     [--concurrency C] [--mode closed|open] [--rate RPS] [--out DIR] \
+                     [--concurrency C] [--mode closed|open] [--rate RPS] \
+                     [--update-pct P] [--delete-pct P] [--out DIR] \
                      [--name NAME] [--skip-setup] [--rpc-timeout-ms MS] [--op-budget-ms MS] \
                      [--hedge-ms MS] [--log LEVEL]"
                     .to_string())
@@ -162,6 +191,12 @@ fn parse_args() -> Result<Options, String> {
     if mode == Mode::Open && rate <= 0.0 {
         return Err("--rate must be positive in open mode".to_string());
     }
+    if !(0.0..=100.0).contains(&update_pct)
+        || !(0.0..=100.0).contains(&delete_pct)
+        || update_pct + delete_pct > 100.0
+    {
+        return Err("--update-pct/--delete-pct must be in [0,100] and sum to <= 100".to_string());
+    }
     let mut cfg = ClientConfig::new(servers, spec, seed).with_timeouts(timeouts);
     if let Some(ms) = hedge_ms {
         cfg = cfg.with_hedging(Duration::from_millis(ms));
@@ -176,6 +211,8 @@ fn parse_args() -> Result<Options, String> {
         concurrency,
         mode,
         rate,
+        update_pct,
+        delete_pct,
         out,
         name,
         skip_setup,
@@ -243,8 +280,16 @@ struct Tally {
     failures: Counter,
     /// Completed lookups that returned fewer than `t` entries.
     target_misses: Counter,
+    /// Completed update operations (mixed workload).
+    updates: Counter,
+    /// Completed delete operations (mixed workload).
+    deletes: Counter,
+    /// Update/delete operations that returned an error.
+    mutation_failures: Counter,
     /// Per-lookup latency; open mode measures from the scheduled start.
     latency_us: Histogram,
+    /// Per-mutation (update/delete) latency, same clock rules.
+    mutation_latency_us: Histogram,
 }
 
 async fn setup(opts: &Options) -> Result<(), String> {
@@ -258,18 +303,35 @@ async fn setup(opts: &Options) -> Result<(), String> {
     Ok(())
 }
 
+/// One operation of the mixed workload, drawn per tick from the
+/// configured update/delete/lookup split.
+enum Op {
+    Lookup,
+    Update,
+    Delete,
+}
+
+#[allow(clippy::too_many_arguments)]
 async fn worker(
     opts_cfg: ClientConfig,
+    w: usize,
     t: usize,
     zipf: Arc<Zipf>,
     tally: Arc<Tally>,
     deadline: tokio::time::Instant,
     mut rng: Rng,
     open_interval: Option<Duration>,
+    update_pct: f64,
+    delete_pct: f64,
 ) -> MetricsSnapshot {
     let mut client = Client::connect(opts_cfg);
     let start = tokio::time::Instant::now();
     let mut tick = 0u32;
+    // Entries this worker added and has not yet deleted — the only
+    // entries deletes target, so the originally placed data set stays
+    // intact for lookups.
+    let mut pending: Vec<(Vec<u8>, Vec<u8>)> = Vec::new();
+    let mut added = 0u64;
     loop {
         let scheduled = match open_interval {
             Some(interval) => {
@@ -284,18 +346,71 @@ async fn worker(
             break;
         }
         let key = key_name(zipf.sample(&mut rng));
-        let result = client.partial_lookup(&key, t).await;
-        let elapsed = scheduled.elapsed();
-        match result {
-            Ok(entries) => {
-                tally.lookups.inc();
-                tally.latency_us.observe(elapsed.as_micros().min(u64::MAX as u128) as u64);
-                if entries.len() < t {
-                    tally.target_misses.inc();
+        let op = {
+            let u = rng.f64() * 100.0;
+            if u < update_pct {
+                Op::Update
+            } else if u < update_pct + delete_pct {
+                Op::Delete
+            } else {
+                Op::Lookup
+            }
+        };
+        match op {
+            Op::Lookup => {
+                let result = client.partial_lookup(&key, t).await;
+                let elapsed = scheduled.elapsed();
+                match result {
+                    Ok(entries) => {
+                        tally.lookups.inc();
+                        tally.latency_us.observe(elapsed.as_micros().min(u64::MAX as u128) as u64);
+                        if entries.len() < t {
+                            tally.target_misses.inc();
+                        }
+                    }
+                    Err(_) => {
+                        tally.failures.inc();
+                    }
                 }
             }
-            Err(_) => {
-                tally.failures.inc();
+            Op::Delete if !pending.is_empty() => {
+                // Delete the oldest surviving entry this worker added
+                // (FIFO maximizes the entry's propagation time before
+                // the delete chases it).
+                let (key, entry) = pending.remove(0);
+                let result = client.delete(&key, entry).await;
+                let elapsed = scheduled.elapsed();
+                match result {
+                    Ok(()) => {
+                        tally.deletes.inc();
+                        tally
+                            .mutation_latency_us
+                            .observe(elapsed.as_micros().min(u64::MAX as u128) as u64);
+                    }
+                    Err(_) => {
+                        tally.mutation_failures.inc();
+                    }
+                }
+            }
+            // A delete with nothing this worker may delete degrades to
+            // an update, keeping the mutation rate on schedule.
+            Op::Update | Op::Delete => {
+                added += 1;
+                let entry = format!("upd-{w:02}-{added:08}").into_bytes();
+                let result = client.add(&key, entry.clone()).await;
+                let elapsed = scheduled.elapsed();
+                match result {
+                    Ok(()) => {
+                        tally.updates.inc();
+                        tally
+                            .mutation_latency_us
+                            .observe(elapsed.as_micros().min(u64::MAX as u128) as u64);
+                        pending.push((key, entry));
+                    }
+                    Err(_) => {
+                        tally.mutation_failures.inc();
+                    }
+                }
             }
         }
     }
@@ -348,12 +463,15 @@ async fn run(opts: Options) -> Result<(), String> {
     for w in 0..opts.concurrency {
         handles.push(tokio::spawn(worker(
             opts.cfg.clone(),
+            w,
             opts.t,
             Arc::clone(&zipf),
             Arc::clone(&tally),
             deadline,
             Rng(opts.seed ^ (w as u64).wrapping_mul(0xA24B_AED4_963E_E407)),
             open_interval,
+            opts.update_pct,
+            opts.delete_pct,
         )));
     }
     let mut client_metrics = MetricsSnapshot::new();
@@ -369,6 +487,8 @@ async fn run(opts: Options) -> Result<(), String> {
 
     let lookups = tally.lookups.get();
     let failures = tally.failures.get();
+    let updates = tally.updates.get();
+    let deletes = tally.deletes.get();
     let throughput = lookups as f64 / elapsed.as_secs_f64();
     let latency = tally.latency_us.snapshot();
     if lookups == 0 {
@@ -388,6 +508,8 @@ async fn run(opts: Options) -> Result<(), String> {
         .u64("concurrency", opts.concurrency as u64)
         .string("mode", if opts.mode == Mode::Open { "open" } else { "closed" })
         .field("rate_rps", &rate_json)
+        .f64("update_pct", opts.update_pct)
+        .f64("delete_pct", opts.delete_pct)
         .u64("seed", opts.seed)
         .build();
 
@@ -413,13 +535,52 @@ async fn run(opts: Options) -> Result<(), String> {
         .u64("probe_failures", client_metrics.counter_sum("pls_client_probe_failures_total"))
         .build();
 
+    // The cluster's own consistency observatory, read back after the
+    // run: per-strategy live staleness gauges, tombstone totals, and
+    // the observed version-lag distribution. All zeros/empty when the
+    // servers run without --staleness-ms or the workload is read-only.
+    let mut live_staleness: Vec<String> = after
+        .gauges
+        .iter()
+        .filter_map(|(name, value)| {
+            let (family, labels) = parse_labels(name)?;
+            if family != "pls_live_staleness" {
+                return None;
+            }
+            let strategy = labels.iter().find(|(k, _)| k == "strategy")?.1.clone();
+            let t: u64 = labels.iter().find(|(k, _)| k == "t")?.1.parse().ok()?;
+            Some(
+                Object::new()
+                    .string("strategy", &strategy)
+                    .u64("t", t)
+                    .f64("p_fresh", *value)
+                    .build(),
+            )
+        })
+        .collect();
+    live_staleness.sort();
+    let staleness = Object::new()
+        .field("live", &array(live_staleness))
+        .u64("probe_rounds", after.counter_sum("pls_staleness_rounds_total"))
+        .f64("tombstones_live", after.gauge("pls_tombstones_live_total").unwrap_or(0.0))
+        .u64("tombstones_gc", after.counter_sum("pls_tombstones_gc_total"))
+        .field(
+            "versions_behind",
+            &quantiles_json(after.histogram("pls_staleness_versions_behind").unwrap_or(&empty)),
+        )
+        .build();
+
     let results = Object::new()
         .f64("elapsed_s", elapsed.as_secs_f64())
         .u64("lookups", lookups)
         .u64("failures", failures)
         .u64("target_misses", tally.target_misses.get())
+        .u64("updates", updates)
+        .u64("deletes", deletes)
+        .u64("mutation_failures", tally.mutation_failures.get())
         .f64("throughput_rps", throughput)
         .field("latency_us", &quantiles_json(&latency))
+        .field("mutation_latency_us", &quantiles_json(&tally.mutation_latency_us.snapshot()))
         .field(
             "probe_latency_us",
             &quantiles_json(
@@ -438,6 +599,7 @@ async fn run(opts: Options) -> Result<(), String> {
         )
         .field("probes", &probes)
         .field("robustness", &robustness)
+        .field("staleness", &staleness)
         .build();
 
     let report = BenchReport::new(opts.name.clone(), config, results);
@@ -451,6 +613,14 @@ async fn run(opts: Options) -> Result<(), String> {
         probes_hist.mean(),
         server_probe_delta as f64 / lookups as f64,
     );
+    if updates + deletes > 0 {
+        println!(
+            "{updates} updates, {deletes} deletes ({} failed); \
+             staleness probe rounds seen: {}",
+            tally.mutation_failures.get(),
+            after.counter_sum("pls_staleness_rounds_total"),
+        );
+    }
     println!("-> {}", path.display());
     Ok(())
 }

@@ -7,13 +7,19 @@
 //!
 //! ```json
 //! {
-//!   "schema": "pls-bench/v1",
+//!   "schema": "pls-bench/v2",
 //!   "bench": "<name>",
 //!   "git_rev": "<rev-parse HEAD or \"unknown\">",
 //!   "config": { ... },
 //!   "results": ...
 //! }
 //! ```
+//!
+//! Schema history: `v2` added the mixed-workload consistency block to
+//! `loadgen` results (`staleness` — live staleness gauges, tombstone
+//! counters, versions-behind quantiles). Readers (`pls-bench compare`,
+//! CI's bench-smoke) accept `v1` artifacts too: every `v1` field kept
+//! its name and shape, `v2` only adds fields.
 
 use std::fmt::Write as _;
 use std::fs;
@@ -122,8 +128,14 @@ impl Table {
     }
 }
 
-/// The version tag stamped into every artifact.
-pub const BENCH_SCHEMA: &str = "pls-bench/v1";
+/// The version tag stamped into every artifact. Readers accept this
+/// and every earlier tag in [`BENCH_SCHEMAS_ACCEPTED`].
+pub const BENCH_SCHEMA: &str = "pls-bench/v2";
+
+/// Schema tags a reader must accept: `v2` is a strict superset of
+/// `v1`, so v1 artifacts (e.g. a baseline committed before the
+/// consistency block existed) stay comparable.
+pub const BENCH_SCHEMAS_ACCEPTED: [&str; 2] = ["pls-bench/v1", "pls-bench/v2"];
 
 /// One benchmark run's JSON artifact: name, producing git revision,
 /// run configuration, and measured results. [`BenchReport::write`]
@@ -259,9 +271,10 @@ mod tests {
         };
         assert_eq!(
             report.to_json(),
-            "{\"schema\":\"pls-bench/v1\",\"bench\":\"unit\",\"git_rev\":\"deadbeef\",\
+            "{\"schema\":\"pls-bench/v2\",\"bench\":\"unit\",\"git_rev\":\"deadbeef\",\
              \"config\":{\"n\":3},\"results\":[1,2]}"
         );
+        assert!(BENCH_SCHEMAS_ACCEPTED.contains(&BENCH_SCHEMA));
         let dir = std::env::temp_dir().join("pls-bench-report-test");
         let path = report.write(&dir).unwrap();
         assert!(path.ends_with("BENCH_unit.json"));

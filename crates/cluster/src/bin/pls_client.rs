@@ -185,7 +185,7 @@ async fn run(opts: Options) -> Result<(), String> {
             if raw {
                 print!("{}", merged.to_prometheus());
             } else {
-                print_stats_table(&merged);
+                print!("{}", render_stats_table(&merged));
             }
         }
         ["trace", rest @ ..] => {
@@ -290,25 +290,52 @@ fn chrome_trace_json(spans: &[SpanRecord]) -> String {
 /// Renders the merged cluster metrics as a human-readable summary: raw
 /// totals, latency quantiles from the histogram snapshots, the
 /// recomputed cluster-level live quality gauges, and the hottest keys.
-fn print_stats_table(merged: &MetricsSnapshot) {
-    println!("cluster totals");
-    println!("  keys                 {:>10}", merged.counter("pls_keys").unwrap_or(0));
-    println!("  entries              {:>10}", merged.counter("pls_entries").unwrap_or(0));
-    println!("  requests served      {:>10}", merged.counter_sum("pls_requests_total"));
-    println!("  probes served        {:>10}", merged.counter_sum("pls_probes_total"));
-    println!(
+fn render_stats_table(merged: &MetricsSnapshot) -> String {
+    use std::fmt::Write as _;
+    let mut out = String::new();
+    let _ = writeln!(out, "cluster totals");
+    let _ = writeln!(out, "  keys                 {:>10}", merged.counter("pls_keys").unwrap_or(0));
+    let _ =
+        writeln!(out, "  entries              {:>10}", merged.counter("pls_entries").unwrap_or(0));
+    let _ =
+        writeln!(out, "  requests served      {:>10}", merged.counter_sum("pls_requests_total"));
+    let _ = writeln!(out, "  probes served        {:>10}", merged.counter_sum("pls_probes_total"));
+    let _ = writeln!(
+        out,
         "  request errors       {:>10}",
         merged.counter("pls_request_errors_total").unwrap_or(0)
     );
 
-    println!("robustness (client + servers)");
-    println!("  rpc timeouts         {:>10}", merged.counter_sum("pls_rpc_timeouts_total"));
-    println!("  rpc retries          {:>10}", merged.counter_sum("pls_rpc_retries_total"));
-    println!("  breaker opens        {:>10}", merged.counter_sum("pls_breaker_opens_total"));
-    println!("  breaker fast fails   {:>10}", merged.counter_sum("pls_breaker_fast_fails_total"));
-    println!("  hedged probes        {:>10}", merged.counter_sum("pls_client_hedges_total"));
-    println!("  hedge wins           {:>10}", merged.counter_sum("pls_client_hedge_wins_total"));
-    println!(
+    let _ = writeln!(out, "robustness (client + servers)");
+    let _ = writeln!(
+        out,
+        "  rpc timeouts         {:>10}",
+        merged.counter_sum("pls_rpc_timeouts_total")
+    );
+    let _ =
+        writeln!(out, "  rpc retries          {:>10}", merged.counter_sum("pls_rpc_retries_total"));
+    let _ = writeln!(
+        out,
+        "  breaker opens        {:>10}",
+        merged.counter_sum("pls_breaker_opens_total")
+    );
+    let _ = writeln!(
+        out,
+        "  breaker fast fails   {:>10}",
+        merged.counter_sum("pls_breaker_fast_fails_total")
+    );
+    let _ = writeln!(
+        out,
+        "  hedged probes        {:>10}",
+        merged.counter_sum("pls_client_hedges_total")
+    );
+    let _ = writeln!(
+        out,
+        "  hedge wins           {:>10}",
+        merged.counter_sum("pls_client_hedge_wins_total")
+    );
+    let _ = writeln!(
+        out,
         "  op budgets exhausted {:>10}",
         merged.counter_sum("pls_client_op_budget_exhausted_total")
     );
@@ -316,13 +343,31 @@ fn print_stats_table(merged: &MetricsSnapshot) {
     // Durability / self-healing: zero everywhere means the cluster runs
     // memory-only (no --data-dir); replays appear after crash restarts,
     // repairs after anti-entropy heals a divergent server.
-    println!("durability & self-healing");
-    println!("  wal appends          {:>10}", merged.counter_sum("pls_wal_appends_total"));
-    println!("  wal fsyncs           {:>10}", merged.counter_sum("pls_wal_fsyncs_total"));
-    println!("  wal records replayed {:>10}", merged.counter_sum("pls_wal_replayed_total"));
-    println!("  checkpoints written  {:>10}", merged.counter_sum("pls_wal_checkpoints_total"));
-    println!("  antientropy rounds   {:>10}", merged.counter_sum("pls_antientropy_rounds_total"));
-    println!("  antientropy repairs  {:>10}", merged.counter_sum("pls_antientropy_repairs_total"));
+    let _ = writeln!(out, "durability & self-healing");
+    let _ =
+        writeln!(out, "  wal appends          {:>10}", merged.counter_sum("pls_wal_appends_total"));
+    let _ =
+        writeln!(out, "  wal fsyncs           {:>10}", merged.counter_sum("pls_wal_fsyncs_total"));
+    let _ = writeln!(
+        out,
+        "  wal records replayed {:>10}",
+        merged.counter_sum("pls_wal_replayed_total")
+    );
+    let _ = writeln!(
+        out,
+        "  checkpoints written  {:>10}",
+        merged.counter_sum("pls_wal_checkpoints_total")
+    );
+    let _ = writeln!(
+        out,
+        "  antientropy rounds   {:>10}",
+        merged.counter_sum("pls_antientropy_rounds_total")
+    );
+    let _ = writeln!(
+        out,
+        "  antientropy repairs  {:>10}",
+        merged.counter_sum("pls_antientropy_repairs_total")
+    );
     let mut ft: Vec<(String, f64)> = merged
         .gauges
         .iter()
@@ -337,25 +382,89 @@ fn print_stats_table(merged: &MetricsSnapshot) {
         .collect();
     ft.sort_by(|a, b| a.0.cmp(&b.0));
     for (t, tol) in ft {
-        println!("  live fault tol (t={t}) {:>8.0}", tol);
+        let _ = writeln!(out, "  live fault tol (t={t}) {:>8.0}", tol);
     }
 
-    println!("live quality (cluster-level, recomputed from per-entry hits)");
+    // Consistency: the staleness-probe loop's live PBS-style gauge
+    // (probability a t-probe partial lookup returns the freshest
+    // version), tombstone accounting, and the observed version lag.
+    let mut staleness: Vec<(String, String, f64)> = merged
+        .gauges
+        .iter()
+        .filter_map(|(name, value)| {
+            let (family, labels) = parse_labels(name)?;
+            if family != "pls_live_staleness" {
+                return None;
+            }
+            let strategy = labels.iter().find(|(k, _)| k == "strategy")?.1.clone();
+            let t = labels.iter().find(|(k, _)| k == "t")?.1.clone();
+            Some((strategy, t, *value))
+        })
+        .collect();
+    staleness.sort();
+    let tombs_live = merged.gauge("pls_tombstones_live_total");
+    let behind = merged.histogram("pls_staleness_versions_behind");
+    if !staleness.is_empty() || tombs_live.is_some() || behind.is_some() {
+        let _ = writeln!(out, "consistency (versions, tombstones, measured staleness)");
+        let _ = writeln!(
+            out,
+            "  staleness rounds     {:>10}",
+            merged.counter_sum("pls_staleness_rounds_total")
+        );
+        for (strategy, t, p) in staleness {
+            let _ = writeln!(out, "  P(fresh | {strategy:<6} t={t}) {p:>8.4}");
+        }
+        if let Some(live) = tombs_live {
+            let _ = writeln!(out, "  tombstones live      {live:>10.0}");
+        }
+        let _ = writeln!(
+            out,
+            "  tombstones gc'd      {:>10}",
+            merged.counter_sum("pls_tombstones_gc_total")
+        );
+        if let Some(h) = behind {
+            if !h.is_empty() {
+                let _ = writeln!(
+                    out,
+                    "  versions behind      {:>10} sampled (p50 {:.0}, p99 {:.0}, max-lag mean {:.2})",
+                    h.count,
+                    h.quantile(0.50),
+                    h.quantile(0.99),
+                    h.mean()
+                );
+            }
+        }
+    }
+
+    let _ = writeln!(out, "live quality (cluster-level, recomputed from per-entry hits)");
     match merged.gauge("pls_live_unfairness") {
-        Some(u) => println!("  unfairness (CoV)     {u:>10.4}"),
-        None => println!("  unfairness (CoV)     {:>10}", "n/a"),
+        Some(u) => {
+            let _ = writeln!(out, "  unfairness (CoV)     {u:>10.4}");
+        }
+        None => {
+            let _ = writeln!(out, "  unfairness (CoV)     {:>10}", "n/a");
+        }
     }
     match merged.gauge("pls_live_coverage") {
-        Some(c) => println!("  coverage             {c:>10.4}"),
-        None => println!("  coverage             {:>10}", "n/a"),
+        Some(c) => {
+            let _ = writeln!(out, "  coverage             {c:>10.4}");
+        }
+        None => {
+            let _ = writeln!(out, "  coverage             {:>10}", "n/a");
+        }
     }
 
-    println!("latency (us)           {:>8} {:>8} {:>8} {:>8}", "p50", "p90", "p99", "mean");
+    let _ = writeln!(
+        out,
+        "latency (us)           {:>8} {:>8} {:>8} {:>8}",
+        "p50", "p90", "p99", "mean"
+    );
     for (label, name) in [("request", "pls_request_latency_us"), ("probe", "pls_probe_latency_us")]
     {
         if let Some(h) = merged.histogram(name) {
             if !h.is_empty() {
-                println!(
+                let _ = writeln!(
+                    out,
                     "  {label:<21}{:>8.0} {:>8.0} {:>8.0} {:>8.0}",
                     h.quantile(0.50),
                     h.quantile(0.90),
@@ -382,10 +491,44 @@ fn print_stats_table(merged: &MetricsSnapshot) {
         .collect();
     hot.sort_by(|a, b| b.1.cmp(&a.1).then_with(|| a.0.cmp(&b.0)));
     if !hot.is_empty() {
-        println!("hottest keys               probes");
+        let _ = writeln!(out, "hottest keys               probes");
         for (key, count) in hot.iter().take(10) {
-            println!("  {key:<24} {count:>8}");
+            let _ = writeln!(out, "  {key:<24} {count:>8}");
         }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stats_table_shows_the_consistency_section_when_staleness_is_measured() {
+        let mut snap = MetricsSnapshot::new();
+        snap.counters.push(("pls_staleness_rounds_total".to_string(), 12));
+        snap.gauges.push(("pls_live_staleness{strategy=\"full\",t=\"1\"}".to_string(), 0.6667));
+        snap.gauges.push(("pls_live_staleness{strategy=\"full\",t=\"2\"}".to_string(), 1.0));
+        snap.gauges.push(("pls_tombstones_live_total".to_string(), 3.0));
+        let behind = pls_telemetry::Histogram::new();
+        behind.observe(0);
+        behind.observe(2);
+        snap.histograms.push(("pls_staleness_versions_behind".to_string(), behind.snapshot()));
+        let table = render_stats_table(&snap);
+        assert!(table.contains("consistency (versions, tombstones, measured staleness)"));
+        assert!(table.contains("staleness rounds             12"));
+        assert!(table.contains("P(fresh | full   t=1)   0.6667"));
+        assert!(table.contains("P(fresh | full   t=2)   1.0000"));
+        assert!(table.contains("tombstones live               3"));
+        assert!(table.contains("versions behind"), "{table}");
+    }
+
+    #[test]
+    fn stats_table_omits_the_consistency_section_without_staleness_data() {
+        let snap = MetricsSnapshot::new();
+        let table = render_stats_table(&snap);
+        assert!(!table.contains("consistency ("));
+        assert!(table.contains("cluster totals"));
     }
 }
 

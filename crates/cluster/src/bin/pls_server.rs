@@ -4,7 +4,8 @@
 //! pls-server --index N --peers HOST:PORT,HOST:PORT,... --strategy SPEC
 //!            [--seed S] [--log LEVEL] [--metrics-addr HOST:PORT] [--slow-ms MS]
 //!            [--rpc-timeout-ms MS] [--op-budget-ms MS] [--data-dir DIR]
-//!            [--checkpoint-every N] [--antientropy-ms MS]
+//!            [--checkpoint-every N] [--antientropy-ms MS] [--staleness-ms MS]
+//!            [--tombstone-ttl-ms MS]
 //!
 //!   --index         this server's position in the peer list (0-based;
 //!                   index 0 is the Round-Robin coordinator)
@@ -40,6 +41,15 @@
 //!                   per-key placement digests with the peers on a
 //!                   jittered ~MS cadence and repair divergent or
 //!                   under-replicated keys (default 5000; 0 disables)
+//!   --staleness-ms      background staleness-probe interval: sample
+//!                   live keys, compare per-key version clocks across
+//!                   the cluster, and refresh the PBS-style
+//!                   `pls_live_staleness{strategy,t}` gauge on a
+//!                   jittered ~MS cadence (default 2000; 0 disables)
+//!   --tombstone-ttl-ms  how long delete tombstones are retained
+//!                   before garbage collection (default 900000 = 15
+//!                   min; must comfortably exceed --antientropy-ms so
+//!                   deletes finish propagating first)
 //! ```
 //!
 //! Example 3-server cluster on one machine:
@@ -66,6 +76,8 @@ fn parse_args() -> Result<(ServerConfig, Option<SocketAddr>), String> {
     let mut data_dir: Option<std::path::PathBuf> = None;
     let mut checkpoint_every: Option<u64> = None;
     let mut antientropy_ms: u64 = 5_000;
+    let mut staleness_ms: u64 = 2_000;
+    let mut tombstone_ttl_ms: Option<u64> = None;
     let mut timeouts = Timeouts::default();
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -116,13 +128,25 @@ fn parse_args() -> Result<(ServerConfig, Option<SocketAddr>), String> {
                     .parse()
                     .map_err(|e| format!("--antientropy-ms: {e}"))?;
             }
+            "--staleness-ms" => {
+                staleness_ms =
+                    value("--staleness-ms")?.parse().map_err(|e| format!("--staleness-ms: {e}"))?;
+            }
+            "--tombstone-ttl-ms" => {
+                tombstone_ttl_ms = Some(
+                    value("--tombstone-ttl-ms")?
+                        .parse()
+                        .map_err(|e| format!("--tombstone-ttl-ms: {e}"))?,
+                );
+            }
             "--log" => trace::init_from_str(&value("--log")?)?,
             "--help" | "-h" => {
                 return Err(
                     "usage: pls-server --index N --peers A,B,... --strategy SPEC [--seed S] \
                      [--log LEVEL] [--metrics-addr HOST:PORT] [--slow-ms MS] \
                      [--rpc-timeout-ms MS] [--op-budget-ms MS] [--data-dir DIR] \
-                     [--checkpoint-every N] [--antientropy-ms MS]"
+                     [--checkpoint-every N] [--antientropy-ms MS] [--staleness-ms MS] \
+                     [--tombstone-ttl-ms MS]"
                         .to_string(),
                 )
             }
@@ -147,6 +171,12 @@ fn parse_args() -> Result<(ServerConfig, Option<SocketAddr>), String> {
     }
     if antientropy_ms > 0 {
         cfg = cfg.with_anti_entropy(std::time::Duration::from_millis(antientropy_ms));
+    }
+    if staleness_ms > 0 {
+        cfg = cfg.with_staleness_probe(std::time::Duration::from_millis(staleness_ms));
+    }
+    if let Some(ms) = tombstone_ttl_ms {
+        cfg = cfg.with_tombstone_ttl(std::time::Duration::from_millis(ms));
     }
     Ok((cfg, metrics_addr))
 }

@@ -181,6 +181,14 @@ pub struct ServerMetrics {
     /// Keys repaired by anti-entropy (divergent, under-replicated, or
     /// missing locally, rebuilt through the snapshot-pull path).
     pub antientropy_repairs: Counter,
+    /// Background staleness-probe rounds started.
+    pub staleness_rounds: Counter,
+    /// Delete tombstones dropped by TTL garbage collection.
+    pub tombstones_gc: Counter,
+    /// Per-holder version lag observed by staleness probes: how many
+    /// versions behind the key's freshest known version each holder's
+    /// copy was (0 = fully fresh).
+    pub staleness_versions_behind: Histogram,
     /// End-to-end request handling latency, microseconds.
     pub request_latency_us: Histogram,
     /// Probe handling latency (engine sampling only), microseconds.
@@ -224,6 +232,9 @@ impl ServerMetrics {
             internal_send_failures: Counter::new(),
             antientropy_rounds: Counter::new(),
             antientropy_repairs: Counter::new(),
+            staleness_rounds: Counter::new(),
+            tombstones_gc: Counter::new(),
+            staleness_versions_behind: Histogram::new(),
             request_latency_us: Histogram::new(),
             probe_latency_us: Histogram::new(),
             hot_keys: TopK::new(HOT_KEYS_TRACKED),
@@ -281,6 +292,16 @@ impl ServerMetrics {
         );
         s.push_counter("pls_antientropy_rounds_total", val(&self.antientropy_rounds, reset));
         s.push_counter("pls_antientropy_repairs_total", val(&self.antientropy_repairs, reset));
+        s.push_counter("pls_staleness_rounds_total", val(&self.staleness_rounds, reset));
+        s.push_counter("pls_tombstones_gc_total", val(&self.tombstones_gc, reset));
+        s.push_histogram(
+            "pls_staleness_versions_behind",
+            if reset {
+                self.staleness_versions_behind.take()
+            } else {
+                self.staleness_versions_behind.snapshot()
+            },
+        );
         s.push_counter("pls_keys", keys);
         s.push_counter("pls_entries", entries);
         s.push_histogram(
@@ -306,6 +327,12 @@ impl ServerMetrics {
         s.set_help("pls_internal_send_failures_total", "Server-to-server sends that failed.");
         s.set_help("pls_antientropy_rounds_total", "Background anti-entropy rounds started.");
         s.set_help("pls_antientropy_repairs_total", "Keys repaired by anti-entropy.");
+        s.set_help("pls_staleness_rounds_total", "Background staleness-probe rounds started.");
+        s.set_help("pls_tombstones_gc_total", "Delete tombstones dropped by TTL GC.");
+        s.set_help(
+            "pls_staleness_versions_behind",
+            "Per-holder version lag behind the freshest known version (staleness probes).",
+        );
         s.set_help("pls_keys", "Keys this server manages.");
         s.set_help("pls_entries", "Entries stored across keys.");
         s.set_help("pls_request_latency_us", "End-to-end request handling latency (us).");

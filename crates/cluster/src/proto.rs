@@ -5,7 +5,7 @@
 //! payload byte is the opcode.
 
 use bytes::Bytes;
-use pls_core::{Message, StrategySpec};
+use pls_core::{Message, StrategySpec, Tombstone};
 use pls_net::ServerId;
 use pls_telemetry::{HistogramSnapshot, MetricsSnapshot, SpanRecord, BUCKETS};
 
@@ -133,6 +133,10 @@ pub enum Response {
         positions: Vec<(u64, Entry)>,
         /// Round-robin coordinator counters, if this server holds them.
         counters: Option<(u64, u64)>,
+        /// The key's version (per-key Lamport clock) at the donor.
+        version: u64,
+        /// Live delete tombstones at the donor.
+        tombstones: Vec<(Entry, Tombstone)>,
         /// The strategy this key is managed under at the donor (`None`
         /// for unknown keys).
         spec: Option<StrategySpec>,
@@ -160,6 +164,10 @@ pub enum Response {
         /// Order-independent hash of the round-robin `(position, entry)`
         /// pairs (0 for other strategies).
         positions_hash: u64,
+        /// The key's version (per-key Lamport clock) at this server —
+        /// lets peers rank donors by freshness and feeds the staleness
+        /// probes.
+        version: u64,
         /// Round-robin coordinator counters, if held here.
         counters: Option<(u64, u64)>,
     },
@@ -214,6 +222,7 @@ const MSG_MIGRATE_REQ: u8 = 0x1D;
 const MSG_MIGRATE_REP: u8 = 0x1E;
 const MSG_RR_REMOVE_AT: u8 = 0x1F;
 const MSG_RR_SET_COUNTERS: u8 = 0x20;
+const MSG_VERSIONED: u8 = 0x21;
 
 // Strategy spec wire tags.
 const SPEC_NONE: u8 = 0;
@@ -320,6 +329,10 @@ pub(crate) fn encode_msg(w: &mut Writer, msg: &Message<Entry>) {
         Message::RrSetCounters { head, tail } => {
             w.u8(MSG_RR_SET_COUNTERS).u64(*head).u64(*tail);
         }
+        Message::Versioned { version, stamp_ms, msg } => {
+            w.u8(MSG_VERSIONED).u64(*version).u64(*stamp_ms);
+            encode_msg(w, msg);
+        }
     }
 }
 
@@ -368,6 +381,17 @@ pub(crate) fn decode_msg(r: &mut Reader) -> Result<Message<Entry>, ClusterError>
         MSG_RR_REMOVE_AT => Message::RrRemoveAt { pos: r.u64("rr pos")? },
         MSG_RR_SET_COUNTERS => {
             Message::RrSetCounters { head: r.u64("rr head")?, tail: r.u64("rr tail")? }
+        }
+        MSG_VERSIONED => {
+            let version = r.u64("versioned version")?;
+            let stamp_ms = r.u64("versioned stamp")?;
+            let inner = decode_msg(r)?;
+            if matches!(inner, Message::Versioned { .. }) {
+                // One level only: the engine never nests envelopes, so a
+                // nested one is garbage (and unbounded recursion bait).
+                return Err(ClusterError::Decode("nested versioned"));
+            }
+            Message::Versioned { version, stamp_ms, msg: Box::new(inner) }
         }
         _ => return Err(ClusterError::Decode("msg opcode")),
     };
@@ -508,7 +532,7 @@ impl Response {
             Response::Keys(keys) => {
                 w.u8(RESP_KEYS).bytes_list(keys);
             }
-            Response::Snapshot { entries, positions, counters, spec } => {
+            Response::Snapshot { entries, positions, counters, version, tombstones, spec } => {
                 w.u8(RESP_SNAPSHOT).bytes_list(entries);
                 w.u32(positions.len() as u32);
                 for (pos, v) in positions {
@@ -521,6 +545,11 @@ impl Response {
                     None => {
                         w.u8(0);
                     }
+                }
+                w.u64(*version);
+                w.u32(tombstones.len() as u32);
+                for (v, t) in tombstones {
+                    w.bytes(v).u64(t.version).u64(t.born_ms);
                 }
                 encode_spec(&mut w, spec);
             }
@@ -548,10 +577,18 @@ impl Response {
                     }
                 }
             }
-            Response::Digest { known, spec, count, entry_hash, positions_hash, counters } => {
+            Response::Digest {
+                known,
+                spec,
+                count,
+                entry_hash,
+                positions_hash,
+                version,
+                counters,
+            } => {
                 w.u8(RESP_DIGEST).u8(u8::from(*known));
                 encode_spec(&mut w, spec);
-                w.u64(*count).u64(*entry_hash).u64(*positions_hash);
+                w.u64(*count).u64(*entry_hash).u64(*positions_hash).u64(*version);
                 match counters {
                     Some((head, tail)) => {
                         w.u8(1).u64(*head).u64(*tail);
@@ -617,8 +654,20 @@ impl Response {
                     1 => Some((r.u64("head")?, r.u64("tail")?)),
                     _ => return Err(ClusterError::Decode("counter flag")),
                 };
+                let version = r.u64("snapshot version")?;
+                let n_tombs = r.u32("tombstone count")? as usize;
+                if n_tombs > crate::wire::MAX_FRAME / 8 {
+                    return Err(ClusterError::Decode("tombstone count"));
+                }
+                let mut tombstones = Vec::with_capacity(n_tombs.min(1024));
+                for _ in 0..n_tombs {
+                    let v = r.bytes("tombstone entry")?;
+                    let t_version = r.u64("tombstone version")?;
+                    let born_ms = r.u64("tombstone born")?;
+                    tombstones.push((v, Tombstone { version: t_version, born_ms }));
+                }
                 let spec = decode_spec(&mut r)?;
-                Response::Snapshot { entries, positions, counters, spec }
+                Response::Snapshot { entries, positions, counters, version, tombstones, spec }
             }
             RESP_SPEC_OF => Response::SpecOf(decode_spec(&mut r)?),
             RESP_METRICS => {
@@ -679,12 +728,21 @@ impl Response {
                 let count = r.u64("digest count")?;
                 let entry_hash = r.u64("digest entry hash")?;
                 let positions_hash = r.u64("digest positions hash")?;
+                let version = r.u64("digest version")?;
                 let counters = match r.u8("digest counter flag")? {
                     0 => None,
                     1 => Some((r.u64("digest head")?, r.u64("digest tail")?)),
                     _ => return Err(ClusterError::Decode("digest counter flag")),
                 };
-                Response::Digest { known, spec, count, entry_hash, positions_hash, counters }
+                Response::Digest {
+                    known,
+                    spec,
+                    count,
+                    entry_hash,
+                    positions_hash,
+                    version,
+                    counters,
+                }
             }
             RESP_SPANS => {
                 let n_spans = r.u32("span count")? as usize;
@@ -787,6 +845,7 @@ mod tests {
             count: 0,
             entry_hash: 0,
             positions_hash: 0,
+            version: 0,
             counters: None,
         });
         roundtrip_resp(Response::Digest {
@@ -795,6 +854,7 @@ mod tests {
             count: 17,
             entry_hash: 0xDEAD_BEEF_DEAD_BEEF,
             positions_hash: u64::MAX,
+            version: 42,
             counters: Some((4, 21)),
         });
         // A bogus known flag is rejected.
@@ -868,6 +928,64 @@ mod tests {
             key: b"k".to_vec(),
             spec: Some(StrategySpec::round_robin(2)),
             msg: Message::Reset,
+        });
+    }
+
+    #[test]
+    fn versioned_messages_roundtrip() {
+        for inner in [
+            Message::AddReq { v: b"v".to_vec() },
+            Message::RrRemove { v: b"v".to_vec(), head_pos: 3 },
+            Message::StoreSet { entries: vec![b"a".to_vec(), b"b".to_vec()] },
+        ] {
+            roundtrip_req(Request::Internal {
+                from: 1,
+                key: b"k".to_vec(),
+                spec: None,
+                msg: Message::Versioned {
+                    version: 99,
+                    stamp_ms: 1_700_000_000_000,
+                    msg: Box::new(inner),
+                },
+            });
+        }
+    }
+
+    #[test]
+    fn nested_versioned_envelopes_are_rejected() {
+        let msg: Message<Entry> = Message::Versioned {
+            version: 2,
+            stamp_ms: 10,
+            msg: Box::new(Message::Versioned {
+                version: 1,
+                stamp_ms: 5,
+                msg: Box::new(Message::Reset),
+            }),
+        };
+        let req = Request::Internal { from: 0, key: b"k".to_vec(), spec: None, msg };
+        assert!(Request::decode(req.encode()).is_err());
+    }
+
+    #[test]
+    fn snapshot_response_roundtrips() {
+        roundtrip_resp(Response::Snapshot {
+            entries: vec![],
+            positions: vec![],
+            counters: None,
+            version: 0,
+            tombstones: vec![],
+            spec: None,
+        });
+        roundtrip_resp(Response::Snapshot {
+            entries: vec![b"a".to_vec(), b"bb".to_vec()],
+            positions: vec![(3, b"a".to_vec())],
+            counters: Some((1, 9)),
+            version: 17,
+            tombstones: vec![
+                (b"gone".to_vec(), Tombstone { version: 12, born_ms: 1_700_000_000_000 }),
+                (b"older".to_vec(), Tombstone { version: 4, born_ms: 0 }),
+            ],
+            spec: Some(StrategySpec::round_robin(2)),
         });
     }
 

@@ -9,7 +9,7 @@ use std::time::Duration;
 
 use parking_lot::Mutex;
 use pls_core::engine::{NodeEngine, Outbound};
-use pls_core::{Message, Placement, StrategySpec};
+use pls_core::{Message, Placement, StrategySpec, Tombstone};
 use pls_metrics::fault_tolerance::greedy_tolerance;
 use pls_net::{Endpoint, ServerId};
 use pls_telemetry::trace::Span;
@@ -17,7 +17,7 @@ use pls_telemetry::{Level, MetricsSnapshot, SpanRecord};
 use tokio::net::{TcpListener, TcpStream};
 
 use crate::error::ClusterError;
-use crate::metrics::{strategy_index, ServerMetrics};
+use crate::metrics::{strategy_index, ServerMetrics, STRATEGY_LABELS};
 use crate::proto::{Entry, Request, Response};
 use crate::retry::{splitmix64, BreakerConfig, Deadline, RetryPolicy, Timeouts};
 use crate::rpc::{push_peer_robustness, PeerClient};
@@ -57,6 +57,16 @@ pub struct ServerConfig {
     /// a jittered multiple (0.5x–1.5x) of this so servers do not
     /// synchronize. `None` disables the loop.
     pub anti_entropy: Option<Duration>,
+    /// Background staleness-probe interval (same 0.5x–1.5x jitter as
+    /// anti-entropy): each round samples live keys, compares every
+    /// holder's per-key version via the Digest RPC, and refreshes the
+    /// `pls_live_staleness{strategy,t}` gauge. `None` disables the loop.
+    pub staleness_probe: Option<Duration>,
+    /// How long delete tombstones are kept before the anti-entropy loop
+    /// garbage-collects them. Must comfortably exceed the repair
+    /// interval, or a lagging donor could outlive the marker that
+    /// proves its entry was deleted.
+    pub tombstone_ttl: Duration,
 }
 
 impl ServerConfig {
@@ -74,6 +84,8 @@ impl ServerConfig {
             data_dir: None,
             checkpoint_every: 256,
             anti_entropy: None,
+            staleness_probe: None,
+            tombstone_ttl: Duration::from_secs(900),
         }
     }
 
@@ -114,6 +126,19 @@ impl ServerConfig {
         self.anti_entropy = Some(every);
         self
     }
+
+    /// Enables the background staleness-probe loop at roughly this
+    /// interval.
+    pub fn with_staleness_probe(mut self, every: Duration) -> Self {
+        self.staleness_probe = Some(every);
+        self
+    }
+
+    /// Overrides how long delete tombstones are kept before TTL GC.
+    pub fn with_tombstone_ttl(mut self, ttl: Duration) -> Self {
+        self.tombstone_ttl = ttl;
+        self
+    }
 }
 
 /// Shared server state.
@@ -138,6 +163,11 @@ struct State {
     /// Latest live §4.4 fault tolerance per adversary threshold `t`,
     /// refreshed by anti-entropy rounds (min across deep-checked keys).
     live_ft: Mutex<BTreeMap<usize, usize>>,
+    /// Latest live PBS-style staleness estimate per
+    /// `(strategy index, t)`: P(a partial lookup probing `t` of the
+    /// key's `h` holders reaches at least one fully fresh copy),
+    /// averaged across the keys the staleness loop sampled.
+    live_staleness: Mutex<BTreeMap<(usize, usize), f64>>,
 }
 
 impl State {
@@ -280,6 +310,26 @@ fn deliver_local(
     remote
 }
 
+/// Milliseconds since the Unix epoch — the coordinator wall clock
+/// stamped into versioned envelopes (tombstone ages derive from it; the
+/// sans-IO engine itself stays clock-free).
+fn now_ms() -> u64 {
+    std::time::SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .map(|d| d.as_millis() as u64)
+        .unwrap_or(0)
+}
+
+/// Wraps an inbound client update in a version envelope: the engine
+/// ignores the carried version for client requests and assigns the
+/// key's next one, so the wrapper only contributes the wall-clock
+/// stamp. Wrapping happens *before* the WAL append, so replay is
+/// deterministic — the logged record carries the stamp, and the engine
+/// re-derives the same version during replay.
+fn versioned_client(msg: Message<Entry>) -> Message<Entry> {
+    Message::Versioned { version: 0, stamp_ms: now_ms(), msg: Box::new(msg) }
+}
+
 /// A running lookup server.
 ///
 /// Create with [`Server::bind`], then drive with [`Server::run`]
@@ -359,6 +409,7 @@ impl Server {
             next_id,
             storage: storage_handle,
             live_ft: Mutex::new(BTreeMap::new()),
+            live_staleness: Mutex::new(BTreeMap::new()),
         });
         let recovered = match recovered_state {
             Some(rec) => replay_recovered(&state, rec),
@@ -513,10 +564,7 @@ impl Server {
                 break;
             }
             // Pull snapshots from every reachable peer.
-            let mut donor_entries: Vec<Vec<Entry>> = Vec::new();
-            let mut union: Vec<Entry> = Vec::new();
-            let mut in_union: HashSet<Entry> = HashSet::new();
-            let mut positions: BTreeMap<u64, Entry> = BTreeMap::new();
+            let mut donors: Vec<DonorRow> = Vec::new();
             let mut counters: Option<(u64, u64)> = None;
             let mut key_spec: Option<StrategySpec> = None;
             for (i, peer) in state.peers.iter().enumerate() {
@@ -527,6 +575,8 @@ impl Server {
                     entries,
                     positions: ps,
                     counters: cs,
+                    version,
+                    tombstones,
                     spec: donor_spec,
                 }) = peer
                     .call_bounded(
@@ -536,35 +586,39 @@ impl Server {
                     )
                     .await
                 {
-                    for v in &entries {
-                        if in_union.insert(v.clone()) {
-                            union.push(v.clone());
-                        }
-                    }
-                    donor_entries.push(entries);
-                    for (p, v) in ps {
-                        positions.insert(p, v);
-                    }
                     // Donors can disagree (one kept serving while
                     // another lagged): merge the round-robin counters
                     // instead of trusting whichever answered first.
                     counters = storage::merge_rr_counters(counters, cs);
                     key_spec = key_spec.or(donor_spec);
+                    donors.push(DonorRow { version, entries, positions: ps, tombstones });
                 }
             }
 
             let effective_spec = key_spec.unwrap_or(state.cfg.spec);
+            let merged = merge_donor_rows(effective_spec, &donors);
             let entries = match effective_spec {
-                // Replicas are identical everywhere; any donor's set is
-                // the set.
-                StrategySpec::FullReplication | StrategySpec::Fixed { .. } => {
-                    donor_entries.into_iter().next().unwrap_or_default()
-                }
+                // Replicas are identical everywhere; the freshest
+                // donor's set is the set.
+                StrategySpec::FullReplication | StrategySpec::Fixed { .. } => donors
+                    .iter()
+                    .find(|d| d.version == merged.max_version)
+                    .map(|d| d.entries.clone())
+                    .unwrap_or_default(),
                 // The share-splitting strategies rebuild from the
-                // surviving coverage.
-                _ => union,
+                // surviving (version- and tombstone-screened) coverage.
+                _ => merged.union.clone(),
             };
-            rebuild_engine(state, key, effective_spec, entries, positions, counters)?;
+            rebuild_engine(
+                state,
+                key,
+                effective_spec,
+                entries,
+                merged.positions,
+                counters,
+                merged.max_version,
+                merged.tombstones,
+            )?;
             synced += 1;
         }
         pls_telemetry::info!(
@@ -584,14 +638,30 @@ impl Server {
     /// like a crashed process.
     pub async fn run(self) {
         let Server { listener, state, .. } = self;
-        match state.cfg.anti_entropy {
-            Some(every) => {
-                tokio::select! {
-                    () = accept_loop(listener, Arc::clone(&state)) => {}
-                    () = anti_entropy_loop(state, every) => {}
+        // Disabled background loops park on a pending future instead
+        // of special-casing the select shape.
+        let repair = {
+            let state = Arc::clone(&state);
+            async move {
+                match state.cfg.anti_entropy {
+                    Some(every) => anti_entropy_loop(state, every).await,
+                    None => std::future::pending().await,
                 }
             }
-            None => accept_loop(listener, state).await,
+        };
+        let staleness = {
+            let state = Arc::clone(&state);
+            async move {
+                match state.cfg.staleness_probe {
+                    Some(every) => staleness_loop(state, every).await,
+                    None => std::future::pending().await,
+                }
+            }
+        };
+        tokio::select! {
+            () = accept_loop(listener, state) => {}
+            () = repair => {}
+            () = staleness => {}
         }
     }
 }
@@ -662,21 +732,144 @@ fn collect_metrics(state: &State, reset: bool) -> MetricsSnapshot {
              (min across anti-entropy-checked keys, per coverage threshold t).",
         );
     }
+    drop(ft);
+    let staleness = state.live_staleness.lock();
+    for ((sidx, t), p) in staleness.iter() {
+        s.push_gauge(
+            format!("pls_live_staleness{{strategy=\"{}\",t=\"{t}\"}}", STRATEGY_LABELS[*sidx]),
+            *p,
+        );
+    }
+    if !staleness.is_empty() {
+        s.set_help(
+            "pls_live_staleness",
+            "Estimated probability that a partial lookup probing t holders \
+             returns the freshest version (PBS-style, averaged over sampled \
+             keys, per strategy).",
+        );
+    }
+    drop(staleness);
+    let live_tombstones: u64 =
+        state.engines.lock().values().map(|e| e.tombstone_count() as u64).sum();
+    s.push_gauge("pls_tombstones_live_total", live_tombstones as f64);
+    s.set_help(
+        "pls_tombstones_live_total",
+        "Delete tombstones currently held across this server's keys \
+         (awaiting TTL garbage collection).",
+    );
     s
 }
 
 /// The per-key placement digest anti-entropy compares: entry count,
-/// order-independent entry/position set hashes, and round-robin
-/// counters. Served by `Request::Digest` and used locally both to
-/// detect divergence and to re-validate that a key did not change
-/// between sampling it and repairing it.
-fn engine_digest(e: &NodeEngine<Entry>) -> (u64, u64, u64, Option<(u64, u64)>) {
+/// order-independent entry/position set hashes, the per-key version
+/// clock, and round-robin counters. Served by `Request::Digest` and
+/// used locally both to detect divergence and to re-validate that a
+/// key did not change between sampling it and repairing it.
+fn engine_digest(e: &NodeEngine<Entry>) -> (u64, u64, u64, u64, Option<(u64, u64)>) {
     (
         e.entries().len() as u64,
         storage::entry_set_hash(e.entries()),
         storage::position_set_hash(e.rr_positions()),
+        e.version(),
         e.rr_counters(),
     )
+}
+
+/// One donor's snapshot of a key, as pulled during resync or
+/// anti-entropy repair: its per-key version clock, live entries,
+/// round-robin position map, and delete tombstones.
+struct DonorRow {
+    version: u64,
+    entries: Vec<Entry>,
+    positions: Vec<(u64, Entry)>,
+    tombstones: Vec<(Entry, Tombstone)>,
+}
+
+/// The version- and tombstone-screened merge of donor rows repair
+/// rebuilds from.
+struct MergedDonors {
+    /// Freshest per-key version any donor reported.
+    max_version: u64,
+    /// Surviving entry coverage (first-seen order preserved).
+    union: Vec<Entry>,
+    /// Surviving round-robin position map.
+    positions: BTreeMap<u64, Entry>,
+    /// Merged delete markers — per entry, the newest tombstone any
+    /// donor remembers. Installed on the rebuilt engine so this server
+    /// can veto future unions too.
+    tombstones: Vec<(Entry, Tombstone)>,
+}
+
+/// Merges donor snapshots into the state a repair may rebuild from,
+/// screening out what the cluster has provably deleted.
+///
+/// Two guards compose:
+///
+/// - **Version screening** (FullReplication / Fixed / RandomServer
+///   only): updates broadcast to every server under these strategies,
+///   so rows at different versions saw different update prefixes —
+///   only rows at the freshest version contribute. Hash / Round-Robin
+///   fan out to targeted subsets, so versions legitimately diverge
+///   across servers and every row participates.
+/// - **Tombstone filtering** (all strategies): an entry with a merged
+///   tombstone stays dead unless some contributing donor holds it live
+///   at a key version *newer* than the tombstone — the signature of a
+///   re-add after the delete. A stale live copy at or below the
+///   tombstone's version (a donor that missed the `Delete`) loses.
+fn merge_donor_rows(spec: StrategySpec, donors: &[DonorRow]) -> MergedDonors {
+    let max_version = donors.iter().map(|d| d.version).max().unwrap_or(0);
+    let screen = matches!(
+        spec,
+        StrategySpec::FullReplication
+            | StrategySpec::Fixed { .. }
+            | StrategySpec::RandomServer { .. }
+    );
+    let participates = |d: &DonorRow| !screen || d.version == max_version;
+
+    // Merged delete markers: per entry, the newest version any donor
+    // (fresh or stale — a stale donor's tombstone is still a real
+    // delete) remembers deleting it at.
+    let mut tombs: HashMap<Entry, Tombstone> = HashMap::new();
+    for d in donors {
+        for (v, t) in &d.tombstones {
+            let slot = tombs.entry(v.clone()).or_insert(*t);
+            if t.version > slot.version {
+                *slot = *t;
+            }
+        }
+    }
+
+    // The freshest key version each entry is held live at, across the
+    // participating rows.
+    let mut live_at: HashMap<&Entry, u64> = HashMap::new();
+    for d in donors.iter().filter(|d| participates(d)) {
+        for v in d.entries.iter().chain(d.positions.iter().map(|(_, v)| v)) {
+            let slot = live_at.entry(v).or_insert(d.version);
+            *slot = (*slot).max(d.version);
+        }
+    }
+    let keep = |v: &Entry| match (live_at.get(v), tombs.get(v)) {
+        (Some(_), None) => true,
+        (Some(&lv), Some(t)) => lv > t.version,
+        (None, _) => false,
+    };
+
+    let mut union: Vec<Entry> = Vec::new();
+    let mut in_union: HashSet<Entry> = HashSet::new();
+    let mut positions: BTreeMap<u64, Entry> = BTreeMap::new();
+    for d in donors.iter().filter(|d| participates(d)) {
+        for v in &d.entries {
+            if keep(v) && in_union.insert(v.clone()) {
+                union.push(v.clone());
+            }
+        }
+        for (p, v) in &d.positions {
+            if keep(v) {
+                positions.insert(*p, v.clone());
+            }
+        }
+    }
+    MergedDonors { max_version, union, positions, tombstones: tombs.into_iter().collect() }
 }
 
 /// Rebuilds one key's engine from collected placement state, through
@@ -689,6 +882,11 @@ fn engine_digest(e: &NodeEngine<Entry>) -> (u64, u64, u64, Option<(u64, u64)>) {
 /// `entries` is the replica set for full replication / Fixed-x, the
 /// candidate coverage for RandomServer-x and Hash-y, and unused for
 /// Round-Robin-y (`positions`/`counters` drive that rebuild).
+/// `version`/`tombstones` restore the key's consistency metadata after
+/// the feed (the rebuilt engine must not look older than the state it
+/// was rebuilt from, and must keep the delete markers that stop a
+/// later union repair from resurrecting).
+#[allow(clippy::too_many_arguments)]
 fn rebuild_engine(
     state: &State,
     key: &[u8],
@@ -696,14 +894,17 @@ fn rebuild_engine(
     entries: Vec<Entry>,
     positions: BTreeMap<u64, Entry>,
     counters: Option<(u64, u64)>,
+    version: u64,
+    tombstones: Vec<(Entry, Tombstone)>,
 ) -> Result<(), ClusterError> {
     let mut map = state.engines.lock();
-    rebuild_engine_in(state, &mut map, key, spec, entries, positions, counters)
+    rebuild_engine_in(state, &mut map, key, spec, entries, positions, counters, version, tombstones)
 }
 
 /// [`rebuild_engine`] against an already-locked engines map, for
 /// callers that must validate-and-rebuild atomically (anti-entropy's
 /// racing-write guard).
+#[allow(clippy::too_many_arguments)]
 fn rebuild_engine_in(
     state: &State,
     map: &mut HashMap<Vec<u8>, NodeEngine<Entry>>,
@@ -712,6 +913,8 @@ fn rebuild_engine_in(
     entries: Vec<Entry>,
     positions: BTreeMap<u64, Entry>,
     counters: Option<(u64, u64)>,
+    version: u64,
+    tombstones: Vec<(Entry, Tombstone)>,
 ) -> Result<(), ClusterError> {
     let me = state.me();
     // Adopt a per-key strategy override before the engine exists.
@@ -771,6 +974,7 @@ fn rebuild_engine_in(
             }
         }
     }
+    engine.set_version_meta(version, tombstones);
     Ok(())
 }
 
@@ -787,9 +991,11 @@ fn replay_recovered(state: &State, rec: Recovered) -> usize {
     let me_idx = state.cfg.me;
     let Recovered { snapshots, records, torn, .. } = rec;
     for snap in snapshots {
-        let KeySnapshot { key, spec, entries, positions, counters } = snap;
+        let KeySnapshot { key, spec, entries, positions, counters, version, tombstones } = snap;
         let positions: BTreeMap<u64, Entry> = positions.into_iter().collect();
-        if let Err(err) = rebuild_engine(state, &key, spec, entries, positions, counters) {
+        if let Err(err) =
+            rebuild_engine(state, &key, spec, entries, positions, counters, version, tombstones)
+        {
             pls_telemetry::warn!("recovery_snapshot_skipped", server = me_idx, err = err);
         }
     }
@@ -851,6 +1057,8 @@ fn capture_checkpoint(state: &State, storage: &Storage) -> (Vec<KeySnapshot>, u6
             entries: e.entries().to_vec(),
             positions: e.rr_positions().map(|(p, v)| (p, v.clone())).collect(),
             counters: e.rr_counters(),
+            version: e.version(),
+            tombstones: e.tombstones().map(|(v, t)| (v.clone(), t)).collect(),
         })
         .collect();
     let last_seq = storage.appended_seq();
@@ -912,6 +1120,164 @@ async fn anti_entropy_loop(state: Arc<State>, every: Duration) {
     }
 }
 
+/// Keys sampled per staleness-probe round: the hottest probed keys
+/// (the traffic that matters most) topped up with uniform picks that
+/// rotate with the round counter, so cold keys cycle through too.
+const STALENESS_SAMPLE_KEYS: usize = 16;
+
+/// Of the sample, how many slots go to the hottest probed keys (from
+/// the Space-Saving sketch) before uniform top-up.
+const STALENESS_HOT_KEYS: usize = 8;
+
+/// Partial-lookup probe counts `t` the live staleness gauge reports,
+/// mirroring [`LIVE_FT_THRESHOLDS`].
+const STALENESS_THRESHOLDS: [usize; 3] = [1, 2, 4];
+
+/// The background staleness-probe loop: sleep a jittered interval
+/// (same [0.5, 1.5) scheme as anti-entropy, different stream), run one
+/// measurement round, repeat forever (the caller owns and aborts it).
+async fn staleness_loop(state: Arc<State>, every: Duration) {
+    let mut tick: u64 = 0;
+    loop {
+        tick = tick.wrapping_add(1);
+        let r = splitmix64(
+            state.cfg.seed
+                ^ 0x5354_414C_4500
+                ^ (state.cfg.me as u64)
+                ^ tick.wrapping_mul(0x9E37_79B9_7F4A_7C15),
+        );
+        let jitter = 0.5 + (r >> 11) as f64 / (1u64 << 53) as f64;
+        tokio::time::sleep(every.mul_f64(jitter)).await;
+        state.metrics.staleness_rounds.inc();
+        staleness_round(&state, tick).await;
+    }
+}
+
+/// One staleness measurement round: sample live keys, collect every
+/// server's per-key version via the Digest RPC, and turn the observed
+/// per-holder version lag into the PBS-style
+/// `pls_live_staleness{strategy,t}` gauge — the estimated probability
+/// that a partial lookup probing `t` of a key's `h` holders reaches at
+/// least one fully fresh copy:
+///
+/// ```text
+///   P(fresh) = 1 - C(h - f, t) / C(h, t)        (t capped at h)
+/// ```
+///
+/// where `f` is the number of holders at the freshest observed
+/// version — the probability that a uniform draw of `t` holders misses
+/// all `f` fresh ones, complemented. Per-holder version lags also feed
+/// the `pls_staleness_versions_behind` histogram. Versions are only
+/// cluster-comparable under the broadcast strategies (FullReplication
+/// / Fixed / RandomServer); under Hash / Round-Robin the gauge is an
+/// upper bound on divergence, not an exact freshness probability.
+async fn staleness_round(state: &Arc<State>, round: u64) {
+    let me_idx = state.cfg.me;
+    let round_id = state.next_id();
+    let deadline = Deadline::within(state.cfg.timeouts.op_budget);
+    let rpc = state.cfg.timeouts.rpc;
+
+    // Sample: hottest probed keys first, uniform rotating top-up after.
+    let all_keys: Vec<Vec<u8>> = {
+        let mut ks: Vec<Vec<u8>> = state.engines.lock().keys().cloned().collect();
+        ks.sort();
+        ks
+    };
+    if all_keys.is_empty() {
+        return;
+    }
+    let mut sample: Vec<Vec<u8>> = Vec::new();
+    let mut picked: HashSet<Vec<u8>> = HashSet::new();
+    let hot = state.metrics.hot_keys.snapshot();
+    for e in hot.top(STALENESS_HOT_KEYS) {
+        if state.engines.lock().contains_key(&e.key) && picked.insert(e.key.clone()) {
+            sample.push(e.key.clone());
+        }
+    }
+    let start = (round as usize).wrapping_mul(STALENESS_SAMPLE_KEYS) % all_keys.len();
+    for i in 0..all_keys.len() {
+        if sample.len() >= STALENESS_SAMPLE_KEYS {
+            break;
+        }
+        let k = &all_keys[(start + i) % all_keys.len()];
+        if picked.insert(k.clone()) {
+            sample.push(k.clone());
+        }
+    }
+
+    // Per (strategy, t): running (sum of per-key P(fresh), key count).
+    let mut acc: BTreeMap<(usize, usize), (f64, u64)> = BTreeMap::new();
+    for key in &sample {
+        if deadline.expired() {
+            break;
+        }
+        let spec = state.spec_of(key);
+        // Everyone's version clock for the key; `true` marks holders
+        // (servers actually storing entries — the servers a partial
+        // lookup can draw from).
+        let mut versions: Vec<(u64, bool)> = Vec::new();
+        if let Some((count, _, _, v, _)) = state.read_engine(key, engine_digest) {
+            versions.push((v, count > 0));
+        }
+        for (i, peer) in state.peers.iter().enumerate() {
+            if i == me_idx {
+                continue;
+            }
+            if let Ok(Response::Digest { known: true, count, version, .. }) = peer
+                .call_bounded(round_id, &Request::Digest { key: key.to_vec() }, deadline.cap(rpc))
+                .await
+            {
+                versions.push((version, count > 0));
+            }
+        }
+        // The freshest version anyone knows counts even from a
+        // holder-less server: a delete can leave the freshest server
+        // empty while laggards still hold the entry.
+        let Some(max_ver) = versions.iter().map(|(v, _)| *v).max() else {
+            continue;
+        };
+        let holders: Vec<u64> =
+            versions.iter().filter(|(_, held)| *held).map(|(v, _)| *v).collect();
+        let h = holders.len();
+        if h == 0 {
+            continue;
+        }
+        let mut fresh = 0usize;
+        for &hv in &holders {
+            state.metrics.staleness_versions_behind.observe(max_ver - hv);
+            if hv == max_ver {
+                fresh += 1;
+            }
+        }
+        let sidx = strategy_index(spec);
+        for t in STALENESS_THRESHOLDS {
+            let tt = t.min(h);
+            let p_fresh = 1.0 - choose(h - fresh, tt) / choose(h, tt);
+            let slot = acc.entry((sidx, t)).or_insert((0.0, 0));
+            slot.0 += p_fresh;
+            slot.1 += 1;
+        }
+    }
+    if !acc.is_empty() {
+        let averaged: BTreeMap<(usize, usize), f64> =
+            acc.into_iter().map(|(k, (sum, n))| (k, sum / n as f64)).collect();
+        *state.live_staleness.lock() = averaged;
+    }
+}
+
+/// Binomial coefficient as `f64` (`n` is at most the server count, so
+/// precision is not a concern). `C(n, k) = 0` when `k > n`.
+fn choose(n: usize, k: usize) -> f64 {
+    if k > n {
+        return 0.0;
+    }
+    let mut out = 1.0;
+    for i in 0..k {
+        out *= (n - i) as f64 / (i + 1) as f64;
+    }
+    out
+}
+
 /// One anti-entropy round: build the key universe (ours plus every
 /// reachable peer's), reconcile each key, checkpoint if anything was
 /// repaired, and refresh the live fault-tolerance gauge. The whole
@@ -971,6 +1337,20 @@ async fn anti_entropy_round(state: &Arc<State>, round: u64) -> Result<(), Cluste
         }
     }
 
+    // TTL garbage collection of delete tombstones: markers older than
+    // the TTL have done their job (every replica that will ever hear
+    // about the delete has) and only cost memory and wire bytes. Runs
+    // piggybacked on the repair round so GC cadence tracks repair
+    // cadence — a tombstone always survives several repair intervals.
+    let cutoff = now_ms().saturating_sub(state.cfg.tombstone_ttl.as_millis() as u64);
+    let dropped: usize = {
+        let mut map = state.engines.lock();
+        map.values_mut().map(|e| e.gc_tombstones(cutoff)).sum()
+    };
+    if dropped > 0 {
+        state.metrics.tombstones_gc.add(dropped as u64);
+    }
+
     if repaired > 0 {
         // Repairs bypass the WAL; persist them before the next crash.
         if let Err(err) = checkpoint_async(state).await {
@@ -1012,18 +1392,19 @@ async fn reconcile_key(
     let n = state.n();
     let rpc = state.cfg.timeouts.rpc;
 
-    // Cheap phase: everyone's digest.
+    // Cheap phase: everyone's digest — `(peer, count, entry hash,
+    // version, spec)` per reachable peer that knows the key.
     let local = state.read_engine(key, |e| engine_digest(e));
-    let mut digests: Vec<(usize, u64, u64, Option<StrategySpec>)> = Vec::new();
+    let mut digests: Vec<(usize, u64, u64, u64, Option<StrategySpec>)> = Vec::new();
     for (i, peer) in state.peers.iter().enumerate() {
         if i == me_idx {
             continue;
         }
-        if let Ok(Response::Digest { known: true, spec, count, entry_hash, .. }) = peer
+        if let Ok(Response::Digest { known: true, spec, count, entry_hash, version, .. }) = peer
             .call_bounded(round_id, &Request::Digest { key: key.to_vec() }, deadline.cap(rpc))
             .await
         {
-            digests.push((i, count, entry_hash, spec));
+            digests.push((i, count, entry_hash, version, spec));
         }
     }
     if digests.is_empty() {
@@ -1036,22 +1417,35 @@ async fn reconcile_key(
     // whatever the donors manage it under.
     let spec = match local {
         Some(_) => state.spec_of(key),
-        None => digests.iter().find_map(|(_, _, _, s)| *s).unwrap_or(state.cfg.spec),
+        None => digests.iter().find_map(|(.., s)| *s).unwrap_or(state.cfg.spec),
     };
 
+    // The freshest per-key version any reachable peer reports. Updates
+    // broadcast to every server under FullReplication / Fixed /
+    // RandomServer, so a version behind the maximum means missed
+    // updates there; under Hash / Round-Robin the fan-out is targeted
+    // and versions legitimately diverge across servers.
+    let max_peer_version = digests.iter().map(|(_, _, _, v, _)| *v).max().unwrap_or(0);
+
     // Digest-level verdict. For identical-everywhere strategies the
-    // modal (count, entry-hash) digest is the consensus replica set;
-    // ties break toward the larger count then hash, so every server
-    // resolves the same way and repair converges instead of ping-
-    // ponging.
+    // modal (count, entry-hash) digest among the FRESHEST rows is the
+    // consensus replica set (a lagging row matching by accident must
+    // not outvote rows that saw every update); ties break toward the
+    // larger count then hash, so every server resolves the same way
+    // and repair converges instead of ping-ponging.
     let modal = match spec {
         StrategySpec::FullReplication | StrategySpec::Fixed { .. } => {
+            let max_v = max_peer_version.max(local.map(|(_, _, _, v, _)| v).unwrap_or(0));
             let mut votes: HashMap<(u64, u64), usize> = HashMap::new();
-            if let Some((count, ehash, _, _)) = local {
-                *votes.entry((count, ehash)).or_insert(0) += 1;
+            if let Some((count, ehash, _, v, _)) = local {
+                if v == max_v {
+                    *votes.entry((count, ehash)).or_insert(0) += 1;
+                }
             }
-            for (_, c, h, _) in &digests {
-                *votes.entry((*c, *h)).or_insert(0) += 1;
+            for (_, c, h, v, _) in &digests {
+                if *v == max_v {
+                    *votes.entry((*c, *h)).or_insert(0) += 1;
+                }
             }
             votes.into_iter().max_by_key(|((c, h), n)| (*n, *c, *h)).map(|((c, h), _)| (c, h))
         }
@@ -1060,17 +1454,22 @@ async fn reconcile_key(
     let mut suspect = local.is_none();
     match spec {
         StrategySpec::FullReplication | StrategySpec::Fixed { .. } => {
-            if let (Some((count, ehash, _, _)), Some(modal)) = (local, modal) {
+            if let (Some((count, ehash, _, version, _)), Some(modal)) = (local, modal) {
                 suspect |= (count, ehash) != modal;
+                // A version behind a peer means this server missed
+                // broadcast updates, even if the digest happens to
+                // collide (e.g. delete-then-re-add of the same entry).
+                suspect |= version < max_peer_version;
             }
         }
         StrategySpec::RandomServer { .. } => {
-            // Subsets legitimately differ; only flag gross
-            // under-replication (less than half the best-filled peer),
-            // not reservoir jitter.
-            if let Some((count, ..)) = local {
+            // Subsets legitimately differ; flag gross under-replication
+            // (less than half the best-filled peer, not reservoir
+            // jitter) or a stale version clock (missed broadcasts).
+            if let Some((count, _, _, version, _)) = local {
                 let max = digests.iter().map(|(_, c, ..)| *c).max().unwrap_or(0);
                 suspect |= count * 2 < max;
+                suspect |= version < max_peer_version;
             }
         }
         // Shares are disjoint by design: digests across servers are
@@ -1092,45 +1491,58 @@ async fn reconcile_key(
     let local_deep = state.read_engine(key, |e| {
         (
             e.entries().to_vec(),
-            e.rr_positions().map(|(p, v)| (p, v.clone())).collect::<BTreeMap<u64, Entry>>(),
+            e.rr_positions().map(|(p, v)| (p, v.clone())).collect::<Vec<(u64, Entry)>>(),
+            e.tombstones().map(|(v, t)| (v.clone(), t)).collect::<Vec<_>>(),
             engine_digest(e),
         )
     });
     let guard = local_deep.as_ref().map(|(.., d)| *d);
     let mut rows: Vec<Vec<Entry>> = vec![Vec::new(); n];
-    let mut positions: BTreeMap<u64, Entry> = BTreeMap::new();
-    if let Some((entries, ps, _)) = &local_deep {
+    let mut donors: Vec<DonorRow> = Vec::new();
+    if let Some((entries, ps, ts, d)) = &local_deep {
         rows[me_idx] = entries.clone();
-        positions = ps.clone();
+        donors.push(DonorRow {
+            version: d.3,
+            entries: entries.clone(),
+            positions: ps.clone(),
+            tombstones: ts.clone(),
+        });
     }
-    let mut union: Vec<Entry> = rows[me_idx].clone();
-    let mut in_union: HashSet<Entry> = union.iter().cloned().collect();
     let mut counters = guard.and_then(|(.., cs)| cs);
-    let mut donors = 0usize;
+    let mut donor_count = 0usize;
     for (i, peer) in state.peers.iter().enumerate() {
         if i == me_idx {
             continue;
         }
-        if let Ok(Response::Snapshot { entries, positions: ps, counters: cs, .. }) = peer
+        if let Ok(Response::Snapshot {
+            entries,
+            positions: ps,
+            counters: cs,
+            version,
+            tombstones,
+            ..
+        }) = peer
             .call_bounded(round_id, &Request::Snapshot { key: key.to_vec() }, deadline.cap(rpc))
             .await
         {
-            donors += 1;
-            for v in &entries {
-                if in_union.insert(v.clone()) {
-                    union.push(v.clone());
-                }
-            }
-            rows[i] = entries;
-            for (p, v) in ps {
-                positions.insert(p, v);
-            }
+            donor_count += 1;
+            rows[i] = entries.clone();
             counters = storage::merge_rr_counters(counters, cs);
+            donors.push(DonorRow { version, entries, positions: ps, tombstones });
         }
     }
-    if donors == 0 {
+    if donor_count == 0 {
         return false;
     }
+
+    // Version- and tombstone-screened merge of everything the cluster
+    // (including this server) holds for the key — the donor data a
+    // repair rebuilds from. Entries a fresher donor remembers deleting
+    // are filtered out here, which closes the old resurrection window:
+    // a donor that missed a `Delete` (unreachable during the fan-out)
+    // re-contributes the deleted entry, but the merged tombstone
+    // outranks its stale live copy and repair drops it.
+    let merged = merge_donor_rows(spec, &donors);
 
     // Live §4.4 fault tolerance of what the cluster actually holds for
     // this key right now (an unreachable peer's row is empty — the
@@ -1148,19 +1560,19 @@ async fn reconcile_key(
         (StrategySpec::Hash { .. }, Some((mine, ..))) => {
             let expected: Vec<Entry> = state
                 .read_engine(key, |e| {
-                    union.iter().filter(|&v| e.assigns_to(v, me)).cloned().collect()
+                    merged.union.iter().filter(|&v| e.assigns_to(v, me)).cloned().collect()
                 })
                 .unwrap_or_default();
             suspect |= expected.len() != mine.len()
                 || storage::entry_set_hash(&expected) != storage::entry_set_hash(mine);
         }
-        (StrategySpec::RoundRobin { y }, Some((_, _, digest))) => {
-            let expected = positions.iter().filter(|(pos, _)| {
+        (StrategySpec::RoundRobin { y }, Some((_, _, _, digest))) => {
+            let expected = merged.positions.iter().filter(|(pos, _)| {
                 let base = ServerId::new((**pos % n as u64) as u32);
                 (0..y).any(|k| base.wrapping_add(k, n) == me)
             });
             let expected_hash = storage::position_set_hash(expected.map(|(p, v)| (*p, v)));
-            let (_, _, mine_hash, mine_counters) = *digest;
+            let (_, _, mine_hash, _, mine_counters) = *digest;
             suspect |= expected_hash != mine_hash;
             if me_idx == 0 {
                 suspect |= counters != mine_counters;
@@ -1173,34 +1585,27 @@ async fn reconcile_key(
     }
 
     // Repair: rebuild this server's share from the merged donor data,
-    // through the same message path resync uses.
-    //
-    // Known limitation — no tombstones: the union paths (RandomServer,
-    // Round-Robin positions) merge every donor's surviving state, so a
-    // donor that missed a `Delete` (it was unreachable when the update
-    // fanned out) re-contributes the deleted entry and repair re-stores
-    // it. The modal vote below shields FullReplication/Fixed from this;
-    // for the union strategies the resurrection window lasts until the
-    // lagging donor itself is repaired against the majority. Closing it
-    // needs per-entry versions or delete tombstones (see DESIGN.md §10).
+    // through the same message path resync uses. FullReplication/Fixed
+    // adopt the modal freshest donor's replica set wholesale; the
+    // union strategies rebuild from the screened merge above.
     let entries_for_rebuild = match spec {
-        StrategySpec::FullReplication | StrategySpec::Fixed { .. } => {
-            // The modal donor's replica set — the union would resurrect
-            // entries a lagging donor failed to delete.
-            digests
-                .iter()
-                .find(|(i, c, h, _)| Some((*c, *h)) == modal && !rows[*i].is_empty())
-                .map(|(i, ..)| rows[*i].clone())
-                .unwrap_or_else(|| {
-                    rows.iter()
-                        .enumerate()
-                        .filter(|(i, _)| *i != me_idx)
-                        .map(|(_, r)| r.clone())
-                        .max_by_key(Vec::len)
-                        .unwrap_or_default()
-                })
-        }
-        _ => union,
+        StrategySpec::FullReplication | StrategySpec::Fixed { .. } => digests
+            .iter()
+            .filter(|(_, _, _, v, _)| *v == max_peer_version)
+            .find(|(i, c, h, ..)| Some((*c, *h)) == modal && !rows[*i].is_empty())
+            .map(|(i, ..)| rows[*i].clone())
+            .unwrap_or_else(|| {
+                // No modal freshest donor answered the deep pull; fall
+                // back to the fullest row among the freshest donors
+                // (never a stale row — it may predate a delete).
+                digests
+                    .iter()
+                    .filter(|(_, _, _, v, _)| *v == max_peer_version)
+                    .map(|(i, ..)| rows[*i].clone())
+                    .max_by_key(Vec::len)
+                    .unwrap_or_default()
+            }),
+        _ => merged.union.clone(),
     };
     // Validate-and-rebuild atomically: every write path (WAL append +
     // local cascade) holds the engines lock, so if the key's digest
@@ -1219,7 +1624,17 @@ async fn reconcile_key(
         );
         return false;
     }
-    match rebuild_engine_in(state, &mut map, key, spec, entries_for_rebuild, positions, counters) {
+    match rebuild_engine_in(
+        state,
+        &mut map,
+        key,
+        spec,
+        entries_for_rebuild,
+        merged.positions,
+        counters,
+        merged.max_version,
+        merged.tombstones,
+    ) {
         Ok(()) => {
             pls_telemetry::info!(
                 "antientropy_repaired",
@@ -1373,18 +1788,38 @@ async fn handle_request(
             if let Some(spec) = spec {
                 state.set_spec(&key, spec)?;
             }
-            apply(state, req_id, &key, Endpoint::client(0), Message::PlaceReq { entries }).await?;
+            apply(
+                state,
+                req_id,
+                &key,
+                Endpoint::client(0),
+                versioned_client(Message::PlaceReq { entries }),
+            )
+            .await?;
             Ok(Response::Ok)
         }
         Request::Add { key, entry } => {
             guard_rr_coordinator(state, &key)?;
-            apply(state, req_id, &key, Endpoint::client(0), Message::AddReq { v: entry }).await?;
+            apply(
+                state,
+                req_id,
+                &key,
+                Endpoint::client(0),
+                versioned_client(Message::AddReq { v: entry }),
+            )
+            .await?;
             Ok(Response::Ok)
         }
         Request::Delete { key, entry } => {
             guard_rr_coordinator(state, &key)?;
-            apply(state, req_id, &key, Endpoint::client(0), Message::DeleteReq { v: entry })
-                .await?;
+            apply(
+                state,
+                req_id,
+                &key,
+                Endpoint::client(0),
+                versioned_client(Message::DeleteReq { v: entry }),
+            )
+            .await?;
             Ok(Response::Ok)
         }
         Request::Probe { key, t } => {
@@ -1425,19 +1860,25 @@ async fn handle_request(
                     e.entries().to_vec(),
                     e.rr_positions().map(|(p, v)| (p, v.clone())).collect::<Vec<_>>(),
                     e.rr_counters(),
+                    e.version(),
+                    e.tombstones().map(|(v, t)| (v.clone(), t)).collect::<Vec<_>>(),
                 )
             });
             Ok(match snapshot {
-                Some((entries, positions, counters)) => Response::Snapshot {
+                Some((entries, positions, counters, version, tombstones)) => Response::Snapshot {
                     entries,
                     positions,
                     counters,
+                    version,
+                    tombstones,
                     spec: Some(state.spec_of(&key)),
                 },
                 None => Response::Snapshot {
                     entries: Vec::new(),
                     positions: Vec::new(),
                     counters: None,
+                    version: 0,
+                    tombstones: Vec::new(),
                     spec: None,
                 },
             })
@@ -1447,12 +1888,13 @@ async fn handle_request(
             // counts, no entry payloads on the wire.
             let digest = state.read_engine(&key, |e| engine_digest(e));
             Ok(match digest {
-                Some((count, entry_hash, positions_hash, counters)) => Response::Digest {
+                Some((count, entry_hash, positions_hash, version, counters)) => Response::Digest {
                     known: true,
                     spec: Some(state.spec_of(&key)),
                     count,
                     entry_hash,
                     positions_hash,
+                    version,
                     counters,
                 },
                 None => Response::Digest {
@@ -1461,6 +1903,7 @@ async fn handle_request(
                     count: 0,
                     entry_hash: 0,
                     positions_hash: 0,
+                    version: 0,
                     counters: None,
                 },
             })

@@ -11,9 +11,12 @@
 //!   wire protocol uses.
 //! * `checkpoint.bin` — a point-in-time snapshot of every key's engine
 //!   state in the `Snapshot` wire shape (entries, round-robin
-//!   positions, coordinator counters, strategy), stamped with the
-//!   highest WAL sequence it covers and a trailing CRC. Written to
-//!   `checkpoint.tmp` first, fsynced, then atomically renamed.
+//!   positions, coordinator counters, per-key version, delete
+//!   tombstones, strategy), stamped with the highest WAL sequence it
+//!   covers and a trailing CRC. Written to `checkpoint.tmp` first,
+//!   fsynced, then atomically renamed. Pre-upgrade (`PLSCKPT1`)
+//!   checkpoints still load: every key recovers at version 0 with no
+//!   tombstones.
 //!
 //! Recovery loads the checkpoint (a corrupt one is treated as absent),
 //! then replays every WAL record with a sequence *above* the
@@ -38,7 +41,7 @@ use std::path::{Path, PathBuf};
 
 use bytes::Bytes;
 use parking_lot::Mutex;
-use pls_core::{Message, StrategySpec};
+use pls_core::{Message, StrategySpec, Tombstone};
 use pls_net::{Endpoint, ServerId};
 use pls_telemetry::Counter;
 
@@ -57,8 +60,13 @@ const CHECKPOINT_TMP: &str = "checkpoint.tmp";
 /// tail (mirrors the wire frame cap — no legitimate message is bigger).
 const MAX_RECORD: usize = MAX_FRAME;
 
-/// Checkpoint header magic: `b"PLSCKPT1"` as a big-endian u64.
-const CHECKPOINT_MAGIC: u64 = 0x504C_5343_4B50_5431;
+/// Legacy (pre-version) checkpoint header magic: `b"PLSCKPT1"` as a
+/// big-endian u64. Still accepted on read — every key recovers at
+/// version 0 with no tombstones.
+const CHECKPOINT_MAGIC_V1: u64 = 0x504C_5343_4B50_5431;
+/// Current checkpoint header magic: `b"PLSCKPT2"`. Adds a per-key
+/// version and tombstone list after the coordinator counters.
+const CHECKPOINT_MAGIC: u64 = 0x504C_5343_4B50_5432;
 
 // ---- endpoint wire tags (WAL-only; the RPC protocol never sends one) ----
 const EP_CLIENT: u8 = 0;
@@ -140,6 +148,10 @@ pub struct KeySnapshot {
     pub positions: Vec<(u64, Entry)>,
     /// Round-robin coordinator counters, if held.
     pub counters: Option<(u64, u64)>,
+    /// The key's per-key version clock at capture time.
+    pub version: u64,
+    /// Live delete tombstones at capture time.
+    pub tombstones: Vec<(Entry, Tombstone)>,
 }
 
 /// One durable WAL record: an inbound engine message with its context.
@@ -490,6 +502,11 @@ fn encode_checkpoint(last_seq: u64, snaps: &[KeySnapshot]) -> Bytes {
                 w.u8(0);
             }
         }
+        w.u64(s.version);
+        w.u32(s.tombstones.len() as u32);
+        for (v, t) in &s.tombstones {
+            w.bytes(v).u64(t.version).u64(t.born_ms);
+        }
     }
     w.into_payload()
 }
@@ -511,9 +528,11 @@ fn read_checkpoint(path: &Path) -> Option<(u64, Vec<KeySnapshot>)> {
     }
     let parsed = (|| -> Result<(u64, Vec<KeySnapshot>), ClusterError> {
         let mut r = Reader::new(Bytes::copy_from_slice(payload));
-        if r.u64("ckpt magic")? != CHECKPOINT_MAGIC {
-            return Err(ClusterError::Decode("ckpt magic"));
-        }
+        let versioned = match r.u64("ckpt magic")? {
+            CHECKPOINT_MAGIC => true,
+            CHECKPOINT_MAGIC_V1 => false,
+            _ => return Err(ClusterError::Decode("ckpt magic")),
+        };
         let last_seq = r.u64("ckpt seq")?;
         let count = r.u32("ckpt key count")? as usize;
         if count > MAX_RECORD / 8 {
@@ -538,7 +557,33 @@ fn read_checkpoint(path: &Path) -> Option<(u64, Vec<KeySnapshot>)> {
                 1 => Some((r.u64("ckpt head")?, r.u64("ckpt tail")?)),
                 _ => return Err(ClusterError::Decode("ckpt counter flag")),
             };
-            snaps.push(KeySnapshot { key, spec, entries, positions, counters });
+            let (version, tombstones) = if versioned {
+                let version = r.u64("ckpt version")?;
+                let n_tomb = r.u32("ckpt tombstone count")? as usize;
+                if n_tomb > MAX_RECORD / 8 {
+                    return Err(ClusterError::Decode("ckpt tombstone count"));
+                }
+                let mut tombstones = Vec::with_capacity(n_tomb.min(1024));
+                for _ in 0..n_tomb {
+                    let v = r.bytes("ckpt tombstone entry")?;
+                    let t_version = r.u64("ckpt tombstone version")?;
+                    let born_ms = r.u64("ckpt tombstone born")?;
+                    tombstones.push((v, Tombstone { version: t_version, born_ms }));
+                }
+                (version, tombstones)
+            } else {
+                // Pre-upgrade checkpoint: no clock, no delete markers.
+                (0, Vec::new())
+            };
+            snaps.push(KeySnapshot {
+                key,
+                spec,
+                entries,
+                positions,
+                counters,
+                version,
+                tombstones,
+            });
         }
         r.finish("checkpoint")?;
         Ok((last_seq, snaps))
@@ -713,6 +758,8 @@ mod tests {
             entries: vec![vec![0], vec![1], vec![2]],
             positions: Vec::new(),
             counters: None,
+            version: 3,
+            tombstones: vec![(b"gone".to_vec(), Tombstone { version: 2, born_ms: 1234 })],
         }];
         storage.checkpoint(storage.appended_seq(), &snaps).unwrap();
         assert_eq!(fs::metadata(dir.join(WAL_FILE)).unwrap().len(), 0);
@@ -739,6 +786,8 @@ mod tests {
             entries: vec![b"x".to_vec()],
             positions: vec![(0, b"x".to_vec())],
             counters: Some((0, 1)),
+            version: 1,
+            tombstones: Vec::new(),
         }];
         storage.checkpoint(storage.appended_seq(), &snaps).unwrap();
         drop(storage);
@@ -814,6 +863,8 @@ mod tests {
             entries: vec![b"a".to_vec(), b"b".to_vec()],
             positions: Vec::new(),
             counters: None,
+            version: 2,
+            tombstones: Vec::new(),
         }];
         storage.checkpoint(storage.appended_seq(), &fresh).unwrap();
         // The stale capture arrives late: it must be dropped, not
@@ -826,6 +877,94 @@ mod tests {
         assert_eq!(rec.checkpoint_seq, 2);
         assert_eq!(rec.snapshots, fresh);
         assert!(rec.records.is_empty());
+    }
+
+    #[test]
+    fn pre_upgrade_data_dir_recovers_at_version_zero() {
+        // A data dir written before versions existed: a PLSCKPT1
+        // checkpoint (no version, no tombstones per key) plus plain,
+        // unwrapped WAL records. Recovery must load both — the key
+        // comes back at version 0 with no tombstones, and the
+        // unversioned records replay as-is.
+        let dir = tmpdir("migrate");
+        fs::create_dir_all(&dir).unwrap();
+
+        // Hand-encode the legacy checkpoint format.
+        let mut w = Writer::new();
+        w.u64(CHECKPOINT_MAGIC_V1).u64(2).u32(1);
+        w.bytes(b"k");
+        encode_spec(&mut w, &Some(StrategySpec::fixed(2)));
+        w.bytes_list(&[b"a".to_vec(), b"b".to_vec()]);
+        w.u32(0); // no positions
+        w.u8(0); // no counters
+                 // v1 snapshots end here: no version, no tombstone list.
+        let payload = w.into_payload();
+        let mut raw = payload.to_vec();
+        raw.extend_from_slice(&crc32(&payload).to_be_bytes());
+        fs::write(dir.join(CHECKPOINT_FILE), &raw).unwrap();
+
+        // An unversioned WAL record after the checkpoint (the only kind
+        // a pre-upgrade server ever wrote).
+        {
+            let (storage, _) = Storage::open(&dir).unwrap();
+            storage.append(b"k", Endpoint::client(0), None, &add(b"c")).unwrap();
+            storage.sync().unwrap();
+        }
+
+        let (_, rec) = Storage::open(&dir).unwrap();
+        assert_eq!(rec.checkpoint_seq, 2);
+        assert_eq!(rec.snapshots.len(), 1);
+        let snap = &rec.snapshots[0];
+        assert_eq!(snap.key, b"k".to_vec());
+        assert_eq!(snap.entries, vec![b"a".to_vec(), b"b".to_vec()]);
+        assert_eq!(snap.version, 0, "legacy checkpoints recover at version 0");
+        assert!(snap.tombstones.is_empty());
+        assert_eq!(rec.records.len(), 1);
+        assert_eq!(rec.records[0].msg, add(b"c"));
+    }
+
+    #[test]
+    fn versioned_checkpoint_roundtrips_version_and_tombstones() {
+        let dir = tmpdir("vckpt");
+        let (storage, _) = Storage::open(&dir).unwrap();
+        storage.append(b"k", Endpoint::client(0), None, &add(b"a")).unwrap();
+        storage.sync().unwrap();
+        let snaps = vec![KeySnapshot {
+            key: b"k".to_vec(),
+            spec: StrategySpec::random_server(2),
+            entries: vec![b"a".to_vec()],
+            positions: Vec::new(),
+            counters: None,
+            version: 9,
+            tombstones: vec![
+                (b"dead".to_vec(), Tombstone { version: 8, born_ms: 1_700_000_000_000 }),
+                (b"older".to_vec(), Tombstone { version: 3, born_ms: 0 }),
+            ],
+        }];
+        storage.checkpoint(storage.appended_seq(), &snaps).unwrap();
+        drop(storage);
+        let (_, rec) = Storage::open(&dir).unwrap();
+        assert_eq!(rec.snapshots, snaps);
+    }
+
+    #[test]
+    fn versioned_wal_records_roundtrip() {
+        // The WAL shares the wire codec, so a Versioned wrapper rides
+        // through append/replay unchanged — deterministic replay keeps
+        // the coordinator-assigned version.
+        let dir = tmpdir("vwal");
+        let (storage, _) = Storage::open(&dir).unwrap();
+        let msg = Message::Versioned {
+            version: 7,
+            stamp_ms: 1_700_000_000_000,
+            msg: Box::new(Message::DeleteReq { v: b"e".to_vec() }),
+        };
+        storage.append(b"k", Endpoint::client(3), None, &msg).unwrap();
+        storage.sync().unwrap();
+        drop(storage);
+        let (_, rec) = Storage::open(&dir).unwrap();
+        assert_eq!(rec.records.len(), 1);
+        assert_eq!(rec.records[0].msg, msg);
     }
 
     #[test]

@@ -1,0 +1,164 @@
+//! Consistency-observatory tests: the background staleness-probe loop
+//! must pin `pls_live_staleness` at 1.0 on a quiet, fully-converged
+//! cluster (with an all-zero versions-behind histogram), and a
+//! chaos-delayed server that keeps missing broadcast updates must drive
+//! the gauge measurably below 1.0.
+
+use std::net::SocketAddr;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use pls_cluster::{ChaosConfig, ChaosPeer, Client, ClientConfig, Server, ServerConfig, Timeouts};
+use pls_core::StrategySpec;
+use tokio::task::JoinHandle;
+
+/// Tight time bounds so fault detection (and hence the tests) is fast.
+fn tight() -> Timeouts {
+    Timeouts::default().with_connect_ms(500).with_rpc_ms(300).with_op_budget_ms(3_000)
+}
+
+fn entries(range: std::ops::Range<u32>) -> Vec<Vec<u8>> {
+    range.map(|i| format!("peer{i}:6699").into_bytes()).collect()
+}
+
+/// Spawns `n` servers with the staleness-probe loop enabled. When
+/// `chaos_at` names a server, it is fronted by a chaos proxy sharing
+/// `chaos` — everyone (client and peers alike) reaches it through the
+/// proxy, so injected delay postpones that server's view of every
+/// broadcast update without cutting it off.
+async fn spawn_probing_cluster(
+    n: usize,
+    spec: StrategySpec,
+    seed: u64,
+    probe_every: Duration,
+    chaos_at: Option<(usize, &Arc<ChaosConfig>)>,
+) -> (Vec<SocketAddr>, Vec<JoinHandle<()>>) {
+    let mut listeners = Vec::with_capacity(n);
+    let mut real_addrs: Vec<SocketAddr> = Vec::with_capacity(n);
+    for _ in 0..n {
+        let listener = tokio::net::TcpListener::bind("127.0.0.1:0").await.expect("bind");
+        real_addrs.push(listener.local_addr().expect("local addr"));
+        listeners.push(listener);
+    }
+    let mut handles = Vec::new();
+    let mut public_addrs = real_addrs.clone();
+    if let Some((i, chaos)) = chaos_at {
+        let (proxy, addr) =
+            ChaosPeer::bind(Some(real_addrs[i]), Arc::clone(chaos)).await.expect("proxy bind");
+        public_addrs[i] = addr;
+        handles.push(tokio::spawn(proxy.run()));
+    }
+    for (i, listener) in listeners.into_iter().enumerate() {
+        let cfg = ServerConfig::new(i, public_addrs.clone(), spec, seed)
+            .with_timeouts(tight())
+            .with_staleness_probe(probe_every);
+        let (server, _) = Server::with_listener(cfg, listener).expect("server");
+        handles.push(tokio::spawn(server.run()));
+    }
+    (public_addrs, handles)
+}
+
+/// All `pls_live_staleness{strategy,t}` series in a merged snapshot,
+/// as `(series name, value)` — the exact rows `pls-client stats` and
+/// the loadgen artifact render.
+fn staleness_gauges(merged: &pls_telemetry::MetricsSnapshot) -> Vec<(String, f64)> {
+    merged
+        .gauges
+        .iter()
+        .filter(|(name, _)| name.starts_with("pls_live_staleness{"))
+        .cloned()
+        .collect()
+}
+
+#[tokio::test]
+async fn converged_cluster_pins_live_staleness_at_one() {
+    let spec = StrategySpec::full_replication();
+    let every = Duration::from_millis(100);
+    let (addrs, _handles) = spawn_probing_cluster(3, spec, 31, every, None).await;
+    let mut client =
+        Client::connect(ClientConfig::new(addrs.clone(), spec, 310).with_timeouts(tight()));
+    // Two strategies so the gauge's `strategy` label is exercised; both
+    // placements are fully acknowledged before returning, so the
+    // cluster is converged before the first probe round fires.
+    client.place(b"alpha", entries(0..5)).await.unwrap();
+    client
+        .place_with_strategy(b"beta", entries(10..16), StrategySpec::random_server(2))
+        .await
+        .unwrap();
+
+    // Every server must complete at least two probe rounds over the
+    // converged state.
+    let deadline = Instant::now() + Duration::from_secs(30);
+    loop {
+        let mut rounds_done = 0;
+        for i in 0..3 {
+            if let Ok(m) = client.metrics_of(i, false).await {
+                if m.counter("pls_staleness_rounds_total").unwrap_or(0) >= 2 {
+                    rounds_done += 1;
+                }
+            }
+        }
+        if rounds_done == 3 {
+            break;
+        }
+        assert!(Instant::now() < deadline, "staleness probes never ran");
+        tokio::time::sleep(Duration::from_millis(50)).await;
+    }
+
+    let merged = client.cluster_metrics(false).await.unwrap();
+    let gauges = staleness_gauges(&merged);
+    assert!(
+        gauges.iter().any(|(n, _)| n.contains("strategy=\"full\""))
+            && gauges.iter().any(|(n, _)| n.contains("strategy=\"random\"")),
+        "both placed strategies must export a staleness series: {gauges:?}"
+    );
+    for (name, value) in &gauges {
+        assert_eq!(*value, 1.0, "converged cluster must pin {name} at 1.0");
+    }
+    let behind = merged.histogram("pls_staleness_versions_behind").expect("lag histogram");
+    assert!(behind.count > 0, "probes must have observed holder versions");
+    assert_eq!(behind.mean(), 0.0, "no holder may appear behind on a converged cluster");
+}
+
+#[tokio::test]
+async fn chaos_delayed_donor_drives_live_staleness_below_one() {
+    let spec = StrategySpec::full_replication();
+    let every = Duration::from_millis(100);
+    let chaos = Arc::new(ChaosConfig::new(33));
+    let (addrs, _handles) = spawn_probing_cluster(3, spec, 33, every, Some((2, &chaos))).await;
+    let mut client =
+        Client::connect(ClientConfig::new(addrs.clone(), spec, 330).with_timeouts(tight()));
+    client.place(b"k", entries(0..4)).await.unwrap();
+
+    // 150ms of injected delay (inside the 300ms rpc deadline, so
+    // nothing is cut off): every broadcast update reaches server 2 a
+    // beat late, so while updates flow its version clock trails the
+    // cluster and its own probe rounds must report P(fresh) < 1 for
+    // partial lookups that could draw the stale replica.
+    chaos.set_delay_ms(150);
+    let deadline = Instant::now() + Duration::from_secs(45);
+    let mut update = 0u64;
+    let (dipped, lag_seen) = loop {
+        for _ in 0..5 {
+            update += 1;
+            let _ = client.add(b"k", format!("upd-{update}").into_bytes()).await;
+        }
+        let merged = client.cluster_metrics(false).await.unwrap();
+        let dipped = staleness_gauges(&merged)
+            .iter()
+            .any(|(name, v)| name.contains("strategy=\"full\"") && *v < 0.999);
+        let lag_seen = merged
+            .histogram("pls_staleness_versions_behind")
+            .is_some_and(|h| h.count > 0 && h.mean() > 0.0);
+        if dipped && lag_seen {
+            break (dipped, lag_seen);
+        }
+        assert!(
+            Instant::now() < deadline,
+            "delayed donor never showed up in the staleness gauge \
+             (dipped={dipped}, lag_seen={lag_seen})"
+        );
+        tokio::time::sleep(Duration::from_millis(20)).await;
+    };
+    assert!(dipped && lag_seen);
+}

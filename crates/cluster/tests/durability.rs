@@ -93,6 +93,36 @@ async fn spawn_durable_cluster(
     (addrs, handles)
 }
 
+/// One key's locally stored entries at one server, over the raw wire
+/// protocol — ground truth for resurrection checks.
+async fn entries_at(addr: SocketAddr, key: &[u8]) -> Vec<Vec<u8>> {
+    let deadline = std::time::Instant::now() + Duration::from_secs(10);
+    loop {
+        let attempt = async {
+            let mut stream = tokio::net::TcpStream::connect(addr).await?;
+            let req = pls_cluster::proto::Request::Snapshot { key: key.to_vec() };
+            pls_cluster::wire::write_frame(&mut stream, 0xd1f5, &req.encode()).await?;
+            let (_, payload) =
+                pls_cluster::wire::read_frame(&mut stream).await?.ok_or_else(|| {
+                    pls_cluster::ClusterError::Io(std::io::ErrorKind::UnexpectedEof.into())
+                })?;
+            Ok::<_, pls_cluster::ClusterError>(pls_cluster::proto::Response::decode(payload))
+        }
+        .await;
+        match attempt {
+            Ok(Ok(pls_cluster::proto::Response::Snapshot { entries, .. })) => return entries,
+            Ok(other) => panic!("unexpected snapshot response {other:?}"),
+            Err(err) => {
+                assert!(
+                    std::time::Instant::now() < deadline,
+                    "snapshot of {addr} unreachable: {err}"
+                );
+                tokio::time::sleep(Duration::from_millis(100)).await;
+            }
+        }
+    }
+}
+
 /// `status_of` with patience: right after a restart the client may hold
 /// stale pooled connections to the old process and the breaker may
 /// still be cooling off, so retry for a bounded window.
@@ -244,6 +274,99 @@ async fn anti_entropy_heals_a_wiped_server_without_an_operator() {
     for dir in &dirs {
         let _ = std::fs::remove_dir_all(dir);
     }
+}
+
+/// Shared body for the delete-resurrection regressions: server 2
+/// misses a delete (killed during the fan-out), restarts from its WAL
+/// with the deleted entry still live, and the background anti-entropy
+/// repair must drop the stale copy instead of unioning it back into
+/// the cluster — the tombstone outranks the lagging donor.
+async fn assert_delete_survives_lagging_donor(
+    spec: StrategySpec,
+    tag: &str,
+    seed: u64,
+    total: u32,
+) {
+    let dirs = data_dirs(tag, 3);
+    let every = Some(Duration::from_millis(150));
+    let (addrs, handles) = spawn_durable_cluster(&dirs, spec, seed, every).await;
+    let mut client = Client::connect(ClientConfig::new(addrs.clone(), spec, seed * 10));
+    client.place(b"k", entries(0..total)).await.unwrap();
+
+    // Pick an entry the soon-to-lag server actually stores, so the
+    // regression can never pass vacuously.
+    let held = entries_at(addrs[2], b"k").await;
+    let victim = held.first().expect("server 2 must store part of the key").clone();
+
+    // Server 2 misses the delete, then comes back as a stale donor.
+    handles[2].abort();
+    client.delete(b"k", victim.clone()).await.unwrap();
+    let (recovered, _run) = start_server(2, &addrs, &dirs, spec, seed, every).await;
+    assert_eq!(recovered, 1, "the WAL must still hold the pre-delete state");
+
+    // Anti-entropy must remove the stale copy from the donor...
+    let deadline = std::time::Instant::now() + Duration::from_secs(30);
+    while entries_at(addrs[2], b"k").await.contains(&victim) {
+        assert!(
+            std::time::Instant::now() < deadline,
+            "anti-entropy never dropped the deleted entry from the stale donor"
+        );
+        tokio::time::sleep(Duration::from_millis(100)).await;
+    }
+
+    // ...and must never have copied it back: let two more repair
+    // rounds pass on every server, then sweep the whole cluster.
+    let mut base = Vec::new();
+    for i in 0..3 {
+        let m = client.metrics_of(i, false).await.unwrap();
+        base.push(m.counter("pls_antientropy_rounds_total").unwrap_or(0));
+    }
+    let deadline = std::time::Instant::now() + Duration::from_secs(30);
+    loop {
+        let mut settled = 0;
+        for (i, b) in base.iter().enumerate() {
+            if let Ok(m) = client.metrics_of(i, false).await {
+                if m.counter("pls_antientropy_rounds_total").unwrap_or(0) >= b + 2 {
+                    settled += 1;
+                }
+            }
+        }
+        if settled == 3 {
+            break;
+        }
+        assert!(std::time::Instant::now() < deadline, "anti-entropy rounds stalled");
+        tokio::time::sleep(Duration::from_millis(100)).await;
+    }
+    for i in 0..3 {
+        assert!(
+            !entries_at(addrs[i], b"k").await.contains(&victim),
+            "server {i} resurrected the deleted entry"
+        );
+    }
+    let survivors = client.partial_lookup(b"k", total as usize).await.unwrap();
+    assert_eq!(survivors.len(), total as usize - 1);
+    assert!(!survivors.contains(&victim), "lookup returned the deleted entry");
+
+    for dir in &dirs {
+        let _ = std::fs::remove_dir_all(dir);
+    }
+}
+
+#[tokio::test]
+async fn random_server_delete_is_not_resurrected_by_a_lagging_donor() {
+    assert_delete_survives_lagging_donor(
+        StrategySpec::random_server(2),
+        "no-resurrect-rand",
+        17,
+        6,
+    )
+    .await;
+}
+
+#[tokio::test]
+async fn round_robin_delete_is_not_resurrected_by_a_lagging_donor() {
+    assert_delete_survives_lagging_donor(StrategySpec::round_robin(2), "no-resurrect-rr", 19, 9)
+        .await;
 }
 
 #[tokio::test]

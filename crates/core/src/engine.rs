@@ -11,7 +11,7 @@
 use pls_net::{Endpoint, ServerId};
 
 use crate::node::{MigrationState, RrCoord, ServerNode};
-use crate::{ConfigError, DetRng, Entry, HashFamily, Message, StrategySpec};
+use crate::{ConfigError, DetRng, Entry, HashFamily, Message, StrategySpec, Tombstone};
 
 /// Where an outbound message should go.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -183,16 +183,164 @@ impl<V: Entry> NodeEngine<V> {
         self.hash_family.as_ref().is_some_and(|f| f.assign(v).contains(&s))
     }
 
+    /// The key's current per-key version (Lamport clock) as seen by this
+    /// server. Advances only through [`Message::Versioned`] traffic;
+    /// unversioned (legacy / simulation) messages leave it untouched.
+    pub fn version(&self) -> u64 {
+        self.node.version
+    }
+
+    /// The live delete tombstones: `(entry, marker)` pairs, unordered.
+    pub fn tombstones(&self) -> impl Iterator<Item = (&V, Tombstone)> + '_ {
+        self.node.tombstones.iter().map(|(v, t)| (v, *t))
+    }
+
+    /// Number of live tombstones.
+    pub fn tombstone_count(&self) -> usize {
+        self.node.tombstones.len()
+    }
+
+    /// Restores version/tombstone metadata after a recovery rebuild.
+    ///
+    /// Rebuilds start from [`Message::Reset`] (which clears tombstones),
+    /// replay the donor entries, then call this with the merged donor
+    /// metadata. The version only moves forward; a tombstone for an
+    /// entry the rebuilt store deliberately kept is dropped (the two
+    /// must never coexist — the caller decided the entry is live).
+    pub fn set_version_meta(
+        &mut self,
+        version: u64,
+        tombstones: impl IntoIterator<Item = (V, Tombstone)>,
+    ) {
+        self.node.version = self.node.version.max(version);
+        self.node.tombstones = tombstones.into_iter().collect();
+        let live: Vec<V> =
+            self.node.tombstones.keys().filter(|v| self.node.store.contains(v)).cloned().collect();
+        for v in live {
+            self.node.tombstones.remove(&v);
+        }
+    }
+
+    /// Garbage-collects tombstones born at or before `cutoff_ms`
+    /// (coordinator wall-clock); returns how many were dropped. Legacy
+    /// tombstones with an unknown birth time (`born_ms == 0`) are always
+    /// eligible.
+    pub fn gc_tombstones(&mut self, cutoff_ms: u64) -> usize {
+        let before = self.node.tombstones.len();
+        self.node.tombstones.retain(|_, t| t.born_ms > cutoff_ms);
+        before - self.node.tombstones.len()
+    }
+
     /// Processes one inbound message, returning the outbound messages
     /// this server wants delivered (in order).
     pub fn handle(&mut self, from: Endpoint, msg: Message<V>) -> Vec<Outbound<V>> {
         match msg {
+            Message::Versioned { version, stamp_ms, msg } => {
+                self.on_versioned(from, version, stamp_ms, *msg)
+            }
+            other => self.dispatch(from, other, None),
+        }
+    }
+
+    /// [`Message::Versioned`] handling: client updates get the key's
+    /// next version assigned here (the carried value is ignored — the
+    /// coordinator is the authority); internal messages advance the
+    /// local clock to the carried version. Every outbound message is
+    /// re-wrapped with the operation's version so it propagates through
+    /// multi-hop protocols (e.g. the Fig. 11 migration chain).
+    fn on_versioned(
+        &mut self,
+        from: Endpoint,
+        version: u64,
+        stamp_ms: u64,
+        inner: Message<V>,
+    ) -> Vec<Outbound<V>> {
+        if matches!(inner, Message::Versioned { .. }) {
+            return Vec::new(); // nested envelopes are a protocol violation
+        }
+        let is_update = matches!(
+            inner,
+            Message::PlaceReq { .. } | Message::AddReq { .. } | Message::DeleteReq { .. }
+        );
+        let version = if is_update { self.node.version + 1 } else { version };
+        if !is_update {
+            self.node.version = self.node.version.max(version);
+        }
+        let out = self.dispatch(from, inner, Some((version, stamp_ms)));
+        if is_update {
+            if out.is_empty() {
+                // The update was a protocol-level no-op (e.g. Fixed-x
+                // suppressing a broadcast): nothing propagates, so the
+                // version must not advance either, or the cluster would
+                // look permanently stale.
+                return out;
+            }
+            self.node.version = self.node.version.max(version);
+        }
+        out.into_iter()
+            .map(|o| match o {
+                Outbound::To(dest, m) => {
+                    Outbound::To(dest, Message::Versioned { version, stamp_ms, msg: Box::new(m) })
+                }
+                Outbound::Broadcast(m) => {
+                    Outbound::Broadcast(Message::Versioned { version, stamp_ms, msg: Box::new(m) })
+                }
+            })
+            .collect()
+    }
+
+    /// Tombstone bookkeeping for one versioned message, applied before
+    /// the strategy logic runs: delete-type messages record a marker,
+    /// store-type messages supersede any marker for the same entry, and
+    /// full-overwrite messages wipe the slate.
+    fn note_version_effects(&mut self, msg: &Message<V>, version: u64, stamp_ms: u64) {
+        match msg {
+            Message::Remove { v } | Message::CountedRemove { v } | Message::RrRemove { v, .. } => {
+                let t = self
+                    .node
+                    .tombstones
+                    .entry(v.clone())
+                    .or_insert(Tombstone { version: 0, born_ms: 0 });
+                if version >= t.version {
+                    *t = Tombstone { version, born_ms: stamp_ms };
+                }
+            }
+            Message::Store { v } | Message::SampledStore { v, .. } | Message::RrStore { v, .. } => {
+                self.clear_tombstone(v, version)
+            }
+            Message::MigrateRep { replacement: Some(u), .. } => self.clear_tombstone(u, version),
+            Message::StoreSet { .. } | Message::ChooseSubset { .. } => {
+                self.node.tombstones.clear();
+            }
+            _ => {}
+        }
+    }
+
+    fn clear_tombstone(&mut self, v: &V, version: u64) {
+        if self.node.tombstones.get(v).is_some_and(|t| version >= t.version) {
+            self.node.tombstones.remove(v);
+        }
+    }
+
+    fn dispatch(
+        &mut self,
+        from: Endpoint,
+        msg: Message<V>,
+        version_ctx: Option<(u64, u64)>,
+    ) -> Vec<Outbound<V>> {
+        if let Some((version, stamp_ms)) = version_ctx {
+            self.note_version_effects(&msg, version, stamp_ms);
+        }
+        match msg {
+            Message::Versioned { .. } => Vec::new(), // unreachable: handled above
             Message::PlaceReq { entries } => self.on_place_req(entries),
             Message::AddReq { v } => self.on_add_req(v),
             Message::DeleteReq { v } => self.on_delete_req(v),
             Message::Reset => {
                 let keep_coord = self.node.rr_coord.is_some();
+                let version = self.node.version;
                 self.node = ServerNode::new();
+                self.node.version = version;
                 if keep_coord {
                     self.node.rr_coord = Some(RrCoord::default());
                 }
@@ -670,6 +818,158 @@ mod tests {
                 assert_eq!(theirs, assigned, "entry {v}");
             }
         }
+    }
+
+    fn versioned(msg: Message<u64>, stamp_ms: u64) -> Message<u64> {
+        Message::Versioned { version: 0, stamp_ms, msg: Box::new(msg) }
+    }
+
+    #[test]
+    fn versioned_updates_bump_the_key_clock_and_wrap_fanout() {
+        let mut e: NodeEngine<u64> =
+            NodeEngine::new(0.into(), 3, StrategySpec::full_replication(), 4).unwrap();
+        assert_eq!(e.version(), 0);
+        let out =
+            e.handle(Endpoint::client(0), versioned(Message::PlaceReq { entries: vec![1] }, 10));
+        assert_eq!(e.version(), 1);
+        assert_eq!(
+            out,
+            vec![Outbound::Broadcast(Message::Versioned {
+                version: 1,
+                stamp_ms: 10,
+                msg: Box::new(Message::StoreSet { entries: vec![1] }),
+            })]
+        );
+        e.handle(Endpoint::client(0), versioned(Message::AddReq { v: 2 }, 11));
+        assert_eq!(e.version(), 2);
+        // Internal messages max the clock instead of bumping it.
+        e.handle(
+            Endpoint::Server(ServerId::new(1)),
+            Message::Versioned { version: 9, stamp_ms: 0, msg: Box::new(Message::Store { v: 3 }) },
+        );
+        assert_eq!(e.version(), 9);
+        // Unversioned traffic leaves the clock alone.
+        e.handle(Endpoint::client(0), Message::AddReq { v: 4 });
+        assert_eq!(e.version(), 9);
+    }
+
+    #[test]
+    fn noop_updates_do_not_advance_the_version() {
+        // Fixed-2 with a full cushion suppresses the add broadcast; the
+        // version must stay put or the cluster looks permanently stale.
+        let mut e: NodeEngine<u64> =
+            NodeEngine::new(0.into(), 3, StrategySpec::fixed(2), 4).unwrap();
+        e.handle(Endpoint::client(0), versioned(Message::PlaceReq { entries: vec![1, 2, 3] }, 1));
+        let v = e.version();
+        e.handle(
+            Endpoint::Server(ServerId::new(0)),
+            Message::Versioned {
+                version: v,
+                stamp_ms: 1,
+                msg: Box::new(Message::StoreSet { entries: vec![1, 2] }),
+            },
+        );
+        let out = e.handle(Endpoint::client(0), versioned(Message::AddReq { v: 9 }, 2));
+        assert!(out.is_empty());
+        assert_eq!(e.version(), v);
+    }
+
+    #[test]
+    fn versioned_deletes_leave_tombstones_and_readds_clear_them() {
+        let mut e: NodeEngine<u64> =
+            NodeEngine::new(0.into(), 2, StrategySpec::random_server(1), 5).unwrap();
+        e.handle(
+            Endpoint::Server(ServerId::new(1)),
+            Message::Versioned {
+                version: 3,
+                stamp_ms: 77,
+                msg: Box::new(Message::CountedRemove { v: 8 }),
+            },
+        );
+        assert_eq!(e.tombstone_count(), 1);
+        let (v, t) = e.tombstones().next().map(|(v, t)| (*v, t)).unwrap();
+        assert_eq!((v, t.version, t.born_ms), (8, 3, 77));
+        // A stale re-add (older version) must not clear the marker.
+        e.handle(
+            Endpoint::Server(ServerId::new(1)),
+            Message::Versioned {
+                version: 2,
+                stamp_ms: 0,
+                msg: Box::new(Message::SampledStore { v: 8, x: 1 }),
+            },
+        );
+        assert_eq!(e.tombstone_count(), 1);
+        // A fresh re-add supersedes it.
+        e.handle(
+            Endpoint::Server(ServerId::new(1)),
+            Message::Versioned {
+                version: 4,
+                stamp_ms: 0,
+                msg: Box::new(Message::SampledStore { v: 8, x: 1 }),
+            },
+        );
+        assert_eq!(e.tombstone_count(), 0);
+    }
+
+    #[test]
+    fn gc_drops_old_tombstones_and_reset_keeps_the_version() {
+        let mut e: NodeEngine<u64> =
+            NodeEngine::new(0.into(), 2, StrategySpec::full_replication(), 6).unwrap();
+        for (ver, stamp, v) in [(1u64, 100u64, 1u64), (2, 200, 2)] {
+            e.handle(
+                Endpoint::Server(ServerId::new(1)),
+                Message::Versioned {
+                    version: ver,
+                    stamp_ms: stamp,
+                    msg: Box::new(Message::Remove { v }),
+                },
+            );
+        }
+        assert_eq!(e.tombstone_count(), 2);
+        assert_eq!(e.gc_tombstones(100), 1);
+        assert_eq!(e.tombstone_count(), 1);
+        assert_eq!(e.version(), 2);
+        e.handle(Endpoint::client(0), Message::Reset);
+        assert_eq!(e.version(), 2, "Reset must not rewind the key clock");
+        assert_eq!(e.tombstone_count(), 0);
+    }
+
+    #[test]
+    fn set_version_meta_restores_recovery_state() {
+        let mut e: NodeEngine<u64> =
+            NodeEngine::new(0.into(), 2, StrategySpec::full_replication(), 7).unwrap();
+        e.handle(Endpoint::client(0), Message::StoreSet { entries: vec![1, 2] });
+        e.set_version_meta(
+            5,
+            vec![
+                (9, Tombstone { version: 4, born_ms: 50 }),
+                // Conflicts with a live entry: dropped.
+                (1, Tombstone { version: 3, born_ms: 40 }),
+            ],
+        );
+        assert_eq!(e.version(), 5);
+        assert_eq!(e.tombstone_count(), 1);
+        assert!(e.tombstones().all(|(v, _)| *v == 9));
+        // The version only moves forward.
+        e.set_version_meta(2, Vec::new());
+        assert_eq!(e.version(), 5);
+    }
+
+    #[test]
+    fn nested_versioned_envelopes_are_dropped() {
+        let mut e: NodeEngine<u64> =
+            NodeEngine::new(0.into(), 2, StrategySpec::full_replication(), 8).unwrap();
+        let nested = Message::Versioned {
+            version: 1,
+            stamp_ms: 0,
+            msg: Box::new(Message::Versioned {
+                version: 2,
+                stamp_ms: 0,
+                msg: Box::new(Message::Store { v: 1 }),
+            }),
+        };
+        assert!(e.handle(Endpoint::client(0), nested).is_empty());
+        assert_eq!(e.entries().len(), 0);
     }
 
     #[test]

@@ -73,6 +73,7 @@ pub use error::ServiceError;
 pub use hashing::HashFamily;
 pub use lookup::LookupResult;
 pub use messages::Message;
+pub use node::Tombstone;
 pub use placement::Placement;
 
 // Re-export the substrate types users need to drive a cluster.

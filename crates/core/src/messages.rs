@@ -16,6 +16,25 @@
 /// copies survive).
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum Message<V> {
+    // ---- version-stamped envelope ----
+    /// Version stamp around any other message. A coordinator wraps an
+    /// inbound client update to have the engine assign the key's next
+    /// version (the carried `version` is ignored for client requests),
+    /// and the engine wraps every resulting internal fan-out message
+    /// with the assigned version so receivers advance their per-key
+    /// Lamport clock and can record delete tombstones. Nesting is not
+    /// allowed: a `Versioned` inside a `Versioned` is dropped.
+    Versioned {
+        /// The per-key version this operation was coordinated at.
+        version: u64,
+        /// Coordinator wall-clock (ms since the Unix epoch) when the
+        /// operation was accepted; seeds tombstone ages without giving
+        /// the sans-IO engine a clock.
+        stamp_ms: u64,
+        /// The wrapped message.
+        msg: Box<Message<V>>,
+    },
+
     // ---- client requests ----
     /// Batch-specify the entry set (§2 `place`). Sent to a random server.
     PlaceReq {

@@ -9,6 +9,21 @@ use std::collections::{BTreeMap, HashMap};
 
 use crate::{Entry, IndexedSet};
 
+/// A delete marker: remembers that an entry was removed, and at which
+/// per-key version, so recovery paths that union donor states can tell a
+/// deliberate delete from a missing copy (and never resurrect the
+/// former).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Tombstone {
+    /// The per-key version the delete was coordinated at.
+    pub version: u64,
+    /// Coordinator wall-clock at delete time (ms since the Unix epoch),
+    /// carried inside the versioned message so the engine itself stays
+    /// clock-free. `0` means "unknown" (legacy records) and makes the
+    /// tombstone eligible for garbage collection immediately.
+    pub born_ms: u64,
+}
+
 /// The round-robin coordinator counters (paper Fig. 10: `head`/`tail`,
 /// kept on one dedicated server).
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
@@ -56,6 +71,12 @@ pub(crate) struct ServerNode<V> {
     /// cross-mailbox ordering, e.g. TCP): `(requester, dest_pos)` pairs,
     /// replayed once the migration context exists.
     pub rr_pending_migrations: HashMap<V, Vec<(pls_net::ServerId, u64)>>,
+    /// Monotonic per-key version (Lamport-style): bumped by the
+    /// coordinator on every versioned client update, maxed with every
+    /// versioned internal message received.
+    pub version: u64,
+    /// Live delete markers, keyed by the deleted entry.
+    pub tombstones: HashMap<V, Tombstone>,
 }
 
 impl<V: Entry> ServerNode<V> {
@@ -68,6 +89,8 @@ impl<V: Entry> ServerNode<V> {
             rr_coord: None,
             rr_migrations: HashMap::new(),
             rr_pending_migrations: HashMap::new(),
+            version: 0,
+            tombstones: HashMap::new(),
         }
     }
 

@@ -1,13 +1,17 @@
-//! Minimal JSON emission, shared by every artifact writer.
+//! Minimal JSON emission and parsing, shared by every artifact writer.
 //!
 //! The workspace deliberately carries no serde: the JSON this system
 //! emits — span timelines (`/trace`), recent-activity dumps
 //! (`/debug/recent`), benchmark artifacts (`BENCH_*.json`), Chrome
-//! trace files — is all *output*, built from a handful of scalar
-//! shapes. These helpers cover exactly that: correct string escaping
-//! and a tiny object/array builder, nothing else. There is no parser
-//! here on purpose; nothing in the system consumes JSON.
+//! trace files — is built from a handful of scalar shapes. These
+//! helpers cover exactly that: correct string escaping, a tiny
+//! object/array builder, and (since `pls-bench compare` learned to
+//! read back its own `BENCH_*.json` artifacts) a small recursive-
+//! descent [`parse`] for the same value shapes. It is a full RFC 8259
+//! reader for the system's own output, not a general-purpose
+//! high-performance parser.
 
+use std::collections::BTreeMap;
 use std::fmt::Write as _;
 
 /// Escapes `s` for inclusion inside a JSON string literal (without the
@@ -110,6 +114,239 @@ pub fn array<I: IntoIterator<Item = String>>(items: I) -> String {
     out
 }
 
+/// A parsed JSON value. Numbers are kept as `f64` (every number this
+/// system emits fits; `u64` readings above 2^53 would lose precision,
+/// which no benchmark artifact approaches). Object keys are sorted —
+/// artifact readers look fields up by name, they never care about
+/// order.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// JSON `null`.
+    Null,
+    /// JSON `true` / `false`.
+    Bool(bool),
+    /// Any JSON number.
+    Number(f64),
+    /// A JSON string, unescaped.
+    String(String),
+    /// A JSON array.
+    Array(Vec<Value>),
+    /// A JSON object, keys sorted.
+    Object(BTreeMap<String, Value>),
+}
+
+impl Value {
+    /// Field lookup on an object; `None` for other shapes.
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        match self {
+            Value::Object(map) => map.get(key),
+            _ => None,
+        }
+    }
+
+    /// The value as a float, if it is a number.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Value::Number(n) => Some(*n),
+            _ => None,
+        }
+    }
+
+    /// The value as a non-negative integer, if it is a whole number.
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            Value::Number(n) if *n >= 0.0 && n.fract() == 0.0 && *n <= u64::MAX as f64 => {
+                Some(*n as u64)
+            }
+            _ => None,
+        }
+    }
+
+    /// The value as a string slice, if it is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::String(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The value as an array slice, if it is an array.
+    pub fn as_array(&self) -> Option<&[Value]> {
+        match self {
+            Value::Array(items) => Some(items),
+            _ => None,
+        }
+    }
+}
+
+/// Parses one JSON document (surrounding whitespace allowed; trailing
+/// non-whitespace is an error). Errors are positioned byte offsets —
+/// enough to diagnose a truncated or hand-mangled artifact.
+pub fn parse(text: &str) -> Result<Value, String> {
+    let bytes = text.as_bytes();
+    let mut pos = 0usize;
+    let value = parse_value(bytes, &mut pos)?;
+    skip_ws(bytes, &mut pos);
+    if pos != bytes.len() {
+        return Err(format!("trailing data at byte {pos}"));
+    }
+    Ok(value)
+}
+
+fn skip_ws(bytes: &[u8], pos: &mut usize) {
+    while let Some(b) = bytes.get(*pos) {
+        match b {
+            b' ' | b'\t' | b'\n' | b'\r' => *pos += 1,
+            _ => break,
+        }
+    }
+}
+
+fn expect(bytes: &[u8], pos: &mut usize, b: u8) -> Result<(), String> {
+    if bytes.get(*pos) == Some(&b) {
+        *pos += 1;
+        Ok(())
+    } else {
+        Err(format!("expected `{}` at byte {pos}", b as char))
+    }
+}
+
+fn parse_value(bytes: &[u8], pos: &mut usize) -> Result<Value, String> {
+    skip_ws(bytes, pos);
+    match bytes.get(*pos) {
+        Some(b'{') => parse_object(bytes, pos),
+        Some(b'[') => parse_array(bytes, pos),
+        Some(b'"') => parse_string(bytes, pos).map(Value::String),
+        Some(b't') => parse_literal(bytes, pos, "true", Value::Bool(true)),
+        Some(b'f') => parse_literal(bytes, pos, "false", Value::Bool(false)),
+        Some(b'n') => parse_literal(bytes, pos, "null", Value::Null),
+        Some(b'-' | b'0'..=b'9') => parse_number(bytes, pos),
+        Some(other) => Err(format!("unexpected `{}` at byte {pos}", *other as char)),
+        None => Err(format!("unexpected end of input at byte {pos}")),
+    }
+}
+
+fn parse_literal(bytes: &[u8], pos: &mut usize, lit: &str, value: Value) -> Result<Value, String> {
+    if bytes[*pos..].starts_with(lit.as_bytes()) {
+        *pos += lit.len();
+        Ok(value)
+    } else {
+        Err(format!("malformed literal at byte {pos}"))
+    }
+}
+
+fn parse_number(bytes: &[u8], pos: &mut usize) -> Result<Value, String> {
+    let start = *pos;
+    if bytes.get(*pos) == Some(&b'-') {
+        *pos += 1;
+    }
+    while matches!(bytes.get(*pos), Some(b'0'..=b'9' | b'.' | b'e' | b'E' | b'+' | b'-')) {
+        *pos += 1;
+    }
+    let text = std::str::from_utf8(&bytes[start..*pos]).map_err(|_| "non-UTF-8 number")?;
+    text.parse::<f64>().map(Value::Number).map_err(|_| format!("malformed number at byte {start}"))
+}
+
+fn parse_string(bytes: &[u8], pos: &mut usize) -> Result<String, String> {
+    expect(bytes, pos, b'"')?;
+    let mut out = String::new();
+    loop {
+        match bytes.get(*pos) {
+            None => return Err("unterminated string".to_string()),
+            Some(b'"') => {
+                *pos += 1;
+                return Ok(out);
+            }
+            Some(b'\\') => {
+                *pos += 1;
+                match bytes.get(*pos) {
+                    Some(b'"') => out.push('"'),
+                    Some(b'\\') => out.push('\\'),
+                    Some(b'/') => out.push('/'),
+                    Some(b'b') => out.push('\u{8}'),
+                    Some(b'f') => out.push('\u{c}'),
+                    Some(b'n') => out.push('\n'),
+                    Some(b'r') => out.push('\r'),
+                    Some(b't') => out.push('\t'),
+                    Some(b'u') => {
+                        let hex = bytes
+                            .get(*pos + 1..*pos + 5)
+                            .and_then(|h| std::str::from_utf8(h).ok())
+                            .ok_or("truncated \\u escape")?;
+                        let code =
+                            u32::from_str_radix(hex, 16).map_err(|_| "malformed \\u escape")?;
+                        // Surrogate pairs are not emitted by this
+                        // system's writer; map lone surrogates to the
+                        // replacement character instead of erroring.
+                        out.push(char::from_u32(code).unwrap_or('\u{fffd}'));
+                        *pos += 4;
+                    }
+                    _ => return Err(format!("bad escape at byte {pos}")),
+                }
+                *pos += 1;
+            }
+            Some(_) => {
+                // Consume one UTF-8 scalar (multi-byte sequences pass
+                // through unmodified — the input is a &str, so they
+                // are valid).
+                let rest = std::str::from_utf8(&bytes[*pos..]).map_err(|_| "non-UTF-8 string")?;
+                let c = rest.chars().next().ok_or("unterminated string")?;
+                out.push(c);
+                *pos += c.len_utf8();
+            }
+        }
+    }
+}
+
+fn parse_array(bytes: &[u8], pos: &mut usize) -> Result<Value, String> {
+    expect(bytes, pos, b'[')?;
+    let mut items = Vec::new();
+    skip_ws(bytes, pos);
+    if bytes.get(*pos) == Some(&b']') {
+        *pos += 1;
+        return Ok(Value::Array(items));
+    }
+    loop {
+        items.push(parse_value(bytes, pos)?);
+        skip_ws(bytes, pos);
+        match bytes.get(*pos) {
+            Some(b',') => *pos += 1,
+            Some(b']') => {
+                *pos += 1;
+                return Ok(Value::Array(items));
+            }
+            _ => return Err(format!("expected `,` or `]` at byte {pos}")),
+        }
+    }
+}
+
+fn parse_object(bytes: &[u8], pos: &mut usize) -> Result<Value, String> {
+    expect(bytes, pos, b'{')?;
+    let mut map = BTreeMap::new();
+    skip_ws(bytes, pos);
+    if bytes.get(*pos) == Some(&b'}') {
+        *pos += 1;
+        return Ok(Value::Object(map));
+    }
+    loop {
+        skip_ws(bytes, pos);
+        let key = parse_string(bytes, pos)?;
+        skip_ws(bytes, pos);
+        expect(bytes, pos, b':')?;
+        let value = parse_value(bytes, pos)?;
+        map.insert(key, value);
+        skip_ws(bytes, pos);
+        match bytes.get(*pos) {
+            Some(b',') => *pos += 1,
+            Some(b'}') => {
+                *pos += 1;
+                return Ok(Value::Object(map));
+            }
+            _ => return Err(format!("expected `,` or `}}` at byte {pos}")),
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -148,5 +385,66 @@ mod tests {
         );
         assert_eq!(array(Vec::<String>::new()), "[]");
         assert_eq!(Object::new().build(), "{}");
+    }
+
+    #[test]
+    fn parse_reads_scalars() {
+        assert_eq!(parse("null").unwrap(), Value::Null);
+        assert_eq!(parse(" true ").unwrap(), Value::Bool(true));
+        assert_eq!(parse("false").unwrap(), Value::Bool(false));
+        assert_eq!(parse("42").unwrap(), Value::Number(42.0));
+        assert_eq!(parse("-1.5e2").unwrap(), Value::Number(-150.0));
+        assert_eq!(parse("\"hi\"").unwrap(), Value::String("hi".into()));
+    }
+
+    #[test]
+    fn parse_reads_structures_and_escapes() {
+        let v = parse(r#"{"a": [1, {"b": "x\ny"}, null], "c": true}"#).unwrap();
+        assert_eq!(v.get("c"), Some(&Value::Bool(true)));
+        let items = v.get("a").unwrap().as_array().unwrap();
+        assert_eq!(items[0].as_u64(), Some(1));
+        assert_eq!(items[1].get("b").unwrap().as_str(), Some("x\ny"));
+        assert_eq!(items[2], Value::Null);
+        assert_eq!(parse(r#""Aé""#).unwrap().as_str(), Some("Aé"));
+    }
+
+    #[test]
+    fn parse_rejects_malformed_documents() {
+        assert!(parse("").is_err());
+        assert!(parse("{").is_err());
+        assert!(parse("[1,]").is_err());
+        assert!(parse("{\"a\" 1}").is_err());
+        assert!(parse("\"unterminated").is_err());
+        assert!(parse("1 trailing").is_err());
+        assert!(parse("nul").is_err());
+    }
+
+    #[test]
+    fn parse_roundtrips_builder_output() {
+        let doc = Object::new()
+            .string("schema", "pls-bench/v2")
+            .u64("count", 9)
+            .f64("p99", 123.5)
+            .bool("ok", true)
+            .field("xs", &array(vec![number(1.0), string("é\"quote")]))
+            .build();
+        let v = parse(&doc).unwrap();
+        assert_eq!(v.get("schema").unwrap().as_str(), Some("pls-bench/v2"));
+        assert_eq!(v.get("count").unwrap().as_u64(), Some(9));
+        assert_eq!(v.get("p99").unwrap().as_f64(), Some(123.5));
+        assert_eq!(v.get("ok"), Some(&Value::Bool(true)));
+        let xs = v.get("xs").unwrap().as_array().unwrap();
+        assert_eq!(xs[0].as_f64(), Some(1.0));
+        assert_eq!(xs[1].as_str(), Some("é\"quote"));
+    }
+
+    #[test]
+    fn value_accessors_are_shape_strict() {
+        assert_eq!(Value::Number(1.5).as_u64(), None);
+        assert_eq!(Value::Number(-1.0).as_u64(), None);
+        assert_eq!(Value::Number(7.0).as_u64(), Some(7));
+        assert_eq!(Value::Bool(true).as_f64(), None);
+        assert_eq!(Value::Null.get("x"), None);
+        assert_eq!(Value::String("s".into()).as_array(), None);
     }
 }
