@@ -4,11 +4,13 @@
 //! `loadgen` measures the deployed system: it drives partial lookups
 //! (optionally mixed with updates and deletes) at a configurable shape
 //! against running `pls-server` processes and writes the measurements
-//! as a `BENCH_<name>.json` artifact in the shared `pls-bench/v2`
+//! as a `BENCH_<name>.json` artifact in the shared `pls-bench/v3`
 //! schema (git revision, run configuration, throughput,
 //! log₂-histogram latency quantiles, probe decomposition, robustness
-//! totals, and — for mixed workloads against servers running the
-//! staleness probe — the measured consistency block).
+//! totals, the server-side `runtime` block — lock contention per site,
+//! allocation deltas, queue depths — and, for mixed workloads against
+//! servers running the staleness probe, the measured consistency
+//! block).
 //!
 //! ```text
 //! loadgen --servers A,B,... --strategy SPEC [--t T] [--seed S]
@@ -51,6 +53,18 @@
 //! captures the cluster's own consistency observatory after the run:
 //! the `pls_live_staleness{strategy,t}` gauges, tombstone totals, and
 //! the `pls_staleness_versions_behind` quantiles.
+//!
+//! The `results.runtime` block captures the cluster's performance
+//! observatory as the *growth over the measured run*: a Metrics
+//! snapshot is taken from every server before and after the workload,
+//! and the block holds the difference — per-site lock wait/hold
+//! quantiles and acquisition/contention counts (`runtime.locks`,
+//! keyed by site so `pls-bench compare` can address e.g.
+//! `runtime.locks.engines.wait_us.p99`), allocation deltas from the
+//! servers' counting allocator with the derived `allocs_per_lookup`
+//! (`runtime.alloc`), and the post-run queue-depth gauges
+//! (`runtime.queues` — gauges merge by replacement, so each value is
+//! the last-merged server's sample, not a cluster sum).
 
 use std::net::SocketAddr;
 use std::path::PathBuf;
@@ -61,7 +75,7 @@ use std::time::Duration;
 use pls_bench::output::BenchReport;
 use pls_cluster::{parse_spec, Client, ClientConfig, Timeouts};
 use pls_telemetry::json::{array, number, string, Object};
-use pls_telemetry::snapshot::parse_labels;
+use pls_telemetry::snapshot::{labeled, parse_labels};
 use pls_telemetry::trace;
 use pls_telemetry::{Counter, Histogram, HistogramSnapshot, MetricsSnapshot};
 
@@ -428,6 +442,75 @@ fn quantiles_json(h: &HistogramSnapshot) -> String {
         .build()
 }
 
+/// The artifact's `runtime` block: the cluster's performance
+/// observatory as after-minus-before deltas across the measured run.
+/// Lock sites the servers do not export (e.g. `wal` on a memory-only
+/// cluster) are skipped rather than emitted as zeros, and old servers
+/// that predate the families yield an empty `locks`/zeroed `alloc`
+/// block rather than an error.
+fn runtime_json(before: &MetricsSnapshot, after: &MetricsSnapshot, lookups: u64) -> String {
+    let empty = HistogramSnapshot::empty();
+    let mut locks = Object::new();
+    for site in ["engines", "key_specs", "live_ft", "live_staleness", "wal"] {
+        let labels = [("site", site)];
+        let wait_name = labeled("pls_lock_wait_us", &labels);
+        let Some(wait_after) = after.histogram(&wait_name) else { continue };
+        let wait = wait_after.minus(before.histogram(&wait_name).unwrap_or(&empty));
+        let hold_name = labeled("pls_lock_hold_us", &labels);
+        let hold = after
+            .histogram(&hold_name)
+            .unwrap_or(&empty)
+            .minus(before.histogram(&hold_name).unwrap_or(&empty));
+        let delta = |family: &str| {
+            let name = labeled(family, &labels);
+            after.counter(&name).unwrap_or(0).saturating_sub(before.counter(&name).unwrap_or(0))
+        };
+        locks = locks.field(
+            site,
+            &Object::new()
+                .u64("acquisitions", delta("pls_lock_acquisitions_total"))
+                .u64("contended", delta("pls_lock_contended_total"))
+                .field("wait_us", &quantiles_json(&wait))
+                .field("hold_us", &quantiles_json(&hold))
+                .build(),
+        );
+    }
+    let counter_delta =
+        |name: &str| after.counter_sum(name).saturating_sub(before.counter_sum(name));
+    let allocs = counter_delta("pls_alloc_allocs_total");
+    let alloc = Object::new()
+        .u64("allocs", allocs)
+        .u64("frees", counter_delta("pls_alloc_frees_total"))
+        .u64("bytes", counter_delta("pls_alloc_bytes_total"))
+        .u64("freed_bytes", counter_delta("pls_alloc_freed_bytes_total"))
+        .f64("allocs_per_lookup", allocs as f64 / lookups.max(1) as f64)
+        .build();
+    // Post-run point-in-time samples; merged gauges keep the
+    // last-merged server's value, so these are one server's reading.
+    let mut depths: Vec<(String, f64)> = after
+        .gauges
+        .iter()
+        .filter_map(|(name, value)| {
+            let (family, labels) = parse_labels(name)?;
+            if family != "pls_queue_depth" {
+                return None;
+            }
+            let queue = labels.iter().find(|(k, _)| k == "queue")?.1.clone();
+            Some((queue, *value))
+        })
+        .collect();
+    depths.sort_by(|a, b| a.0.cmp(&b.0));
+    let mut queues = Object::new();
+    for (queue, value) in depths {
+        queues = queues.f64(&queue, value);
+    }
+    Object::new()
+        .field("locks", &locks.build())
+        .field("alloc", &alloc)
+        .field("queues", &queues.build())
+        .build()
+}
+
 async fn run(opts: Options) -> Result<(), String> {
     if !opts.skip_setup {
         println!(
@@ -599,6 +682,7 @@ async fn run(opts: Options) -> Result<(), String> {
         )
         .field("probes", &probes)
         .field("robustness", &robustness)
+        .field("runtime", &runtime_json(&before, &after, lookups))
         .field("staleness", &staleness)
         .build();
 

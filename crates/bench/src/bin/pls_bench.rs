@@ -6,8 +6,9 @@
 //!
 //!   compare            print the per-metric delta between two bench
 //!                      artifacts (latency p50/p99, throughput,
-//!                      probes per lookup) and fail when a regression
-//!                      exceeds the threshold
+//!                      probes per lookup, engines-lock wait p99,
+//!                      allocations per lookup) and fail when a
+//!                      regression exceeds the threshold
 //!   --max-regress-pct  allowed regression per metric, percent
 //!                      (default 25)
 //!   --warn-only        report regressions but always exit 0 — for CI
@@ -15,10 +16,12 @@
 //!                      numbers are noisy
 //! ```
 //!
-//! Both `pls-bench/v1` and `pls-bench/v2` artifacts are accepted (`v2`
-//! only adds fields), so a baseline committed before the schema bump
-//! stays comparable. Metrics present in only one artifact are listed
-//! as `n/a` and never counted as regressions.
+//! `pls-bench/v1`, `v2`, and `v3` artifacts are all accepted (each
+//! version only adds fields — `v2` the consistency block, `v3` the
+//! server-side `runtime` block), so a baseline committed before a
+//! schema bump stays comparable. Metrics present in only one artifact
+//! (e.g. `runtime.*` against a pre-v3 baseline) are listed as `n/a`
+//! and never counted as regressions.
 
 use std::process::ExitCode;
 
@@ -36,7 +39,7 @@ struct Metric {
     higher_is_better: bool,
 }
 
-const METRICS: [Metric; 5] = [
+const METRICS: [Metric; 7] = [
     Metric { label: "latency p50 (us)", path: &["latency_us", "p50"], higher_is_better: false },
     Metric { label: "latency p99 (us)", path: &["latency_us", "p99"], higher_is_better: false },
     Metric { label: "throughput (rps)", path: &["throughput_rps"], higher_is_better: true },
@@ -48,6 +51,16 @@ const METRICS: [Metric; 5] = [
     Metric {
         label: "probes/lookup (servers)",
         path: &["probes", "per_lookup_from_servers"],
+        higher_is_better: false,
+    },
+    Metric {
+        label: "engines lock wait p99 (us)",
+        path: &["runtime", "locks", "engines", "wait_us", "p99"],
+        higher_is_better: false,
+    },
+    Metric {
+        label: "allocs/lookup (servers)",
+        path: &["runtime", "alloc", "allocs_per_lookup"],
         higher_is_better: false,
     },
 ];

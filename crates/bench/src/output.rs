@@ -7,7 +7,7 @@
 //!
 //! ```json
 //! {
-//!   "schema": "pls-bench/v2",
+//!   "schema": "pls-bench/v3",
 //!   "bench": "<name>",
 //!   "git_rev": "<rev-parse HEAD or \"unknown\">",
 //!   "config": { ... },
@@ -17,9 +17,11 @@
 //!
 //! Schema history: `v2` added the mixed-workload consistency block to
 //! `loadgen` results (`staleness` — live staleness gauges, tombstone
-//! counters, versions-behind quantiles). Readers (`pls-bench compare`,
-//! CI's bench-smoke) accept `v1` artifacts too: every `v1` field kept
-//! its name and shape, `v2` only adds fields.
+//! counters, versions-behind quantiles); `v3` added the `runtime`
+//! block (server-side lock contention per site, allocation deltas from
+//! the counting allocator, queue-depth gauges). Readers (`pls-bench
+//! compare`, CI's bench-smoke) accept older artifacts too: every field
+//! kept its name and shape, each version only adds fields.
 
 use std::fmt::Write as _;
 use std::fs;
@@ -130,12 +132,12 @@ impl Table {
 
 /// The version tag stamped into every artifact. Readers accept this
 /// and every earlier tag in [`BENCH_SCHEMAS_ACCEPTED`].
-pub const BENCH_SCHEMA: &str = "pls-bench/v2";
+pub const BENCH_SCHEMA: &str = "pls-bench/v3";
 
-/// Schema tags a reader must accept: `v2` is a strict superset of
-/// `v1`, so v1 artifacts (e.g. a baseline committed before the
-/// consistency block existed) stay comparable.
-pub const BENCH_SCHEMAS_ACCEPTED: [&str; 2] = ["pls-bench/v1", "pls-bench/v2"];
+/// Schema tags a reader must accept: each version is a strict superset
+/// of the one before, so older artifacts (e.g. a baseline committed
+/// before the consistency or runtime blocks existed) stay comparable.
+pub const BENCH_SCHEMAS_ACCEPTED: [&str; 3] = ["pls-bench/v1", "pls-bench/v2", "pls-bench/v3"];
 
 /// One benchmark run's JSON artifact: name, producing git revision,
 /// run configuration, and measured results. [`BenchReport::write`]
@@ -271,7 +273,7 @@ mod tests {
         };
         assert_eq!(
             report.to_json(),
-            "{\"schema\":\"pls-bench/v2\",\"bench\":\"unit\",\"git_rev\":\"deadbeef\",\
+            "{\"schema\":\"pls-bench/v3\",\"bench\":\"unit\",\"git_rev\":\"deadbeef\",\
              \"config\":{\"n\":3},\"results\":[1,2]}"
         );
         assert!(BENCH_SCHEMAS_ACCEPTED.contains(&BENCH_SCHEMA));

@@ -1,0 +1,113 @@
+//! Allocation-budget regression gate: pins the end-to-end heap
+//! allocations per partial lookup, strategy by strategy.
+//!
+//! The test binary installs the counting global allocator (exactly as
+//! `pls-server` does), spins up an in-process 3-server cluster per
+//! strategy, and measures a [`pls_telemetry::alloc::phase`] around a
+//! fixed batch of lookups. Because client and servers share this
+//! process, the measured figure is the *whole* per-lookup allocation
+//! story — request encode/decode on both sides, engine reads, response
+//! assembly — which is what a regression would inflate no matter where
+//! it hides.
+//!
+//! The ceilings are deliberately generous (several times the expected
+//! figure) so scheduler noise and allocator-internal variation never
+//! flake the gate; a real regression — an accidental per-probe clone
+//! of the entry set, a buffer that stopped being reused — multiplies
+//! the count and trips it. CI runs this test in release mode too, so
+//! the budget holds for the binaries that get deployed, not just the
+//! debug profile.
+
+use std::net::SocketAddr;
+
+use pls_cluster::{Client, ClientConfig, Server, ServerConfig};
+use pls_core::StrategySpec;
+use tokio::task::JoinHandle;
+
+/// Arm the counting allocator for this test binary, exactly like the
+/// `pls-server` binary does, so `alloc::phase` sees real readings.
+#[global_allocator]
+static ALLOC: pls_telemetry::CountingAlloc = pls_telemetry::CountingAlloc;
+
+const KEYS: usize = 16;
+const ENTRIES_PER_KEY: usize = 8;
+const WARMUP_LOOKUPS: usize = 50;
+const MEASURED_LOOKUPS: usize = 200;
+const T: usize = 3;
+
+async fn spawn_cluster(
+    n: usize,
+    spec: StrategySpec,
+    seed: u64,
+) -> (Vec<SocketAddr>, Vec<JoinHandle<()>>) {
+    let mut listeners = Vec::with_capacity(n);
+    let mut addrs: Vec<SocketAddr> = Vec::with_capacity(n);
+    for _ in 0..n {
+        let listener = tokio::net::TcpListener::bind("127.0.0.1:0").await.expect("bind");
+        addrs.push(listener.local_addr().expect("local addr"));
+        listeners.push(listener);
+    }
+    let mut handles = Vec::with_capacity(n);
+    for (i, listener) in listeners.into_iter().enumerate() {
+        let cfg = ServerConfig::new(i, addrs.clone(), spec, seed);
+        let (server, _) = Server::with_listener(cfg, listener).expect("server");
+        handles.push(tokio::spawn(server.run()));
+    }
+    (addrs, handles)
+}
+
+/// Measures allocations per lookup for one strategy on a fresh
+/// cluster and returns the figure.
+async fn allocs_per_lookup(spec: StrategySpec, seed: u64) -> f64 {
+    let (addrs, handles) = spawn_cluster(3, spec, seed).await;
+    let mut client = Client::connect(ClientConfig::new(addrs, spec, seed + 100));
+    for i in 0..KEYS {
+        let entries: Vec<Vec<u8>> =
+            (0..ENTRIES_PER_KEY).map(|j| format!("entry-{i:03}-{j:03}").into_bytes()).collect();
+        client.place(format!("key-{i:03}").as_bytes(), entries).await.expect("place");
+    }
+    // Warmup: connection setup, first-touch buffers, engine warm paths
+    // — none of that belongs to the steady-state per-lookup budget.
+    for i in 0..WARMUP_LOOKUPS {
+        client.partial_lookup(format!("key-{:03}", i % KEYS).as_bytes(), T).await.expect("warmup");
+    }
+    let phase = pls_telemetry::alloc::phase();
+    for i in 0..MEASURED_LOOKUPS {
+        client.partial_lookup(format!("key-{:03}", i % KEYS).as_bytes(), T).await.expect("lookup");
+    }
+    let delta = phase.delta();
+    for handle in &handles {
+        handle.abort();
+    }
+    delta.allocs as f64 / MEASURED_LOOKUPS as f64
+}
+
+/// One sequential test (not one per strategy): phases measure global
+/// allocator counters, so concurrently running tests would bleed into
+/// each other's readings.
+#[tokio::test]
+async fn allocations_per_lookup_stay_under_budget() {
+    // Ceilings are per-strategy because probe fan-out differs: full
+    // replication answers from one probe, the targeted and sampled
+    // strategies may touch several servers per lookup.
+    let budgets: [(&str, StrategySpec, f64); 5] = [
+        ("full", StrategySpec::full_replication(), 2_000.0),
+        ("fixed:4", StrategySpec::fixed(4), 2_000.0),
+        ("random:4", StrategySpec::random_server(4), 3_000.0),
+        ("round:2", StrategySpec::round_robin(2), 3_000.0),
+        ("hash:2", StrategySpec::hash(2), 3_000.0),
+    ];
+    for (i, (label, spec, ceiling)) in budgets.into_iter().enumerate() {
+        let measured = allocs_per_lookup(spec, 1000 + i as u64 * 7).await;
+        println!("allocs/lookup {label:<9} measured {measured:>8.1}  ceiling {ceiling:>7.0}");
+        assert!(
+            measured > 0.0,
+            "{label}: counting allocator reported zero allocations — is it installed?"
+        );
+        assert!(
+            measured <= ceiling,
+            "{label}: {measured:.1} allocations per lookup exceeds the pinned \
+             budget of {ceiling:.0} — a per-lookup allocation regression"
+        );
+    }
+}

@@ -412,7 +412,12 @@ fn render_stats_table(merged: &MetricsSnapshot) -> String {
             merged.counter_sum("pls_staleness_rounds_total")
         );
         for (strategy, t, p) in staleness {
-            let _ = writeln!(out, "  P(fresh | {strategy:<6} t={t}) {p:>8.4}");
+            // Targeted strategies probe deterministically chosen holders,
+            // not a uniform sample — there the PBS estimate only bounds
+            // the real freshness probability from above.
+            let bound =
+                if strategy == "hash" || strategy == "round" { " (upper bound)" } else { "" };
+            let _ = writeln!(out, "  P(fresh | {strategy:<6} t={t}) {p:>8.4}{bound}");
         }
         if let Some(live) = tombs_live {
             let _ = writeln!(out, "  tombstones live      {live:>10.0}");
@@ -475,6 +480,91 @@ fn render_stats_table(merged: &MetricsSnapshot) -> String {
         }
     }
 
+    // Runtime internals: per-site lock contention (cluster-merged
+    // distributions), the counting allocator's totals, and queue
+    // depths. Sections appear only when the servers export them.
+    let mut sites: Vec<String> = merged
+        .histograms
+        .iter()
+        .filter_map(|(name, _)| {
+            let (family, labels) = parse_labels(name)?;
+            if family != "pls_lock_wait_us" {
+                return None;
+            }
+            labels.into_iter().find(|(k, _)| k == "site").map(|(_, site)| site)
+        })
+        .collect();
+    sites.sort();
+    sites.dedup();
+    if !sites.is_empty() {
+        let _ = writeln!(
+            out,
+            "runtime: lock sites    {:>10} {:>10} {:>9} {:>9}",
+            "acquired", "contended", "wait p99", "hold p99"
+        );
+        for site in sites {
+            let acquired = merged
+                .counter(&format!("pls_lock_acquisitions_total{{site=\"{site}\"}}"))
+                .unwrap_or(0);
+            let contended = merged
+                .counter(&format!("pls_lock_contended_total{{site=\"{site}\"}}"))
+                .unwrap_or(0);
+            let p99 = |family: &str| {
+                merged
+                    .histogram(&format!("{family}{{site=\"{site}\"}}"))
+                    .map(|h| h.quantile(0.99))
+                    .unwrap_or(0.0)
+            };
+            let _ = writeln!(
+                out,
+                "  {site:<21}{acquired:>10} {contended:>10} {:>9.0} {:>9.0}",
+                p99("pls_lock_wait_us"),
+                p99("pls_lock_hold_us"),
+            );
+        }
+    }
+    if merged.counter("pls_alloc_allocs_total").is_some() {
+        let _ = writeln!(out, "runtime: allocations (0 unless servers arm the counting allocator)");
+        let _ = writeln!(
+            out,
+            "  allocs               {:>10}",
+            merged.counter_sum("pls_alloc_allocs_total")
+        );
+        let _ = writeln!(
+            out,
+            "  frees                {:>10}",
+            merged.counter_sum("pls_alloc_frees_total")
+        );
+        let _ = writeln!(
+            out,
+            "  bytes allocated      {:>10}",
+            merged.counter_sum("pls_alloc_bytes_total")
+        );
+        let _ = writeln!(
+            out,
+            "  peak live bytes      {:>10.0}",
+            merged.gauge("pls_alloc_peak_bytes").unwrap_or(0.0)
+        );
+    }
+    let mut queues: Vec<(String, f64)> = merged
+        .gauges
+        .iter()
+        .filter_map(|(name, value)| {
+            let (family, labels) = parse_labels(name)?;
+            if family != "pls_queue_depth" {
+                return None;
+            }
+            labels.into_iter().find(|(k, _)| k == "queue").map(|(_, q)| (q, *value))
+        })
+        .collect();
+    queues.sort_by(|a, b| a.0.cmp(&b.0));
+    if !queues.is_empty() {
+        let _ = writeln!(out, "runtime: queue depths (merge keeps one server's sample)");
+        for (queue, depth) in queues {
+            let _ = writeln!(out, "  {queue:<21}{depth:>10.0}");
+        }
+    }
+
     // Hottest keys across the cluster: every server's sketch exports
     // `pls_hot_key_probes{key=..}` series, summed by the merge.
     let mut hot: Vec<(String, u64)> = merged
@@ -528,7 +618,54 @@ mod tests {
         let snap = MetricsSnapshot::new();
         let table = render_stats_table(&snap);
         assert!(!table.contains("consistency ("));
+        assert!(!table.contains("runtime:"));
         assert!(table.contains("cluster totals"));
+    }
+
+    #[test]
+    fn stats_table_marks_targeted_strategy_staleness_as_upper_bound() {
+        let mut snap = MetricsSnapshot::new();
+        snap.gauges.push(("pls_live_staleness{strategy=\"hash\",t=\"1\"}".to_string(), 0.9));
+        snap.gauges.push(("pls_live_staleness{strategy=\"random\",t=\"1\"}".to_string(), 0.8));
+        let table = render_stats_table(&snap);
+        assert!(table.contains("P(fresh | hash   t=1)   0.9000 (upper bound)"), "{table}");
+        assert!(table.contains("P(fresh | random t=1)   0.8000\n"), "{table}");
+    }
+
+    #[test]
+    fn stats_table_renders_the_runtime_sections() {
+        let mut snap = MetricsSnapshot::new();
+        let wait = pls_telemetry::Histogram::new();
+        wait.observe(0);
+        wait.observe(120);
+        snap.histograms.push(("pls_lock_wait_us{site=\"engines\"}".to_string(), wait.snapshot()));
+        let hold = pls_telemetry::Histogram::new();
+        hold.observe(40);
+        snap.histograms.push(("pls_lock_hold_us{site=\"engines\"}".to_string(), hold.snapshot()));
+        snap.counters.push(("pls_lock_acquisitions_total{site=\"engines\"}".to_string(), 2));
+        snap.counters.push(("pls_lock_contended_total{site=\"engines\"}".to_string(), 1));
+        snap.counters.push(("pls_alloc_allocs_total".to_string(), 1000));
+        snap.counters.push(("pls_alloc_frees_total".to_string(), 990));
+        snap.counters.push(("pls_alloc_bytes_total".to_string(), 65536));
+        snap.gauges.push(("pls_alloc_peak_bytes".to_string(), 4096.0));
+        snap.gauges.push(("pls_queue_depth{queue=\"inflight\"}".to_string(), 3.0));
+        let table = render_stats_table(&snap);
+        assert!(table.contains("runtime: lock sites"), "{table}");
+        assert!(table.contains("runtime: allocations"), "{table}");
+        assert!(table.contains("runtime: queue depths"), "{table}");
+        let row = |prefix: &str| {
+            table
+                .lines()
+                .find(|l| l.trim_start().starts_with(prefix))
+                .unwrap_or_else(|| panic!("no `{prefix}` row in:\n{table}"))
+                .to_string()
+        };
+        // engines: 2 acquisitions, 1 contended, wait p99 in the [64,128)
+        // bucket (upper bound 127), hold p99 in [32,64) (63).
+        let engines = row("engines");
+        assert!(engines.ends_with("2          1       127        63"), "{engines}");
+        assert!(row("allocs").ends_with("1000"), "{table}");
+        assert!(row("inflight").ends_with("3"), "{table}");
     }
 }
 

@@ -66,6 +66,13 @@ use std::process::ExitCode;
 use pls_cluster::{parse_spec, Server, ServerConfig, Timeouts};
 use pls_telemetry::trace;
 
+/// Arm the counting allocator: every heap allocation in this process
+/// feeds the `pls_alloc_*` metric families (a few relaxed atomic adds
+/// per malloc — cheap enough to keep on in production). Libraries never
+/// install it; the binary opts in.
+#[global_allocator]
+static ALLOC: pls_telemetry::CountingAlloc = pls_telemetry::CountingAlloc;
+
 fn parse_args() -> Result<(ServerConfig, Option<SocketAddr>), String> {
     let mut index: Option<usize> = None;
     let mut peers: Option<Vec<SocketAddr>> = None;

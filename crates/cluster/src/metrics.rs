@@ -205,6 +205,16 @@ pub struct ServerMetrics {
     /// Live §4.3 coverage (distinct entries retrieved at least once /
     /// entries stored), refreshed by [`ServerMetrics::collect_live`].
     pub live_coverage: Gauge,
+    /// Requests currently being handled (incremented when a decoded
+    /// frame enters the handler, decremented when its response is
+    /// ready). A live depth, so `Metrics{reset}` never zeroes it.
+    pub inflight: Gauge,
+    /// Wall-clock duration of the last completed anti-entropy round
+    /// (µs).
+    pub antientropy_round_us: Gauge,
+    /// Wall-clock duration of the last completed staleness-probe round
+    /// (µs).
+    pub staleness_round_us: Gauge,
 }
 
 impl Default for ServerMetrics {
@@ -241,6 +251,9 @@ impl ServerMetrics {
             entry_hits: KeyedCounterMap::new(),
             live_unfairness: Gauge::new(),
             live_coverage: Gauge::new(),
+            inflight: Gauge::new(),
+            antientropy_round_us: Gauge::new(),
+            staleness_round_us: Gauge::new(),
         }
     }
 
@@ -312,6 +325,19 @@ impl ServerMetrics {
             "pls_probe_latency_us",
             if reset { self.probe_latency_us.take() } else { self.probe_latency_us.snapshot() },
         );
+        // Queue-depth gauges. In-flight is a live depth: resetting it
+        // would make the pending decrements drive it negative, so it is
+        // exempt from `reset`. The round-duration gauges are
+        // last-observation samples and do drain.
+        s.push_gauge(labeled("pls_queue_depth", &[("queue", "inflight")]), self.inflight.get());
+        s.push_gauge(
+            labeled("pls_queue_depth", &[("queue", "antientropy_round_us")]),
+            if reset { self.antientropy_round_us.take() } else { self.antientropy_round_us.get() },
+        );
+        s.push_gauge(
+            labeled("pls_queue_depth", &[("queue", "staleness_round_us")]),
+            if reset { self.staleness_round_us.take() } else { self.staleness_round_us.get() },
+        );
         s.set_help("pls_requests_total", "Requests handled, by operation.");
         s.set_help("pls_request_errors_total", "Requests whose handler returned an error.");
         s.set_help("pls_decode_errors_total", "Frames that failed to decode into a request.");
@@ -337,6 +363,11 @@ impl ServerMetrics {
         s.set_help("pls_entries", "Entries stored across keys.");
         s.set_help("pls_request_latency_us", "End-to-end request handling latency (us).");
         s.set_help("pls_probe_latency_us", "Probe handling latency, engine sampling only (us).");
+        s.set_help(
+            "pls_queue_depth",
+            "Queue depths and backlog proxies: in-flight requests, WAL group-commit batch \
+             size, last background round durations (us).",
+        );
         s
     }
 
@@ -577,6 +608,25 @@ mod tests {
         let second = m.collect(0, 0, false);
         assert_eq!(second.counter("pls_requests_total{op=\"add\"}"), Some(0));
         assert!(second.histogram("pls_probe_latency_us").unwrap().is_empty());
+    }
+
+    #[test]
+    fn queue_gauges_export_and_inflight_survives_reset() {
+        let m = ServerMetrics::new();
+        m.inflight.add(3.0);
+        m.antientropy_round_us.set(1500.0);
+        m.staleness_round_us.set(800.0);
+        let first = m.collect(0, 0, true);
+        assert_eq!(first.gauge("pls_queue_depth{queue=\"inflight\"}"), Some(3.0));
+        assert_eq!(first.gauge("pls_queue_depth{queue=\"antientropy_round_us\"}"), Some(1500.0));
+        assert_eq!(first.gauge("pls_queue_depth{queue=\"staleness_round_us\"}"), Some(800.0));
+        // Reset drained the round durations but left the live depth, so
+        // the pending decrements still land at zero, not below it.
+        let second = m.collect(0, 0, false);
+        assert_eq!(second.gauge("pls_queue_depth{queue=\"inflight\"}"), Some(3.0));
+        assert_eq!(second.gauge("pls_queue_depth{queue=\"antientropy_round_us\"}"), Some(0.0));
+        m.inflight.add(-3.0);
+        assert_eq!(m.inflight.get(), 0.0);
     }
 
     #[test]

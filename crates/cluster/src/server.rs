@@ -5,15 +5,14 @@ use std::net::SocketAddr;
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
-use parking_lot::Mutex;
 use pls_core::engine::{NodeEngine, Outbound};
 use pls_core::{Message, Placement, StrategySpec, Tombstone};
 use pls_metrics::fault_tolerance::greedy_tolerance;
 use pls_net::{Endpoint, ServerId};
 use pls_telemetry::trace::Span;
-use pls_telemetry::{Level, MetricsSnapshot, SpanRecord};
+use pls_telemetry::{Level, MetricsSnapshot, SiteStats, SpanRecord, TimedMutex};
 use tokio::net::{TcpListener, TcpStream};
 
 use crate::error::ClusterError;
@@ -142,12 +141,18 @@ impl ServerConfig {
 }
 
 /// Shared server state.
+///
+/// The four mutexes below are [`TimedMutex`]es: every `lock()` feeds
+/// the per-site contention histograms exported as `pls_lock_*{site=..}`
+/// (the WAL lock, site `wal`, lives in [`Storage`]). The fast path adds
+/// a `try_lock` and a few relaxed atomics — cheap enough to keep on
+/// permanently.
 struct State {
     cfg: ServerConfig,
-    engines: Mutex<HashMap<Vec<u8>, NodeEngine<Entry>>>,
+    engines: TimedMutex<HashMap<Vec<u8>, NodeEngine<Entry>>>,
     /// Per-key strategy overrides (§2: different strategies for
     /// different types of keys). Keys absent here use `cfg.spec`.
-    key_specs: Mutex<HashMap<Vec<u8>, StrategySpec>>,
+    key_specs: TimedMutex<HashMap<Vec<u8>, StrategySpec>>,
     peers: Vec<PeerClient>,
     /// Runtime counters/histograms; atomics only, shared by every
     /// connection handler without further locking.
@@ -162,12 +167,48 @@ struct State {
     storage: Option<Arc<Storage>>,
     /// Latest live §4.4 fault tolerance per adversary threshold `t`,
     /// refreshed by anti-entropy rounds (min across deep-checked keys).
-    live_ft: Mutex<BTreeMap<usize, usize>>,
+    live_ft: TimedMutex<BTreeMap<usize, usize>>,
     /// Latest live PBS-style staleness estimate per
     /// `(strategy index, t)`: P(a partial lookup probing `t` of the
     /// key's `h` holders reaches at least one fully fresh copy),
     /// averaged across the keys the staleness loop sampled.
-    live_staleness: Mutex<BTreeMap<(usize, usize), f64>>,
+    live_staleness: TimedMutex<BTreeMap<(usize, usize), f64>>,
+    /// Process-wide allocation counters as of this server's last
+    /// `Metrics{reset}`. The counting allocator's totals are shared by
+    /// every server in the process, so each server exports deltas
+    /// against its own baseline instead of draining the globals out
+    /// from under its siblings.
+    alloc_base: AllocBaseline,
+}
+
+/// Stored copy of [`pls_telemetry::alloc::AllocStats`]' monotone
+/// counters, used as the subtraction point for `pls_alloc_*` exports.
+#[derive(Debug, Default)]
+struct AllocBaseline {
+    allocs: AtomicU64,
+    frees: AtomicU64,
+    allocated_bytes: AtomicU64,
+    freed_bytes: AtomicU64,
+}
+
+impl AllocBaseline {
+    fn load(&self) -> pls_telemetry::AllocStats {
+        pls_telemetry::AllocStats {
+            allocs: self.allocs.load(Ordering::Relaxed),
+            frees: self.frees.load(Ordering::Relaxed),
+            allocated_bytes: self.allocated_bytes.load(Ordering::Relaxed),
+            freed_bytes: self.freed_bytes.load(Ordering::Relaxed),
+            current_bytes: 0,
+            peak_bytes: 0,
+        }
+    }
+
+    fn store(&self, s: &pls_telemetry::AllocStats) {
+        self.allocs.store(s.allocs, Ordering::Relaxed);
+        self.frees.store(s.frees, Ordering::Relaxed);
+        self.allocated_bytes.store(s.allocated_bytes, Ordering::Relaxed);
+        self.freed_bytes.store(s.freed_bytes, Ordering::Relaxed);
+    }
 }
 
 impl State {
@@ -402,14 +443,15 @@ impl Server {
         };
         let state = Arc::new(State {
             cfg,
-            engines: Mutex::new(HashMap::new()),
-            key_specs: Mutex::new(HashMap::new()),
+            engines: TimedMutex::new("engines", HashMap::new()),
+            key_specs: TimedMutex::new("key_specs", HashMap::new()),
             peers,
             metrics: ServerMetrics::new(),
             next_id,
             storage: storage_handle,
-            live_ft: Mutex::new(BTreeMap::new()),
-            live_staleness: Mutex::new(BTreeMap::new()),
+            live_ft: TimedMutex::new("live_ft", BTreeMap::new()),
+            live_staleness: TimedMutex::new("live_staleness", BTreeMap::new()),
+            alloc_base: AllocBaseline::default(),
         });
         let recovered = match recovered_state {
             Some(rec) => replay_recovered(&state, rec),
@@ -453,7 +495,10 @@ impl Server {
     ///   every reachable peer's via [`Request::Trace`] fan-out;
     /// * `GET /debug/recent` — this process's recorder contents: the
     ///   ring (most recent last), the pinned slow requests, and the
-    ///   recorder's own counters.
+    ///   recorder's own counters;
+    /// * `GET /debug/contention` — the performance observatory as JSON:
+    ///   per-site lock wait/hold distributions, allocation counters,
+    ///   and queue-depth gauges, ready for `jq`.
     ///
     /// Routes hold only an [`Arc`] on the shared state, so the endpoint
     /// outlives the `Server` handle.
@@ -461,6 +506,7 @@ impl Server {
         use crate::http::{BoxedReply, RouteReply, Router};
         let metrics_state = Arc::clone(&self.state);
         let trace_state = Arc::clone(&self.state);
+        let contention_state = Arc::clone(&self.state);
         Router::new()
             .route_text(
                 "/metrics",
@@ -487,6 +533,13 @@ impl Server {
                 "/debug/recent",
                 Arc::new(move |_query: Option<String>| -> BoxedReply {
                     Box::pin(async move { RouteReply::json(recent_json()) })
+                }),
+            )
+            .route(
+                "/debug/contention",
+                Arc::new(move |_query: Option<String>| -> BoxedReply {
+                    let state = Arc::clone(&contention_state);
+                    Box::pin(async move { RouteReply::json(contention_json(&state)) })
                 }),
             )
     }
@@ -745,7 +798,10 @@ fn collect_metrics(state: &State, reset: bool) -> MetricsSnapshot {
             "pls_live_staleness",
             "Estimated probability that a partial lookup probing t holders \
              returns the freshest version (PBS-style, averaged over sampled \
-             keys, per strategy).",
+             keys, per strategy). Upper bound for the targeted strategies \
+             (hash, round): the estimator assumes probes sample holders \
+             uniformly, but those clients probe deterministically chosen \
+             holders.",
         );
     }
     drop(staleness);
@@ -757,7 +813,143 @@ fn collect_metrics(state: &State, reset: bool) -> MetricsSnapshot {
         "Delete tombstones currently held across this server's keys \
          (awaiting TTL garbage collection).",
     );
+    // Lock-contention observatory. This block must stay *after* every
+    // engines/live_ft/live_staleness lock above: with `reset`, the
+    // drain then covers this collection's own acquisitions, keeping the
+    // conservation invariant (drained acquisitions == drained wait
+    // observations) exact for delta-scrapers.
+    for (site, stats) in lock_sites(state) {
+        s.push_histogram(
+            format!("pls_lock_wait_us{{site=\"{site}\"}}"),
+            if reset { stats.wait_us.take() } else { stats.wait_us.snapshot() },
+        );
+        s.push_histogram(
+            format!("pls_lock_hold_us{{site=\"{site}\"}}"),
+            if reset { stats.hold_us.take() } else { stats.hold_us.snapshot() },
+        );
+        s.push_counter(
+            format!("pls_lock_acquisitions_total{{site=\"{site}\"}}"),
+            if reset { stats.acquisitions.take() } else { stats.acquisitions.get() },
+        );
+        s.push_counter(
+            format!("pls_lock_contended_total{{site=\"{site}\"}}"),
+            if reset { stats.contended.take() } else { stats.contended.get() },
+        );
+    }
+    s.set_help(
+        "pls_lock_wait_us",
+        "Time lock() blocked before acquiring, per lock site (us; 0 = uncontended fast path).",
+    );
+    s.set_help("pls_lock_hold_us", "Time the lock was held, per lock site (us).");
+    s.set_help("pls_lock_acquisitions_total", "Successful lock acquisitions, per lock site.");
+    s.set_help(
+        "pls_lock_contended_total",
+        "Acquisitions that found the lock held and had to wait, per lock site.",
+    );
+    // Allocation observatory: deltas of the process-wide counting
+    // allocator (all zeros unless the binary installs
+    // `pls_telemetry::alloc::CountingAlloc`; pls-server does). The
+    // monotone counters are exported relative to this server's
+    // baseline; `reset` moves the baseline instead of draining the
+    // globals, which other in-process servers still export from.
+    let alloc_now = pls_telemetry::alloc::stats();
+    let d = alloc_now.delta_since(&state.alloc_base.load());
+    s.push_counter("pls_alloc_allocs_total", d.allocs);
+    s.push_counter("pls_alloc_frees_total", d.frees);
+    s.push_counter("pls_alloc_bytes_total", d.allocated_bytes);
+    s.push_counter("pls_alloc_freed_bytes_total", d.freed_bytes);
+    s.push_gauge("pls_alloc_current_bytes", alloc_now.current_bytes as f64);
+    s.push_gauge("pls_alloc_peak_bytes", alloc_now.peak_bytes as f64);
+    if reset {
+        state.alloc_base.store(&alloc_now);
+    }
+    s.set_help(
+        "pls_alloc_allocs_total",
+        "Heap allocations since the last reset (0 unless the binary installs the \
+         counting allocator).",
+    );
+    s.set_help("pls_alloc_frees_total", "Heap frees since the last reset.");
+    s.set_help("pls_alloc_bytes_total", "Bytes allocated since the last reset.");
+    s.set_help("pls_alloc_freed_bytes_total", "Bytes freed since the last reset.");
+    s.set_help("pls_alloc_current_bytes", "Bytes currently live on the process heap.");
+    s.set_help("pls_alloc_peak_bytes", "High-water mark of live heap bytes (process-wide).");
+    if let Some(storage) = &state.storage {
+        s.push_gauge(
+            pls_telemetry::snapshot::labeled("pls_queue_depth", &[("queue", "wal_fsync_batch")]),
+            if reset {
+                storage.metrics.fsync_batch.take()
+            } else {
+                storage.metrics.fsync_batch.get()
+            },
+        );
+    }
     s
+}
+
+/// Every instrumented lock site this server exports: the four `State`
+/// mutexes, plus the WAL lock when durability is on.
+fn lock_sites(state: &State) -> Vec<(&'static str, &Arc<SiteStats>)> {
+    let mut sites = vec![
+        (state.engines.site(), state.engines.stats()),
+        (state.key_specs.site(), state.key_specs.stats()),
+        (state.live_ft.site(), state.live_ft.stats()),
+        (state.live_staleness.site(), state.live_staleness.stats()),
+    ];
+    if let Some(storage) = &state.storage {
+        sites.push(("wal", storage.wal_lock_stats()));
+    }
+    sites
+}
+
+/// `GET /debug/contention`: the performance observatory as one JSON
+/// object — per-site lock contention, allocation counters, and
+/// queue-depth gauges — without the noise of a full metrics exposition.
+fn contention_json(state: &State) -> String {
+    use pls_telemetry::json::Object;
+    let hist = |h: &pls_telemetry::HistogramSnapshot| {
+        Object::new()
+            .u64("count", h.count)
+            .u64("sum", h.sum)
+            .f64("mean", h.mean())
+            .f64("p50", h.quantile(0.5))
+            .f64("p99", h.quantile(0.99))
+            .build()
+    };
+    let mut sites = Object::new();
+    for (site, stats) in lock_sites(state) {
+        let snap = stats.snapshot();
+        sites = sites.field(
+            site,
+            &Object::new()
+                .u64("acquisitions", snap.acquisitions)
+                .u64("contended", snap.contended)
+                .field("wait_us", &hist(&snap.wait_us))
+                .field("hold_us", &hist(&snap.hold_us))
+                .build(),
+        );
+    }
+    let alloc_now = pls_telemetry::alloc::stats();
+    let d = alloc_now.delta_since(&state.alloc_base.load());
+    let alloc = Object::new()
+        .u64("allocs", d.allocs)
+        .u64("frees", d.frees)
+        .u64("allocated_bytes", d.allocated_bytes)
+        .u64("freed_bytes", d.freed_bytes)
+        .u64("current_bytes", alloc_now.current_bytes)
+        .u64("peak_bytes", alloc_now.peak_bytes)
+        .build();
+    let mut queues = Object::new()
+        .f64("inflight", state.metrics.inflight.get())
+        .f64("antientropy_round_us", state.metrics.antientropy_round_us.get())
+        .f64("staleness_round_us", state.metrics.staleness_round_us.get());
+    if let Some(storage) = &state.storage {
+        queues = queues.f64("wal_fsync_batch", storage.metrics.fsync_batch.get());
+    }
+    Object::new()
+        .field("sites", &sites.build())
+        .field("alloc", &alloc)
+        .field("queues", &queues.build())
+        .build()
 }
 
 /// The per-key placement digest anti-entropy compares: entry count,
@@ -1114,9 +1306,11 @@ async fn anti_entropy_loop(state: Arc<State>, every: Duration) {
         let jitter = 0.5 + (r >> 11) as f64 / (1u64 << 53) as f64;
         tokio::time::sleep(every.mul_f64(jitter)).await;
         state.metrics.antientropy_rounds.inc();
+        let round_started = Instant::now();
         if let Err(err) = anti_entropy_round(&state, tick).await {
             pls_telemetry::debug!("antientropy_round_error", server = state.cfg.me, err = err);
         }
+        state.metrics.antientropy_round_us.set(round_started.elapsed().as_micros() as f64);
     }
 }
 
@@ -1149,7 +1343,9 @@ async fn staleness_loop(state: Arc<State>, every: Duration) {
         let jitter = 0.5 + (r >> 11) as f64 / (1u64 << 53) as f64;
         tokio::time::sleep(every.mul_f64(jitter)).await;
         state.metrics.staleness_rounds.inc();
+        let round_started = Instant::now();
         staleness_round(&state, tick).await;
+        state.metrics.staleness_round_us.set(round_started.elapsed().as_micros() as f64);
     }
 }
 
@@ -1727,7 +1923,10 @@ async fn serve_connection(state: Arc<State>, mut socket: TcpStream) -> Result<()
                 let mut span =
                     Span::enter_with_id(Level::Debug, module_path!(), op.as_str(), req_id);
                 span.field("server", state.cfg.me);
-                let resp = match handle_request(&state, req_id, req).await {
+                state.metrics.inflight.add(1.0);
+                let handled = handle_request(&state, req_id, req).await;
+                state.metrics.inflight.add(-1.0);
+                let resp = match handled {
                     Ok(resp) => resp,
                     Err(err) => {
                         state.metrics.request_errors.inc();

@@ -38,12 +38,13 @@
 use std::fs::{self, File, OpenOptions};
 use std::io::{Read as _, Seek, SeekFrom, Write as _};
 use std::path::{Path, PathBuf};
+use std::sync::Arc;
 
 use bytes::Bytes;
 use parking_lot::Mutex;
 use pls_core::{Message, StrategySpec, Tombstone};
 use pls_net::{Endpoint, ServerId};
-use pls_telemetry::Counter;
+use pls_telemetry::{Counter, Gauge, SiteStats, TimedMutex};
 
 use crate::error::ClusterError;
 use crate::proto::{decode_msg, decode_spec, encode_msg, encode_spec, Entry};
@@ -203,6 +204,9 @@ pub struct StorageMetrics {
     pub replayed: Counter,
     /// Checkpoints written.
     pub checkpoints: Counter,
+    /// Size of the last group commit: records one `fdatasync` made
+    /// durable at once (exported as `pls_queue_depth{queue="wal_fsync_batch"}`).
+    pub fsync_batch: Gauge,
 }
 
 struct WalInner {
@@ -220,7 +224,10 @@ struct WalInner {
 /// A server's durable state: WAL + checkpoint in one data directory.
 pub struct Storage {
     dir: PathBuf,
-    wal: Mutex<WalInner>,
+    /// The WAL lock doubles as the group-commit serialization point, so
+    /// it is instrumented: its wait histogram is where fsync back-pressure
+    /// shows up first (site `wal` in `pls_lock_*`).
+    wal: TimedMutex<WalInner>,
     /// Serializes checkpoint writers and remembers the highest sequence
     /// a durable checkpoint covers, so a racing older capture is
     /// dropped instead of regressing the checkpoint file (which would
@@ -271,13 +278,16 @@ impl Storage {
             all_records.into_iter().filter(|r| r.seq > checkpoint_seq).collect();
         let storage = Storage {
             dir,
-            wal: Mutex::new(WalInner {
-                file,
-                next_seq: max_seq + 1,
-                appended_seq: max_seq,
-                synced_seq: max_seq,
-                since_checkpoint: records.len() as u64,
-            }),
+            wal: TimedMutex::new(
+                "wal",
+                WalInner {
+                    file,
+                    next_seq: max_seq + 1,
+                    appended_seq: max_seq,
+                    synced_seq: max_seq,
+                    since_checkpoint: records.len() as u64,
+                },
+            ),
             ckpt_seq: Mutex::new(checkpoint_seq),
             metrics: StorageMetrics::default(),
         };
@@ -287,6 +297,12 @@ impl Storage {
     /// The data directory this storage lives in.
     pub fn dir(&self) -> &Path {
         &self.dir
+    }
+
+    /// Contention statistics of the WAL lock (site `wal`), for metrics
+    /// export alongside the server's own lock sites.
+    pub fn wal_lock_stats(&self) -> &Arc<SiteStats> {
+        self.wal.stats()
     }
 
     /// Appends one record to the WAL (buffered — call [`Storage::sync`]
@@ -335,6 +351,7 @@ impl Storage {
         if inner.synced_seq >= inner.appended_seq {
             return Ok(());
         }
+        self.metrics.fsync_batch.set((inner.appended_seq - inner.synced_seq) as f64);
         inner.file.sync_data()?;
         inner.synced_seq = inner.appended_seq;
         self.metrics.fsyncs.inc();
@@ -648,9 +665,15 @@ mod tests {
         storage.sync().unwrap();
         assert_eq!(storage.metrics.appends.get(), 2);
         assert_eq!(storage.metrics.fsyncs.get(), 1);
-        // A second sync with nothing new coalesces to a no-op.
+        assert_eq!(storage.metrics.fsync_batch.get(), 2.0, "one fsync covered both appends");
+        // A second sync with nothing new coalesces to a no-op (and the
+        // recorded batch size stays that of the last real commit).
         storage.sync().unwrap();
         assert_eq!(storage.metrics.fsyncs.get(), 1);
+        assert_eq!(storage.metrics.fsync_batch.get(), 2.0);
+        // The WAL lock is an instrumented site.
+        assert_eq!(storage.wal_lock_stats().snapshot().contended, 0);
+        assert!(storage.wal_lock_stats().snapshot().acquisitions >= 3);
         drop(storage);
 
         let (_, rec) = Storage::open(&dir).unwrap();

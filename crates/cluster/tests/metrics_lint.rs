@@ -13,6 +13,13 @@ use std::sync::Arc;
 
 use pls_cluster::{Client, ClientConfig, Server, ServerConfig};
 use pls_core::StrategySpec;
+use pls_telemetry::snapshot::labeled;
+
+/// Install the counting allocator exactly as the `pls-server` binary
+/// does, so the `pls_alloc_*` families carry real readings here too —
+/// both for the exposition lint and for the reset-conservation hammer.
+#[global_allocator]
+static ALLOC: pls_telemetry::CountingAlloc = pls_telemetry::CountingAlloc;
 
 async fn http_get(addr: SocketAddr, target: &str) -> (String, String, String) {
     use tokio::io::{AsyncReadExt, AsyncWriteExt};
@@ -150,8 +157,22 @@ async fn metrics_exposition_passes_the_format_lint() {
     for family in helps.keys() {
         assert!(types.contains_key(family), "family {family} has HELP but no TYPE");
     }
-    // Families the tentpole depends on must be present with samples.
-    for must in ["pls_requests_total", "pls_request_latency_us", "pls_live_coverage"] {
+    // Families the tentpole depends on must be present with samples,
+    // including the performance-observatory families (lock contention,
+    // allocation accounting, queue depths).
+    for must in [
+        "pls_requests_total",
+        "pls_request_latency_us",
+        "pls_live_coverage",
+        "pls_lock_wait_us",
+        "pls_lock_hold_us",
+        "pls_lock_acquisitions_total",
+        "pls_lock_contended_total",
+        "pls_alloc_allocs_total",
+        "pls_alloc_bytes_total",
+        "pls_alloc_current_bytes",
+        "pls_queue_depth",
+    ] {
         assert!(types.contains_key(must), "core family {must} missing from scrape");
     }
 }
@@ -188,15 +209,30 @@ async fn resetting_scrapes_conserve_counts_under_load() {
 
     // Scraper: drain as fast as possible while the writer runs.
     let scraper = Client::connect(ClientConfig::new(vec![addr], spec, 81));
+    let engines = [("site", "engines")];
     let mut probes_drained = 0u64;
     let mut requests_drained = 0u64;
     let mut latency_count_drained = 0u64;
+    let mut lock_acq_drained = 0u64;
+    let mut lock_contended_drained = 0u64;
+    let mut wait_obs_drained = 0u64;
+    let mut hold_obs_drained = 0u64;
+    let mut allocs_drained = 0u64;
     let mut drains = 0u64;
     let mut accumulate = |snap: &pls_telemetry::MetricsSnapshot| {
         probes_drained += snap.counter_sum("pls_probes_total");
         requests_drained += snap.counter_sum("pls_requests_total");
         latency_count_drained +=
             snap.histogram("pls_request_latency_us").map(|h| h.count).unwrap_or(0);
+        lock_acq_drained +=
+            snap.counter(&labeled("pls_lock_acquisitions_total", &engines)).unwrap_or(0);
+        lock_contended_drained +=
+            snap.counter(&labeled("pls_lock_contended_total", &engines)).unwrap_or(0);
+        wait_obs_drained +=
+            snap.histogram(&labeled("pls_lock_wait_us", &engines)).map(|h| h.count).unwrap_or(0);
+        hold_obs_drained +=
+            snap.histogram(&labeled("pls_lock_hold_us", &engines)).map(|h| h.count).unwrap_or(0);
+        allocs_drained += snap.counter("pls_alloc_allocs_total").unwrap_or(0);
         // Live gauges are recomputed per scrape and must stay finite
         // even when a reset races the traffic feeding them.
         let coverage = snap.gauge("pls_live_coverage").expect("coverage gauge");
@@ -234,5 +270,43 @@ async fn resetting_scrapes_conserve_counts_under_load() {
         diff <= 1,
         "counter drained {requests_drained} requests but histogram drained \
          {latency_count_drained} observations over {drains} scrapes"
+    );
+
+    // Lock-site conservation for the engines mutex: every acquisition
+    // records exactly one wait observation and (on guard drop) one
+    // hold observation, and the contention export runs after the
+    // collection's own engines locks are released, so a resetting
+    // scrape drains its own acquisitions too. Racing traffic may split
+    // an acquisition's wait/acq/hold across adjacent scrapes, but at
+    // quiescence — after the writer joined and the final drain — the
+    // three totals must agree exactly.
+    assert!(lock_acq_drained > 0, "hammer never drained an engines-lock acquisition");
+    assert_eq!(
+        lock_acq_drained, wait_obs_drained,
+        "engines lock: {lock_acq_drained} acquisitions drained but {wait_obs_drained} wait \
+         observations over {drains} scrapes"
+    );
+    assert_eq!(
+        lock_acq_drained, hold_obs_drained,
+        "engines lock: {lock_acq_drained} acquisitions drained but {hold_obs_drained} hold \
+         observations over {drains} scrapes"
+    );
+    assert!(
+        lock_contended_drained <= lock_acq_drained,
+        "engines lock drained more contended acquisitions ({lock_contended_drained}) than \
+         acquisitions ({lock_acq_drained})"
+    );
+
+    // Allocation counters drain against the server's baseline: the
+    // resetting scrapes must have seen real allocator traffic, and
+    // after the final drain a fresh non-resetting scrape reports only
+    // the allocations since that drain — far less than the total.
+    assert!(allocs_drained > 0, "resetting scrapes never drained an allocation delta");
+    let fresh = scraper.metrics_of(0, false).await.expect("fresh scrape");
+    let fresh_allocs = fresh.counter("pls_alloc_allocs_total").expect("alloc counter");
+    assert!(
+        fresh_allocs < allocs_drained,
+        "post-reset scrape reports {fresh_allocs} allocations, not less than the \
+         {allocs_drained} the resetting scrapes drained — reset did not rebase the baseline"
     );
 }

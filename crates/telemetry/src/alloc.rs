@@ -1,0 +1,243 @@
+//! An opt-in counting global allocator.
+//!
+//! [`CountingAlloc`] forwards to the system allocator and keeps six
+//! process-wide relaxed atomics: allocation and free *counts*,
+//! allocated and freed *bytes*, live bytes, and the live-bytes peak.
+//! The bookkeeping is a handful of `fetch_add`s per call — cheap
+//! enough to leave enabled in release-mode tests and production
+//! binaries, which is the point: allocations-per-operation becomes a
+//! number CI can pin, not a hunch.
+//!
+//! Opting in is the installation itself — a binary (or test binary)
+//! declares:
+//!
+//! ```ignore
+//! #[global_allocator]
+//! static ALLOC: pls_telemetry::alloc::CountingAlloc =
+//!     pls_telemetry::alloc::CountingAlloc;
+//! ```
+//!
+//! Without that declaration every reading is zero; exporters still
+//! publish the `pls_alloc_*` families so dashboards keep their shape.
+//!
+//! Counts are process-global (there is only one heap), so per-phase
+//! attribution works by **delta**: [`phase`] captures a baseline and
+//! [`Phase::delta`] returns what happened since. The same trick gives
+//! per-server reset semantics in a multi-server test process — each
+//! server keeps its own baseline instead of swapping the globals.
+//!
+//! This module contains the crate's only `unsafe` code: the
+//! [`GlobalAlloc`] impl, which is forwarding-plus-arithmetic.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+static ALLOCS: AtomicU64 = AtomicU64::new(0);
+static FREES: AtomicU64 = AtomicU64::new(0);
+static ALLOCATED_BYTES: AtomicU64 = AtomicU64::new(0);
+static FREED_BYTES: AtomicU64 = AtomicU64::new(0);
+static CURRENT_BYTES: AtomicU64 = AtomicU64::new(0);
+static PEAK_BYTES: AtomicU64 = AtomicU64::new(0);
+
+/// Records one successful allocation of `size` bytes.
+#[inline]
+fn record_alloc(size: usize) {
+    ALLOCS.fetch_add(1, Ordering::Relaxed);
+    ALLOCATED_BYTES.fetch_add(size as u64, Ordering::Relaxed);
+    let live = CURRENT_BYTES.fetch_add(size as u64, Ordering::Relaxed) + size as u64;
+    // CAS-max; a racing higher peak winning is exactly what we want.
+    let mut peak = PEAK_BYTES.load(Ordering::Relaxed);
+    while live > peak {
+        match PEAK_BYTES.compare_exchange_weak(peak, live, Ordering::Relaxed, Ordering::Relaxed) {
+            Ok(_) => break,
+            Err(seen) => peak = seen,
+        }
+    }
+}
+
+/// Records one free of `size` bytes.
+#[inline]
+fn record_free(size: usize) {
+    FREES.fetch_add(1, Ordering::Relaxed);
+    FREED_BYTES.fetch_add(size as u64, Ordering::Relaxed);
+    CURRENT_BYTES.fetch_sub(size as u64, Ordering::Relaxed);
+}
+
+/// The counting allocator. Install with `#[global_allocator]`; see the
+/// module docs.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct CountingAlloc;
+
+#[allow(unsafe_code)]
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        let p = unsafe { System.alloc(layout) };
+        if !p.is_null() {
+            record_alloc(layout.size());
+        }
+        p
+    }
+
+    unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
+        let p = unsafe { System.alloc_zeroed(layout) };
+        if !p.is_null() {
+            record_alloc(layout.size());
+        }
+        p
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        unsafe { System.dealloc(ptr, layout) };
+        record_free(layout.size());
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        let p = unsafe { System.realloc(ptr, layout, new_size) };
+        if !p.is_null() {
+            // A realloc is one free of the old block plus one
+            // allocation of the new one — keeps live-bytes exact.
+            record_free(layout.size());
+            record_alloc(new_size);
+        }
+        p
+    }
+}
+
+/// Point-in-time reading of the process-wide allocation counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct AllocStats {
+    /// Successful allocations (reallocs count as free + alloc).
+    pub allocs: u64,
+    /// Frees.
+    pub frees: u64,
+    /// Total bytes ever allocated.
+    pub allocated_bytes: u64,
+    /// Total bytes ever freed.
+    pub freed_bytes: u64,
+    /// Bytes currently live.
+    pub current_bytes: u64,
+    /// High-water mark of live bytes.
+    pub peak_bytes: u64,
+}
+
+impl AllocStats {
+    /// The monotonic counters' growth since `base` (saturating, in
+    /// case `base` was taken from a different — later — reading);
+    /// `current_bytes` and `peak_bytes` are point-in-time and pass
+    /// through unchanged.
+    pub fn delta_since(&self, base: &AllocStats) -> AllocStats {
+        AllocStats {
+            allocs: self.allocs.saturating_sub(base.allocs),
+            frees: self.frees.saturating_sub(base.frees),
+            allocated_bytes: self.allocated_bytes.saturating_sub(base.allocated_bytes),
+            freed_bytes: self.freed_bytes.saturating_sub(base.freed_bytes),
+            current_bytes: self.current_bytes,
+            peak_bytes: self.peak_bytes,
+        }
+    }
+}
+
+/// Reads the current process-wide counters. All zeros when no
+/// [`CountingAlloc`] is installed.
+pub fn stats() -> AllocStats {
+    AllocStats {
+        allocs: ALLOCS.load(Ordering::Relaxed),
+        frees: FREES.load(Ordering::Relaxed),
+        allocated_bytes: ALLOCATED_BYTES.load(Ordering::Relaxed),
+        freed_bytes: FREED_BYTES.load(Ordering::Relaxed),
+        current_bytes: CURRENT_BYTES.load(Ordering::Relaxed),
+        peak_bytes: PEAK_BYTES.load(Ordering::Relaxed),
+    }
+}
+
+/// A scoped measurement phase: captures a baseline now, reports the
+/// delta on demand.
+#[derive(Debug, Clone, Copy)]
+pub struct Phase {
+    base: AllocStats,
+}
+
+/// Starts a measurement phase at the current counter values.
+pub fn phase() -> Phase {
+    Phase { base: stats() }
+}
+
+impl Phase {
+    /// What has been allocated/freed since the phase started.
+    pub fn delta(&self) -> AllocStats {
+        stats().delta_since(&self.base)
+    }
+}
+
+#[cfg(test)]
+#[allow(unsafe_code)]
+mod tests {
+    use super::*;
+
+    // The allocator is exercised through direct GlobalAlloc calls: a
+    // `#[global_allocator]` declared here would leak into every crate
+    // that links pls-telemetry, which must stay opt-in. The release
+    // budget test in pls-bench installs it for real. The counters are
+    // process-global, so the tests in this module serialize on a lock
+    // to keep their exact-delta assertions honest.
+    static SERIAL: std::sync::Mutex<()> = std::sync::Mutex::new(());
+
+    #[test]
+    fn counting_and_peak_track_direct_calls() {
+        let _serial = SERIAL.lock().unwrap();
+        let a = CountingAlloc;
+        let layout = Layout::from_size_align(1024, 8).unwrap();
+        let before = stats();
+
+        let p = unsafe { a.alloc(layout) };
+        assert!(!p.is_null());
+        let mid = stats().delta_since(&before);
+        assert_eq!(mid.allocs, 1);
+        assert_eq!(mid.allocated_bytes, 1024);
+        assert!(mid.current_bytes >= 1024);
+        assert!(mid.peak_bytes >= 1024);
+
+        let p2 = unsafe { a.realloc(p, layout, 2048) };
+        assert!(!p2.is_null());
+        let grown = stats().delta_since(&before);
+        assert_eq!(grown.allocs, 2, "realloc counts as free+alloc");
+        assert_eq!(grown.frees, 1);
+        assert_eq!(grown.allocated_bytes, 1024 + 2048);
+        assert_eq!(grown.freed_bytes, 1024);
+
+        unsafe { a.dealloc(p2, Layout::from_size_align(2048, 8).unwrap()) };
+        let done = stats().delta_since(&before);
+        assert_eq!(done.allocs, done.frees, "alloc+realloc matched by realloc-free+free");
+        assert_eq!(done.allocated_bytes, done.freed_bytes);
+    }
+
+    #[test]
+    fn zeroed_allocation_is_counted_and_zeroed() {
+        let _serial = SERIAL.lock().unwrap();
+        let a = CountingAlloc;
+        let layout = Layout::from_size_align(64, 8).unwrap();
+        let before = stats();
+        let p = unsafe { a.alloc_zeroed(layout) };
+        assert!(!p.is_null());
+        for i in 0..64 {
+            assert_eq!(unsafe { *p.add(i) }, 0);
+        }
+        unsafe { a.dealloc(p, layout) };
+        let d = stats().delta_since(&before);
+        assert_eq!((d.allocs, d.frees), (1, 1));
+        assert_eq!(d.allocated_bytes, 64);
+    }
+
+    #[test]
+    fn phase_reports_scoped_deltas() {
+        let _serial = SERIAL.lock().unwrap();
+        let a = CountingAlloc;
+        let layout = Layout::from_size_align(256, 8).unwrap();
+        let ph = phase();
+        let p = unsafe { a.alloc(layout) };
+        unsafe { a.dealloc(p, layout) };
+        let d = ph.delta();
+        assert!(d.allocs >= 1 && d.frees >= 1);
+        assert!(d.allocated_bytes >= 256);
+    }
+}

@@ -132,6 +132,18 @@ impl HistogramSnapshot {
         }
     }
 
+    /// The observations recorded between an `earlier` snapshot of the
+    /// same histogram and this one: per-field saturating subtraction.
+    /// (Counts are monotonic while the histogram is not reset, so on a
+    /// live histogram this is an exact "what happened since".)
+    pub fn minus(&self, earlier: &HistogramSnapshot) -> HistogramSnapshot {
+        HistogramSnapshot {
+            count: self.count.saturating_sub(earlier.count),
+            sum: self.sum.saturating_sub(earlier.sum),
+            buckets: std::array::from_fn(|i| self.buckets[i].saturating_sub(earlier.buckets[i])),
+        }
+    }
+
     /// Mean observed value; 0 when empty.
     pub fn mean(&self) -> f64 {
         if self.count == 0 {
@@ -231,6 +243,25 @@ mod tests {
         assert_eq!(s.count, 3);
         assert_eq!(s.sum, 201);
         assert_eq!(s.buckets[Histogram::bucket_index(100)], 2);
+    }
+
+    #[test]
+    fn minus_recovers_the_interval() {
+        let h = Histogram::new();
+        h.observe(3);
+        h.observe(100);
+        let before = h.snapshot();
+        h.observe(5);
+        h.observe(5);
+        let d = h.snapshot().minus(&before);
+        assert_eq!(d.count, 2);
+        assert_eq!(d.sum, 10);
+        assert_eq!(d.buckets[Histogram::bucket_index(5)], 2);
+        assert_eq!(d.buckets[Histogram::bucket_index(100)], 0);
+        // Mismatched order saturates instead of wrapping.
+        let weird = before.minus(&h.snapshot());
+        assert_eq!(weird.count, 0);
+        assert_eq!(weird.sum, 0);
     }
 
     #[test]

@@ -28,14 +28,26 @@
 //!   timing spans with optional request-id correlation) with the shape
 //!   of the `tracing` crate but zero dependencies, so binaries and
 //!   tests can enable it unconditionally.
+//! * [`TimedMutex`] — a `parking_lot::Mutex` that measures itself:
+//!   per-site wait/hold histograms plus acquisition and contention
+//!   counters, so "which lock is the ceiling?" is a scrape, not a
+//!   profiling session.
+//! * [`alloc`] — an opt-in counting global allocator (allocs, frees,
+//!   bytes, live peak, scoped per-phase deltas) cheap enough for
+//!   release tests to pin allocations-per-operation budgets.
 //!
 //! Everything here is `std`-only and lock-free or shard-locked on the
 //! recording path; the only allocations happen at snapshot/exposition
-//! time (plus first-touch key insertion in the keyed structures).
+//! time (plus first-touch key insertion in the keyed structures). The
+//! crate denies `unsafe_code`; the single exception is the
+//! [`alloc`] module's `GlobalAlloc` impl, which forwards to the system
+//! allocator and does arithmetic.
 
-#![forbid(unsafe_code)]
+#![deny(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod alloc;
+pub mod contention;
 pub mod counter;
 pub mod gauge;
 pub mod histogram;
@@ -46,6 +58,8 @@ pub mod snapshot;
 pub mod topk;
 pub mod trace;
 
+pub use alloc::{AllocStats, CountingAlloc};
+pub use contention::{SiteSnapshot, SiteStats, TimedMutex, TimedMutexGuard};
 pub use counter::Counter;
 pub use gauge::Gauge;
 pub use histogram::{Histogram, HistogramSnapshot, BUCKETS};
