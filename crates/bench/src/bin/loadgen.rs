@@ -60,7 +60,9 @@
 //! and the block holds the difference — per-site lock wait/hold
 //! quantiles and acquisition/contention counts (`runtime.locks`,
 //! keyed by site so `pls-bench compare` can address e.g.
-//! `runtime.locks.engines.wait_us.p99`), allocation deltas from the
+//! `runtime.locks.engines.wait_us.p99`; on a sharded server each
+//! site merges every shard's lock of that family, so the paths are
+//! shard-count-independent), allocation deltas from the
 //! servers' counting allocator with the derived `allocs_per_lookup`
 //! (`runtime.alloc`), and the post-run queue-depth gauges
 //! (`runtime.queues` — gauges merge by replacement, so each value is
@@ -451,7 +453,10 @@ fn quantiles_json(h: &HistogramSnapshot) -> String {
 fn runtime_json(before: &MetricsSnapshot, after: &MetricsSnapshot, lookups: u64) -> String {
     let empty = HistogramSnapshot::empty();
     let mut locks = Object::new();
-    for site in ["engines", "key_specs", "live_ft", "live_staleness", "wal"] {
+    // `engines` and `wal` merge every shard's lock under the sharded
+    // server core. (The pre-sharding `key_specs` site no longer
+    // exists: spec overrides live under the shard's `engines` lock.)
+    for site in ["engines", "live_ft", "live_staleness", "wal"] {
         let labels = [("site", site)];
         let wait_name = labeled("pls_lock_wait_us", &labels);
         let Some(wait_after) = after.histogram(&wait_name) else { continue };

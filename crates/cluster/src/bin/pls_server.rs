@@ -5,7 +5,7 @@
 //!            [--seed S] [--log LEVEL] [--metrics-addr HOST:PORT] [--slow-ms MS]
 //!            [--rpc-timeout-ms MS] [--op-budget-ms MS] [--data-dir DIR]
 //!            [--checkpoint-every N] [--antientropy-ms MS] [--staleness-ms MS]
-//!            [--tombstone-ttl-ms MS]
+//!            [--tombstone-ttl-ms MS] [--shards N]
 //!
 //!   --index         this server's position in the peer list (0-based;
 //!                   index 0 is the Round-Robin coordinator)
@@ -50,6 +50,15 @@
 //!                   before garbage collection (default 900000 = 15
 //!                   min; must comfortably exceed --antientropy-ms so
 //!                   deletes finish propagating first)
+//!   --shards        shared-nothing shards the key space is partitioned
+//!                   into (default: available CPU cores). Each shard
+//!                   owns its keys' engines and spec overrides and —
+//!                   with --data-dir — its own WAL segment under
+//!                   `DIR/shard-<i>/` with independent group-commit
+//!                   fsync. An existing sharded data dir records its
+//!                   count in `shards.meta`; restarting with a
+//!                   different --shards is refused (a pre-sharding v1
+//!                   data dir is migrated automatically on first start)
 //! ```
 //!
 //! Example 3-server cluster on one machine:
@@ -85,6 +94,7 @@ fn parse_args() -> Result<(ServerConfig, Option<SocketAddr>), String> {
     let mut antientropy_ms: u64 = 5_000;
     let mut staleness_ms: u64 = 2_000;
     let mut tombstone_ttl_ms: Option<u64> = None;
+    let mut shards: Option<usize> = None;
     let mut timeouts = Timeouts::default();
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -146,6 +156,9 @@ fn parse_args() -> Result<(ServerConfig, Option<SocketAddr>), String> {
                         .map_err(|e| format!("--tombstone-ttl-ms: {e}"))?,
                 );
             }
+            "--shards" => {
+                shards = Some(value("--shards")?.parse().map_err(|e| format!("--shards: {e}"))?);
+            }
             "--log" => trace::init_from_str(&value("--log")?)?,
             "--help" | "-h" => {
                 return Err(
@@ -153,7 +166,7 @@ fn parse_args() -> Result<(ServerConfig, Option<SocketAddr>), String> {
                      [--log LEVEL] [--metrics-addr HOST:PORT] [--slow-ms MS] \
                      [--rpc-timeout-ms MS] [--op-budget-ms MS] [--data-dir DIR] \
                      [--checkpoint-every N] [--antientropy-ms MS] [--staleness-ms MS] \
-                     [--tombstone-ttl-ms MS]"
+                     [--tombstone-ttl-ms MS] [--shards N]"
                         .to_string(),
                 )
             }
@@ -184,6 +197,9 @@ fn parse_args() -> Result<(ServerConfig, Option<SocketAddr>), String> {
     }
     if let Some(ms) = tombstone_ttl_ms {
         cfg = cfg.with_tombstone_ttl(std::time::Duration::from_millis(ms));
+    }
+    if let Some(n) = shards {
+        cfg = cfg.with_shards(n);
     }
     Ok((cfg, metrics_addr))
 }

@@ -26,7 +26,10 @@
 use pls_core::StrategySpec;
 use pls_metrics::unfairness::cov_from_counts;
 use pls_telemetry::snapshot::{labeled, parse_labels};
-use pls_telemetry::{Counter, Gauge, Histogram, KeyedCounterMap, MetricsSnapshot, TopK};
+use pls_telemetry::{
+    Counter, Gauge, Histogram, HistogramSnapshot, KeyedCounterMap, MetricsSnapshot, SiteSnapshot,
+    SiteStats, TopK,
+};
 
 /// Strategy labels, indexed by [`strategy_index`].
 pub const STRATEGY_LABELS: [&str; 5] = ["full", "fixed", "random", "round", "hash"];
@@ -490,6 +493,44 @@ pub fn live_quality_from_merged(snap: &MetricsSnapshot) -> Option<(f64, f64)> {
     Some((unfairness, coverage))
 }
 
+/// Merges the [`SiteStats`] of several same-named lock sites (e.g. the
+/// per-shard `engines` mutexes) into one [`SiteSnapshot`], so the
+/// exposition keeps a single stable `site="engines"` family no matter
+/// how many shards back it — `pls-bench compare` paths and dashboards
+/// never see the shard count.
+///
+/// With `reset` each site's counters and histograms are *drained*
+/// (`take`), so summing across shards preserves the conservation
+/// invariant delta-scrapers rely on: every acquisition and every
+/// wait/hold observation lands in exactly one scrape, and the merged
+/// totals stay equal to each other.
+pub fn merged_site_snapshot<'a>(
+    sites: impl IntoIterator<Item = &'a SiteStats>,
+    reset: bool,
+) -> SiteSnapshot {
+    let mut merged = SiteSnapshot {
+        acquisitions: 0,
+        contended: 0,
+        wait_us: HistogramSnapshot::empty(),
+        hold_us: HistogramSnapshot::empty(),
+    };
+    for stats in sites {
+        if reset {
+            merged.wait_us.merge(&stats.wait_us.take());
+            merged.hold_us.merge(&stats.hold_us.take());
+            merged.acquisitions += stats.acquisitions.take();
+            merged.contended += stats.contended.take();
+        } else {
+            let snap = stats.snapshot();
+            merged.wait_us.merge(&snap.wait_us);
+            merged.hold_us.merge(&snap.hold_us);
+            merged.acquisitions += snap.acquisitions;
+            merged.contended += snap.contended;
+        }
+    }
+    merged
+}
+
 /// Client-library runtime counters and histograms.
 #[derive(Debug, Default)]
 pub struct ClientMetrics {
@@ -569,6 +610,30 @@ impl ClientMetrics {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn merged_site_snapshot_sums_shards_and_drains_on_reset() {
+        let a = SiteStats::new();
+        let b = SiteStats::new();
+        a.acquisitions.add(3);
+        a.contended.add(1);
+        a.wait_us.observe(5);
+        b.acquisitions.add(2);
+        b.wait_us.observe(7);
+        let merged = merged_site_snapshot([&a, &b], false);
+        assert_eq!(merged.acquisitions, 5);
+        assert_eq!(merged.contended, 1);
+        assert_eq!(merged.wait_us.count, 2);
+        assert_eq!(merged.wait_us.sum, 12);
+        // A plain read leaves the sites untouched; a resetting merge
+        // drains them, so the next delta scrape starts from zero.
+        assert_eq!(a.acquisitions.get(), 3);
+        let drained = merged_site_snapshot([&a, &b], true);
+        assert_eq!(drained.acquisitions, 5);
+        assert_eq!(drained.wait_us.count, 2);
+        assert_eq!(a.acquisitions.get() + b.acquisitions.get(), 0);
+        assert_eq!(merged_site_snapshot([&a, &b], false).acquisitions, 0);
+    }
 
     #[test]
     fn strategy_indices_cover_all_specs() {

@@ -16,7 +16,7 @@ use pls_telemetry::{Level, MetricsSnapshot, SiteStats, SpanRecord, TimedMutex};
 use tokio::net::{TcpListener, TcpStream};
 
 use crate::error::ClusterError;
-use crate::metrics::{strategy_index, ServerMetrics, STRATEGY_LABELS};
+use crate::metrics::{merged_site_snapshot, strategy_index, ServerMetrics, STRATEGY_LABELS};
 use crate::proto::{Entry, Request, Response};
 use crate::retry::{splitmix64, BreakerConfig, Deadline, RetryPolicy, Timeouts};
 use crate::rpc::{push_peer_robustness, PeerClient};
@@ -66,6 +66,20 @@ pub struct ServerConfig {
     /// interval, or a lagging donor could outlive the marker that
     /// proves its entry was deleted.
     pub tombstone_ttl: Duration,
+    /// Number of shared-nothing shards the key space is partitioned
+    /// into (`--shards`). Each shard exclusively owns its slice of the
+    /// engines map, the per-key strategy overrides, and — with
+    /// durability on — its own WAL segment with independent group
+    /// commit. Defaults to the available CPU cores. With an existing
+    /// sharded data dir the count must match what the dir was laid out
+    /// with (resharding is refused — see
+    /// [`storage::SHARD_META_FILE`]).
+    pub shards: usize,
+}
+
+/// Default shard count: one per available core (1 when unknown).
+fn default_shards() -> usize {
+    std::thread::available_parallelism().map(std::num::NonZeroUsize::get).unwrap_or(1)
 }
 
 impl ServerConfig {
@@ -85,6 +99,7 @@ impl ServerConfig {
             anti_entropy: None,
             staleness_probe: None,
             tombstone_ttl: Duration::from_secs(900),
+            shards: default_shards(),
         }
     }
 
@@ -138,21 +153,67 @@ impl ServerConfig {
         self.tombstone_ttl = ttl;
         self
     }
+
+    /// Overrides the shared-nothing shard count (clamped to at least 1).
+    pub fn with_shards(mut self, shards: usize) -> Self {
+        self.shards = shards.max(1);
+        self
+    }
+}
+
+/// Everything one shard exclusively owns, behind a single mutex: the
+/// shard's slice of the engines map *and* the per-key strategy
+/// overrides (§2: different strategies for different types of keys;
+/// keys absent from `key_specs` use `cfg.spec`).
+///
+/// Joint ownership is the point, not an optimization: a key's override
+/// and its engine can only ever be read or written together, under one
+/// lock acquisition. The old layout kept them in two separate mutexes,
+/// which bred check-then-act races — `set_spec` could validate against
+/// an engines map that changed before its `key_specs` insert landed,
+/// and `with_engine` could create an engine from a spec that a
+/// concurrent `set_spec` was replacing. Neither interleaving exists
+/// anymore, by construction.
+struct ShardCore {
+    engines: HashMap<Vec<u8>, NodeEngine<Entry>>,
+    key_specs: HashMap<Vec<u8>, StrategySpec>,
+}
+
+impl ShardCore {
+    /// The strategy in effect for a key, under this shard's lock.
+    fn spec_of(&self, key: &[u8], default: StrategySpec) -> StrategySpec {
+        self.key_specs.get(key).copied().unwrap_or(default)
+    }
+}
+
+/// One shared-nothing shard: its core state plus — with durability on —
+/// its own WAL segment (`shard-<i>/` under the data dir) with
+/// independent group commit.
+///
+/// Every shard's core mutex carries the same site name, `engines`, so
+/// the exposition keeps one stable `pls_lock_*{site="engines"}` family
+/// (per-shard stats are merged at collection time); the per-shard WAL
+/// locks merge into the `wal` site the same way.
+struct Shard {
+    core: TimedMutex<ShardCore>,
+    /// `Arc` so fsync and checkpoint I/O can run on blocking threads
+    /// (`spawn_blocking`) instead of stalling the async runtime.
+    storage: Option<Arc<Storage>>,
 }
 
 /// Shared server state.
 ///
-/// The four mutexes below are [`TimedMutex`]es: every `lock()` feeds
-/// the per-site contention histograms exported as `pls_lock_*{site=..}`
-/// (the WAL lock, site `wal`, lives in [`Storage`]). The fast path adds
-/// a `try_lock` and a few relaxed atomics — cheap enough to keep on
-/// permanently.
+/// Keys are partitioned across [`Shard`]s by a stable hash (see
+/// [`shard_index`]); each shard's mutex is a [`TimedMutex`] feeding the
+/// per-site contention histograms exported as `pls_lock_*{site=..}`,
+/// as are the two cluster-level gauges' mutexes below. The fast path
+/// adds a `try_lock` and a few relaxed atomics — cheap enough to keep
+/// on permanently.
 struct State {
     cfg: ServerConfig,
-    engines: TimedMutex<HashMap<Vec<u8>, NodeEngine<Entry>>>,
-    /// Per-key strategy overrides (§2: different strategies for
-    /// different types of keys). Keys absent here use `cfg.spec`.
-    key_specs: TimedMutex<HashMap<Vec<u8>, StrategySpec>>,
+    /// The shared-nothing shards; index = [`shard_index`] of a key.
+    /// Never empty (the shard count is clamped to at least 1).
+    shards: Vec<Shard>,
     peers: Vec<PeerClient>,
     /// Runtime counters/histograms; atomics only, shared by every
     /// connection handler without further locking.
@@ -161,10 +222,6 @@ struct State {
     /// Client-originated work keeps the id the client stamped on its
     /// frame; internal fan-out inherits the triggering request's id.
     next_id: AtomicU64,
-    /// Durable state (WAL + checkpoints); `None` for memory-only
-    /// servers. `Arc` so fsync and checkpoint I/O can run on blocking
-    /// threads (`spawn_blocking`) instead of stalling the async runtime.
-    storage: Option<Arc<Storage>>,
     /// Latest live §4.4 fault tolerance per adversary threshold `t`,
     /// refreshed by anti-entropy rounds (min across deep-checked keys).
     live_ft: TimedMutex<BTreeMap<usize, usize>>,
@@ -211,6 +268,34 @@ impl AllocBaseline {
     }
 }
 
+/// The shard a key routes to: an explicit, seed-free hash (FNV-1a
+/// bit-mixed through splitmix64) reduced mod the shard count. Stable
+/// across restarts, processes, and builds — the per-shard WAL segment a
+/// key's records land in must be the segment recovery replays it from.
+fn shard_index(key: &[u8], shards: usize) -> usize {
+    (splitmix64(storage::fnv1a64(key)) % shards.max(1) as u64) as usize
+}
+
+/// Records a per-key strategy override into an already-locked shard
+/// core, rejecting conflicts with an existing engine. Shared by
+/// [`State::set_spec`] and the rebuild path, which both already hold
+/// the shard lock — making the check-and-insert a single atomic step.
+fn set_spec_in(
+    core: &mut ShardCore,
+    key: &[u8],
+    spec: StrategySpec,
+    default: StrategySpec,
+) -> Result<(), ClusterError> {
+    let current = core.spec_of(key, default);
+    if core.engines.contains_key(key) && current != spec {
+        return Err(ClusterError::Remote(format!(
+            "key already managed under {current}; cannot switch to {spec}"
+        )));
+    }
+    core.key_specs.insert(key.to_vec(), spec);
+    Ok(())
+}
+
 impl State {
     fn me(&self) -> ServerId {
         ServerId::new(self.cfg.me as u32)
@@ -226,24 +311,45 @@ impl State {
         self.cfg.peers.len()
     }
 
+    /// The shard that owns a key.
+    fn shard_of(&self, key: &[u8]) -> &Shard {
+        &self.shards[shard_index(key, self.shards.len())]
+    }
+
     /// The strategy in effect for a key.
     fn spec_of(&self, key: &[u8]) -> StrategySpec {
-        self.key_specs.lock().get(key).copied().unwrap_or(self.cfg.spec)
+        self.shard_of(key).core.lock().spec_of(key, self.cfg.spec)
+    }
+
+    /// Whether an engine exists for the key.
+    fn has_key(&self, key: &[u8]) -> bool {
+        self.shard_of(key).core.lock().engines.contains_key(key)
+    }
+
+    /// Every key with an engine, across all shards (unsorted).
+    fn all_keys(&self) -> Vec<Vec<u8>> {
+        let mut keys = Vec::new();
+        for shard in &self.shards {
+            keys.extend(shard.core.lock().engines.keys().cloned());
+        }
+        keys
+    }
+
+    /// Number of keys with an engine, across all shards.
+    fn key_count(&self) -> usize {
+        self.shards.iter().map(|s| s.core.lock().engines.len()).sum()
     }
 
     /// Records a per-key strategy override, rejecting conflicts with an
-    /// existing engine or a previously recorded override.
+    /// existing engine or a previously recorded override. The conflict
+    /// check and the insert happen under the owning shard's one lock,
+    /// so a racing engine creation either sees the override or fails
+    /// this call — the engine's strategy and the recorded override can
+    /// never disagree.
     fn set_spec(&self, key: &[u8], spec: StrategySpec) -> Result<(), ClusterError> {
         spec.validate(self.n())?;
-        let current = self.spec_of(key);
-        let engine_exists = self.engines.lock().contains_key(key);
-        if engine_exists && current != spec {
-            return Err(ClusterError::Remote(format!(
-                "key already managed under {current}; cannot switch to {spec}"
-            )));
-        }
-        self.key_specs.lock().insert(key.to_vec(), spec);
-        Ok(())
+        let mut core = self.shard_of(key).core.lock();
+        set_spec_in(&mut core, key, spec, self.cfg.spec)
     }
 
     /// Seed for a key's engine: shared across servers so the Hash-y
@@ -256,6 +362,20 @@ impl State {
         self.cfg.seed ^ hasher.finish()
     }
 
+    /// Creates the key's engine in an already-locked shard core if it
+    /// does not exist yet — reading the effective spec under the same
+    /// lock, so a concurrent `set_spec` can never slip between the spec
+    /// read and the engine creation.
+    fn ensure_engine_in(&self, core: &mut ShardCore, key: &[u8]) -> Result<(), ClusterError> {
+        if !core.engines.contains_key(key) {
+            let spec = core.spec_of(key, self.cfg.spec);
+            let engine = NodeEngine::new(self.me(), self.n(), spec, self.key_seed(key))?;
+            core.engines.insert(key.to_vec(), engine);
+            self.metrics.engines_created.inc();
+        }
+        Ok(())
+    }
+
     /// Runs `f` against the key's engine (creating it on demand), without
     /// holding the lock across awaits.
     fn with_engine<R>(
@@ -263,35 +383,33 @@ impl State {
         key: &[u8],
         f: impl FnOnce(&mut NodeEngine<Entry>) -> R,
     ) -> Result<R, ClusterError> {
-        let spec = self.spec_of(key);
-        let mut map = self.engines.lock();
-        if !map.contains_key(key) {
-            let engine = NodeEngine::new(self.me(), self.n(), spec, self.key_seed(key))?;
-            map.insert(key.to_vec(), engine);
-            self.metrics.engines_created.inc();
-        }
-        Ok(f(map.get_mut(key).expect("just inserted")))
+        let mut core = self.shard_of(key).core.lock();
+        self.ensure_engine_in(&mut core, key)?;
+        Ok(f(core.engines.get_mut(key).expect("just ensured")))
     }
 
     /// Read-only access to a key's engine; unknown keys yield `None`
     /// without materializing an engine (lookup probes and snapshots must
     /// not fabricate state).
     fn read_engine<R>(&self, key: &[u8], f: impl FnOnce(&mut NodeEngine<Entry>) -> R) -> Option<R> {
-        self.engines.lock().get_mut(key).map(f)
+        self.shard_of(key).core.lock().engines.get_mut(key).map(f)
     }
 
     /// Applies an inbound message *and its entire local cascade* to the
-    /// key's engine in one engines-lock critical section, appending the
-    /// message to the WAL first (when durability is on). Returns the
-    /// remote deliveries the cascade produced, for the caller to send
-    /// outside the lock.
+    /// key's engine in one shard-lock critical section, appending the
+    /// message to the owning shard's WAL segment first (when durability
+    /// is on). Returns the remote deliveries the cascade produced, for
+    /// the caller to send outside the lock.
     ///
-    /// Holding the lock across the whole local cascade keeps two
-    /// invariants: the log's record order is exactly the engines' apply
-    /// order (so replay reproduces it), and any checkpoint capture —
-    /// which takes the same lock — sees either none or all of a
-    /// record's local effects, never a half-applied cascade that a
-    /// later WAL truncation would silently drop.
+    /// Holding the shard lock across the whole local cascade keeps two
+    /// invariants: the segment's record order is exactly the shard's
+    /// apply order (so replay reproduces it), and any checkpoint
+    /// capture — which takes the same lock — sees either none or all of
+    /// a record's local effects, never a half-applied cascade that a
+    /// later WAL truncation would silently drop. The spec read, the
+    /// engine creation, and the append all sit under that one lock too,
+    /// so the TOCTOU between `spec_of` and engine creation that the
+    /// two-mutex layout allowed is gone.
     fn with_engine_logged(
         &self,
         key: &[u8],
@@ -299,17 +417,13 @@ impl State {
         spec_override: Option<StrategySpec>,
         msg: Message<Entry>,
     ) -> Result<Vec<(ServerId, Message<Entry>)>, ClusterError> {
-        let spec = self.spec_of(key);
-        let mut map = self.engines.lock();
-        if !map.contains_key(key) {
-            let engine = NodeEngine::new(self.me(), self.n(), spec, self.key_seed(key))?;
-            map.insert(key.to_vec(), engine);
-            self.metrics.engines_created.inc();
-        }
-        if let Some(storage) = &self.storage {
+        let shard = self.shard_of(key);
+        let mut core = shard.core.lock();
+        self.ensure_engine_in(&mut core, key)?;
+        if let Some(storage) = &shard.storage {
             storage.append(key, from, spec_override, &msg)?;
         }
-        let engine = map.get_mut(key).expect("just inserted");
+        let engine = core.engines.get_mut(key).expect("just ensured");
         Ok(deliver_local(engine, self.me(), self.n(), from, msg))
     }
 }
@@ -429,26 +543,37 @@ impl Server {
             .map(|&a| PeerClient::with_policies(a, cfg.timeouts, BreakerConfig::default()))
             .collect();
         let next_id = AtomicU64::new(splitmix64(cfg.seed ^ cfg.me as u64));
+        let nshards = cfg.shards.max(1);
         // Open the data dir (if any) before serving: whatever the
-        // checkpoint and WAL hold is replayed into the engines below,
-        // so a restarted server answers from its own disk even when no
-        // live donor exists.
-        let opened = match &cfg.data_dir {
-            Some(dir) => Some(Storage::open(dir)?),
-            None => None,
+        // per-shard checkpoints and WAL segments hold is replayed into
+        // the engines below, so a restarted server answers from its own
+        // disk even when no live donor exists. A legacy single-segment
+        // (v1) dir is detected here and migrated during replay.
+        let (storages, recovered_state) = match &cfg.data_dir {
+            Some(dir) => {
+                let (storages, rec) = storage::open_sharded(dir, nshards)?;
+                (storages.into_iter().map(|s| Some(Arc::new(s))).collect::<Vec<_>>(), Some(rec))
+            }
+            None => ((0..nshards).map(|_| None).collect(), None),
         };
-        let (storage_handle, recovered_state) = match opened {
-            Some((s, r)) => (Some(Arc::new(s)), Some(r)),
-            None => (None, None),
-        };
+        let shards = storages
+            .into_iter()
+            .map(|storage| Shard {
+                // Every shard shares the site name: the exposition
+                // merges them into one stable `engines` family.
+                core: TimedMutex::new(
+                    "engines",
+                    ShardCore { engines: HashMap::new(), key_specs: HashMap::new() },
+                ),
+                storage,
+            })
+            .collect();
         let state = Arc::new(State {
             cfg,
-            engines: TimedMutex::new("engines", HashMap::new()),
-            key_specs: TimedMutex::new("key_specs", HashMap::new()),
+            shards,
             peers,
             metrics: ServerMetrics::new(),
             next_id,
-            storage: storage_handle,
             live_ft: TimedMutex::new("live_ft", BTreeMap::new()),
             live_staleness: TimedMutex::new("live_staleness", BTreeMap::new()),
             alloc_base: AllocBaseline::default(),
@@ -750,9 +875,15 @@ async fn accept_loop(listener: TcpListener, state: Arc<State>) {
 }
 
 /// The server's current `(key, stored entries)` population, copied out
-/// under the engine lock — the denominator of the live quality gauges.
+/// shard by shard under each shard's lock — the denominator of the
+/// live quality gauges.
 fn stored_pairs(state: &State) -> Vec<(Vec<u8>, Vec<Entry>)> {
-    state.engines.lock().iter().map(|(k, e)| (k.clone(), e.entries().to_vec())).collect()
+    let mut pairs = Vec::new();
+    for shard in &state.shards {
+        let core = shard.core.lock();
+        pairs.extend(core.engines.iter().map(|(k, e)| (k.clone(), e.entries().to_vec())));
+    }
+    pairs
 }
 
 /// One full metrics snapshot: the server's own series, the live quality
@@ -763,12 +894,24 @@ fn collect_metrics(state: &State, reset: bool) -> MetricsSnapshot {
     let mut s = state.metrics.collect_live(&stored, reset);
     let others = state.peers.iter().enumerate().filter(|(i, _)| *i != state.cfg.me).map(|(_, p)| p);
     push_peer_robustness(&mut s, others);
-    if let Some(storage) = &state.storage {
+    // Per-shard WAL segments export as the same cluster-of-one family
+    // the single-segment layout did: counters sum across shards (with
+    // `reset`, each shard is drained exactly once, so deltas conserve).
+    let wal_storages: Vec<&Arc<Storage>> =
+        state.shards.iter().filter_map(|sh| sh.storage.as_ref()).collect();
+    if !wal_storages.is_empty() {
         let take = |c: &pls_telemetry::Counter| if reset { c.take() } else { c.get() };
-        s.push_counter("pls_wal_appends_total", take(&storage.metrics.appends));
-        s.push_counter("pls_wal_fsyncs_total", take(&storage.metrics.fsyncs));
-        s.push_counter("pls_wal_replayed_total", take(&storage.metrics.replayed));
-        s.push_counter("pls_wal_checkpoints_total", take(&storage.metrics.checkpoints));
+        let (mut appends, mut fsyncs, mut replayed, mut checkpoints) = (0u64, 0u64, 0u64, 0u64);
+        for st in &wal_storages {
+            appends += take(&st.metrics.appends);
+            fsyncs += take(&st.metrics.fsyncs);
+            replayed += take(&st.metrics.replayed);
+            checkpoints += take(&st.metrics.checkpoints);
+        }
+        s.push_counter("pls_wal_appends_total", appends);
+        s.push_counter("pls_wal_fsyncs_total", fsyncs);
+        s.push_counter("pls_wal_replayed_total", replayed);
+        s.push_counter("pls_wal_checkpoints_total", checkpoints);
         s.set_help("pls_wal_appends_total", "Engine messages appended to the write-ahead log.");
         s.set_help("pls_wal_fsyncs_total", "WAL fsyncs issued (group commit coalesces appends).");
         s.set_help("pls_wal_replayed_total", "WAL records replayed into engines at startup.");
@@ -805,8 +948,11 @@ fn collect_metrics(state: &State, reset: bool) -> MetricsSnapshot {
         );
     }
     drop(staleness);
-    let live_tombstones: u64 =
-        state.engines.lock().values().map(|e| e.tombstone_count() as u64).sum();
+    let live_tombstones: u64 = state
+        .shards
+        .iter()
+        .map(|sh| sh.core.lock().engines.values().map(|e| e.tombstone_count() as u64).sum::<u64>())
+        .sum();
     s.push_gauge("pls_tombstones_live_total", live_tombstones as f64);
     s.set_help(
         "pls_tombstones_live_total",
@@ -814,27 +960,22 @@ fn collect_metrics(state: &State, reset: bool) -> MetricsSnapshot {
          (awaiting TTL garbage collection).",
     );
     // Lock-contention observatory. This block must stay *after* every
-    // engines/live_ft/live_staleness lock above: with `reset`, the
-    // drain then covers this collection's own acquisitions, keeping the
+    // shard/live_ft/live_staleness lock above: with `reset`, the drain
+    // then covers this collection's own acquisitions, keeping the
     // conservation invariant (drained acquisitions == drained wait
-    // observations) exact for delta-scrapers.
+    // observations) exact for delta-scrapers. Same-named sites — the
+    // per-shard core mutexes (`engines`) and WAL locks (`wal`) — merge
+    // into one family each, so exposition names are independent of the
+    // shard count and `pls-bench compare` paths stay stable.
     for (site, stats) in lock_sites(state) {
-        s.push_histogram(
-            format!("pls_lock_wait_us{{site=\"{site}\"}}"),
-            if reset { stats.wait_us.take() } else { stats.wait_us.snapshot() },
-        );
-        s.push_histogram(
-            format!("pls_lock_hold_us{{site=\"{site}\"}}"),
-            if reset { stats.hold_us.take() } else { stats.hold_us.snapshot() },
-        );
+        let merged = merged_site_snapshot(stats, reset);
+        s.push_histogram(format!("pls_lock_wait_us{{site=\"{site}\"}}"), merged.wait_us);
+        s.push_histogram(format!("pls_lock_hold_us{{site=\"{site}\"}}"), merged.hold_us);
         s.push_counter(
             format!("pls_lock_acquisitions_total{{site=\"{site}\"}}"),
-            if reset { stats.acquisitions.take() } else { stats.acquisitions.get() },
+            merged.acquisitions,
         );
-        s.push_counter(
-            format!("pls_lock_contended_total{{site=\"{site}\"}}"),
-            if reset { stats.contended.take() } else { stats.contended.get() },
-        );
+        s.push_counter(format!("pls_lock_contended_total{{site=\"{site}\"}}"), merged.contended);
     }
     s.set_help(
         "pls_lock_wait_us",
@@ -873,30 +1014,48 @@ fn collect_metrics(state: &State, reset: bool) -> MetricsSnapshot {
     s.set_help("pls_alloc_freed_bytes_total", "Bytes freed since the last reset.");
     s.set_help("pls_alloc_current_bytes", "Bytes currently live on the process heap.");
     s.set_help("pls_alloc_peak_bytes", "High-water mark of live heap bytes (process-wide).");
-    if let Some(storage) = &state.storage {
+    if !wal_storages.is_empty() {
+        // Group-commit batch depth: the deepest batch any shard's last
+        // fsync made durable at once.
+        let batch =
+            wal_storages
+                .iter()
+                .map(|st| {
+                    if reset {
+                        st.metrics.fsync_batch.take()
+                    } else {
+                        st.metrics.fsync_batch.get()
+                    }
+                })
+                .fold(0.0f64, f64::max);
         s.push_gauge(
             pls_telemetry::snapshot::labeled("pls_queue_depth", &[("queue", "wal_fsync_batch")]),
-            if reset {
-                storage.metrics.fsync_batch.take()
-            } else {
-                storage.metrics.fsync_batch.get()
-            },
+            batch,
         );
     }
     s
 }
 
-/// Every instrumented lock site this server exports: the four `State`
-/// mutexes, plus the WAL lock when durability is on.
-fn lock_sites(state: &State) -> Vec<(&'static str, &Arc<SiteStats>)> {
+/// Every instrumented lock site this server exports, with the stats
+/// collections backing each: all per-shard core mutexes merge into the
+/// single stable `engines` site, all per-shard WAL locks into `wal`,
+/// and the two cluster-level gauges' mutexes stand alone. (The old
+/// separate `key_specs` site is gone — a key's spec override now lives
+/// inside its shard's core, under the `engines` lock.)
+fn lock_sites(state: &State) -> Vec<(&'static str, Vec<&SiteStats>)> {
     let mut sites = vec![
-        (state.engines.site(), state.engines.stats()),
-        (state.key_specs.site(), state.key_specs.stats()),
-        (state.live_ft.site(), state.live_ft.stats()),
-        (state.live_staleness.site(), state.live_staleness.stats()),
+        ("engines", state.shards.iter().map(|sh| sh.core.stats().as_ref()).collect()),
+        ("live_ft", vec![state.live_ft.stats().as_ref()]),
+        ("live_staleness", vec![state.live_staleness.stats().as_ref()]),
     ];
-    if let Some(storage) = &state.storage {
-        sites.push(("wal", storage.wal_lock_stats()));
+    let wals: Vec<&SiteStats> = state
+        .shards
+        .iter()
+        .filter_map(|sh| sh.storage.as_ref())
+        .map(|st| st.wal_lock_stats().as_ref())
+        .collect();
+    if !wals.is_empty() {
+        sites.push(("wal", wals));
     }
     sites
 }
@@ -915,19 +1074,36 @@ fn contention_json(state: &State) -> String {
             .f64("p99", h.quantile(0.99))
             .build()
     };
+    let site_obj = |snap: &pls_telemetry::SiteSnapshot| {
+        Object::new()
+            .u64("acquisitions", snap.acquisitions)
+            .u64("contended", snap.contended)
+            .field("wait_us", &hist(&snap.wait_us))
+            .field("hold_us", &hist(&snap.hold_us))
+            .build()
+    };
+    // Merged view first: stable site names (`engines`, `wal`, ...) sum
+    // over every shard, so dashboards keyed on the pre-sharding names
+    // keep working.
     let mut sites = Object::new();
     for (site, stats) in lock_sites(state) {
-        let snap = stats.snapshot();
-        sites = sites.field(
-            site,
-            &Object::new()
-                .u64("acquisitions", snap.acquisitions)
-                .u64("contended", snap.contended)
-                .field("wait_us", &hist(&snap.wait_us))
-                .field("hold_us", &hist(&snap.hold_us))
-                .build(),
-        );
+        let merged = merged_site_snapshot(stats, false);
+        sites = sites.field(site, &site_obj(&merged));
     }
+    // Then the per-shard breakdown: where the merged view says the
+    // engines family is hot, this says *which* shard is.
+    let shard_rows = state.shards.iter().enumerate().map(|(i, sh)| {
+        let keys = sh.core.lock().engines.len() as u64;
+        let mut row = Object::new()
+            .u64("shard", i as u64)
+            .u64("keys", keys)
+            .field("engines", &site_obj(&sh.core.stats().snapshot()));
+        if let Some(st) = &sh.storage {
+            row = row.field("wal", &site_obj(&st.wal_lock_stats().snapshot()));
+        }
+        row.build()
+    });
+    let shards = pls_telemetry::json::array(shard_rows);
     let alloc_now = pls_telemetry::alloc::stats();
     let d = alloc_now.delta_since(&state.alloc_base.load());
     let alloc = Object::new()
@@ -942,11 +1118,18 @@ fn contention_json(state: &State) -> String {
         .f64("inflight", state.metrics.inflight.get())
         .f64("antientropy_round_us", state.metrics.antientropy_round_us.get())
         .f64("staleness_round_us", state.metrics.staleness_round_us.get());
-    if let Some(storage) = &state.storage {
-        queues = queues.f64("wal_fsync_batch", storage.metrics.fsync_batch.get());
+    let wal_batch = state
+        .shards
+        .iter()
+        .filter_map(|sh| sh.storage.as_ref())
+        .map(|st| st.metrics.fsync_batch.get())
+        .fold(f64::NAN, f64::max);
+    if wal_batch.is_finite() {
+        queues = queues.f64("wal_fsync_batch", wal_batch);
     }
     Object::new()
         .field("sites", &sites.build())
+        .field("shards", &shards)
         .field("alloc", &alloc)
         .field("queues", &queues.build())
         .build()
@@ -1067,7 +1250,7 @@ fn merge_donor_rows(spec: StrategySpec, donors: &[DonorRow]) -> MergedDonors {
 /// Rebuilds one key's engine from collected placement state, through
 /// the engine's own message protocol (`Reset` then the strategy's feed)
 /// — the single code path shared by disk recovery, cold-start resync,
-/// and anti-entropy repair. Locks the engines map for the whole
+/// and anti-entropy repair. Locks the key's shard core for the whole
 /// rebuild, so concurrent writes serialize against it instead of
 /// interleaving with a half-fed engine.
 ///
@@ -1089,17 +1272,19 @@ fn rebuild_engine(
     version: u64,
     tombstones: Vec<(Entry, Tombstone)>,
 ) -> Result<(), ClusterError> {
-    let mut map = state.engines.lock();
-    rebuild_engine_in(state, &mut map, key, spec, entries, positions, counters, version, tombstones)
+    let mut core = state.shard_of(key).core.lock();
+    rebuild_engine_in(
+        state, &mut core, key, spec, entries, positions, counters, version, tombstones,
+    )
 }
 
-/// [`rebuild_engine`] against an already-locked engines map, for
+/// [`rebuild_engine`] against the key's already-locked shard core, for
 /// callers that must validate-and-rebuild atomically (anti-entropy's
 /// racing-write guard).
 #[allow(clippy::too_many_arguments)]
 fn rebuild_engine_in(
     state: &State,
-    map: &mut HashMap<Vec<u8>, NodeEngine<Entry>>,
+    core: &mut ShardCore,
     key: &[u8],
     spec: StrategySpec,
     entries: Vec<Entry>,
@@ -1109,25 +1294,19 @@ fn rebuild_engine_in(
     tombstones: Vec<(Entry, Tombstone)>,
 ) -> Result<(), ClusterError> {
     let me = state.me();
-    // Adopt a per-key strategy override before the engine exists.
-    // (Inlined `State::set_spec` — it takes the engines lock, which this
-    // caller already holds.)
+    // Adopt a per-key strategy override before the engine exists. The
+    // shard core owns both the override map and the engine, so the
+    // conflict check and the insert happen under one lock.
     if spec != state.cfg.spec {
         spec.validate(state.n())?;
-        let current = state.spec_of(key);
-        if map.contains_key(key) && current != spec {
-            return Err(ClusterError::Remote(format!(
-                "key already managed under {current}; cannot switch to {spec}"
-            )));
-        }
-        state.key_specs.lock().insert(key.to_vec(), spec);
+        set_spec_in(core, key, spec, state.cfg.spec)?;
     }
-    if !map.contains_key(key) {
+    if !core.engines.contains_key(key) {
         let engine = NodeEngine::new(me, state.n(), spec, state.key_seed(key))?;
-        map.insert(key.to_vec(), engine);
+        core.engines.insert(key.to_vec(), engine);
         state.metrics.engines_created.inc();
     }
-    let engine = map.get_mut(key).expect("just inserted");
+    let engine = core.engines.get_mut(key).expect("just inserted");
     // Local feed only: rebuilds repair this server's share, they never
     // fan out, so cascade outbounds are intentionally dropped.
     engine.handle(Endpoint::Server(me), Message::Reset);
@@ -1170,49 +1349,89 @@ fn rebuild_engine_in(
     Ok(())
 }
 
-/// Replays what [`Storage::open`] recovered — checkpoint snapshots
-/// first, then post-checkpoint WAL records — into the engines, then
-/// re-checkpoints so the next crash replays from here. Per-item
-/// failures are logged and skipped: damaged durable state degrades
-/// recovery, it never refuses startup. Returns the number of keys
-/// standing afterwards.
-fn replay_recovered(state: &State, rec: Recovered) -> usize {
-    if rec.is_empty() {
-        return 0;
-    }
+/// Replays what [`storage::open_sharded`] recovered — checkpoint
+/// snapshots first, then post-checkpoint WAL records, segment by
+/// segment, with the legacy single-segment v1 state (when a migration
+/// is pending) replayed last so it stays authoritative over any
+/// scratch shard content. Each key routes to its owning shard via
+/// [`shard_index`]; afterwards every shard re-checkpoints so the next
+/// crash replays from here, and a pending migration is completed
+/// (shard meta written, legacy files deleted). Per-item failures are
+/// logged and skipped: damaged durable state degrades recovery, it
+/// never refuses startup. Returns the number of keys standing
+/// afterwards.
+fn replay_recovered(state: &State, rec: storage::ShardedRecovered) -> usize {
     let me_idx = state.cfg.me;
-    let Recovered { snapshots, records, torn, .. } = rec;
-    for snap in snapshots {
-        let KeySnapshot { key, spec, entries, positions, counters, version, tombstones } = snap;
-        let positions: BTreeMap<u64, Entry> = positions.into_iter().collect();
-        if let Err(err) =
-            rebuild_engine(state, &key, spec, entries, positions, counters, version, tombstones)
-        {
-            pls_telemetry::warn!("recovery_snapshot_skipped", server = me_idx, err = err);
+    let migrating = rec.legacy.is_some();
+    let mut torn_any = false;
+    let mut replayed_any = false;
+    for seg in rec.shards.into_iter().chain(rec.legacy) {
+        if seg.is_empty() {
+            continue;
         }
-    }
-    let storage = state.storage.as_ref().expect("recovered state implies storage");
-    for record in records {
-        match replay_record(state, record) {
-            Ok(()) => storage.metrics.replayed.inc(),
-            Err(err) => {
-                pls_telemetry::warn!("recovery_record_skipped", server = me_idx, err = err);
+        replayed_any = true;
+        let Recovered { snapshots, records, torn, .. } = seg;
+        torn_any |= torn;
+        for snap in snapshots {
+            let KeySnapshot { key, spec, entries, positions, counters, version, tombstones } = snap;
+            let positions: BTreeMap<u64, Entry> = positions.into_iter().collect();
+            if let Err(err) =
+                rebuild_engine(state, &key, spec, entries, positions, counters, version, tombstones)
+            {
+                pls_telemetry::warn!("recovery_snapshot_skipped", server = me_idx, err = err);
+            }
+        }
+        for record in records {
+            let owner = state.shard_of(&record.key).storage.clone();
+            match replay_record(state, record) {
+                Ok(()) => {
+                    if let Some(storage) = owner {
+                        storage.metrics.replayed.inc();
+                    }
+                }
+                Err(err) => {
+                    pls_telemetry::warn!("recovery_record_skipped", server = me_idx, err = err);
+                }
             }
         }
     }
+    if !replayed_any && !migrating {
+        return 0;
+    }
     // The rebuilt state is not in the WAL (rebuilds bypass logging), so
-    // checkpoint it immediately: a second crash replays from this exact
-    // point, which also makes double recovery equal single recovery.
+    // checkpoint every shard immediately: a second crash replays from
+    // this exact point, which also makes double recovery equal single
+    // recovery. With a migration pending this is also what moves the
+    // legacy state into the shard segments.
     if let Err(err) = checkpoint_now(state) {
         pls_telemetry::warn!("recovery_checkpoint_failed", server = me_idx, err = err);
+        // Keep the legacy files: next startup redoes the migration.
+    } else if migrating {
+        let dir = state.cfg.data_dir.as_ref().expect("migration implies data_dir");
+        match storage::complete_migration(dir, state.shards.len()) {
+            Ok(()) => pls_telemetry::info!(
+                "migrated_v1_data_dir",
+                server = me_idx,
+                shards = state.shards.len()
+            ),
+            Err(err) => {
+                pls_telemetry::warn!("migration_completion_failed", server = me_idx, err = err);
+            }
+        }
     }
-    let keys = state.engines.lock().len();
+    let keys = state.key_count();
+    let replayed: u64 = state
+        .shards
+        .iter()
+        .filter_map(|sh| sh.storage.as_ref())
+        .map(|st| st.metrics.replayed.get())
+        .sum();
     pls_telemetry::info!(
         "recovered_from_disk",
         server = me_idx,
         keys = keys,
-        replayed = storage.metrics.replayed.get(),
-        torn_tail = torn
+        replayed = replayed,
+        torn_tail = torn_any
     );
     keys
 }
@@ -1234,18 +1453,20 @@ fn replay_record(state: &State, record: WalRecord) -> Result<(), ClusterError> {
     })
 }
 
-/// Captures a checkpoint-consistent view under the engines lock: every
-/// engine's snapshot plus the highest WAL sequence appended so far.
-/// Appends (with their full local cascade) hold the same lock, so the
+/// Captures a checkpoint-consistent view of one shard under its core
+/// lock: every resident engine's snapshot plus the highest WAL
+/// sequence appended to that shard's segment so far. Appends (with
+/// their full local cascade) hold the same shard lock, so the
 /// snapshots contain the effect of exactly the records up to the
 /// returned sequence — the contract [`Storage::checkpoint`] requires.
-fn capture_checkpoint(state: &State, storage: &Storage) -> (Vec<KeySnapshot>, u64) {
-    let map = state.engines.lock();
-    let snaps: Vec<KeySnapshot> = map
+fn capture_checkpoint(state: &State, shard: &Shard, storage: &Storage) -> (Vec<KeySnapshot>, u64) {
+    let core = shard.core.lock();
+    let snaps: Vec<KeySnapshot> = core
+        .engines
         .iter()
         .map(|(k, e)| KeySnapshot {
             key: k.clone(),
-            spec: state.spec_of(k),
+            spec: core.spec_of(k, state.cfg.spec),
             entries: e.entries().to_vec(),
             positions: e.rr_positions().map(|(p, v)| (p, v.clone())).collect(),
             counters: e.rr_counters(),
@@ -1257,26 +1478,56 @@ fn capture_checkpoint(state: &State, storage: &Storage) -> (Vec<KeySnapshot>, u6
     (snaps, last_seq)
 }
 
-/// Synchronous checkpoint: capture under the engines lock, then write
-/// with the lock released (request processing continues while the
-/// checkpoint file is written and fsynced). A no-op for memory-only
-/// servers. Use [`checkpoint_async`] from async contexts.
+/// Synchronous checkpoint of every shard: each shard's view is
+/// captured under its core lock, then written with the lock released
+/// (request processing continues while the checkpoint file is written
+/// and fsynced; other shards are never blocked at all). A no-op for
+/// memory-only servers. Use [`checkpoint_async`] from async contexts.
 fn checkpoint_now(state: &State) -> Result<(), ClusterError> {
-    let Some(storage) = &state.storage else {
-        return Ok(());
-    };
-    let (snaps, last_seq) = capture_checkpoint(state, storage);
-    storage.checkpoint(last_seq, &snaps)
+    for shard in &state.shards {
+        let Some(storage) = &shard.storage else {
+            continue;
+        };
+        let (snaps, last_seq) = capture_checkpoint(state, shard, storage);
+        storage.checkpoint(last_seq, &snaps)?;
+    }
+    Ok(())
 }
 
-/// Like [`checkpoint_now`], but the blocking file write + fsync runs on
-/// a blocking thread so the async executor is never stalled by
+/// Like [`checkpoint_now`], but the blocking file writes + fsyncs run
+/// on a blocking thread so the async executor is never stalled by
 /// checkpoint I/O.
 async fn checkpoint_async(state: &Arc<State>) -> Result<(), ClusterError> {
-    let Some(storage) = &state.storage else {
+    let mut jobs = Vec::new();
+    for shard in &state.shards {
+        if let Some(storage) = &shard.storage {
+            let (snaps, last_seq) = capture_checkpoint(state, shard, storage);
+            jobs.push((Arc::clone(storage), snaps, last_seq));
+        }
+    }
+    if jobs.is_empty() {
+        return Ok(());
+    }
+    tokio::task::spawn_blocking(move || {
+        for (storage, snaps, last_seq) in jobs {
+            storage.checkpoint(last_seq, &snaps)?;
+        }
+        Ok(())
+    })
+    .await
+    .map_err(|e| ClusterError::Remote(format!("checkpoint task died: {e}")))?
+}
+
+/// Checkpoints a single shard's segment off the async executor — the
+/// hot-path variant [`apply`] uses when one shard's append counter
+/// trips `checkpoint_every`. Only that shard's core lock is taken;
+/// the other shards keep serving untouched.
+async fn checkpoint_shard_async(state: &Arc<State>, shard: usize) -> Result<(), ClusterError> {
+    let sh = &state.shards[shard];
+    let Some(storage) = &sh.storage else {
         return Ok(());
     };
-    let (snaps, last_seq) = capture_checkpoint(state, storage);
+    let (snaps, last_seq) = capture_checkpoint(state, sh, storage);
     let storage = Arc::clone(storage);
     tokio::task::spawn_blocking(move || storage.checkpoint(last_seq, &snaps))
         .await
@@ -1375,7 +1626,7 @@ async fn staleness_round(state: &Arc<State>, round: u64) {
 
     // Sample: hottest probed keys first, uniform rotating top-up after.
     let all_keys: Vec<Vec<u8>> = {
-        let mut ks: Vec<Vec<u8>> = state.engines.lock().keys().cloned().collect();
+        let mut ks = state.all_keys();
         ks.sort();
         ks
     };
@@ -1386,7 +1637,7 @@ async fn staleness_round(state: &Arc<State>, round: u64) {
     let mut picked: HashSet<Vec<u8>> = HashSet::new();
     let hot = state.metrics.hot_keys.snapshot();
     for e in hot.top(STALENESS_HOT_KEYS) {
-        if state.engines.lock().contains_key(&e.key) && picked.insert(e.key.clone()) {
+        if state.has_key(&e.key) && picked.insert(e.key.clone()) {
             sample.push(e.key.clone());
         }
     }
@@ -1489,7 +1740,7 @@ async fn anti_entropy_round(state: &Arc<State>, round: u64) -> Result<(), Cluste
     // Key universe: a wiped server learns what it should hold from its
     // peers (order-preserving, set-backed dedup, then sorted so the
     // rotating deep window is stable across rounds).
-    let mut keys: Vec<Vec<u8>> = state.engines.lock().keys().cloned().collect();
+    let mut keys: Vec<Vec<u8>> = state.all_keys();
     let mut seen: HashSet<Vec<u8>> = keys.iter().cloned().collect();
     for (i, peer) in state.peers.iter().enumerate() {
         if i == me_idx {
@@ -1539,10 +1790,13 @@ async fn anti_entropy_round(state: &Arc<State>, round: u64) -> Result<(), Cluste
     // piggybacked on the repair round so GC cadence tracks repair
     // cadence — a tombstone always survives several repair intervals.
     let cutoff = now_ms().saturating_sub(state.cfg.tombstone_ttl.as_millis() as u64);
-    let dropped: usize = {
-        let mut map = state.engines.lock();
-        map.values_mut().map(|e| e.gc_tombstones(cutoff)).sum()
-    };
+    let dropped: usize = state
+        .shards
+        .iter()
+        .map(|sh| {
+            sh.core.lock().engines.values_mut().map(|e| e.gc_tombstones(cutoff)).sum::<usize>()
+        })
+        .sum();
     if dropped > 0 {
         state.metrics.tombstones_gc.add(dropped as u64);
     }
@@ -1571,7 +1825,7 @@ async fn anti_entropy_round(state: &Arc<State>, round: u64) -> Result<(), Cluste
 /// live fault-tolerance rows) for the rotating window or when the
 /// digests already look wrong, and a [`rebuild_engine_in`] repair when
 /// this server's share is provably divergent. The repair re-validates
-/// the key's digest under the engines lock first and aborts if a write
+/// the key's digest under its shard lock first and aborts if a write
 /// landed since the deep capture — donor snapshots pulled across
 /// awaits are stale relative to such a write, and rebuilding from them
 /// would wipe acked state. Returns whether a repair was applied.
@@ -1680,10 +1934,10 @@ async fn reconcile_key(
     // §4.4 gauge, ground truth for the Hash/Round-Robin checks, and
     // the donor data a repair rebuilds from. This server's own
     // contribution is captured in ONE lock acquisition together with
-    // its digest (`guard`); the digest is re-checked under the engines
-    // lock immediately before any repair, so a write acked after this
-    // capture aborts the repair instead of being wiped by a rebuild
-    // from stale data.
+    // its digest (`guard`); the digest is re-checked under the key's
+    // shard lock immediately before any repair, so a write acked after
+    // this capture aborts the repair instead of being wiped by a
+    // rebuild from stale data.
     let local_deep = state.read_engine(key, |e| {
         (
             e.entries().to_vec(),
@@ -1804,14 +2058,14 @@ async fn reconcile_key(
         _ => merged.union.clone(),
     };
     // Validate-and-rebuild atomically: every write path (WAL append +
-    // local cascade) holds the engines lock, so if the key's digest
+    // local cascade) holds the key's shard lock, so if the key's digest
     // still matches the deep capture, no write landed since — and none
     // can land until the rebuild below releases the lock. A changed
     // digest means a write was acked (and fsynced) after our samples;
     // rebuilding from those now-stale donor snapshots would wipe it, so
     // the repair is skipped and the next round re-checks from scratch.
-    let mut map = state.engines.lock();
-    if map.get(key).map(engine_digest) != guard {
+    let mut core = state.shard_of(key).core.lock();
+    if core.engines.get(key).map(engine_digest) != guard {
         pls_telemetry::debug!(
             "antientropy_repair_skipped_stale",
             req = round_id,
@@ -1822,7 +2076,7 @@ async fn reconcile_key(
     }
     match rebuild_engine_in(
         state,
-        &mut map,
+        &mut core,
         key,
         spec,
         entries_for_rebuild,
@@ -2041,18 +2295,16 @@ async fn handle_request(
             Ok(Response::Ok)
         }
         Request::Status => {
-            let (keys, entries) = {
-                let map = state.engines.lock();
-                let keys = map.len() as u64;
-                let entries = map.values().map(|e| e.entries().len() as u64).sum();
-                (keys, entries)
-            };
+            let mut keys = 0u64;
+            let mut entries = 0u64;
+            for shard in &state.shards {
+                let core = shard.core.lock();
+                keys += core.engines.len() as u64;
+                entries += core.engines.values().map(|e| e.entries().len() as u64).sum::<u64>();
+            }
             Ok(Response::Status { keys, entries })
         }
-        Request::Keys => {
-            let keys = state.engines.lock().keys().cloned().collect();
-            Ok(Response::Keys(keys))
-        }
+        Request::Keys => Ok(Response::Keys(state.all_keys())),
         Request::Snapshot { key } => {
             let snapshot = state.read_engine(&key, |e| {
                 (
@@ -2108,8 +2360,11 @@ async fn handle_request(
             })
         }
         Request::SpecOf { key } => {
-            let known = state.engines.lock().contains_key(&key);
-            Ok(Response::SpecOf(known.then(|| state.spec_of(&key))))
+            // One shard-lock acquisition answers both questions, so the
+            // reported spec is the one the engine actually runs under.
+            let core = state.shard_of(&key).core.lock();
+            let known = core.engines.contains_key(key.as_slice());
+            Ok(Response::SpecOf(known.then(|| core.spec_of(&key, state.cfg.spec))))
         }
         Request::Metrics { reset } => Ok(Response::Metrics(collect_metrics(state, reset))),
         Request::Trace { req } => {
@@ -2157,10 +2412,11 @@ async fn apply(
     let effective = state.spec_of(key);
     let spec_override = (effective != state.cfg.spec).then_some(effective);
     // The WAL append, the inbound message, and its whole local cascade
-    // land in one engines-lock critical section (cascade self-deliveries
+    // land in one shard-lock critical section (cascade self-deliveries
     // stay unlogged: replay re-derives them from the one record). Only
     // the remote deliveries are carried out here, outside the lock.
     let remote = state.with_engine_logged(key, from, spec_override, msg)?;
+    let sidx = shard_index(key, state.shards.len());
     for (dest, m) in remote {
         let req = Request::Internal {
             from: me.index() as u32,
@@ -2203,18 +2459,20 @@ async fn apply(
             }
         }
     }
-    if let Some(storage) = &state.storage {
-        // Group-commit fsync before the ack: if the caller hears Ok, the
-        // record survives a crash. Concurrent appends coalesce into one
-        // fsync. A sync failure fails the request — never ack state the
-        // disk may not hold. The fsync is a blocking syscall, so it runs
-        // on a blocking thread instead of stalling the executor.
+    if let Some(storage) = &state.shards[sidx].storage {
+        // Group-commit fsync of the owning shard's segment before the
+        // ack: if the caller hears Ok, the record survives a crash.
+        // Concurrent appends to the same shard coalesce into one fsync;
+        // appends to other shards fsync independently in parallel. A
+        // sync failure fails the request — never ack state the disk may
+        // not hold. The fsync is a blocking syscall, so it runs on a
+        // blocking thread instead of stalling the executor.
         let wal = Arc::clone(storage);
         tokio::task::spawn_blocking(move || wal.sync())
             .await
             .map_err(|e| ClusterError::Remote(format!("wal sync task died: {e}")))??;
         if storage.should_checkpoint(state.cfg.checkpoint_every) {
-            if let Err(err) = checkpoint_async(state).await {
+            if let Err(err) = checkpoint_shard_async(state, sidx).await {
                 pls_telemetry::warn!("checkpoint_failed", server = state.cfg.me, err = err);
             }
         }
@@ -2245,5 +2503,146 @@ mod tests {
             );
             assert!(matches!(Server::bind(cfg).await, Err(ClusterError::Config(_))));
         });
+    }
+
+    /// A bare `State` (no listener, no storage): enough to drive the
+    /// spec/engine paths from plain threads without a runtime.
+    fn bare_state(n: usize, spec: StrategySpec, shards: usize) -> Arc<State> {
+        let peers: Vec<SocketAddr> =
+            (0..n).map(|i| format!("127.0.0.1:{}", 9200 + i).parse().unwrap()).collect();
+        let mut cfg = ServerConfig::new(0, peers.clone(), spec, 42);
+        cfg.shards = shards;
+        let clients = peers
+            .iter()
+            .map(|&a| PeerClient::with_policies(a, cfg.timeouts, BreakerConfig::default()))
+            .collect();
+        let shards = (0..shards.max(1))
+            .map(|_| Shard {
+                core: TimedMutex::new(
+                    "engines",
+                    ShardCore { engines: HashMap::new(), key_specs: HashMap::new() },
+                ),
+                storage: None,
+            })
+            .collect();
+        Arc::new(State {
+            cfg,
+            shards,
+            peers: clients,
+            metrics: ServerMetrics::new(),
+            next_id: AtomicU64::new(1),
+            live_ft: TimedMutex::new("live_ft", BTreeMap::new()),
+            live_staleness: TimedMutex::new("live_staleness", BTreeMap::new()),
+            alloc_base: AllocBaseline::default(),
+        })
+    }
+
+    /// Regression for the `set_spec` vs engine-creation race: with the
+    /// override map and the engines map behind separate locks, a
+    /// concurrent `with_engine` could materialize the engine under the
+    /// default spec *between* `set_spec`'s conflict check and its
+    /// insert — override recorded, engine disagreeing, forever. With
+    /// both maps owned by one shard core, every interleaving ends in
+    /// agreement: either the override lands first (the engine adopts
+    /// it) or the engine wins (the conflicting override is rejected).
+    #[test]
+    fn concurrent_set_spec_and_engine_creation_agree() {
+        let state = bare_state(3, StrategySpec::FullReplication, 4);
+        let override_spec = StrategySpec::fixed(2);
+        for round in 0..2000u32 {
+            let key = format!("race/{round}").into_bytes();
+            let barrier = std::sync::Barrier::new(2);
+            std::thread::scope(|s| {
+                s.spawn(|| {
+                    barrier.wait();
+                    let _ = state.set_spec(&key, override_spec);
+                });
+                s.spawn(|| {
+                    barrier.wait();
+                    state.with_engine(&key, |_| ()).unwrap();
+                });
+            });
+            let core = state.shard_of(&key).core.lock();
+            let engine_spec = core.engines.get(&key).map(|e| e.spec());
+            let recorded = core.spec_of(&key, state.cfg.spec);
+            assert_eq!(
+                engine_spec.expect("with_engine always materializes the engine"),
+                recorded,
+                "round {round}: engine strategy diverged from the recorded override"
+            );
+        }
+    }
+
+    /// Hammers one key with concurrent spec overrides, logged updates,
+    /// and lookup samples while a fourth thread continuously checks —
+    /// under a single shard-lock acquisition — that the engine's
+    /// strategy and the recorded override never disagree (the TOCTOU
+    /// in `with_engine`/`with_engine_logged`: the spec used to be read
+    /// under one lock and the engine created under another, so a
+    /// `set_spec` landing in the gap produced an engine on a stale
+    /// spec that still returned Ok).
+    #[test]
+    fn spec_engine_agreement_under_concurrent_hammer() {
+        let state = bare_state(3, StrategySpec::FullReplication, 2);
+        let key: Vec<u8> = b"hammer/key".to_vec();
+        let stop = std::sync::atomic::AtomicBool::new(false);
+        std::thread::scope(|s| {
+            s.spawn(|| {
+                for _ in 0..4000 {
+                    let _ = state.set_spec(&key, StrategySpec::fixed(2));
+                }
+                stop.store(true, Ordering::Relaxed);
+            });
+            s.spawn(|| {
+                let mut i = 0u64;
+                while !stop.load(Ordering::Relaxed) {
+                    let v = i.to_le_bytes().to_vec();
+                    state
+                        .with_engine_logged(
+                            &key,
+                            Endpoint::client(0),
+                            None,
+                            versioned_client(Message::AddReq { v }),
+                        )
+                        .unwrap();
+                    i += 1;
+                }
+            });
+            s.spawn(|| {
+                while !stop.load(Ordering::Relaxed) {
+                    let _ = state.read_engine(&key, |e| e.sample(2));
+                }
+            });
+            s.spawn(|| {
+                while !stop.load(Ordering::Relaxed) {
+                    let core = state.shard_of(&key).core.lock();
+                    if let Some(engine) = core.engines.get(&key) {
+                        assert_eq!(engine.spec(), core.spec_of(&key, state.cfg.spec));
+                    }
+                }
+            });
+        });
+        let core = state.shard_of(&key).core.lock();
+        let engine = core.engines.get(&key).expect("updates created the engine");
+        assert_eq!(engine.spec(), core.spec_of(&key, state.cfg.spec));
+    }
+
+    /// The key→shard map is pure arithmetic on a seed-free hash:
+    /// stable across processes, restarts, and builds. Pin a few
+    /// assignments so an accidental change to the routing function
+    /// (which would orphan every persisted shard segment) fails loudly.
+    #[test]
+    fn shard_routing_is_deterministic_and_covers_all_shards() {
+        for shards in [1usize, 2, 4, 7] {
+            let mut hit = vec![false; shards];
+            for i in 0..256u32 {
+                let key = format!("cover/{i}").into_bytes();
+                let s = shard_index(&key, shards);
+                assert!(s < shards);
+                assert_eq!(s, shard_index(&key, shards), "routing must be a pure function");
+                hit[s] = true;
+            }
+            assert!(hit.iter().all(|&h| h), "256 keys must touch every one of {shards} shards");
+        }
     }
 }

@@ -34,6 +34,14 @@
 //! group commit — one `fdatasync` covers every record appended since
 //! the last sync, so concurrent writers coalesce (compare
 //! `pls_wal_appends_total` with `pls_wal_fsyncs_total`).
+//!
+//! A *sharded* server (the default — see `--shards`) nests one such
+//! layout per shard under `shard-<i>/` subdirectories, opened together
+//! by [`open_sharded`]: each shard owns its WAL segment and checkpoint,
+//! so group commits and checkpoint writes parallelize across shards. A
+//! `shards.meta` marker pins the segment count; legacy single-segment
+//! (v1) files at the data-dir root trigger a one-time migration (see
+//! [`ShardedRecovered::legacy`] and [`complete_migration`]).
 
 use std::fs::{self, File, OpenOptions};
 use std::io::{Read as _, Seek, SeekFrom, Write as _};
@@ -56,6 +64,14 @@ pub const WAL_FILE: &str = "wal.log";
 pub const CHECKPOINT_FILE: &str = "checkpoint.bin";
 /// Scratch name the checkpoint is written to before the atomic rename.
 const CHECKPOINT_TMP: &str = "checkpoint.tmp";
+/// Shard-count marker inside a sharded data dir (`shards <N>`),
+/// written once the sharded layout is committed. Restarting with a
+/// different `--shards` is refused: keys were routed to segments by
+/// `hash % N`, so replaying them under a different `N` would scatter
+/// them to the wrong shards.
+pub const SHARD_META_FILE: &str = "shards.meta";
+/// Scratch name the shard meta is written to before the atomic rename.
+const SHARD_META_TMP: &str = "shards.meta.tmp";
 
 /// Cap on one WAL record's payload; larger lengths mark a torn/corrupt
 /// tail (mirrors the wire frame cap — no legitimate message is bigger).
@@ -190,6 +206,138 @@ impl Recovered {
     pub fn is_empty(&self) -> bool {
         self.snapshots.is_empty() && self.records.is_empty()
     }
+}
+
+/// The subdirectory holding shard `i`'s WAL segment and checkpoint
+/// inside a sharded data dir.
+pub fn shard_dir(root: &Path, shard: usize) -> PathBuf {
+    root.join(format!("shard-{shard}"))
+}
+
+/// What [`open_sharded`] found across every segment of a data dir.
+#[derive(Debug)]
+pub struct ShardedRecovered {
+    /// Per-shard recovered state, indexed by shard.
+    pub shards: Vec<Recovered>,
+    /// Legacy single-segment (v1) state found at the data-dir root.
+    /// `Some` means a one-time migration is pending: the caller must
+    /// replay this state (routing each key to its shard), checkpoint
+    /// every shard, then call [`complete_migration`]. Until that
+    /// deletion the legacy files stay authoritative — a crash anywhere
+    /// mid-migration simply redoes it from the same source, because the
+    /// source files and the shard subdirectories never overlap.
+    pub legacy: Option<Recovered>,
+}
+
+fn read_shard_meta(root: &Path) -> Option<usize> {
+    let raw = fs::read_to_string(root.join(SHARD_META_FILE)).ok()?;
+    raw.trim().strip_prefix("shards ")?.trim().parse().ok()
+}
+
+fn write_shard_meta(root: &Path, shards: usize) -> Result<(), ClusterError> {
+    let tmp = root.join(SHARD_META_TMP);
+    {
+        let mut f = File::create(&tmp)?;
+        f.write_all(format!("shards {shards}\n").as_bytes())?;
+        f.sync_data()?;
+    }
+    fs::rename(&tmp, root.join(SHARD_META_FILE))?;
+    if let Ok(d) = File::open(root) {
+        let _ = d.sync_all();
+    }
+    Ok(())
+}
+
+/// Opens a sharded data directory: one [`Storage`] per `shard-<i>/`
+/// subdirectory, plus whatever each recovered.
+///
+/// Two special cases on top of the plain per-shard open:
+///
+/// * **v1 migration.** Legacy single-segment files (`wal.log` /
+///   `checkpoint.bin` at the root) are detected by *presence*, not by
+///   the meta file, and returned as [`ShardedRecovered::legacy`]. While
+///   they exist they are authoritative: the shard subdirectories are
+///   scratch from a previous, possibly crashed migration attempt, so
+///   their recovered state is discarded (their files are still opened —
+///   the post-replay checkpoint overwrites them).
+/// * **Shard-count pinning.** The first clean sharded open stamps
+///   [`SHARD_META_FILE`]; later opens with a different count are
+///   refused with [`ClusterError::Config`] — keys were routed to
+///   segments by `hash % N`, and resharding an existing dir is not
+///   supported (restart with the recorded count).
+///
+/// # Errors
+///
+/// I/O errors opening any segment; [`ClusterError::Config`] on a
+/// shard-count mismatch.
+pub fn open_sharded(
+    root: impl Into<PathBuf>,
+    shards: usize,
+) -> Result<(Vec<Storage>, ShardedRecovered), ClusterError> {
+    let root = root.into();
+    fs::create_dir_all(&root)?;
+    let legacy_present = root.join(WAL_FILE).exists() || root.join(CHECKPOINT_FILE).exists();
+    let legacy = if legacy_present {
+        // Opening the root as a v1 Storage recovers (and tail-repairs)
+        // the legacy state; the handle itself is dropped — the caller
+        // replays into the shards, never appends to the legacy log.
+        let (_legacy_storage, rec) = Storage::open(&root)?;
+        Some(rec)
+    } else {
+        match read_shard_meta(&root) {
+            Some(found) if found != shards => {
+                pls_telemetry::warn!(
+                    "shard_count_mismatch",
+                    dir = root.display(),
+                    on_disk = found,
+                    requested = shards
+                );
+                return Err(ClusterError::Config(pls_core::ConfigError::InvalidParameter(
+                    "data dir was laid out with a different --shards; restart with the \
+                     recorded shard count (resharding an existing data dir is not supported)",
+                )));
+            }
+            Some(_) => {}
+            None => write_shard_meta(&root, shards)?,
+        }
+        None
+    };
+    let mut storages = Vec::with_capacity(shards);
+    let mut recs = Vec::with_capacity(shards);
+    for i in 0..shards {
+        let (storage, rec) = Storage::open(shard_dir(&root, i))?;
+        recs.push(if legacy.is_some() {
+            Recovered { snapshots: Vec::new(), records: Vec::new(), checkpoint_seq: 0, torn: false }
+        } else {
+            rec
+        });
+        storages.push(storage);
+    }
+    Ok((storages, ShardedRecovered { shards: recs, legacy }))
+}
+
+/// Commits a v1 → sharded migration: stamps the shard-count meta, then
+/// deletes the legacy root WAL/checkpoint. Call only after every shard
+/// has checkpointed the replayed legacy state — the deletion is what
+/// flips authority from the legacy files to the shard segments, so a
+/// crash before it redoes the (idempotent) migration and a crash after
+/// it recovers from the shards.
+///
+/// # Errors
+///
+/// I/O errors writing the meta or deleting the legacy files.
+pub fn complete_migration(root: &Path, shards: usize) -> Result<(), ClusterError> {
+    write_shard_meta(root, shards)?;
+    for name in [WAL_FILE, CHECKPOINT_FILE, CHECKPOINT_TMP] {
+        let path = root.join(name);
+        if path.exists() {
+            fs::remove_file(&path)?;
+        }
+    }
+    if let Ok(d) = File::open(root) {
+        let _ = d.sync_all();
+    }
+    Ok(())
 }
 
 /// Durability counters, exported as `pls_wal_*_total`.
@@ -1001,6 +1149,94 @@ mod tests {
         assert_eq!(merge_rr_counters(None, Some((1, 3))), Some((1, 3)));
         assert_eq!(merge_rr_counters(Some((1, 3)), None), Some((1, 3)));
         assert_eq!(merge_rr_counters(None, None), None);
+    }
+
+    #[test]
+    fn sharded_open_writes_and_enforces_the_shard_meta() {
+        let root = tmpdir("shardmeta");
+        let (storages, rec) = open_sharded(&root, 2).unwrap();
+        assert_eq!(storages.len(), 2);
+        assert!(rec.legacy.is_none());
+        assert!(root.join(SHARD_META_FILE).exists());
+        assert_eq!(read_shard_meta(&root), Some(2));
+        drop(storages);
+        // The same count reopens fine.
+        let (_same, rec) = open_sharded(&root, 2).unwrap();
+        assert!(rec.legacy.is_none());
+        // A different count is refused cleanly: keys were routed to
+        // segments by hash % 2, so replaying them under % 3 would
+        // scatter them to the wrong shards.
+        assert!(matches!(open_sharded(&root, 3), Err(ClusterError::Config(_))));
+    }
+
+    #[test]
+    fn sharded_records_recover_per_segment() {
+        let root = tmpdir("shardseg");
+        {
+            let (storages, _) = open_sharded(&root, 2).unwrap();
+            storages[0].append(b"a", Endpoint::client(0), None, &add(b"x")).unwrap();
+            storages[0].sync().unwrap();
+            storages[1].append(b"b", Endpoint::client(0), None, &add(b"y")).unwrap();
+            storages[1].append(b"b", Endpoint::client(0), None, &add(b"z")).unwrap();
+            storages[1].sync().unwrap();
+        }
+        let (_s, rec) = open_sharded(&root, 2).unwrap();
+        assert!(rec.legacy.is_none());
+        assert_eq!(rec.shards[0].records.len(), 1);
+        assert_eq!(rec.shards[1].records.len(), 2);
+        assert_eq!(rec.shards[0].records[0].msg, add(b"x"));
+    }
+
+    #[test]
+    fn sharded_open_flags_a_pending_v1_migration_and_completion_clears_it() {
+        let root = tmpdir("shardmigrate");
+        // A v1 data dir: records at the root, no shard layout.
+        {
+            let (storage, _) = Storage::open(&root).unwrap();
+            storage.append(b"k", Endpoint::client(0), None, &add(b"a")).unwrap();
+            storage.sync().unwrap();
+        }
+        let (_s, rec) = open_sharded(&root, 2).unwrap();
+        let legacy = rec.legacy.expect("legacy v1 files present => migration pending");
+        assert_eq!(legacy.records.len(), 1);
+        assert!(
+            rec.shards.iter().all(Recovered::is_empty),
+            "shard dirs are scratch while a migration is pending"
+        );
+        complete_migration(&root, 2).unwrap();
+        assert!(!root.join(WAL_FILE).exists());
+        assert!(!root.join(CHECKPOINT_FILE).exists());
+        assert_eq!(read_shard_meta(&root), Some(2));
+        // Once committed the legacy source is gone and reopening is a
+        // plain sharded open.
+        let (_s, rec) = open_sharded(&root, 2).unwrap();
+        assert!(rec.legacy.is_none());
+    }
+
+    #[test]
+    fn legacy_presence_overrides_meta_and_scratch_shard_state() {
+        // Crash window: a previous migration attempt wrote shard state
+        // (and even a meta file with another count) but died before
+        // deleting the legacy files. The legacy root stays
+        // authoritative: its state is re-offered, the half-written
+        // shard state is discarded, and the stale meta is ignored.
+        let root = tmpdir("shardcrash");
+        {
+            let (storage, _) = Storage::open(&root).unwrap();
+            storage.append(b"k", Endpoint::client(0), None, &add(b"truth")).unwrap();
+            storage.sync().unwrap();
+        }
+        {
+            let (scratch, _) = Storage::open(shard_dir(&root, 0)).unwrap();
+            scratch.append(b"k", Endpoint::client(0), None, &add(b"bogus")).unwrap();
+            scratch.sync().unwrap();
+        }
+        write_shard_meta(&root, 5).unwrap();
+        let (_s, rec) = open_sharded(&root, 2).unwrap();
+        let legacy = rec.legacy.expect("legacy files override the meta");
+        assert_eq!(legacy.records.len(), 1);
+        assert_eq!(legacy.records[0].msg, add(b"truth"));
+        assert!(rec.shards.iter().all(Recovered::is_empty));
     }
 
     #[test]

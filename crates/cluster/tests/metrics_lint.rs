@@ -191,7 +191,12 @@ async fn resetting_scrapes_conserve_counts_under_load() {
     let listener = tokio::net::TcpListener::bind("127.0.0.1:0").await.expect("bind");
     let addr = listener.local_addr().expect("addr");
     let spec = StrategySpec::full_replication();
-    let cfg = ServerConfig::new(0, vec![addr], spec, 79);
+    // Pin a multi-shard core: the "engines" site is now an aggregate
+    // over one mutex per shard, and a resetting scrape must drain each
+    // shard's counters exactly once for the conservation checks below
+    // to hold. A machine-dependent default could quietly degrade to a
+    // single shard and stop exercising the merge.
+    let cfg = ServerConfig::new(0, vec![addr], spec, 79).with_shards(4);
     let (server, _) = Server::with_listener(cfg, listener).expect("server");
     tokio::spawn(server.run());
 

@@ -1,0 +1,345 @@
+//! Shared-nothing sharding tests: key→shard routing stability across
+//! restarts, per-shard WAL segment recovery, the one-time migration
+//! from a single-segment v1 data dir, and the clean refusal to open a
+//! data dir with a different `--shards` than it was laid out with.
+
+use std::net::SocketAddr;
+use std::path::{Path, PathBuf};
+use std::time::Duration;
+
+use pls_cluster::storage;
+use pls_cluster::{Client, ClientConfig, ClusterError, Server, ServerConfig};
+use pls_core::{Message, StrategySpec};
+use pls_net::Endpoint;
+use tokio::task::JoinHandle;
+
+/// Per-test scratch directories under the system temp dir, wiped at
+/// entry so reruns start clean.
+fn data_dirs(tag: &str, n: usize) -> Vec<PathBuf> {
+    (0..n)
+        .map(|i| {
+            let dir =
+                std::env::temp_dir().join(format!("pls-sharding-{}-{tag}-{i}", std::process::id()));
+            let _ = std::fs::remove_dir_all(&dir);
+            dir
+        })
+        .collect()
+}
+
+fn entries(range: std::ops::Range<u32>) -> Vec<Vec<u8>> {
+    range.map(|i| format!("peer{i}:6699").into_bytes()).collect()
+}
+
+/// Starts server `i` on its fixed address over whatever its data dir
+/// already holds, with an explicit shard count. Retries the bind
+/// briefly (after an abort the old listener's port takes a moment to
+/// free up); returns the recovered key count plus the run handle.
+async fn start_server(
+    i: usize,
+    addrs: &[SocketAddr],
+    dirs: &[PathBuf],
+    spec: StrategySpec,
+    seed: u64,
+    shards: usize,
+) -> (usize, JoinHandle<()>) {
+    let cfg = ServerConfig::new(i, addrs.to_vec(), spec, seed)
+        .with_data_dir(dirs[i].clone())
+        .with_checkpoint_every(4)
+        .with_shards(shards);
+    for attempt in 0..u32::MAX {
+        match tokio::net::TcpListener::bind(addrs[i]).await {
+            Ok(listener) => {
+                let (server, _) = Server::with_listener(cfg, listener).expect("server");
+                let recovered = server.recovered_keys();
+                return (recovered, tokio::spawn(server.run()));
+            }
+            Err(err) if attempt < 100 => {
+                let _ = err;
+                tokio::time::sleep(Duration::from_millis(50)).await;
+            }
+            Err(err) => panic!("bind {}: {err}", addrs[i]),
+        }
+    }
+    unreachable!()
+}
+
+/// Binds `n` ephemeral listeners first (so every server knows the
+/// final address list), then starts the cluster with per-server data
+/// dirs and an explicit shard count.
+async fn spawn_cluster(
+    dirs: &[PathBuf],
+    spec: StrategySpec,
+    seed: u64,
+    shards: usize,
+) -> (Vec<SocketAddr>, Vec<JoinHandle<()>>) {
+    let n = dirs.len();
+    let mut listeners = Vec::with_capacity(n);
+    let mut addrs: Vec<SocketAddr> = Vec::with_capacity(n);
+    for _ in 0..n {
+        let listener = tokio::net::TcpListener::bind("127.0.0.1:0").await.expect("bind");
+        addrs.push(listener.local_addr().expect("local addr"));
+        listeners.push(listener);
+    }
+    let mut handles = Vec::with_capacity(n);
+    for (i, listener) in listeners.into_iter().enumerate() {
+        let cfg = ServerConfig::new(i, addrs.clone(), spec, seed)
+            .with_data_dir(dirs[i].clone())
+            .with_checkpoint_every(4)
+            .with_shards(shards);
+        let (server, _) = Server::with_listener(cfg, listener).expect("server");
+        handles.push(tokio::spawn(server.run()));
+    }
+    (addrs, handles)
+}
+
+/// `status_of` with patience: right after a restart the client may
+/// hold stale pooled connections and the breaker may still be cooling
+/// off, so retry for a bounded window.
+async fn stored_at(client: &Client, server: usize) -> u64 {
+    let deadline = std::time::Instant::now() + Duration::from_secs(10);
+    loop {
+        match client.status_of(server).await {
+            Ok((_, stored)) => return stored,
+            Err(err) => {
+                assert!(
+                    std::time::Instant::now() < deadline,
+                    "server {server} unreachable after restart: {err}"
+                );
+                tokio::time::sleep(Duration::from_millis(100)).await;
+            }
+        }
+    }
+}
+
+/// The shard subdirectories under `root` that hold any durable bytes.
+fn populated_shards(root: &Path, shards: usize) -> Vec<usize> {
+    (0..shards)
+        .filter(|&s| {
+            let dir = storage::shard_dir(root, s);
+            [storage::WAL_FILE, storage::CHECKPOINT_FILE]
+                .iter()
+                .any(|f| dir.join(f).metadata().map(|m| m.len() > 0).unwrap_or(false))
+        })
+        .collect()
+}
+
+/// Enough keys that with 2 shards the chance of leaving one empty is
+/// ~2^-15: the crash-restart test below genuinely exercises *mixed*
+/// per-shard WAL segments, not one lucky segment.
+const KEYS: usize = 16;
+
+fn key(i: usize) -> Vec<u8> {
+    format!("song/{i}").into_bytes()
+}
+
+#[tokio::test]
+async fn crash_restart_recovers_mixed_per_shard_segments() {
+    let spec = StrategySpec::full_replication();
+    let shards = 2;
+    let dirs = data_dirs("crash-restart", 3);
+    let (addrs, handles) = spawn_cluster(&dirs, spec, 21, shards).await;
+    let mut client = Client::connect(ClientConfig::new(addrs.clone(), spec, 210));
+    for i in 0..KEYS {
+        client.place(&key(i), entries(0..4)).await.unwrap();
+    }
+    // One key rides a per-key strategy override (Fixed-2 keeps the
+    // first two entries on every server), so recovery also has to
+    // restore the spec from the owning shard's segment.
+    client.place_with_strategy(b"names", entries(20..26), StrategySpec::fixed(2)).await.unwrap();
+    let mut before = Vec::new();
+    for i in 0..3 {
+        before.push(client.status_of(i).await.unwrap().1);
+    }
+
+    // Both shard segments of server 0 must hold state — the whole
+    // point of the test is recovery from *mixed* segments.
+    assert_eq!(
+        populated_shards(&dirs[0], shards).len(),
+        shards,
+        "16 keys must spread durable state over every shard segment"
+    );
+
+    // Kill the whole cluster at once: no peer survives to donate
+    // state, so everything below comes from per-shard segments.
+    for h in &handles {
+        h.abort();
+    }
+    drop(client);
+    for i in 0..3 {
+        let (recovered, _run) = start_server(i, &addrs, &dirs, spec, 21, shards).await;
+        assert_eq!(recovered, KEYS + 1, "server {i} must rebuild every key from its segments");
+    }
+
+    let mut client = Client::connect(ClientConfig::new(addrs, spec, 211));
+    client.refresh_spec(b"names").await.unwrap();
+    for i in 0..KEYS {
+        let got = client.partial_lookup(&key(i), 4).await.unwrap();
+        assert_eq!(got.len(), 4, "key {i} incomplete after recovery");
+    }
+    // Fixed-2 kept only the first two of the six placed entries, and
+    // that truncation must survive the crash too.
+    let names = client.partial_lookup(b"names", 2).await.unwrap();
+    assert_eq!(names.len(), 2);
+    for (i, want) in before.iter().enumerate() {
+        assert_eq!(
+            stored_at(&client, i).await,
+            *want,
+            "server {i}'s share must match the pre-crash placement"
+        );
+    }
+
+    for dir in &dirs {
+        let _ = std::fs::remove_dir_all(dir);
+    }
+}
+
+#[tokio::test]
+async fn restart_keeps_key_to_shard_routing_stable() {
+    // Routing is a pure hash: a restart must find every key in the
+    // segment the previous process wrote it to. Two generations of
+    // writes (pre- and post-restart) land in the same segments, so a
+    // second restart still recovers everything.
+    let spec = StrategySpec::full_replication();
+    let shards = 4;
+    let dirs = data_dirs("routing-stable", 1);
+    let (addrs, handles) = spawn_cluster(&dirs, spec, 23, shards).await;
+    let mut client = Client::connect(ClientConfig::new(addrs.clone(), spec, 230));
+    for i in 0..KEYS {
+        client.place(&key(i), entries(0..3)).await.unwrap();
+    }
+    let populated = populated_shards(&dirs[0], shards);
+
+    handles[0].abort();
+    drop(client);
+    let (recovered, run) = start_server(0, &addrs, &dirs, spec, 23, shards).await;
+    assert_eq!(recovered, KEYS);
+    assert_eq!(
+        populated_shards(&dirs[0], shards),
+        populated,
+        "recovery must not move keys between shard segments"
+    );
+
+    // Second generation: more writes, another crash, still whole.
+    let mut client = Client::connect(ClientConfig::new(addrs.clone(), spec, 231));
+    for i in KEYS..KEYS + 4 {
+        client.place(&key(i), entries(0..3)).await.unwrap();
+    }
+    run.abort();
+    drop(client);
+    let (recovered, _run) = start_server(0, &addrs, &dirs, spec, 23, shards).await;
+    assert_eq!(recovered, KEYS + 4);
+
+    let mut client = Client::connect(ClientConfig::new(addrs, spec, 232));
+    for i in 0..KEYS + 4 {
+        let got = client.partial_lookup(&key(i), 3).await.unwrap();
+        assert_eq!(got.len(), 3, "key {i} lost across restarts");
+    }
+
+    for dir in &dirs {
+        let _ = std::fs::remove_dir_all(dir);
+    }
+}
+
+#[tokio::test]
+async fn changing_the_shard_count_of_an_existing_data_dir_is_refused() {
+    let spec = StrategySpec::full_replication();
+    let dirs = data_dirs("reshard-refused", 1);
+    let (addrs, handles) = spawn_cluster(&dirs, spec, 25, 2).await;
+    let mut client = Client::connect(ClientConfig::new(addrs.clone(), spec, 250));
+    client.place(b"k", entries(0..3)).await.unwrap();
+    handles[0].abort();
+    drop(client);
+
+    // Resharding is not supported: the dir was laid out with 2 shards,
+    // so opening it with 3 must fail loudly instead of replaying keys
+    // into segments their hash no longer routes to.
+    let cfg =
+        ServerConfig::new(0, addrs.clone(), spec, 25).with_data_dir(dirs[0].clone()).with_shards(3);
+    let listener = loop {
+        match tokio::net::TcpListener::bind(addrs[0]).await {
+            Ok(l) => break l,
+            Err(_) => tokio::time::sleep(Duration::from_millis(50)).await,
+        }
+    };
+    match Server::with_listener(cfg, listener) {
+        Err(ClusterError::Config(_)) => {}
+        Err(other) => panic!("mismatched --shards must be a Config refusal, got {other:?}"),
+        Ok(_) => panic!("mismatched --shards must be refused, not silently accepted"),
+    }
+
+    // The recorded count still works.
+    let (recovered, _run) = start_server(0, &addrs, &dirs, spec, 25, 2).await;
+    assert_eq!(recovered, 1);
+
+    for dir in &dirs {
+        let _ = std::fs::remove_dir_all(dir);
+    }
+}
+
+#[tokio::test]
+async fn v1_single_segment_data_dir_is_migrated_on_first_sharded_start() {
+    let spec = StrategySpec::full_replication();
+    let shards = 2;
+    let dirs = data_dirs("v1-migration", 1);
+
+    // Fabricate a legacy v1 layout: a single WAL at the data-dir root,
+    // exactly what a pre-sharding server left behind.
+    {
+        let (legacy, rec) = storage::Storage::open(&dirs[0]).expect("legacy open");
+        assert!(rec.is_empty());
+        for i in 0..KEYS {
+            for v in entries(0..3) {
+                legacy
+                    .append(&key(i), Endpoint::client(0), None, &Message::AddReq { v })
+                    .expect("legacy append");
+            }
+        }
+        legacy.sync().expect("legacy sync");
+    }
+    assert!(dirs[0].join(storage::WAL_FILE).exists());
+
+    // First sharded start replays the legacy log, routes every key to
+    // its shard, checkpoints the segments, and deletes the v1 files.
+    let mut addrs: Vec<SocketAddr> = vec!["127.0.0.1:0".parse().unwrap()];
+    let listener = tokio::net::TcpListener::bind(addrs[0]).await.expect("bind");
+    addrs[0] = listener.local_addr().expect("local addr");
+    let cfg = ServerConfig::new(0, addrs.clone(), spec, 27)
+        .with_data_dir(dirs[0].clone())
+        .with_checkpoint_every(4)
+        .with_shards(shards);
+    let (server, _) = Server::with_listener(cfg, listener).expect("migrating server");
+    assert_eq!(server.recovered_keys(), KEYS, "the whole v1 log must survive the migration");
+    assert!(!dirs[0].join(storage::WAL_FILE).exists(), "migration must retire the legacy WAL");
+    assert!(!dirs[0].join(storage::CHECKPOINT_FILE).exists());
+    assert_eq!(
+        std::fs::read_to_string(dirs[0].join(storage::SHARD_META_FILE)).unwrap().trim(),
+        format!("shards {shards}"),
+        "migration must pin the shard count"
+    );
+    assert_eq!(
+        populated_shards(&dirs[0], shards).len(),
+        shards,
+        "16 keys must land durable state in every shard segment"
+    );
+    let run = tokio::spawn(server.run());
+
+    // The migrated state serves, and a crash after the migration
+    // recovers from the shard segments alone.
+    let mut client = Client::connect(ClientConfig::new(addrs.clone(), spec, 270));
+    for i in 0..KEYS {
+        let got = client.partial_lookup(&key(i), 3).await.unwrap();
+        assert_eq!(got.len(), 3, "key {i} lost in migration");
+    }
+    run.abort();
+    drop(client);
+    let (recovered, _run) = start_server(0, &addrs, &dirs, spec, 27, shards).await;
+    assert_eq!(recovered, KEYS, "post-migration restart must replay the shard segments");
+    let mut client = Client::connect(ClientConfig::new(addrs, spec, 271));
+    for i in 0..KEYS {
+        assert_eq!(client.partial_lookup(&key(i), 3).await.unwrap().len(), 3);
+    }
+
+    for dir in &dirs {
+        let _ = std::fs::remove_dir_all(dir);
+    }
+}
