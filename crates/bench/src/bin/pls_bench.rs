@@ -25,77 +25,7 @@
 
 use std::process::ExitCode;
 
-use pls_bench::output::BENCH_SCHEMAS_ACCEPTED;
-use pls_telemetry::json::{parse, Value};
-
-/// One compared metric: where it lives in `results`, whether bigger is
-/// better, and how it prints.
-struct Metric {
-    label: &'static str,
-    /// Path under `results`, e.g. `["latency_us", "p50"]`.
-    path: &'static [&'static str],
-    /// `true` when a larger value is an improvement (throughput);
-    /// `false` when it is a regression (latency, probe counts).
-    higher_is_better: bool,
-}
-
-const METRICS: [Metric; 7] = [
-    Metric { label: "latency p50 (us)", path: &["latency_us", "p50"], higher_is_better: false },
-    Metric { label: "latency p99 (us)", path: &["latency_us", "p99"], higher_is_better: false },
-    Metric { label: "throughput (rps)", path: &["throughput_rps"], higher_is_better: true },
-    Metric {
-        label: "probes/lookup (client)",
-        path: &["probes", "per_lookup_mean"],
-        higher_is_better: false,
-    },
-    Metric {
-        label: "probes/lookup (servers)",
-        path: &["probes", "per_lookup_from_servers"],
-        higher_is_better: false,
-    },
-    Metric {
-        label: "engines lock wait p99 (us)",
-        path: &["runtime", "locks", "engines", "wait_us", "p99"],
-        higher_is_better: false,
-    },
-    Metric {
-        label: "allocs/lookup (servers)",
-        path: &["runtime", "alloc", "allocs_per_lookup"],
-        higher_is_better: false,
-    },
-];
-
-/// Loads an artifact, checks its schema tag, and returns the document.
-fn load(path: &str) -> Result<Value, String> {
-    let text = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
-    let doc = parse(&text).map_err(|e| format!("{path}: malformed JSON: {e}"))?;
-    let schema = doc
-        .get("schema")
-        .and_then(Value::as_str)
-        .ok_or(format!("{path}: missing `schema` field"))?;
-    if !BENCH_SCHEMAS_ACCEPTED.contains(&schema) {
-        return Err(format!(
-            "{path}: unsupported schema `{schema}` (accepted: {})",
-            BENCH_SCHEMAS_ACCEPTED.join(", ")
-        ));
-    }
-    Ok(doc)
-}
-
-/// Walks `results.<path...>` to a number.
-fn lookup(doc: &Value, path: &[&str]) -> Option<f64> {
-    let mut v = doc.get("results")?;
-    for key in path {
-        v = v.get(key)?;
-    }
-    v.as_f64()
-}
-
-fn describe(doc: &Value) -> String {
-    let bench = doc.get("bench").and_then(Value::as_str).unwrap_or("?");
-    let rev = doc.get("git_rev").and_then(Value::as_str).unwrap_or("?");
-    format!("{bench} @ {}", &rev[..rev.len().min(12)])
-}
+use pls_bench::compare::{compare_docs, describe, load_artifact};
 
 fn compare(
     baseline_path: &str,
@@ -103,60 +33,19 @@ fn compare(
     max_regress_pct: f64,
     warn_only: bool,
 ) -> Result<ExitCode, String> {
-    let baseline = load(baseline_path)?;
-    let current = load(current_path)?;
+    let baseline = load_artifact(baseline_path)?;
+    let current = load_artifact(current_path)?;
     println!("baseline: {} ({baseline_path})", describe(&baseline));
     println!("current:  {} ({current_path})", describe(&current));
-    println!(
-        "{:<26} {:>12} {:>12} {:>9}  verdict (threshold {max_regress_pct}%)",
-        "metric", "baseline", "current", "delta"
-    );
-
-    let mut regressions = 0usize;
-    let mut compared = 0usize;
-    for m in &METRICS {
-        let b = lookup(&baseline, m.path);
-        let c = lookup(&current, m.path);
-        let (Some(b), Some(c)) = (b, c) else {
-            println!("{:<26} {:>12} {:>12} {:>9}  n/a", m.label, "-", "-", "-");
-            continue;
-        };
-        compared += 1;
-        // Regression percentage in the "worse" direction; guarded for
-        // zero baselines (a 0 -> 0.1 move is noise, not infinity).
-        let delta_pct = if b.abs() < f64::EPSILON {
-            0.0
-        } else if m.higher_is_better {
-            (b - c) / b * 100.0
-        } else {
-            (c - b) / b * 100.0
-        };
-        let regressed = delta_pct > max_regress_pct;
-        if regressed {
-            regressions += 1;
+    let outcome = compare_docs(&baseline, &current, max_regress_pct)?;
+    print!("{}", outcome.report);
+    if outcome.regressions > 0 {
+        if warn_only {
+            println!("(warn-only: exiting 0)");
+            return Ok(ExitCode::SUCCESS);
         }
-        let shown_pct = (c - b) / if b.abs() < f64::EPSILON { 1.0 } else { b } * 100.0;
-        println!(
-            "{:<26} {:>12.2} {:>12.2} {:>+8.1}%  {}",
-            m.label,
-            b,
-            c,
-            shown_pct,
-            if regressed { "REGRESSED" } else { "ok" },
-        );
+        return Ok(ExitCode::FAILURE);
     }
-    if compared == 0 {
-        return Err("no comparable metrics found in both artifacts".to_string());
-    }
-    if regressions > 0 {
-        println!(
-            "{regressions} metric{} regressed beyond {max_regress_pct}%{}",
-            if regressions == 1 { "" } else { "s" },
-            if warn_only { " (warn-only: exiting 0)" } else { "" },
-        );
-        return Ok(if warn_only { ExitCode::SUCCESS } else { ExitCode::FAILURE });
-    }
-    println!("no regressions beyond {max_regress_pct}%");
     Ok(ExitCode::SUCCESS)
 }
 

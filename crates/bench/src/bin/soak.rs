@@ -1,0 +1,832 @@
+//! `soak` — a fault-schedule soak harness with a built-in invariant
+//! auditor.
+//!
+//! ```text
+//! soak --bin-dir DIR [--out DIR] [--name NAME] [--phase-s S]
+//!      [--base-port P] [--concurrency N] [--seed S] [--data-dir DIR]
+//!
+//!   --bin-dir      directory holding the pls-server and pls-chaos
+//!                  binaries (e.g. target/release)
+//!   --out          artifact directory (default results)
+//!   --name         artifact name: writes OUT/SOAK_<name>.json
+//!                  (default soak)
+//!   --phase-s      seconds per phase (default 18; five phases)
+//!   --base-port    first port of the harness's range (default 7811)
+//!   --concurrency  closed-loop load workers (default 4)
+//!   --seed         workload seed (default 42)
+//!   --data-dir     servers' durable state (default /tmp/pls-soak;
+//!                  wiped at start)
+//! ```
+//!
+//! The harness boots a 2-server durable cluster (`--shards 2`, short
+//! SLO windows, 500 ms observatory self-scrape) with server 1 standing
+//! behind a `pls-chaos` proxy *from server 0's point of view* (server
+//! 0's peer list carries the proxy port; clients dial both servers
+//! directly). It then drives sustained mixed load through five
+//! scheduled phases:
+//!
+//!   baseline  → everything healthy
+//!   blackhole → the proxy swallows server 0's internal sends, so
+//!               replication fails and error budgets burn
+//!   restart   → proxy restored, server 1 killed with SIGKILL and
+//!               restarted from its WAL
+//!   recovery  → everything healthy again; anti-entropy repairs
+//!   drain     → load stops; the auditor asserts convergence
+//!
+//! Throughout, an auditor samples every server's Metrics RPC and, at
+//! the end, its `GET /debug/timeline`, and renders verdicts:
+//! cumulative counters never go backwards (modulo the scheduled
+//! restart), some SLO burn rate was **observed burning during the
+//! fault**, `pls_queue_depth{queue="inflight"}` drains to 0 once load
+//! stops, `pls_live_staleness` converges back to 1.0, burn rates decay
+//! post-recovery, and the server-side timeline's cumulative series
+//! agrees with Metrics-RPC readings taken around it (no drift). The
+//! run lands a `pls-soak/v1` artifact and exits nonzero if any audit
+//! fails.
+
+use std::collections::BTreeMap;
+use std::net::SocketAddr;
+use std::path::PathBuf;
+use std::process::{Child, Command, ExitCode};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use pls_bench::output::git_rev;
+use pls_cluster::{parse_spec, Client, ClientConfig, Timeouts};
+use pls_telemetry::json::{array, parse, Object, Value};
+use pls_telemetry::snapshot::parse_labels;
+use pls_telemetry::MetricsSnapshot;
+
+/// Keys the workload cycles over.
+const KEYS: u64 = 24;
+/// Observatory self-scrape interval handed to the servers, and the
+/// auditor's own sampling cadence.
+const SCRAPE_MS: u64 = 500;
+/// Fast SLO window handed to the servers — short, so burn rates react
+/// within a phase and decay within the drain.
+const SLO_FAST_S: u64 = 5;
+/// Slow SLO window handed to the servers.
+const SLO_SLOW_S: u64 = 20;
+
+struct Opts {
+    bin_dir: PathBuf,
+    out_dir: PathBuf,
+    name: String,
+    phase_s: u64,
+    base_port: u16,
+    concurrency: usize,
+    seed: u64,
+    data_dir: PathBuf,
+}
+
+fn parse_args() -> Result<Opts, String> {
+    let mut bin_dir: Option<PathBuf> = None;
+    let mut out_dir = PathBuf::from("results");
+    let mut name = "soak".to_string();
+    let mut phase_s = 18u64;
+    let mut base_port = 7811u16;
+    let mut concurrency = 4usize;
+    let mut seed = 42u64;
+    let mut data_dir = PathBuf::from("/tmp/pls-soak");
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        let mut value = |flag: &str| args.next().ok_or(format!("{flag} needs a value"));
+        match arg.as_str() {
+            "--bin-dir" => bin_dir = Some(value("--bin-dir")?.into()),
+            "--out" => out_dir = value("--out")?.into(),
+            "--name" => name = value("--name")?,
+            "--phase-s" => {
+                phase_s = value("--phase-s")?.parse().map_err(|e| format!("--phase-s: {e}"))?;
+            }
+            "--base-port" => {
+                base_port =
+                    value("--base-port")?.parse().map_err(|e| format!("--base-port: {e}"))?;
+            }
+            "--concurrency" => {
+                concurrency =
+                    value("--concurrency")?.parse().map_err(|e| format!("--concurrency: {e}"))?;
+            }
+            "--seed" => seed = value("--seed")?.parse().map_err(|e| format!("--seed: {e}"))?,
+            "--data-dir" => data_dir = value("--data-dir")?.into(),
+            "--help" | "-h" => {
+                return Err("usage: soak --bin-dir DIR [--out DIR] [--name NAME] [--phase-s S] \
+                     [--base-port P] [--concurrency N] [--seed S] [--data-dir DIR]"
+                    .to_string())
+            }
+            other => return Err(format!("unknown argument `{other}` (try --help)")),
+        }
+    }
+    let bin_dir = bin_dir.ok_or("--bin-dir is required (e.g. target/release)")?;
+    Ok(Opts {
+        bin_dir,
+        out_dir,
+        name,
+        phase_s: phase_s.max(5),
+        base_port,
+        concurrency: concurrency.max(1),
+        seed,
+        data_dir,
+    })
+}
+
+/// The spawned cluster processes. Dropping the struct kills whatever
+/// is still running, so no failure path leaks servers.
+struct Procs {
+    server0: Option<Child>,
+    server1: Option<Child>,
+    proxy: Option<Child>,
+}
+
+impl Procs {
+    fn new() -> Self {
+        Procs { server0: None, server1: None, proxy: None }
+    }
+
+    fn slots(&mut self) -> [&mut Option<Child>; 3] {
+        [&mut self.server0, &mut self.server1, &mut self.proxy]
+    }
+}
+
+impl Drop for Procs {
+    fn drop(&mut self) {
+        for slot in self.slots() {
+            if let Some(child) = slot.as_mut() {
+                let _ = child.kill();
+                let _ = child.wait();
+            }
+        }
+    }
+}
+
+fn kill_slot(slot: &mut Option<Child>) {
+    if let Some(mut child) = slot.take() {
+        // std's kill is SIGKILL on unix: no shutdown path runs, which
+        // is the point for the restart phase.
+        let _ = child.kill();
+        let _ = child.wait();
+    }
+}
+
+struct Ports {
+    server: [SocketAddr; 2],
+    metrics: [SocketAddr; 2],
+    proxy: SocketAddr,
+}
+
+fn ports(base: u16) -> Ports {
+    let at = |off: u16| format!("127.0.0.1:{}", base + off).parse().expect("loopback addr");
+    Ports { server: [at(0), at(1)], metrics: [at(50), at(51)], proxy: at(2) }
+}
+
+fn spawn_server(o: &Opts, p: &Ports, index: usize) -> Result<Child, String> {
+    // Server 0 reaches server 1 through the chaos proxy; server 1's
+    // own slot carries its real port (a server never dials itself
+    // through the proxy).
+    let peers = match index {
+        0 => format!("{},{}", p.server[0], p.proxy),
+        _ => format!("{},{}", p.server[0], p.server[1]),
+    };
+    Command::new(o.bin_dir.join("pls-server"))
+        .args(["--index", &index.to_string(), "--peers", &peers, "--strategy", "round:2"])
+        .args(["--seed", &o.seed.to_string(), "--shards", "2"])
+        .args(["--data-dir", &o.data_dir.join(index.to_string()).to_string_lossy()])
+        .args(["--checkpoint-every", "32", "--antientropy-ms", "1000"])
+        .args(["--staleness-ms", "500", "--tombstone-ttl-ms", "60000"])
+        .args(["--scrape-ms", &SCRAPE_MS.to_string()])
+        .args(["--slo-fast-s", &SLO_FAST_S.to_string(), "--slo-slow-s", &SLO_SLOW_S.to_string()])
+        .args(["--slo-latency-ms", "50"])
+        .args(["--rpc-timeout-ms", "400", "--op-budget-ms", "3000"])
+        .args(["--metrics-addr", &p.metrics[index].to_string()])
+        .args(["--log", "warn"])
+        .spawn()
+        .map_err(|e| format!("spawn pls-server {index}: {e}"))
+}
+
+/// Spawns the chaos proxy in the given mode, retrying briefly: right
+/// after a kill the listen port can still be settling.
+async fn spawn_proxy(o: &Opts, p: &Ports, mode: &str) -> Result<Child, String> {
+    for _attempt in 0..10 {
+        let mut child = Command::new(o.bin_dir.join("pls-chaos"))
+            .args(["--listen", &p.proxy.to_string(), "--upstream", &p.server[1].to_string()])
+            .args(["--mode", mode, "--log", "warn"])
+            .spawn()
+            .map_err(|e| format!("spawn pls-chaos: {e}"))?;
+        tokio::time::sleep(Duration::from_millis(300)).await;
+        match child.try_wait() {
+            Ok(None) => return Ok(child),
+            Ok(Some(_)) => continue,
+            Err(e) => return Err(format!("pls-chaos: {e}")),
+        }
+    }
+    Err("pls-chaos kept exiting at startup (listen port busy?)".to_string())
+}
+
+/// One audit verdict.
+struct Audit {
+    name: &'static str,
+    pass: bool,
+    detail: String,
+}
+
+impl Audit {
+    fn new(name: &'static str, pass: bool, detail: String) -> Self {
+        println!("audit {name}: {} — {detail}", if pass { "PASS" } else { "FAIL" });
+        Audit { name, pass, detail }
+    }
+}
+
+/// What one load phase looked like from the auditor's chair.
+struct PhaseStat {
+    name: &'static str,
+    planned_s: u64,
+    ops: u64,
+    client_errors: u64,
+    samples: u64,
+    /// Highest fast-window burn rate seen per objective.
+    max_burn_fast: BTreeMap<String, f64>,
+}
+
+/// Samples both servers' Metrics RPC: tracks counter monotonicity and
+/// the per-phase burn-rate high-water marks.
+struct Sampler {
+    prev: [Option<BTreeMap<String, u64>>; 2],
+    regressions: Vec<String>,
+    samples: u64,
+    max_burn_fast: BTreeMap<String, f64>,
+}
+
+impl Sampler {
+    fn new() -> Self {
+        Sampler {
+            prev: [None, None],
+            regressions: Vec::new(),
+            samples: 0,
+            max_burn_fast: BTreeMap::new(),
+        }
+    }
+
+    /// Forget a server's counter baseline — called when the harness
+    /// itself restarts the process, where counters legitimately reset.
+    fn reanchor(&mut self, server: usize) {
+        self.prev[server] = None;
+    }
+
+    async fn sample(&mut self, audit: &Client, phase: &str) {
+        for server in 0..2 {
+            let Ok(snap) = audit.metrics_of(server, false).await else { continue };
+            self.samples += 1;
+            let cur: BTreeMap<String, u64> =
+                snap.counters.iter().map(|(n, v)| (n.clone(), *v)).collect();
+            if let Some(prev) = &self.prev[server] {
+                for (name, was) in prev {
+                    if let Some(now) = cur.get(name) {
+                        if now < was {
+                            self.regressions.push(format!(
+                                "[{phase}] server {server}: {name} went {was} -> {now}"
+                            ));
+                        }
+                    }
+                }
+            }
+            self.prev[server] = Some(cur);
+            for (name, value) in &snap.gauges {
+                let Some((family, labels)) = parse_labels(name) else { continue };
+                if family != "pls_slo_burn_rate" {
+                    continue;
+                }
+                let window = labels.iter().find(|(k, _)| k == "window").map(|(_, v)| v.as_str());
+                if window != Some("fast") {
+                    continue;
+                }
+                let Some((_, slo)) = labels.iter().find(|(k, _)| k == "slo") else { continue };
+                let entry = self.max_burn_fast.entry(slo.clone()).or_insert(0.0);
+                if *value > *entry {
+                    *entry = *value;
+                }
+            }
+        }
+    }
+}
+
+/// Runs one load phase: samples on a fixed cadence until the planned
+/// duration elapses, then reports the phase's stats.
+async fn run_phase(
+    name: &'static str,
+    planned_s: u64,
+    sampler: &mut Sampler,
+    audit: &Client,
+    ops: &AtomicU64,
+    errors: &AtomicU64,
+) -> PhaseStat {
+    println!("phase {name}: {planned_s}s");
+    let ops_at = ops.load(Ordering::Relaxed);
+    let errors_at = errors.load(Ordering::Relaxed);
+    let samples_at = sampler.samples;
+    sampler.max_burn_fast.clear();
+    let deadline = Instant::now() + Duration::from_secs(planned_s);
+    while Instant::now() < deadline {
+        sampler.sample(audit, name).await;
+        tokio::time::sleep(Duration::from_millis(SCRAPE_MS)).await;
+    }
+    PhaseStat {
+        name,
+        planned_s,
+        ops: ops.load(Ordering::Relaxed) - ops_at,
+        client_errors: errors.load(Ordering::Relaxed) - errors_at,
+        samples: sampler.samples - samples_at,
+        max_burn_fast: sampler.max_burn_fast.clone(),
+    }
+}
+
+/// Minimal HTTP/1.1 GET returning the response body.
+async fn http_get(addr: SocketAddr, path: &str) -> Result<String, String> {
+    use tokio::io::{AsyncReadExt, AsyncWriteExt};
+    let mut stream =
+        tokio::net::TcpStream::connect(addr).await.map_err(|e| format!("{addr}: {e}"))?;
+    let request = format!("GET {path} HTTP/1.1\r\nHost: soak\r\nConnection: close\r\n\r\n");
+    stream.write_all(request.as_bytes()).await.map_err(|e| format!("{addr}: {e}"))?;
+    let mut raw = Vec::new();
+    stream.read_to_end(&mut raw).await.map_err(|e| format!("{addr}: {e}"))?;
+    let text = String::from_utf8_lossy(&raw);
+    text.split_once("\r\n\r\n")
+        .map(|(_, body)| body.to_string())
+        .ok_or(format!("{addr}: no body in response"))
+}
+
+fn inflight(snap: &MetricsSnapshot) -> f64 {
+    snap.gauge("pls_queue_depth{queue=\"inflight\"}").unwrap_or(0.0)
+}
+
+/// Polls until every server reports zero inflight requests.
+async fn audit_inflight_drains(audit: &Client, deadline_s: u64) -> Audit {
+    let started = Instant::now();
+    let deadline = started + Duration::from_secs(deadline_s);
+    let mut last = [f64::NAN; 2];
+    loop {
+        let mut all_zero = true;
+        for (server, slot) in last.iter_mut().enumerate() {
+            match audit.metrics_of(server, false).await {
+                Ok(snap) => {
+                    *slot = inflight(&snap);
+                    if *slot != 0.0 {
+                        all_zero = false;
+                    }
+                }
+                Err(_) => all_zero = false,
+            }
+        }
+        if all_zero {
+            return Audit::new(
+                "inflight_drains_to_zero",
+                true,
+                format!("both servers at 0 inflight after {:.1}s", started.elapsed().as_secs_f64()),
+            );
+        }
+        if Instant::now() >= deadline {
+            return Audit::new(
+                "inflight_drains_to_zero",
+                false,
+                format!("still nonzero after {deadline_s}s: {last:?}"),
+            );
+        }
+        tokio::time::sleep(Duration::from_millis(SCRAPE_MS)).await;
+    }
+}
+
+/// Polls until every `pls_live_staleness{strategy,t}` series on every
+/// server reads ≥ 0.999 — the system has observably converged back to
+/// fresh after the fault schedule.
+async fn audit_staleness_converges(audit: &Client, deadline_s: u64) -> Audit {
+    let started = Instant::now();
+    let deadline = started + Duration::from_secs(deadline_s);
+    let mut last_worst = f64::NAN;
+    loop {
+        let mut worst = f64::INFINITY;
+        let mut series = 0usize;
+        let mut reachable = 0usize;
+        for server in 0..2 {
+            let Ok(snap) = audit.metrics_of(server, false).await else { continue };
+            reachable += 1;
+            for (name, value) in &snap.gauges {
+                let Some((family, _)) = parse_labels(name) else { continue };
+                if family == "pls_live_staleness" {
+                    series += 1;
+                    worst = worst.min(*value);
+                }
+            }
+        }
+        if reachable == 2 && series > 0 && worst >= 0.999 {
+            return Audit::new(
+                "staleness_converges_to_one",
+                true,
+                format!(
+                    "{series} series all >= 0.999 after {:.1}s",
+                    started.elapsed().as_secs_f64()
+                ),
+            );
+        }
+        if worst.is_finite() {
+            last_worst = worst;
+        }
+        if Instant::now() >= deadline {
+            return Audit::new(
+                "staleness_converges_to_one",
+                false,
+                format!("worst staleness {last_worst} after {deadline_s}s ({series} series)"),
+            );
+        }
+        tokio::time::sleep(Duration::from_millis(SCRAPE_MS)).await;
+    }
+}
+
+/// Brackets one `GET /debug/timeline` read between two Metrics-RPC
+/// reads: every monotone counter's timeline value must land inside
+/// the RPC interval, or the two observability paths have drifted.
+async fn audit_timeline_agrees(audit: &Client, p: &Ports) -> Audit {
+    // Family prefixes mirror the `series` block of `timeline_json`.
+    const COUNTERS: [(&str, &str); 3] = [
+        ("probes", "pls_probes_total"),
+        ("wal_appends", "pls_wal_appends_total"),
+        ("internal_sent", "pls_internal_sent_total"),
+    ];
+    let mut violations = Vec::new();
+    for server in 0..2 {
+        let s1 = match audit.metrics_of(server, false).await {
+            Ok(snap) => snap,
+            Err(e) => {
+                return Audit::new(
+                    "timeline_agrees_with_rpc",
+                    false,
+                    format!("server {server} unreachable: {e}"),
+                )
+            }
+        };
+        // Wait out at least two scrape intervals so the timeline holds
+        // a window newer than the first RPC read.
+        tokio::time::sleep(Duration::from_millis(SCRAPE_MS * 2 + 200)).await;
+        let latest = match http_get(p.metrics[server], "/debug/timeline")
+            .await
+            .and_then(|body| parse(&body).map_err(|e| format!("timeline JSON: {e}")))
+        {
+            Ok(doc) => {
+                match doc.get("series").and_then(Value::as_array).and_then(|s| s.last().cloned()) {
+                    Some(latest) => latest,
+                    None => {
+                        return Audit::new(
+                            "timeline_agrees_with_rpc",
+                            false,
+                            format!("server {server}: timeline has no series"),
+                        )
+                    }
+                }
+            }
+            Err(e) => {
+                return Audit::new(
+                    "timeline_agrees_with_rpc",
+                    false,
+                    format!("server {server}: {e}"),
+                )
+            }
+        };
+        let s2 = match audit.metrics_of(server, false).await {
+            Ok(snap) => snap,
+            Err(e) => {
+                return Audit::new(
+                    "timeline_agrees_with_rpc",
+                    false,
+                    format!("server {server} unreachable: {e}"),
+                )
+            }
+        };
+        for (key, family) in COUNTERS {
+            let lo = s1.counter_sum(family);
+            let hi = s2.counter_sum(family);
+            let Some(w) = latest.get(key).and_then(Value::as_u64) else {
+                violations.push(format!("server {server}: series lacks `{key}`"));
+                continue;
+            };
+            if !(lo..=hi).contains(&w) {
+                violations
+                    .push(format!("server {server}: {key} timeline={w} outside rpc [{lo}, {hi}]"));
+            }
+        }
+    }
+    if violations.is_empty() {
+        Audit::new(
+            "timeline_agrees_with_rpc",
+            true,
+            "all timeline counters inside their RPC brackets".to_string(),
+        )
+    } else {
+        Audit::new("timeline_agrees_with_rpc", false, violations.join("; "))
+    }
+}
+
+/// After recovery + drain, no objective should still be burning its
+/// fast window.
+async fn audit_burn_stopped(audit: &Client) -> Audit {
+    let mut worst: Option<(String, f64)> = None;
+    for server in 0..2 {
+        let Ok(snap) = audit.metrics_of(server, false).await else {
+            return Audit::new(
+                "burn_stops_post_recovery",
+                false,
+                format!("server {server} unreachable"),
+            );
+        };
+        for (name, value) in &snap.gauges {
+            let Some((family, labels)) = parse_labels(name) else { continue };
+            if family != "pls_slo_burn_rate" {
+                continue;
+            }
+            if labels.iter().any(|(k, v)| k == "window" && v == "fast")
+                && worst.as_ref().is_none_or(|(_, w)| value > w)
+            {
+                worst = Some((format!("server {server} {name}"), *value));
+            }
+        }
+    }
+    match worst {
+        Some((name, value)) if value >= 0.5 => Audit::new(
+            "burn_stops_post_recovery",
+            false,
+            format!("{name} still burning at {value:.2}"),
+        ),
+        Some((_, value)) => Audit::new(
+            "burn_stops_post_recovery",
+            true,
+            format!("worst fast burn {value:.2} < 0.5"),
+        ),
+        None => {
+            Audit::new("burn_stops_post_recovery", false, "no burn gauges exported".to_string())
+        }
+    }
+}
+
+/// Waits until both servers answer their status RPC.
+async fn await_cluster_up(audit: &Client, deadline_s: u64) -> Result<(), String> {
+    let deadline = Instant::now() + Duration::from_secs(deadline_s);
+    loop {
+        let mut up = 0;
+        for server in 0..2 {
+            if audit.status_of(server).await.is_ok() {
+                up += 1;
+            }
+        }
+        if up == 2 {
+            return Ok(());
+        }
+        if Instant::now() >= deadline {
+            return Err(format!("cluster not up after {deadline_s}s ({up}/2 servers)"));
+        }
+        tokio::time::sleep(Duration::from_millis(250)).await;
+    }
+}
+
+fn client_config(p: &Ports, seed: u64) -> ClientConfig {
+    let spec = parse_spec("round:2").expect("round:2 parses");
+    ClientConfig::new(p.server.to_vec(), spec, seed)
+        .with_timeouts(Timeouts::default().with_rpc_ms(400).with_op_budget_ms(3000))
+}
+
+/// One closed-loop load worker: mixed lookups, adds, and deletes over
+/// a shared key population. Errors are counted, never fatal — fault
+/// phases are *supposed* to hurt.
+async fn load_worker(
+    p: Ports,
+    seed: u64,
+    worker: u64,
+    stop: Arc<AtomicBool>,
+    ops: Arc<AtomicU64>,
+    errors: Arc<AtomicU64>,
+) {
+    let mut client = Client::connect(client_config(&p, seed ^ ((worker + 1) * 0x9E37)));
+    let mut added: Option<(Vec<u8>, Vec<u8>)> = None;
+    let mut i = 0u64;
+    while !stop.load(Ordering::Relaxed) {
+        let key = format!("soak/k{}", (i.wrapping_mul(7).wrapping_add(worker)) % KEYS);
+        let result = match i % 8 {
+            0 => {
+                let entry = format!("w{worker}-{i}").into_bytes();
+                let r = client.add(key.as_bytes(), entry.clone()).await.map(|_| ());
+                if r.is_ok() {
+                    added = Some((key.clone().into_bytes(), entry));
+                }
+                r.map_err(|e| e.to_string())
+            }
+            4 => match added.take() {
+                // Delete something this worker added, so deletes
+                // exercise tombstones without not-found noise.
+                Some((k, entry)) => {
+                    client.delete(&k, entry).await.map(|_| ()).map_err(|e| e.to_string())
+                }
+                None => Ok(()),
+            },
+            _ => client
+                .partial_lookup(key.as_bytes(), 1)
+                .await
+                .map(|_| ())
+                .map_err(|e| e.to_string()),
+        };
+        ops.fetch_add(1, Ordering::Relaxed);
+        if result.is_err() {
+            errors.fetch_add(1, Ordering::Relaxed);
+        }
+        i += 1;
+        // Closed-loop with a small breather: sustained load without
+        // saturating two servers on one CI core.
+        tokio::time::sleep(Duration::from_millis(10)).await;
+    }
+}
+
+fn phase_json(p: &PhaseStat) -> String {
+    let burns = p.max_burn_fast.iter().fold(Object::new(), |o, (slo, v)| o.f64(slo, *v));
+    Object::new()
+        .string("name", p.name)
+        .u64("planned_s", p.planned_s)
+        .u64("ops", p.ops)
+        .u64("client_errors", p.client_errors)
+        .u64("samples", p.samples)
+        .field("max_burn_fast", &burns.build())
+        .build()
+}
+
+async fn run_soak(o: &Opts) -> Result<(Vec<PhaseStat>, Vec<Audit>, Vec<String>), String> {
+    let p = ports(o.base_port);
+    let _ = std::fs::remove_dir_all(&o.data_dir);
+    let mut procs = Procs::new();
+    procs.proxy = Some(spawn_proxy(o, &p, "forward").await?);
+    procs.server0 = Some(spawn_server(o, &p, 0)?);
+    procs.server1 = Some(spawn_server(o, &p, 1)?);
+
+    let audit = Client::connect(client_config(&p, o.seed));
+    await_cluster_up(&audit, 15).await?;
+
+    // Seed the key population so lookups have something to find.
+    let mut seeder = Client::connect(client_config(&p, o.seed ^ 0x5EED));
+    for k in 0..KEYS {
+        let key = format!("soak/k{k}");
+        let entries: Vec<Vec<u8>> = (0..4).map(|e| format!("seed-{e}").into_bytes()).collect();
+        seeder.place(key.as_bytes(), entries).await.map_err(|e| format!("seeding {key}: {e}"))?;
+    }
+
+    let stop = Arc::new(AtomicBool::new(false));
+    let ops = Arc::new(AtomicU64::new(0));
+    let errors = Arc::new(AtomicU64::new(0));
+    let workers: Vec<_> = (0..o.concurrency as u64)
+        .map(|w| {
+            tokio::spawn(load_worker(
+                ports(o.base_port),
+                o.seed,
+                w,
+                Arc::clone(&stop),
+                Arc::clone(&ops),
+                Arc::clone(&errors),
+            ))
+        })
+        .collect();
+
+    let mut sampler = Sampler::new();
+    let mut phases = Vec::new();
+
+    phases.push(run_phase("baseline", o.phase_s, &mut sampler, &audit, &ops, &errors).await);
+
+    // Fault 1: black-hole server 0's route to server 1. Replication
+    // fan-out and anti-entropy sends fail; budgets must burn.
+    kill_slot(&mut procs.proxy);
+    procs.proxy = Some(spawn_proxy(o, &p, "black-hole").await?);
+    let blackhole = run_phase("blackhole", o.phase_s, &mut sampler, &audit, &ops, &errors).await;
+    let burned: Vec<String> = blackhole
+        .max_burn_fast
+        .iter()
+        .filter(|(_, v)| **v > 0.0)
+        .map(|(slo, v)| format!("{slo}={v:.2}"))
+        .collect();
+    phases.push(blackhole);
+
+    // Fault 2: restore the route, then SIGKILL the durable server and
+    // restart it from its WAL. Its counters legitimately reset, so the
+    // monotonicity tracker re-anchors.
+    kill_slot(&mut procs.proxy);
+    procs.proxy = Some(spawn_proxy(o, &p, "forward").await?);
+    kill_slot(&mut procs.server1);
+    sampler.reanchor(1);
+    tokio::time::sleep(Duration::from_millis(500)).await;
+    procs.server1 = Some(spawn_server(o, &p, 1)?);
+    phases.push(run_phase("restart", o.phase_s, &mut sampler, &audit, &ops, &errors).await);
+
+    phases.push(run_phase("recovery", o.phase_s, &mut sampler, &audit, &ops, &errors).await);
+
+    // Drain: stop the load, then audit convergence.
+    println!("phase drain: load stopped, auditing convergence");
+    stop.store(true, Ordering::Relaxed);
+    for w in workers {
+        let _ = w.await;
+    }
+
+    let mut audits = Vec::new();
+    audits.push(Audit::new(
+        "counters_monotone",
+        sampler.regressions.is_empty(),
+        if sampler.regressions.is_empty() {
+            format!("no regressions across {} samples", sampler.samples)
+        } else {
+            sampler.regressions.join("; ")
+        },
+    ));
+    audits.push(Audit::new(
+        "burn_during_fault",
+        !burned.is_empty(),
+        if burned.is_empty() {
+            "no SLO burned during the black-hole phase".to_string()
+        } else {
+            format!("fast burn observed during black-hole: {}", burned.join(", "))
+        },
+    ));
+    audits.push(audit_inflight_drains(&audit, o.phase_s).await);
+    audits.push(audit_staleness_converges(&audit, o.phase_s * 2).await);
+    audits.push(audit_timeline_agrees(&audit, &p).await);
+    audits.push(audit_burn_stopped(&audit).await);
+
+    Ok((phases, audits, sampler.regressions.clone()))
+}
+
+fn write_artifact(o: &Opts, phases: &[PhaseStat], audits: &[Audit]) -> Result<PathBuf, String> {
+    let doc = Object::new()
+        .string("schema", "pls-soak/v1")
+        .string("bench", &o.name)
+        .string("git_rev", &git_rev())
+        .field(
+            "config",
+            &Object::new()
+                .u64("servers", 2)
+                .u64("shards", 2)
+                .u64("phase_s", o.phase_s)
+                .u64("concurrency", o.concurrency as u64)
+                .u64("keys", KEYS)
+                .u64("seed", o.seed)
+                .u64("scrape_ms", SCRAPE_MS)
+                .u64("slo_fast_s", SLO_FAST_S)
+                .u64("slo_slow_s", SLO_SLOW_S)
+                .build(),
+        )
+        .field("phases", &array(phases.iter().map(phase_json)))
+        .field(
+            "audits",
+            &array(audits.iter().map(|a| {
+                Object::new()
+                    .string("name", a.name)
+                    .bool("pass", a.pass)
+                    .string("detail", &a.detail)
+                    .build()
+            })),
+        )
+        .bool("pass", audits.iter().all(|a| a.pass))
+        .build();
+    std::fs::create_dir_all(&o.out_dir).map_err(|e| format!("{}: {e}", o.out_dir.display()))?;
+    let path = o.out_dir.join(format!("SOAK_{}.json", o.name));
+    std::fs::write(&path, doc).map_err(|e| format!("{}: {e}", path.display()))?;
+    Ok(path)
+}
+
+fn main() -> ExitCode {
+    let o = match parse_args() {
+        Ok(o) => o,
+        Err(msg) => {
+            eprintln!("{msg}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let runtime = match tokio::runtime::Builder::new_multi_thread().enable_all().build() {
+        Ok(rt) => rt,
+        Err(err) => {
+            eprintln!("runtime start failed: {err}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let outcome = runtime.block_on(run_soak(&o));
+    match outcome {
+        Ok((phases, audits, _regressions)) => {
+            match write_artifact(&o, &phases, &audits) {
+                Ok(path) => println!("wrote {}", path.display()),
+                Err(msg) => {
+                    eprintln!("{msg}");
+                    return ExitCode::FAILURE;
+                }
+            }
+            let failed = audits.iter().filter(|a| !a.pass).count();
+            if failed > 0 {
+                eprintln!("{failed} audit(s) failed");
+                ExitCode::FAILURE
+            } else {
+                println!("all {} audits passed", audits.len());
+                ExitCode::SUCCESS
+            }
+        }
+        Err(msg) => {
+            eprintln!("{msg}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -1,8 +1,10 @@
 //! Support library for the `repro` experiment harness: output formatting
-//! and CSV writing shared by the binary and the benches.
+//! and CSV writing shared by the binary and the benches, plus the
+//! `pls-bench compare` regression gate's arithmetic.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod compare;
 pub mod oracle;
 pub mod output;

@@ -27,6 +27,15 @@
 //!                                 Prometheus text exposition instead;
 //!                                 --reset drains each server's counters
 //!                                 as they are read
+//!   top [--interval-ms MS] [--count N]
+//!                                 live cluster dashboard: redraws every MS
+//!                                 milliseconds (default 2000) with windowed
+//!                                 request/mutation/probe/error rates, p99
+//!                                 latencies, engines lock wait, queue
+//!                                 depths, per-server SLO error budgets and
+//!                                 burn rates, and the hottest keys;
+//!                                 --count N stops after N frames
+//!                                 (default: run until interrupted)
 //!   trace REQ [--chrome OUT.json] fetch every span retained for request
 //!                                 REQ (decimal or 0x-hex) from every
 //!                                 server's flight recorder plus this
@@ -98,7 +107,7 @@ fn parse_args() -> Result<Options, String> {
     let servers = servers.ok_or("--servers is required")?;
     let spec = spec.ok_or("--strategy is required")?;
     if command.is_empty() {
-        return Err("missing command (place/add/delete/lookup/status/stats/trace)".to_string());
+        return Err("missing command (place/add/delete/lookup/status/stats/top/trace)".to_string());
     }
     let mut cfg = ClientConfig::new(servers, spec, seed).with_timeouts(timeouts);
     if let Some(ms) = hedge_ms {
@@ -186,6 +195,63 @@ async fn run(opts: Options) -> Result<(), String> {
                 print!("{}", merged.to_prometheus());
             } else {
                 print!("{}", render_stats_table(&merged));
+            }
+        }
+        ["top", flags @ ..] => {
+            let mut interval_ms: u64 = 2_000;
+            let mut count: u64 = 0; // 0 = run until interrupted
+            let mut it = flags.iter();
+            while let Some(flag) = it.next() {
+                let mut value =
+                    |name: &str| it.next().map(|v| *v).ok_or(format!("{name} needs a value"));
+                match *flag {
+                    "--interval-ms" => {
+                        interval_ms = value("--interval-ms")?
+                            .parse()
+                            .map_err(|e| format!("--interval-ms: {e}"))?;
+                    }
+                    "--count" => {
+                        count = value("--count")?.parse().map_err(|e| format!("--count: {e}"))?;
+                    }
+                    other => {
+                        return Err(format!(
+                            "unknown top flag `{other}` (try --interval-ms/--count)"
+                        ))
+                    }
+                }
+            }
+            // A client-side timeline over the merged totals turns the
+            // servers' cumulative counters into the dashboard's rates.
+            let started = std::time::Instant::now();
+            let mut timeline = pls_telemetry::Timeline::new(64);
+            let mut frames: u64 = 0;
+            loop {
+                let mut merged = MetricsSnapshot::new();
+                let mut per_server: Vec<(usize, Option<MetricsSnapshot>)> = Vec::new();
+                for i in 0..n {
+                    match client.metrics_of(i, false).await {
+                        Ok(snap) => {
+                            merged.merge(&snap);
+                            per_server.push((i, Some(snap)));
+                        }
+                        Err(_) => per_server.push((i, None)),
+                    }
+                }
+                let at_unix_ms = std::time::SystemTime::now()
+                    .duration_since(std::time::UNIX_EPOCH)
+                    .map(|d| d.as_millis() as u64)
+                    .unwrap_or(0);
+                timeline.record(at_unix_ms, started.elapsed().as_micros() as u64, merged.clone());
+                let delta = timeline.last_delta();
+                // Clear screen + cursor home, then one full frame.
+                print!("\x1b[2J\x1b[H{}", render_top(&merged, &per_server, delta.as_ref()));
+                use std::io::Write as _;
+                let _ = std::io::stdout().flush();
+                frames += 1;
+                if count > 0 && frames >= count {
+                    break;
+                }
+                tokio::time::sleep(std::time::Duration::from_millis(interval_ms.max(100))).await;
             }
         }
         ["trace", rest @ ..] => {
@@ -523,6 +589,61 @@ fn render_stats_table(merged: &MetricsSnapshot) -> String {
             );
         }
     }
+    // Per-shard drill-down: the same breakdown `GET /debug/contention`
+    // serves, carried over the Metrics RPC as per-shard labeled gauges
+    // (`pls_shard_*{server,shard,..}`), so it needs no HTTP endpoint.
+    // Columns: keys owned, engines-lock acquisitions and wait p99, WAL
+    // acquisitions and wait p99 (WAL columns are n/a without --data-dir).
+    let mut shard_rows: std::collections::BTreeMap<(u64, u64), [Option<f64>; 5]> =
+        std::collections::BTreeMap::new();
+    for (name, value) in &merged.gauges {
+        let Some((family, labels)) = parse_labels(name) else { continue };
+        let label = |key: &str| labels.iter().find(|(k, _)| k == key).map(|(_, v)| v.as_str());
+        let col = match family.as_str() {
+            "pls_shard_keys" => 0,
+            "pls_shard_lock_acquisitions" => match label("site") {
+                Some("engines") => 1,
+                Some("wal") => 3,
+                _ => continue,
+            },
+            "pls_shard_lock_wait_p99_us" => match label("site") {
+                Some("engines") => 2,
+                Some("wal") => 4,
+                _ => continue,
+            },
+            _ => continue,
+        };
+        let (Some(server), Some(shard)) = (
+            label("server").and_then(|v| v.parse::<u64>().ok()),
+            label("shard").and_then(|v| v.parse::<u64>().ok()),
+        ) else {
+            continue;
+        };
+        shard_rows.entry((server, shard)).or_default()[col] = Some(*value);
+    }
+    if !shard_rows.is_empty() {
+        let _ = writeln!(
+            out,
+            "runtime: shards        {:>8} {:>9} {:>9} {:>9} {:>9}",
+            "keys", "eng acq", "eng p99", "wal acq", "wal p99"
+        );
+        for ((server, shard), cols) in shard_rows {
+            let cell = |v: Option<f64>| match v {
+                Some(v) if v.is_finite() => format!("{v:>9.0}"),
+                _ => format!("{:>9}", "n/a"),
+            };
+            let tag = format!("s{server} shard {shard}");
+            let _ = writeln!(
+                out,
+                "  {tag:<21}{:>8.0} {} {} {} {}",
+                cols[0].unwrap_or(0.0),
+                cell(cols[1]),
+                cell(cols[2]),
+                cell(cols[3]),
+                cell(cols[4]),
+            );
+        }
+    }
     if merged.counter("pls_alloc_allocs_total").is_some() {
         let _ = writeln!(out, "runtime: allocations (0 unless servers arm the counting allocator)");
         let _ = writeln!(
@@ -585,6 +706,131 @@ fn render_stats_table(merged: &MetricsSnapshot) -> String {
         for (key, count) in hot.iter().take(10) {
             let _ = writeln!(out, "  {key:<24} {count:>8}");
         }
+    }
+    out
+}
+
+/// Renders one frame of the live `top` dashboard: windowed rates from
+/// the client-side timeline's last delta, queue depths, per-server SLO
+/// error budgets (budget gauges collide under a cluster merge — gauges
+/// replace — so they are read from each server's own snapshot), and
+/// the hottest keys. Pure so tests can drive it from constructed
+/// snapshots.
+fn render_top(
+    merged: &MetricsSnapshot,
+    per_server: &[(usize, Option<MetricsSnapshot>)],
+    delta: Option<&pls_telemetry::Delta>,
+) -> String {
+    use std::fmt::Write as _;
+    let mut out = String::new();
+    let up = per_server.iter().filter(|(_, s)| s.is_some()).count();
+    let _ = writeln!(out, "pls top — {up}/{} servers reporting", per_server.len());
+    for (i, snap) in per_server {
+        if snap.is_none() {
+            let _ = writeln!(out, "  server {i}: UNREACHABLE");
+        }
+    }
+    match delta {
+        Some(d) => {
+            let mutations = d.rate("pls_requests_total{op=\"place\"}")
+                + d.rate("pls_requests_total{op=\"add\"}")
+                + d.rate("pls_requests_total{op=\"delete\"}");
+            let errors = d.rate_sum("pls_request_errors_total")
+                + d.rate_sum("pls_internal_send_failures_total");
+            let p99 = |name: &str| d.histogram(name).map(|h| h.quantile(0.99)).unwrap_or(0.0);
+            let _ = writeln!(out, "rates over the last {:.1}s", d.span_seconds());
+            let _ = writeln!(
+                out,
+                "  requests/s  {:>10.1}   mutations/s {:>10.1}",
+                d.rate_sum("pls_requests_total"),
+                mutations
+            );
+            let _ = writeln!(
+                out,
+                "  probes/s    {:>10.1}   errors/s    {:>10.1}",
+                d.rate_sum("pls_probes_total"),
+                errors
+            );
+            let _ = writeln!(
+                out,
+                "  request p99 {:>8.0}us   probe p99   {:>8.0}us   engines lock wait p99 {:>6.0}us",
+                p99("pls_request_latency_us"),
+                p99("pls_probe_latency_us"),
+                p99("pls_lock_wait_us{site=\"engines\"}"),
+            );
+        }
+        None => {
+            let _ = writeln!(out, "rates: warming up (one more sample needed)");
+        }
+    }
+    let mut queues: Vec<(String, f64)> = merged
+        .gauges
+        .iter()
+        .filter_map(|(name, value)| {
+            let (family, labels) = parse_labels(name)?;
+            if family != "pls_queue_depth" {
+                return None;
+            }
+            labels.into_iter().find(|(k, _)| k == "queue").map(|(_, q)| (q, *value))
+        })
+        .collect();
+    queues.sort_by(|a, b| a.0.cmp(&b.0));
+    if !queues.is_empty() {
+        let depths: Vec<String> = queues.iter().map(|(q, v)| format!("{q}={v:.0}")).collect();
+        let _ = writeln!(out, "queue depths  {}", depths.join("  "));
+    }
+    let mut wrote_header = false;
+    for (i, snap) in per_server {
+        let Some(snap) = snap else { continue };
+        let mut rows: Vec<(String, f64, f64, f64)> = Vec::new();
+        for (name, remaining) in &snap.gauges {
+            let Some((family, labels)) = parse_labels(name) else { continue };
+            if family != "pls_slo_error_budget_remaining" {
+                continue;
+            }
+            let Some((_, slo)) = labels.into_iter().find(|(k, _)| k == "slo") else { continue };
+            let burn = |window: &str| {
+                snap.gauge(&format!("pls_slo_burn_rate{{slo=\"{slo}\",window=\"{window}\"}}"))
+                    .unwrap_or(0.0)
+            };
+            rows.push((slo.clone(), *remaining, burn("fast"), burn("slow")));
+        }
+        rows.sort_by(|a, b| a.0.cmp(&b.0));
+        if rows.is_empty() {
+            continue;
+        }
+        if !wrote_header {
+            let _ = writeln!(
+                out,
+                "slo error budgets        {:>10} {:>10} {:>10}",
+                "remaining", "burn fast", "burn slow"
+            );
+            wrote_header = true;
+        }
+        for (slo, remaining, fast, slow) in rows {
+            // Burn > 1 means the budget is being spent faster than it
+            // accrues — the page-worthy state.
+            let flag = if fast > 1.0 { "  BURNING" } else { "" };
+            let tag = format!("s{i} {slo}");
+            let _ = writeln!(out, "  {tag:<22} {remaining:>10.4} {fast:>10.2} {slow:>10.2}{flag}");
+        }
+    }
+    let mut hot: Vec<(String, u64)> = merged
+        .counters
+        .iter()
+        .filter_map(|(name, value)| {
+            let (family, labels) = parse_labels(name)?;
+            if family != "pls_hot_key_probes" {
+                return None;
+            }
+            let (_, key) = labels.into_iter().find(|(k, _)| k == "key")?;
+            Some((key, *value))
+        })
+        .collect();
+    hot.sort_by(|a, b| b.1.cmp(&a.1).then_with(|| a.0.cmp(&b.0)));
+    if !hot.is_empty() {
+        let keys: Vec<String> = hot.iter().take(5).map(|(k, c)| format!("{k}({c})")).collect();
+        let _ = writeln!(out, "hottest keys  {}", keys.join("  "));
     }
     out
 }
@@ -666,6 +912,122 @@ mod tests {
         assert!(engines.ends_with("2          1       127        63"), "{engines}");
         assert!(row("allocs").ends_with("1000"), "{table}");
         assert!(row("inflight").ends_with("3"), "{table}");
+    }
+
+    #[test]
+    fn stats_table_renders_the_per_shard_drilldown() {
+        let mut snap = MetricsSnapshot::new();
+        snap.gauges.push(("pls_shard_keys{server=\"0\",shard=\"0\"}".to_string(), 12.0));
+        snap.gauges.push(("pls_shard_keys{server=\"0\",shard=\"1\"}".to_string(), 9.0));
+        snap.gauges.push(("pls_shard_keys{server=\"1\",shard=\"0\"}".to_string(), 7.0));
+        snap.gauges.push((
+            "pls_shard_lock_acquisitions{server=\"0\",shard=\"0\",site=\"engines\"}".to_string(),
+            100.0,
+        ));
+        snap.gauges.push((
+            "pls_shard_lock_wait_p99_us{server=\"0\",shard=\"0\",site=\"engines\"}".to_string(),
+            31.0,
+        ));
+        snap.gauges.push((
+            "pls_shard_lock_acquisitions{server=\"0\",shard=\"0\",site=\"wal\"}".to_string(),
+            40.0,
+        ));
+        snap.gauges.push((
+            "pls_shard_lock_wait_p99_us{server=\"0\",shard=\"0\",site=\"wal\"}".to_string(),
+            f64::INFINITY,
+        ));
+        let table = render_stats_table(&snap);
+        assert!(table.contains("runtime: shards"), "{table}");
+        let row = |tag: &str| {
+            table
+                .lines()
+                .find(|l| l.trim_start().starts_with(tag))
+                .unwrap_or_else(|| panic!("no `{tag}` row in:\n{table}"))
+                .to_string()
+        };
+        // Fully-populated row: keys, engines acq/p99, WAL acq, and a
+        // non-finite p99 rendered as n/a.
+        let full = row("s0 shard 0");
+        assert!(full.contains("12"), "{full}");
+        assert!(full.contains("100"), "{full}");
+        assert!(full.contains("31"), "{full}");
+        assert!(full.contains("40"), "{full}");
+        assert!(full.trim_end().ends_with("n/a"), "{full}");
+        // Memory-only shard: WAL columns are n/a, keys still shown.
+        let bare = row("s0 shard 1");
+        assert!(bare.contains('9'), "{bare}");
+        assert!(bare.contains("n/a"), "{bare}");
+        // Rows sort by (server, shard).
+        let order: Vec<usize> = ["s0 shard 0", "s0 shard 1", "s1 shard 0"]
+            .iter()
+            .map(|tag| table.find(&format!("  {tag}")).unwrap())
+            .collect();
+        assert!(order[0] < order[1] && order[1] < order[2], "{table}");
+    }
+
+    #[test]
+    fn stats_table_omits_the_shard_section_without_shard_gauges() {
+        let table = render_stats_table(&MetricsSnapshot::new());
+        assert!(!table.contains("runtime: shards"));
+    }
+
+    #[test]
+    fn top_frame_shows_rates_slo_budgets_and_unreachable_servers() {
+        let snap_at = |requests: u64| {
+            let mut s = MetricsSnapshot::new();
+            s.push_counter("pls_requests_total{op=\"probe\"}", requests);
+            s.push_counter("pls_requests_total{op=\"add\"}", requests / 2);
+            s.push_counter("pls_probes_total{strategy=\"round\"}", requests * 2);
+            s.push_gauge("pls_queue_depth{queue=\"inflight\"}", 4.0);
+            s.push_counter("pls_hot_key_probes{key=\"alpha\"}", 9);
+            s
+        };
+        let mut server0 = snap_at(300);
+        server0.push_gauge("pls_slo_error_budget_remaining{slo=\"availability\"}", 0.75);
+        server0.push_gauge("pls_slo_burn_rate{slo=\"availability\",window=\"fast\"}", 2.5);
+        server0.push_gauge("pls_slo_burn_rate{slo=\"availability\",window=\"slow\"}", 0.5);
+        let mut timeline = pls_telemetry::Timeline::new(4);
+        timeline.record(0, 0, snap_at(100));
+        timeline.record(0, 2_000_000, snap_at(300));
+        let delta = timeline.last_delta().unwrap();
+        let frame = render_top(
+            timeline.latest().map(|w| &w.totals).unwrap(),
+            &[(0, Some(server0)), (1, None)],
+            Some(&delta),
+        );
+        assert!(frame.contains("1/2 servers reporting"), "{frame}");
+        assert!(frame.contains("server 1: UNREACHABLE"), "{frame}");
+        // 300 more requests (op-summed) over 2 s = 150/s; probes 200/s;
+        // the 100 extra `add`s are 50 mutations/s.
+        let rate_row = |label: &str| {
+            frame
+                .lines()
+                .find(|l| l.trim_start().starts_with(label))
+                .unwrap_or_else(|| panic!("no `{label}` row in:\n{frame}"))
+                .to_string()
+        };
+        assert!(rate_row("requests/s").contains("150.0"), "{frame}");
+        assert!(rate_row("probes/s").contains("200.0"), "{frame}");
+        assert!(rate_row("requests/s").ends_with("50.0"), "{frame}");
+        assert!(frame.contains("queue depths  inflight=4"), "{frame}");
+        // Fast burn 2.5 > 1 gets flagged.
+        let slo_row = frame
+            .lines()
+            .find(|l| l.contains("s0 availability"))
+            .unwrap_or_else(|| panic!("no slo row in:\n{frame}"));
+        assert!(slo_row.contains("0.7500"), "{slo_row}");
+        assert!(slo_row.contains("2.50"), "{slo_row}");
+        assert!(slo_row.trim_end().ends_with("BURNING"), "{slo_row}");
+        assert!(frame.contains("hottest keys  alpha(9)"), "{frame}");
+    }
+
+    #[test]
+    fn top_frame_warms_up_without_a_delta_and_omits_empty_sections() {
+        let frame = render_top(&MetricsSnapshot::new(), &[(0, Some(MetricsSnapshot::new()))], None);
+        assert!(frame.contains("warming up"), "{frame}");
+        assert!(!frame.contains("slo error budgets"), "{frame}");
+        assert!(!frame.contains("queue depths"), "{frame}");
+        assert!(!frame.contains("hottest keys"), "{frame}");
     }
 }
 

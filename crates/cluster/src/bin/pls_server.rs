@@ -5,7 +5,8 @@
 //!            [--seed S] [--log LEVEL] [--metrics-addr HOST:PORT] [--slow-ms MS]
 //!            [--rpc-timeout-ms MS] [--op-budget-ms MS] [--data-dir DIR]
 //!            [--checkpoint-every N] [--antientropy-ms MS] [--staleness-ms MS]
-//!            [--tombstone-ttl-ms MS] [--shards N]
+//!            [--tombstone-ttl-ms MS] [--shards N] [--scrape-ms MS]
+//!            [--slo-fast-s S] [--slo-slow-s S] [--slo-latency-ms MS]
 //!
 //!   --index         this server's position in the peer list (0-based;
 //!                   index 0 is the Round-Robin coordinator)
@@ -59,6 +60,17 @@
 //!                   count in `shards.meta`; restarting with a
 //!                   different --shards is refused (a pre-sharding v1
 //!                   data dir is migrated automatically on first start)
+//!   --scrape-ms     observatory self-scrape interval: snapshot the
+//!                   full metrics into the in-memory timeline and
+//!                   refresh the SLO error budgets on a jittered ~MS
+//!                   cadence, feeding `GET /debug/timeline` and the
+//!                   `pls_slo_*` gauges (default 2000; 0 disables)
+//!   --slo-fast-s    fast burn-rate window, seconds (default 60)
+//!   --slo-slow-s    slow burn-rate window, seconds (default 300; also
+//!                   sizes the timeline's retention)
+//!   --slo-latency-ms  latency SLO target: requests slower than MS
+//!                   milliseconds spend latency error budget
+//!                   (default 10)
 //! ```
 //!
 //! Example 3-server cluster on one machine:
@@ -95,6 +107,10 @@ fn parse_args() -> Result<(ServerConfig, Option<SocketAddr>), String> {
     let mut staleness_ms: u64 = 2_000;
     let mut tombstone_ttl_ms: Option<u64> = None;
     let mut shards: Option<usize> = None;
+    let mut scrape_ms: u64 = 2_000;
+    let mut slo_fast_s: Option<u64> = None;
+    let mut slo_slow_s: Option<u64> = None;
+    let mut slo_latency_ms: Option<u64> = None;
     let mut timeouts = Timeouts::default();
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -159,6 +175,25 @@ fn parse_args() -> Result<(ServerConfig, Option<SocketAddr>), String> {
             "--shards" => {
                 shards = Some(value("--shards")?.parse().map_err(|e| format!("--shards: {e}"))?);
             }
+            "--scrape-ms" => {
+                scrape_ms =
+                    value("--scrape-ms")?.parse().map_err(|e| format!("--scrape-ms: {e}"))?;
+            }
+            "--slo-fast-s" => {
+                slo_fast_s =
+                    Some(value("--slo-fast-s")?.parse().map_err(|e| format!("--slo-fast-s: {e}"))?);
+            }
+            "--slo-slow-s" => {
+                slo_slow_s =
+                    Some(value("--slo-slow-s")?.parse().map_err(|e| format!("--slo-slow-s: {e}"))?);
+            }
+            "--slo-latency-ms" => {
+                slo_latency_ms = Some(
+                    value("--slo-latency-ms")?
+                        .parse()
+                        .map_err(|e| format!("--slo-latency-ms: {e}"))?,
+                );
+            }
             "--log" => trace::init_from_str(&value("--log")?)?,
             "--help" | "-h" => {
                 return Err(
@@ -166,7 +201,8 @@ fn parse_args() -> Result<(ServerConfig, Option<SocketAddr>), String> {
                      [--log LEVEL] [--metrics-addr HOST:PORT] [--slow-ms MS] \
                      [--rpc-timeout-ms MS] [--op-budget-ms MS] [--data-dir DIR] \
                      [--checkpoint-every N] [--antientropy-ms MS] [--staleness-ms MS] \
-                     [--tombstone-ttl-ms MS] [--shards N]"
+                     [--tombstone-ttl-ms MS] [--shards N] [--scrape-ms MS] [--slo-fast-s S] \
+                     [--slo-slow-s S] [--slo-latency-ms MS]"
                         .to_string(),
                 )
             }
@@ -200,6 +236,16 @@ fn parse_args() -> Result<(ServerConfig, Option<SocketAddr>), String> {
     }
     if let Some(n) = shards {
         cfg = cfg.with_shards(n);
+    }
+    cfg =
+        cfg.with_self_scrape((scrape_ms > 0).then(|| std::time::Duration::from_millis(scrape_ms)));
+    if slo_fast_s.is_some() || slo_slow_s.is_some() {
+        let fast = std::time::Duration::from_secs(slo_fast_s.unwrap_or(60));
+        let slow = std::time::Duration::from_secs(slo_slow_s.unwrap_or(300));
+        cfg = cfg.with_slo_windows(fast, slow);
+    }
+    if let Some(ms) = slo_latency_ms {
+        cfg = cfg.with_slo_latency_target_us(ms.saturating_mul(1_000));
     }
     Ok((cfg, metrics_addr))
 }

@@ -75,6 +75,20 @@ pub struct ServerConfig {
     /// with (resharding is refused — see
     /// [`storage::SHARD_META_FILE`]).
     pub shards: usize,
+    /// Self-scrape interval: how often the server snapshots its own
+    /// metrics into the observatory timeline and refreshes the SLO
+    /// accounting (same 0.5x–1.5x jitter as the other background
+    /// loops). `None` disables the loop — the timeline then only grows
+    /// through explicit [`Server::scrape_now`] calls.
+    pub self_scrape: Option<Duration>,
+    /// Fast SLO burn-rate window (`pls_slo_burn_rate{window="fast"}`).
+    pub slo_fast: Duration,
+    /// Slow SLO burn-rate window (`pls_slo_burn_rate{window="slow"}`);
+    /// also bounds how far back the timeline must reach.
+    pub slo_slow: Duration,
+    /// Latency SLO target in microseconds: requests slower than this
+    /// burn the `latency` objective's error budget.
+    pub slo_latency_target_us: u64,
 }
 
 /// Default shard count: one per available core (1 when unknown).
@@ -100,6 +114,10 @@ impl ServerConfig {
             staleness_probe: None,
             tombstone_ttl: Duration::from_secs(900),
             shards: default_shards(),
+            self_scrape: Some(Duration::from_secs(2)),
+            slo_fast: Duration::from_secs(60),
+            slo_slow: Duration::from_secs(300),
+            slo_latency_target_us: 10_000,
         }
     }
 
@@ -157,6 +175,27 @@ impl ServerConfig {
     /// Overrides the shared-nothing shard count (clamped to at least 1).
     pub fn with_shards(mut self, shards: usize) -> Self {
         self.shards = shards.max(1);
+        self
+    }
+
+    /// Overrides the observatory self-scrape interval; `None` disables
+    /// the loop.
+    pub fn with_self_scrape(mut self, every: Option<Duration>) -> Self {
+        self.self_scrape = every;
+        self
+    }
+
+    /// Overrides the fast/slow SLO burn-rate windows (slow is floored
+    /// at fast).
+    pub fn with_slo_windows(mut self, fast: Duration, slow: Duration) -> Self {
+        self.slo_fast = fast;
+        self.slo_slow = slow.max(fast);
+        self
+    }
+
+    /// Overrides the latency SLO target, microseconds.
+    pub fn with_slo_latency_target_us(mut self, target_us: u64) -> Self {
+        self.slo_latency_target_us = target_us;
         self
     }
 }
@@ -236,6 +275,87 @@ struct State {
     /// against its own baseline instead of draining the globals out
     /// from under its siblings.
     alloc_base: AllocBaseline,
+    /// The SLO & timeline observatory: the self-scrape loop records
+    /// cumulative snapshots here and refreshes the error-budget
+    /// accounting; the Metrics exposition and `GET /debug/timeline`
+    /// read it.
+    observatory: TimedMutex<Observatory>,
+    /// Process-start instant: the monotonic clock timeline windows and
+    /// SLO burn windows are stamped with.
+    started: Instant,
+}
+
+/// The time dimension of the observatory, behind one [`TimedMutex`]:
+/// the ring of periodic metrics snapshots plus the SLO tracker fed
+/// from its deltas. `last_status` caches the SLO accounting computed
+/// at the most recent scrape, so the Metrics exposition only reads.
+struct Observatory {
+    timeline: pls_telemetry::Timeline,
+    slo: pls_telemetry::SloTracker,
+    last_status: Vec<pls_telemetry::SloStatus>,
+}
+
+impl Observatory {
+    fn new(cfg: &ServerConfig) -> Self {
+        // Size the ring so it reaches back about twice the slow burn
+        // window at the configured scrape cadence (jitter averages
+        // 1.0x), bounded so a pathological config cannot balloon it.
+        let scrape_us = cfg.self_scrape.unwrap_or(Duration::from_secs(2)).as_micros().max(1);
+        let capacity = (2 * cfg.slo_slow.as_micros() / scrape_us + 2).clamp(32, 360) as usize;
+        Observatory {
+            timeline: pls_telemetry::Timeline::new(capacity),
+            slo: pls_telemetry::SloTracker::new(slo_specs(cfg), cfg.slo_fast, cfg.slo_slow),
+            last_status: Vec::new(),
+        }
+    }
+
+    /// Records one scrape and refreshes the SLO accounting from the
+    /// delta against the previous window.
+    fn record(&mut self, at_unix_ms: u64, uptime_us: u64, totals: MetricsSnapshot) {
+        self.timeline.record(at_unix_ms, uptime_us, totals);
+        if let Some(delta) = self.timeline.last_delta() {
+            let latest = self.timeline.latest().expect("just recorded");
+            self.slo.ingest(uptime_us, &delta, &latest.totals);
+            self.last_status = self.slo.status();
+        }
+    }
+}
+
+/// The server's declared objectives. Budgets are deliberate defaults,
+/// not knobs-per-objective: availability 99.9% of events good, latency
+/// 99% of requests at or under the configured target, staleness 95% of
+/// scrape intervals with every `pls_live_staleness` series fully
+/// fresh. `availability` counts internal fan-out sends alongside
+/// client-facing requests, so a black-holed peer burns the budget even
+/// when every client call still succeeds.
+fn slo_specs(cfg: &ServerConfig) -> Vec<pls_telemetry::SloSpec> {
+    use pls_telemetry::{SloSource, SloSpec};
+    vec![
+        SloSpec::new(
+            "availability",
+            0.001,
+            SloSource::Ratio {
+                total: vec!["pls_requests_total".into(), "pls_internal_sent_total".into()],
+                bad: vec![
+                    "pls_request_errors_total".into(),
+                    "pls_internal_send_failures_total".into(),
+                ],
+            },
+        ),
+        SloSpec::new(
+            "latency",
+            0.01,
+            SloSource::LatencyAbove {
+                histogram: "pls_request_latency_us".into(),
+                target_us: cfg.slo_latency_target_us,
+            },
+        ),
+        SloSpec::new(
+            "staleness",
+            0.05,
+            SloSource::GaugeFloor { gauge: "pls_live_staleness".into(), floor: 0.999 },
+        ),
+    ]
 }
 
 /// Stored copy of [`pls_telemetry::alloc::AllocStats`]' monotone
@@ -568,6 +688,7 @@ impl Server {
                 storage,
             })
             .collect();
+        let observatory = TimedMutex::new("observatory", Observatory::new(&cfg));
         let state = Arc::new(State {
             cfg,
             shards,
@@ -577,6 +698,8 @@ impl Server {
             live_ft: TimedMutex::new("live_ft", BTreeMap::new()),
             live_staleness: TimedMutex::new("live_staleness", BTreeMap::new()),
             alloc_base: AllocBaseline::default(),
+            observatory,
+            started: Instant::now(),
         });
         let recovered = match recovered_state {
             Some(rec) => replay_recovered(&state, rec),
@@ -623,7 +746,12 @@ impl Server {
     ///   recorder's own counters;
     /// * `GET /debug/contention` — the performance observatory as JSON:
     ///   per-site lock wait/hold distributions, allocation counters,
-    ///   and queue-depth gauges, ready for `jq`.
+    ///   and queue-depth gauges, ready for `jq`;
+    /// * `GET /debug/timeline` — the SLO & timeline observatory as
+    ///   JSON: ring metadata, windowed rates over the fast and slow
+    ///   SLO windows, per-objective error budgets and burn rates, the
+    ///   per-window cumulative series (for drift auditing), and the
+    ///   per-shard drill-down.
     ///
     /// Routes hold only an [`Arc`] on the shared state, so the endpoint
     /// outlives the `Server` handle.
@@ -632,6 +760,7 @@ impl Server {
         let metrics_state = Arc::clone(&self.state);
         let trace_state = Arc::clone(&self.state);
         let contention_state = Arc::clone(&self.state);
+        let timeline_state = Arc::clone(&self.state);
         Router::new()
             .route_text(
                 "/metrics",
@@ -667,6 +796,20 @@ impl Server {
                     Box::pin(async move { RouteReply::json(contention_json(&state)) })
                 }),
             )
+            .route(
+                "/debug/timeline",
+                Arc::new(move |_query: Option<String>| -> BoxedReply {
+                    let state = Arc::clone(&timeline_state);
+                    Box::pin(async move { RouteReply::json(timeline_json(&state)) })
+                }),
+            )
+    }
+
+    /// Takes one observatory scrape immediately — exactly what the
+    /// self-scrape loop does on its jittered cadence. Tests and
+    /// harnesses use it to populate the timeline deterministically.
+    pub fn scrape_now(&self) {
+        scrape_once(&self.state);
     }
 
     /// The full peer list with this server's resolved address.
@@ -836,10 +979,20 @@ impl Server {
                 }
             }
         };
+        let scrape = {
+            let state = Arc::clone(&state);
+            async move {
+                match state.cfg.self_scrape {
+                    Some(every) => self_scrape_loop(state, every).await,
+                    None => std::future::pending().await,
+                }
+            }
+        };
         tokio::select! {
             () = accept_loop(listener, state) => {}
             () = repair => {}
             () = staleness => {}
+            () = scrape => {}
         }
     }
 }
@@ -959,6 +1112,86 @@ fn collect_metrics(state: &State, reset: bool) -> MetricsSnapshot {
         "Delete tombstones currently held across this server's keys \
          (awaiting TTL garbage collection).",
     );
+    // Per-shard drill-down, as gauges so the breakdown travels over the
+    // Metrics RPC (the merged `engines`/`wal` families above stay the
+    // stable compare keys). Labeled with the *server* as well as the
+    // shard: cluster merges replace same-named gauges, so without the
+    // server label every server's shard 0 would collapse into one row.
+    // The lock readings are non-draining snapshots — cumulative since
+    // this server's last resetting scrape.
+    let me_label = state.cfg.me.to_string();
+    for (i, sh) in state.shards.iter().enumerate() {
+        let shard_label = i.to_string();
+        let labels = |site: Option<&str>| {
+            let mut pairs = vec![("server", me_label.as_str()), ("shard", shard_label.as_str())];
+            if let Some(site) = site {
+                pairs.push(("site", site));
+            }
+            pairs
+        };
+        let keys = sh.core.lock().engines.len() as f64;
+        s.push_gauge(pls_telemetry::snapshot::labeled("pls_shard_keys", &labels(None)), keys);
+        let mut push_site = |snap: &pls_telemetry::SiteSnapshot, site: &str| {
+            s.push_gauge(
+                pls_telemetry::snapshot::labeled(
+                    "pls_shard_lock_acquisitions",
+                    &labels(Some(site)),
+                ),
+                snap.acquisitions as f64,
+            );
+            s.push_gauge(
+                pls_telemetry::snapshot::labeled("pls_shard_lock_wait_p99_us", &labels(Some(site))),
+                snap.wait_us.quantile(0.99),
+            );
+        };
+        push_site(&sh.core.stats().snapshot(), "engines");
+        if let Some(st) = &sh.storage {
+            push_site(&st.wal_lock_stats().snapshot(), "wal");
+        }
+    }
+    s.set_help("pls_shard_keys", "Keys owned by each shared-nothing shard of each server.");
+    s.set_help(
+        "pls_shard_lock_acquisitions",
+        "Lock acquisitions per shard and site since the last resetting scrape \
+         (non-draining snapshot of the per-shard mutex).",
+    );
+    s.set_help(
+        "pls_shard_lock_wait_p99_us",
+        "p99 lock wait per shard and site since the last resetting scrape (us).",
+    );
+    // SLO accounting, refreshed by the self-scrape loop (absent until
+    // the loop has taken at least two scrapes). Must also stay before
+    // the lock-sites block below: reading it acquires the observatory
+    // mutex, and that acquisition has to land in this scrape's drain.
+    {
+        let obs = state.observatory.lock();
+        for slo in &obs.last_status {
+            s.push_gauge(
+                format!("pls_slo_error_budget_remaining{{slo=\"{}\"}}", slo.name),
+                slo.budget_remaining,
+            );
+            s.push_gauge(
+                format!("pls_slo_burn_rate{{slo=\"{}\",window=\"fast\"}}", slo.name),
+                slo.burn_fast,
+            );
+            s.push_gauge(
+                format!("pls_slo_burn_rate{{slo=\"{}\",window=\"slow\"}}", slo.name),
+                slo.burn_slow,
+            );
+        }
+        if !obs.last_status.is_empty() {
+            s.set_help(
+                "pls_slo_error_budget_remaining",
+                "Fraction of each objective's error budget left (1 = untouched, \
+                 0 = spent, negative = overspent).",
+            );
+            s.set_help(
+                "pls_slo_burn_rate",
+                "Error-budget burn rate per objective over the fast/slow window \
+                 (1 = burning exactly at budget; 0 = not burning).",
+            );
+        }
+    }
     // Lock-contention observatory. This block must stay *after* every
     // shard/live_ft/live_staleness lock above: with `reset`, the drain
     // then covers this collection's own acquisitions, keeping the
@@ -1047,6 +1280,7 @@ fn lock_sites(state: &State) -> Vec<(&'static str, Vec<&SiteStats>)> {
         ("engines", state.shards.iter().map(|sh| sh.core.stats().as_ref()).collect()),
         ("live_ft", vec![state.live_ft.stats().as_ref()]),
         ("live_staleness", vec![state.live_staleness.stats().as_ref()]),
+        ("observatory", vec![state.observatory.stats().as_ref()]),
     ];
     let wals: Vec<&SiteStats> = state
         .shards
@@ -1132,6 +1366,177 @@ fn contention_json(state: &State) -> String {
         .field("shards", &shards)
         .field("alloc", &alloc)
         .field("queues", &queues.build())
+        .build()
+}
+
+/// Wall-clock milliseconds since the Unix epoch (0 if the clock is
+/// before the epoch — informational stamps only, never arithmetic).
+fn unix_ms() -> u64 {
+    std::time::SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .map(|d| d.as_millis() as u64)
+        .unwrap_or(0)
+}
+
+/// One observatory scrape: snapshot the full metrics (non-resetting —
+/// the timeline stores cumulative totals and diffs them itself, so it
+/// never steals deltas from external scrapers), then record it and
+/// refresh the SLO accounting. `collect_metrics` briefly takes the
+/// observatory lock itself (to export the SLO gauges) but has released
+/// it before this function locks it to record — no nesting.
+fn scrape_once(state: &Arc<State>) {
+    let totals = collect_metrics(state, false);
+    let at_unix_ms = unix_ms();
+    let uptime_us = state.started.elapsed().as_micros() as u64;
+    state.observatory.lock().record(at_unix_ms, uptime_us, totals);
+}
+
+/// The background self-scrape loop feeding the observatory timeline:
+/// sleep a jittered interval (same 0.5x–1.5x scheme as anti-entropy,
+/// its own stream), take one scrape, repeat forever (the caller owns
+/// and aborts it).
+async fn self_scrape_loop(state: Arc<State>, every: Duration) {
+    let mut tick: u64 = 0;
+    loop {
+        tick = tick.wrapping_add(1);
+        let r = splitmix64(
+            state.cfg.seed
+                ^ 0x5343_5241_5045 // "SCRAPE" stream
+                ^ (state.cfg.me as u64)
+                ^ tick.wrapping_mul(0x9E37_79B9_7F4A_7C15),
+        );
+        let jitter = 0.5 + (r >> 11) as f64 / (1u64 << 53) as f64;
+        tokio::time::sleep(every.mul_f64(jitter)).await;
+        scrape_once(&state);
+    }
+}
+
+/// The minimum reading across a labeled gauge family's series, `NaN`
+/// when the family is absent (renders as JSON null).
+fn min_gauge(snap: &MetricsSnapshot, family: &str) -> f64 {
+    snap.gauges
+        .iter()
+        .filter(|(name, _)| {
+            name == family
+                || (name.starts_with(family) && name.as_bytes().get(family.len()) == Some(&b'{'))
+        })
+        .map(|(_, v)| *v)
+        .fold(f64::NAN, f64::min)
+}
+
+/// `GET /debug/timeline`: the SLO & timeline observatory as one JSON
+/// object — ring metadata, windowed rates over the fast and slow SLO
+/// windows, the per-objective error budgets and burn rates, the
+/// per-window cumulative series (what the soak auditor checks for
+/// drift against Metrics-RPC totals), and the same per-shard
+/// drill-down `GET /debug/contention` serves.
+fn timeline_json(state: &Arc<State>) -> String {
+    use pls_telemetry::json::{array, number, Object};
+    use pls_telemetry::timeline::Delta;
+    // Shard rows first: they take shard locks, and the observatory
+    // lock below must never nest inside (or around) them.
+    let shard_rows: Vec<String> = state
+        .shards
+        .iter()
+        .enumerate()
+        .map(|(i, sh)| {
+            let keys = sh.core.lock().engines.len() as u64;
+            let core = sh.core.stats().snapshot();
+            let mut row = Object::new()
+                .u64("shard", i as u64)
+                .u64("keys", keys)
+                .u64("engines_acquisitions", core.acquisitions)
+                .f64("engines_wait_p99_us", core.wait_us.quantile(0.99));
+            if let Some(st) = &sh.storage {
+                let wal = st.wal_lock_stats().snapshot();
+                row = row
+                    .u64("wal_acquisitions", wal.acquisitions)
+                    .f64("wal_wait_p99_us", wal.wait_us.quantile(0.99));
+            }
+            row.build()
+        })
+        .collect();
+
+    let rates_obj = |d: &Delta| {
+        let mutations = d.rate("pls_requests_total{op=\"place\"}")
+            + d.rate("pls_requests_total{op=\"add\"}")
+            + d.rate("pls_requests_total{op=\"delete\"}");
+        let errors =
+            d.rate_sum("pls_request_errors_total") + d.rate_sum("pls_internal_send_failures_total");
+        let p99 = |name: &str| d.histogram(name).map(|h| h.quantile(0.99)).unwrap_or(f64::NAN);
+        Object::new()
+            .u64("from_seq", d.from_seq)
+            .u64("to_seq", d.to_seq)
+            .u64("span_us", d.span_us)
+            .f64("requests_per_s", d.rate_sum("pls_requests_total"))
+            .f64("mutations_per_s", mutations)
+            .f64("probes_per_s", d.rate_sum("pls_probes_total"))
+            .f64("internal_sends_per_s", d.rate_sum("pls_internal_sent_total"))
+            .f64("errors_per_s", errors)
+            .field("request_p99_us", &number(p99("pls_request_latency_us")))
+            .field("probe_p99_us", &number(p99("pls_probe_latency_us")))
+            .field("engines_lock_wait_p99_us", &number(p99("pls_lock_wait_us{site=\"engines\"}")))
+            .build()
+    };
+
+    let obs = state.observatory.lock();
+    let tl = &obs.timeline;
+    let meta = Object::new()
+        .u64("len", tl.len() as u64)
+        .u64("capacity", tl.capacity() as u64)
+        .u64("evicted", tl.evicted())
+        .field("from_seq", &tl.oldest().map(|w| w.seq.to_string()).unwrap_or("null".into()))
+        .field("to_seq", &tl.latest().map(|w| w.seq.to_string()).unwrap_or("null".into()))
+        .build();
+    let mut rates = Object::new();
+    if let Some(d) = tl.last_delta() {
+        rates = rates.field("last", &rates_obj(&d));
+    }
+    if let Some(d) = tl.delta_over(state.cfg.slo_fast.as_micros() as u64) {
+        rates = rates.field("fast", &rates_obj(&d));
+    }
+    if let Some(d) = tl.delta_over(state.cfg.slo_slow.as_micros() as u64) {
+        rates = rates.field("slow", &rates_obj(&d));
+    }
+    let slo = array(obs.last_status.iter().map(|st| {
+        Object::new()
+            .string("slo", &st.name)
+            .f64("budget", st.budget)
+            .u64("total", st.total)
+            .u64("bad", st.bad)
+            .f64("budget_remaining", st.budget_remaining)
+            .f64("burn_fast", st.burn_fast)
+            .f64("burn_slow", st.burn_slow)
+            .build()
+    }));
+    // Cumulative totals per retained window: the monotone counters the
+    // soak auditor compares against Metrics-RPC readings (drift = 0),
+    // plus the levels whose convergence it asserts.
+    let series = array(tl.windows().map(|w| {
+        Object::new()
+            .u64("seq", w.seq)
+            .u64("at_unix_ms", w.at_unix_ms)
+            .u64("uptime_us", w.uptime_us)
+            .u64("requests", w.totals.counter_sum("pls_requests_total"))
+            .u64("request_errors", w.totals.counter_sum("pls_request_errors_total"))
+            .u64("probes", w.totals.counter_sum("pls_probes_total"))
+            .u64("internal_sent", w.totals.counter_sum("pls_internal_sent_total"))
+            .u64("internal_send_failures", w.totals.counter_sum("pls_internal_send_failures_total"))
+            .u64("wal_appends", w.totals.counter_sum("pls_wal_appends_total"))
+            .field(
+                "inflight",
+                &number(w.totals.gauge("pls_queue_depth{queue=\"inflight\"}").unwrap_or(f64::NAN)),
+            )
+            .field("staleness_min", &number(min_gauge(&w.totals, "pls_live_staleness")))
+            .build()
+    }));
+    Object::new()
+        .u64("server", state.cfg.me as u64)
+        .field("windows", &meta)
+        .field("rates", &rates.build())
+        .field("slo", &slo)
+        .field("series", &series)
+        .field("shards", &array(shard_rows.into_iter()))
         .build()
 }
 

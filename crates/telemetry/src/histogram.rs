@@ -265,6 +265,65 @@ mod tests {
     }
 
     #[test]
+    fn minus_underflow_saturates_every_field_independently() {
+        // A later snapshot that is *behind* the earlier one (e.g. the
+        // histogram was reset between the two reads): every field must
+        // clamp to 0 on its own, never wrap to huge values.
+        let h = Histogram::new();
+        h.observe(10);
+        h.observe(1_000);
+        let before_reset = h.snapshot();
+        let after_reset = h.take(); // drains
+        h.observe(10); // only the small bucket recovers
+        let d = h.snapshot().minus(&before_reset);
+        assert_eq!(d.count, 0);
+        assert_eq!(d.sum, 0);
+        assert_eq!(d.buckets[Histogram::bucket_index(10)], 0);
+        assert_eq!(d.buckets[Histogram::bucket_index(1_000)], 0);
+        assert_eq!(after_reset.count, 2);
+    }
+
+    #[test]
+    fn minus_with_disjoint_bucket_populations() {
+        // "Mismatched buckets": the subtrahend has counts only in
+        // buckets the minuend never touched and vice versa. Each bucket
+        // subtracts independently — populated-minus-empty survives,
+        // empty-minus-populated saturates, and the result still
+        // quantiles finitely even though count and buckets disagree.
+        let small = Histogram::new();
+        small.observe(2);
+        small.observe(3);
+        let big = Histogram::new();
+        big.observe(1 << 20);
+        let d = big.snapshot().minus(&small.snapshot());
+        assert_eq!(d.count, 0); // 1 - 2 saturates
+        assert_eq!(d.buckets[Histogram::bucket_index(1 << 20)], 1);
+        assert_eq!(d.buckets[Histogram::bucket_index(2)], 0);
+        assert!(d.is_empty(), "count clamped to zero reads as empty");
+        assert_eq!(d.quantile(0.99), 0.0);
+        assert_eq!(d.mean(), 0.0);
+
+        let d = small.snapshot().minus(&big.snapshot());
+        assert_eq!(d.count, 1); // 2 - 1
+        assert_eq!(d.buckets[Histogram::bucket_index(2)], 2);
+        assert_eq!(d.buckets[Histogram::bucket_index(1 << 20)], 0);
+        let q = d.quantile(0.99);
+        assert!(q.is_finite() && q >= 2.0, "{q}");
+    }
+
+    #[test]
+    fn minus_overflow_bucket_subtracts_like_any_other() {
+        let h = Histogram::new();
+        h.observe(u64::MAX);
+        let before = h.snapshot();
+        h.observe(u64::MAX);
+        let d = h.snapshot().minus(&before);
+        assert_eq!(d.count, 1);
+        assert_eq!(d.buckets[BUCKETS - 1], 1);
+        assert_eq!(d.quantile(0.5), f64::INFINITY);
+    }
+
+    #[test]
     fn quantile_upper_bounds() {
         let h = Histogram::new();
         for v in 1..=100u64 {

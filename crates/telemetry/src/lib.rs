@@ -35,6 +35,12 @@
 //! * [`alloc`] — an opt-in counting global allocator (allocs, frees,
 //!   bytes, live peak, scoped per-phase deltas) cheap enough for
 //!   release tests to pin allocations-per-operation budgets.
+//! * [`Timeline`] — a bounded ring of periodic [`MetricsSnapshot`]s
+//!   with delta/rate arithmetic: the time axis that turns cumulative
+//!   totals into windowed rates.
+//! * [`slo`] — declarative service-level objectives tracked as error
+//!   budgets with fast/slow-window burn rates fed from [`Timeline`]
+//!   deltas.
 //!
 //! Everything here is `std`-only and lock-free or shard-locked on the
 //! recording path; the only allocations happen at snapshot/exposition
@@ -54,7 +60,9 @@ pub mod histogram;
 pub mod json;
 pub mod keyed;
 pub mod recorder;
+pub mod slo;
 pub mod snapshot;
+pub mod timeline;
 pub mod topk;
 pub mod trace;
 
@@ -65,6 +73,8 @@ pub use gauge::Gauge;
 pub use histogram::{Histogram, HistogramSnapshot, BUCKETS};
 pub use keyed::{KeyedCounterMap, KeyedSnapshot};
 pub use recorder::{PinnedRequest, Recorder, SpanRecord};
+pub use slo::{SloSource, SloSpec, SloStatus, SloTracker};
 pub use snapshot::MetricsSnapshot;
+pub use timeline::{Delta, Timeline, Window};
 pub use topk::{TopK, TopKEntry, TopKSnapshot};
 pub use trace::{Level, Span};
