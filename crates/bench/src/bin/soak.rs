@@ -10,7 +10,7 @@
 //!   --out          artifact directory (default results)
 //!   --name         artifact name: writes OUT/SOAK_<name>.json
 //!                  (default soak)
-//!   --phase-s      seconds per phase (default 18; five phases)
+//!   --phase-s      seconds per phase (default 18; nine phases)
 //!   --base-port    first port of the harness's range (default 7811)
 //!   --concurrency  closed-loop load workers (default 4)
 //!   --seed         workload seed (default 42)
@@ -22,8 +22,8 @@
 //! SLO windows, 500 ms observatory self-scrape) with server 1 standing
 //! behind a `pls-chaos` proxy *from server 0's point of view* (server
 //! 0's peer list carries the proxy port; clients dial both servers
-//! directly). It then drives sustained mixed load through five
-//! scheduled phases:
+//! directly). A third server joins the live cluster partway through.
+//! The load runs through nine scheduled phases:
 //!
 //!   baseline  → everything healthy
 //!   blackhole → the proxy swallows server 0's internal sends, so
@@ -31,18 +31,28 @@
 //!   restart   → proxy restored, server 1 killed with SIGKILL and
 //!               restarted from its WAL
 //!   recovery  → everything healthy again; anti-entropy repairs
+//!   join      → a third server joins the live cluster (`--join`),
+//!               placement groups re-home onto it via migration
+//!   drain1    → server 1 is retired gracefully (`drain`); survivors
+//!               pull its partitions before its process is killed
+//!   crash0    → server 0 SIGKILLed mid-churn and restarted from its
+//!               WAL into the post-churn membership
+//!   settle    → everything healthy; burn rates decay
 //!   drain     → load stops; the auditor asserts convergence
 //!
-//! Throughout, an auditor samples every server's Metrics RPC and, at
-//! the end, its `GET /debug/timeline`, and renders verdicts:
+//! Throughout, an auditor samples every live member's Metrics RPC and,
+//! at the end, its `GET /debug/timeline`, and renders verdicts:
 //! cumulative counters never go backwards (modulo the scheduled
-//! restart), some SLO burn rate was **observed burning during the
+//! restarts), some SLO burn rate was **observed burning during the
 //! fault**, `pls_queue_depth{queue="inflight"}` drains to 0 once load
 //! stops, `pls_live_staleness` converges back to 1.0, burn rates decay
-//! post-recovery, and the server-side timeline's cumulative series
-//! agrees with Metrics-RPC readings taken around it (no drift). The
-//! run lands a `pls-soak/v1` artifact and exits nonzero if any audit
-//! fails.
+//! post-recovery, the server-side timeline's cumulative series agrees
+//! with Metrics-RPC readings taken around it (no drift), and — for the
+//! churn phases — the membership epoch converges on every live member,
+//! entries actually migrated (`pls_migration_entries_total` > 0) with
+//! the migration backlog draining to zero, and **no seeded entry is
+//! lost** across the join + drain + crash schedule. The run lands a
+//! `pls-soak/v1` artifact and exits nonzero if any audit fails.
 
 use std::collections::BTreeMap;
 use std::net::SocketAddr;
@@ -135,16 +145,17 @@ fn parse_args() -> Result<Opts, String> {
 struct Procs {
     server0: Option<Child>,
     server1: Option<Child>,
+    server2: Option<Child>,
     proxy: Option<Child>,
 }
 
 impl Procs {
     fn new() -> Self {
-        Procs { server0: None, server1: None, proxy: None }
+        Procs { server0: None, server1: None, server2: None, proxy: None }
     }
 
-    fn slots(&mut self) -> [&mut Option<Child>; 3] {
-        [&mut self.server0, &mut self.server1, &mut self.proxy]
+    fn slots(&mut self) -> [&mut Option<Child>; 4] {
+        [&mut self.server0, &mut self.server1, &mut self.server2, &mut self.proxy]
     }
 }
 
@@ -169,14 +180,31 @@ fn kill_slot(slot: &mut Option<Child>) {
 }
 
 struct Ports {
-    server: [SocketAddr; 2],
-    metrics: [SocketAddr; 2],
+    server: [SocketAddr; 3],
+    metrics: [SocketAddr; 3],
     proxy: SocketAddr,
 }
 
 fn ports(base: u16) -> Ports {
     let at = |off: u16| format!("127.0.0.1:{}", base + off).parse().expect("loopback addr");
-    Ports { server: [at(0), at(1)], metrics: [at(50), at(51)], proxy: at(2) }
+    Ports { server: [at(0), at(1), at(3)], metrics: [at(50), at(51), at(52)], proxy: at(2) }
+}
+
+/// The flags shared by every server the harness spawns.
+fn server_command(o: &Opts, p: &Ports, index: usize) -> Command {
+    let mut cmd = Command::new(o.bin_dir.join("pls-server"));
+    cmd.args(["--strategy", "round:2"])
+        .args(["--seed", &o.seed.to_string(), "--shards", "2"])
+        .args(["--data-dir", &o.data_dir.join(index.to_string()).to_string_lossy()])
+        .args(["--checkpoint-every", "32", "--antientropy-ms", "1000"])
+        .args(["--staleness-ms", "500", "--tombstone-ttl-ms", "60000"])
+        .args(["--scrape-ms", &SCRAPE_MS.to_string()])
+        .args(["--slo-fast-s", &SLO_FAST_S.to_string(), "--slo-slow-s", &SLO_SLOW_S.to_string()])
+        .args(["--slo-latency-ms", "50"])
+        .args(["--rpc-timeout-ms", "400", "--op-budget-ms", "3000"])
+        .args(["--metrics-addr", &p.metrics[index].to_string()])
+        .args(["--log", "warn"]);
+    cmd
 }
 
 fn spawn_server(o: &Opts, p: &Ports, index: usize) -> Result<Child, String> {
@@ -187,20 +215,19 @@ fn spawn_server(o: &Opts, p: &Ports, index: usize) -> Result<Child, String> {
         0 => format!("{},{}", p.server[0], p.proxy),
         _ => format!("{},{}", p.server[0], p.server[1]),
     };
-    Command::new(o.bin_dir.join("pls-server"))
-        .args(["--index", &index.to_string(), "--peers", &peers, "--strategy", "round:2"])
-        .args(["--seed", &o.seed.to_string(), "--shards", "2"])
-        .args(["--data-dir", &o.data_dir.join(index.to_string()).to_string_lossy()])
-        .args(["--checkpoint-every", "32", "--antientropy-ms", "1000"])
-        .args(["--staleness-ms", "500", "--tombstone-ttl-ms", "60000"])
-        .args(["--scrape-ms", &SCRAPE_MS.to_string()])
-        .args(["--slo-fast-s", &SLO_FAST_S.to_string(), "--slo-slow-s", &SLO_SLOW_S.to_string()])
-        .args(["--slo-latency-ms", "50"])
-        .args(["--rpc-timeout-ms", "400", "--op-budget-ms", "3000"])
-        .args(["--metrics-addr", &p.metrics[index].to_string()])
-        .args(["--log", "warn"])
+    server_command(o, p, index)
+        .args(["--index", &index.to_string(), "--peers", &peers])
         .spawn()
         .map_err(|e| format!("spawn pls-server {index}: {e}"))
+}
+
+/// Spawns the third server as a **live joiner**: it asks server 0 to
+/// admit it and boots from the membership view the cluster hands back.
+fn spawn_joiner(o: &Opts, p: &Ports) -> Result<Child, String> {
+    server_command(o, p, 2)
+        .args(["--join", &p.server[0].to_string(), "--advertise", &p.server[2].to_string()])
+        .spawn()
+        .map_err(|e| format!("spawn pls-server joiner: {e}"))
 }
 
 /// Spawns the chaos proxy in the given mode, retrying briefly: right
@@ -247,10 +274,10 @@ struct PhaseStat {
     max_burn_fast: BTreeMap<String, f64>,
 }
 
-/// Samples both servers' Metrics RPC: tracks counter monotonicity and
-/// the per-phase burn-rate high-water marks.
+/// Samples every live member's Metrics RPC: tracks counter
+/// monotonicity and the per-phase burn-rate high-water marks.
 struct Sampler {
-    prev: [Option<BTreeMap<String, u64>>; 2],
+    prev: BTreeMap<u64, BTreeMap<String, u64>>,
     regressions: Vec<String>,
     samples: u64,
     max_burn_fast: BTreeMap<String, f64>,
@@ -259,37 +286,37 @@ struct Sampler {
 impl Sampler {
     fn new() -> Self {
         Sampler {
-            prev: [None, None],
+            prev: BTreeMap::new(),
             regressions: Vec::new(),
             samples: 0,
             max_burn_fast: BTreeMap::new(),
         }
     }
 
-    /// Forget a server's counter baseline — called when the harness
+    /// Forget a member's counter baseline — called when the harness
     /// itself restarts the process, where counters legitimately reset.
-    fn reanchor(&mut self, server: usize) {
-        self.prev[server] = None;
+    fn reanchor(&mut self, member: u64) {
+        self.prev.remove(&member);
     }
 
-    async fn sample(&mut self, audit: &Client, phase: &str) {
-        for server in 0..2 {
-            let Ok(snap) = audit.metrics_of(server, false).await else { continue };
+    async fn sample(&mut self, audit: &Client, members: &[u64], phase: &str) {
+        for &member in members {
+            let Ok(snap) = audit.metrics_of(member as usize, false).await else { continue };
             self.samples += 1;
             let cur: BTreeMap<String, u64> =
                 snap.counters.iter().map(|(n, v)| (n.clone(), *v)).collect();
-            if let Some(prev) = &self.prev[server] {
+            if let Some(prev) = self.prev.get(&member) {
                 for (name, was) in prev {
                     if let Some(now) = cur.get(name) {
                         if now < was {
                             self.regressions.push(format!(
-                                "[{phase}] server {server}: {name} went {was} -> {now}"
+                                "[{phase}] member {member}: {name} went {was} -> {now}"
                             ));
                         }
                     }
                 }
             }
-            self.prev[server] = Some(cur);
+            self.prev.insert(member, cur);
             for (name, value) in &snap.gauges {
                 let Some((family, labels)) = parse_labels(name) else { continue };
                 if family != "pls_slo_burn_rate" {
@@ -316,6 +343,7 @@ async fn run_phase(
     planned_s: u64,
     sampler: &mut Sampler,
     audit: &Client,
+    members: &[u64],
     ops: &AtomicU64,
     errors: &AtomicU64,
 ) -> PhaseStat {
@@ -326,7 +354,7 @@ async fn run_phase(
     sampler.max_burn_fast.clear();
     let deadline = Instant::now() + Duration::from_secs(planned_s);
     while Instant::now() < deadline {
-        sampler.sample(audit, name).await;
+        sampler.sample(audit, members, name).await;
         tokio::time::sleep(Duration::from_millis(SCRAPE_MS)).await;
     }
     PhaseStat {
@@ -358,18 +386,19 @@ fn inflight(snap: &MetricsSnapshot) -> f64 {
     snap.gauge("pls_queue_depth{queue=\"inflight\"}").unwrap_or(0.0)
 }
 
-/// Polls until every server reports zero inflight requests.
-async fn audit_inflight_drains(audit: &Client, deadline_s: u64) -> Audit {
+/// Polls until every live member reports zero inflight requests.
+async fn audit_inflight_drains(audit: &Client, members: &[u64], deadline_s: u64) -> Audit {
     let started = Instant::now();
     let deadline = started + Duration::from_secs(deadline_s);
-    let mut last = [f64::NAN; 2];
+    let mut last: BTreeMap<u64, f64> = BTreeMap::new();
     loop {
         let mut all_zero = true;
-        for (server, slot) in last.iter_mut().enumerate() {
-            match audit.metrics_of(server, false).await {
+        for &member in members {
+            match audit.metrics_of(member as usize, false).await {
                 Ok(snap) => {
-                    *slot = inflight(&snap);
-                    if *slot != 0.0 {
+                    let depth = inflight(&snap);
+                    last.insert(member, depth);
+                    if depth != 0.0 {
                         all_zero = false;
                     }
                 }
@@ -380,7 +409,11 @@ async fn audit_inflight_drains(audit: &Client, deadline_s: u64) -> Audit {
             return Audit::new(
                 "inflight_drains_to_zero",
                 true,
-                format!("both servers at 0 inflight after {:.1}s", started.elapsed().as_secs_f64()),
+                format!(
+                    "all {} members at 0 inflight after {:.1}s",
+                    members.len(),
+                    started.elapsed().as_secs_f64()
+                ),
             );
         }
         if Instant::now() >= deadline {
@@ -395,9 +428,9 @@ async fn audit_inflight_drains(audit: &Client, deadline_s: u64) -> Audit {
 }
 
 /// Polls until every `pls_live_staleness{strategy,t}` series on every
-/// server reads ≥ 0.999 — the system has observably converged back to
-/// fresh after the fault schedule.
-async fn audit_staleness_converges(audit: &Client, deadline_s: u64) -> Audit {
+/// live member reads ≥ 0.999 — the system has observably converged
+/// back to fresh after the fault schedule.
+async fn audit_staleness_converges(audit: &Client, members: &[u64], deadline_s: u64) -> Audit {
     let started = Instant::now();
     let deadline = started + Duration::from_secs(deadline_s);
     let mut last_worst = f64::NAN;
@@ -405,8 +438,8 @@ async fn audit_staleness_converges(audit: &Client, deadline_s: u64) -> Audit {
         let mut worst = f64::INFINITY;
         let mut series = 0usize;
         let mut reachable = 0usize;
-        for server in 0..2 {
-            let Ok(snap) = audit.metrics_of(server, false).await else { continue };
+        for &member in members {
+            let Ok(snap) = audit.metrics_of(member as usize, false).await else { continue };
             reachable += 1;
             for (name, value) in &snap.gauges {
                 let Some((family, _)) = parse_labels(name) else { continue };
@@ -416,7 +449,7 @@ async fn audit_staleness_converges(audit: &Client, deadline_s: u64) -> Audit {
                 }
             }
         }
-        if reachable == 2 && series > 0 && worst >= 0.999 {
+        if reachable == members.len() && series > 0 && worst >= 0.999 {
             return Audit::new(
                 "staleness_converges_to_one",
                 true,
@@ -443,7 +476,7 @@ async fn audit_staleness_converges(audit: &Client, deadline_s: u64) -> Audit {
 /// Brackets one `GET /debug/timeline` read between two Metrics-RPC
 /// reads: every monotone counter's timeline value must land inside
 /// the RPC interval, or the two observability paths have drifted.
-async fn audit_timeline_agrees(audit: &Client, p: &Ports) -> Audit {
+async fn audit_timeline_agrees(audit: &Client, p: &Ports, members: &[u64]) -> Audit {
     // Family prefixes mirror the `series` block of `timeline_json`.
     const COUNTERS: [(&str, &str); 3] = [
         ("probes", "pls_probes_total"),
@@ -451,21 +484,21 @@ async fn audit_timeline_agrees(audit: &Client, p: &Ports) -> Audit {
         ("internal_sent", "pls_internal_sent_total"),
     ];
     let mut violations = Vec::new();
-    for server in 0..2 {
-        let s1 = match audit.metrics_of(server, false).await {
+    for &member in members {
+        let s1 = match audit.metrics_of(member as usize, false).await {
             Ok(snap) => snap,
             Err(e) => {
                 return Audit::new(
                     "timeline_agrees_with_rpc",
                     false,
-                    format!("server {server} unreachable: {e}"),
+                    format!("member {member} unreachable: {e}"),
                 )
             }
         };
         // Wait out at least two scrape intervals so the timeline holds
         // a window newer than the first RPC read.
         tokio::time::sleep(Duration::from_millis(SCRAPE_MS * 2 + 200)).await;
-        let latest = match http_get(p.metrics[server], "/debug/timeline")
+        let latest = match http_get(p.metrics[member as usize], "/debug/timeline")
             .await
             .and_then(|body| parse(&body).map_err(|e| format!("timeline JSON: {e}")))
         {
@@ -476,7 +509,7 @@ async fn audit_timeline_agrees(audit: &Client, p: &Ports) -> Audit {
                         return Audit::new(
                             "timeline_agrees_with_rpc",
                             false,
-                            format!("server {server}: timeline has no series"),
+                            format!("member {member}: timeline has no series"),
                         )
                     }
                 }
@@ -485,17 +518,17 @@ async fn audit_timeline_agrees(audit: &Client, p: &Ports) -> Audit {
                 return Audit::new(
                     "timeline_agrees_with_rpc",
                     false,
-                    format!("server {server}: {e}"),
+                    format!("member {member}: {e}"),
                 )
             }
         };
-        let s2 = match audit.metrics_of(server, false).await {
+        let s2 = match audit.metrics_of(member as usize, false).await {
             Ok(snap) => snap,
             Err(e) => {
                 return Audit::new(
                     "timeline_agrees_with_rpc",
                     false,
-                    format!("server {server} unreachable: {e}"),
+                    format!("member {member} unreachable: {e}"),
                 )
             }
         };
@@ -503,12 +536,12 @@ async fn audit_timeline_agrees(audit: &Client, p: &Ports) -> Audit {
             let lo = s1.counter_sum(family);
             let hi = s2.counter_sum(family);
             let Some(w) = latest.get(key).and_then(Value::as_u64) else {
-                violations.push(format!("server {server}: series lacks `{key}`"));
+                violations.push(format!("member {member}: series lacks `{key}`"));
                 continue;
             };
             if !(lo..=hi).contains(&w) {
                 violations
-                    .push(format!("server {server}: {key} timeline={w} outside rpc [{lo}, {hi}]"));
+                    .push(format!("member {member}: {key} timeline={w} outside rpc [{lo}, {hi}]"));
             }
         }
     }
@@ -525,14 +558,14 @@ async fn audit_timeline_agrees(audit: &Client, p: &Ports) -> Audit {
 
 /// After recovery + drain, no objective should still be burning its
 /// fast window.
-async fn audit_burn_stopped(audit: &Client) -> Audit {
+async fn audit_burn_stopped(audit: &Client, members: &[u64]) -> Audit {
     let mut worst: Option<(String, f64)> = None;
-    for server in 0..2 {
-        let Ok(snap) = audit.metrics_of(server, false).await else {
+    for &member in members {
+        let Ok(snap) = audit.metrics_of(member as usize, false).await else {
             return Audit::new(
                 "burn_stops_post_recovery",
                 false,
-                format!("server {server} unreachable"),
+                format!("member {member} unreachable"),
             );
         };
         for (name, value) in &snap.gauges {
@@ -543,7 +576,7 @@ async fn audit_burn_stopped(audit: &Client) -> Audit {
             if labels.iter().any(|(k, v)| k == "window" && v == "fast")
                 && worst.as_ref().is_none_or(|(_, w)| value > w)
             {
-                worst = Some((format!("server {server} {name}"), *value));
+                worst = Some((format!("member {member} {name}"), *value));
             }
         }
     }
@@ -564,21 +597,174 @@ async fn audit_burn_stopped(audit: &Client) -> Audit {
     }
 }
 
-/// Waits until both servers answer their status RPC.
-async fn await_cluster_up(audit: &Client, deadline_s: u64) -> Result<(), String> {
+/// Polls until every live member's `pls_membership_epoch` gauge has
+/// reached the audited epoch — gossip has carried the churned view to
+/// everyone, including the crash-restarted server that booted from its
+/// stale bootstrap peer list.
+async fn audit_epoch_converged(
+    audit: &Client,
+    members: &[u64],
+    want: u64,
+    deadline_s: u64,
+) -> Audit {
+    let started = Instant::now();
+    let deadline = started + Duration::from_secs(deadline_s);
+    let mut lagging = String::new();
+    loop {
+        lagging.clear();
+        let mut converged = 0usize;
+        for &member in members {
+            let epoch = match audit.metrics_of(member as usize, false).await {
+                Ok(snap) => snap.gauge("pls_membership_epoch").unwrap_or(0.0),
+                Err(_) => f64::NAN,
+            };
+            if epoch == want as f64 {
+                converged += 1;
+            } else {
+                lagging.push_str(&format!(" member {member} at {epoch}"));
+            }
+        }
+        if converged == members.len() {
+            return Audit::new(
+                "membership_epoch_converges",
+                true,
+                format!(
+                    "all {} members at epoch {want} after {:.1}s",
+                    members.len(),
+                    started.elapsed().as_secs_f64()
+                ),
+            );
+        }
+        if Instant::now() >= deadline {
+            return Audit::new(
+                "membership_epoch_converges",
+                false,
+                format!("after {deadline_s}s, want epoch {want}:{lagging}"),
+            );
+        }
+        tokio::time::sleep(Duration::from_millis(SCRAPE_MS)).await;
+    }
+}
+
+/// Polls until migration is both *observed* (entries actually moved:
+/// `pls_migration_entries_total` summed over the cluster is nonzero)
+/// and *finished* (every member's `pls_migration_pending` backlog
+/// gauge reads zero).
+async fn audit_migration_completes(audit: &Client, members: &[u64], deadline_s: u64) -> Audit {
+    let started = Instant::now();
+    let deadline = started + Duration::from_secs(deadline_s);
+    let mut last = (0u64, f64::NAN);
+    loop {
+        let mut moved = 0u64;
+        let mut backlog = 0.0f64;
+        let mut reachable = 0usize;
+        for &member in members {
+            let Ok(snap) = audit.metrics_of(member as usize, false).await else { continue };
+            reachable += 1;
+            moved += snap.counter_sum("pls_migration_entries_total");
+            backlog += snap.gauge("pls_migration_pending").unwrap_or(0.0);
+        }
+        last = (moved, backlog);
+        if reachable == members.len() && moved > 0 && backlog == 0.0 {
+            return Audit::new(
+                "migration_moves_entries_and_drains",
+                true,
+                format!(
+                    "{moved} entries migrated, backlog 0 after {:.1}s",
+                    started.elapsed().as_secs_f64()
+                ),
+            );
+        }
+        if Instant::now() >= deadline {
+            return Audit::new(
+                "migration_moves_entries_and_drains",
+                false,
+                format!("after {deadline_s}s: {} entries migrated, backlog {}", last.0, last.1),
+            );
+        }
+        tokio::time::sleep(Duration::from_millis(SCRAPE_MS)).await;
+    }
+}
+
+/// Re-reads every seeded key through a fresh client and checks all
+/// four seed entries survived the join + drain + crash schedule.
+/// Workers only ever delete entries they added themselves, so a
+/// missing seed entry can only mean churn lost (or a tombstone screen
+/// failure resurrected-then-retrimmed) state.
+async fn audit_no_seed_lost(p: &Ports, seed: u64) -> Audit {
+    let mut reader = Client::connect(client_config(p, seed ^ 0xD00D));
+    let _ = reader.refresh_membership().await;
+    let mut missing = Vec::new();
+    for k in 0..KEYS {
+        let key = format!("soak/k{k}");
+        // t = 64 far exceeds the population, so the lookup merges every
+        // reachable member's holdings without trimming.
+        match reader.partial_lookup(key.as_bytes(), 64).await {
+            Ok(found) => {
+                for e in 0..4u32 {
+                    let want = format!("seed-{e}").into_bytes();
+                    if !found.contains(&want) {
+                        missing.push(format!("{key}: seed-{e}"));
+                    }
+                }
+            }
+            Err(err) => missing.push(format!("{key}: lookup failed: {err}")),
+        }
+    }
+    if missing.is_empty() {
+        Audit::new(
+            "no_seeded_entry_lost",
+            true,
+            format!("all {KEYS} keys still hold their 4 seed entries"),
+        )
+    } else {
+        let shown = missing.iter().take(6).cloned().collect::<Vec<_>>().join("; ");
+        let more = if missing.len() > 6 { "; …" } else { "" };
+        Audit::new(
+            "no_seeded_entry_lost",
+            false,
+            format!("{} seed entries missing: {shown}{more}", missing.len()),
+        )
+    }
+}
+
+/// Polls the cluster's membership RPC through the audit client until
+/// the view reaches epoch `want`, returning that view's member ids.
+async fn await_epoch(audit: &mut Client, want: u64, deadline_s: u64) -> Result<Vec<u64>, String> {
+    let deadline = Instant::now() + Duration::from_secs(deadline_s);
+    loop {
+        let _ = audit.refresh_membership().await;
+        let (epoch, members) = audit.membership_view();
+        if epoch >= want {
+            return Ok(members.into_iter().map(|(id, _)| id).collect());
+        }
+        if Instant::now() >= deadline {
+            return Err(format!(
+                "membership stuck at epoch {epoch} (want {want}) after {deadline_s}s"
+            ));
+        }
+        tokio::time::sleep(Duration::from_millis(250)).await;
+    }
+}
+
+/// Waits until every named member answers its status RPC.
+async fn await_cluster_up(audit: &Client, members: &[u64], deadline_s: u64) -> Result<(), String> {
     let deadline = Instant::now() + Duration::from_secs(deadline_s);
     loop {
         let mut up = 0;
-        for server in 0..2 {
-            if audit.status_of(server).await.is_ok() {
+        for &member in members {
+            if audit.status_of(member as usize).await.is_ok() {
                 up += 1;
             }
         }
-        if up == 2 {
+        if up == members.len() {
             return Ok(());
         }
         if Instant::now() >= deadline {
-            return Err(format!("cluster not up after {deadline_s}s ({up}/2 servers)"));
+            return Err(format!(
+                "cluster not up after {deadline_s}s ({up}/{} servers)",
+                members.len()
+            ));
         }
         tokio::time::sleep(Duration::from_millis(250)).await;
     }
@@ -605,6 +791,13 @@ async fn load_worker(
     let mut added: Option<(Vec<u8>, Vec<u8>)> = None;
     let mut i = 0u64;
     while !stop.load(Ordering::Relaxed) {
+        if i % 128 == 0 {
+            // Adopt whatever membership the cluster currently holds. A
+            // stale view still works (dead members are probed and
+            // skipped), but a fresh one stops burning probes on them
+            // and starts routing to live joiners.
+            let _ = client.refresh_membership().await;
+        }
         let key = format!("soak/k{}", (i.wrapping_mul(7).wrapping_add(worker)) % KEYS);
         let result = match i % 8 {
             0 => {
@@ -660,8 +853,9 @@ async fn run_soak(o: &Opts) -> Result<(Vec<PhaseStat>, Vec<Audit>, Vec<String>),
     procs.server0 = Some(spawn_server(o, &p, 0)?);
     procs.server1 = Some(spawn_server(o, &p, 1)?);
 
-    let audit = Client::connect(client_config(&p, o.seed));
-    await_cluster_up(&audit, 15).await?;
+    let mut audit = Client::connect(client_config(&p, o.seed));
+    let members = vec![0u64, 1];
+    await_cluster_up(&audit, &members, 15).await?;
 
     // Seed the key population so lookups have something to find.
     let mut seeder = Client::connect(client_config(&p, o.seed ^ 0x5EED));
@@ -690,13 +884,16 @@ async fn run_soak(o: &Opts) -> Result<(Vec<PhaseStat>, Vec<Audit>, Vec<String>),
     let mut sampler = Sampler::new();
     let mut phases = Vec::new();
 
-    phases.push(run_phase("baseline", o.phase_s, &mut sampler, &audit, &ops, &errors).await);
+    phases.push(
+        run_phase("baseline", o.phase_s, &mut sampler, &audit, &members, &ops, &errors).await,
+    );
 
     // Fault 1: black-hole server 0's route to server 1. Replication
     // fan-out and anti-entropy sends fail; budgets must burn.
     kill_slot(&mut procs.proxy);
     procs.proxy = Some(spawn_proxy(o, &p, "black-hole").await?);
-    let blackhole = run_phase("blackhole", o.phase_s, &mut sampler, &audit, &ops, &errors).await;
+    let blackhole =
+        run_phase("blackhole", o.phase_s, &mut sampler, &audit, &members, &ops, &errors).await;
     let burned: Vec<String> = blackhole
         .max_burn_fast
         .iter()
@@ -714,9 +911,48 @@ async fn run_soak(o: &Opts) -> Result<(Vec<PhaseStat>, Vec<Audit>, Vec<String>),
     sampler.reanchor(1);
     tokio::time::sleep(Duration::from_millis(500)).await;
     procs.server1 = Some(spawn_server(o, &p, 1)?);
-    phases.push(run_phase("restart", o.phase_s, &mut sampler, &audit, &ops, &errors).await);
+    phases
+        .push(run_phase("restart", o.phase_s, &mut sampler, &audit, &members, &ops, &errors).await);
 
-    phases.push(run_phase("recovery", o.phase_s, &mut sampler, &audit, &ops, &errors).await);
+    phases.push(
+        run_phase("recovery", o.phase_s, &mut sampler, &audit, &members, &ops, &errors).await,
+    );
+
+    // Churn 1: a third server joins the live cluster. The seed hands it
+    // the current view; placement groups re-home onto it via migration.
+    procs.server2 = Some(spawn_joiner(o, &p)?);
+    let members = await_epoch(&mut audit, 2, 30).await?;
+    println!("join admitted: epoch 2, members {members:?}");
+    phases.push(run_phase("join", o.phase_s, &mut sampler, &audit, &members, &ops, &errors).await);
+
+    // Churn 2: retire server 1 gracefully. Its process stays up for the
+    // whole phase — migration treats the *previous* group as donors, so
+    // survivors can still pull the partitions it owned — and only then
+    // is it killed for good.
+    audit.drain(1).await.map_err(|e| format!("drain server 1: {e}"))?;
+    let members = await_epoch(&mut audit, 3, 30).await?;
+    if members.contains(&1) {
+        return Err(format!("drain left member 1 in the view: {members:?}"));
+    }
+    println!("drain accepted: epoch 3, members {members:?}");
+    phases
+        .push(run_phase("drain1", o.phase_s, &mut sampler, &audit, &members, &ops, &errors).await);
+    kill_slot(&mut procs.server1);
+    sampler.reanchor(1);
+
+    // Churn 3: SIGKILL server 0 mid-churn. It restarts from its WAL
+    // with its stale bootstrap peer list and must re-learn the
+    // post-churn membership from gossip (installs are strictly-newer,
+    // so its stale view cannot regress the cluster).
+    kill_slot(&mut procs.server0);
+    sampler.reanchor(0);
+    tokio::time::sleep(Duration::from_millis(500)).await;
+    procs.server0 = Some(spawn_server(o, &p, 0)?);
+    phases
+        .push(run_phase("crash0", o.phase_s, &mut sampler, &audit, &members, &ops, &errors).await);
+
+    phases
+        .push(run_phase("settle", o.phase_s, &mut sampler, &audit, &members, &ops, &errors).await);
 
     // Drain: stop the load, then audit convergence.
     println!("phase drain: load stopped, auditing convergence");
@@ -744,10 +980,13 @@ async fn run_soak(o: &Opts) -> Result<(Vec<PhaseStat>, Vec<Audit>, Vec<String>),
             format!("fast burn observed during black-hole: {}", burned.join(", "))
         },
     ));
-    audits.push(audit_inflight_drains(&audit, o.phase_s).await);
-    audits.push(audit_staleness_converges(&audit, o.phase_s * 2).await);
-    audits.push(audit_timeline_agrees(&audit, &p).await);
-    audits.push(audit_burn_stopped(&audit).await);
+    audits.push(audit_inflight_drains(&audit, &members, o.phase_s).await);
+    audits.push(audit_staleness_converges(&audit, &members, o.phase_s * 2).await);
+    audits.push(audit_timeline_agrees(&audit, &p, &members).await);
+    audits.push(audit_burn_stopped(&audit, &members).await);
+    audits.push(audit_epoch_converged(&audit, &members, 3, o.phase_s).await);
+    audits.push(audit_migration_completes(&audit, &members, o.phase_s).await);
+    audits.push(audit_no_seed_lost(&p, o.seed).await);
 
     Ok((phases, audits, sampler.regressions.clone()))
 }
@@ -760,7 +999,7 @@ fn write_artifact(o: &Opts, phases: &[PhaseStat], audits: &[Audit]) -> Result<Pa
         .field(
             "config",
             &Object::new()
-                .u64("servers", 2)
+                .u64("servers", 3)
                 .u64("shards", 2)
                 .u64("phase_s", o.phase_s)
                 .u64("concurrency", o.concurrency as u64)

@@ -2,16 +2,23 @@
 //!
 //! ```text
 //! pls-chaos --listen HOST:PORT [--upstream HOST:PORT]
-//!           [--mode forward|black-hole|garbage|half-close|error|delay]
-//!           [--prob P] [--delay-ms MS] [--seed S] [--log LEVEL]
+//!           [--mode forward|black-hole|garbage|half-close|error|delay|refuse|flap]
+//!           [--prob P] [--delay-ms MS] [--up-ms MS] [--down-ms MS]
+//!           [--seed S] [--log LEVEL]
 //!
 //!   --listen     address to accept cluster-protocol connections on
 //!   --upstream   real server to forward fault-free requests to; without
 //!                it, fault-free requests are acked with Ok
-//!   --mode       the fault to inject (default forward = no fault)
-//!   --prob       probability a request draws the fault (default 1.0)
+//!   --mode       the fault to inject (default forward = no fault);
+//!                `refuse` closes every connection on sight (crashed
+//!                process), `flap` alternates --up-ms of service with
+//!                --down-ms of refusal (restart-looping process)
+//!   --prob       probability a request draws the fault (default 1.0;
+//!                refuse and flap are connection-level, not probabilistic)
 //!   --delay-ms   delay before handling every request (also the `delay`
 //!                mode's knob; default 0)
+//!   --up-ms      flap mode: length of each serving window (default 1000)
+//!   --down-ms    flap mode: length of each refusing window (default 1000)
 //!   --seed       deterministic fault dice (default 0)
 //!   --log        error|warn|info|debug|trace|off (default info)
 //! ```
@@ -44,6 +51,8 @@ fn parse_args() -> Result<Options, String> {
     let mut mode = "forward".to_string();
     let mut prob = 1.0f64;
     let mut delay_ms = 0u64;
+    let mut up_ms = 1_000u64;
+    let mut down_ms = 1_000u64;
     let mut seed = 0u64;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -61,12 +70,19 @@ fn parse_args() -> Result<Options, String> {
             "--delay-ms" => {
                 delay_ms = value("--delay-ms")?.parse().map_err(|e| format!("--delay-ms: {e}"))?;
             }
+            "--up-ms" => {
+                up_ms = value("--up-ms")?.parse().map_err(|e| format!("--up-ms: {e}"))?;
+            }
+            "--down-ms" => {
+                down_ms = value("--down-ms")?.parse().map_err(|e| format!("--down-ms: {e}"))?;
+            }
             "--seed" => seed = value("--seed")?.parse().map_err(|e| format!("--seed: {e}"))?,
             "--log" => trace::init_from_str(&value("--log")?)?,
             "--help" | "-h" => {
                 return Err("usage: pls-chaos --listen HOST:PORT [--upstream HOST:PORT] \
-                     [--mode forward|black-hole|garbage|half-close|error|delay] [--prob P] \
-                     [--delay-ms MS] [--seed S] [--log LEVEL]"
+                     [--mode forward|black-hole|garbage|half-close|error|delay|refuse|flap] \
+                     [--prob P] [--delay-ms MS] [--up-ms MS] [--down-ms MS] [--seed S] \
+                     [--log LEVEL]"
                     .to_string())
             }
             other => return Err(format!("unknown argument `{other}` (try --help)")),
@@ -89,10 +105,20 @@ fn parse_args() -> Result<Options, String> {
                 return Err("--mode delay needs --delay-ms".to_string());
             }
         }
+        "refuse" => cfg.set_refuse(true),
+        "flap" => {
+            if down_ms == 0 {
+                return Err("--mode flap needs a nonzero --down-ms".to_string());
+            }
+            cfg.set_flap(
+                std::time::Duration::from_millis(up_ms),
+                std::time::Duration::from_millis(down_ms),
+            );
+        }
         other => {
             return Err(format!(
                 "unknown mode `{other}` (expected forward, black-hole, garbage, half-close, \
-                 error, delay)"
+                 error, delay, refuse, flap)"
             ))
         }
     }

@@ -20,6 +20,18 @@
 //!   delete KEY ENTRY              delete one entry
 //!   lookup KEY T                  partial lookup: at least T entries
 //!   status                        per-server key/entry counts
+//!   membership                    the cluster's live membership view
+//!                                 (epoch + member ids and addresses),
+//!                                 fetched from the first reachable member
+//!   join HOST:PORT                admit the server listening at HOST:PORT
+//!                                 into the cluster (it must be running
+//!                                 with --join/--advertise, or be about
+//!                                 to); prints the new view
+//!   drain ID                      gracefully retire member ID: the
+//!                                 remaining members bump the epoch and
+//!                                 re-home its placement groups via
+//!                                 anti-entropy migration; prints the
+//!                                 new view
 //!   stats [--reset] [--raw]       cluster-wide metrics (alias: metrics):
 //!                                 a human-readable summary with latency
 //!                                 quantiles, live quality gauges, and the
@@ -107,7 +119,9 @@ fn parse_args() -> Result<Options, String> {
     let servers = servers.ok_or("--servers is required")?;
     let spec = spec.ok_or("--strategy is required")?;
     if command.is_empty() {
-        return Err("missing command (place/add/delete/lookup/status/stats/top/trace)".to_string());
+        return Err("missing command (place/add/delete/lookup/status/membership/join/drain/\
+                    stats/top/trace)"
+            .to_string());
     }
     let mut cfg = ClientConfig::new(servers, spec, seed).with_timeouts(timeouts);
     if let Some(ms) = hedge_ms {
@@ -117,7 +131,6 @@ fn parse_args() -> Result<Options, String> {
 }
 
 async fn run(opts: Options) -> Result<(), String> {
-    let n = opts.cfg.servers.len();
     let mut client = Client::connect(opts.cfg);
     let cmd: Vec<&str> = opts.command.iter().map(String::as_str).collect();
     match cmd.as_slice() {
@@ -168,17 +181,45 @@ async fn run(opts: Options) -> Result<(), String> {
             }
         }
         ["status"] => {
-            for i in 0..n {
-                match client.status_of(i).await {
+            // Best-effort view refresh first, so a long-lived servers
+            // list still reports joiners and skips drained members.
+            let _ = client.refresh_membership().await;
+            let (_, members) = client.membership_view();
+            for (id, addr) in members {
+                match client.status_of(id as usize).await {
                     Ok((keys, entries)) => {
-                        println!("server {i}: {keys} keys, {entries} entries")
+                        println!("server {id} ({addr}): {keys} keys, {entries} entries")
                     }
                     Err(err) => {
-                        pls_telemetry::warn!("server_unreachable", server = i, err = err);
-                        println!("server {i}: unreachable")
+                        pls_telemetry::warn!("server_unreachable", server = id, err = err);
+                        println!("server {id} ({addr}): unreachable")
                     }
                 }
             }
+        }
+        ["membership"] => {
+            let (epoch, members) = client.membership().await.map_err(|e| e.to_string())?;
+            println!("epoch {epoch}, {} member{}:", members.len(), plural(members.len()));
+            for (id, addr) in members {
+                println!("  {id:>4}  {addr}");
+            }
+        }
+        ["join", addr] => {
+            let (epoch, members) = client.join(addr).await.map_err(|e| e.to_string())?;
+            println!(
+                "admitted `{addr}`: epoch {epoch}, {} member{}",
+                members.len(),
+                plural(members.len())
+            );
+        }
+        ["drain", id] => {
+            let id: u64 = id.parse().map_err(|e| format!("ID: {e}"))?;
+            let (epoch, members) = client.drain(id).await.map_err(|e| e.to_string())?;
+            println!(
+                "draining server {id}: epoch {epoch}, {} member{} remain",
+                members.len(),
+                plural(members.len())
+            );
         }
         [name, flags @ ..] if *name == "stats" || *name == "metrics" => {
             let mut reset = false;
@@ -190,6 +231,10 @@ async fn run(opts: Options) -> Result<(), String> {
                     other => return Err(format!("unknown {name} flag `{other}` (try --raw)")),
                 }
             }
+            // Cluster-wide means the *live* cluster: refresh the view
+            // first so joiners' counters are merged in and drained
+            // members are no longer polled.
+            let _ = client.refresh_membership().await;
             let merged = client.cluster_metrics(reset).await.map_err(|e| e.to_string())?;
             if raw {
                 print!("{}", merged.to_prometheus());
@@ -226,9 +271,13 @@ async fn run(opts: Options) -> Result<(), String> {
             let mut timeline = pls_telemetry::Timeline::new(64);
             let mut frames: u64 = 0;
             loop {
+                // Track churn live: joiners appear, drained members drop.
+                let _ = client.refresh_membership().await;
+                let (_, members) = client.membership_view();
                 let mut merged = MetricsSnapshot::new();
                 let mut per_server: Vec<(usize, Option<MetricsSnapshot>)> = Vec::new();
-                for i in 0..n {
+                for (id, _) in members {
+                    let i = id as usize;
                     match client.metrics_of(i, false).await {
                         Ok(snap) => {
                             merged.merge(&snap);
@@ -278,6 +327,15 @@ async fn run(opts: Options) -> Result<(), String> {
         other => return Err(format!("unknown command {other:?}")),
     }
     Ok(())
+}
+
+/// `""` for one, `"s"` otherwise.
+fn plural(count: usize) -> &'static str {
+    if count == 1 {
+        ""
+    } else {
+        "s"
+    }
 }
 
 /// Request ids print both ways in logs, so accept decimal or `0x`-hex.

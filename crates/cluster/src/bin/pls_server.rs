@@ -2,17 +2,35 @@
 //!
 //! ```text
 //! pls-server --index N --peers HOST:PORT,HOST:PORT,... --strategy SPEC
-//!            [--seed S] [--log LEVEL] [--metrics-addr HOST:PORT] [--slow-ms MS]
+//!            [--seed S] [--group-size G] [--log LEVEL]
+//!            [--metrics-addr HOST:PORT] [--slow-ms MS]
 //!            [--rpc-timeout-ms MS] [--op-budget-ms MS] [--data-dir DIR]
 //!            [--checkpoint-every N] [--antientropy-ms MS] [--staleness-ms MS]
 //!            [--tombstone-ttl-ms MS] [--shards N] [--scrape-ms MS]
 //!            [--slo-fast-s S] [--slo-slow-s S] [--slo-latency-ms MS]
+//!
+//! pls-server --join SEED_HOST:PORT --advertise HOST:PORT --strategy SPEC
+//!            [--seed S] [--group-size G] [... same optional flags ...]
 //!
 //!   --index         this server's position in the peer list (0-based;
 //!                   index 0 is the Round-Robin coordinator)
 //!   --peers         every server's address, comma-separated, in id order
 //!   --strategy      full | fixed:X | random:X | round:Y | hash:Y
 //!   --seed          cluster-wide seed (must match on every server; default 0)
+//!   --group-size    placement-group size `g`: each key lives on a group
+//!                   of `g` members chosen by consistent hashing over
+//!                   the live membership (must match on every server;
+//!                   default 5 — clusters no larger than `g` behave
+//!                   exactly like the static pre-membership world)
+//!   --join          join an existing cluster live: ask the member at
+//!                   SEED_HOST:PORT to admit this server, then boot from
+//!                   the membership view it hands back (replaces
+//!                   --index/--peers; requires --advertise). The
+//!                   existing members re-home placement groups onto the
+//!                   newcomer via anti-entropy migration.
+//!   --advertise     the address this server listens on *and* announces
+//!                   to the cluster when joining (must be reachable by
+//!                   the other members)
 //!   --log           error|warn|info|debug|trace|off (default info); structured
 //!                   key=value events on stderr
 //!   --metrics-addr  serve the debug endpoint on this address:
@@ -94,9 +112,15 @@ use pls_telemetry::trace;
 #[global_allocator]
 static ALLOC: pls_telemetry::CountingAlloc = pls_telemetry::CountingAlloc;
 
-fn parse_args() -> Result<(ServerConfig, Option<SocketAddr>), String> {
+/// A live-join request: `(seed member to ask, address to advertise)`.
+type JoinPlan = (SocketAddr, SocketAddr);
+
+fn parse_args() -> Result<(ServerConfig, Option<SocketAddr>, Option<JoinPlan>), String> {
     let mut index: Option<usize> = None;
     let mut peers: Option<Vec<SocketAddr>> = None;
+    let mut join: Option<SocketAddr> = None;
+    let mut advertise: Option<SocketAddr> = None;
+    let mut group_size: Option<usize> = None;
     let mut spec = None;
     let mut seed = 0u64;
     let mut metrics_addr: Option<SocketAddr> = None;
@@ -128,6 +152,17 @@ fn parse_args() -> Result<(ServerConfig, Option<SocketAddr>), String> {
             "--strategy" => spec = Some(parse_spec(&value("--strategy")?)?),
             "--seed" => {
                 seed = value("--seed")?.parse().map_err(|e| format!("--seed: {e}"))?;
+            }
+            "--group-size" => {
+                group_size =
+                    Some(value("--group-size")?.parse().map_err(|e| format!("--group-size: {e}"))?);
+            }
+            "--join" => {
+                join = Some(value("--join")?.parse().map_err(|e| format!("--join: {e}"))?);
+            }
+            "--advertise" => {
+                advertise =
+                    Some(value("--advertise")?.parse().map_err(|e| format!("--advertise: {e}"))?);
             }
             "--metrics-addr" => {
                 metrics_addr = Some(
@@ -198,24 +233,51 @@ fn parse_args() -> Result<(ServerConfig, Option<SocketAddr>), String> {
             "--help" | "-h" => {
                 return Err(
                     "usage: pls-server --index N --peers A,B,... --strategy SPEC [--seed S] \
-                     [--log LEVEL] [--metrics-addr HOST:PORT] [--slow-ms MS] \
+                     [--group-size G] [--log LEVEL] [--metrics-addr HOST:PORT] [--slow-ms MS] \
                      [--rpc-timeout-ms MS] [--op-budget-ms MS] [--data-dir DIR] \
                      [--checkpoint-every N] [--antientropy-ms MS] [--staleness-ms MS] \
                      [--tombstone-ttl-ms MS] [--shards N] [--scrape-ms MS] [--slo-fast-s S] \
-                     [--slo-slow-s S] [--slo-latency-ms MS]"
+                     [--slo-slow-s S] [--slo-latency-ms MS]\n       pls-server --join \
+                     SEED_HOST:PORT --advertise HOST:PORT --strategy SPEC [same optional flags]"
                         .to_string(),
                 )
             }
             other => return Err(format!("unknown argument `{other}` (try --help)")),
         }
     }
-    let index = index.ok_or("--index is required")?;
-    let peers = peers.ok_or("--peers is required")?;
     let spec = spec.ok_or("--strategy is required")?;
-    if index >= peers.len() {
-        return Err(format!("--index {index} out of range for {} peers", peers.len()));
-    }
+    let join_plan = match join {
+        Some(seed_addr) => {
+            if index.is_some() || peers.is_some() {
+                return Err("--join replaces --index/--peers".to_string());
+            }
+            let advertise = advertise.ok_or("--join requires --advertise")?;
+            Some((seed_addr, advertise))
+        }
+        None => {
+            if advertise.is_some() {
+                return Err("--advertise only makes sense with --join".to_string());
+            }
+            None
+        }
+    };
+    let (index, peers) = match join_plan {
+        // A joiner boots from the view the seed hands back; the
+        // placeholder peer list is just its own listen address.
+        Some((_, advertise)) => (0, vec![advertise]),
+        None => {
+            let index = index.ok_or("--index is required")?;
+            let peers = peers.ok_or("--peers is required")?;
+            if index >= peers.len() {
+                return Err(format!("--index {index} out of range for {} peers", peers.len()));
+            }
+            (index, peers)
+        }
+    };
     let mut cfg = ServerConfig::new(index, peers, spec, seed).with_timeouts(timeouts);
+    if let Some(g) = group_size {
+        cfg = cfg.with_group_size(g);
+    }
     if let Some(ms) = slow_ms {
         cfg = cfg.with_slow_ms(ms);
     }
@@ -247,14 +309,36 @@ fn parse_args() -> Result<(ServerConfig, Option<SocketAddr>), String> {
     if let Some(ms) = slo_latency_ms {
         cfg = cfg.with_slo_latency_target_us(ms.saturating_mul(1_000));
     }
-    Ok((cfg, metrics_addr))
+    Ok((cfg, metrics_addr, join_plan))
+}
+
+/// Asks the seed member to admit this server and returns the config
+/// extended with the membership view (and this server's allocated id)
+/// that the cluster handed back.
+async fn join_cluster(
+    cfg: ServerConfig,
+    seed_addr: SocketAddr,
+    advertise: SocketAddr,
+) -> Result<ServerConfig, String> {
+    let ccfg = pls_cluster::ClientConfig::new(vec![seed_addr], cfg.spec, cfg.seed)
+        .with_placement(cfg.group_size, cfg.seed)
+        .with_timeouts(cfg.timeouts);
+    let mut admin = pls_cluster::Client::connect(ccfg);
+    let (epoch, members) =
+        admin.join(&advertise.to_string()).await.map_err(|e| format!("join refused: {e}"))?;
+    let view = pls_core::Membership::from_parts(epoch, members);
+    let my_id = view
+        .id_of_addr(&advertise.to_string())
+        .ok_or_else(|| format!("cluster admitted the join but {advertise} is not in the view"))?;
+    pls_telemetry::info!("joined_cluster", id = my_id, epoch = epoch, members = view.len());
+    Ok(cfg.with_membership(my_id, view))
 }
 
 fn main() -> ExitCode {
     // Default level until (and unless) --log overrides it, so argument
     // errors and the startup line are visible out of the box.
     trace::init(Some(pls_telemetry::Level::Info));
-    let (cfg, metrics_addr) = match parse_args() {
+    let (cfg, metrics_addr, join_plan) = match parse_args() {
         Ok(parsed) => parsed,
         Err(msg) => {
             pls_telemetry::error!(msg);
@@ -276,6 +360,16 @@ fn main() -> ExitCode {
     }
     pls_telemetry::recorder::install(Some(recorder));
     runtime.block_on(async move {
+        let cfg = match join_plan {
+            Some((seed_addr, advertise)) => match join_cluster(cfg, seed_addr, advertise).await {
+                Ok(cfg) => cfg,
+                Err(msg) => {
+                    pls_telemetry::error!("join_failed", seed = seed_addr, err = msg);
+                    return ExitCode::FAILURE;
+                }
+            },
+            None => cfg,
+        };
         let me = cfg.me;
         let spec = cfg.spec;
         let durable = cfg.data_dir.is_some();

@@ -10,6 +10,12 @@
 //! server (making the proxy a drop-in stand-in for that server in a
 //! peer list) or answered with [`Response::Ok`].
 //!
+//! Two connection-level modes model whole-process outages rather than
+//! per-request misery: **refuse** closes every connection on sight (the
+//! crashed-process signature — callers see resets/EOF instead of
+//! silence), and **flap** alternates live and refusing time windows
+//! (the restart-looping server that churn hardening must ride out).
+//!
 //! All knobs live in a shared [`ChaosConfig`] whose fields are atomics,
 //! so a test can flip a healthy proxy to 100% black-hole mid-run
 //! without restarting anything. Fault draws are deterministic in the
@@ -18,7 +24,7 @@
 //! Used by `tests/chaos.rs` and the `pls-chaos` binary.
 
 use std::net::SocketAddr;
-use std::sync::atomic::{AtomicU32, AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU32, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::Duration;
 
@@ -61,8 +67,24 @@ pub struct ChaosConfig {
     garbage_pm: AtomicU32,
     half_close_pm: AtomicU32,
     error_pm: AtomicU32,
+    /// Connection-level: close every accepted connection immediately
+    /// and kill established ones at their next request.
+    refuse: AtomicBool,
+    /// Flapping: alternate `flap_up_ms` of normal service with
+    /// `flap_down_ms` of refusal. `flap_down_ms == 0` disables.
+    flap_up_ms: AtomicU64,
+    flap_down_ms: AtomicU64,
     /// Deterministic dice state, advanced per draw.
     seed: AtomicU64,
+}
+
+/// Milliseconds since the first chaos clock read in this process — the
+/// shared time base every flapping proxy phases against.
+fn chaos_clock_ms() -> u64 {
+    use std::sync::OnceLock;
+    static START: OnceLock<std::time::Instant> = OnceLock::new();
+    let start = *START.get_or_init(std::time::Instant::now);
+    u64::try_from(start.elapsed().as_millis()).unwrap_or(u64::MAX)
 }
 
 impl ChaosConfig {
@@ -94,6 +116,36 @@ impl ChaosConfig {
     /// Sets the error-response probability (clamped to `0.0..=1.0`).
     pub fn set_error(&self, p: f64) {
         self.error_pm.store(per_mille(p), Ordering::Relaxed);
+    }
+
+    /// Turns connection refusal on or off: while on, every accepted
+    /// connection is closed immediately and established ones die at
+    /// their next request — the crashed-process signature.
+    pub fn set_refuse(&self, on: bool) {
+        self.refuse.store(on, Ordering::Relaxed);
+    }
+
+    /// Makes the proxy flap: `up` of normal service, then `down` of
+    /// refusal, repeating. A zero `down` disables flapping.
+    pub fn set_flap(&self, up: Duration, down: Duration) {
+        self.flap_up_ms.store(u64::try_from(up.as_millis()).unwrap_or(u64::MAX), Ordering::Relaxed);
+        self.flap_down_ms
+            .store(u64::try_from(down.as_millis()).unwrap_or(u64::MAX), Ordering::Relaxed);
+    }
+
+    /// Whether connections should be refused right now, combining the
+    /// static refuse switch with the flap schedule's current phase.
+    pub fn refusing_now(&self) -> bool {
+        if self.refuse.load(Ordering::Relaxed) {
+            return true;
+        }
+        let down = self.flap_down_ms.load(Ordering::Relaxed);
+        if down == 0 {
+            return false;
+        }
+        let up = self.flap_up_ms.load(Ordering::Relaxed);
+        let period = up.saturating_add(down).max(1);
+        chaos_clock_ms() % period >= up
     }
 
     /// The delay currently applied before handling each request.
@@ -181,6 +233,12 @@ impl ChaosPeer {
             let Ok((socket, _)) = self.listener.accept().await else {
                 continue;
             };
+            if self.cfg.refusing_now() {
+                // Refuse/flap-down: close on sight; callers see a reset
+                // or EOF where a response should be.
+                drop(socket);
+                continue;
+            }
             while connections.try_join_next().is_some() {}
             let upstream = self.upstream;
             let cfg = Arc::clone(&self.cfg);
@@ -202,6 +260,11 @@ async fn serve_chaos(
     // upstream failures.
     let mut up: Option<TcpStream> = None;
     while let Some((req_id, payload)) = read_frame(&mut downstream).await? {
+        if cfg.refusing_now() {
+            // A flap window closed (or refuse flipped on) under an
+            // established connection: die like the process did.
+            return Ok(());
+        }
         let delay = cfg.delay();
         if !delay.is_zero() {
             tokio::time::sleep(delay).await;
@@ -349,6 +412,45 @@ mod tests {
         // All faults off, no upstream → Ok ack.
         cfg.set_half_close(0.0);
         let resp = client.call(11, &crate::proto::Request::Status).await.unwrap();
+        assert_eq!(resp, Response::Ok);
+    }
+
+    #[test]
+    fn flap_schedule_phases_between_up_and_down() {
+        let cfg = ChaosConfig::new(0);
+        assert!(!cfg.refusing_now(), "no knobs set: serving");
+        // All-down flap: refusing regardless of when it is asked.
+        cfg.set_flap(Duration::ZERO, Duration::from_millis(50));
+        assert!(cfg.refusing_now());
+        // All-up flap: never refusing.
+        cfg.set_flap(Duration::from_millis(50), Duration::ZERO);
+        assert!(!cfg.refusing_now());
+        // The static switch wins over any schedule.
+        cfg.set_refuse(true);
+        assert!(cfg.refusing_now());
+        cfg.set_refuse(false);
+        assert!(!cfg.refusing_now());
+    }
+
+    #[tokio::test]
+    async fn refuse_mode_kills_connections_and_recovers_when_lifted() {
+        let tight = Timeouts::default().with_connect_ms(500).with_rpc_ms(300);
+        let lenient = BreakerConfig { failure_threshold: u32::MAX, ..BreakerConfig::default() };
+        let cfg = Arc::new(ChaosConfig::new(3));
+        cfg.set_refuse(true);
+        let (peer, addr) = ChaosPeer::bind(None, Arc::clone(&cfg)).await.unwrap();
+        tokio::spawn(peer.run());
+        let client = PeerClient::with_policies(addr, tight, lenient);
+        // Connections are accepted then dropped on sight: the call sees
+        // a reset or EOF, never an answer.
+        let err = client.call(20, &crate::proto::Request::Status).await.unwrap_err();
+        assert!(
+            matches!(err, ClusterError::Io(_)) || err == ClusterError::Timeout("rpc"),
+            "unexpected refusal error: {err:?}"
+        );
+        // Back up: the very next call succeeds (fresh dial).
+        cfg.set_refuse(false);
+        let resp = client.call(21, &crate::proto::Request::Status).await.unwrap();
         assert_eq!(resp, Response::Ok);
     }
 }

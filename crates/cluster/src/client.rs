@@ -4,7 +4,8 @@ use std::net::SocketAddr;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::{Duration, Instant};
 
-use pls_core::{DetRng, ServiceError, StrategySpec};
+use pls_core::membership::DEFAULT_GROUP_SIZE;
+use pls_core::{DetRng, GroupRouter, Membership, ServiceError, StrategySpec};
 use pls_net::ServerId;
 use pls_telemetry::trace::Span;
 use pls_telemetry::{Level, MetricsSnapshot, SpanRecord};
@@ -43,6 +44,16 @@ pub struct ClientConfig {
     /// disables hedging — it trades extra probes for latency, which
     /// distorts the §4.2 probe-count measurements.
     pub hedge: Option<Duration>,
+    /// Placement-group size `g`: each key lives on (at most) `g`
+    /// servers chosen by consistent hashing over the membership. Must
+    /// match the servers' `--group-size`; clusters no larger than `g`
+    /// place every key on every server, which is the pre-membership
+    /// behavior.
+    pub group_size: usize,
+    /// Placement seed: must match the servers' `--seed` so client and
+    /// cluster agree on every key's group. (Bootstrap deployments used
+    /// one shared seed for engines already; the router reuses it.)
+    pub placement_seed: u64,
 }
 
 impl ClientConfig {
@@ -57,7 +68,21 @@ impl ClientConfig {
             retry: RetryPolicy::default(),
             breaker: BreakerConfig::default(),
             hedge: None,
+            group_size: DEFAULT_GROUP_SIZE,
+            // Deployed clusters share one seed between client and
+            // servers already (the engines need it); the router reuses
+            // it, so client and cluster derive identical groups.
+            placement_seed: seed,
         }
+    }
+
+    /// Replaces the placement-group size and routing seed (must match
+    /// the servers' `--group-size` and `--seed`).
+    #[must_use]
+    pub fn with_placement(mut self, group_size: usize, seed: u64) -> Self {
+        self.group_size = group_size.max(1);
+        self.placement_seed = seed;
+        self
     }
 
     /// Replaces the time bounds.
@@ -99,9 +124,21 @@ impl ClientConfig {
 pub struct Client {
     spec: StrategySpec,
     key_specs: std::collections::HashMap<Vec<u8>, StrategySpec>,
-    peers: std::sync::Arc<Vec<PeerClient>>,
+    /// The client's membership view: epoch + id→address list. Seeded
+    /// from the configured server list (epoch 1); refreshed from the
+    /// cluster via [`Client::refresh_membership`] / the admin calls.
+    view: Membership,
+    /// Multi-probe consistent-hash router mapping each key to its
+    /// placement group within `view`. Shared with the servers (same
+    /// group size, same seed), so client and cluster agree.
+    router: GroupRouter,
+    /// Per-member connection pools, keyed by member id and created on
+    /// demand from the view's addresses. Dropping an entry (when a
+    /// member leaves) drops its breaker and health state with it.
+    peers: std::sync::Mutex<std::collections::HashMap<u64, std::sync::Arc<PeerClient>>>,
     rng: DetRng,
     timeouts: Timeouts,
+    breaker: BreakerConfig,
     retry: RetryPolicy,
     hedge: Option<Duration>,
     /// Lock-free runtime counters; most importantly the probes-per-lookup
@@ -120,19 +157,21 @@ pub struct Client {
 
 impl Client {
     /// Creates a client; no connections are opened until first use.
+    /// The configured server list seeds the membership view (epoch 1,
+    /// ids in list order); [`Client::refresh_membership`] catches up
+    /// with a cluster whose membership has since changed.
     pub fn connect(cfg: ClientConfig) -> Self {
         let first_id = splitmix64(cfg.seed);
-        let peers = cfg
-            .servers
-            .into_iter()
-            .map(|a| PeerClient::with_policies(a, cfg.timeouts, cfg.breaker))
-            .collect();
+        let view = Membership::bootstrap(cfg.servers.iter().map(|a| a.to_string()));
         Client {
             spec: cfg.spec,
             key_specs: std::collections::HashMap::new(),
-            peers: std::sync::Arc::new(peers),
+            view,
+            router: GroupRouter::new(cfg.group_size.max(1), cfg.placement_seed),
+            peers: std::sync::Mutex::new(std::collections::HashMap::new()),
             rng: DetRng::seed_from(cfg.seed),
             timeouts: cfg.timeouts,
+            breaker: cfg.breaker,
             retry: cfg.retry,
             hedge: cfg.hedge,
             metrics: ClientMetrics::new(),
@@ -142,7 +181,46 @@ impl Client {
     }
 
     fn n(&self) -> usize {
-        self.peers.len()
+        self.view.len()
+    }
+
+    /// The members of `key`'s placement group under the current view,
+    /// in group order (position 0 is the round-robin coordinator).
+    fn group_of(&self, key: &[u8]) -> Vec<u64> {
+        self.router.group(&self.view, key)
+    }
+
+    /// The pooled client for a member, created from the view's address
+    /// on first use. `None` when the member is unknown to the view or
+    /// its address fails to parse.
+    fn peer_for(&self, id: u64) -> Option<std::sync::Arc<PeerClient>> {
+        let mut book = self.peers.lock().expect("client peer book poisoned");
+        if let Some(p) = book.get(&id) {
+            return Some(std::sync::Arc::clone(p));
+        }
+        let addr: SocketAddr = self.view.addr_of(id)?.parse().ok()?;
+        let p = std::sync::Arc::new(PeerClient::with_policies(addr, self.timeouts, self.breaker));
+        book.insert(id, std::sync::Arc::clone(&p));
+        Some(p)
+    }
+
+    /// Whether a member's pool looks healthy; an untried member (no
+    /// pool yet) counts as healthy.
+    fn member_healthy(&self, id: u64) -> bool {
+        self.peers.lock().expect("client peer book poisoned").get(&id).is_none_or(|p| p.healthy())
+    }
+
+    /// Adopts a membership view if it's strictly newer than the current
+    /// one, dropping pooled clients (and with them breaker and health
+    /// state) for members that left. Returns whether the view changed.
+    fn adopt_view(&mut self, epoch: u64, members: Vec<(u64, String)>) -> bool {
+        if epoch <= self.view.epoch() {
+            return false;
+        }
+        self.view = Membership::from_parts(epoch, members);
+        let mut book = self.peers.lock().expect("client peer book poisoned");
+        book.retain(|id, _| self.view.contains(*id));
+        true
     }
 
     /// Draws the id for one client operation and records it as the most
@@ -166,34 +244,48 @@ impl Client {
         self.key_specs.get(key).copied().unwrap_or(self.spec)
     }
 
-    /// A shuffled probe order with breaker-suspect servers demoted to
-    /// the tail. The sort is stable, so each health class keeps its
-    /// shuffled order — healthy servers still share load uniformly, and
-    /// sick ones are only tried once everyone else has answered short.
-    fn probe_order(&mut self) -> Vec<ServerId> {
-        let mut order = self.rng.shuffled_servers(self.n());
-        order.sort_by_key(|s| !self.peers[s.index()].healthy());
+    /// A shuffled probe order over a key's placement group — **group
+    /// positions**, not global ids (the engines are group-local, so
+    /// position arithmetic like the round-robin stride walks this
+    /// space) — with breaker-suspect members demoted to the tail. The
+    /// sort is stable, so each health class keeps its shuffled order —
+    /// healthy members still share load uniformly, and sick ones are
+    /// only tried once everyone else has answered short.
+    fn probe_order(&mut self, group: &[u64]) -> Vec<ServerId> {
+        let mut order = self.rng.shuffled_servers(group.len());
+        order.sort_by_key(|s| !self.member_healthy(group[s.index()]));
         order
     }
 
-    /// Sends an update to its coordinator: server 0 for Round-Robin-y
-    /// keys, any reachable server otherwise (tried in random order,
-    /// sick servers last). Each candidate is retried under the client's
-    /// [`RetryPolicy`]; the whole operation is bounded by the
-    /// per-operation budget.
+    /// Sends an update to its coordinator: the key's group position 0
+    /// for Round-Robin-y keys, any reachable group member otherwise
+    /// (tried in random order, sick members last). Each candidate is
+    /// retried under the client's [`RetryPolicy`]; the whole operation
+    /// is bounded by the per-operation budget.
     async fn update(&mut self, key: &[u8], req: Request) -> Result<(), ClusterError> {
         self.metrics.updates.inc();
         let id = self.fresh_id();
         let deadline = Deadline::within(self.timeouts.op_budget);
+        let group = self.group_of(key);
         if matches!(self.spec_of(key), StrategySpec::RoundRobin { .. }) {
-            if let Err(err) = self.peers[0].call_retry(id, &req, &self.retry, deadline).await {
+            let coordinator = group[0];
+            let Some(peer) = self.peer_for(coordinator) else {
                 self.metrics.update_failures.inc();
-                pls_telemetry::debug!("update_failed", req = id, coordinator = 0, err = err);
+                return Err(ClusterError::NoServerAvailable);
+            };
+            if let Err(err) = peer.call_retry(id, &req, &self.retry, deadline).await {
+                self.metrics.update_failures.inc();
+                pls_telemetry::debug!(
+                    "update_failed",
+                    req = id,
+                    coordinator = coordinator,
+                    err = err
+                );
                 return Err(err);
             }
             return Ok(());
         }
-        let order = self.probe_order();
+        let order = self.probe_order(&group);
         let mut last_err = ClusterError::NoServerAvailable;
         for s in order {
             if deadline.expired() {
@@ -201,12 +293,14 @@ impl Client {
                 last_err = ClusterError::Timeout("op-budget");
                 break;
             }
-            match self.peers[s.index()].call_retry(id, &req, &self.retry, deadline).await {
+            let member = group[s.index()];
+            let Some(peer) = self.peer_for(member) else { continue };
+            match peer.call_retry(id, &req, &self.retry, deadline).await {
                 Ok(_) => return Ok(()),
                 Err(err) if err.is_unavailable() => {
                     // Failed server: retry on the next one.
                     self.metrics.update_retries.inc();
-                    pls_telemetry::debug!("update_retry", req = id, server = s.index(), err = err);
+                    pls_telemetry::debug!("update_retry", req = id, server = member, err = err);
                     last_err = err;
                 }
                 Err(other) => {
@@ -247,7 +341,9 @@ impl Client {
         entries: Vec<Entry>,
         spec: StrategySpec,
     ) -> Result<(), ClusterError> {
-        spec.validate(self.n())?;
+        // Engines are group-local: the spec must fit the key's group
+        // (the whole cluster only when it's no larger than the group).
+        spec.validate(self.n().min(self.router.group_size()).max(1))?;
         self.key_specs.insert(key.to_vec(), spec);
         self.update(key, Request::Place { key: key.to_vec(), entries, spec: Some(spec) }).await
     }
@@ -305,21 +401,27 @@ impl Client {
     async fn probe(
         &self,
         id: u64,
-        s: ServerId,
+        member: u64,
         key: &[u8],
         t: usize,
         limit: Duration,
     ) -> Result<Vec<Entry>, ClusterError> {
         let req = Request::Probe { key: key.to_vec(), t: t as u32 };
         let started = Instant::now();
-        match self.peers[s.index()].call_bounded_timed(id, &req, limit).await {
+        let Some(peer) = self.peer_for(member) else {
+            // Unknown member / unparseable address: treat like an
+            // unreachable peer so lookups skip it and move on.
+            self.metrics.probe_failures.inc();
+            return Err(ClusterError::PeerUnhealthy);
+        };
+        match peer.call_bounded_timed(id, &req, limit).await {
             Ok((Response::Entries(entries), service_us)) => {
-                self.record_probe_timing(id, s.index(), elapsed_us(started), service_us);
+                self.record_probe_timing(id, member as usize, elapsed_us(started), service_us);
                 pls_telemetry::event!(
                     Level::Trace,
                     "probe_answered",
                     req = id,
-                    server = s.index(),
+                    server = member,
                     returned = entries.len(),
                     service_us = service_us
                 );
@@ -331,7 +433,7 @@ impl Client {
             }
             Err(err) => {
                 self.metrics.probe_failures.inc();
-                pls_telemetry::debug!("probe_failed", req = id, server = s.index(), err = err);
+                pls_telemetry::debug!("probe_failed", req = id, server = member, err = err);
                 Err(err)
             }
         }
@@ -372,20 +474,23 @@ impl Client {
         span.field("strategy", self.spec_of(key));
         let probes_before = self.metrics.probes.get();
         let deadline = Deadline::within(self.timeouts.op_budget);
+        let group = self.group_of(key);
         let result = match self.spec_of(key) {
             StrategySpec::FullReplication | StrategySpec::Fixed { .. } => {
-                self.lookup_single(id, key, t, deadline).await
+                self.lookup_single(id, key, t, &group, deadline).await
             }
             StrategySpec::RandomServer { .. } | StrategySpec::Hash { .. } => {
-                let order = self.probe_order();
+                let order = self.probe_order(&group);
                 match self.hedge_delay() {
                     Some(hedge) => {
-                        self.lookup_merge_hedged(id, key, t, order, deadline, hedge).await
+                        self.lookup_merge_hedged(id, key, t, &group, order, deadline, hedge).await
                     }
-                    None => self.lookup_merge(id, key, t, order, deadline).await,
+                    None => self.lookup_merge(id, key, t, &group, order, deadline).await,
                 }
             }
-            StrategySpec::RoundRobin { y } => self.lookup_stride(id, key, t, y, deadline).await,
+            StrategySpec::RoundRobin { y } => {
+                self.lookup_stride(id, key, t, y, &group, deadline).await
+            }
         };
         if result.is_ok() {
             // Servers contacted for this lookup: the client lookup cost.
@@ -400,15 +505,17 @@ impl Client {
         id: u64,
         key: &[u8],
         t: usize,
+        group: &[u64],
         deadline: Deadline,
     ) -> Result<Vec<Entry>, ClusterError> {
-        let order = self.probe_order();
+        let order = self.probe_order(group);
         for s in order {
             if deadline.expired() {
                 self.metrics.op_budget_exhausted.inc();
                 return Err(ClusterError::Timeout("op-budget"));
             }
-            match self.probe(id, s, key, t, deadline.cap(self.timeouts.rpc)).await {
+            let member = group[s.index()];
+            match self.probe(id, member, key, t, deadline.cap(self.timeouts.rpc)).await {
                 Ok(entries) => return Ok(entries),
                 Err(err) if err.is_peer_fault() => continue, // failed server: pick another
                 Err(other) => return Err(other),
@@ -422,6 +529,7 @@ impl Client {
         id: u64,
         key: &[u8],
         t: usize,
+        group: &[u64],
         order: Vec<ServerId>,
         deadline: Deadline,
     ) -> Result<Vec<Entry>, ClusterError> {
@@ -438,7 +546,9 @@ impl Client {
                 }
                 return Err(ClusterError::Timeout("op-budget"));
             }
-            let answer = match self.probe(id, s, key, t, deadline.cap(self.timeouts.rpc)).await {
+            let member = group[s.index()];
+            let answer = match self.probe(id, member, key, t, deadline.cap(self.timeouts.rpc)).await
+            {
                 Ok(a) => a,
                 Err(err) if err.is_peer_fault() => continue,
                 Err(other) => return Err(other),
@@ -477,28 +587,29 @@ impl Client {
     /// and a late answer still merges. Probes launch strictly in
     /// `order` (only the trigger changes: completion vs. timer), so the
     /// procedure visits the same servers the sequential merge would.
+    #[allow(clippy::too_many_arguments)]
     async fn lookup_merge_hedged(
         &mut self,
         id: u64,
         key: &[u8],
         t: usize,
+        group: &[u64],
         order: Vec<ServerId>,
         deadline: Deadline,
         hedge: Duration,
     ) -> Result<Vec<Entry>, ClusterError> {
-        type ProbeOutcome = (usize, bool, u64, Result<(Response, u64), ClusterError>);
+        type ProbeOutcome = (u64, bool, u64, Result<(Response, u64), ClusterError>);
         let mut pending: tokio::task::JoinSet<ProbeOutcome> = tokio::task::JoinSet::new();
         let spawn_probe = |pending: &mut tokio::task::JoinSet<ProbeOutcome>,
-                           peers: &std::sync::Arc<Vec<PeerClient>>,
-                           s: ServerId,
+                           peer: std::sync::Arc<PeerClient>,
+                           member: u64,
                            hedged: bool,
                            limit: Duration| {
-            let peers = std::sync::Arc::clone(peers);
             let req = Request::Probe { key: key.to_vec(), t: t as u32 };
             pending.spawn(async move {
                 let started = Instant::now();
-                let res = peers[s.index()].call_bounded_timed(id, &req, limit).await;
-                (s.index(), hedged, elapsed_us(started), res)
+                let res = peer.call_bounded_timed(id, &req, limit).await;
+                (member, hedged, elapsed_us(started), res)
             });
         };
 
@@ -512,8 +623,14 @@ impl Client {
                     break;
                 }
                 let limit = deadline.cap(self.timeouts.rpc);
-                spawn_probe(&mut pending, &self.peers, order[next], false, limit);
+                let member = group[order[next].index()];
                 next += 1;
+                let Some(peer) = self.peer_for(member) else {
+                    // Unknown member: a failed probe, move down the order.
+                    self.metrics.probe_failures.inc();
+                    continue;
+                };
+                spawn_probe(&mut pending, peer, member, false, limit);
                 last_launch = Instant::now();
             }
             if deadline.expired() {
@@ -537,7 +654,7 @@ impl Client {
                             latency_us,
                             Ok((Response::Entries(entries), service_us)),
                         )) => {
-                            self.record_probe_timing(id, server, latency_us, service_us);
+                            self.record_probe_timing(id, server as usize, latency_us, service_us);
                             if hedged && !pending.is_empty() {
                                 // The hedge answered while an earlier
                                 // probe was still silent: a win.
@@ -582,16 +699,21 @@ impl Client {
                 _ = tokio::time::sleep(deadline.cap(hedge_wait)), if next < order.len() => {
                     // The outstanding probe is slow: hedge with the next
                     // server; first answer wins.
+                    let member = group[order[next].index()];
+                    next += 1;
+                    let Some(peer) = self.peer_for(member) else {
+                        self.metrics.probe_failures.inc();
+                        continue;
+                    };
                     self.metrics.hedges.inc();
                     pls_telemetry::debug!(
                         "probe_hedged",
                         req = id,
-                        server = order[next].index(),
+                        server = member,
                         after_ms = hedge.as_millis()
                     );
                     let limit = deadline.cap(self.timeouts.rpc);
-                    spawn_probe(&mut pending, &self.peers, order[next], true, limit);
-                    next += 1;
+                    spawn_probe(&mut pending, peer, member, true, limit);
                     last_launch = Instant::now();
                 }
             }
@@ -611,25 +733,27 @@ impl Client {
         key: &[u8],
         t: usize,
         y: usize,
+        group: &[u64],
         deadline: Deadline,
     ) -> Result<Vec<Entry>, ClusterError> {
-        let n = self.n();
+        let n = group.len();
         let start = self.rng.random_server(n);
         let mut visited = vec![false; n];
         let mut acc: Vec<Entry> = Vec::new();
         let mut reached_any = false;
 
-        // Phase 1: deterministic stride walk; abandoned on the first
-        // failed server (§3.4's "choose random servers instead" —
-        // applied equally to unreachable, silent, and byzantine peers).
-        // When gcd(y, n) > 1 the walk revisits its start after
-        // n/gcd(y, n) hops, so it can exhaust its cycle with acc still
-        // short of `t`; phase 2 then probes the servers the cycle never
-        // touched.
+        // Phase 1: deterministic stride walk over the key's placement
+        // group; abandoned on the first failed server (§3.4's "choose
+        // random servers instead" — applied equally to unreachable,
+        // silent, and byzantine peers). When gcd(y, n) > 1 the walk
+        // revisits its start after n/gcd(y, n) hops, so it can exhaust
+        // its cycle with acc still short of `t`; phase 2 then probes
+        // the group members the cycle never touched.
         let mut cur = start;
         while !visited[cur.index()] && acc.len() < t && !deadline.expired() {
             visited[cur.index()] = true;
-            match self.probe(id, cur, key, t, deadline.cap(self.timeouts.rpc)).await {
+            let member = group[cur.index()];
+            match self.probe(id, member, key, t, deadline.cap(self.timeouts.rpc)).await {
                 Ok(answer) => {
                     reached_any = true;
                     for v in answer {
@@ -650,13 +774,14 @@ impl Client {
             let mut rest: Vec<ServerId> =
                 (0..n as u32).map(ServerId::new).filter(|s| !visited[s.index()]).collect();
             self.rng.shuffle(&mut rest);
-            rest.sort_by_key(|s| !self.peers[s.index()].healthy());
+            rest.sort_by_key(|s| !self.member_healthy(group[s.index()]));
             for s in rest {
                 if deadline.expired() {
                     self.metrics.op_budget_exhausted.inc();
                     break;
                 }
-                match self.probe(id, s, key, t, deadline.cap(self.timeouts.rpc)).await {
+                let member = group[s.index()];
+                match self.probe(id, member, key, t, deadline.cap(self.timeouts.rpc)).await {
                     Ok(answer) => {
                         reached_any = true;
                         for v in answer {
@@ -725,7 +850,8 @@ impl Client {
         span.field("fanout", fanout);
         let probes_before = self.metrics.probes.get();
         let deadline = Deadline::within(self.timeouts.op_budget);
-        let order = self.probe_order();
+        let group = self.group_of(key);
+        let order = self.probe_order(&group);
         let mut acc: Vec<Entry> = Vec::new();
         let mut reached_any = false;
         for wave in order.chunks(fanout) {
@@ -736,12 +862,17 @@ impl Client {
             let limit = deadline.cap(self.timeouts.rpc);
             let mut tasks = tokio::task::JoinSet::new();
             for &s in wave {
-                let peers = std::sync::Arc::clone(&self.peers);
+                let member = group[s.index()];
+                let Some(peer) = self.peer_for(member) else {
+                    // Unknown member: a failed probe, skip it.
+                    self.metrics.probe_failures.inc();
+                    continue;
+                };
                 let req = Request::Probe { key: key.to_vec(), t: t as u32 };
                 tasks.spawn(async move {
                     let started = Instant::now();
-                    let res = peers[s.index()].call_bounded_timed(id, &req, limit).await;
-                    (s.index(), elapsed_us(started), res)
+                    let res = peer.call_bounded_timed(id, &req, limit).await;
+                    (member, elapsed_us(started), res)
                 });
             }
             while let Some(joined) = tasks.join_next().await {
@@ -757,7 +888,7 @@ impl Client {
                 };
                 match outcome {
                     Ok((Response::Entries(entries), service_us)) => {
-                        self.record_probe_timing(id, server, latency_us, service_us);
+                        self.record_probe_timing(id, server as usize, latency_us, service_us);
                         pls_telemetry::event!(
                             Level::Trace,
                             "probe_answered",
@@ -815,10 +946,12 @@ impl Client {
     /// unreachable.
     pub async fn refresh_spec(&mut self, key: &[u8]) -> Result<Option<StrategySpec>, ClusterError> {
         let id = self.fresh_id();
-        let order = self.rng.shuffled_servers(self.n());
+        let group = self.group_of(key);
+        let order = self.rng.shuffled_servers(group.len());
         let mut reached_any = false;
         for s in order {
-            match self.peers[s.index()].call(id, &Request::SpecOf { key: key.to_vec() }).await {
+            let Some(peer) = self.peer_for(group[s.index()]) else { continue };
+            match peer.call(id, &Request::SpecOf { key: key.to_vec() }).await {
                 Ok(Response::SpecOf(Some(spec))) => {
                     self.key_specs.insert(key.to_vec(), spec);
                     return Ok(Some(spec));
@@ -841,7 +974,10 @@ impl Client {
     ///
     /// I/O errors when the server is unreachable.
     pub async fn status_of(&self, server: usize) -> Result<(u64, u64), ClusterError> {
-        match self.peers[server].call(self.fresh_id(), &Request::Status).await? {
+        let peer = self
+            .peer_for(server as u64)
+            .ok_or_else(|| ClusterError::Remote(format!("unknown member {server}")))?;
+        match peer.call(self.fresh_id(), &Request::Status).await? {
             Response::Status { keys, entries } => Ok((keys, entries)),
             other => Err(ClusterError::Remote(format!("unexpected status response {other:?}"))),
         }
@@ -858,10 +994,10 @@ impl Client {
     /// I/O errors when the server is unreachable; protocol errors on an
     /// unexpected response.
     pub async fn digest_of(&self, server: usize, key: &[u8]) -> Result<Response, ClusterError> {
-        match self.peers[server]
-            .call(self.fresh_id(), &Request::Digest { key: key.to_vec() })
-            .await?
-        {
+        let peer = self
+            .peer_for(server as u64)
+            .ok_or_else(|| ClusterError::Remote(format!("unknown member {server}")))?;
+        match peer.call(self.fresh_id(), &Request::Digest { key: key.to_vec() }).await? {
             resp @ Response::Digest { .. } => Ok(resp),
             other => Err(ClusterError::Remote(format!("unexpected digest response {other:?}"))),
         }
@@ -877,9 +1013,11 @@ impl Client {
     /// pool statistics aggregated over every per-server pool.
     pub fn metrics_snapshot(&self) -> MetricsSnapshot {
         let mut s = self.metrics.collect();
+        let peers: Vec<std::sync::Arc<PeerClient>> =
+            self.peers.lock().expect("client peer book poisoned").values().cloned().collect();
         let (mut dials, mut dial_failures, mut reuses, mut discarded, mut evicted) =
             (0u64, 0u64, 0u64, 0u64, 0u64);
-        for peer in self.peers.iter() {
+        for peer in &peers {
             let st = peer.stats();
             dials += st.dials.get();
             dial_failures += st.dial_failures.get();
@@ -892,7 +1030,7 @@ impl Client {
         s.push_counter("pls_client_pool_reuses_total", reuses);
         s.push_counter("pls_client_pool_discarded_total", discarded);
         s.push_counter("pls_client_pool_evicted_total", evicted);
-        push_peer_robustness(&mut s, self.peers.iter());
+        push_peer_robustness(&mut s, peers.iter().map(|p| p.as_ref()));
         s
     }
 
@@ -909,7 +1047,10 @@ impl Client {
         server: usize,
         reset: bool,
     ) -> Result<MetricsSnapshot, ClusterError> {
-        match self.peers[server].call(self.fresh_id(), &Request::Metrics { reset }).await? {
+        let peer = self
+            .peer_for(server as u64)
+            .ok_or_else(|| ClusterError::Remote(format!("unknown member {server}")))?;
+        match peer.call(self.fresh_id(), &Request::Metrics { reset }).await? {
             Response::Metrics(snap) => Ok(snap),
             other => Err(ClusterError::Remote(format!("unexpected metrics response {other:?}"))),
         }
@@ -932,8 +1073,8 @@ impl Client {
     pub async fn cluster_metrics(&self, reset: bool) -> Result<MetricsSnapshot, ClusterError> {
         let mut merged = MetricsSnapshot::new();
         let mut reached = 0usize;
-        for server in 0..self.n() {
-            match self.metrics_of(server, reset).await {
+        for server in self.view.ids() {
+            match self.metrics_of(server as usize, reset).await {
                 Ok(snap) => {
                     reached += 1;
                     merged.merge(&snap);
@@ -969,8 +1110,9 @@ impl Client {
         let mut spans: Vec<SpanRecord> =
             pls_telemetry::recorder::installed().map(|r| r.spans_for(req)).unwrap_or_default();
         let mut reached = 0usize;
-        for server in 0..self.n() {
-            match self.peers[server].call(id, &Request::Trace { req }).await {
+        for server in self.view.ids() {
+            let Some(peer) = self.peer_for(server) else { continue };
+            match peer.call(id, &Request::Trace { req }).await {
                 Ok(Response::Spans(remote)) => {
                     reached += 1;
                     for span in remote {
@@ -993,6 +1135,94 @@ impl Client {
         }
         spans.sort_by(|a, b| (a.start_us, a.elapsed_us).cmp(&(b.start_us, b.elapsed_us)));
         Ok(spans)
+    }
+
+    /// The membership view this client routes with: `(epoch, members)`.
+    pub fn membership_view(&self) -> (u64, Vec<(u64, String)>) {
+        let members =
+            self.view.members().iter().map(|m| (m.id, m.addr.clone())).collect::<Vec<_>>();
+        (self.view.epoch(), members)
+    }
+
+    /// Fetches the cluster's current membership from the first reachable
+    /// member, adopts it when strictly newer than the local view, and
+    /// returns it. This is how a long-lived client catches up with joins
+    /// and leaves it did not initiate.
+    ///
+    /// # Errors
+    ///
+    /// [`ClusterError::NoServerAvailable`] when every known member is
+    /// unreachable.
+    pub async fn membership(&mut self) -> Result<(u64, Vec<(u64, String)>), ClusterError> {
+        self.membership_rpc(Request::Membership { epoch: 0, members: Vec::new() }).await
+    }
+
+    /// Refreshes the membership view ([`Client::membership`]) and reports
+    /// whether it changed.
+    ///
+    /// # Errors
+    ///
+    /// As [`Client::membership`].
+    pub async fn refresh_membership(&mut self) -> Result<bool, ClusterError> {
+        let before = self.view.epoch();
+        let (after, _) = self.membership().await?;
+        Ok(after != before)
+    }
+
+    /// Admin: asks the cluster to admit the server at `addr` (its
+    /// advertised listen address) as a new member. Any current member
+    /// accepts the request, bumps the epoch, and gossips the new view;
+    /// this client adopts it immediately. Returns the post-join
+    /// `(epoch, members)`.
+    ///
+    /// # Errors
+    ///
+    /// [`ClusterError::NoServerAvailable`] when every known member is
+    /// unreachable; [`ClusterError::Remote`] when the cluster refuses
+    /// the join.
+    pub async fn join(&mut self, addr: &str) -> Result<(u64, Vec<(u64, String)>), ClusterError> {
+        self.membership_rpc(Request::JoinLeave { join: Some(addr.to_string()), leave: None }).await
+    }
+
+    /// Admin: asks the cluster to retire member `id` gracefully (a
+    /// drain). The remaining members bump the epoch, re-home the
+    /// departed member's placement groups via anti-entropy migration,
+    /// and gossip the new view; this client adopts it immediately.
+    /// Returns the post-drain `(epoch, members)`.
+    ///
+    /// # Errors
+    ///
+    /// [`ClusterError::NoServerAvailable`] when every known member is
+    /// unreachable; [`ClusterError::Remote`] when `id` is unknown or the
+    /// last member standing.
+    pub async fn drain(&mut self, id: u64) -> Result<(u64, Vec<(u64, String)>), ClusterError> {
+        self.membership_rpc(Request::JoinLeave { join: None, leave: Some(id) }).await
+    }
+
+    /// Sends a membership RPC to the first member that answers, adopts
+    /// the returned view when newer, and hands it back.
+    async fn membership_rpc(
+        &mut self,
+        req: Request,
+    ) -> Result<(u64, Vec<(u64, String)>), ClusterError> {
+        let id = self.fresh_id();
+        for member in self.view.ids() {
+            let Some(peer) = self.peer_for(member) else { continue };
+            match peer.call(id, &req).await {
+                Ok(Response::Membership { epoch, members }) => {
+                    self.adopt_view(epoch, members.clone());
+                    return Ok((epoch, members));
+                }
+                Ok(other) => {
+                    return Err(ClusterError::Remote(format!(
+                        "unexpected membership response {other:?}"
+                    )))
+                }
+                Err(err) if err.is_peer_fault() => continue,
+                Err(other) => return Err(other),
+            }
+        }
+        Err(ClusterError::NoServerAvailable)
     }
 }
 

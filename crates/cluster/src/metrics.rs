@@ -73,11 +73,15 @@ pub enum ReqOp {
     Trace,
     /// `Request::Digest`.
     Digest,
+    /// `Request::Membership`.
+    Membership,
+    /// `Request::JoinLeave`.
+    JoinLeave,
 }
 
 impl ReqOp {
     /// Every variant, in counter-index order.
-    pub const ALL: [ReqOp; 12] = [
+    pub const ALL: [ReqOp; 14] = [
         ReqOp::Place,
         ReqOp::Add,
         ReqOp::Delete,
@@ -90,6 +94,8 @@ impl ReqOp {
         ReqOp::Metrics,
         ReqOp::Trace,
         ReqOp::Digest,
+        ReqOp::Membership,
+        ReqOp::JoinLeave,
     ];
 
     /// The `op` label value.
@@ -107,6 +113,8 @@ impl ReqOp {
             ReqOp::Metrics => "metrics",
             ReqOp::Trace => "trace",
             ReqOp::Digest => "digest",
+            ReqOp::Membership => "membership",
+            ReqOp::JoinLeave => "join_leave",
         }
     }
 }
@@ -153,7 +161,7 @@ pub fn split_key_entry(composite: &[u8]) -> Option<(&[u8], &[u8])> {
 #[derive(Debug)]
 pub struct ServerMetrics {
     /// Per-variant request counts, indexed by [`ReqOp`].
-    pub requests: [Counter; 12],
+    pub requests: [Counter; 14],
     /// Requests whose handler returned an error.
     pub request_errors: Counter,
     /// Frames that failed to decode into a request.
@@ -188,6 +196,22 @@ pub struct ServerMetrics {
     pub staleness_rounds: Counter,
     /// Delete tombstones dropped by TTL garbage collection.
     pub tombstones_gc: Counter,
+    /// Membership views installed (each strictly newer epoch accepted,
+    /// whether from gossip, a join/leave command, or boot).
+    pub membership_installs: Counter,
+    /// The epoch of this server's current membership view. A live value
+    /// like `inflight`: `Metrics{reset}` never zeroes it.
+    pub membership_epoch: Gauge,
+    /// Keys whose local placement was rebuilt by migration — pulled or
+    /// re-homed because an epoch change moved their placement group.
+    pub migration_keys: Counter,
+    /// Entries received and applied through migration pulls.
+    pub migration_entries: Counter,
+    /// Migration lag: keys this server should host under the current
+    /// epoch whose local state still predates it. Converges to zero as
+    /// the migration sweep and anti-entropy drain the backlog. Live
+    /// value, exempt from `reset`.
+    pub migration_pending: Gauge,
     /// Per-holder version lag observed by staleness probes: how many
     /// versions behind the key's freshest known version each holder's
     /// copy was (0 = fully fresh).
@@ -247,6 +271,11 @@ impl ServerMetrics {
             antientropy_repairs: Counter::new(),
             staleness_rounds: Counter::new(),
             tombstones_gc: Counter::new(),
+            membership_installs: Counter::new(),
+            membership_epoch: Gauge::new(),
+            migration_keys: Counter::new(),
+            migration_entries: Counter::new(),
+            migration_pending: Gauge::new(),
             staleness_versions_behind: Histogram::new(),
             request_latency_us: Histogram::new(),
             probe_latency_us: Histogram::new(),
@@ -310,6 +339,13 @@ impl ServerMetrics {
         s.push_counter("pls_antientropy_repairs_total", val(&self.antientropy_repairs, reset));
         s.push_counter("pls_staleness_rounds_total", val(&self.staleness_rounds, reset));
         s.push_counter("pls_tombstones_gc_total", val(&self.tombstones_gc, reset));
+        s.push_counter("pls_membership_installs_total", val(&self.membership_installs, reset));
+        s.push_counter("pls_migration_keys_total", val(&self.migration_keys, reset));
+        s.push_counter("pls_migration_entries_total", val(&self.migration_entries, reset));
+        // Live membership state: the epoch and the migration backlog are
+        // point-in-time readings, exempt from `reset` like `inflight`.
+        s.push_gauge("pls_membership_epoch", self.membership_epoch.get());
+        s.push_gauge("pls_migration_pending", self.migration_pending.get());
         s.push_histogram(
             "pls_staleness_versions_behind",
             if reset {
@@ -358,6 +394,14 @@ impl ServerMetrics {
         s.set_help("pls_antientropy_repairs_total", "Keys repaired by anti-entropy.");
         s.set_help("pls_staleness_rounds_total", "Background staleness-probe rounds started.");
         s.set_help("pls_tombstones_gc_total", "Delete tombstones dropped by TTL GC.");
+        s.set_help("pls_membership_installs_total", "Membership views installed (newer epochs).");
+        s.set_help("pls_migration_keys_total", "Keys rebuilt by group migration.");
+        s.set_help("pls_migration_entries_total", "Entries applied through migration pulls.");
+        s.set_help("pls_membership_epoch", "Epoch of the current membership view.");
+        s.set_help(
+            "pls_migration_pending",
+            "Keys owed to this server under the current epoch but not yet migrated.",
+        );
         s.set_help(
             "pls_staleness_versions_behind",
             "Per-holder version lag behind the freshest known version (staleness probes).",
@@ -673,6 +717,30 @@ mod tests {
         let second = m.collect(0, 0, false);
         assert_eq!(second.counter("pls_requests_total{op=\"add\"}"), Some(0));
         assert!(second.histogram("pls_probe_latency_us").unwrap().is_empty());
+    }
+
+    #[test]
+    fn membership_families_export_and_epoch_survives_reset() {
+        let m = ServerMetrics::new();
+        m.membership_epoch.set(3.0);
+        m.membership_installs.add(2);
+        m.migration_keys.add(5);
+        m.migration_entries.add(40);
+        m.migration_pending.set(7.0);
+        let first = m.collect(0, 0, true);
+        assert_eq!(first.counter("pls_membership_installs_total"), Some(2));
+        assert_eq!(first.counter("pls_migration_keys_total"), Some(5));
+        assert_eq!(first.counter("pls_migration_entries_total"), Some(40));
+        assert_eq!(first.gauge("pls_membership_epoch"), Some(3.0));
+        assert_eq!(first.gauge("pls_migration_pending"), Some(7.0));
+        // Counters drain on reset; the live epoch and backlog readings
+        // do not — a delta scrape must never report epoch 0.
+        let second = m.collect(0, 0, false);
+        assert_eq!(second.counter("pls_membership_installs_total"), Some(0));
+        assert_eq!(second.gauge("pls_membership_epoch"), Some(3.0));
+        assert_eq!(second.gauge("pls_migration_pending"), Some(7.0));
+        assert_eq!(second.counter("pls_requests_total{op=\"membership\"}"), Some(0));
+        assert_eq!(second.counter("pls_requests_total{op=\"join_leave\"}"), Some(0));
     }
 
     #[test]

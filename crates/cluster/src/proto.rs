@@ -103,6 +103,27 @@ pub enum Request {
         /// The key.
         key: Vec<u8>,
     },
+    /// Membership gossip: "here is my view of the cluster — install it
+    /// if it is newer than yours, and reply with yours." Carrying the
+    /// empty epoch-0 view makes this a plain fetch. Sent by servers on
+    /// their anti-entropy cadence, by joiners at boot, and by clients
+    /// refreshing their routing table.
+    Membership {
+        /// The sender's epoch (0 = "I know nothing, just tell me").
+        epoch: u64,
+        /// The sender's `(server id, dial address)` list.
+        members: Vec<(u64, String)>,
+    },
+    /// Operator-initiated membership change: join an address and/or
+    /// gracefully remove a server. The receiving server bumps the
+    /// epoch, installs the new view, fans it out to every member, and
+    /// replies with the result.
+    JoinLeave {
+        /// Address of a server joining the cluster, if any.
+        join: Option<String>,
+        /// Id of a server leaving gracefully (a drain), if any.
+        leave: Option<u64>,
+    },
 }
 
 /// A response frame.
@@ -171,6 +192,14 @@ pub enum Response {
         /// Round-robin coordinator counters, if held here.
         counters: Option<(u64, u64)>,
     },
+    /// The responder's membership view (see [`Request::Membership`] and
+    /// [`Request::JoinLeave`]).
+    Membership {
+        /// The responder's epoch after processing the request.
+        epoch: u64,
+        /// The responder's `(server id, dial address)` list.
+        members: Vec<(u64, String)>,
+    },
 }
 
 // ---- opcodes ----
@@ -186,6 +215,8 @@ const REQ_SPEC_OF: u8 = 0x09;
 const REQ_METRICS: u8 = 0x0A;
 const REQ_TRACE: u8 = 0x0B;
 const REQ_DIGEST: u8 = 0x0C;
+const REQ_MEMBERSHIP: u8 = 0x0D;
+const REQ_JOIN_LEAVE: u8 = 0x0E;
 
 const RESP_OK: u8 = 0x80;
 const RESP_ENTRIES: u8 = 0x81;
@@ -196,6 +227,7 @@ const RESP_SPEC_OF: u8 = 0x85;
 const RESP_METRICS: u8 = 0x86;
 const RESP_SPANS: u8 = 0x87;
 const RESP_DIGEST: u8 = 0x88;
+const RESP_MEMBERSHIP: u8 = 0x89;
 const RESP_ERROR: u8 = 0xFF;
 
 /// Decode cap on spans per `Spans` response; a recorder holds a few
@@ -203,6 +235,30 @@ const RESP_ERROR: u8 = 0xFF;
 const MAX_SPANS: usize = 65_536;
 /// Decode cap on key/value fields per span.
 const MAX_SPAN_FIELDS: usize = 64;
+/// Decode cap on membership entries — a view beyond this does not fit a
+/// gossip frame and is garbage.
+const MAX_MEMBERS: usize = 65_536;
+
+fn encode_members(w: &mut Writer, members: &[(u64, String)]) {
+    w.u32(members.len() as u32);
+    for (id, addr) in members {
+        w.u64(*id).bytes(addr.as_bytes());
+    }
+}
+
+fn decode_members(r: &mut Reader) -> Result<Vec<(u64, String)>, ClusterError> {
+    let n = r.u32("member count")? as usize;
+    if n > MAX_MEMBERS {
+        return Err(ClusterError::Decode("member count"));
+    }
+    let mut members = Vec::with_capacity(n.min(1024));
+    for _ in 0..n {
+        let id = r.u64("member id")?;
+        let addr = r.bytes("member addr")?;
+        members.push((id, String::from_utf8_lossy(&addr).into_owned()));
+    }
+    Ok(members)
+}
 
 // ---- engine message opcodes ----
 const MSG_PLACE_REQ: u8 = 0x10;
@@ -442,6 +498,29 @@ impl Request {
             Request::Digest { key } => {
                 w.u8(REQ_DIGEST).bytes(key);
             }
+            Request::Membership { epoch, members } => {
+                w.u8(REQ_MEMBERSHIP).u64(*epoch);
+                encode_members(&mut w, members);
+            }
+            Request::JoinLeave { join, leave } => {
+                w.u8(REQ_JOIN_LEAVE);
+                match join {
+                    Some(addr) => {
+                        w.u8(1).bytes(addr.as_bytes());
+                    }
+                    None => {
+                        w.u8(0);
+                    }
+                }
+                match leave {
+                    Some(id) => {
+                        w.u8(1).u64(*id);
+                    }
+                    None => {
+                        w.u8(0);
+                    }
+                }
+            }
         }
         w.into_payload()
     }
@@ -450,7 +529,9 @@ impl Request {
     ///
     /// # Errors
     ///
-    /// [`ClusterError::Decode`] on malformed input.
+    /// [`ClusterError::Decode`] on malformed input;
+    /// [`ClusterError::Unsupported`] on a well-formed frame whose opcode
+    /// this build does not implement.
     pub fn decode(payload: Bytes) -> Result<Self, ClusterError> {
         let mut r = Reader::new(payload);
         let op = r.u8("request opcode")?;
@@ -482,7 +563,31 @@ impl Request {
             },
             REQ_TRACE => Request::Trace { req: r.u64("trace req")? },
             REQ_DIGEST => Request::Digest { key: r.bytes("key")? },
-            _ => return Err(ClusterError::Decode("request opcode")),
+            REQ_MEMBERSHIP => {
+                let epoch = r.u64("membership epoch")?;
+                Request::Membership { epoch, members: decode_members(&mut r)? }
+            }
+            REQ_JOIN_LEAVE => {
+                let join = match r.u8("join flag")? {
+                    0 => None,
+                    1 => {
+                        let raw = r.bytes("join addr")?;
+                        Some(String::from_utf8_lossy(&raw).into_owned())
+                    }
+                    _ => return Err(ClusterError::Decode("join flag")),
+                };
+                let leave = match r.u8("leave flag")? {
+                    0 => None,
+                    1 => Some(r.u64("leave id")?),
+                    _ => return Err(ClusterError::Decode("leave flag")),
+                };
+                Request::JoinLeave { join, leave }
+            }
+            // An opcode this build has never heard of is not a framing
+            // error: the frame was well-delimited, a *newer* peer simply
+            // asked for something we don't implement. Refuse cleanly so
+            // mixed-version clusters keep their connections.
+            _ => return Err(ClusterError::Unsupported(op)),
         };
         r.finish("request")?;
         Ok(req)
@@ -508,6 +613,8 @@ impl Request {
             Request::Metrics { .. } => ReqOp::Metrics,
             Request::Trace { .. } => ReqOp::Trace,
             Request::Digest { .. } => ReqOp::Digest,
+            Request::Membership { .. } => ReqOp::Membership,
+            Request::JoinLeave { .. } => ReqOp::JoinLeave,
         }
     }
 }
@@ -597,6 +704,10 @@ impl Response {
                         w.u8(0);
                     }
                 }
+            }
+            Response::Membership { epoch, members } => {
+                w.u8(RESP_MEMBERSHIP).u64(*epoch);
+                encode_members(&mut w, members);
             }
             Response::Spans(spans) => {
                 w.u8(RESP_SPANS).u32(spans.len() as u32);
@@ -744,6 +855,10 @@ impl Response {
                     counters,
                 }
             }
+            RESP_MEMBERSHIP => {
+                let epoch = r.u64("membership epoch")?;
+                Response::Membership { epoch, members: decode_members(&mut r)? }
+            }
             RESP_SPANS => {
                 let n_spans = r.u32("span count")? as usize;
                 if n_spans > MAX_SPANS {
@@ -835,6 +950,50 @@ mod tests {
         roundtrip_req(Request::Trace { req: 0xDEAD_BEEF });
         roundtrip_req(Request::Digest { key: b"song".to_vec() });
         roundtrip_req(Request::Digest { key: vec![] });
+    }
+
+    #[test]
+    fn membership_frames_roundtrip() {
+        roundtrip_req(Request::Membership { epoch: 0, members: vec![] });
+        roundtrip_req(Request::Membership {
+            epoch: 7,
+            members: vec![(0, "10.0.0.1:7000".into()), (3, "10.0.0.4:7000".into())],
+        });
+        roundtrip_req(Request::JoinLeave { join: None, leave: None });
+        roundtrip_req(Request::JoinLeave { join: Some("10.0.0.9:7000".into()), leave: None });
+        roundtrip_req(Request::JoinLeave { join: None, leave: Some(2) });
+        roundtrip_req(Request::JoinLeave { join: Some("a:1".into()), leave: Some(u64::MAX) });
+        roundtrip_resp(Response::Membership { epoch: 0, members: vec![] });
+        roundtrip_resp(Response::Membership {
+            epoch: 42,
+            members: vec![(1, "x:1".into()), (9, "y:2".into())],
+        });
+        // A member count beyond the cap is rejected outright.
+        let mut w = Writer::new();
+        w.u8(REQ_MEMBERSHIP).u64(1).u32(u32::MAX);
+        assert!(Request::decode(w.into_payload()).is_err());
+        // Bogus join/leave flags are rejected.
+        let mut w = Writer::new();
+        w.u8(REQ_JOIN_LEAVE).u8(9);
+        assert!(Request::decode(w.into_payload()).is_err());
+    }
+
+    #[test]
+    fn unknown_request_opcode_is_unsupported_not_decode() {
+        // The rollout contract: a frame from a newer peer with an opcode
+        // this build has never heard of is a clean `Unsupported` refusal,
+        // not a decode failure — the connection stays healthy.
+        for op in [0x0Fu8, 0x42, 0x77] {
+            match Request::decode(Bytes::copy_from_slice(&[op, 1, 2, 3])) {
+                Err(ClusterError::Unsupported(got)) => assert_eq!(got, op),
+                other => panic!("opcode {op:#04x}: expected Unsupported, got {other:?}"),
+            }
+        }
+        // A *known* opcode with a malformed body is still a decode error.
+        assert!(matches!(
+            Request::decode(Bytes::copy_from_slice(&[REQ_PROBE])),
+            Err(ClusterError::Decode(_))
+        ));
     }
 
     #[test]

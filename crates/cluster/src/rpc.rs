@@ -147,6 +147,17 @@ impl PeerClient {
         self.breaker.healthy()
     }
 
+    /// Forgets this peer's accumulated health state: the breaker closes
+    /// and the failure streak clears, so probe orders stop demoting it.
+    /// Called when membership changes re-scope the peer — a departed
+    /// server must stop consuming half-open trials and retry budget,
+    /// and a rejoining one starts with a clean slate. (Pooled
+    /// connections are left alone; a stale one is discarded and
+    /// redialed on its next use anyway.)
+    pub fn reset_health(&self) {
+        self.breaker.reset();
+    }
+
     /// Connections currently idle in the pool.
     pub fn pooled(&self) -> usize {
         self.pool.lock().expect("pool lock").len()
@@ -238,9 +249,12 @@ impl PeerClient {
             }
         };
         match &result {
-            // A well-formed reply — even an application-level error —
-            // proves the peer alive; anything else feeds its breaker.
-            Ok(_) | Err(ClusterError::Remote(_)) => self.breaker.record_success(),
+            // A well-formed reply — even an application-level error or
+            // an "I don't implement that opcode" refusal — proves the
+            // peer alive; anything else feeds its breaker.
+            Ok(_) | Err(ClusterError::Remote(_)) | Err(ClusterError::Unsupported(_)) => {
+                self.breaker.record_success()
+            }
             Err(_) => self.breaker.record_failure(),
         }
         result
@@ -348,9 +362,24 @@ impl PeerClient {
     }
 }
 
+/// The error-frame prefix an older server uses to refuse an opcode it
+/// does not implement (see `serve_connection`); recognized here so the
+/// caller gets a typed [`ClusterError::Unsupported`] back instead of a
+/// generic remote error.
+pub(crate) const UNSUPPORTED_PREFIX: &str = "unsupported request opcode ";
+
 fn ok_or_remote((resp, service_us): (Response, u64)) -> Result<(Response, u64), ClusterError> {
     match resp {
-        Response::Error(msg) => Err(ClusterError::Remote(msg)),
+        Response::Error(msg) => {
+            if let Some(op) = msg
+                .strip_prefix(UNSUPPORTED_PREFIX)
+                .and_then(|rest| rest.strip_prefix("0x"))
+                .and_then(|hex| u8::from_str_radix(hex, 16).ok())
+            {
+                return Err(ClusterError::Unsupported(op));
+            }
+            Err(ClusterError::Remote(msg))
+        }
         other => Ok((other, service_us)),
     }
 }
@@ -469,6 +498,70 @@ mod tests {
         let client = PeerClient::new(addr);
         let err = client.call(1, &Request::Status).await.unwrap_err();
         assert_eq!(err, ClusterError::Remote("nope".into()));
+    }
+
+    #[tokio::test]
+    async fn unsupported_refusal_keeps_connection_and_breaker_healthy() {
+        // An "old server" that predates the membership RPCs: any frame
+        // carrying opcode 0x0D gets the clean refusal frame, everything
+        // else is answered normally — all on the same connection, the
+        // mixed-version rollout contract.
+        let listener = TcpListener::bind("127.0.0.1:0").await.unwrap();
+        let addr = listener.local_addr().unwrap();
+        tokio::spawn(async move {
+            let (mut sock, _) = listener.accept().await.unwrap();
+            while let Ok(Some((id, payload))) = read_frame(&mut sock).await {
+                let resp = if payload.first() == Some(&0x0D) {
+                    Response::Error(format!("{UNSUPPORTED_PREFIX}{:#04x}", 0x0D))
+                } else {
+                    Response::Ok
+                };
+                if write_frame(&mut sock, id, &resp.encode()).await.is_err() {
+                    return;
+                }
+            }
+        });
+        let client = PeerClient::new(addr);
+        // A membership fetch against the old server: the refusal comes
+        // back as a *typed* Unsupported, not a generic remote error.
+        let err = client
+            .call(9, &Request::Membership { epoch: 0, members: Vec::new() })
+            .await
+            .unwrap_err();
+        assert_eq!(err, ClusterError::Unsupported(0x0D));
+        // The exchange completed cleanly, so the connection went back to
+        // the pool (not poisoned) and the breaker saw proof of life.
+        assert_eq!(client.pooled(), 1);
+        assert_eq!(client.stats().discarded.get(), 0);
+        assert!(client.healthy());
+        // The very same connection keeps serving ordinary requests.
+        assert_eq!(client.call(10, &Request::Status).await.unwrap(), Response::Ok);
+        assert_eq!(client.stats().dials.get(), 1);
+        assert_eq!(client.stats().reuses.get(), 1);
+        // A remote error that is not the refusal shape stays Remote.
+        let generic = ok_or_remote((Response::Error("kaput".into()), 0));
+        assert_eq!(generic.unwrap_err(), ClusterError::Remote("kaput".into()));
+    }
+
+    #[tokio::test]
+    async fn reset_health_closes_an_open_breaker() {
+        let addr = spawn_black_hole().await;
+        let cfg = BreakerConfig { failure_threshold: 1, cooldown: Duration::from_secs(3600) };
+        let client = PeerClient::with_policies(addr, tight_timeouts(), cfg);
+        let _ = client.call(1, &Request::Status).await;
+        assert!(!client.healthy());
+        assert_eq!(
+            client.call(2, &Request::Status).await.unwrap_err(),
+            ClusterError::PeerUnhealthy
+        );
+        client.reset_health();
+        assert!(client.healthy(), "membership change must clear the breaker");
+        // The next call reaches the network again (and times out there,
+        // not in the breaker).
+        assert_eq!(
+            client.call(3, &Request::Status).await.unwrap_err(),
+            ClusterError::Timeout("rpc")
+        );
     }
 
     #[tokio::test]

@@ -4,11 +4,14 @@ use std::collections::{BTreeMap, HashMap, HashSet, VecDeque};
 use std::net::SocketAddr;
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::Arc;
+use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
 
 use pls_core::engine::{NodeEngine, Outbound};
-use pls_core::{Message, Placement, StrategySpec, Tombstone};
+use pls_core::membership::DEFAULT_GROUP_SIZE;
+use pls_core::{
+    GroupRouter, Membership, Message, Placement, RoutingTable, StrategySpec, Tombstone,
+};
 use pls_metrics::fault_tolerance::greedy_tolerance;
 use pls_net::{Endpoint, ServerId};
 use pls_telemetry::trace::Span;
@@ -19,7 +22,7 @@ use crate::error::ClusterError;
 use crate::metrics::{merged_site_snapshot, strategy_index, ServerMetrics, STRATEGY_LABELS};
 use crate::proto::{Entry, Request, Response};
 use crate::retry::{splitmix64, BreakerConfig, Deadline, RetryPolicy, Timeouts};
-use crate::rpc::{push_peer_robustness, PeerClient};
+use crate::rpc::{push_peer_robustness, PeerClient, UNSUPPORTED_PREFIX};
 use crate::storage::{self, KeySnapshot, Recovered, Storage, WalRecord};
 use crate::wire::{read_frame, write_frame_timed, FRAME_OVERHEAD};
 
@@ -89,6 +92,17 @@ pub struct ServerConfig {
     /// Latency SLO target in microseconds: requests slower than this
     /// burn the `latency` objective's error budget.
     pub slo_latency_target_us: u64,
+    /// Placement-group size `g`: every key lives on a group of `g`
+    /// servers picked by multi-probe consistent hashing over the live
+    /// membership. Clusters no larger than `g` place every key on every
+    /// server — exactly the pre-membership behavior, which is why the
+    /// default matches the paper's five-server experiments.
+    pub group_size: usize,
+    /// Initial membership override: `(my id, view)`. `None` bootstraps
+    /// epoch 1 from `peers` with ids `0..n` (the static world). A
+    /// joining server sets this to the view the seed's `JoinLeave`
+    /// handed back, which is how it learns its allocated id.
+    pub membership: Option<(u64, Membership)>,
 }
 
 /// Default shard count: one per available core (1 when unknown).
@@ -118,6 +132,8 @@ impl ServerConfig {
             slo_fast: Duration::from_secs(60),
             slo_slow: Duration::from_secs(300),
             slo_latency_target_us: 10_000,
+            group_size: DEFAULT_GROUP_SIZE,
+            membership: None,
         }
     }
 
@@ -198,6 +214,20 @@ impl ServerConfig {
         self.slo_latency_target_us = target_us;
         self
     }
+
+    /// Overrides the placement-group size (clamped to at least 1).
+    pub fn with_group_size(mut self, g: usize) -> Self {
+        self.group_size = g.max(1);
+        self
+    }
+
+    /// Boots with an explicit membership view instead of bootstrapping
+    /// from the static peer list — the join flow, where the seed's
+    /// `JoinLeave` response carries both the joiner's id and the view.
+    pub fn with_membership(mut self, my_id: u64, view: Membership) -> Self {
+        self.membership = Some((my_id, view));
+        self
+    }
 }
 
 /// Everything one shard exclusively owns, behind a single mutex: the
@@ -216,12 +246,85 @@ impl ServerConfig {
 struct ShardCore {
     engines: HashMap<Vec<u8>, NodeEngine<Entry>>,
     key_specs: HashMap<Vec<u8>, StrategySpec>,
+    /// The placement group each resident engine was built for: the
+    /// member ids in group order (the engine's server indices are
+    /// positions in this list) and the membership epoch the group was
+    /// computed under. An engine whose recorded epoch trails the
+    /// installed one is *owed migration*: the next anti-entropy round
+    /// rebuilds it under the current group.
+    groups: HashMap<Vec<u8>, GroupCtx>,
 }
 
 impl ShardCore {
     /// The strategy in effect for a key, under this shard's lock.
     fn spec_of(&self, key: &[u8], default: StrategySpec) -> StrategySpec {
         self.key_specs.get(key).copied().unwrap_or(default)
+    }
+}
+
+/// The placement group one engine was built under: membership epoch and
+/// the member ids in group order. The engine's `ServerId`s are
+/// *group-local* — index `i` means `members[i]` — so outbound messages
+/// translate local → global through this list and inbound `from` ids
+/// translate global → local.
+#[derive(Debug, Clone, PartialEq, Eq)]
+struct GroupCtx {
+    epoch: u64,
+    members: Vec<u64>,
+}
+
+impl GroupCtx {
+    /// The group-local index of member `id`, if it is in the group.
+    fn local(&self, id: u64) -> Option<usize> {
+        self.members.iter().position(|&m| m == id)
+    }
+}
+
+/// Dynamic per-peer RPC clients, keyed by *member id*: created on first
+/// use from the membership's dial address, dropped — breaker streaks,
+/// half-open trials and all — when the member leaves. The drop is the
+/// point: a departed server must stop consuming retry budget and
+/// half-open trials forever (and a later rejoin under the same id
+/// starts with a clean slate).
+struct PeerBook {
+    timeouts: Timeouts,
+    inner: Mutex<HashMap<u64, Arc<PeerClient>>>,
+}
+
+impl PeerBook {
+    fn new(timeouts: Timeouts) -> Self {
+        PeerBook { timeouts, inner: Mutex::new(HashMap::new()) }
+    }
+
+    /// The client for member `id` dialing `addr`, created on demand. A
+    /// client whose recorded address no longer matches (the id was
+    /// reallocated to a different server) is replaced wholesale.
+    fn client(&self, id: u64, addr: &str) -> Option<Arc<PeerClient>> {
+        let sockaddr: SocketAddr = addr.parse().ok()?;
+        let mut inner = self.inner.lock().expect("peer book lock");
+        if let Some(existing) = inner.get(&id) {
+            if existing.addr() == sockaddr {
+                return Some(Arc::clone(existing));
+            }
+        }
+        let fresh =
+            Arc::new(PeerClient::with_policies(sockaddr, self.timeouts, BreakerConfig::default()));
+        inner.insert(id, Arc::clone(&fresh));
+        Some(fresh)
+    }
+
+    /// Drops every client whose member left `view`, purging its breaker
+    /// and failure-streak state with it. Returns how many were purged.
+    fn prune(&self, view: &Membership) -> usize {
+        let mut inner = self.inner.lock().expect("peer book lock");
+        let before = inner.len();
+        inner.retain(|id, _| view.contains(*id));
+        before - inner.len()
+    }
+
+    /// Every live client, for robustness metric totals.
+    fn all(&self) -> Vec<Arc<PeerClient>> {
+        self.inner.lock().expect("peer book lock").values().cloned().collect()
     }
 }
 
@@ -253,7 +356,19 @@ struct State {
     /// The shared-nothing shards; index = [`shard_index`] of a key.
     /// Never empty (the shard count is clamped to at least 1).
     shards: Vec<Shard>,
-    peers: Vec<PeerClient>,
+    /// This server's stable member id in the live membership. Fixed for
+    /// the process lifetime (a rejoin keeps the id, a fresh join learns
+    /// it before construction).
+    my_id: u64,
+    /// The live membership routing table: current epoch's view plus the
+    /// immediately previous one (the one-epoch grace overlap in-flight
+    /// operations and migration donors route through). A leaf lock —
+    /// nothing else is ever acquired while holding it.
+    membership: TimedMutex<RoutingTable>,
+    /// Wakes the anti-entropy loop immediately when a new epoch is
+    /// installed, so migration starts without waiting out the interval.
+    membership_changed: tokio::sync::Notify,
+    peers: PeerBook,
     /// Runtime counters/histograms; atomics only, shared by every
     /// connection handler without further locking.
     metrics: ServerMetrics,
@@ -417,18 +532,90 @@ fn set_spec_in(
 }
 
 impl State {
-    fn me(&self) -> ServerId {
-        ServerId::new(self.cfg.me as u32)
-    }
-
     /// A fresh request id for work this server originates itself.
     fn next_id(&self) -> u64 {
         // Weyl sequence: full-period, cheap, and visually distinct ids.
         self.next_id.fetch_add(0x9E37_79B9_7F4A_7C15, Ordering::Relaxed)
     }
 
+    /// A copy of the current membership view.
+    fn membership_view(&self) -> Membership {
+        self.membership.lock().current().clone()
+    }
+
+    /// Live member count under the current epoch.
     fn n(&self) -> usize {
-        self.cfg.peers.len()
+        self.membership.lock().current().len()
+    }
+
+    /// The server count engines are sized for: the placement-group
+    /// size, capped by how many members exist. Strategy parameters
+    /// (Fixed-x, Hash-y, ...) validate against this, not the cluster
+    /// size — a key only ever lives on its group.
+    fn engine_n(&self) -> usize {
+        self.n().min(self.cfg.group_size.max(1)).max(1)
+    }
+
+    /// The current-epoch placement group of a key: `(epoch, member ids
+    /// in group order)`.
+    fn group_of(&self, key: &[u8]) -> (u64, Vec<u64>) {
+        let table = self.membership.lock();
+        (table.current().epoch(), table.group(key))
+    }
+
+    /// The previous-epoch group of a key, while it differs from the
+    /// current one (the one-epoch grace overlap).
+    fn prev_group_of(&self, key: &[u8]) -> Option<Vec<u64>> {
+        self.membership.lock().prev_group(key)
+    }
+
+    /// Every other live member as `(id, dial address)`, in id order.
+    fn other_members(&self) -> Vec<(u64, String)> {
+        self.membership
+            .lock()
+            .current()
+            .members()
+            .iter()
+            .filter(|m| m.id != self.my_id)
+            .map(|m| (m.id, m.addr.clone()))
+            .collect()
+    }
+
+    /// The RPC client for member `id`, resolved through the current
+    /// view first and the grace-overlap previous view second (migration
+    /// donors can be members that just left).
+    fn peer_for(&self, id: u64) -> Option<Arc<PeerClient>> {
+        let addr = {
+            let table = self.membership.lock();
+            table
+                .current()
+                .addr_of(id)
+                .map(str::to_string)
+                .or_else(|| table.previous().and_then(|p| p.addr_of(id)).map(str::to_string))
+        }?;
+        self.peers.client(id, &addr)
+    }
+
+    /// The group context a *new* engine for `key` must be built under:
+    /// the current group when this server is in it, else the
+    /// grace-overlap previous group. A server in neither group refuses
+    /// — it is not an owner, and materializing an engine would fabricate
+    /// placement state outside the key's group.
+    fn group_ctx_for(&self, key: &[u8]) -> Result<GroupCtx, ClusterError> {
+        let table = self.membership.lock();
+        let members = table.group(key);
+        if members.contains(&self.my_id) {
+            return Ok(GroupCtx { epoch: table.current().epoch(), members });
+        }
+        if let (Some(prev), Some(pm)) = (table.previous(), table.prev_group(key)) {
+            if pm.contains(&self.my_id) {
+                return Ok(GroupCtx { epoch: prev.epoch(), members: pm });
+            }
+        }
+        Err(ClusterError::Remote(format!(
+            "server {} is not in the key's placement group",
+            self.my_id
+        )))
     }
 
     /// The shard that owns a key.
@@ -467,7 +654,7 @@ impl State {
     /// this call — the engine's strategy and the recorded override can
     /// never disagree.
     fn set_spec(&self, key: &[u8], spec: StrategySpec) -> Result<(), ClusterError> {
-        spec.validate(self.n())?;
+        spec.validate(self.engine_n())?;
         let mut core = self.shard_of(key).core.lock();
         set_spec_in(&mut core, key, spec, self.cfg.spec)
     }
@@ -489,8 +676,11 @@ impl State {
     fn ensure_engine_in(&self, core: &mut ShardCore, key: &[u8]) -> Result<(), ClusterError> {
         if !core.engines.contains_key(key) {
             let spec = core.spec_of(key, self.cfg.spec);
-            let engine = NodeEngine::new(self.me(), self.n(), spec, self.key_seed(key))?;
+            let ctx = self.group_ctx_for(key)?;
+            let me = ServerId::new(ctx.local(self.my_id).expect("ctx includes this server") as u32);
+            let engine = NodeEngine::new(me, ctx.members.len(), spec, self.key_seed(key))?;
             core.engines.insert(key.to_vec(), engine);
+            core.groups.insert(key.to_vec(), ctx);
             self.metrics.engines_created.inc();
         }
         Ok(())
@@ -530,21 +720,46 @@ impl State {
     /// engine creation, and the append all sit under that one lock too,
     /// so the TOCTOU between `spec_of` and engine creation that the
     /// two-mutex layout allowed is gone.
+    /// `from_global` carries *global member ids* (the wire encoding);
+    /// it is translated into the engine's group-local index here, and
+    /// the returned remote deliveries are translated back to global
+    /// member ids for the caller to dial. The WAL logs the group-local
+    /// endpoint — exactly what the engine saw — so replay feeds the
+    /// engine without consulting the (possibly since-changed)
+    /// membership.
     fn with_engine_logged(
         &self,
         key: &[u8],
-        from: Endpoint,
+        from_global: Endpoint,
         spec_override: Option<StrategySpec>,
         msg: Message<Entry>,
-    ) -> Result<Vec<(ServerId, Message<Entry>)>, ClusterError> {
+    ) -> Result<Vec<(u64, Message<Entry>)>, ClusterError> {
         let shard = self.shard_of(key);
         let mut core = shard.core.lock();
         self.ensure_engine_in(&mut core, key)?;
+        let ctx = core.groups.get(key).cloned().expect("just ensured");
+        let from = match from_global {
+            Endpoint::Server(gid) => {
+                // A sender outside the engine's group has a different
+                // epoch view; refuse and let anti-entropy reconverge.
+                let pos = ctx.local(gid.index() as u64).ok_or_else(|| {
+                    ClusterError::Remote(format!(
+                        "sender {} is not in the key's placement group",
+                        gid.index()
+                    ))
+                })?;
+                Endpoint::Server(ServerId::new(pos as u32))
+            }
+            client => client,
+        };
         if let Some(storage) = &shard.storage {
             storage.append(key, from, spec_override, &msg)?;
         }
+        let me =
+            ServerId::new(ctx.local(self.my_id).expect("resident engine is group-local") as u32);
         let engine = core.engines.get_mut(key).expect("just ensured");
-        Ok(deliver_local(engine, self.me(), self.n(), from, msg))
+        let remote = deliver_local(engine, me, ctx.members.len(), from, msg);
+        Ok(remote.into_iter().map(|(d, m)| (ctx.members[d.index()], m)).collect())
     }
 }
 
@@ -653,15 +868,27 @@ impl Server {
                 "server index out of range",
             )));
         }
-        cfg.spec.validate(cfg.peers.len())?;
         let addr = listener.local_addr()?;
         let mut cfg = cfg;
         cfg.peers[cfg.me] = addr;
-        let peers = cfg
-            .peers
-            .iter()
-            .map(|&a| PeerClient::with_policies(a, cfg.timeouts, BreakerConfig::default()))
-            .collect();
+        // The live membership this server starts from: the explicit
+        // view a joiner carries, or epoch-1 bootstrap over the static
+        // peer list (ids = list positions, the pre-membership world).
+        let (my_id, initial) = match cfg.membership.clone() {
+            Some((id, view)) => (id, view),
+            None => (cfg.me as u64, Membership::bootstrap(cfg.peers.iter().map(|a| a.to_string()))),
+        };
+        if !initial.contains(my_id) {
+            return Err(ClusterError::Config(pls_core::ConfigError::InvalidParameter(
+                "server id not in initial membership",
+            )));
+        }
+        let group_size = cfg.group_size.max(1);
+        // Strategies validate against the engine size — the group, not
+        // the cluster: a key only ever lives on its `g` group members.
+        cfg.spec.validate(initial.len().min(group_size).max(1))?;
+        let table = RoutingTable::new(GroupRouter::new(group_size, cfg.seed), initial.clone());
+        let peers = PeerBook::new(cfg.timeouts);
         let next_id = AtomicU64::new(splitmix64(cfg.seed ^ cfg.me as u64));
         let nshards = cfg.shards.max(1);
         // Open the data dir (if any) before serving: whatever the
@@ -683,7 +910,11 @@ impl Server {
                 // merges them into one stable `engines` family.
                 core: TimedMutex::new(
                     "engines",
-                    ShardCore { engines: HashMap::new(), key_specs: HashMap::new() },
+                    ShardCore {
+                        engines: HashMap::new(),
+                        key_specs: HashMap::new(),
+                        groups: HashMap::new(),
+                    },
                 ),
                 storage,
             })
@@ -692,6 +923,9 @@ impl Server {
         let state = Arc::new(State {
             cfg,
             shards,
+            my_id,
+            membership: TimedMutex::new("membership", table),
+            membership_changed: tokio::sync::Notify::new(),
             peers,
             metrics: ServerMetrics::new(),
             next_id,
@@ -701,6 +935,7 @@ impl Server {
             observatory,
             started: Instant::now(),
         });
+        state.metrics.membership_epoch.set(initial.epoch() as f64);
         let recovered = match recovered_state {
             Some(rec) => replay_recovered(&state, rec),
             None => 0,
@@ -846,16 +1081,15 @@ impl Server {
         // the loop below stops once the budget is gone.
         let deadline = Deadline::within(state.cfg.timeouts.op_budget);
         let rpc = state.cfg.timeouts.rpc;
+        let others = state.other_members();
 
         // Discover the key universe from reachable peers
         // (order-preserving, set-backed dedup).
         let mut keys: Vec<Vec<u8>> = Vec::new();
         let mut seen: HashSet<Vec<u8>> = HashSet::new();
         let mut any_peer = false;
-        for (i, peer) in state.peers.iter().enumerate() {
-            if i == me_idx {
-                continue;
-            }
+        for (id, addr) in &others {
+            let Some(peer) = state.peers.client(*id, addr) else { continue };
             match peer.call_bounded(resync_id, &Request::Keys, deadline.cap(rpc)).await {
                 Ok(Response::Keys(ks)) => {
                     any_peer = true;
@@ -888,10 +1122,8 @@ impl Server {
             let mut donors: Vec<DonorRow> = Vec::new();
             let mut counters: Option<(u64, u64)> = None;
             let mut key_spec: Option<StrategySpec> = None;
-            for (i, peer) in state.peers.iter().enumerate() {
-                if i == me_idx {
-                    continue;
-                }
+            for (id, addr) in &others {
+                let Some(peer) = state.peers.client(*id, addr) else { continue };
                 if let Ok(Response::Snapshot {
                     entries,
                     positions: ps,
@@ -1045,8 +1277,10 @@ fn stored_pairs(state: &State) -> Vec<(Vec<u8>, Vec<Entry>)> {
 fn collect_metrics(state: &State, reset: bool) -> MetricsSnapshot {
     let stored = stored_pairs(state);
     let mut s = state.metrics.collect_live(&stored, reset);
-    let others = state.peers.iter().enumerate().filter(|(i, _)| *i != state.cfg.me).map(|(_, p)| p);
-    push_peer_robustness(&mut s, others);
+    // The peer book only ever holds clients for *other* members, so no
+    // self-exclusion filter is needed here.
+    let peer_list = state.peers.all();
+    push_peer_robustness(&mut s, peer_list.iter().map(|p| p.as_ref()));
     // Per-shard WAL segments export as the same cluster-of-one family
     // the single-segment layout did: counters sum across shards (with
     // `reset`, each shard is drained exactly once, so deltas conserve).
@@ -1281,6 +1515,7 @@ fn lock_sites(state: &State) -> Vec<(&'static str, Vec<&SiteStats>)> {
         ("live_ft", vec![state.live_ft.stats().as_ref()]),
         ("live_staleness", vec![state.live_staleness.stats().as_ref()]),
         ("observatory", vec![state.observatory.stats().as_ref()]),
+        ("membership", vec![state.membership.stats().as_ref()]),
     ];
     let wals: Vec<&SiteStats> = state
         .shards
@@ -1698,19 +1933,35 @@ fn rebuild_engine_in(
     version: u64,
     tombstones: Vec<(Entry, Tombstone)>,
 ) -> Result<(), ClusterError> {
-    let me = state.me();
+    // Rebuilds target the key's *current* placement group: a server
+    // outside the group (current and grace views both) must not
+    // resurrect an engine for a key it no longer hosts.
+    let ctx = state.group_ctx_for(key)?;
+    let glen = ctx.members.len();
+    let me =
+        ServerId::new(ctx.local(state.my_id).expect("group_ctx_for includes this server") as u32);
     // Adopt a per-key strategy override before the engine exists. The
     // shard core owns both the override map and the engine, so the
     // conflict check and the insert happen under one lock.
     if spec != state.cfg.spec {
-        spec.validate(state.n())?;
+        spec.validate(glen)?;
         set_spec_in(core, key, spec, state.cfg.spec)?;
     }
-    if !core.engines.contains_key(key) {
-        let engine = NodeEngine::new(me, state.n(), spec, state.key_seed(key))?;
-        core.engines.insert(key.to_vec(), engine);
-        state.metrics.engines_created.inc();
+    // A stale group context (membership moved the key) invalidates the
+    // resident engine: its `me`/`n` no longer describe the placement,
+    // so it is replaced wholesale rather than patched.
+    let stale = core.groups.get(key).is_some_and(|old| *old != ctx);
+    if stale {
+        core.engines.remove(key);
     }
+    if !core.engines.contains_key(key) {
+        let engine = NodeEngine::new(me, glen, spec, state.key_seed(key))?;
+        core.engines.insert(key.to_vec(), engine);
+        if !stale {
+            state.metrics.engines_created.inc();
+        }
+    }
+    core.groups.insert(key.to_vec(), ctx);
     let engine = core.engines.get_mut(key).expect("just inserted");
     // Local feed only: rebuilds repair this server's share, they never
     // fan out, so cascade outbounds are intentionally dropped.
@@ -1732,6 +1983,8 @@ fn rebuild_engine_in(
             }
         }
         StrategySpec::RoundRobin { y } => {
+            // Group-local coordinator: position 0 in the placement
+            // group plays the simulator's "server 0" role (§5.4).
             if me.index() == 0 {
                 let (head, tail) = counters.unwrap_or_else(|| {
                     match (positions.keys().next(), positions.keys().last()) {
@@ -1741,10 +1994,9 @@ fn rebuild_engine_in(
                 });
                 engine.handle(Endpoint::Server(me), Message::RrSetCounters { head, tail });
             }
-            let n = state.n();
             for (pos, v) in positions {
-                let base = ServerId::new((pos % n as u64) as u32);
-                if (0..y).any(|k| base.wrapping_add(k, n) == me) {
+                let base = ServerId::new((pos % glen as u64) as u32);
+                if (0..y).any(|k| base.wrapping_add(k, glen) == me) {
                     engine.handle(Endpoint::Server(me), Message::RrStore { v, pos });
                 }
             }
@@ -1851,11 +2103,18 @@ fn replay_record(state: &State, record: WalRecord) -> Result<(), ClusterError> {
     if let Some(spec) = spec {
         state.set_spec(&key, spec)?;
     }
-    let me = state.me();
-    let n = state.n();
-    state.with_engine(&key, |e| {
-        deliver_local(e, me, n, from, msg);
-    })
+    // The WAL logs *group-local* endpoints — exactly what the engine
+    // saw when the record was appended — so replay needs no membership
+    // translation; it only needs the engine rebuilt with its group
+    // shape, which ensure_engine_in provides.
+    let shard = state.shard_of(&key);
+    let mut core = shard.core.lock();
+    state.ensure_engine_in(&mut core, &key)?;
+    let ctx = core.groups.get(&key).cloned().expect("just ensured");
+    let me = ServerId::new(ctx.local(state.my_id).expect("resident engine is group-local") as u32);
+    let engine = core.engines.get_mut(&key).expect("just ensured");
+    deliver_local(engine, me, ctx.members.len(), from, msg);
+    Ok(())
 }
 
 /// Captures a checkpoint-consistent view of one shard under its core
@@ -1960,7 +2219,15 @@ async fn anti_entropy_loop(state: Arc<State>, every: Duration) {
             state.cfg.seed ^ (state.cfg.me as u64) ^ tick.wrapping_mul(0x9E37_79B9_7F4A_7C15),
         );
         let jitter = 0.5 + (r >> 11) as f64 / (1u64 << 53) as f64;
-        tokio::time::sleep(every.mul_f64(jitter)).await;
+        // A membership install cuts the sleep short: migration starts
+        // within one scheduling quantum of learning about the epoch
+        // instead of waiting out the jittered interval.
+        tokio::select! {
+            () = tokio::time::sleep(every.mul_f64(jitter)) => {}
+            () = state.membership_changed.notified() => {
+                pls_telemetry::debug!("antientropy_woken_by_membership", server = state.cfg.me);
+            }
+        }
         state.metrics.antientropy_rounds.inc();
         let round_started = Instant::now();
         if let Err(err) = anti_entropy_round(&state, tick).await {
@@ -2024,7 +2291,6 @@ async fn staleness_loop(state: Arc<State>, every: Duration) {
 /// / Fixed / RandomServer); under Hash / Round-Robin the gauge is an
 /// upper bound on divergence, not an exact freshness probability.
 async fn staleness_round(state: &Arc<State>, round: u64) {
-    let me_idx = state.cfg.me;
     let round_id = state.next_id();
     let deadline = Deadline::within(state.cfg.timeouts.op_budget);
     let rpc = state.cfg.timeouts.rpc;
@@ -2071,10 +2337,14 @@ async fn staleness_round(state: &Arc<State>, round: u64) {
         if let Some((count, _, _, v, _)) = state.read_engine(key, engine_digest) {
             versions.push((v, count > 0));
         }
-        for (i, peer) in state.peers.iter().enumerate() {
-            if i == me_idx {
+        // Only the key's placement group can hold it: probing outside
+        // the group would count non-holders as laggards.
+        let (_, group) = state.group_of(key);
+        for id in group {
+            if id == state.my_id {
                 continue;
             }
+            let Some(peer) = state.peer_for(id) else { continue };
             if let Ok(Response::Digest { known: true, count, version, .. }) = peer
                 .call_bounded(round_id, &Request::Digest { key: key.to_vec() }, deadline.cap(rpc))
                 .await
@@ -2142,15 +2412,37 @@ async fn anti_entropy_round(state: &Arc<State>, round: u64) -> Result<(), Cluste
     let deadline = Deadline::within(state.cfg.timeouts.op_budget);
     let rpc = state.cfg.timeouts.rpc;
 
+    // Membership gossip, piggybacked on the repair cadence: exchange
+    // views with one rotating member per round. Both directions
+    // converge — the exchange pushes our view and the reply carries
+    // theirs, and whichever epoch is newer wins on install — so a
+    // partitioned-away server catches up within one round of reaching
+    // any up-to-date member.
+    let others = state.other_members();
+    if !others.is_empty() {
+        let view = state.membership_view();
+        let (gossip_id, gossip_addr) = others[round as usize % others.len()].clone();
+        if let Some(peer) = state.peers.client(gossip_id, &gossip_addr) {
+            if let Ok(Response::Membership { epoch, members }) = peer
+                .call_bounded(
+                    round_id,
+                    &Request::Membership { epoch: view.epoch(), members: members_parts(&view) },
+                    deadline.cap(rpc),
+                )
+                .await
+            {
+                install_membership(state, Membership::from_parts(epoch, members));
+            }
+        }
+    }
+
     // Key universe: a wiped server learns what it should hold from its
     // peers (order-preserving, set-backed dedup, then sorted so the
     // rotating deep window is stable across rounds).
     let mut keys: Vec<Vec<u8>> = state.all_keys();
     let mut seen: HashSet<Vec<u8>> = keys.iter().cloned().collect();
-    for (i, peer) in state.peers.iter().enumerate() {
-        if i == me_idx {
-            continue;
-        }
+    for (id, addr) in &state.other_members() {
+        let Some(peer) = state.peers.client(*id, addr) else { continue };
         if let Ok(Response::Keys(ks)) =
             peer.call_bounded(round_id, &Request::Keys, deadline.cap(rpc)).await
         {
@@ -2163,6 +2455,7 @@ async fn anti_entropy_round(state: &Arc<State>, round: u64) -> Result<(), Cluste
     }
     keys.sort();
     if keys.is_empty() {
+        state.metrics.migration_pending.set(0.0);
         return Ok(());
     }
 
@@ -2188,6 +2481,25 @@ async fn anti_entropy_round(state: &Arc<State>, round: u64) -> Result<(), Cluste
             state.metrics.antientropy_repairs.inc();
         }
     }
+
+    // Migration lag: keys this server should host under the installed
+    // epoch whose resident engine (if any) was built for an older view.
+    // Converges to zero once every owed key has been pulled — the churn
+    // gate greps for exactly that.
+    let current_epoch = state.membership_view().epoch();
+    let mut pending = 0u64;
+    for key in &keys {
+        let (_, group) = state.group_of(key);
+        if !group.contains(&state.my_id) {
+            continue;
+        }
+        let core = state.shard_of(key).core.lock();
+        match core.groups.get(key.as_slice()) {
+            Some(ctx) if ctx.epoch == current_epoch && ctx.members == group => {}
+            _ => pending += 1,
+        }
+    }
+    state.metrics.migration_pending.set(pending as f64);
 
     // TTL garbage collection of delete tombstones: markers older than
     // the TTL have done their job (every replica that will ever hear
@@ -2242,29 +2554,67 @@ async fn reconcile_key(
     deadline: &Deadline,
     ft_min: &mut BTreeMap<usize, usize>,
 ) -> bool {
-    let me = state.me();
-    let me_idx = me.index();
-    let n = state.n();
     let rpc = state.cfg.timeouts.rpc;
 
-    // Cheap phase: everyone's digest — `(peer, count, entry hash,
-    // version, spec)` per reachable peer that knows the key.
-    let local = state.read_engine(key, |e| engine_digest(e));
-    let mut digests: Vec<(usize, u64, u64, u64, Option<StrategySpec>)> = Vec::new();
-    for (i, peer) in state.peers.iter().enumerate() {
-        if i == me_idx {
-            continue;
+    // Placement first: only members of the key's current group
+    // reconcile it. A server the group moved away from keeps its copy
+    // untouched — the one-epoch grace overlap still serves reads from
+    // it, and dropping data on a rumor would be unrecoverable if the
+    // rumor were wrong.
+    let (cur_epoch, cur_group) = state.group_of(key);
+    if !cur_group.contains(&state.my_id) {
+        return false;
+    }
+    let glen = cur_group.len();
+    let me_pos = cur_group.iter().position(|&m| m == state.my_id).expect("checked above");
+    let me = ServerId::new(me_pos as u32);
+
+    // Migration detection: the resident engine's recorded group vs the
+    // installed one. Same members at an older epoch is a rename, not a
+    // move — bump the recorded epoch in place and keep the engine.
+    let local_ctx = {
+        let mut core = state.shard_of(key).core.lock();
+        match core.groups.get_mut(key) {
+            Some(ctx) if ctx.members == cur_group && ctx.epoch != cur_epoch => {
+                ctx.epoch = cur_epoch;
+                Some(ctx.clone())
+            }
+            other => other.cloned(),
         }
+    };
+    let migrating = local_ctx.as_ref().is_none_or(|ctx| ctx.members != cur_group);
+
+    // Donor set: the current group, plus (while the grace overlap
+    // lasts) the previous group — the servers Fig. 11's hole-plugging
+    // would pull vacated positions from.
+    let mut donor_ids = cur_group.clone();
+    if let Some(prev) = state.prev_group_of(key) {
+        for id in prev {
+            if !donor_ids.contains(&id) {
+                donor_ids.push(id);
+            }
+        }
+    }
+    donor_ids.retain(|&id| id != state.my_id);
+
+    // Cheap phase: every donor's digest — `(member, count, entry hash,
+    // version, spec)` per reachable donor that knows the key.
+    let local = state.read_engine(key, |e| engine_digest(e));
+    let mut digests: Vec<(u64, u64, u64, u64, Option<StrategySpec>)> = Vec::new();
+    for &id in &donor_ids {
+        let Some(peer) = state.peer_for(id) else { continue };
         if let Ok(Response::Digest { known: true, spec, count, entry_hash, version, .. }) = peer
             .call_bounded(round_id, &Request::Digest { key: key.to_vec() }, deadline.cap(rpc))
             .await
         {
-            digests.push((i, count, entry_hash, version, spec));
+            digests.push((id, count, entry_hash, version, spec));
         }
     }
-    if digests.is_empty() {
-        // No reachable peer knows the key: nothing to compare against,
-        // nothing to repair from.
+    if digests.is_empty() && !migrating {
+        // No reachable donor knows the key: nothing to compare against,
+        // nothing to repair from. (A migrating key proceeds regardless:
+        // the local copy must still be re-homed into its new group
+        // shape even when every donor is briefly unreachable.)
         return false;
     }
 
@@ -2307,6 +2657,11 @@ async fn reconcile_key(
         _ => None,
     };
     let mut suspect = local.is_none();
+    // A migrating key is always suspect and always deep-checked: the
+    // engine must be rebuilt in its new group shape no matter how the
+    // digests compare.
+    suspect |= migrating;
+    let deep = deep || migrating;
     match spec {
         StrategySpec::FullReplication | StrategySpec::Fixed { .. } => {
             if let (Some((count, ehash, _, version, _)), Some(modal)) = (local, modal) {
@@ -2352,10 +2707,11 @@ async fn reconcile_key(
         )
     });
     let guard = local_deep.as_ref().map(|(.., d)| *d);
-    let mut rows: Vec<Vec<Entry>> = vec![Vec::new(); n];
+    let mut rows: Vec<Vec<Entry>> = vec![Vec::new(); glen];
+    let mut donor_entries: HashMap<u64, Vec<Entry>> = HashMap::new();
     let mut donors: Vec<DonorRow> = Vec::new();
     if let Some((entries, ps, ts, d)) = &local_deep {
-        rows[me_idx] = entries.clone();
+        rows[me_pos] = entries.clone();
         donors.push(DonorRow {
             version: d.3,
             entries: entries.clone(),
@@ -2365,10 +2721,8 @@ async fn reconcile_key(
     }
     let mut counters = guard.and_then(|(.., cs)| cs);
     let mut donor_count = 0usize;
-    for (i, peer) in state.peers.iter().enumerate() {
-        if i == me_idx {
-            continue;
-        }
+    for &id in &donor_ids {
+        let Some(peer) = state.peer_for(id) else { continue };
         if let Ok(Response::Snapshot {
             entries,
             positions: ps,
@@ -2381,12 +2735,17 @@ async fn reconcile_key(
             .await
         {
             donor_count += 1;
-            rows[i] = entries.clone();
+            // The live-placement rows cover the *current* group only;
+            // a grace-overlap donor outside it still contributes data.
+            if let Some(pos) = cur_group.iter().position(|&m| m == id) {
+                rows[pos] = entries.clone();
+            }
+            donor_entries.insert(id, entries.clone());
             counters = storage::merge_rr_counters(counters, cs);
             donors.push(DonorRow { version, entries, positions: ps, tombstones });
         }
     }
-    if donor_count == 0 {
+    if donor_count == 0 && !migrating {
         return false;
     }
 
@@ -2409,31 +2768,35 @@ async fn reconcile_key(
     }
 
     // Deep verdicts for the share-splitting strategies, judged against
-    // the consistent local capture (when the key is missing locally,
-    // `suspect` is already set above).
-    match (spec, &local_deep) {
-        (StrategySpec::Hash { .. }, Some((mine, ..))) => {
-            let expected: Vec<Entry> = state
-                .read_engine(key, |e| {
-                    merged.union.iter().filter(|&v| e.assigns_to(v, me)).cloned().collect()
-                })
-                .unwrap_or_default();
-            suspect |= expected.len() != mine.len()
-                || storage::entry_set_hash(&expected) != storage::entry_set_hash(mine);
-        }
-        (StrategySpec::RoundRobin { y }, Some((_, _, _, digest))) => {
-            let expected = merged.positions.iter().filter(|(pos, _)| {
-                let base = ServerId::new((**pos % n as u64) as u32);
-                (0..y).any(|k| base.wrapping_add(k, n) == me)
-            });
-            let expected_hash = storage::position_set_hash(expected.map(|(p, v)| (*p, v)));
-            let (_, _, mine_hash, _, mine_counters) = *digest;
-            suspect |= expected_hash != mine_hash;
-            if me_idx == 0 {
-                suspect |= counters != mine_counters;
+    // the consistent local capture (when the key is missing locally or
+    // migrating, `suspect` is already set above; a migrating engine's
+    // shape predates the current group, so these group-local checks
+    // would be judged against the wrong geometry).
+    if !migrating {
+        match (spec, &local_deep) {
+            (StrategySpec::Hash { .. }, Some((mine, ..))) => {
+                let expected: Vec<Entry> = state
+                    .read_engine(key, |e| {
+                        merged.union.iter().filter(|&v| e.assigns_to(v, me)).cloned().collect()
+                    })
+                    .unwrap_or_default();
+                suspect |= expected.len() != mine.len()
+                    || storage::entry_set_hash(&expected) != storage::entry_set_hash(mine);
             }
+            (StrategySpec::RoundRobin { y }, Some((_, _, _, digest))) => {
+                let expected = merged.positions.iter().filter(|(pos, _)| {
+                    let base = ServerId::new((**pos % glen as u64) as u32);
+                    (0..y).any(|k| base.wrapping_add(k, glen) == me)
+                });
+                let expected_hash = storage::position_set_hash(expected.map(|(p, v)| (*p, v)));
+                let (_, _, mine_hash, _, mine_counters) = *digest;
+                suspect |= expected_hash != mine_hash;
+                if me_pos == 0 {
+                    suspect |= counters != mine_counters;
+                }
+            }
+            _ => {}
         }
-        _ => {}
     }
     if !suspect {
         return false;
@@ -2443,12 +2806,13 @@ async fn reconcile_key(
     // through the same message path resync uses. FullReplication/Fixed
     // adopt the modal freshest donor's replica set wholesale; the
     // union strategies rebuild from the screened merge above.
+    let donor_row = |id: u64| donor_entries.get(&id).cloned().unwrap_or_default();
     let entries_for_rebuild = match spec {
         StrategySpec::FullReplication | StrategySpec::Fixed { .. } => digests
             .iter()
             .filter(|(_, _, _, v, _)| *v == max_peer_version)
-            .find(|(i, c, h, ..)| Some((*c, *h)) == modal && !rows[*i].is_empty())
-            .map(|(i, ..)| rows[*i].clone())
+            .find(|(id, c, h, ..)| Some((*c, *h)) == modal && !donor_row(*id).is_empty())
+            .map(|(id, ..)| donor_row(*id))
             .unwrap_or_else(|| {
                 // No modal freshest donor answered the deep pull; fall
                 // back to the fullest row among the freshest donors
@@ -2456,7 +2820,7 @@ async fn reconcile_key(
                 digests
                     .iter()
                     .filter(|(_, _, _, v, _)| *v == max_peer_version)
-                    .map(|(i, ..)| rows[*i].clone())
+                    .map(|(id, ..)| donor_row(*id))
                     .max_by_key(Vec::len)
                     .unwrap_or_default()
             }),
@@ -2474,11 +2838,12 @@ async fn reconcile_key(
         pls_telemetry::debug!(
             "antientropy_repair_skipped_stale",
             req = round_id,
-            server = me_idx,
+            server = state.cfg.me,
             key_bytes = key.len()
         );
         return false;
     }
+    let migrated_entries = (entries_for_rebuild.len() + merged.positions.len()) as u64;
     match rebuild_engine_in(
         state,
         &mut core,
@@ -2491,10 +2856,22 @@ async fn reconcile_key(
         merged.tombstones,
     ) {
         Ok(()) => {
+            if migrating {
+                state.metrics.migration_keys.inc();
+                state.metrics.migration_entries.add(migrated_entries);
+                pls_telemetry::info!(
+                    "migration_key_rehomed",
+                    req = round_id,
+                    server = state.cfg.me,
+                    epoch = cur_epoch,
+                    key_bytes = key.len(),
+                    entries = migrated_entries
+                );
+            }
             pls_telemetry::info!(
                 "antientropy_repaired",
                 req = round_id,
-                server = me_idx,
+                server = state.cfg.me,
                 key_bytes = key.len()
             );
             true
@@ -2503,7 +2880,7 @@ async fn reconcile_key(
             pls_telemetry::warn!(
                 "antientropy_repair_failed",
                 req = round_id,
-                server = me_idx,
+                server = state.cfg.me,
                 err = err
             );
             false
@@ -2528,10 +2905,8 @@ async fn cluster_spans(state: &Arc<State>, req: u64) -> Vec<SpanRecord> {
     let mut spans =
         pls_telemetry::recorder::installed().map(|r| r.spans_for(req)).unwrap_or_default();
     let id = state.next_id();
-    for (i, peer) in state.peers.iter().enumerate() {
-        if i == state.cfg.me {
-            continue;
-        }
+    for (pid, addr) in &state.other_members() {
+        let Some(peer) = state.peers.client(*pid, addr) else { continue };
         if let Ok(Response::Spans(remote)) = peer.call(id, &Request::Trace { req }).await {
             for s in remote {
                 if !spans.contains(&s) {
@@ -2614,6 +2989,21 @@ async fn serve_connection(state: Arc<State>, mut socket: TcpStream) -> Result<()
                     }
                 }
                 (resp, elapsed_us)
+            }
+            // A recognizably-framed request with an opcode this build
+            // doesn't know is a version skew, not corruption: refuse it
+            // with a structured error frame and keep the connection —
+            // newer peers probing during a rolling upgrade must not
+            // poison their pooled connections (or our decode-error
+            // counter) on every probe.
+            Err(ClusterError::Unsupported(op)) => {
+                pls_telemetry::debug!(
+                    "unsupported_opcode",
+                    req = req_id,
+                    server = state.cfg.me,
+                    op = op
+                );
+                (Response::Error(format!("{UNSUPPORTED_PREFIX}{op:#04x}")), 0)
             }
             Err(err) => {
                 state.metrics.decode_errors.inc();
@@ -2780,15 +3170,105 @@ async fn handle_request(
                 pls_telemetry::recorder::installed().map(|r| r.spans_for(req)).unwrap_or_default();
             Ok(Response::Spans(spans))
         }
+        Request::Membership { epoch, members } => {
+            // Gossip exchange: adopt the sender's view when it's newer
+            // (epoch 0 marks a plain fetch — nothing to install), then
+            // reply with whatever this server now believes. Both sides
+            // of the exchange end on the max of the two epochs.
+            if epoch > 0 {
+                install_membership(state, Membership::from_parts(epoch, members));
+            }
+            let view = state.membership_view();
+            Ok(Response::Membership { epoch: view.epoch(), members: members_parts(&view) })
+        }
+        Request::JoinLeave { join, leave } => {
+            let view = state.membership_view();
+            let next = match (join, leave) {
+                (Some(addr), None) => view.with_join(&addr).0,
+                (None, Some(id)) => view.with_leave(id).ok_or_else(|| {
+                    ClusterError::Remote(format!(
+                        "cannot remove server {id}: unknown member or last member standing"
+                    ))
+                })?,
+                _ => {
+                    return Err(ClusterError::Remote(
+                        "exactly one of join or leave is required".into(),
+                    ))
+                }
+            };
+            install_membership(state, next.clone());
+            // Eager fan-out: push the bumped view to every other member
+            // of the NEW view, plus the leaver (so its epoch gauge and
+            // grace logic converge before its shutdown). Best-effort and
+            // deadline-capped — gossip repairs whoever was unreachable.
+            let deadline = Deadline::within(state.cfg.timeouts.op_budget);
+            let rpc = state.cfg.timeouts.rpc;
+            let announce =
+                Request::Membership { epoch: next.epoch(), members: members_parts(&next) };
+            let mut targets: Vec<(u64, String)> = next
+                .members()
+                .iter()
+                .filter(|m| m.id != state.my_id)
+                .map(|m| (m.id, m.addr.clone()))
+                .collect();
+            if let Some(leaver) = leave {
+                if let Some(addr) = view.addr_of(leaver) {
+                    targets.push((leaver, addr.to_string()));
+                }
+            }
+            for (id, addr) in targets {
+                let Some(peer) = state.peers.client(id, &addr) else { continue };
+                let _ = peer.call_bounded(req_id, &announce, deadline.cap(rpc)).await;
+            }
+            // Post-fan-out prune: the farewell announcement re-created
+            // the leaver's client; drop it again now that it's sent.
+            state.peers.prune(&state.membership_view());
+            Ok(Response::Membership { epoch: next.epoch(), members: members_parts(&next) })
+        }
     }
 }
 
-/// Round-Robin-y updates must go to the dedicated coordinator (server 0,
-/// which holds the head/tail counters — §5.4); reject mis-routed ones.
+/// A membership view flattened to the wire tuples `(id, addr)` the
+/// Membership request/response carry.
+fn members_parts(m: &Membership) -> Vec<(u64, String)> {
+    m.members().iter().map(|mm| (mm.id, mm.addr.clone())).collect()
+}
+
+/// Installs a membership view if it's strictly newer than the current
+/// one: bumps the epoch gauge, prunes peer clients for departed members
+/// (dropping a client drops its breaker and probe-demotion state — a
+/// rejoining server starts with a clean slate), and wakes the
+/// anti-entropy loop so migration starts immediately. Returns whether
+/// the view was adopted.
+fn install_membership(state: &Arc<State>, next: Membership) -> bool {
+    let installed = state.membership.lock().install(next.clone());
+    if !installed {
+        return false;
+    }
+    state.metrics.membership_installs.inc();
+    state.metrics.membership_epoch.set(next.epoch() as f64);
+    let purged = state.peers.prune(&next);
+    pls_telemetry::info!(
+        "membership_installed",
+        server = state.cfg.me,
+        epoch = next.epoch(),
+        members = next.len(),
+        peers_purged = purged
+    );
+    state.membership_changed.notify_one();
+    true
+}
+
+/// Round-Robin-y updates must go to the dedicated coordinator — the
+/// first member of the key's placement group, which holds the head/tail
+/// counters (the group-local generalization of §5.4's "server 0");
+/// reject mis-routed ones.
 fn guard_rr_coordinator(state: &Arc<State>, key: &[u8]) -> Result<(), ClusterError> {
-    if matches!(state.spec_of(key), StrategySpec::RoundRobin { .. }) && state.cfg.me != 0 {
+    if matches!(state.spec_of(key), StrategySpec::RoundRobin { .. })
+        && state.group_of(key).1.first() != Some(&state.my_id)
+    {
         return Err(ClusterError::Remote(
-            "round-robin updates must be sent to server 0 (the coordinator)".into(),
+            "round-robin updates must be sent to the key's group coordinator".into(),
         ));
     }
     Ok(())
@@ -2806,7 +3286,6 @@ async fn apply(
     from: Endpoint,
     msg: Message<Entry>,
 ) -> Result<(), ClusterError> {
-    let me = state.me();
     // One budget spans the whole fan-out: however many peers and retries
     // this update touches, the triggering request is answered in bounded
     // time.
@@ -2823,8 +3302,11 @@ async fn apply(
     let remote = state.with_engine_logged(key, from, spec_override, msg)?;
     let sidx = shard_index(key, state.shards.len());
     for (dest, m) in remote {
+        // `from` carries this server's global member id: the receiver
+        // translates it into the sender's position within the key's
+        // placement group before the engine sees it.
         let req = Request::Internal {
-            from: me.index() as u32,
+            from: state.my_id as u32,
             key: key.to_vec(),
             spec: spec_override,
             msg: m,
@@ -2837,9 +3319,21 @@ async fn apply(
         let mut send_span =
             Span::enter_with_id(Level::Trace, module_path!(), "internal_send", req_id);
         send_span.field("server", state.cfg.me);
-        send_span.field("peer", dest.index());
-        let call =
-            state.peers[dest.index()].call_retry(req_id, &req, &state.cfg.retry, deadline).await;
+        send_span.field("peer", dest);
+        let Some(peer) = state.peer_for(dest) else {
+            // The destination left the membership between the engine's
+            // fan-out decision and this send: the delivery is lost,
+            // like a message to a crashed server.
+            state.metrics.internal_send_failures.inc();
+            pls_telemetry::debug!(
+                "internal_send_no_member",
+                req = req_id,
+                server = state.cfg.me,
+                peer = dest
+            );
+            continue;
+        };
+        let call = peer.call_retry(req_id, &req, &state.cfg.retry, deadline).await;
         drop(send_span);
         if let Err(err) = call {
             state.metrics.internal_send_failures.inc();
@@ -2850,7 +3344,7 @@ async fn apply(
                     "internal_send_dropped",
                     req = req_id,
                     server = state.cfg.me,
-                    peer = dest.index(),
+                    peer = dest,
                     err = err
                 );
             } else {
@@ -2858,7 +3352,7 @@ async fn apply(
                     "internal_rejected",
                     req = req_id,
                     server = state.cfg.me,
-                    peer = dest.index(),
+                    peer = dest,
                     err = err
                 );
             }
@@ -2917,28 +3411,37 @@ mod tests {
             (0..n).map(|i| format!("127.0.0.1:{}", 9200 + i).parse().unwrap()).collect();
         let mut cfg = ServerConfig::new(0, peers.clone(), spec, 42);
         cfg.shards = shards;
-        let clients = peers
-            .iter()
-            .map(|&a| PeerClient::with_policies(a, cfg.timeouts, BreakerConfig::default()))
-            .collect();
+        let initial = Membership::bootstrap(peers.iter().map(|a| a.to_string()));
+        let table = RoutingTable::new(GroupRouter::new(cfg.group_size, cfg.seed), initial);
+        let peer_book = PeerBook::new(cfg.timeouts);
         let shards = (0..shards.max(1))
             .map(|_| Shard {
                 core: TimedMutex::new(
                     "engines",
-                    ShardCore { engines: HashMap::new(), key_specs: HashMap::new() },
+                    ShardCore {
+                        engines: HashMap::new(),
+                        key_specs: HashMap::new(),
+                        groups: HashMap::new(),
+                    },
                 ),
                 storage: None,
             })
             .collect();
+        let observatory = TimedMutex::new("observatory", Observatory::new(&cfg));
         Arc::new(State {
             cfg,
             shards,
-            peers: clients,
+            my_id: 0,
+            membership: TimedMutex::new("membership", table),
+            membership_changed: tokio::sync::Notify::new(),
+            peers: peer_book,
             metrics: ServerMetrics::new(),
             next_id: AtomicU64::new(1),
             live_ft: TimedMutex::new("live_ft", BTreeMap::new()),
             live_staleness: TimedMutex::new("live_staleness", BTreeMap::new()),
             alloc_base: AllocBaseline::default(),
+            observatory,
+            started: Instant::now(),
         })
     }
 

@@ -64,6 +64,7 @@ pub mod baseline;
 pub mod directory;
 pub mod engine;
 pub mod ext;
+pub mod membership;
 
 pub use cluster::Cluster;
 pub use collections::IndexedSet;
@@ -72,6 +73,7 @@ pub use entry::Entry;
 pub use error::ServiceError;
 pub use hashing::HashFamily;
 pub use lookup::LookupResult;
+pub use membership::{GroupRouter, Member, Membership, RoutingTable};
 pub use messages::Message;
 pub use node::Tombstone;
 pub use placement::Placement;
